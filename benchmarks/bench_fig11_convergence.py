@@ -1,0 +1,140 @@
+"""Fig. 11 — convergence over time versus other implementations (K = 1000).
+
+SaberLDA is compared against BIDMach (dense GPU), ESCA (CPU), DMLC F+LDA
+and WarpLDA on NYTimes- and PubMed-shaped corpora.  The likelihood
+trajectories are measured on scaled replicas (every system runs its real
+algorithm at a replica-friendly topic count); the per-iteration times of
+every system are costed at the published dataset scale with K = 1000, so
+the time axis and the speedups are comparable to the paper's figure.
+"""
+
+import pytest
+
+from repro.baselines import (
+    DenseGpuTrainer,
+    EscaCpuTrainer,
+    FTreeLdaTrainer,
+    WarpLdaTrainer,
+)
+from repro.bench import emit_report, format_series, format_table
+from repro.core import LDAHyperParams
+from repro.corpus import NYTIMES, PUBMED, nytimes_replica, pubmed_replica
+from repro.evaluation import compare_systems
+from repro.saberlda import SaberLDAConfig
+
+REPLICA_TOPICS = 40
+COST_TOPICS = 1_000
+NUM_ITERATIONS = 15
+
+#: The paper reports SaberLDA ~5.6x faster than BIDMach, ~4x faster than
+#: ESCA (CPU) and ~5.4x faster than DMLC at K = 1000.
+PAPER_SPEEDUPS = {"BIDMach (dense GPU)": 5.6, "ESCA (CPU)": 4.0, "DMLC F+LDA": 5.4}
+
+
+def _make_baselines(params):
+    return [
+        DenseGpuTrainer(params, seed=1, check_memory=False),
+        EscaCpuTrainer(params, seed=1),
+        FTreeLdaTrainer(params, seed=1),
+        WarpLdaTrainer(params, seed=1),
+    ]
+
+
+def _run_comparison(descriptor, replica):
+    params = LDAHyperParams(num_topics=REPLICA_TOPICS, alpha=0.2, beta=0.01)
+    config = SaberLDAConfig(params=params, num_chunks=3, seed=1)
+    return compare_systems(
+        replica,
+        num_topics=REPLICA_TOPICS,
+        baselines=_make_baselines(params),
+        saberlda_config=config,
+        descriptor=descriptor,
+        num_iterations=NUM_ITERATIONS,
+        seed=1,
+        cost_num_topics=COST_TOPICS,
+    )
+
+
+def _build_report(name, comparison) -> str:
+    threshold = comparison.common_threshold(quantile=0.9)
+    rows = []
+    for system, curve in comparison.curves.items():
+        if curve.failed:
+            rows.append([system, "failed", "-", "-", curve.failed[:40]])
+            continue
+        time_to_threshold = curve.time_to_reach(threshold)
+        speedup = comparison.speedup("SaberLDA", system, threshold)
+        rows.append(
+            [
+                system,
+                round(curve.seconds[-1], 1),
+                round(curve.final_likelihood(), 3),
+                round(time_to_threshold, 1) if time_to_threshold else "n/a",
+                f"{speedup:.1f}x" if speedup else "-",
+            ]
+        )
+    table = format_table(
+        ["System", "total time (s)", "final LL/token",
+         f"time to LL {threshold:.2f} (s)", "SaberLDA speedup"],
+        rows,
+    )
+    series = "\n\n".join(
+        format_series(system, curve.points())
+        for system, curve in comparison.curves.items()
+        if not curve.failed
+    )
+    paper_note = (
+        "\nPaper speedups at K=1000: "
+        + ", ".join(f"{k}: {v}x" for k, v in PAPER_SPEEDUPS.items())
+    )
+    return f"{name}\n{table}{paper_note}\n\nConvergence series (seconds, LL/token):\n{series}"
+
+
+@pytest.fixture(scope="module")
+def nytimes_comparison():
+    replica = nytimes_replica(num_documents=120, vocabulary_size=1_000, seed=3)
+    return _run_comparison(NYTIMES, replica)
+
+
+@pytest.fixture(scope="module")
+def pubmed_comparison():
+    replica = pubmed_replica(num_documents=250, vocabulary_size=1_000, seed=3)
+    return _run_comparison(PUBMED, replica)
+
+
+def test_fig11_nytimes_convergence(benchmark, nytimes_comparison):
+    """SaberLDA must reach the common likelihood threshold before every baseline."""
+    benchmark(nytimes_comparison.common_threshold)
+    emit_report("fig11_nytimes", _build_report("NYTimes, K=1000", nytimes_comparison))
+    threshold = nytimes_comparison.common_threshold(quantile=0.9)
+    for system in ("ESCA (CPU)", "DMLC F+LDA", "BIDMach (dense GPU)"):
+        speedup = nytimes_comparison.speedup("SaberLDA", system, threshold)
+        assert speedup is not None and speedup > 1.5, f"{system}: {speedup}"
+
+
+def test_fig11_pubmed_convergence(benchmark, pubmed_comparison):
+    benchmark(pubmed_comparison.common_threshold)
+    emit_report("fig11_pubmed", _build_report("PubMed, K=1000", pubmed_comparison))
+    threshold = pubmed_comparison.common_threshold(quantile=0.9)
+    speedup = pubmed_comparison.speedup("SaberLDA", "ESCA (CPU)", threshold)
+    assert speedup is not None and speedup > 1.5
+
+
+def test_fig11_saberlda_iteration_benchmark(benchmark):
+    """pytest-benchmark target: one full comparison iteration of the fastest system."""
+    replica = nytimes_replica(num_documents=80, vocabulary_size=600, seed=5)
+    params = LDAHyperParams(num_topics=REPLICA_TOPICS, alpha=0.2, beta=0.01)
+    trainer = EscaCpuTrainer(params, num_iterations=1, seed=0)
+
+    def one_iteration():
+        return trainer.fit(
+            replica.unassigned_copy(), replica.num_documents, replica.vocabulary_size
+        )
+
+    result = benchmark(one_iteration)
+    assert result.history.log_likelihood_per_token
+
+
+if __name__ == "__main__":
+    replica = nytimes_replica(num_documents=120, vocabulary_size=1_000, seed=3)
+    print(_build_report("NYTimes, K=1000", _run_comparison(NYTIMES, replica)))

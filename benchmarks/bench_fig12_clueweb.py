@@ -1,0 +1,129 @@
+"""Fig. 12 — SaberLDA on the ClueWeb12 subset (billions of tokens).
+
+The paper trains 5,000 topics on a GTX 1080 and a Titan X, and 10,000
+topics on the Titan X, converging in about five hours with throughputs
+of 135, 116 and 92 Mtoken/s respectively.  Here the likelihood
+trajectory is measured on a ClueWeb-shaped replica and the time axis is
+projected at the published 7.1-billion-token scale for each device/K
+combination.
+"""
+
+import pytest
+
+from repro.bench import emit_report, format_series, format_table
+from repro.corpus import CLUEWEB, clueweb_replica
+from repro.core import LDAHyperParams
+from repro.evaluation import project_saberlda_throughput, saberlda_curve
+from repro.gpusim import GTX_1080, TITAN_X_MAXWELL
+from repro.saberlda import SaberLDAConfig
+
+#: Published throughputs (Mtoken/s) per configuration.
+PAPER_THROUGHPUT = {
+    ("GTX 1080", 5_000): 135.0,
+    ("Titan X (Maxwell)", 5_000): 116.0,
+    ("Titan X (Maxwell)", 10_000): 92.0,
+}
+
+CONFIGURATIONS = [
+    (GTX_1080, 5_000),
+    (TITAN_X_MAXWELL, 5_000),
+    (TITAN_X_MAXWELL, 10_000),
+]
+
+REPLICA_TOPICS = 40
+NUM_ITERATIONS = 12
+
+
+def _projections():
+    return {
+        (device.name, num_topics): project_saberlda_throughput(
+            CLUEWEB, num_topics, device=device, mean_doc_nnz=130
+        )
+        for device, num_topics in CONFIGURATIONS
+    }
+
+
+def _curves():
+    replica = clueweb_replica(num_documents=150, vocabulary_size=1_200, seed=7)
+    curves = {}
+    for device, num_topics in CONFIGURATIONS:
+        config = SaberLDAConfig(
+            params=LDAHyperParams(num_topics=REPLICA_TOPICS, alpha=0.2, beta=0.01),
+            num_chunks=4,
+            device=device,
+            seed=2,
+            num_iterations=NUM_ITERATIONS,
+        )
+        curve = saberlda_curve(replica, config, CLUEWEB, cost_num_topics=num_topics)
+        curve.system = f"{device.name}, K={num_topics}"
+        curves[(device.name, num_topics)] = curve
+    return curves
+
+
+def _build_report(projections, curves) -> str:
+    rows = []
+    for key, projection in projections.items():
+        device, num_topics = key
+        rows.append(
+            [
+                device,
+                num_topics,
+                PAPER_THROUGHPUT[key],
+                round(projection.mtokens_per_second, 1),
+                round(projection.iteration_seconds, 1),
+                round(curves[key].seconds[-1] / 3600.0, 2),
+            ]
+        )
+    table = format_table(
+        ["Device", "K", "Paper Mtok/s", "Measured Mtok/s",
+         "iteration (s)", f"time for {NUM_ITERATIONS} iters (h)"],
+        rows,
+    )
+    series = "\n\n".join(
+        format_series(curve.system, curve.points()) for curve in curves.values()
+    )
+    return table + "\n\nConvergence series (seconds, LL/token):\n" + series
+
+
+@pytest.fixture(scope="module")
+def projections():
+    return _projections()
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return _curves()
+
+
+def test_fig12_clueweb_throughput_ranking(benchmark, projections, curves):
+    """GTX 1080 > Titan X at the same K; K=10,000 remains within reach of a single card."""
+    benchmark(lambda: projections[("GTX 1080", 5_000)].mtokens_per_second)
+    emit_report("fig12_clueweb", _build_report(projections, curves))
+    assert (
+        projections[("GTX 1080", 5_000)].tokens_per_second
+        > projections[("Titan X (Maxwell)", 5_000)].tokens_per_second
+    )
+    assert projections[("Titan X (Maxwell)", 10_000)].mtokens_per_second > 30
+
+    for key, paper_value in PAPER_THROUGHPUT.items():
+        measured = projections[key].mtokens_per_second
+        assert 0.4 * paper_value < measured < 2.5 * paper_value
+
+
+def test_fig12_convergence_in_hours_not_days(benchmark, curves):
+    benchmark(lambda: max(curve.seconds[-1] for curve in curves.values()))
+    """A few hundred iterations at tens of seconds each lands in the paper's ~5 hour regime."""
+    for curve in curves.values():
+        seconds_per_iteration = curve.seconds[0]
+        assert seconds_per_iteration * 300 < 24 * 3600
+
+
+def test_fig12_projection_benchmark(benchmark):
+    projection = benchmark(
+        project_saberlda_throughput, CLUEWEB, 5_000, None, GTX_1080, 130
+    )
+    assert projection.mtokens_per_second > 0
+
+
+if __name__ == "__main__":
+    print(_build_report(_projections(), _curves()))

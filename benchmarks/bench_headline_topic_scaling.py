@@ -1,0 +1,71 @@
+"""Headline claims of the abstract / Sec. 4.
+
+* Throughput drops by only ~17% when K grows from 1,000 to 10,000.
+* The optimisations give ~2.9x over the straightforward sparse GPU port.
+* SaberLDA sustains on the order of 100 Mtoken/s on a single card.
+"""
+
+import pytest
+
+from repro.bench import emit_report, format_table
+from repro.corpus import NYTIMES, nytimes_replica
+from repro.evaluation import throughput_drop_fraction, topic_scaling_profile
+from repro.gpusim import TITAN_X_MAXWELL
+from repro.saberlda import run_ablation
+
+TOPIC_COUNTS = (1_000, 3_000, 5_000, 10_000)
+
+
+def _scaling_profile():
+    return topic_scaling_profile(
+        NYTIMES, TOPIC_COUNTS, device=TITAN_X_MAXWELL, mean_doc_nnz=130
+    )
+
+
+def _build_report(profile, drop, speedup) -> str:
+    rows = [
+        [k, round(projection.mtokens_per_second, 1), round(projection.iteration_seconds, 2)]
+        for k, projection in profile.items()
+    ]
+    table = format_table(["K", "throughput (Mtok/s)", "iteration (s)"], rows)
+    return (
+        table
+        + f"\n\nThroughput drop 1k -> 10k: measured {drop:.0%}, paper ~17%"
+        + f"\nOptimisation speedup G0 -> G4: measured {speedup:.2f}x, paper ~2.9x"
+    )
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return _scaling_profile()
+
+
+def test_headline_topic_scaling(benchmark, profile):
+    """Throughput must be nearly flat in K — the central claim of the paper."""
+    drop = benchmark(throughput_drop_fraction, profile)
+
+    corpus = nytimes_replica(num_documents=150, vocabulary_size=1_500, seed=4)
+    ablation = run_ablation(
+        corpus, num_topics=1000, measured_iterations=6, reported_iterations=100,
+        descriptor=NYTIMES,
+    )
+    speedup = ablation.speedup("G0", "G4")
+    emit_report("headline_topic_scaling", _build_report(profile, drop, speedup))
+
+    assert 0.0 <= drop < 0.35
+    assert speedup > 1.5
+    assert profile[1_000].mtokens_per_second > 50
+
+
+def test_headline_throughput_monotone_but_gentle(benchmark, profile):
+    benchmark(lambda: [profile[k].tokens_per_second for k in TOPIC_COUNTS])
+    """Throughput decreases with K, but far slower than the O(K) dense systems would."""
+    throughputs = [profile[k].tokens_per_second for k in TOPIC_COUNTS]
+    assert throughputs[0] >= throughputs[-1]
+    # A dense O(K) system would lose ~10x from 1k to 10k; SaberLDA loses < 1.5x.
+    assert throughputs[0] / throughputs[-1] < 1.5
+
+
+if __name__ == "__main__":
+    profile = _scaling_profile()
+    print(_build_report(profile, throughput_drop_fraction(profile), float("nan")))

@@ -1,0 +1,58 @@
+"""Table 1 — scale supported by GPU-based LDA systems.
+
+Reprints the published capacity table and derives, from the memory
+model, the maximum topic count a dense-matrix design versus SaberLDA's
+streaming design can support on the paper's GPUs.
+"""
+
+from repro.bench import emit_report, format_table
+from repro.corpus import NYTIMES, PUBMED
+from repro.evaluation import (
+    derived_capacity_comparison,
+    max_topics_dense,
+    max_topics_saberlda,
+    published_capacity_table,
+)
+from repro.gpusim import GTX_1080, TITAN_X_MAXWELL
+
+
+def _build_report() -> str:
+    published = format_table(
+        ["System", "D", "K", "V", "T"],
+        [
+            [entry.system, entry.num_documents, entry.num_topics,
+             entry.vocabulary_size, entry.num_tokens]
+            for entry in published_capacity_table()
+        ],
+    )
+    derived_rows = []
+    for descriptor in (NYTIMES, PUBMED):
+        for device in (GTX_1080, TITAN_X_MAXWELL):
+            derived_rows.append(
+                [
+                    descriptor.name,
+                    device.name,
+                    max_topics_dense(descriptor, device),
+                    max_topics_saberlda(descriptor, device),
+                ]
+            )
+    derived = format_table(
+        ["Dataset", "Device", "max K (dense design)", "max K (SaberLDA)"], derived_rows
+    )
+    return (
+        "Published Table 1 (paper values):\n"
+        + published
+        + "\n\nDerived capacity limits from the memory model:\n"
+        + derived
+    )
+
+
+def test_table1_capacity(benchmark):
+    """Benchmark the capacity derivation and emit the Table 1 report."""
+    comparison = benchmark(derived_capacity_comparison, NYTIMES, GTX_1080)
+    assert comparison["saberlda_max_topics"] > comparison["dense_design_max_topics"]
+    emit_report("table1_capacity", _build_report())
+
+
+if __name__ == "__main__":
+    print(_build_report())

@@ -1,0 +1,53 @@
+"""Table 2 — memory consumption of the PubMed data structures versus K.
+
+Regenerates the dense/sparse footprint of every data item for
+K in {100, 1k, 10k} and compares against the published numbers.
+"""
+
+from repro.bench import emit_report, format_table
+from repro.corpus import PUBMED
+from repro.evaluation import memory_footprint, table2_rows
+
+#: Published Table 2 values in GB, keyed by K.
+PAPER_VALUES = {
+    100: {"word_topic_dense": 0.108, "token_list": 8.65, "doc_topic_dense": 3.2,
+          "doc_topic_sparse": 5.8},
+    1_000: {"word_topic_dense": 1.08, "token_list": 8.65, "doc_topic_dense": 32.0,
+            "doc_topic_sparse": 5.8},
+    10_000: {"word_topic_dense": 10.8, "token_list": 8.65, "doc_topic_dense": 320.0,
+             "doc_topic_sparse": 5.8},
+}
+
+
+def _build_report() -> str:
+    rows = []
+    measured = table2_rows(PUBMED)
+    for num_topics, paper in PAPER_VALUES.items():
+        ours = measured[num_topics]
+        for item in ("word_topic_dense", "token_list", "doc_topic_dense", "doc_topic_sparse"):
+            rows.append([f"K={num_topics}", item, paper[item], round(ours[item], 3)])
+    return format_table(["Setting", "Data item", "Paper (GB)", "Measured (GB)"], rows)
+
+
+def test_table2_memory_footprint(benchmark):
+    """Benchmark the footprint computation and check it tracks the paper within 10%."""
+    footprints = benchmark(table2_rows, PUBMED)
+    for num_topics, paper in PAPER_VALUES.items():
+        ours = footprints[num_topics]
+        assert ours["doc_topic_dense"] == round(paper["doc_topic_dense"], 1) or (
+            abs(ours["doc_topic_dense"] - paper["doc_topic_dense"]) / paper["doc_topic_dense"] < 0.1
+        )
+        assert abs(ours["word_topic_dense"] - paper["word_topic_dense"]) / paper[
+            "word_topic_dense"
+        ] < 0.1
+    emit_report("table2_memory", _build_report())
+
+
+def test_table2_sparse_wins_beyond_1000_topics(benchmark):
+    """The CSR layout must beat the dense layout for K >= 1000 (the paper's motivation)."""
+    footprint = benchmark(memory_footprint, PUBMED, 1_000)
+    assert footprint.doc_topic_sparse_bytes < footprint.doc_topic_dense_bytes
+
+
+if __name__ == "__main__":
+    print(_build_report())

@@ -1,0 +1,60 @@
+"""Table 3 — dataset statistics (D, T, V, T/D).
+
+Prints the published full-scale statistics next to the scaled replicas
+actually used by the measured experiments, and benchmarks replica
+generation (the workload generator every other bench relies on).
+"""
+
+from repro.bench import emit_report, format_table
+from repro.corpus import (
+    CLUEWEB,
+    NYTIMES,
+    PUBMED,
+    clueweb_replica,
+    nytimes_replica,
+    pubmed_replica,
+)
+
+
+def _build_report() -> str:
+    replicas = {
+        "NYTimes": nytimes_replica(num_documents=300, vocabulary_size=2_000, seed=0),
+        "PubMed": pubmed_replica(num_documents=600, vocabulary_size=2_000, seed=0),
+        "ClueWeb12-subset": clueweb_replica(num_documents=300, vocabulary_size=2_000, seed=0),
+    }
+    rows = []
+    for descriptor in (NYTIMES, PUBMED, CLUEWEB):
+        replica = replicas[descriptor.name]
+        rows.append(
+            [
+                descriptor.name,
+                descriptor.num_documents,
+                descriptor.num_tokens,
+                descriptor.vocabulary_size,
+                round(descriptor.tokens_per_document, 1),
+                replica.num_documents,
+                replica.num_tokens,
+                round(replica.tokens_per_document, 1),
+            ]
+        )
+    return format_table(
+        ["Dataset", "D (paper)", "T (paper)", "V (paper)", "T/D (paper)",
+         "D (replica)", "T (replica)", "T/D (replica)"],
+        rows,
+    )
+
+
+def test_table3_dataset_statistics(benchmark):
+    """Benchmark replica generation and confirm replicas keep the published T/D shape."""
+    replica = benchmark(nytimes_replica, 300, 2_000, 0)
+    assert abs(replica.tokens_per_document - NYTIMES.tokens_per_document) < 120
+    emit_report("table3_datasets", _build_report())
+
+
+def test_table3_pubmed_documents_are_short(benchmark):
+    replica = benchmark(pubmed_replica, 400, 1_500, 0)
+    assert replica.tokens_per_document < NYTIMES.tokens_per_document
+
+
+if __name__ == "__main__":
+    print(_build_report())

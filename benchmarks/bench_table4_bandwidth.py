@@ -1,0 +1,72 @@
+"""Table 4 — memory bandwidth utilisation of the sampling kernel.
+
+The paper profiles the first iterations of NYTimes (K = 1000) and
+reports the achieved throughput and utilisation of global memory, L2,
+unified L1 and shared memory.  Here the same table is produced from the
+simulator's traffic counters and roofline timing at the published
+NYTimes scale.
+"""
+
+import pytest
+
+from repro.bench import comparison_row, emit_report, format_table
+from repro.corpus import NYTIMES
+from repro.gpusim import GTX_1080, CostModel, PHASE_SAMPLING
+from repro.saberlda import SaberLDAConfig, WorkloadStats
+from repro.saberlda.projection import cost_iteration_phases
+
+#: Published Table 4 (GB/s and utilisation).
+PAPER_TABLE4 = {
+    "global": {"throughput": 144.0, "utilization": 0.50},
+    "l2": {"throughput": 203.0, "utilization": 0.30},
+    "l1": {"throughput": 894.0, "utilization": 0.20},
+    "shared": {"throughput": 458.0, "utilization": 0.20},
+}
+
+
+def _measured_table():
+    config = SaberLDAConfig.paper_defaults(1000, num_chunks=3)
+    stats = WorkloadStats.from_descriptor(
+        NYTIMES, 1000, GTX_1080, num_chunks=3, mean_doc_nnz=130
+    )
+    cost = cost_iteration_phases(stats, config)
+    report = CostModel(GTX_1080).bandwidth_report(
+        cost.phase_traffic[PHASE_SAMPLING], cost.phase_seconds[PHASE_SAMPLING]
+    )
+    return report
+
+
+def _build_report(measured) -> str:
+    rows = []
+    for level in ("global", "l2", "l1", "shared"):
+        rows.append(
+            [
+                level,
+                f"{PAPER_TABLE4[level]['throughput']:.0f} GB/s",
+                f"{measured[level]['throughput'] / 1e9:.0f} GB/s",
+                f"{PAPER_TABLE4[level]['utilization']:.0%}",
+                f"{measured[level]['utilization']:.0%}",
+            ]
+        )
+    return format_table(
+        ["Level", "Paper throughput", "Measured throughput", "Paper util", "Measured util"],
+        rows,
+    )
+
+
+def test_table4_bandwidth_utilisation(benchmark):
+    """Global memory must be the bottleneck at roughly half of its peak bandwidth."""
+    measured = benchmark(_measured_table)
+    emit_report("table4_bandwidth", _build_report(measured))
+
+    assert measured["global"]["utilization"] == pytest.approx(0.5, abs=0.15)
+    # The cache levels are well below saturation, as in the paper.
+    assert measured["l2"]["utilization"] < 0.6
+    assert measured["l1"]["utilization"] < 0.6
+    assert measured["shared"]["utilization"] < 0.6
+    # Global memory is the binding resource.
+    assert measured["global"]["utilization"] > measured["l2"]["utilization"]
+
+
+if __name__ == "__main__":
+    print(_build_report(_measured_table()))

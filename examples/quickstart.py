@@ -1,0 +1,85 @@
+"""Quickstart: train SaberLDA on a synthetic corpus and inspect the topics.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script generates a small LDA-distributed corpus, trains SaberLDA on
+the simulated GPU, prints the convergence trace (simulated seconds and
+per-token log-likelihood), the top words of a few topics, and the
+inferred topic mixture of one document.
+"""
+
+from __future__ import annotations
+
+from repro import LDAHyperParams, SaberLDAConfig, train_saberlda
+from repro.corpus import generate_lda_corpus
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. A corpus.  Real applications would map their bag-of-words data to
+    #    a TokenList; here we draw one from the LDA generative model so
+    #    there is ground-truth structure to recover.
+    # ------------------------------------------------------------------ #
+    corpus = generate_lda_corpus(
+        num_documents=300,
+        vocabulary_size=1_000,
+        num_topics=20,
+        mean_document_length=80,
+        seed=7,
+    )
+    print(f"Corpus: {corpus.summary()}")
+
+    # ------------------------------------------------------------------ #
+    # 2. Configure and train SaberLDA.
+    # ------------------------------------------------------------------ #
+    config = SaberLDAConfig(
+        params=LDAHyperParams(num_topics=20, alpha=0.1, beta=0.01),
+        num_iterations=25,
+        num_chunks=3,
+        num_workers=4,
+        seed=0,
+    )
+    result = train_saberlda(
+        corpus.unassigned_copy(),
+        corpus.num_documents,
+        corpus.vocabulary_size,
+        config,
+        vocabulary=corpus.vocabulary.words(),
+    )
+
+    print("\nConvergence (simulated GPU seconds, log-likelihood per token):")
+    for record in result.history[::5] + [result.history[-1]]:
+        print(
+            f"  iter {record.iteration:3d}  "
+            f"t={record.cumulative_simulated_seconds:8.4f}s  "
+            f"LL/token={record.log_likelihood_per_token:8.4f}  "
+            f"K_d={record.mean_doc_nnz:5.1f}"
+        )
+
+    throughput = result.throughput_tokens_per_second() / 1e6
+    print(f"\nSimulated throughput: {throughput:.1f} Mtoken/s on {config.device.name}")
+    print(f"Wall-clock training time of this script: {result.wall_seconds:.1f}s")
+
+    # ------------------------------------------------------------------ #
+    # 3. Inspect the learned topics.
+    # ------------------------------------------------------------------ #
+    print("\nTop words of the first four topics:")
+    for topic_id in range(4):
+        words = ", ".join(word for word, _p in result.model.top_words(topic_id, num_words=6))
+        print(f"  topic {topic_id}: {words}")
+
+    # ------------------------------------------------------------------ #
+    # 4. Infer the topic mixture of one (training) document.
+    # ------------------------------------------------------------------ #
+    doc_words = corpus.tokens.word_ids[corpus.tokens.doc_ids == 0]
+    theta = result.model.infer_document(doc_words.tolist())
+    top_topics = theta.argsort()[::-1][:3]
+    print("\nDocument 0 topic mixture (top 3):")
+    for topic_id in top_topics:
+        print(f"  topic {topic_id}: {theta[topic_id]:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Scaling and ablation study: reproduce the paper's performance story end to end.
+
+This example drives the evaluation stack the way Sec. 4 of the paper
+does:
+
+1. project SaberLDA's throughput on the published NYTimes corpus as the
+   topic count grows from 1,000 to 10,000 (the headline claim: only a
+   small drop);
+2. run the G0..G4 optimisation ablation at NYTimes scale (Fig. 9);
+3. compare time-to-convergence against the CPU and dense-GPU baselines
+   on a scaled replica (Fig. 11);
+4. show the memory-footprint argument for the CSR document-topic matrix
+   (Table 2).
+
+Run with::
+
+    python examples/scaling_and_ablation_study.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import DenseGpuTrainer, EscaCpuTrainer, WarpLdaTrainer
+from repro.core import LDAHyperParams
+from repro.corpus import NYTIMES, PUBMED, nytimes_replica
+from repro.evaluation import (
+    compare_systems,
+    table2_rows,
+    throughput_drop_fraction,
+    topic_scaling_profile,
+)
+from repro.gpusim import TITAN_X_MAXWELL
+from repro.saberlda import SaberLDAConfig, run_ablation
+
+
+def topic_scaling() -> None:
+    print("=== 1. Topic scaling (NYTimes, Titan X) ===")
+    profile = topic_scaling_profile(
+        NYTIMES, (1_000, 3_000, 5_000, 10_000), device=TITAN_X_MAXWELL, mean_doc_nnz=130
+    )
+    for num_topics, projection in profile.items():
+        print(
+            f"  K={num_topics:6d}: {projection.mtokens_per_second:6.1f} Mtoken/s, "
+            f"{projection.iteration_seconds:5.2f} s/iteration"
+        )
+    print(f"  throughput drop 1k -> 10k: {throughput_drop_fraction(profile):.0%} (paper: ~17%)\n")
+
+
+def optimisation_ablation() -> None:
+    print("=== 2. Optimisation ablation G0..G4 (NYTimes scale, 100 iterations) ===")
+    corpus = nytimes_replica(num_documents=200, vocabulary_size=2_000, seed=1)
+    report = run_ablation(
+        corpus, num_topics=1_000, measured_iterations=8, reported_iterations=100,
+        descriptor=NYTIMES,
+    )
+    for entry in report.entries:
+        phases = ", ".join(f"{k}={v:6.1f}s" for k, v in entry.phase_seconds.items())
+        print(f"  {entry.name}: total={entry.total_seconds:6.1f}s ({phases})")
+    print(f"  G0 -> G4 speedup: {report.speedup():.2f}x (paper: ~2.9x)\n")
+
+
+def convergence_comparison() -> None:
+    print("=== 3. Convergence versus baselines (NYTimes replica, costed at K=1000) ===")
+    replica = nytimes_replica(num_documents=120, vocabulary_size=1_000, seed=3)
+    params = LDAHyperParams(num_topics=40, alpha=0.2, beta=0.01)
+    comparison = compare_systems(
+        replica,
+        num_topics=40,
+        baselines=[
+            DenseGpuTrainer(params, seed=1, check_memory=False),
+            EscaCpuTrainer(params, seed=1),
+            WarpLdaTrainer(params, seed=1),
+        ],
+        saberlda_config=SaberLDAConfig(params=params, num_chunks=3, seed=1),
+        descriptor=NYTIMES,
+        num_iterations=12,
+        seed=1,
+        cost_num_topics=1_000,
+    )
+    threshold = comparison.common_threshold(quantile=0.9)
+    for system, curve in comparison.curves.items():
+        reach = curve.time_to_reach(threshold)
+        reach_text = f"{reach:7.1f}s" if reach is not None else "   n/a"
+        print(
+            f"  {system:22s}: final LL/token {curve.final_likelihood():7.3f}, "
+            f"time to {threshold:.2f}: {reach_text}"
+        )
+    print()
+
+
+def memory_argument() -> None:
+    print("=== 4. Memory footprint of the PubMed data structures (Table 2) ===")
+    for num_topics, row in table2_rows(PUBMED).items():
+        print(
+            f"  K={num_topics:6d}: B/B̂ {row['word_topic_dense']:6.2f} GB, "
+            f"L {row['token_list']:5.2f} GB, "
+            f"A dense {row['doc_topic_dense']:7.2f} GB, A sparse {row['doc_topic_sparse']:5.2f} GB"
+        )
+    print("  -> the CSR document-topic matrix is what makes 10,000 topics feasible on one GPU")
+
+
+def main() -> None:
+    topic_scaling()
+    optimisation_ablation()
+    convergence_comparison()
+    memory_argument()
+
+
+if __name__ == "__main__":
+    main()

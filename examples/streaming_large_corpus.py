@@ -1,0 +1,97 @@
+"""Streaming a corpus that does not fit on the device (PDOW + workers).
+
+The defining constraint of SaberLDA's design is that the token list and
+the document-topic matrix cannot be held in GPU memory for billion-token
+corpora (Sec. 3.1.2).  This example shows the streaming machinery
+explicitly:
+
+* the memory planner decides how many partition-by-document chunks a
+  full-scale corpus needs on a given card;
+* the PDOW layout orders each chunk by word and schedules frequent words
+  first;
+* the stream scheduler shows how much of the PCIe transfer time is
+  hidden as the number of workers grows.
+
+Run with::
+
+    python examples/streaming_large_corpus.py
+"""
+
+from __future__ import annotations
+
+from repro.corpus import CLUEWEB, PUBMED, pubmed_replica
+from repro.evaluation import memory_footprint, minimum_chunks_required, project_saberlda_throughput
+from repro.gpusim import GTX_1080, TITAN_X_MAXWELL, ChunkWork, simulate_stream_schedule
+from repro.saberlda import SaberLDAConfig, build_layout
+
+
+def plan_full_scale_runs() -> None:
+    print("=== Streaming plan for the published corpora ===")
+    for descriptor in (PUBMED, CLUEWEB):
+        for device in (GTX_1080, TITAN_X_MAXWELL):
+            for num_topics in (1_000, 5_000):
+                footprint = memory_footprint(descriptor, num_topics)
+                try:
+                    chunks = minimum_chunks_required(descriptor, num_topics, device)
+                except ValueError as error:
+                    print(f"  {descriptor.name:18s} K={num_topics:5d} on {device.name:18s}: {error}")
+                    continue
+                streamed_gb = (
+                    footprint.token_list_bytes + footprint.doc_topic_sparse_bytes
+                ) / 1e9
+                print(
+                    f"  {descriptor.name:18s} K={num_topics:5d} on {device.name:18s}: "
+                    f"B/B̂ resident {footprint.word_topic_dense_bytes / 1e9:5.2f} GB, "
+                    f"streaming {streamed_gb:6.1f} GB in {chunks} chunk(s)"
+                )
+    print()
+
+
+def inspect_pdow_layout() -> None:
+    print("=== PDOW layout of a PubMed-shaped replica ===")
+    corpus = pubmed_replica(num_documents=500, vocabulary_size=2_000, seed=3)
+    config = SaberLDAConfig.paper_defaults(100, num_chunks=4)
+    layouts = build_layout(corpus.tokens, corpus.num_documents, config)
+    for layout in layouts:
+        head = layout.word_runs[0] if layout.word_runs else None
+        head_text = (
+            f"most frequent word {head.word_id} with {head.num_tokens} tokens"
+            if head
+            else "empty"
+        )
+        print(
+            f"  chunk {layout.chunk.chunk_id}: documents "
+            f"[{layout.chunk.doc_start}, {layout.chunk.doc_stop}), "
+            f"{layout.num_tokens} tokens, {layout.distinct_words()} distinct words, {head_text}"
+        )
+    print()
+
+
+def show_transfer_overlap() -> None:
+    print("=== Hiding PCIe transfers with multiple workers (PubMed, K=1000) ===")
+    projection = project_saberlda_throughput(PUBMED, 1_000, device=GTX_1080, mean_doc_nnz=60)
+    num_chunks = 10
+    chunk_compute = projection.phase_seconds["sampling"] / num_chunks
+    footprint = memory_footprint(PUBMED, 1_000)
+    chunk_bytes = (footprint.token_list_bytes * 1.5 + footprint.doc_topic_sparse_bytes * 2) / num_chunks
+    chunks = [ChunkWork(transfer_bytes=chunk_bytes, compute_seconds=chunk_compute)] * num_chunks
+    for workers in (1, 2, 4, 8):
+        schedule = simulate_stream_schedule(chunks, GTX_1080, workers)
+        print(
+            f"  {workers} worker(s): iteration {schedule.makespan_seconds:6.2f}s, "
+            f"{schedule.hidden_transfer_fraction:5.0%} of transfer time hidden"
+        )
+    print(
+        f"\n  Projected full-scale throughput: {projection.mtokens_per_second:.1f} Mtoken/s "
+        f"on {projection.device}"
+    )
+
+
+def main() -> None:
+    plan_full_scale_runs()
+    inspect_pdow_layout()
+    show_transfer_overlap()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro — a reproduction of SaberLDA (ASPLOS 2017).
+
+SaberLDA is a sparsity-aware LDA training system for GPUs; this package
+re-implements the algorithm, the GPU-specific data structures (PDOW
+layout, warp-based sampling, W-ary trees, SSC) on a simulated GPU, the
+baselines the paper compares against, and the evaluation/benchmark
+harness that regenerates every table and figure of the paper.
+
+Typical usage::
+
+    from repro import LDAHyperParams, SaberLDAConfig, train_saberlda
+    from repro.corpus import nytimes_replica
+
+    corpus = nytimes_replica(num_documents=500, vocabulary_size=2000)
+    config = SaberLDAConfig.paper_defaults(num_topics=200, num_iterations=30)
+    result = train_saberlda(
+        corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size, config
+    )
+    print(result.model.top_words(0))
+"""
+
+from .core import (
+    LDAHyperParams,
+    LDAModel,
+    LikelihoodResult,
+    SparseDocTopicMatrix,
+    TokenList,
+)
+from .saberlda import SaberLDAConfig, SaberLDATrainer, TrainingResult, train_saberlda
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LDAHyperParams",
+    "LDAModel",
+    "LikelihoodResult",
+    "SaberLDAConfig",
+    "SaberLDATrainer",
+    "SparseDocTopicMatrix",
+    "TokenList",
+    "TrainingResult",
+    "train_saberlda",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Benchmark harness utilities: table/series formatting and report persistence."""
+
+from .reporting import (
+    banner,
+    comparison_row,
+    emit_report,
+    format_series,
+    format_table,
+    results_dir,
+)
+
+__all__ = [
+    "banner",
+    "comparison_row",
+    "emit_report",
+    "format_series",
+    "format_table",
+    "results_dir",
+]

@@ -1,0 +1,76 @@
+"""Reporting helpers shared by the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures; these
+helpers render the rows/series as plain-text tables, print them to
+stdout (visible with ``pytest -s`` or in the benchmark logs) and save
+them under ``benchmarks/results/`` so EXPERIMENTS.md can reference the
+latest run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple fixed-width text table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: Iterable[Sequence[float]]) -> str:
+    """Render an (x, y) series as two columns, for convergence curves."""
+    lines = [f"# {name}", "x  y"]
+    for x, y in points:
+        lines.append(f"{_fmt(x)}  {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def banner(title: str) -> str:
+    """A visually distinct section header."""
+    bar = "=" * max(len(title), 8)
+    return f"\n{bar}\n{title}\n{bar}"
+
+
+def results_dir() -> str:
+    """Directory where bench reports are written (created on demand)."""
+    path = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def emit_report(name: str, text: str) -> str:
+    """Print a report and persist it under ``benchmarks/results/<name>.txt``."""
+    print(banner(name))
+    print(text)
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return path
+
+
+def comparison_row(label: str, paper_value: object, measured_value: object) -> List[object]:
+    """One row of a paper-vs-measured comparison table."""
+    return [label, _fmt(paper_value), _fmt(measured_value)]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

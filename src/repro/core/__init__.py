@@ -1,0 +1,38 @@
+"""Core LDA data structures shared by all samplers and the SaberLDA system."""
+
+from .count_matrices import (
+    SparseDocTopicMatrix,
+    count_by_doc_topic_dense,
+    count_by_word_topic,
+    normalize_word_topic,
+)
+from .hyperparams import LDAHyperParams
+from .likelihood import (
+    LikelihoodResult,
+    document_topic_distributions,
+    heldout_log_likelihood,
+    log_likelihood_from_tokens,
+    split_heldout_documents,
+    training_log_likelihood,
+)
+from .model import LDAModel
+from .serialization import load_model, save_model
+from .tokens import TokenList
+
+__all__ = [
+    "LDAHyperParams",
+    "LDAModel",
+    "LikelihoodResult",
+    "SparseDocTopicMatrix",
+    "TokenList",
+    "count_by_doc_topic_dense",
+    "count_by_word_topic",
+    "document_topic_distributions",
+    "heldout_log_likelihood",
+    "load_model",
+    "log_likelihood_from_tokens",
+    "normalize_word_topic",
+    "save_model",
+    "split_heldout_documents",
+    "training_log_likelihood",
+]

@@ -1,0 +1,49 @@
+"""Hyper-parameters for LDA training.
+
+The paper (Sec. 4) follows earlier work and sets ``alpha = 50 / K`` and
+``beta = 0.01``.  :class:`LDAHyperParams` captures these two Dirichlet
+concentration parameters together with the number of topics ``K`` and
+provides the conventional defaults used throughout the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LDAHyperParams:
+    """Dirichlet hyper-parameters of an LDA model.
+
+    Attributes
+    ----------
+    num_topics:
+        ``K`` — the number of latent topics.
+    alpha:
+        Symmetric Dirichlet prior on the per-document topic distribution.
+        Large values encourage documents to mix many topics; small values
+        encourage concentrated documents.
+    beta:
+        Symmetric Dirichlet prior on the per-topic word distribution.
+    """
+
+    num_topics: int
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.num_topics < 1:
+            raise ValueError(f"num_topics must be >= 1, got {self.num_topics}")
+        if self.alpha <= 0:
+            raise ValueError(f"alpha must be > 0, got {self.alpha}")
+        if self.beta <= 0:
+            raise ValueError(f"beta must be > 0, got {self.beta}")
+
+    @classmethod
+    def paper_defaults(cls, num_topics: int, beta: float = 0.01) -> "LDAHyperParams":
+        """Return the hyper-parameters used in the paper: ``alpha = 50/K``."""
+        return cls(num_topics=num_topics, alpha=50.0 / num_topics, beta=beta)
+
+    def with_topics(self, num_topics: int) -> "LDAHyperParams":
+        """Return a copy with a different topic count (alpha is *not* rescaled)."""
+        return LDAHyperParams(num_topics=num_topics, alpha=self.alpha, beta=self.beta)

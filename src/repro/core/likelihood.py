@@ -1,0 +1,158 @@
+"""Model-quality metrics: log-likelihood of held-out and training data.
+
+The paper assesses model quality by the *hold-out log-likelihood per
+token* using the partially-observed-document approach of Wallach et
+al. [19]: each held-out document is split into an *observed* half, used
+to estimate the document's topic mixture, and an *evaluation* half, whose
+per-token log-likelihood is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .count_matrices import count_by_doc_topic_dense, normalize_word_topic
+from .hyperparams import LDAHyperParams
+from .tokens import TokenList
+
+
+@dataclass(frozen=True)
+class LikelihoodResult:
+    """Log-likelihood summary.
+
+    Attributes
+    ----------
+    total_log_likelihood:
+        Sum of per-token log probabilities.
+    num_tokens:
+        Number of tokens the likelihood was evaluated on.
+    """
+
+    total_log_likelihood: float
+    num_tokens: int
+
+    @property
+    def per_token(self) -> float:
+        """Average log-likelihood per token (the metric of Figs. 11 and 12)."""
+        if self.num_tokens == 0:
+            return 0.0
+        return self.total_log_likelihood / self.num_tokens
+
+    @property
+    def perplexity(self) -> float:
+        """``exp(-per_token)`` — lower is better."""
+        return float(np.exp(-self.per_token))
+
+
+def document_topic_distributions(
+    doc_topic_counts: np.ndarray, alpha: float
+) -> np.ndarray:
+    """Posterior-mean per-document topic distributions ``theta``.
+
+    ``theta[d, k] = (A[d, k] + alpha) / (N_d + K * alpha)``.
+    """
+    counts = np.asarray(doc_topic_counts, dtype=np.float64)
+    num_topics = counts.shape[1]
+    totals = counts.sum(axis=1, keepdims=True) + num_topics * alpha
+    return (counts + alpha) / totals
+
+
+def training_log_likelihood(
+    tokens: TokenList,
+    doc_topic_counts: np.ndarray,
+    word_topic_counts: np.ndarray,
+    params: LDAHyperParams,
+) -> LikelihoodResult:
+    """Per-token log-likelihood of the *training* tokens under the current model.
+
+    Each token's probability is ``sum_k theta[d, k] * phi[k, v]`` where
+    ``theta`` is the smoothed document mixture and ``phi = B_hat^T`` the
+    smoothed topic-word distributions.
+    """
+    if tokens.num_tokens == 0:
+        return LikelihoodResult(0.0, 0)
+    theta = document_topic_distributions(doc_topic_counts, params.alpha)
+    phi = normalize_word_topic(word_topic_counts, params.beta)  # V x K, columns sum to 1
+    token_probs = np.einsum(
+        "tk,tk->t", theta[tokens.doc_ids], phi[tokens.word_ids], optimize=True
+    )
+    token_probs = np.maximum(token_probs, 1e-300)
+    return LikelihoodResult(float(np.log(token_probs).sum()), tokens.num_tokens)
+
+
+def split_heldout_documents(
+    tokens: TokenList, rng: np.random.Generator, observed_fraction: float = 0.5
+) -> Tuple[TokenList, TokenList]:
+    """Split each document's tokens into observed / evaluation halves.
+
+    Used by the partially-observed-document estimator: the observed half
+    infers the document's topic mixture, the evaluation half is scored.
+    """
+    if not 0.0 < observed_fraction < 1.0:
+        raise ValueError("observed_fraction must be in (0, 1)")
+    mask = rng.random(tokens.num_tokens) < observed_fraction
+    # Guarantee at least one observed token per non-empty document so the
+    # mixture estimate is never purely the prior.
+    for d in np.unique(tokens.doc_ids):
+        doc_positions = np.nonzero(tokens.doc_ids == d)[0]
+        if not mask[doc_positions].any():
+            mask[doc_positions[0]] = True
+    return tokens.select(mask), tokens.select(~mask)
+
+
+def heldout_log_likelihood(
+    heldout: TokenList,
+    word_topic_counts: np.ndarray,
+    params: LDAHyperParams,
+    rng: np.random.Generator,
+    observed_fraction: float = 0.5,
+    num_fold_in_iterations: int = 20,
+) -> LikelihoodResult:
+    """Hold-out log-likelihood with the partially-observed-document approach.
+
+    The word-topic model (``B``) is frozen.  For every held-out document we
+    run a short fold-in loop: repeatedly re-estimate the document mixture
+    from the observed half and resample soft responsibilities, then score
+    the evaluation half under the resulting mixture.
+    """
+    if heldout.num_tokens == 0:
+        return LikelihoodResult(0.0, 0)
+    observed, evaluation = split_heldout_documents(heldout, rng, observed_fraction)
+    num_documents = max(heldout.num_documents, 1)
+    num_topics = params.num_topics
+    phi = normalize_word_topic(word_topic_counts, params.beta)  # V x K
+
+    # Soft fold-in (EM on theta with phi fixed): responsibilities per observed token.
+    theta = np.full((num_documents, num_topics), 1.0 / num_topics)
+    obs_phi = phi[observed.word_ids]  # n_obs x K
+    for _ in range(num_fold_in_iterations):
+        resp = theta[observed.doc_ids] * obs_phi
+        resp_sum = resp.sum(axis=1, keepdims=True)
+        resp_sum = np.maximum(resp_sum, 1e-300)
+        resp /= resp_sum
+        expected_counts = np.zeros_like(theta)
+        np.add.at(expected_counts, observed.doc_ids, resp)
+        theta = document_topic_distributions(expected_counts, params.alpha)
+
+    eval_probs = np.einsum(
+        "tk,tk->t", theta[evaluation.doc_ids], phi[evaluation.word_ids], optimize=True
+    )
+    eval_probs = np.maximum(eval_probs, 1e-300)
+    return LikelihoodResult(float(np.log(eval_probs).sum()), evaluation.num_tokens)
+
+
+def log_likelihood_from_tokens(
+    tokens: TokenList,
+    num_documents: int,
+    vocabulary_size: int,
+    params: LDAHyperParams,
+) -> LikelihoodResult:
+    """Convenience wrapper: rebuild both count matrices and score the training set."""
+    from .count_matrices import count_by_word_topic  # local import avoids cycle at module load
+
+    doc_topic = count_by_doc_topic_dense(tokens, num_documents, params.num_topics)
+    word_topic = count_by_word_topic(tokens, vocabulary_size, params.num_topics)
+    return training_log_likelihood(tokens, doc_topic, word_topic, params)

@@ -1,0 +1,123 @@
+"""Trained-model container and topic inspection helpers.
+
+:class:`LDAModel` bundles the learned word-topic counts with the
+hyper-parameters and exposes the quantities downstream applications care
+about: smoothed topic-word distributions, top words per topic, and
+inference of topic mixtures for new documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .count_matrices import normalize_word_topic
+from .hyperparams import LDAHyperParams
+from .likelihood import document_topic_distributions
+
+
+@dataclass
+class LDAModel:
+    """A trained LDA model.
+
+    Attributes
+    ----------
+    word_topic_counts:
+        Dense ``V x K`` count matrix ``B`` after the final M-step.
+    params:
+        Hyper-parameters the model was trained with.
+    vocabulary:
+        Optional list of word strings indexed by word id; when absent,
+        words are reported as ``w<id>``.
+    metadata:
+        Free-form training metadata (iterations, throughput, seed, ...).
+    """
+
+    word_topic_counts: np.ndarray
+    params: LDAHyperParams
+    vocabulary: Sequence[str] | None = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.word_topic_counts = np.asarray(self.word_topic_counts)
+        if self.word_topic_counts.ndim != 2:
+            raise ValueError("word_topic_counts must be a V x K matrix")
+        if self.word_topic_counts.shape[1] != self.params.num_topics:
+            raise ValueError(
+                "word_topic_counts has "
+                f"{self.word_topic_counts.shape[1]} columns but params.num_topics is "
+                f"{self.params.num_topics}"
+            )
+        if self.vocabulary is not None and len(self.vocabulary) != self.vocabulary_size:
+            raise ValueError("vocabulary length must equal the number of matrix rows")
+
+    # ------------------------------------------------------------------ #
+    # Shapes
+    # ------------------------------------------------------------------ #
+    @property
+    def num_topics(self) -> int:
+        """``K``."""
+        return self.params.num_topics
+
+    @property
+    def vocabulary_size(self) -> int:
+        """``V``."""
+        return int(self.word_topic_counts.shape[0])
+
+    # ------------------------------------------------------------------ #
+    # Distributions
+    # ------------------------------------------------------------------ #
+    def topic_word_distributions(self) -> np.ndarray:
+        """``B_hat`` — a ``V x K`` matrix whose columns are proper distributions."""
+        return normalize_word_topic(self.word_topic_counts, self.params.beta)
+
+    def word_name(self, word_id: int) -> str:
+        """Human-readable name of a word id."""
+        if self.vocabulary is not None:
+            return str(self.vocabulary[word_id])
+        return f"w{word_id}"
+
+    def top_words(self, topic_id: int, num_words: int = 10) -> List[Tuple[str, float]]:
+        """The ``num_words`` most probable words of one topic with their probabilities."""
+        if not 0 <= topic_id < self.num_topics:
+            raise ValueError(f"topic_id must be in [0, {self.num_topics}), got {topic_id}")
+        column = self.topic_word_distributions()[:, topic_id]
+        order = np.argsort(column)[::-1][:num_words]
+        return [(self.word_name(int(v)), float(column[v])) for v in order]
+
+    def all_top_words(self, num_words: int = 10) -> List[List[Tuple[str, float]]]:
+        """Top words for every topic."""
+        return [self.top_words(k, num_words) for k in range(self.num_topics)]
+
+    # ------------------------------------------------------------------ #
+    # Inference on new documents
+    # ------------------------------------------------------------------ #
+    def infer_document(
+        self, word_ids: Sequence[int], num_iterations: int = 30
+    ) -> np.ndarray:
+        """Infer the topic mixture of an unseen document (soft fold-in EM)."""
+        word_ids = np.asarray(word_ids, dtype=np.int64)
+        phi = self.topic_word_distributions()
+        if len(word_ids) == 0:
+            return np.full(self.num_topics, 1.0 / self.num_topics)
+        token_phi = phi[word_ids]  # n x K
+        theta = np.full(self.num_topics, 1.0 / self.num_topics)
+        for _ in range(num_iterations):
+            resp = token_phi * theta[None, :]
+            resp /= np.maximum(resp.sum(axis=1, keepdims=True), 1e-300)
+            expected = resp.sum(axis=0)
+            theta = document_topic_distributions(expected[None, :], self.params.alpha)[0]
+        return theta
+
+    def topic_coherence_proxy(self, num_words: int = 10) -> float:
+        """A cheap topic-quality proxy: mean probability mass of each topic's top words.
+
+        Well-separated topics concentrate probability on a few words; this
+        returns the average mass captured by the top ``num_words`` of every
+        topic (1.0 would mean perfectly concentrated topics).
+        """
+        phi = self.topic_word_distributions()
+        top = np.sort(phi, axis=0)[::-1][:num_words, :]
+        return float(top.sum(axis=0).mean())

@@ -1,0 +1,56 @@
+"""Model persistence: save and load trained LDA models as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+import numpy as np
+
+from .hyperparams import LDAHyperParams
+from .model import LDAModel
+
+
+def save_model(model: LDAModel, path: str) -> str:
+    """Save a trained model (counts, hyper-parameters, vocabulary, metadata) to ``path``.
+
+    The archive is a standard ``numpy.savez_compressed`` file, so it can
+    be inspected without this package.
+    """
+    vocabulary = np.array(list(model.vocabulary), dtype=object) if model.vocabulary else None
+    payload = {
+        "word_topic_counts": model.word_topic_counts,
+        "num_topics": np.array(model.params.num_topics),
+        "alpha": np.array(model.params.alpha),
+        "beta": np.array(model.params.beta),
+        "metadata_json": np.array(json.dumps(model.metadata, default=str)),
+    }
+    if vocabulary is not None:
+        payload["vocabulary"] = vocabulary
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_model(path: str) -> LDAModel:
+    """Load a model previously written by :func:`save_model`."""
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path, allow_pickle=True) as archive:
+        params = LDAHyperParams(
+            num_topics=int(archive["num_topics"]),
+            alpha=float(archive["alpha"]),
+            beta=float(archive["beta"]),
+        )
+        vocabulary: Optional[list] = None
+        if "vocabulary" in archive:
+            vocabulary = [str(word) for word in archive["vocabulary"].tolist()]
+        metadata = json.loads(str(archive["metadata_json"]))
+        return LDAModel(
+            word_topic_counts=archive["word_topic_counts"],
+            params=params,
+            vocabulary=vocabulary,
+            metadata=metadata,
+        )

@@ -1,0 +1,46 @@
+"""Corpus substrate: vocabularies, synthetic generators, dataset replicas, chunking."""
+
+from .chunking import DocumentChunk, chunk_token_histogram, merge_chunks, partition_by_document
+from .datasets import (
+    CLUEWEB,
+    NYTIMES,
+    PAPER_DATASETS,
+    PRIOR_GPU_SYSTEMS,
+    PUBMED,
+    DatasetDescriptor,
+    clueweb_replica,
+    get_descriptor,
+    make_replica,
+    nytimes_replica,
+    pubmed_replica,
+)
+from .io import read_uci_bag_of_words, write_uci_bag_of_words
+from .synthetic import SyntheticCorpus, generate_lda_corpus, generate_zipf_corpus
+from .vocabulary import Vocabulary
+from .zipf import ZipfModel, fit_zipf_exponent
+
+__all__ = [
+    "CLUEWEB",
+    "NYTIMES",
+    "PAPER_DATASETS",
+    "PRIOR_GPU_SYSTEMS",
+    "PUBMED",
+    "DatasetDescriptor",
+    "DocumentChunk",
+    "SyntheticCorpus",
+    "Vocabulary",
+    "ZipfModel",
+    "chunk_token_histogram",
+    "clueweb_replica",
+    "fit_zipf_exponent",
+    "generate_lda_corpus",
+    "generate_zipf_corpus",
+    "get_descriptor",
+    "make_replica",
+    "merge_chunks",
+    "nytimes_replica",
+    "partition_by_document",
+    "pubmed_replica",
+    "read_uci_bag_of_words",
+    "write_uci_bag_of_words",
+]

@@ -1,0 +1,101 @@
+"""Partition-by-document chunking of the token list.
+
+SaberLDA streams the token list ``L`` and the document-topic matrix ``A``
+from host memory because neither fits on the GPU for billion-token
+corpora (Sec. 3.1.2).  Both are partitioned *by document*: a chunk owns a
+contiguous range of documents, all of their tokens, and the matching rows
+of ``A``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.tokens import TokenList
+
+
+@dataclass
+class DocumentChunk:
+    """One streamed chunk: a contiguous document range and its tokens.
+
+    Attributes
+    ----------
+    chunk_id:
+        Position of the chunk in the stream.
+    doc_start / doc_stop:
+        The chunk owns documents ``[doc_start, doc_stop)``.
+    tokens:
+        All tokens of those documents.  Document ids remain *global*.
+    """
+
+    chunk_id: int
+    doc_start: int
+    doc_stop: int
+
+    tokens: TokenList
+
+    @property
+    def num_documents(self) -> int:
+        """Number of documents owned by this chunk."""
+        return self.doc_stop - self.doc_start
+
+    @property
+    def num_tokens(self) -> int:
+        """Number of tokens owned by this chunk."""
+        return self.tokens.num_tokens
+
+    def local_doc_ids(self) -> np.ndarray:
+        """Token document ids re-based to the chunk (0-based)."""
+        return self.tokens.doc_ids - self.doc_start
+
+
+def partition_by_document(
+    tokens: TokenList, num_documents: int, num_chunks: int
+) -> List[DocumentChunk]:
+    """Split the corpus into ``num_chunks`` chunks of (nearly) equal document count.
+
+    Documents are assigned to chunks by contiguous ranges; every token of a
+    document lands in that document's chunk, so the per-chunk rows of ``A``
+    can be rebuilt locally (the basis of SSC).
+    """
+    if num_chunks < 1:
+        raise ValueError("num_chunks must be >= 1")
+    if num_chunks > max(num_documents, 1):
+        num_chunks = max(num_documents, 1)
+
+    boundaries = np.linspace(0, num_documents, num_chunks + 1).astype(np.int64)
+    # Sort token positions by document once so each chunk is a contiguous slice.
+    order = np.argsort(tokens.doc_ids, kind="stable")
+    sorted_docs = tokens.doc_ids[order]
+
+    chunks: List[DocumentChunk] = []
+    for chunk_id in range(num_chunks):
+        doc_start, doc_stop = int(boundaries[chunk_id]), int(boundaries[chunk_id + 1])
+        lo = np.searchsorted(sorted_docs, doc_start, side="left")
+        hi = np.searchsorted(sorted_docs, doc_stop, side="left")
+        chunk_tokens = tokens.select(order[lo:hi])
+        chunks.append(
+            DocumentChunk(
+                chunk_id=chunk_id,
+                doc_start=doc_start,
+                doc_stop=doc_stop,
+                tokens=chunk_tokens,
+            )
+        )
+    return chunks
+
+
+def merge_chunks(chunks: List[DocumentChunk]) -> TokenList:
+    """Concatenate chunk token lists back into one corpus-wide token list."""
+    merged = TokenList.empty()
+    for chunk in chunks:
+        merged = merged.concat(chunk.tokens)
+    return merged
+
+
+def chunk_token_histogram(chunks: List[DocumentChunk]) -> np.ndarray:
+    """Token count per chunk — used to reason about streaming load balance."""
+    return np.array([chunk.num_tokens for chunk in chunks], dtype=np.int64)

@@ -1,0 +1,143 @@
+"""Dataset descriptors and scaled synthetic replicas.
+
+The paper evaluates on three corpora (Table 3):
+
+============  =========  =======  ======  =====
+Dataset       D          T        V       T/D
+============  =========  =======  ======  =====
+NYTimes       300 K      100 M    102 k   332
+PubMed        8.2 M      738 M    141 k    90
+ClueWeb12     19.4 M     7.1 B    100 k   365
+============  =========  =======  ======  =====
+
+The raw corpora are not redistributable (and far too large for a CPU-only
+reproduction), so each dataset is represented two ways:
+
+* a :class:`DatasetDescriptor` with the published full-scale statistics,
+  consumed by the *analytic* models (memory footprint — Table 2,
+  full-scale throughput projections — Table 1 / Fig 12);
+* a scaled *replica* generated from the LDA generative model with the
+  same shape statistics (T/D ratio, Zipf exponent), consumed by the
+  *measured* experiments (convergence, ablations, sweeps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .synthetic import SyntheticCorpus, generate_lda_corpus
+
+
+@dataclass(frozen=True)
+class DatasetDescriptor:
+    """Published statistics of one of the paper's corpora.
+
+    Attributes
+    ----------
+    name:
+        Dataset name as it appears in the paper.
+    num_documents / num_tokens / vocabulary_size:
+        ``D``, ``T`` and ``V`` from Table 3.
+    """
+
+    name: str
+    num_documents: int
+    num_tokens: int
+    vocabulary_size: int
+
+    @property
+    def tokens_per_document(self) -> float:
+        """``T / D`` (the last column of Table 3)."""
+        return self.num_tokens / self.num_documents
+
+    def scaled(self, factor: float) -> "DatasetDescriptor":
+        """A descriptor with D and T scaled down by ``factor`` (V kept)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return DatasetDescriptor(
+            name=f"{self.name}-scaled",
+            num_documents=max(1, int(self.num_documents / factor)),
+            num_tokens=max(1, int(self.num_tokens / factor)),
+            vocabulary_size=self.vocabulary_size,
+        )
+
+
+NYTIMES = DatasetDescriptor(
+    name="NYTimes", num_documents=300_000, num_tokens=100_000_000, vocabulary_size=102_000
+)
+PUBMED = DatasetDescriptor(
+    name="PubMed", num_documents=8_200_000, num_tokens=738_000_000, vocabulary_size=141_000
+)
+CLUEWEB = DatasetDescriptor(
+    name="ClueWeb12-subset",
+    num_documents=19_400_000,
+    num_tokens=7_100_000_000,
+    vocabulary_size=100_000,
+)
+
+PAPER_DATASETS: Dict[str, DatasetDescriptor] = {
+    "nytimes": NYTIMES,
+    "pubmed": PUBMED,
+    "clueweb": CLUEWEB,
+}
+
+# Prior GPU systems from Table 1, for the capacity comparison bench.
+PRIOR_GPU_SYSTEMS: Dict[str, Dict[str, int]] = {
+    "Yan et al.": {"D": 300_000, "K": 128, "V": 100_000, "T": 100_000_000},
+    "BIDMach": {"D": 300_000, "K": 256, "V": 100_000, "T": 100_000_000},
+    "Steele and Tristan": {"D": 50_000, "K": 20, "V": 40_000, "T": 3_000_000},
+    "SaberLDA": {"D": 19_400_000, "K": 10_000, "V": 100_000, "T": 7_100_000_000},
+}
+
+
+def get_descriptor(name: str) -> DatasetDescriptor:
+    """Look up a paper dataset descriptor by (case-insensitive) name."""
+    key = name.lower()
+    if key not in PAPER_DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; choose from {sorted(PAPER_DATASETS)}")
+    return PAPER_DATASETS[key]
+
+
+def make_replica(
+    name: str,
+    num_documents: int,
+    vocabulary_size: int,
+    num_true_topics: int = 50,
+    seed: int = 0,
+) -> SyntheticCorpus:
+    """Generate a scaled replica of a paper dataset.
+
+    The replica keeps the dataset's tokens-per-document ratio (its most
+    important shape parameter for sparsity behaviour) while shrinking
+    ``D`` and ``V`` to the requested sizes.
+    """
+    descriptor = get_descriptor(name)
+    return generate_lda_corpus(
+        num_documents=num_documents,
+        vocabulary_size=vocabulary_size,
+        num_topics=num_true_topics,
+        mean_document_length=descriptor.tokens_per_document,
+        seed=seed,
+    )
+
+
+def nytimes_replica(
+    num_documents: int = 600, vocabulary_size: int = 2_000, seed: int = 0
+) -> SyntheticCorpus:
+    """Small NYTimes-shaped replica (T/D ≈ 332) for measured experiments."""
+    return make_replica("nytimes", num_documents, vocabulary_size, seed=seed)
+
+
+def pubmed_replica(
+    num_documents: int = 2_000, vocabulary_size: int = 2_500, seed: int = 0
+) -> SyntheticCorpus:
+    """Small PubMed-shaped replica (short documents, T/D ≈ 90)."""
+    return make_replica("pubmed", num_documents, vocabulary_size, seed=seed)
+
+
+def clueweb_replica(
+    num_documents: int = 800, vocabulary_size: int = 2_000, seed: int = 0
+) -> SyntheticCorpus:
+    """Small ClueWeb-shaped replica (long web documents, T/D ≈ 365)."""
+    return make_replica("clueweb", num_documents, vocabulary_size, seed=seed)

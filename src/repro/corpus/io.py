@@ -1,0 +1,120 @@
+"""Corpus I/O in the UCI bag-of-words format.
+
+The corpora the paper evaluates on (NYTimes, PubMed) are distributed in
+the UCI "bag of words" format: a ``docword.txt`` file whose header is
+three lines (``D``, ``W``, ``NNZ``) followed by ``docID wordID count``
+triples (both ids 1-based), and a ``vocab.txt`` file with one word per
+line.  This module reads and writes that format so users can train on
+the real corpora when they have them, and exports any in-memory corpus
+for interoperability with other LDA tools.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, TextIO, Tuple
+
+import numpy as np
+
+from ..core.tokens import TokenList
+from .synthetic import SyntheticCorpus
+from .vocabulary import Vocabulary
+
+
+def write_uci_bag_of_words(
+    tokens: TokenList,
+    docword_path: str,
+    vocab_path: Optional[str] = None,
+    vocabulary: Optional[Vocabulary] = None,
+) -> None:
+    """Write a token list as UCI ``docword.txt`` (+ optional ``vocab.txt``).
+
+    Token multiplicities are aggregated into (doc, word, count) triples.
+    Ids are written 1-based, as the format requires.
+    """
+    num_documents = tokens.num_documents
+    vocabulary_size = tokens.vocabulary_size
+    if vocabulary is not None:
+        vocabulary_size = max(vocabulary_size, len(vocabulary))
+
+    flat = tokens.doc_ids.astype(np.int64) * max(vocabulary_size, 1) + tokens.word_ids
+    pairs, counts = np.unique(flat, return_counts=True)
+    docs = pairs // max(vocabulary_size, 1)
+    words = pairs % max(vocabulary_size, 1)
+
+    with open(docword_path, "w", encoding="utf-8") as handle:
+        handle.write(f"{num_documents}\n{vocabulary_size}\n{len(pairs)}\n")
+        for doc, word, count in zip(docs, words, counts):
+            handle.write(f"{doc + 1} {word + 1} {count}\n")
+
+    if vocab_path is not None:
+        with open(vocab_path, "w", encoding="utf-8") as handle:
+            if vocabulary is not None:
+                for word in vocabulary.words():
+                    handle.write(f"{word}\n")
+            else:
+                for index in range(vocabulary_size):
+                    handle.write(f"word_{index}\n")
+
+
+def _read_header(handle: TextIO) -> Tuple[int, int, int]:
+    num_documents = int(handle.readline().strip())
+    vocabulary_size = int(handle.readline().strip())
+    num_entries = int(handle.readline().strip())
+    return num_documents, vocabulary_size, num_entries
+
+
+def read_uci_bag_of_words(
+    docword_path: str,
+    vocab_path: Optional[str] = None,
+    max_documents: Optional[int] = None,
+) -> SyntheticCorpus:
+    """Read a UCI bag-of-words corpus into a :class:`SyntheticCorpus`.
+
+    ``max_documents`` truncates the corpus after that many documents,
+    which is how a scaled subset of a large corpus is loaded for
+    experimentation (the paper similarly keeps "as many documents as
+    possible" of ClueWeb within host memory).
+    """
+    if not os.path.exists(docword_path):
+        raise FileNotFoundError(docword_path)
+
+    doc_parts = []
+    word_parts = []
+    with open(docword_path, "r", encoding="utf-8") as handle:
+        num_documents, vocabulary_size, _num_entries = _read_header(handle)
+        limit = num_documents if max_documents is None else min(max_documents, num_documents)
+        for line in handle:
+            fields = line.split()
+            if len(fields) != 3:
+                continue
+            doc_id, word_id, count = int(fields[0]) - 1, int(fields[1]) - 1, int(fields[2])
+            if doc_id >= limit:
+                continue
+            if not 0 <= word_id < vocabulary_size:
+                raise ValueError(f"word id {word_id + 1} outside the declared vocabulary")
+            if count < 1:
+                raise ValueError(f"non-positive count for document {doc_id + 1}")
+            doc_parts.append(np.full(count, doc_id, dtype=np.int32))
+            word_parts.append(np.full(count, word_id, dtype=np.int32))
+
+    if doc_parts:
+        doc_ids = np.concatenate(doc_parts)
+        word_ids = np.concatenate(word_parts)
+    else:
+        doc_ids = np.zeros(0, dtype=np.int32)
+        word_ids = np.zeros(0, dtype=np.int32)
+    tokens = TokenList.from_pairs(doc_ids, word_ids)
+
+    if vocab_path is not None and os.path.exists(vocab_path):
+        with open(vocab_path, "r", encoding="utf-8") as handle:
+            vocabulary = Vocabulary(line.strip() for line in handle if line.strip())
+    else:
+        vocabulary = Vocabulary.synthetic(vocabulary_size)
+
+    return SyntheticCorpus(
+        tokens=tokens,
+        num_documents=limit,
+        vocabulary_size=vocabulary_size,
+        vocabulary=vocabulary,
+    )

@@ -1,0 +1,65 @@
+"""Vocabulary: bidirectional mapping between word strings and word ids."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List
+
+
+class Vocabulary:
+    """A growable word <-> id mapping.
+
+    Ids are assigned densely in insertion order, matching the convention
+    that word ids index rows of the word-topic matrix ``B``.
+    """
+
+    def __init__(self, words: Iterable[str] = ()) -> None:
+        self._word_to_id: Dict[str, int] = {}
+        self._id_to_word: List[str] = []
+        for word in words:
+            self.add(word)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, word: str) -> int:
+        """Add a word (idempotent) and return its id."""
+        existing = self._word_to_id.get(word)
+        if existing is not None:
+            return existing
+        word_id = len(self._id_to_word)
+        self._word_to_id[word] = word_id
+        self._id_to_word.append(word)
+        return word_id
+
+    def add_all(self, words: Iterable[str]) -> List[int]:
+        """Add many words, returning their ids in order."""
+        return [self.add(word) for word in words]
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def id_of(self, word: str) -> int:
+        """Id of a word; raises ``KeyError`` if absent."""
+        return self._word_to_id[word]
+
+    def word_of(self, word_id: int) -> str:
+        """Word string for an id."""
+        return self._id_to_word[word_id]
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._word_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_word)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_word)
+
+    def words(self) -> List[str]:
+        """All words in id order (a copy)."""
+        return list(self._id_to_word)
+
+    @classmethod
+    def synthetic(cls, size: int, prefix: str = "word") -> "Vocabulary":
+        """A vocabulary of ``size`` synthetic words named ``<prefix>_<id>``."""
+        return cls(f"{prefix}_{i}" for i in range(size))

@@ -1,0 +1,77 @@
+"""Power-law (Zipfian) word-frequency models.
+
+The paper relies on the observation that "the term frequency of a natural
+corpus often follows the power law" (Sec. 3.4) to motivate its load
+balancing: a few very frequent words carry a disproportionate share of
+the tokens.  The synthetic corpora therefore draw word frequencies from a
+truncated Zipf distribution so that load-balancing behaviour is
+exercised realistically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ZipfModel:
+    """Truncated Zipf (Zipf-Mandelbrot) rank-frequency model.
+
+    ``p(rank r) ∝ 1 / (r + shift)^exponent`` for ranks ``1..vocabulary_size``.
+
+    Attributes
+    ----------
+    vocabulary_size:
+        Number of distinct words (ranks).
+    exponent:
+        Power-law exponent; natural language is close to 1.0.
+    shift:
+        Mandelbrot shift flattening the head of the distribution.
+    """
+
+    vocabulary_size: int
+    exponent: float = 1.05
+    shift: float = 2.7
+
+    def __post_init__(self) -> None:
+        if self.vocabulary_size < 1:
+            raise ValueError("vocabulary_size must be >= 1")
+        if self.exponent <= 0:
+            raise ValueError("exponent must be positive")
+        if self.shift < 0:
+            raise ValueError("shift must be non-negative")
+
+    def probabilities(self) -> np.ndarray:
+        """Normalised rank probabilities (rank 0 = most frequent word)."""
+        ranks = np.arange(1, self.vocabulary_size + 1, dtype=np.float64)
+        weights = 1.0 / np.power(ranks + self.shift, self.exponent)
+        return weights / weights.sum()
+
+    def sample_word_ids(self, num_tokens: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``num_tokens`` word ids i.i.d. from the rank distribution."""
+        return rng.choice(
+            self.vocabulary_size, size=num_tokens, p=self.probabilities()
+        ).astype(np.int32)
+
+    def expected_head_share(self, head_size: int) -> float:
+        """Fraction of tokens expected to come from the ``head_size`` most frequent words."""
+        head_size = min(head_size, self.vocabulary_size)
+        return float(self.probabilities()[:head_size].sum())
+
+
+def fit_zipf_exponent(term_frequencies: np.ndarray) -> float:
+    """Estimate a Zipf exponent from observed term frequencies.
+
+    Fits ``log(freq) ~ -s * log(rank)`` by least squares over the non-zero
+    frequencies.  Used by tests to confirm that synthetic corpora are
+    genuinely heavy-tailed.
+    """
+    freqs = np.sort(np.asarray(term_frequencies, dtype=np.float64))[::-1]
+    freqs = freqs[freqs > 0]
+    if len(freqs) < 2:
+        return 0.0
+    ranks = np.arange(1, len(freqs) + 1, dtype=np.float64)
+    slope, _intercept = np.polyfit(np.log(ranks), np.log(freqs), deg=1)
+    return float(-slope)

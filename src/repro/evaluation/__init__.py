@@ -1,0 +1,51 @@
+"""Evaluation utilities: memory model, capacity analysis, throughput projection, convergence."""
+
+from .capacity import (
+    CapacityEntry,
+    derived_capacity_comparison,
+    max_topics_dense,
+    max_topics_saberlda,
+    published_capacity_table,
+)
+from .convergence import (
+    ConvergenceComparison,
+    ConvergenceCurve,
+    baseline_curve,
+    compare_systems,
+    saberlda_curve,
+)
+from .memory_model import (
+    MemoryFootprint,
+    memory_footprint,
+    minimum_chunks_required,
+    table2_rows,
+    word_topic_fits_on_device,
+)
+from .throughput import (
+    ThroughputProjection,
+    project_saberlda_throughput,
+    throughput_drop_fraction,
+    topic_scaling_profile,
+)
+
+__all__ = [
+    "CapacityEntry",
+    "ConvergenceComparison",
+    "ConvergenceCurve",
+    "MemoryFootprint",
+    "ThroughputProjection",
+    "baseline_curve",
+    "compare_systems",
+    "derived_capacity_comparison",
+    "max_topics_dense",
+    "max_topics_saberlda",
+    "memory_footprint",
+    "minimum_chunks_required",
+    "project_saberlda_throughput",
+    "published_capacity_table",
+    "saberlda_curve",
+    "table2_rows",
+    "throughput_drop_fraction",
+    "topic_scaling_profile",
+    "word_topic_fits_on_device",
+]

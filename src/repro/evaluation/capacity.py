@@ -1,0 +1,88 @@
+"""Capacity analysis (Table 1): how many topics each GPU approach can support.
+
+Table 1 contrasts the scales reached by previous GPU LDA systems
+(hundreds of topics, ~100 M tokens) with SaberLDA (10,000 topics,
+7.1 B tokens).  Beyond restating the published numbers, this module
+*derives* the capacity limits from the memory model: a dense-matrix
+system must hold ``D x K`` on the device, so its maximum K collapses as
+the corpus grows, whereas SaberLDA only needs ``B``/``B̂`` resident and
+streams everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..corpus.datasets import PRIOR_GPU_SYSTEMS, DatasetDescriptor
+from ..gpusim.device import DeviceSpec
+from .memory_model import memory_footprint
+
+_FLOAT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class CapacityEntry:
+    """Scale supported by one system (published or derived)."""
+
+    system: str
+    num_documents: int
+    num_topics: int
+    vocabulary_size: int
+    num_tokens: int
+
+    def as_row(self) -> Dict[str, int]:
+        """Row in Table 1 order (D, K, V, T)."""
+        return {
+            "D": self.num_documents,
+            "K": self.num_topics,
+            "V": self.vocabulary_size,
+            "T": self.num_tokens,
+        }
+
+
+def published_capacity_table() -> List[CapacityEntry]:
+    """The published Table 1 entries."""
+    return [
+        CapacityEntry(
+            system=name,
+            num_documents=row["D"],
+            num_topics=row["K"],
+            vocabulary_size=row["V"],
+            num_tokens=row["T"],
+        )
+        for name, row in PRIOR_GPU_SYSTEMS.items()
+    ]
+
+
+def max_topics_dense(descriptor: DatasetDescriptor, device: DeviceSpec) -> int:
+    """Largest K a dense-matrix system supports: D*K + 2*V*K floats must fit on the device.
+
+    Dense systems keep the document-topic matrix, the word-topic matrix
+    and its normalised copy on the device (plus the token list, ignored
+    here in their favour).
+    """
+    bytes_per_topic = (descriptor.num_documents + 2 * descriptor.vocabulary_size) * _FLOAT_BYTES
+    return max(0, int(device.global_memory_bytes // bytes_per_topic))
+
+
+def max_topics_saberlda(descriptor: DatasetDescriptor, device: DeviceSpec, reserve_fraction: float = 0.25) -> int:
+    """Largest K SaberLDA supports: only B and B̂ must be resident (the rest streams).
+
+    ``reserve_fraction`` of the device memory is kept for the streamed
+    chunk buffers and kernel workspace.
+    """
+    bytes_per_topic = 2 * descriptor.vocabulary_size * _FLOAT_BYTES
+    usable = device.global_memory_bytes * (1.0 - reserve_fraction)
+    return max(0, int(usable // bytes_per_topic))
+
+
+def derived_capacity_comparison(
+    descriptor: DatasetDescriptor, device: DeviceSpec
+) -> Dict[str, int]:
+    """Derived maximum topic counts of the dense and sparse designs on one dataset/device."""
+    return {
+        "dense_design_max_topics": max_topics_dense(descriptor, device),
+        "saberlda_max_topics": max_topics_saberlda(descriptor, device),
+        "word_topic_bytes_at_10k": memory_footprint(descriptor, 10_000).word_topic_dense_bytes,
+    }

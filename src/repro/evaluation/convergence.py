@@ -1,0 +1,246 @@
+"""Convergence-over-time harness (Figs. 11 and 12).
+
+The paper compares systems by the time needed to reach a target held-out
+log-likelihood.  This harness reproduces the comparison on a scaled
+replica: every system runs its *real* algorithm on the replica (giving a
+likelihood-per-iteration trajectory), and its per-iteration *time* is
+taken from the system's cost model — either at replica scale or, when a
+dataset descriptor is supplied, projected to the published full-scale
+corpus so the time axis is comparable to the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.base import BaselineTrainer, GpuOutOfMemoryError
+from ..corpus.datasets import DatasetDescriptor
+from ..corpus.synthetic import SyntheticCorpus
+from ..gpusim.device import DeviceSpec, GTX_1080
+from ..saberlda.config import SaberLDAConfig
+from ..saberlda.costing import WorkloadStats
+from ..saberlda.trainer import SaberLDATrainer
+from .throughput import project_saberlda_throughput
+
+
+@dataclass
+class ConvergenceCurve:
+    """One system's convergence trajectory on a common simulated-time axis."""
+
+    system: str
+    seconds: List[float] = field(default_factory=list)
+    log_likelihood_per_token: List[float] = field(default_factory=list)
+    failed: Optional[str] = None
+
+    def final_likelihood(self) -> Optional[float]:
+        """The last likelihood value, or ``None`` if the system failed/never ran."""
+        return self.log_likelihood_per_token[-1] if self.log_likelihood_per_token else None
+
+    def time_to_reach(self, threshold: float) -> Optional[float]:
+        """First simulated time at which the likelihood reaches ``threshold``."""
+        for elapsed, value in zip(self.seconds, self.log_likelihood_per_token):
+            if value >= threshold:
+                return elapsed
+        return None
+
+    def points(self) -> List[Tuple[float, float]]:
+        """``(seconds, likelihood)`` pairs."""
+        return list(zip(self.seconds, self.log_likelihood_per_token))
+
+
+@dataclass
+class ConvergenceComparison:
+    """All systems' curves for one (dataset, K) setting."""
+
+    dataset: str
+    num_topics: int
+    curves: Dict[str, ConvergenceCurve]
+
+    def curve(self, system: str) -> ConvergenceCurve:
+        """Curve of one system by name."""
+        return self.curves[system]
+
+    def speedup(self, reference: str, other: str, threshold: float) -> Optional[float]:
+        """How much faster ``reference`` reaches ``threshold`` than ``other``."""
+        ref_time = self.curves[reference].time_to_reach(threshold)
+        other_time = self.curves[other].time_to_reach(threshold)
+        if ref_time is None or other_time is None or ref_time <= 0:
+            return None
+        return other_time / ref_time
+
+    def common_threshold(self, quantile: float = 0.95) -> float:
+        """A likelihood threshold every successful system eventually reaches.
+
+        Taken as ``quantile`` of the way from the worst starting value to
+        the *lowest* final value across systems, so the time-to-converge
+        comparison is well defined for all of them.
+        """
+        finals = [
+            curve.final_likelihood()
+            for curve in self.curves.values()
+            if curve.final_likelihood() is not None
+        ]
+        starts = [
+            curve.log_likelihood_per_token[0]
+            for curve in self.curves.values()
+            if curve.log_likelihood_per_token
+        ]
+        if not finals or not starts:
+            raise ValueError("no successful curves to derive a threshold from")
+        lowest_final = min(finals)
+        worst_start = min(starts)
+        return worst_start + quantile * (lowest_final - worst_start)
+
+
+def saberlda_curve(
+    corpus: SyntheticCorpus,
+    config: SaberLDAConfig,
+    descriptor: Optional[DatasetDescriptor] = None,
+    cost_num_topics: Optional[int] = None,
+) -> ConvergenceCurve:
+    """Run SaberLDA on the replica and place its trajectory on the time axis.
+
+    ``cost_num_topics`` lets the time axis be costed at the paper's topic
+    count (e.g. 1,000) while the likelihood trajectory is measured at a
+    replica-friendly topic count — the iteration-level convergence shape
+    is comparable across systems because every system's trajectory uses
+    the same replica setting.
+    """
+    result = SaberLDATrainer(config=config).fit(
+        corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size
+    )
+    curve = ConvergenceCurve(system="SaberLDA")
+    if descriptor is not None:
+        cost_topics = cost_num_topics or config.params.num_topics
+        projection = project_saberlda_throughput(
+            descriptor,
+            cost_topics,
+            config=config,
+            device=config.device,
+            mean_doc_nnz=(
+                result.history[-1].mean_doc_nnz
+                if cost_topics == config.params.num_topics
+                else None
+            ),
+        )
+        seconds_per_iteration = projection.iteration_seconds
+        for record in result.history:
+            if record.log_likelihood_per_token is None:
+                continue
+            curve.seconds.append(seconds_per_iteration * record.iteration)
+            curve.log_likelihood_per_token.append(record.log_likelihood_per_token)
+    else:
+        for elapsed, value in result.convergence_curve():
+            curve.seconds.append(elapsed)
+            curve.log_likelihood_per_token.append(value)
+    return curve
+
+
+def baseline_curve(
+    corpus: SyntheticCorpus,
+    trainer: BaselineTrainer,
+    descriptor: Optional[DatasetDescriptor] = None,
+    device: Optional[DeviceSpec] = None,
+    cost_num_topics: Optional[int] = None,
+) -> ConvergenceCurve:
+    """Run a baseline on the replica and place its trajectory on the time axis."""
+    curve = ConvergenceCurve(system=trainer.system_name)
+    try:
+        result = trainer.fit(
+            corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size
+        )
+    except GpuOutOfMemoryError as error:
+        curve.failed = str(error)
+        return curve
+
+    cost_topics = cost_num_topics or trainer.params.num_topics
+    if descriptor is not None:
+        stats = WorkloadStats.from_descriptor(
+            descriptor,
+            cost_topics,
+            device or GTX_1080,
+            mean_doc_nnz=(
+                _replica_mean_doc_nnz(result, corpus, cost_topics)
+                if cost_topics == trainer.params.num_topics
+                else None
+            ),
+        )
+    else:
+        stats = _replica_stats(corpus, cost_topics, device or GTX_1080)
+    seconds_per_iteration = trainer.iteration_seconds(stats)
+
+    for index, value in enumerate(result.history.log_likelihood_per_token, start=1):
+        curve.seconds.append(seconds_per_iteration * index)
+        curve.log_likelihood_per_token.append(value)
+    return curve
+
+
+def compare_systems(
+    corpus: SyntheticCorpus,
+    num_topics: int,
+    baselines: Sequence[BaselineTrainer],
+    saberlda_config: Optional[SaberLDAConfig] = None,
+    descriptor: Optional[DatasetDescriptor] = None,
+    num_iterations: int = 30,
+    seed: int = 0,
+    cost_num_topics: Optional[int] = None,
+) -> ConvergenceComparison:
+    """Run SaberLDA plus the given baselines and collect all curves.
+
+    All trajectories are measured at ``num_topics`` on the replica; the
+    per-iteration times of every system are costed at
+    ``cost_num_topics or num_topics``, which is how the benches run the
+    Fig. 11 comparison (trajectories at a replica-friendly K, timing at
+    the paper's K = 1,000).
+    """
+    config = saberlda_config or SaberLDAConfig.paper_defaults(num_topics)
+    config = config.with_overrides(num_iterations=num_iterations, seed=seed)
+
+    curves: Dict[str, ConvergenceCurve] = {}
+    curves["SaberLDA"] = saberlda_curve(corpus, config, descriptor, cost_num_topics)
+    for trainer in baselines:
+        trainer.num_iterations = num_iterations
+        curves[trainer.system_name] = baseline_curve(
+            corpus, trainer, descriptor, cost_num_topics=cost_num_topics
+        )
+    dataset_name = descriptor.name if descriptor is not None else "replica"
+    return ConvergenceComparison(
+        dataset=dataset_name, num_topics=cost_num_topics or num_topics, curves=curves
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Internal helpers
+# --------------------------------------------------------------------------- #
+def _replica_mean_doc_nnz(result, corpus: SyntheticCorpus, num_topics: int) -> float:
+    """Mean K_d of the baseline's final assignment (bounded by K)."""
+    tokens = result.model  # model does not carry assignments; estimate from corpus shape
+    del tokens
+    mean_length = corpus.tokens_per_document
+    return float(min(num_topics, max(1.0, 0.35 * mean_length)))
+
+
+def _replica_stats(
+    corpus: SyntheticCorpus, num_topics: int, device: DeviceSpec
+) -> WorkloadStats:
+    """Workload statistics of the replica itself (no full-scale projection)."""
+    term_frequencies = corpus.tokens.tokens_per_word(corpus.vocabulary_size)
+    probabilities = np.sort(term_frequencies / max(term_frequencies.sum(), 1))[::-1]
+    row_bytes = num_topics * 4
+    resident_rows = min(len(probabilities), max(1, device.l2_capacity_bytes // max(row_bytes, 1)))
+    hot_fraction = float(probabilities[:resident_rows].sum())
+    mean_doc_nnz = float(min(num_topics, max(1.0, 0.35 * corpus.tokens_per_document)))
+    return WorkloadStats(
+        num_tokens=corpus.num_tokens,
+        num_documents=corpus.num_documents,
+        vocabulary_size=corpus.vocabulary_size,
+        num_topics=num_topics,
+        mean_doc_nnz=mean_doc_nnz,
+        total_doc_nnz=mean_doc_nnz * corpus.num_documents,
+        distinct_chunk_words=float(np.count_nonzero(term_frequencies)),
+        hot_token_fraction=hot_fraction,
+        chunk_token_counts=[corpus.num_tokens],
+    )

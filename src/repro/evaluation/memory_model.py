@@ -1,0 +1,114 @@
+"""Memory-footprint model (Table 2).
+
+Table 2 of the paper lists, for the PubMed dataset and K in
+{100, 1k, 10k}, the memory consumed by the word-topic matrices (B and
+B̂), the token list L, and the document-topic matrix A in dense versus
+CSR form.  The same arithmetic is reproduced here for any dataset
+descriptor, and is what the streaming planner uses to decide how many
+chunks a corpus must be split into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..corpus.datasets import DatasetDescriptor
+from ..gpusim.device import DeviceSpec
+
+_FLOAT_BYTES = 4
+_INT_BYTES = 4
+#: A token is stored as the triplet (document, word, topic).
+_TOKEN_BYTES = 3 * _INT_BYTES
+#: A CSR entry of A stores (topic index, count).
+_CSR_ENTRY_BYTES = 2 * _INT_BYTES
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Bytes required by each data item for one (dataset, K) combination."""
+
+    word_topic_dense_bytes: int
+    token_list_bytes: int
+    doc_topic_dense_bytes: int
+    doc_topic_sparse_bytes: int
+
+    def as_gigabytes(self) -> Dict[str, float]:
+        """The four quantities in GB (decimal), matching Table 2's units."""
+        return {
+            "word_topic_dense": self.word_topic_dense_bytes / 1e9,
+            "token_list": self.token_list_bytes / 1e9,
+            "doc_topic_dense": self.doc_topic_dense_bytes / 1e9,
+            "doc_topic_sparse": self.doc_topic_sparse_bytes / 1e9,
+        }
+
+
+def memory_footprint(
+    descriptor: DatasetDescriptor,
+    num_topics: int,
+    mean_doc_nnz: Optional[float] = None,
+) -> MemoryFootprint:
+    """Compute the Table 2 memory breakdown for a dataset and topic count.
+
+    ``mean_doc_nnz`` bounds the CSR size of ``A``; when omitted the paper's
+    own bound is used — a document cannot have more non-zero topics than
+    tokens, so ``nnz(A) <= min(D * K, T)``.
+    """
+    word_topic = 2 * descriptor.vocabulary_size * num_topics * _FLOAT_BYTES  # B and B̂
+    token_list = descriptor.num_tokens * _TOKEN_BYTES
+    doc_topic_dense = descriptor.num_documents * num_topics * _INT_BYTES
+    if mean_doc_nnz is None:
+        nonzeros = min(descriptor.num_documents * num_topics, descriptor.num_tokens)
+    else:
+        nonzeros = int(descriptor.num_documents * min(mean_doc_nnz, num_topics))
+    doc_topic_sparse = nonzeros * _CSR_ENTRY_BYTES + (descriptor.num_documents + 1) * 8
+
+    return MemoryFootprint(
+        word_topic_dense_bytes=int(word_topic),
+        token_list_bytes=int(token_list),
+        doc_topic_dense_bytes=int(doc_topic_dense),
+        doc_topic_sparse_bytes=int(doc_topic_sparse),
+    )
+
+
+def word_topic_fits_on_device(
+    descriptor: DatasetDescriptor, num_topics: int, device: DeviceSpec
+) -> bool:
+    """Whether B and B̂ (which must be device-resident) fit in GPU memory."""
+    footprint = memory_footprint(descriptor, num_topics)
+    return device.fits_in_memory(footprint.word_topic_dense_bytes)
+
+
+def minimum_chunks_required(
+    descriptor: DatasetDescriptor,
+    num_topics: int,
+    device: DeviceSpec,
+    mean_doc_nnz: Optional[float] = None,
+    reserve_fraction: float = 0.1,
+) -> int:
+    """Smallest number of by-document chunks whose streamed working set fits on the device.
+
+    SaberLDA keeps B/B̂ resident and streams L and A; the per-chunk
+    working set is therefore ``(L + A_sparse) / num_chunks`` and must fit
+    in what is left of device memory after B, B̂ and a safety reserve
+    (Sec. 3.1.4 minimises the number of chunks subject to this).
+    """
+    footprint = memory_footprint(descriptor, num_topics, mean_doc_nnz)
+    available = device.global_memory_bytes * (1.0 - reserve_fraction) - float(
+        footprint.word_topic_dense_bytes
+    )
+    if available <= 0:
+        raise ValueError(
+            f"B/B̂ alone ({footprint.word_topic_dense_bytes / 1e9:.1f} GB) do not fit on "
+            f"{device.name}"
+        )
+    streamed = footprint.token_list_bytes + footprint.doc_topic_sparse_bytes
+    chunks = max(1, int(-(-streamed // int(available))))
+    return chunks
+
+
+def table2_rows(
+    descriptor: DatasetDescriptor, topic_counts=(100, 1_000, 10_000)
+) -> Dict[int, Dict[str, float]]:
+    """The full Table 2: one row (in GB) per topic count."""
+    return {k: memory_footprint(descriptor, k).as_gigabytes() for k in topic_counts}

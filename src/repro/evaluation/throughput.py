@@ -1,0 +1,110 @@
+"""Full-scale throughput projection.
+
+The measured experiments run on scaled replicas; this module projects
+SaberLDA's per-iteration time and throughput (tokens/second) at the
+*published* dataset sizes by feeding the analytic workload statistics of
+a :class:`~repro.corpus.datasets.DatasetDescriptor` through the same
+costing + roofline pipeline the trainer uses.  The projections back the
+Fig. 10/12 sweeps and the headline "throughput only drops ~17 % from
+1,000 to 10,000 topics" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..corpus.datasets import DatasetDescriptor
+from ..gpusim.device import DeviceSpec, GTX_1080
+from ..saberlda.config import SaberLDAConfig
+from ..saberlda.costing import WorkloadStats
+from ..saberlda.projection import cost_iteration_phases
+from .memory_model import minimum_chunks_required
+
+
+@dataclass(frozen=True)
+class ThroughputProjection:
+    """Projected per-iteration timing at full scale."""
+
+    dataset: str
+    device: str
+    num_topics: int
+    phase_seconds: Dict[str, float]
+    iteration_seconds: float
+    tokens_per_second: float
+
+    @property
+    def mtokens_per_second(self) -> float:
+        """Throughput in million tokens per second (the unit of Sec. 4)."""
+        return self.tokens_per_second / 1e6
+
+
+def project_saberlda_throughput(
+    descriptor: DatasetDescriptor,
+    num_topics: int,
+    config: Optional[SaberLDAConfig] = None,
+    device: Optional[DeviceSpec] = None,
+    mean_doc_nnz: Optional[float] = None,
+    num_chunks: Optional[int] = None,
+) -> ThroughputProjection:
+    """Project one iteration of SaberLDA on a full-scale dataset.
+
+    ``mean_doc_nnz`` should come from a measured replica when available
+    (the trainer's final ``mean_doc_nnz``); otherwise the analytic
+    estimate is used.  ``num_chunks`` defaults to the smallest number
+    whose streamed working set fits on the device.
+    """
+    if config is None:
+        config = SaberLDAConfig.paper_defaults(num_topics)
+    else:
+        config = config.with_overrides(params=config.params.with_topics(num_topics))
+    device = device or config.device
+
+    if num_chunks is None:
+        # Never fewer chunks than the memory budget requires; a handful of
+        # chunks even when the data would fit keeps the streaming pipeline
+        # (and its transfer overlap) representative of the paper's setup.
+        num_chunks = max(
+            minimum_chunks_required(descriptor, num_topics, device, mean_doc_nnz), 4
+        )
+    config = config.with_overrides(num_chunks=num_chunks, device=device)
+
+    stats = WorkloadStats.from_descriptor(
+        descriptor, num_topics, device, num_chunks=num_chunks, mean_doc_nnz=mean_doc_nnz
+    )
+    cost = cost_iteration_phases(stats, config)
+    phase_seconds = dict(cost.phase_seconds)
+    iteration_seconds = cost.total_seconds
+    return ThroughputProjection(
+        dataset=descriptor.name,
+        device=device.name,
+        num_topics=num_topics,
+        phase_seconds=phase_seconds,
+        iteration_seconds=iteration_seconds,
+        tokens_per_second=descriptor.num_tokens / iteration_seconds,
+    )
+
+
+def topic_scaling_profile(
+    descriptor: DatasetDescriptor,
+    topic_counts=(1_000, 3_000, 5_000, 10_000),
+    device: DeviceSpec = GTX_1080,
+    mean_doc_nnz: Optional[float] = None,
+) -> Dict[int, ThroughputProjection]:
+    """Throughput at several topic counts — the headline scaling experiment."""
+    return {
+        k: project_saberlda_throughput(
+            descriptor, k, device=device, mean_doc_nnz=mean_doc_nnz
+        )
+        for k in topic_counts
+    }
+
+
+def throughput_drop_fraction(profile: Dict[int, ThroughputProjection]) -> float:
+    """Relative throughput drop from the smallest to the largest topic count."""
+    topic_counts = sorted(profile)
+    first = profile[topic_counts[0]].tokens_per_second
+    last = profile[topic_counts[-1]].tokens_per_second
+    if first <= 0:
+        return 0.0
+    return 1.0 - last / first

@@ -1,0 +1,74 @@
+"""GPU execution and cost simulator: devices, memory hierarchy, warps, occupancy, streams."""
+
+from .cost_model import CostModel, PhaseTime
+from .device import GTX_1080, HOST_CPU, KNOWN_DEVICES, TITAN_X_MAXWELL, DeviceSpec, get_device
+from .memory import MemorySpace, MemoryTraffic, SharedMemoryBudget, TrafficCounter
+from .occupancy import (
+    LaunchConfig,
+    best_threads_per_block,
+    blocks_per_sm,
+    occupancy,
+    occupancy_efficiency,
+    sync_overhead,
+)
+from .profiler import (
+    ALL_PHASES,
+    PHASE_A_UPDATE,
+    PHASE_PREPROCESSING,
+    PHASE_SAMPLING,
+    PHASE_TRANSFER,
+    PhaseRecord,
+    Profiler,
+)
+from .streams import ChunkWork, StreamSchedule, simulate_stream_schedule
+from .warp import (
+    WARP_WIDTH,
+    DivergenceTracker,
+    ffs,
+    warp_ballot,
+    warp_copy,
+    warp_prefix_sum,
+    warp_reduce_sum,
+    warp_shuffle_down,
+    warp_vote,
+)
+
+__all__ = [
+    "ALL_PHASES",
+    "CostModel",
+    "ChunkWork",
+    "DeviceSpec",
+    "DivergenceTracker",
+    "GTX_1080",
+    "HOST_CPU",
+    "KNOWN_DEVICES",
+    "LaunchConfig",
+    "MemorySpace",
+    "MemoryTraffic",
+    "PHASE_A_UPDATE",
+    "PHASE_PREPROCESSING",
+    "PHASE_SAMPLING",
+    "PHASE_TRANSFER",
+    "PhaseRecord",
+    "PhaseTime",
+    "Profiler",
+    "SharedMemoryBudget",
+    "StreamSchedule",
+    "TITAN_X_MAXWELL",
+    "TrafficCounter",
+    "WARP_WIDTH",
+    "best_threads_per_block",
+    "blocks_per_sm",
+    "ffs",
+    "get_device",
+    "occupancy",
+    "occupancy_efficiency",
+    "simulate_stream_schedule",
+    "sync_overhead",
+    "warp_ballot",
+    "warp_copy",
+    "warp_prefix_sum",
+    "warp_reduce_sum",
+    "warp_shuffle_down",
+    "warp_vote",
+]

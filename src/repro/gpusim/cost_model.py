@@ -1,0 +1,136 @@
+"""Roofline cost model: turn counted traffic into simulated time.
+
+The model is deliberately simple and transparent: a kernel's time is the
+maximum over the memory levels of (bytes moved / achievable bandwidth at
+that level), plus a compute term, divided by the occupancy efficiency of
+the launch.  LDA is memory-bound (Sec. 4.3: "LDA is a memory intensive
+task", global memory is the bottleneck at ~50 % of peak), so the global
+memory term dominates for all the kernels of interest and the other terms
+act as sanity bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .device import DeviceSpec
+from .memory import MemorySpace, MemoryTraffic
+
+
+@dataclass(frozen=True)
+class PhaseTime:
+    """Simulated time of one kernel/phase together with its binding resource."""
+
+    seconds: float
+    bottleneck: str
+    resource_seconds: Dict[str, float]
+
+    def scaled(self, factor: float) -> "PhaseTime":
+        """Return a copy with all times multiplied by ``factor``."""
+        return PhaseTime(
+            seconds=self.seconds * factor,
+            bottleneck=self.bottleneck,
+            resource_seconds={k: v * factor for k, v in self.resource_seconds.items()},
+        )
+
+
+class CostModel:
+    """Converts :class:`~repro.gpusim.memory.MemoryTraffic` into seconds."""
+
+    #: Fraction of each cache level's peak bandwidth a real kernel sustains.
+    ACHIEVABLE_FRACTION = {
+        MemorySpace.GLOBAL: None,  # taken from the device spec
+        MemorySpace.L2: 0.85,
+        MemorySpace.L1: 0.85,
+        MemorySpace.SHARED: 0.85,
+    }
+
+    #: Effective cost (in "lane operations") of one scalar op.  Scalar ops
+    #: occupy a full warp while using one lane, and they typically sit on a
+    #: dependent chain, so they are charged a large multiple of a lane op.
+    SCALAR_OP_LANE_COST = 64.0
+    WARP_OP_LANE_COST = 32.0
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+
+    # ------------------------------------------------------------------ #
+    # Kernel time
+    # ------------------------------------------------------------------ #
+    def kernel_time(self, traffic: MemoryTraffic, occupancy_efficiency: float = 1.0) -> PhaseTime:
+        """Roofline time of one kernel."""
+        if not 0.0 < occupancy_efficiency <= 1.0:
+            raise ValueError("occupancy_efficiency must be in (0, 1]")
+        device = self.device
+
+        resource_seconds: Dict[str, float] = {}
+        resource_seconds["global"] = traffic.bytes_at(MemorySpace.GLOBAL) / (
+            device.global_bandwidth * device.achievable_global_fraction
+        )
+        resource_seconds["l2"] = traffic.bytes_at(MemorySpace.L2) / (
+            device.l2_bandwidth * self.ACHIEVABLE_FRACTION[MemorySpace.L2]
+        )
+        resource_seconds["l1"] = traffic.bytes_at(MemorySpace.L1) / (
+            device.l1_bandwidth * self.ACHIEVABLE_FRACTION[MemorySpace.L1]
+        )
+        resource_seconds["shared"] = traffic.bytes_at(MemorySpace.SHARED) / (
+            device.shared_bandwidth * self.ACHIEVABLE_FRACTION[MemorySpace.SHARED]
+        )
+        lane_ops = (
+            traffic.warp_ops * self.WARP_OP_LANE_COST
+            + traffic.scalar_ops * self.SCALAR_OP_LANE_COST
+        )
+        resource_seconds["compute"] = lane_ops / device.compute_throughput
+        resource_seconds["latency"] = self._chain_time(traffic)
+
+        bottleneck = max(resource_seconds, key=resource_seconds.get)
+        seconds = resource_seconds[bottleneck] / occupancy_efficiency
+        return PhaseTime(
+            seconds=seconds, bottleneck=bottleneck, resource_seconds=resource_seconds
+        )
+
+    def _chain_time(self, traffic: MemoryTraffic) -> float:
+        """Latency-bound time of dependent chains (e.g. alias-table builds)."""
+        if traffic.chain_steps <= 0:
+            return 0.0
+        device = self.device
+        thread_slots = device.num_sms * device.max_threads_per_sm
+        parallelism = max(1.0, min(traffic.chain_parallelism, float(thread_slots)))
+        return traffic.chain_steps * device.memory_latency_seconds / parallelism
+
+    def transfer_time(self, traffic: MemoryTraffic) -> float:
+        """PCIe time of the host<->device traffic recorded in ``traffic``."""
+        return traffic.host_device_bytes / self.device.pcie_bandwidth
+
+    # ------------------------------------------------------------------ #
+    # Utilisation reporting (Table 4)
+    # ------------------------------------------------------------------ #
+    def bandwidth_report(self, traffic: MemoryTraffic, elapsed_seconds: float) -> Dict[str, Dict[str, float]]:
+        """Achieved throughput and utilisation per level over ``elapsed_seconds``.
+
+        Returns a mapping ``level -> {"throughput": bytes/s, "utilization": fraction}``
+        comparable to Table 4 of the paper.
+        """
+        if elapsed_seconds <= 0:
+            raise ValueError("elapsed_seconds must be positive")
+        peaks = {
+            "global": self.device.global_bandwidth,
+            "l2": self.device.l2_bandwidth,
+            "l1": self.device.l1_bandwidth,
+            "shared": self.device.shared_bandwidth,
+        }
+        spaces = {
+            "global": MemorySpace.GLOBAL,
+            "l2": MemorySpace.L2,
+            "l1": MemorySpace.L1,
+            "shared": MemorySpace.SHARED,
+        }
+        report: Dict[str, Dict[str, float]] = {}
+        for level, space in spaces.items():
+            throughput = traffic.bytes_at(space) / elapsed_seconds
+            report[level] = {
+                "throughput": throughput,
+                "utilization": throughput / peaks[level],
+            }
+        return report

@@ -1,0 +1,155 @@
+"""GPU device specifications.
+
+The paper evaluates on an NVIDIA GTX 1080 (8 GB) and a GTX Titan X
+(Maxwell, 12 GB).  :class:`DeviceSpec` captures the parameters the cost
+model needs: memory capacities, peak bandwidths of every level of the
+hierarchy, the warp width, and the achievable fraction of each peak that
+a well-tuned memory-bound kernel reaches in practice (Table 4 reports
+~50 % of global bandwidth for SaberLDA's sampling kernel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+GIB = 1024**3
+GB = 10**9
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a GPU (or of the host CPU used by baselines).
+
+    Attributes
+    ----------
+    name:
+        Marketing name of the device.
+    global_memory_bytes:
+        Device memory capacity.
+    global_bandwidth:
+        Peak global-memory bandwidth in bytes/second.
+    l2_bandwidth / l1_bandwidth / shared_bandwidth:
+        Peak bandwidths of the cache levels in bytes/second.
+    l2_capacity_bytes:
+        L2 cache size (used by the locality model for random row accesses).
+    shared_memory_per_sm:
+        Shared memory available per streaming multiprocessor.
+    num_sms:
+        Number of streaming multiprocessors.
+    max_threads_per_sm / max_blocks_per_sm / max_threads_per_block:
+        Occupancy limits.
+    warp_width:
+        Number of lanes in a warp (``W`` in the paper, 32).
+    cache_line_bytes:
+        Memory transaction granularity (128 bytes on NVIDIA GPUs).
+    compute_throughput:
+        Simple scalar-operation throughput (operations/second) used to
+        charge non-memory work such as alias-table construction.
+    pcie_bandwidth:
+        Host-to-device transfer bandwidth in bytes/second.
+    achievable_global_fraction:
+        Fraction of the global-memory peak a tuned streaming kernel
+        sustains (the paper measures ~0.5).
+    memory_latency_seconds:
+        Latency of one dependent, uncacheable global-memory access.  Used
+        to cost latency-bound work such as the sequential alias-table
+        construction, where each thread walks a dependent chain.
+    """
+
+    name: str
+    global_memory_bytes: int
+    global_bandwidth: float
+    l2_bandwidth: float
+    l1_bandwidth: float
+    shared_bandwidth: float
+    l2_capacity_bytes: int
+    shared_memory_per_sm: int
+    num_sms: int
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 32
+    max_threads_per_block: int = 1024
+    warp_width: int = 32
+    cache_line_bytes: int = 128
+    compute_throughput: float = 4.0e12
+    pcie_bandwidth: float = 12.0 * GB
+    achievable_global_fraction: float = 0.5
+    memory_latency_seconds: float = 350e-9
+
+    @property
+    def shared_memory_total(self) -> int:
+        """Total shared memory across all SMs."""
+        return self.shared_memory_per_sm * self.num_sms
+
+    @property
+    def effective_global_bandwidth(self) -> float:
+        """Global bandwidth a tuned kernel can actually sustain."""
+        return self.global_bandwidth * self.achievable_global_fraction
+
+    def fits_in_memory(self, num_bytes: int) -> bool:
+        """Whether a working set of ``num_bytes`` fits in device memory."""
+        return num_bytes <= self.global_memory_bytes
+
+
+GTX_1080 = DeviceSpec(
+    name="GTX 1080",
+    global_memory_bytes=8 * GIB,
+    global_bandwidth=288.0 * GB,
+    l2_bandwidth=680.0 * GB,
+    l1_bandwidth=4470.0 * GB,
+    shared_bandwidth=2290.0 * GB,
+    l2_capacity_bytes=2 * 1024**2,
+    shared_memory_per_sm=96 * 1024,
+    num_sms=20,
+)
+
+TITAN_X_MAXWELL = DeviceSpec(
+    name="Titan X (Maxwell)",
+    global_memory_bytes=12 * GIB,
+    global_bandwidth=250.0 * GB,
+    l2_bandwidth=600.0 * GB,
+    l1_bandwidth=3800.0 * GB,
+    shared_bandwidth=2000.0 * GB,
+    l2_capacity_bytes=3 * 1024**2,
+    shared_memory_per_sm=96 * 1024,
+    num_sms=24,
+    compute_throughput=3.2e12,
+)
+
+# Host used by the CPU baselines: dual Intel E5-2670 v3 (12 cores each),
+# 128 GB DDR4.  The paper quotes 40-80 GB/s of main-memory bandwidth; we
+# take the middle of that range.
+HOST_CPU = DeviceSpec(
+    name="2x Intel E5-2670 v3",
+    global_memory_bytes=128 * GIB,
+    global_bandwidth=60.0 * GB,
+    l2_bandwidth=400.0 * GB,
+    l1_bandwidth=1500.0 * GB,
+    shared_bandwidth=1500.0 * GB,
+    l2_capacity_bytes=30 * 1024**2,
+    shared_memory_per_sm=0,
+    num_sms=24,  # cores
+    max_threads_per_sm=2,
+    max_blocks_per_sm=1,
+    max_threads_per_block=1,
+    warp_width=8,  # AVX2 float lanes
+    cache_line_bytes=64,
+    compute_throughput=0.9e12,
+    pcie_bandwidth=60.0 * GB,  # no transfer needed; same as memory bandwidth
+    achievable_global_fraction=0.6,
+    memory_latency_seconds=90e-9,
+)
+
+KNOWN_DEVICES = {
+    "gtx1080": GTX_1080,
+    "titanx": TITAN_X_MAXWELL,
+    "cpu": HOST_CPU,
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device spec by short name (``gtx1080``, ``titanx``, ``cpu``)."""
+    key = name.lower().replace(" ", "").replace("_", "")
+    if key not in KNOWN_DEVICES:
+        raise KeyError(f"unknown device {name!r}; choose from {sorted(KNOWN_DEVICES)}")
+    return KNOWN_DEVICES[key]

@@ -1,0 +1,190 @@
+"""Memory hierarchy accounting.
+
+The simulator does not move real bytes around; it *counts* them.  Every
+simulated kernel records the traffic it generates at each level of the
+hierarchy (global memory, L2, unified L1, shared memory) plus host<->device
+transfers, and the cost model turns the counters into time.  Random
+accesses are charged a full cache line (128 bytes) even when only a few
+bytes are consumed — exactly the effect that makes the doc-major layout
+slow on GPUs (Sec. 3.1.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+from .device import DeviceSpec
+
+
+class MemorySpace(str, Enum):
+    """Levels of the simulated memory hierarchy."""
+
+    GLOBAL = "global"
+    L2 = "l2"
+    L1 = "l1"
+    SHARED = "shared"
+    HOST = "host"
+
+
+@dataclass
+class TrafficCounter:
+    """Bytes moved at one level of the hierarchy."""
+
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    transactions: int = 0
+
+    @property
+    def total_bytes(self) -> float:
+        """Read plus written bytes."""
+        return self.bytes_read + self.bytes_written
+
+    def merge(self, other: "TrafficCounter") -> None:
+        """Accumulate another counter into this one."""
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.transactions += other.transactions
+
+
+@dataclass
+class MemoryTraffic:
+    """Traffic counters for every level plus scalar/warp compute operations.
+
+    Attributes
+    ----------
+    counters:
+        One :class:`TrafficCounter` per :class:`MemorySpace`.
+    scalar_ops:
+        Operations that execute on a single lane (e.g. sequential alias
+        table construction) — these do not vectorise.
+    warp_ops:
+        Operations that execute across a full warp (element-wise products,
+        warp prefix sums, tree level builds).
+    host_device_bytes:
+        Bytes crossing the PCIe bus (both directions).
+    chain_steps / chain_parallelism:
+        Latency-bound work: ``chain_steps`` dependent memory accesses
+        spread over ``chain_parallelism`` independent chains (e.g. one
+        alias-table build per word).  The cost model charges
+        ``steps * latency / min(parallelism, thread slots)``.
+    """
+
+    counters: Dict[MemorySpace, TrafficCounter] = field(
+        default_factory=lambda: {space: TrafficCounter() for space in MemorySpace}
+    )
+    scalar_ops: float = 0.0
+    warp_ops: float = 0.0
+    host_device_bytes: float = 0.0
+    chain_steps: float = 0.0
+    chain_parallelism: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def read(self, space: MemorySpace, num_bytes: float, transactions: int = 1) -> None:
+        """Record a read of ``num_bytes`` at ``space``."""
+        counter = self.counters[space]
+        counter.bytes_read += num_bytes
+        counter.transactions += transactions
+
+    def write(self, space: MemorySpace, num_bytes: float, transactions: int = 1) -> None:
+        """Record a write of ``num_bytes`` at ``space``."""
+        counter = self.counters[space]
+        counter.bytes_written += num_bytes
+        counter.transactions += transactions
+
+    def random_read(
+        self, space: MemorySpace, useful_bytes: float, device: DeviceSpec, count: int = 1
+    ) -> None:
+        """Record ``count`` random accesses, each charged a full cache line."""
+        line = device.cache_line_bytes
+        per_access = max(useful_bytes, 0.0)
+        charged = max(per_access, line)
+        counter = self.counters[space]
+        counter.bytes_read += charged * count
+        counter.transactions += count
+
+    def transfer(self, num_bytes: float) -> None:
+        """Record a host<->device transfer."""
+        self.host_device_bytes += num_bytes
+        self.counters[MemorySpace.HOST].bytes_read += num_bytes
+
+    def compute_scalar(self, ops: float) -> None:
+        """Record sequential (single-lane) operations."""
+        self.scalar_ops += ops
+
+    def compute_warp(self, ops: float) -> None:
+        """Record warp-wide (32-lane) operations."""
+        self.warp_ops += ops
+
+    def dependent_chain(self, steps: float, parallelism: float) -> None:
+        """Record latency-bound dependent work spread over independent chains."""
+        self.chain_steps += steps
+        self.chain_parallelism = max(self.chain_parallelism, parallelism)
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "MemoryTraffic") -> None:
+        """Accumulate another traffic record into this one."""
+        for space in MemorySpace:
+            self.counters[space].merge(other.counters[space])
+        self.scalar_ops += other.scalar_ops
+        self.warp_ops += other.warp_ops
+        self.host_device_bytes += other.host_device_bytes
+        self.chain_steps += other.chain_steps
+        self.chain_parallelism = max(self.chain_parallelism, other.chain_parallelism)
+
+    def bytes_at(self, space: MemorySpace) -> float:
+        """Total bytes moved at one level."""
+        return self.counters[space].total_bytes
+
+    def copy(self) -> "MemoryTraffic":
+        """Deep copy of all counters."""
+        clone = MemoryTraffic()
+        clone.merge(self)
+        return clone
+
+
+@dataclass
+class SharedMemoryBudget:
+    """Shared-memory planner for one thread block.
+
+    SaberLDA keeps the current word's rows ``B̂_v`` and ``B_v`` plus the
+    W-ary tree and the per-token product ``P`` in shared memory
+    (Sec. 3.4).  This helper checks that the requested residents fit in
+    the per-SM budget and reports how many blocks can co-reside on an SM —
+    one of the two inputs to the occupancy model.
+    """
+
+    device: DeviceSpec
+    allocations: Dict[str, int] = field(default_factory=dict)
+
+    def allocate(self, name: str, num_bytes: int) -> None:
+        """Reserve ``num_bytes`` for a named resident."""
+        if num_bytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        self.allocations[name] = num_bytes
+
+    @property
+    def bytes_per_block(self) -> int:
+        """Total shared memory requested by one block."""
+        return int(sum(self.allocations.values()))
+
+    def fits(self) -> bool:
+        """Whether one block's request fits in an SM at all."""
+        return self.bytes_per_block <= self.device.shared_memory_per_sm
+
+    def blocks_per_sm(self) -> int:
+        """How many blocks the shared-memory budget allows per SM."""
+        if self.bytes_per_block == 0:
+            return self.device.max_blocks_per_sm
+        return max(
+            0,
+            min(
+                self.device.max_blocks_per_sm,
+                self.device.shared_memory_per_sm // self.bytes_per_block,
+            ),
+        )

@@ -1,0 +1,123 @@
+"""Kernel launch configuration and occupancy model.
+
+Sec. 4.2.3 tunes the number of threads per block and finds that 256 is
+the sweet spot: fewer threads leave SMs under-occupied once the
+shared-memory residents are accounted for, more threads increase the
+in-block synchronisation overhead among the warps that share a word's
+``B̂_v`` row.  :func:`occupancy_efficiency` reproduces that trade-off and
+is the only knob behind the Fig. 10(c) sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+from .memory import SharedMemoryBudget
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """A kernel launch shape.
+
+    Attributes
+    ----------
+    threads_per_block:
+        Threads in one block (must be a multiple of the warp width).
+    shared_bytes_per_block:
+        Shared memory requested by one block.
+    """
+
+    threads_per_block: int
+    shared_bytes_per_block: int = 0
+
+    def validate(self, device: DeviceSpec) -> None:
+        """Raise ``ValueError`` if the launch shape is illegal on the device."""
+        if self.threads_per_block <= 0:
+            raise ValueError("threads_per_block must be positive")
+        if self.threads_per_block % device.warp_width != 0:
+            raise ValueError(
+                f"threads_per_block must be a multiple of the warp width {device.warp_width}"
+            )
+        if self.threads_per_block > device.max_threads_per_block:
+            raise ValueError(
+                f"threads_per_block {self.threads_per_block} exceeds device limit "
+                f"{device.max_threads_per_block}"
+            )
+        if self.shared_bytes_per_block > device.shared_memory_per_sm:
+            raise ValueError("a single block's shared memory request exceeds the SM capacity")
+
+    @property
+    def warps_per_block(self) -> int:
+        """Number of warps per block (assuming a 32-lane warp)."""
+        return self.threads_per_block // 32
+
+
+def blocks_per_sm(config: LaunchConfig, device: DeviceSpec) -> int:
+    """Resident blocks per SM, limited by threads, block slots and shared memory."""
+    config.validate(device)
+    by_threads = device.max_threads_per_sm // config.threads_per_block
+    by_slots = device.max_blocks_per_sm
+    budget = SharedMemoryBudget(device)
+    budget.allocate("block", config.shared_bytes_per_block)
+    by_shared = budget.blocks_per_sm()
+    return max(0, min(by_threads, by_slots, by_shared))
+
+
+def occupancy(config: LaunchConfig, device: DeviceSpec) -> float:
+    """Fraction of the SM's thread slots occupied by resident blocks."""
+    resident = blocks_per_sm(config, device)
+    return min(1.0, resident * config.threads_per_block / device.max_threads_per_sm)
+
+
+def sync_overhead(config: LaunchConfig, base_overhead: float = 0.012) -> float:
+    """In-block synchronisation overhead as a fraction of useful work.
+
+    Every ``__syncthreads`` involves all warps of the block; the expected
+    waiting time grows roughly logarithmically with the number of warps
+    that must rendezvous.
+    """
+    import math
+
+    warps = max(config.warps_per_block, 1)
+    return base_overhead * math.log2(warps * 2)
+
+
+def occupancy_efficiency(config: LaunchConfig, device: DeviceSpec) -> float:
+    """Combined efficiency factor used by the cost model for Fig. 10(c).
+
+    Three effects are combined:
+
+    * **latency hiding** — a bandwidth-bound streaming kernel saturates the
+      memory system once each SM holds a handful (~8) of in-flight warps;
+      with fewer, exposed latency eats into the achieved bandwidth (this is
+      what punishes tiny blocks once large-K shared-memory budgets allow
+      only one or two blocks per SM);
+    * **block scheduling** — each block carries fixed work (scheduling, the
+      cooperative load of the word's B̂ row), amortised over its warps, so
+      very small blocks pay proportionally more;
+    * **synchronisation** — ``__syncthreads`` overhead grows with the number
+      of warps that must rendezvous, which is what eventually penalises
+      very large blocks.
+    """
+    resident_blocks = blocks_per_sm(config, device)
+    if resident_blocks == 0:
+        return 0.0
+    resident_warps = resident_blocks * config.warps_per_block
+    latency_hiding = min(1.0, resident_warps / 8.0)
+    warps = config.warps_per_block
+    block_scheduling = warps / (warps + 0.19)
+    return latency_hiding * block_scheduling * (1.0 - sync_overhead(config))
+
+
+def best_threads_per_block(device: DeviceSpec, shared_bytes_per_block: int = 0) -> int:
+    """The block size with the highest :func:`occupancy_efficiency`."""
+    best_threads, best_score = device.warp_width, -1.0
+    threads = device.warp_width
+    while threads <= device.max_threads_per_block:
+        config = LaunchConfig(threads, shared_bytes_per_block)
+        score = occupancy_efficiency(config, device)
+        if score > best_score:
+            best_threads, best_score = threads, score
+        threads *= 2
+    return best_threads

@@ -1,0 +1,87 @@
+"""Profiler: per-phase traffic and time accounting across an LDA run.
+
+The profiler plays the role of ``nvprof``/NVIDIA Visual Profiler in the
+paper's Sec. 4.3: it accumulates, per named phase (sampling, A update,
+preprocessing, transfer), the memory traffic and the simulated time, and
+produces the bandwidth-utilisation table (Table 4) and the optimisation
+breakdown (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .cost_model import CostModel
+from .memory import MemoryTraffic
+
+
+#: Canonical phase names, in the order Fig. 9 stacks them.
+PHASE_SAMPLING = "sampling"
+PHASE_A_UPDATE = "a_update"
+PHASE_PREPROCESSING = "preprocessing"
+PHASE_TRANSFER = "transfer"
+ALL_PHASES = (PHASE_SAMPLING, PHASE_A_UPDATE, PHASE_PREPROCESSING, PHASE_TRANSFER)
+
+
+@dataclass
+class PhaseRecord:
+    """Accumulated traffic and time for one phase."""
+
+    traffic: MemoryTraffic = field(default_factory=MemoryTraffic)
+    seconds: float = 0.0
+    invocations: int = 0
+
+    def add(self, traffic: MemoryTraffic, seconds: float) -> None:
+        """Accumulate one invocation."""
+        self.traffic.merge(traffic)
+        self.seconds += seconds
+        self.invocations += 1
+
+
+@dataclass
+class Profiler:
+    """Collects per-phase statistics for a simulated run."""
+
+    cost_model: CostModel
+    phases: Dict[str, PhaseRecord] = field(default_factory=dict)
+    iteration_seconds: List[float] = field(default_factory=list)
+
+    def record(self, phase: str, traffic: MemoryTraffic, seconds: float) -> None:
+        """Record one phase invocation."""
+        self.phases.setdefault(phase, PhaseRecord()).add(traffic, seconds)
+
+    def record_iteration(self, seconds: float) -> None:
+        """Record the wall time of one full iteration."""
+        self.iteration_seconds.append(seconds)
+
+    # ------------------------------------------------------------------ #
+    # Reports
+    # ------------------------------------------------------------------ #
+    def total_seconds(self) -> float:
+        """Sum of all recorded phase times."""
+        return sum(record.seconds for record in self.phases.values())
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Per-phase total time, keyed by phase name."""
+        return {name: record.seconds for name, record in self.phases.items()}
+
+    def time_breakdown(self) -> Dict[str, float]:
+        """Phase times in Fig. 9 order (phases never recorded report 0)."""
+        breakdown = {phase: 0.0 for phase in ALL_PHASES}
+        breakdown.update(self.phase_seconds())
+        return breakdown
+
+    def bandwidth_table(self, phase: str = PHASE_SAMPLING) -> Dict[str, Dict[str, float]]:
+        """Table 4: achieved bandwidth and utilisation for one phase (default: sampling)."""
+        record = self.phases.get(phase)
+        if record is None or record.seconds <= 0:
+            raise ValueError(f"no time recorded for phase {phase!r}")
+        return self.cost_model.bandwidth_report(record.traffic, record.seconds)
+
+    def throughput_tokens_per_second(self, num_tokens_processed: int) -> float:
+        """End-to-end throughput in tokens/second over all recorded time."""
+        total = self.total_seconds()
+        if total <= 0:
+            return 0.0
+        return num_tokens_processed / total

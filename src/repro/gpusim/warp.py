@@ -1,0 +1,147 @@
+"""Warp-level primitives (lane-exact emulation of the CUDA intrinsics).
+
+The SaberLDA kernel is built from a handful of warp collectives
+(Sec. 3.2.3): a shuffle-based inclusive prefix sum, a ballot + find-first-set
+"warp vote", a lane broadcast (``warp_copy``), and a reduction.  These are
+reproduced here over length-``W`` NumPy arrays so the warp-based sampling
+kernel, the W-ary tree and SSC can be executed and tested exactly as the
+paper describes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+WARP_WIDTH = 32
+
+
+def _check_lane_vector(values: np.ndarray, warp_width: int) -> np.ndarray:
+    values = np.asarray(values)
+    if values.shape != (warp_width,):
+        raise ValueError(f"expected a vector of {warp_width} lane values, got shape {values.shape}")
+    return values
+
+
+def warp_prefix_sum(values: np.ndarray, warp_width: int = WARP_WIDTH) -> np.ndarray:
+    """Inclusive prefix sum across the lanes of a warp.
+
+    Emulates the ``O(log2 W)`` shuffle-down scan of Harris et al. [13]:
+    ``log2(W)`` rounds, each lane adding the value of the lane ``offset``
+    positions below it.  The result equals ``np.cumsum`` but the loop
+    structure matches the hardware algorithm (and its step count is what
+    the cost model charges).
+    """
+    values = _check_lane_vector(values, warp_width).astype(np.float64).copy()
+    offset = 1
+    while offset < warp_width:
+        shifted = np.concatenate([np.zeros(offset), values[:-offset]])
+        values = values + shifted
+        offset *= 2
+    return values
+
+
+def warp_reduce_sum(values: np.ndarray, warp_width: int = WARP_WIDTH) -> float:
+    """Sum across all lanes (``warp_sum`` in Fig. 5)."""
+    return float(_check_lane_vector(values, warp_width).sum())
+
+
+def warp_ballot(predicate: np.ndarray, warp_width: int = WARP_WIDTH) -> int:
+    """``__ballot``: pack the per-lane predicate into a ``W``-bit integer (lane 0 = bit 0)."""
+    predicate = _check_lane_vector(predicate, warp_width)
+    mask = 0
+    for lane in range(warp_width):
+        if predicate[lane]:
+            mask |= 1 << lane
+    return mask
+
+
+def ffs(mask: int) -> int:
+    """``__ffs``: 1-based index of the least-significant set bit, 0 if none (CUDA semantics)."""
+    if mask == 0:
+        return 0
+    return (mask & -mask).bit_length()
+
+
+def warp_vote(predicate: np.ndarray, warp_width: int = WARP_WIDTH) -> int:
+    """The paper's ``warp_vote``: first lane whose predicate holds, or -1.
+
+    Implemented exactly as described in Sec. 3.2.3: a ballot followed by a
+    find-first-set.
+    """
+    return ffs(warp_ballot(predicate, warp_width)) - 1
+
+
+def warp_copy(values: np.ndarray, source_lane: int, warp_width: int = WARP_WIDTH) -> float:
+    """Broadcast the value held by ``source_lane`` to the whole warp (``warp_copy`` in Fig. 5)."""
+    values = _check_lane_vector(values, warp_width)
+    if not 0 <= source_lane < warp_width:
+        raise ValueError(f"source_lane must be in [0, {warp_width})")
+    return float(values[source_lane])
+
+
+def warp_shuffle_down(values: np.ndarray, delta: int, warp_width: int = WARP_WIDTH) -> np.ndarray:
+    """``__shfl_down``: lane ``i`` receives the value of lane ``i + delta`` (self if out of range)."""
+    values = _check_lane_vector(values, warp_width)
+    result = values.copy()
+    if delta <= 0:
+        return result
+    result[: warp_width - delta] = values[delta:]
+    return result
+
+
+@dataclass
+class DivergenceTracker:
+    """Counts warp-divergence events for thread- vs warp-based sampling comparisons.
+
+    ``record_branch`` is called with the per-lane branch decisions of one
+    warp: if the lanes disagree, the warp must execute both paths, which
+    the tracker records as a divergent event.  ``record_loop`` is called
+    with per-lane loop trip counts: the warp's cost is the *maximum* count,
+    and the tracker accumulates the idle lane-iterations that shorter
+    loops waste.
+    """
+
+    branch_events: int = 0
+    divergent_branch_events: int = 0
+    loop_events: int = 0
+    executed_lane_iterations: float = 0.0
+    useful_lane_iterations: float = 0.0
+    _history: List[float] = field(default_factory=list)
+
+    def record_branch(self, lane_decisions: np.ndarray) -> bool:
+        """Record one branch; returns True when the warp diverged."""
+        lane_decisions = np.asarray(lane_decisions, dtype=bool)
+        self.branch_events += 1
+        diverged = bool(lane_decisions.any() and not lane_decisions.all())
+        if diverged:
+            self.divergent_branch_events += 1
+        return diverged
+
+    def record_loop(self, lane_trip_counts: np.ndarray) -> float:
+        """Record one variable-length loop; returns the warp's effective trip count."""
+        lane_trip_counts = np.asarray(lane_trip_counts, dtype=np.float64)
+        if len(lane_trip_counts) == 0:
+            return 0.0
+        warp_trips = float(lane_trip_counts.max())
+        self.loop_events += 1
+        self.executed_lane_iterations += warp_trips * len(lane_trip_counts)
+        self.useful_lane_iterations += float(lane_trip_counts.sum())
+        self._history.append(warp_trips)
+        return warp_trips
+
+    @property
+    def divergence_rate(self) -> float:
+        """Fraction of branches that diverged."""
+        if self.branch_events == 0:
+            return 0.0
+        return self.divergent_branch_events / self.branch_events
+
+    @property
+    def lane_efficiency(self) -> float:
+        """Useful / executed lane-iterations (1.0 means no lanes ever waited)."""
+        if self.executed_lane_iterations == 0:
+            return 1.0
+        return self.useful_lane_iterations / self.executed_lane_iterations

@@ -1,0 +1,91 @@
+"""SaberLDA: sparsity-aware LDA training with PDOW layout, warp sampling, W-ary trees and SSC."""
+
+from .ablation import AblationEntry, AblationReport, run_ablation
+from .config import (
+    CountRebuildKind,
+    PreprocessKind,
+    SaberLDAConfig,
+    TokenOrder,
+    ablation_presets,
+)
+from .costing import (
+    WorkloadStats,
+    count_rebuild_traffic,
+    expected_distinct_topics,
+    per_chunk_transfer_bytes,
+    preprocessing_traffic,
+    sampling_traffic,
+    transfer_traffic,
+)
+from .estep import EStepResult, WordSide, esca_estep
+from .kernels import WarpSampleStats, thread_sample_token, thread_sample_warp, warp_sample_token
+from .layout import ChunkLayout, WordRun, build_layout, gather_layout_tokens, layout_chunk
+from .projection import IterationCost, cost_iteration_phases
+from .scheduling import (
+    ScheduleOutcome,
+    frequency_ordering_benefit,
+    head_token_share,
+    schedule_word_runs,
+    simulate_dynamic_schedule,
+)
+from .ssc import (
+    ChunkDocTopicRows,
+    merge_chunk_rows,
+    radix_sort_shared,
+    rebuild_doc_topic_sort,
+    rebuild_doc_topic_ssc,
+    segmented_count,
+    shuffle_to_document_order,
+)
+from .trainer import IterationRecord, SaberLDATrainer, TrainingResult, train_saberlda
+from .tree_builder import WarpWaryTree
+
+__all__ = [
+    "AblationEntry",
+    "AblationReport",
+    "ChunkDocTopicRows",
+    "ChunkLayout",
+    "CountRebuildKind",
+    "EStepResult",
+    "IterationCost",
+    "IterationRecord",
+    "PreprocessKind",
+    "SaberLDAConfig",
+    "ScheduleOutcome",
+    "SaberLDATrainer",
+    "TokenOrder",
+    "TrainingResult",
+    "WarpSampleStats",
+    "WarpWaryTree",
+    "WordRun",
+    "WordSide",
+    "WorkloadStats",
+    "ablation_presets",
+    "build_layout",
+    "cost_iteration_phases",
+    "count_rebuild_traffic",
+    "esca_estep",
+    "expected_distinct_topics",
+    "frequency_ordering_benefit",
+    "gather_layout_tokens",
+    "head_token_share",
+    "layout_chunk",
+    "merge_chunk_rows",
+    "per_chunk_transfer_bytes",
+    "preprocessing_traffic",
+    "radix_sort_shared",
+    "rebuild_doc_topic_sort",
+    "rebuild_doc_topic_ssc",
+    "run_ablation",
+    "sampling_traffic",
+    "schedule_word_runs",
+    "segmented_count",
+    "shuffle_to_document_order",
+    "simulate_dynamic_schedule",
+    "thread_sample_token",
+    "thread_sample_warp",
+    "train_saberlda",
+    "trainer",
+    "transfer_traffic",
+    "warp_sample_token",
+]

@@ -1,0 +1,144 @@
+"""SaberLDA configuration and the ablation presets of Fig. 9.
+
+Every design choice the paper ablates is a field of
+:class:`SaberLDAConfig`:
+
+* the token ordering inside a chunk (doc-major vs word-major — PDOW),
+* the Problem-2 pre-processing structure (alias table vs W-ary tree),
+* the document-topic rebuild algorithm (global sort vs SSC),
+* synchronous vs asynchronous (multi-worker) streaming.
+
+``G0`` … ``G4`` reproduce the cumulative configurations of the
+optimisation-impact experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Dict
+
+from ..core.hyperparams import LDAHyperParams
+from ..gpusim.device import GTX_1080, DeviceSpec
+
+
+class TokenOrder(str, Enum):
+    """Ordering of tokens inside a streamed chunk (Sec. 3.1.3)."""
+
+    DOC_MAJOR = "doc_major"
+    WORD_MAJOR = "word_major"
+
+
+class PreprocessKind(str, Enum):
+    """Pre-processed structure answering Problem 2 (Sec. 3.2.4)."""
+
+    ALIAS_TABLE = "alias_table"
+    WARY_TREE = "wary_tree"
+
+
+class CountRebuildKind(str, Enum):
+    """Algorithm rebuilding the sparse document-topic matrix (Sec. 3.3)."""
+
+    GLOBAL_SORT = "global_sort"
+    SSC = "ssc"
+
+
+@dataclass(frozen=True)
+class SaberLDAConfig:
+    """Full configuration of a SaberLDA training run.
+
+    Attributes
+    ----------
+    params:
+        LDA hyper-parameters (K, alpha, beta).
+    num_chunks:
+        Number of partition-by-document chunks the corpus is streamed in.
+    num_workers:
+        Concurrent cudaStream-like workers (>= 2 overlaps transfers).
+    threads_per_block:
+        CUDA block size of the sampling kernel (Sec. 4.2.3 tunes this).
+    token_order:
+        Ordering of tokens within a chunk; ``WORD_MAJOR`` + document
+        chunking is the paper's PDOW layout.
+    preprocess:
+        Alias table (G0/G1) or W-ary tree (G2+).
+    count_rebuild:
+        Global sort (G0-G2) or shuffle-and-segmented-count (G3+).
+    asynchronous:
+        Whether transfers overlap computation (G4, or any run with
+        ``num_workers >= 2``).
+    device:
+        Simulated device the run is costed on.
+    seed:
+        Seed of the deterministic RNG driving the samplers.
+    num_iterations:
+        Number of E/M iterations to run.
+    evaluate_every:
+        Compute the training log-likelihood every this many iterations.
+    """
+
+    params: LDAHyperParams
+    num_chunks: int = 1
+    num_workers: int = 4
+    threads_per_block: int = 256
+    token_order: TokenOrder = TokenOrder.WORD_MAJOR
+    preprocess: PreprocessKind = PreprocessKind.WARY_TREE
+    count_rebuild: CountRebuildKind = CountRebuildKind.SSC
+    asynchronous: bool = True
+    device: DeviceSpec = field(default=GTX_1080)
+    seed: int = 0
+    num_iterations: int = 50
+    evaluate_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_chunks < 1:
+            raise ValueError("num_chunks must be >= 1")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.threads_per_block % 32 != 0:
+            raise ValueError("threads_per_block must be a multiple of the warp width (32)")
+        if self.num_iterations < 1:
+            raise ValueError("num_iterations must be >= 1")
+        if self.evaluate_every < 1:
+            raise ValueError("evaluate_every must be >= 1")
+
+    @property
+    def uses_pdow(self) -> bool:
+        """True when the run uses the paper's PDOW layout."""
+        return self.token_order is TokenOrder.WORD_MAJOR
+
+    def with_overrides(self, **changes) -> "SaberLDAConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    @classmethod
+    def paper_defaults(cls, num_topics: int, **changes) -> "SaberLDAConfig":
+        """The fully-optimised configuration (G4) with ``alpha = 50/K, beta = 0.01``."""
+        config = cls(params=LDAHyperParams.paper_defaults(num_topics))
+        return config.with_overrides(**changes) if changes else config
+
+
+def ablation_presets(num_topics: int, num_chunks: int = 3) -> Dict[str, SaberLDAConfig]:
+    """The cumulative optimisation levels G0..G4 of Fig. 9.
+
+    * **G0** — baseline: doc-major order over the whole corpus, alias
+      table, sort-based count rebuild, synchronous single worker;
+    * **G1** — + PDOW (word-major order within document chunks);
+    * **G2** — + W-ary tree instead of the alias table;
+    * **G3** — + SSC count rebuild instead of the global sort;
+    * **G4** — + asynchronous multi-worker streaming.
+    """
+    base = SaberLDAConfig(
+        params=LDAHyperParams.paper_defaults(num_topics),
+        num_chunks=num_chunks,
+        num_workers=1,
+        token_order=TokenOrder.DOC_MAJOR,
+        preprocess=PreprocessKind.ALIAS_TABLE,
+        count_rebuild=CountRebuildKind.GLOBAL_SORT,
+        asynchronous=False,
+    )
+    g1 = base.with_overrides(token_order=TokenOrder.WORD_MAJOR)
+    g2 = g1.with_overrides(preprocess=PreprocessKind.WARY_TREE)
+    g3 = g2.with_overrides(count_rebuild=CountRebuildKind.SSC)
+    g4 = g3.with_overrides(asynchronous=True, num_workers=4)
+    return {"G0": base, "G1": g1, "G2": g2, "G3": g3, "G4": g4}

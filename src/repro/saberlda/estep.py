@@ -1,0 +1,148 @@
+"""Vectorised ESCA E-step (the functional counterpart of the warp kernel).
+
+ESCA is bulk-synchronous: during the E-step every token reads the *frozen*
+matrices ``A`` and ``B̂`` (Alg. 1), so the statistical result does not
+depend on the order in which tokens are visited.  The trainer therefore
+runs the sampling mathematics with NumPy batched per document — exactly
+the same two-branch decomposition as Alg. 2 — while the layout-dependent
+*cost* of the pass is charged separately by ``repro.saberlda.costing``.
+The lane-exact warp kernel in ``repro.saberlda.kernels`` is validated
+against this reference in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.count_matrices import SparseDocTopicMatrix, normalize_word_topic
+from ..core.tokens import TokenList
+
+
+@dataclass
+class WordSide:
+    """Per-word quantities prepared once per iteration (the M-step's pre-processing).
+
+    Attributes
+    ----------
+    probs:
+        ``B̂`` — the ``V x K`` word-topic probability matrix (Eq. 2).
+    cdf:
+        Row-wise inclusive prefix sums of ``B̂`` — the functional stand-in
+        for the per-word W-ary trees (Problem 2 sampling).
+    prior_mass:
+        ``Q_v = alpha * sum_k B̂_vk`` for every word.
+    """
+
+    probs: np.ndarray
+    cdf: np.ndarray
+    prior_mass: np.ndarray
+
+    @classmethod
+    def prepare(cls, word_topic_counts: np.ndarray, alpha: float, beta: float) -> "WordSide":
+        """Compute ``B̂``, its per-row CDF and the prior masses from the counts ``B``."""
+        probs = normalize_word_topic(word_topic_counts, beta)
+        cdf = np.cumsum(probs, axis=1)
+        prior_mass = alpha * probs.sum(axis=1)
+        return cls(probs=probs, cdf=cdf, prior_mass=prior_mass)
+
+    @property
+    def num_topics(self) -> int:
+        """``K``."""
+        return int(self.probs.shape[1])
+
+
+@dataclass
+class EStepResult:
+    """Output of one E-step over a token list."""
+
+    new_topics: np.ndarray
+    doc_branch_tokens: int
+    prior_branch_tokens: int
+
+    @property
+    def doc_branch_fraction(self) -> float:
+        """Fraction of tokens resolved on the document (Problem 1) side."""
+        total = self.doc_branch_tokens + self.prior_branch_tokens
+        if total == 0:
+            return 0.0
+        return self.doc_branch_tokens / total
+
+
+def _sample_rows_from_cdf(cdf_rows: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+    """Vectorised prefix-sum search: one sample per row of ``cdf_rows``."""
+    totals = cdf_rows[:, -1]
+    targets = uniforms * totals
+    indices = (cdf_rows < targets[:, None]).sum(axis=1)
+    return np.minimum(indices, cdf_rows.shape[1] - 1)
+
+
+def esca_estep(
+    tokens: TokenList,
+    doc_topic: SparseDocTopicMatrix,
+    word_side: WordSide,
+    rng: np.random.Generator,
+) -> EStepResult:
+    """Resample every token's topic with the sparsity-aware decomposition.
+
+    Returns the new topic assignments aligned with ``tokens`` (the input
+    list is not modified).
+    """
+    num_tokens = tokens.num_tokens
+    new_topics = np.empty(num_tokens, dtype=np.int32)
+    if num_tokens == 0:
+        return EStepResult(new_topics, 0, 0)
+
+    doc_branch_total = 0
+
+    # Group token positions by document so each document is one vectorised batch.
+    order = np.argsort(tokens.doc_ids, kind="stable")
+    sorted_docs = tokens.doc_ids[order]
+    boundaries = np.flatnonzero(np.diff(sorted_docs)) + 1
+    starts = np.concatenate([[0], boundaries])
+    stops = np.concatenate([boundaries, [num_tokens]])
+
+    for start, stop in zip(starts, stops):
+        positions = order[start:stop]
+        doc_id = int(sorted_docs[start])
+        words = tokens.word_ids[positions]
+        count = len(positions)
+
+        nz_topics, nz_counts = doc_topic.row(doc_id)
+        prior_mass = word_side.prior_mass[words]
+
+        if len(nz_topics) == 0:
+            # Empty document row: only Problem 2 has mass.
+            chosen = _sample_rows_from_cdf(word_side.cdf[words], rng.random(count))
+            new_topics[positions] = chosen.astype(np.int32)
+            continue
+
+        # Problem 1 weights: P = A_d ⊙ B̂_v restricted to the non-zero topics.
+        product = word_side.probs[words][:, nz_topics] * nz_counts.astype(np.float64)[None, :]
+        doc_mass = product.sum(axis=1)
+
+        take_doc_side = rng.random(count) < doc_mass / (doc_mass + prior_mass)
+        doc_branch_total += int(take_doc_side.sum())
+
+        result = np.empty(count, dtype=np.int64)
+
+        if take_doc_side.any():
+            doc_cdf = np.cumsum(product[take_doc_side], axis=1)
+            picks = _sample_rows_from_cdf(doc_cdf, rng.random(int(take_doc_side.sum())))
+            result[take_doc_side] = nz_topics[picks]
+
+        prior_side = ~take_doc_side
+        if prior_side.any():
+            cdf_rows = word_side.cdf[words[prior_side]]
+            result[prior_side] = _sample_rows_from_cdf(
+                cdf_rows, rng.random(int(prior_side.sum()))
+            )
+
+        new_topics[positions] = result.astype(np.int32)
+
+    return EStepResult(
+        new_topics=new_topics,
+        doc_branch_tokens=doc_branch_total,
+        prior_branch_tokens=num_tokens - doc_branch_total,
+    )

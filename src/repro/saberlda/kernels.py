@@ -1,0 +1,197 @@
+"""Warp-based and thread-based sampling kernels (Sec. 3.2, Fig. 5).
+
+Two lane-exact kernels are provided:
+
+* :func:`warp_sample_token` — the paper's warp-based kernel: all 32 lanes
+  of a warp collaborate on a single token.  The element-wise product and
+  the prefix-sum search proceed in 32-wide strides over the document's
+  sparse row, the branch between Problem 1 and Problem 2 is taken by the
+  whole warp, and the pre-processed sample uses the warp-built W-ary
+  tree.  There is no divergence and no per-lane waiting.
+* :func:`thread_sample_token` — the straightforward thread-based kernel
+  (one token per lane) used to *measure* the waiting and divergence
+  problems the paper describes; it feeds the :class:`DivergenceTracker`.
+
+Both kernels operate on explicit arrays and a deterministic
+:class:`~repro.sampling.rng.XorShiftRNG`, so their output distribution can
+be verified against the exact target (Eq. 1) in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpusim.warp import (
+    WARP_WIDTH,
+    DivergenceTracker,
+    warp_copy,
+    warp_prefix_sum,
+    warp_reduce_sum,
+    warp_vote,
+)
+from ..sampling.rng import XorShiftRNG
+from .tree_builder import WarpWaryTree
+
+
+@dataclass
+class WarpSampleStats:
+    """Execution statistics of warp-based sampling (for the cost model and tests)."""
+
+    tokens_sampled: int = 0
+    warp_iterations: int = 0
+    doc_side_samples: int = 0
+    tree_samples: int = 0
+
+    def merge(self, other: "WarpSampleStats") -> None:
+        """Accumulate another stats record."""
+        self.tokens_sampled += other.tokens_sampled
+        self.warp_iterations += other.warp_iterations
+        self.doc_side_samples += other.doc_side_samples
+        self.tree_samples += other.tree_samples
+
+
+def warp_sample_token(
+    doc_topic_indices: np.ndarray,
+    doc_topic_counts: np.ndarray,
+    word_topic_probs_row: np.ndarray,
+    tree: WarpWaryTree,
+    prior_mass: float,
+    rng: XorShiftRNG,
+    stats: WarpSampleStats | None = None,
+) -> int:
+    """Sample one token's topic with a full warp (Fig. 5 ``WarpSample``).
+
+    Parameters mirror Alg. 2: the CSR row of ``A_d``, the shared-memory
+    row ``B̂_v``, the word's W-ary tree and the prior mass
+    ``Q_v = alpha * sum_k B̂_vk``.
+    """
+    doc_topic_indices = np.asarray(doc_topic_indices, dtype=np.int64)
+    doc_topic_counts = np.asarray(doc_topic_counts, dtype=np.float64)
+    word_topic_probs_row = np.asarray(word_topic_probs_row, dtype=np.float64)
+    nnz = len(doc_topic_indices)
+
+    if stats is None:
+        stats = WarpSampleStats()
+    stats.tokens_sampled += 1
+
+    # ---------------------------------------------------------------- #
+    # Element-wise product P = A_d ⊙ B̂_v in 32-wide strides (Sec. 3.2.1)
+    # ---------------------------------------------------------------- #
+    product = np.zeros(max(nnz, 1), dtype=np.float64)
+    doc_mass = 0.0
+    for start in range(0, nnz, WARP_WIDTH):
+        stop = min(start + WARP_WIDTH, nnz)
+        lane_product = np.zeros(WARP_WIDTH, dtype=np.float64)
+        lane_product[: stop - start] = (
+            doc_topic_counts[start:stop] * word_topic_probs_row[doc_topic_indices[start:stop]]
+        )
+        product[start:stop] = lane_product[: stop - start]
+        doc_mass += warp_reduce_sum(lane_product)
+        stats.warp_iterations += 1
+
+    # ---------------------------------------------------------------- #
+    # Branch choice (Sec. 3.2.2): the whole warp takes one side.
+    # ---------------------------------------------------------------- #
+    total_mass = doc_mass + prior_mass
+    if nnz > 0 and rng.next_float() < doc_mass / total_mass:
+        stats.doc_side_samples += 1
+        # ------------------------------------------------------------ #
+        # Sample from P (Sec. 3.2.3): strided warp prefix sum + vote.
+        # ------------------------------------------------------------ #
+        target = rng.next_float() * doc_mass
+        running = 0.0
+        for start in range(0, nnz, WARP_WIDTH):
+            stop = min(start + WARP_WIDTH, nnz)
+            lane_values = np.zeros(WARP_WIDTH, dtype=np.float64)
+            lane_values[: stop - start] = product[start:stop]
+            prefix = warp_prefix_sum(lane_values) + running
+            stats.warp_iterations += 1
+            # Lanes beyond the row's end must not win the vote.
+            valid = np.arange(WARP_WIDTH) < (stop - start)
+            vote = warp_vote((prefix >= target) & valid)
+            if vote != -1:
+                return int(doc_topic_indices[start + vote])
+            running = warp_copy(prefix, WARP_WIDTH - 1)
+        # Floating-point round-off can leave the target just above the last
+        # prefix; return the final non-zero entry as searchsorted would.
+        return int(doc_topic_indices[nnz - 1])
+
+    stats.tree_samples += 1
+    return tree.sample(rng.next_float())
+
+
+def thread_sample_token(
+    doc_topic_indices: np.ndarray,
+    doc_topic_counts: np.ndarray,
+    word_topic_probs_row: np.ndarray,
+    tree: WarpWaryTree,
+    prior_mass: float,
+    rng: XorShiftRNG,
+) -> int:
+    """Thread-based sampling of a single token (one lane does all the work).
+
+    Functionally identical to :func:`warp_sample_token`; used as the
+    per-lane body of :func:`thread_sample_warp`.
+    """
+    doc_topic_indices = np.asarray(doc_topic_indices, dtype=np.int64)
+    doc_topic_counts = np.asarray(doc_topic_counts, dtype=np.float64)
+    nnz = len(doc_topic_indices)
+    if nnz == 0:
+        return tree.sample(rng.next_float())
+    product = doc_topic_counts * np.asarray(word_topic_probs_row)[doc_topic_indices]
+    doc_mass = float(product.sum())
+    if rng.next_float() < doc_mass / (doc_mass + prior_mass):
+        target = rng.next_float() * doc_mass
+        prefix = np.cumsum(product)
+        position = int(np.searchsorted(prefix, target, side="left"))
+        return int(doc_topic_indices[min(position, nnz - 1)])
+    return tree.sample(rng.next_float())
+
+
+def thread_sample_warp(
+    per_token_rows: list,
+    word_topic_probs_rows: np.ndarray,
+    trees: list,
+    prior_masses: np.ndarray,
+    rng: XorShiftRNG,
+    tracker: DivergenceTracker,
+) -> np.ndarray:
+    """Sample up to 32 tokens with one lane each, recording divergence and waiting.
+
+    ``per_token_rows`` is a list of ``(indices, counts)`` CSR rows, one per
+    lane; ``word_topic_probs_rows``, ``trees`` and ``prior_masses`` give
+    each lane's word-side inputs.  The tracker records (a) the loop-length
+    imbalance across lanes (every lane waits for the longest document row)
+    and (b) the branch divergence between Problem-1 and Problem-2 lanes.
+    """
+    num_lanes = len(per_token_rows)
+    if num_lanes > WARP_WIDTH:
+        raise ValueError(f"a warp samples at most {WARP_WIDTH} tokens, got {num_lanes}")
+    lane_nnz = np.zeros(WARP_WIDTH)
+    lane_nnz[:num_lanes] = [len(indices) for indices, _counts in per_token_rows]
+    tracker.record_loop(lane_nnz)
+
+    results = np.empty(num_lanes, dtype=np.int64)
+    branch_doc_side = np.zeros(WARP_WIDTH, dtype=bool)
+    for lane in range(num_lanes):
+        indices, counts = per_token_rows[lane]
+        lane_rng = rng.spawn(lane)
+        row = word_topic_probs_rows[lane]
+        product_sum = (
+            float((np.asarray(counts, dtype=np.float64) * row[np.asarray(indices)]).sum())
+            if len(indices)
+            else 0.0
+        )
+        branch_doc_side[lane] = (
+            len(indices) > 0
+            and lane_rng.next_float() < product_sum / (product_sum + prior_masses[lane])
+        )
+        # Re-run the full per-lane kernel with a fresh, identically seeded
+        # stream so the branch probe above does not perturb the outcome.
+        results[lane] = thread_sample_token(
+            indices, counts, row, trees[lane], prior_masses[lane], rng.spawn(lane)
+        )
+    tracker.record_branch(branch_doc_side[:num_lanes])
+    return results

@@ -1,0 +1,104 @@
+"""Per-iteration phase costing shared by the trainer, the ablation and the projections.
+
+Given the workload statistics of one iteration (measured from a replica
+or derived analytically from a full-scale dataset descriptor) and a
+:class:`~repro.saberlda.config.SaberLDAConfig`, :func:`cost_iteration_phases`
+returns the simulated seconds (and the underlying traffic) of the four
+phases Fig. 9 reports: sampling, document-topic update, pre-processing
+and (exposed) transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..gpusim.cost_model import CostModel
+from ..gpusim.memory import MemoryTraffic
+from ..gpusim.occupancy import LaunchConfig, occupancy_efficiency
+from ..gpusim.profiler import (
+    PHASE_A_UPDATE,
+    PHASE_PREPROCESSING,
+    PHASE_SAMPLING,
+    PHASE_TRANSFER,
+)
+from ..gpusim.streams import ChunkWork, simulate_stream_schedule
+from .config import SaberLDAConfig
+from .costing import (
+    WorkloadStats,
+    count_rebuild_traffic,
+    per_chunk_transfer_bytes,
+    preprocessing_traffic,
+    sampling_shared_bytes,
+    sampling_traffic,
+    transfer_traffic,
+)
+
+
+@dataclass
+class IterationCost:
+    """Simulated cost of one full iteration."""
+
+    phase_seconds: Dict[str, float]
+    phase_traffic: Dict[str, MemoryTraffic]
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum over phases."""
+        return sum(self.phase_seconds.values())
+
+
+def cost_iteration_phases(stats: WorkloadStats, config: SaberLDAConfig) -> IterationCost:
+    """Cost one iteration of the configured SaberLDA variant on its device."""
+    device = config.device
+    cost_model = CostModel(device)
+
+    shared_bytes = min(
+        sampling_shared_bytes(stats.num_topics, config.threads_per_block, stats.mean_doc_nnz),
+        device.shared_memory_per_sm,
+    )
+    launch = LaunchConfig(config.threads_per_block, shared_bytes)
+    efficiency = max(occupancy_efficiency(launch, device), 1e-3)
+
+    sampling = sampling_traffic(stats, config, device)
+    sampling_time = cost_model.kernel_time(sampling, efficiency)
+
+    rebuild = count_rebuild_traffic(stats, config, device)
+    rebuild_time = cost_model.kernel_time(rebuild, 1.0)
+
+    preprocess = preprocessing_traffic(stats, config, device)
+    preprocess_time = cost_model.kernel_time(preprocess, 1.0)
+
+    transfers = transfer_traffic(stats, config)
+    if config.asynchronous and config.num_workers >= 2 and len(stats.chunk_token_counts) > 0:
+        chunk_bytes = per_chunk_transfer_bytes(stats, config)
+        counts = np.asarray(stats.chunk_token_counts, dtype=np.float64)
+        shares = counts / counts.sum() if counts.sum() else np.zeros_like(counts)
+        chunk_work = [
+            ChunkWork(
+                transfer_bytes=chunk_bytes[i],
+                compute_seconds=sampling_time.seconds * float(shares[i]),
+            )
+            for i in range(len(chunk_bytes))
+        ]
+        schedule = simulate_stream_schedule(chunk_work, device, config.num_workers)
+        exposed_transfer = max(0.0, schedule.makespan_seconds - sampling_time.seconds)
+    else:
+        exposed_transfer = cost_model.transfer_time(transfers)
+
+    return IterationCost(
+        phase_seconds={
+            PHASE_SAMPLING: sampling_time.seconds,
+            PHASE_A_UPDATE: rebuild_time.seconds,
+            PHASE_PREPROCESSING: preprocess_time.seconds,
+            PHASE_TRANSFER: exposed_transfer,
+        },
+        phase_traffic={
+            PHASE_SAMPLING: sampling,
+            PHASE_A_UPDATE: rebuild,
+            PHASE_PREPROCESSING: preprocess,
+            PHASE_TRANSFER: transfers,
+        },
+    )

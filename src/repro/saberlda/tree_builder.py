@@ -1,0 +1,149 @@
+"""Warp-built W-ary sampling tree (Figs. 6 and 7) — lane-exact emulation.
+
+This is the GPU-side counterpart of :class:`repro.sampling.WaryTree`: a
+four-level tree whose two small top levels live in registers (one float
+and one 32-float level) and whose two bottom levels live in shared
+memory.  Construction uses only warp collectives — a strided
+``warp_prefix_sum`` over the weights builds the bottom level, and each
+upper level is the last prefix of every 32-wide group of the level below —
+so a full warp builds the tree in ``O(K / 32)`` steps.  Sampling descends
+with one ``warp_vote`` per level (Fig. 7), touching one 128-byte line of
+shared memory per level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpusim.warp import WARP_WIDTH, warp_copy, warp_prefix_sum, warp_vote
+
+
+@dataclass
+class WarpWaryTree:
+    """The four-level W-ary tree of Fig. 6.
+
+    Attributes
+    ----------
+    level1:
+        Root scalar — the total weight (register).
+    level2:
+        32 floats (registers): group totals of ``level3``.
+    level3:
+        Shared-memory array: group totals of ``level4`` (padded to 32n).
+    level4:
+        Shared-memory array: inclusive prefix sums of the weights (padded
+        to a multiple of 32 with the total).
+    num_outcomes:
+        ``K`` — number of valid leaves.
+    construction_warp_steps:
+        Number of 32-wide warp operations the build used (cost model input).
+    """
+
+    level1: float
+    level2: np.ndarray
+    level3: np.ndarray
+    level4: np.ndarray
+    num_outcomes: int
+    construction_warp_steps: int
+
+    # ------------------------------------------------------------------ #
+    # Construction (Fig. 6 constructor)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, weights: np.ndarray) -> "WarpWaryTree":
+        """Build the tree from a weight vector using warp prefix sums."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if len(weights) == 0:
+            raise ValueError("weights must be non-empty")
+        if (weights < 0).any():
+            raise ValueError("weights must be non-negative")
+        max_leaves = WARP_WIDTH**3
+        if len(weights) > max_leaves:
+            raise ValueError(
+                f"the four-level tree supports at most {max_leaves} outcomes, got {len(weights)}"
+            )
+
+        num_outcomes = len(weights)
+        padded_len = -(-num_outcomes // WARP_WIDTH) * WARP_WIDTH
+        padded = np.zeros(padded_len, dtype=np.float64)
+        padded[:num_outcomes] = weights
+
+        # Level 4: inclusive prefix sums, built one 32-wide group at a time
+        # with the warp scan, carrying the running total between groups.
+        level4 = np.empty(padded_len, dtype=np.float64)
+        running_total = 0.0
+        warp_steps = 0
+        for group_start in range(0, padded_len, WARP_WIDTH):
+            group = padded[group_start : group_start + WARP_WIDTH]
+            scanned = warp_prefix_sum(group) + running_total
+            level4[group_start : group_start + WARP_WIDTH] = scanned
+            running_total = warp_copy(scanned, WARP_WIDTH - 1)
+            warp_steps += 1
+        total = running_total
+
+        # Level 3: last prefix of every 32-wide group of level 4, padded to 32n
+        # with the total so padded slots never win a vote.
+        level3_raw = level4[WARP_WIDTH - 1 :: WARP_WIDTH]
+        level3_len = -(-len(level3_raw) // WARP_WIDTH) * WARP_WIDTH
+        level3 = np.full(level3_len, total, dtype=np.float64)
+        level3[: len(level3_raw)] = level3_raw
+        warp_steps += level3_len // WARP_WIDTH
+
+        # Level 2: last entry of every 32-wide group of level 3 (at most 32 entries).
+        level2_raw = level3[WARP_WIDTH - 1 :: WARP_WIDTH]
+        level2 = np.full(WARP_WIDTH, total, dtype=np.float64)
+        level2[: len(level2_raw)] = level2_raw
+        warp_steps += 1
+
+        return cls(
+            level1=float(total),
+            level2=level2,
+            level3=level3,
+            level4=level4,
+            num_outcomes=num_outcomes,
+            construction_warp_steps=warp_steps,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries (Fig. 6 Sum / Sample)
+    # ------------------------------------------------------------------ #
+    def sum(self) -> float:
+        """Total weight (the root register)."""
+        return self.level1
+
+    def sample(self, u: float) -> int:
+        """Descend the tree for a uniform ``u`` in ``[0, 1)`` using warp votes."""
+        target = u * self.level1
+        # Level 2 vote (registers): which 32-wide group of level 3?
+        vote2 = warp_vote(self.level2 >= target)
+        offset3 = max(vote2, 0) * WARP_WIDTH
+        # Level 3 vote (one shared-memory cache line).
+        lane_values3 = self._lane_window(self.level3, offset3)
+        vote3 = warp_vote(lane_values3 >= target)
+        offset4 = (offset3 + max(vote3, 0)) * WARP_WIDTH
+        # Level 4 vote (one shared-memory cache line).
+        lane_values4 = self._lane_window(self.level4, offset4)
+        vote4 = warp_vote(lane_values4 >= target)
+        leaf = offset4 + max(vote4, 0)
+        return min(leaf, self.num_outcomes - 1)
+
+    def leaf_probabilities(self) -> np.ndarray:
+        """Recover the normalised leaf distribution (for testing)."""
+        prefix = self.level4[: self.num_outcomes]
+        weights = np.diff(np.concatenate([[0.0], prefix]))
+        return weights / weights.sum()
+
+    def shared_memory_bytes(self, float_bytes: int = 4) -> int:
+        """Shared-memory footprint of levels 3 and 4 (levels 1-2 live in registers)."""
+        return (len(self.level3) + len(self.level4)) * float_bytes
+
+    @staticmethod
+    def _lane_window(level: np.ndarray, offset: int) -> np.ndarray:
+        """The 32 values ``level[offset + lane]`` with out-of-range lanes reading +inf."""
+        window = np.full(WARP_WIDTH, np.inf)
+        stop = min(offset + WARP_WIDTH, len(level))
+        if offset < stop:
+            window[: stop - offset] = level[offset:stop]
+        return window

@@ -1,0 +1,28 @@
+"""Sampling primitives: vanilla multinomial, alias table, Fenwick tree, W-ary tree."""
+
+from .alias_table import AliasTable
+from .fenwick_tree import FenwickTree
+from .multinomial import (
+    prefix_sum_search,
+    sample_multinomial,
+    sample_multinomial_batch,
+    sample_sparse_vector,
+)
+from .rng import LaneRNGBank, XorShiftRNG
+from .sparse import exact_token_distribution, sample_token, word_prior_mass
+from .wary_tree import WaryTree
+
+__all__ = [
+    "AliasTable",
+    "FenwickTree",
+    "LaneRNGBank",
+    "WaryTree",
+    "XorShiftRNG",
+    "exact_token_distribution",
+    "prefix_sum_search",
+    "sample_multinomial",
+    "sample_multinomial_batch",
+    "sample_sparse_vector",
+    "sample_token",
+    "word_prior_mass",
+]

@@ -1,0 +1,110 @@
+"""Walker's alias table (the pre-processing structure of AliasLDA and of G0/G1).
+
+An alias table supports O(1) sampling from a fixed discrete distribution
+after an O(K) *sequential* construction.  The paper's ablation (Fig. 9)
+shows that this sequential construction is the bottleneck of the
+straightforward GPU port (G1) and motivates the W-ary tree (G2), which
+can be built by a whole warp in parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class AliasTable:
+    """Alias table over ``K`` outcomes.
+
+    Attributes
+    ----------
+    probabilities:
+        Per-bucket acceptance probability (after scaling to mean 1).
+    aliases:
+        Per-bucket alternative outcome used when the acceptance test fails.
+    total:
+        Sum of the original (unnormalised) weights.
+    construction_steps:
+        Number of sequential steps the construction needed — exposed so the
+        GPU cost model can charge the (non-vectorisable) build time.
+    """
+
+    probabilities: np.ndarray
+    aliases: np.ndarray
+    total: float
+    construction_steps: int
+
+    @property
+    def num_outcomes(self) -> int:
+        """``K``."""
+        return int(len(self.probabilities))
+
+    @classmethod
+    def build(cls, weights: np.ndarray) -> "AliasTable":
+        """Construct the table with the standard two-worklist algorithm."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if len(weights) == 0:
+            raise ValueError("weights must be non-empty")
+        if (weights < 0).any():
+            raise ValueError("weights must be non-negative")
+        total = float(weights.sum())
+        if total <= 0:
+            raise ValueError("weights must have positive sum")
+
+        k = len(weights)
+        scaled = weights * (k / total)
+        probabilities = np.ones(k, dtype=np.float64)
+        aliases = np.arange(k, dtype=np.int64)
+
+        small = [i for i in range(k) if scaled[i] < 1.0]
+        large = [i for i in range(k) if scaled[i] >= 1.0]
+        steps = k  # initial scan
+
+        scaled = scaled.copy()
+        while small and large:
+            steps += 1
+            s = small.pop()
+            g = large.pop()
+            probabilities[s] = scaled[s]
+            aliases[s] = g
+            scaled[g] = scaled[g] - (1.0 - scaled[s])
+            if scaled[g] < 1.0:
+                small.append(g)
+            else:
+                large.append(g)
+        for leftover in small + large:
+            probabilities[leftover] = 1.0
+            aliases[leftover] = leftover
+
+        return cls(
+            probabilities=probabilities,
+            aliases=aliases,
+            total=total,
+            construction_steps=steps,
+        )
+
+    def sample(self, u1: float, u2: float) -> int:
+        """Draw one outcome using two uniforms: bucket choice and acceptance test."""
+        bucket = min(int(u1 * self.num_outcomes), self.num_outcomes - 1)
+        if u2 < self.probabilities[bucket]:
+            return bucket
+        return int(self.aliases[bucket])
+
+    def sample_batch(self, u1: np.ndarray, u2: np.ndarray) -> np.ndarray:
+        """Vectorised sampling for arrays of uniforms."""
+        u1 = np.asarray(u1, dtype=np.float64)
+        u2 = np.asarray(u2, dtype=np.float64)
+        buckets = np.minimum((u1 * self.num_outcomes).astype(np.int64), self.num_outcomes - 1)
+        accept = u2 < self.probabilities[buckets]
+        return np.where(accept, buckets, self.aliases[buckets])
+
+    def outcome_probabilities(self) -> np.ndarray:
+        """Reconstruct the original normalised distribution (for testing)."""
+        probs = np.zeros(self.num_outcomes, dtype=np.float64)
+        uniform = 1.0 / self.num_outcomes
+        for bucket in range(self.num_outcomes):
+            probs[bucket] += uniform * self.probabilities[bucket]
+            probs[self.aliases[bucket]] += uniform * (1.0 - self.probabilities[bucket])
+        return probs

@@ -1,0 +1,100 @@
+"""Fenwick (binary indexed) tree sampler, as used by F+LDA.
+
+The Fenwick tree supports O(log2 K) sampling and O(log2 K) single-weight
+updates after an O(K) build.  The paper cites it as the second standard
+pre-processing structure (Sec. 3.2.4) and points out that its branching
+factor of two leaves 30 of the 32 warp lanes idle — the motivation for
+the W-ary tree.  It is also the structure behind the DMLC F+LDA baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class FenwickTree:
+    """A Fenwick tree over non-negative weights supporting sampling by prefix sum."""
+
+    def __init__(self, weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if len(weights) == 0:
+            raise ValueError("weights must be non-empty")
+        if (weights < 0).any():
+            raise ValueError("weights must be non-negative")
+        self._size = len(weights)
+        self._tree = np.zeros(self._size + 1, dtype=np.float64)
+        # O(K) bulk build: tree[i] accumulates its child ranges directly.
+        self._tree[1:] = weights
+        for i in range(1, self._size + 1):
+            parent = i + (i & -i)
+            if parent <= self._size:
+                self._tree[parent] += self._tree[i]
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of outcomes ``K``."""
+        return self._size
+
+    def total(self) -> float:
+        """Sum of all weights."""
+        return self.prefix_sum(self._size)
+
+    def prefix_sum(self, count: int) -> float:
+        """Sum of the first ``count`` weights."""
+        if not 0 <= count <= self._size:
+            raise IndexError(f"count must be in [0, {self._size}]")
+        acc = 0.0
+        i = count
+        while i > 0:
+            acc += self._tree[i]
+            i -= i & -i
+        return acc
+
+    def get(self, index: int) -> float:
+        """Weight of a single outcome."""
+        return self.prefix_sum(index + 1) - self.prefix_sum(index)
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def add(self, index: int, delta: float) -> None:
+        """Add ``delta`` to one weight in O(log K)."""
+        if not 0 <= index < self._size:
+            raise IndexError(f"index must be in [0, {self._size})")
+        i = index + 1
+        while i <= self._size:
+            self._tree[i] += delta
+            i += i & -i
+
+    def set(self, index: int, value: float) -> None:
+        """Set one weight to ``value``."""
+        if value < 0:
+            raise ValueError("weights must be non-negative")
+        self.add(index, value - self.get(index))
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def sample(self, u: float) -> int:
+        """Sample an outcome: locate ``u * total`` in the implicit prefix sums.
+
+        Uses the classic top-down bit descent, O(log2 K) per draw with a
+        branching factor of two (one comparison per level).
+        """
+        target = u * self.total()
+        position = 0
+        bit_mask = 1 << (self._size.bit_length())
+        while bit_mask > 0:
+            next_position = position + bit_mask
+            if next_position <= self._size and self._tree[next_position] < target:
+                target -= self._tree[next_position]
+                position = next_position
+            bit_mask >>= 1
+        return min(position, self._size - 1)
+
+    def to_weights(self) -> np.ndarray:
+        """Recover the full weight vector (for testing)."""
+        return np.array([self.get(i) for i in range(self._size)])

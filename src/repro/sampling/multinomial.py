@@ -1,0 +1,77 @@
+"""Vanilla multinomial sampling (Sec. 2.3).
+
+Sampling ``k ~ p(k)`` is implemented the way the paper describes it:
+compute the probabilities and their sum ``S``, draw ``u in [0, S)`` and
+return the position of ``u`` in the prefix-sum array of ``p``.  The
+prefix-sum search (:func:`prefix_sum_search`) is the routine reused by
+every sparsity-aware structure in the paper (sparse vector sampling,
+alias-free trees, the W-ary tree).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def prefix_sum_search(prefix_sums: np.ndarray, value: float) -> int:
+    """Return the smallest index ``i`` with ``value <= prefix_sums[i]``.
+
+    ``prefix_sums`` must be non-decreasing (a cumulative sum of
+    non-negative weights).  If ``value`` exceeds the final entry the last
+    index is returned, which protects against floating-point round-off at
+    the top of the CDF.
+    """
+    prefix_sums = np.asarray(prefix_sums)
+    if len(prefix_sums) == 0:
+        raise ValueError("prefix_sums must be non-empty")
+    index = int(np.searchsorted(prefix_sums, value, side="left"))
+    return min(index, len(prefix_sums) - 1)
+
+
+def sample_multinomial(weights: np.ndarray, u: float) -> int:
+    """Vanilla O(K) sampling: ``u`` is a uniform draw in ``[0, 1)``.
+
+    Steps 1-3 of Sec. 2.3: compute the sum ``S``, scale ``u`` to ``[0, S)``
+    and locate it in the prefix-sum array.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if (weights < 0).any():
+        raise ValueError("weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights must have positive sum")
+    prefix = np.cumsum(weights)
+    return prefix_sum_search(prefix, u * total)
+
+
+def sample_multinomial_batch(
+    weights: np.ndarray, u: np.ndarray
+) -> np.ndarray:
+    """Vectorised form of :func:`sample_multinomial` for a batch of rows.
+
+    ``weights`` is ``(n, K)`` and ``u`` length ``n``; returns ``n`` indices.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    u = np.asarray(u, dtype=np.float64)
+    if weights.ndim != 2 or len(u) != weights.shape[0]:
+        raise ValueError("weights must be (n, K) and u length n")
+    prefix = np.cumsum(weights, axis=1)
+    totals = prefix[:, -1]
+    if (totals <= 0).any():
+        raise ValueError("every row must have positive sum")
+    targets = u * totals
+    # searchsorted per row: compare the target against every prefix entry.
+    indices = (prefix < targets[:, None]).sum(axis=1)
+    return np.minimum(indices, weights.shape[1] - 1).astype(np.int64)
+
+
+def sample_sparse_vector(
+    indices: np.ndarray, weights: np.ndarray, u: float
+) -> int:
+    """Sample from a sparse vector: returns the *original* index, not the position.
+
+    This is line 9 of Alg. 2 — sampling from ``P``, the element-wise
+    product restricted to the non-zero entries of ``A_d``.
+    """
+    position = sample_multinomial(weights, u)
+    return int(indices[position])

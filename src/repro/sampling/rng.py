@@ -1,0 +1,70 @@
+"""Deterministic per-lane random number generation.
+
+GPU kernels cannot share one global random stream: every warp lane owns a
+tiny counter-based generator seeded from its lane id.  :class:`XorShiftRNG`
+reproduces that pattern (a 32-bit xorshift as used by light-weight CUDA
+samplers) so the simulated kernels are fully deterministic and
+independent of NumPy's global state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_UINT32_MASK = 0xFFFFFFFF
+_INV_2_32 = 1.0 / 2**32
+
+
+class XorShiftRNG:
+    """A 32-bit xorshift generator (Marsaglia) with a float helper.
+
+    The generator never yields state 0 (it is skipped at seeding time), so
+    the period is ``2**32 - 1``.
+    """
+
+    def __init__(self, seed: int) -> None:
+        state = (seed ^ 0x9E3779B9) & _UINT32_MASK
+        if state == 0:
+            state = 0x1234567
+        self._state = state
+
+    def next_uint32(self) -> int:
+        """Next raw 32-bit value."""
+        x = self._state
+        x ^= (x << 13) & _UINT32_MASK
+        x ^= x >> 17
+        x ^= (x << 5) & _UINT32_MASK
+        self._state = x & _UINT32_MASK
+        return self._state
+
+    def next_float(self) -> float:
+        """Uniform float in ``[0, 1)`` (the CUDA ``RandomFloat`` of Fig. 5)."""
+        return self.next_uint32() * _INV_2_32
+
+    def next_below(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)``."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self.next_uint32() % bound
+
+    def spawn(self, stream_id: int) -> "XorShiftRNG":
+        """Derive an independent-ish stream, as a warp derives per-lane seeds."""
+        return XorShiftRNG((self._state * 2654435761 + stream_id * 40503 + 1) & _UINT32_MASK)
+
+
+class LaneRNGBank:
+    """A bank of per-lane generators for one warp (32 lanes by default)."""
+
+    def __init__(self, seed: int, num_lanes: int = 32) -> None:
+        base = XorShiftRNG(seed)
+        self.lanes = [base.spawn(lane) for lane in range(num_lanes)]
+
+    def __getitem__(self, lane: int) -> XorShiftRNG:
+        return self.lanes[lane]
+
+    def __len__(self) -> int:
+        return len(self.lanes)
+
+    def floats(self) -> np.ndarray:
+        """One uniform float per lane."""
+        return np.array([lane.next_float() for lane in self.lanes])

@@ -1,0 +1,174 @@
+"""Tests for the baseline LDA systems (dense GPU, ESCA CPU, Gibbs, F+LDA, WarpLDA)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CollapsedGibbsTrainer,
+    DenseGpuTrainer,
+    EscaCpuTrainer,
+    FTreeLdaTrainer,
+    GpuOutOfMemoryError,
+    WarpLdaTrainer,
+)
+from repro.core import LDAHyperParams
+from repro.corpus import NYTIMES, generate_lda_corpus
+from repro.gpusim import GTX_1080
+from repro.saberlda import WorkloadStats
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_lda_corpus(
+        num_documents=50, vocabulary_size=120, num_topics=5, mean_document_length=30, seed=3
+    )
+
+
+@pytest.fixture
+def params():
+    return LDAHyperParams(num_topics=5, alpha=0.1, beta=0.01)
+
+
+@pytest.fixture(scope="module")
+def full_scale_stats():
+    return WorkloadStats.from_descriptor(NYTIMES, 1000, GTX_1080, num_chunks=3)
+
+
+def _fit(trainer, corpus):
+    return trainer.fit(corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size)
+
+
+class TestEscaCpu:
+    def test_likelihood_improves(self, corpus, params):
+        result = _fit(EscaCpuTrainer(params, num_iterations=6, seed=0), corpus)
+        values = result.history.log_likelihood_per_token
+        assert values[-1] > values[0]
+
+    def test_history_length(self, corpus, params):
+        result = _fit(EscaCpuTrainer(params, num_iterations=4, seed=0), corpus)
+        assert len(result.history.log_likelihood_per_token) == 4
+
+    def test_cpu_iteration_slower_than_saberlda(self, full_scale_stats, params):
+        from repro.saberlda import SaberLDAConfig
+        from repro.saberlda.projection import cost_iteration_phases
+
+        cpu_seconds = EscaCpuTrainer(
+            LDAHyperParams.paper_defaults(1000)
+        ).iteration_seconds(full_scale_stats)
+        gpu_seconds = cost_iteration_phases(
+            full_scale_stats, SaberLDAConfig.paper_defaults(1000, num_chunks=3)
+        ).total_seconds
+        assert cpu_seconds > 2.0 * gpu_seconds
+
+
+class TestDenseGpu:
+    def test_likelihood_improves(self, corpus, params):
+        result = _fit(DenseGpuTrainer(params, num_iterations=6, seed=0), corpus)
+        values = result.history.log_likelihood_per_token
+        assert values[-1] > values[0]
+
+    def test_out_of_memory_at_5000_topics_on_nytimes(self):
+        """Sec. 4.4: BIDMach reports OOM with 5,000 topics on NYTimes."""
+        trainer = DenseGpuTrainer(LDAHyperParams.paper_defaults(5000))
+        with pytest.raises(GpuOutOfMemoryError):
+            trainer.check_fits(NYTIMES.num_documents, NYTIMES.vocabulary_size)
+
+    def test_fits_at_256_topics(self):
+        trainer = DenseGpuTrainer(LDAHyperParams.paper_defaults(256))
+        trainer.check_fits(NYTIMES.num_documents, NYTIMES.vocabulary_size)
+
+    def test_iteration_cost_grows_linearly_with_topics(self):
+        small = DenseGpuTrainer(LDAHyperParams.paper_defaults(1000)).iteration_seconds(
+            WorkloadStats.from_descriptor(NYTIMES, 1000, GTX_1080)
+        )
+        large = DenseGpuTrainer(LDAHyperParams.paper_defaults(3000)).iteration_seconds(
+            WorkloadStats.from_descriptor(NYTIMES, 3000, GTX_1080)
+        )
+        assert large > 2.0 * small
+
+    def test_slower_than_saberlda_per_iteration(self, full_scale_stats):
+        from repro.saberlda import SaberLDAConfig
+        from repro.saberlda.projection import cost_iteration_phases
+
+        dense_seconds = DenseGpuTrainer(
+            LDAHyperParams.paper_defaults(1000), check_memory=False
+        ).iteration_seconds(full_scale_stats)
+        saber_seconds = cost_iteration_phases(
+            full_scale_stats, SaberLDAConfig.paper_defaults(1000, num_chunks=3)
+        ).total_seconds
+        assert dense_seconds > saber_seconds
+
+
+class TestCollapsedGibbs:
+    def test_likelihood_improves_quickly(self, corpus, params):
+        result = _fit(CollapsedGibbsTrainer(params, num_iterations=3, seed=0), corpus)
+        values = result.history.log_likelihood_per_token
+        assert values[-1] > values[0]
+
+    def test_counts_remain_consistent(self, corpus, params):
+        """After a run, the model's word-topic counts must total the token count."""
+        result = _fit(CollapsedGibbsTrainer(params, num_iterations=2, seed=0), corpus)
+        assert result.model.word_topic_counts.sum() == corpus.num_tokens
+
+
+class TestFTreeLda:
+    def test_is_a_gibbs_sampler(self, params):
+        assert issubclass(FTreeLdaTrainer, CollapsedGibbsTrainer)
+
+    def test_sparse_iteration_cheaper_than_dense_gibbs(self, full_scale_stats):
+        dense = CollapsedGibbsTrainer(LDAHyperParams.paper_defaults(1000)).iteration_seconds(
+            full_scale_stats
+        )
+        sparse = FTreeLdaTrainer(LDAHyperParams.paper_defaults(1000)).iteration_seconds(
+            full_scale_stats
+        )
+        assert sparse < dense
+
+    def test_cost_grows_slowly_with_topics(self):
+        k1 = FTreeLdaTrainer(LDAHyperParams.paper_defaults(1000)).iteration_seconds(
+            WorkloadStats.from_descriptor(NYTIMES, 1000, GTX_1080)
+        )
+        k10 = FTreeLdaTrainer(LDAHyperParams.paper_defaults(10_000)).iteration_seconds(
+            WorkloadStats.from_descriptor(NYTIMES, 10_000, GTX_1080)
+        )
+        assert k10 < 5.0 * k1
+
+
+class TestWarpLda:
+    def test_likelihood_improves(self, corpus, params):
+        result = _fit(WarpLdaTrainer(params, num_iterations=8, seed=0), corpus)
+        values = result.history.log_likelihood_per_token
+        assert values[-1] > values[0]
+
+    def test_reaches_quality_comparable_to_esca(self, corpus, params):
+        """The MH sampler converges towards a similar (possibly slightly worse) optimum."""
+        esca = _fit(EscaCpuTrainer(params, num_iterations=8, seed=1), corpus)
+        warplda = _fit(WarpLdaTrainer(params, num_iterations=8, seed=1), corpus)
+        gap = abs(
+            esca.history.log_likelihood_per_token[-1]
+            - warplda.history.log_likelihood_per_token[-1]
+        )
+        assert gap < 0.5
+
+    def test_per_iteration_cost_is_topic_independent(self):
+        k1 = WarpLdaTrainer(LDAHyperParams.paper_defaults(1000)).iteration_seconds(
+            WorkloadStats.from_descriptor(NYTIMES, 1000, GTX_1080)
+        )
+        k10 = WarpLdaTrainer(LDAHyperParams.paper_defaults(10_000)).iteration_seconds(
+            WorkloadStats.from_descriptor(NYTIMES, 10_000, GTX_1080)
+        )
+        assert k10 == pytest.approx(k1, rel=0.01)
+
+
+class TestHistoryHelpers:
+    def test_iterations_to_reach(self, corpus, params):
+        result = _fit(EscaCpuTrainer(params, num_iterations=6, seed=0), corpus)
+        history = result.history
+        target = history.log_likelihood_per_token[-1]
+        assert history.iterations_to_reach(target) <= 6
+        assert history.iterations_to_reach(0.0) is None
+
+    def test_convergence_curve_timing(self, corpus, params):
+        result = _fit(EscaCpuTrainer(params, num_iterations=3, seed=0), corpus)
+        curve = result.convergence_curve(seconds_per_iteration=2.0)
+        assert [t for t, _v in curve] == [2.0, 4.0, 6.0]

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LDAHyperParams, TokenList
+from repro.corpus import SyntheticCorpus, generate_lda_corpus
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic NumPy generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def params() -> LDAHyperParams:
+    """Small hyper-parameter set used across tests (K = 8)."""
+    return LDAHyperParams.paper_defaults(8)
+
+
+@pytest.fixture
+def tiny_tokens() -> TokenList:
+    """The example corpus of Fig. 1: 3 documents, 8 tokens, 5 words, 3 topics.
+
+    Word ids: iOS=0, Android=1, apple=2, iPhone=3, orange=4.
+    Topic ids are shifted to 0-based (paper topic 1 -> 0, etc.).
+    """
+    doc_ids = [0, 0, 1, 1, 1, 1, 2, 2]
+    word_ids = [0, 1, 2, 3, 2, 0, 2, 4]
+    topics = [2, 2, 0, 0, 0, 2, 1, 1]
+    return TokenList(np.array(doc_ids), np.array(word_ids), np.array(topics))
+
+
+@pytest.fixture(scope="session")
+def small_corpus() -> SyntheticCorpus:
+    """A small LDA-generated corpus shared by training tests (session-scoped for speed)."""
+    return generate_lda_corpus(
+        num_documents=60,
+        vocabulary_size=150,
+        num_topics=6,
+        mean_document_length=40,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_corpus() -> SyntheticCorpus:
+    """A slightly larger corpus for integration and convergence tests."""
+    return generate_lda_corpus(
+        num_documents=120,
+        vocabulary_size=300,
+        num_topics=10,
+        mean_document_length=60,
+        seed=11,
+    )

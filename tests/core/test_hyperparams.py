@@ -1,0 +1,50 @@
+"""Tests for LDA hyper-parameters."""
+
+import pytest
+
+from repro.core import LDAHyperParams
+
+
+class TestPaperDefaults:
+    def test_alpha_is_fifty_over_k(self):
+        params = LDAHyperParams.paper_defaults(1000)
+        assert params.alpha == pytest.approx(0.05)
+
+    def test_beta_default(self):
+        params = LDAHyperParams.paper_defaults(100)
+        assert params.beta == pytest.approx(0.01)
+
+    def test_custom_beta(self):
+        params = LDAHyperParams.paper_defaults(100, beta=0.1)
+        assert params.beta == pytest.approx(0.1)
+
+    def test_num_topics_stored(self):
+        assert LDAHyperParams.paper_defaults(17).num_topics == 17
+
+
+class TestValidation:
+    def test_rejects_zero_topics(self):
+        with pytest.raises(ValueError):
+            LDAHyperParams(num_topics=0, alpha=0.1, beta=0.01)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            LDAHyperParams(num_topics=5, alpha=-1.0, beta=0.01)
+
+    def test_rejects_zero_beta(self):
+        with pytest.raises(ValueError):
+            LDAHyperParams(num_topics=5, alpha=0.1, beta=0.0)
+
+
+class TestWithTopics:
+    def test_changes_only_topic_count(self):
+        params = LDAHyperParams(num_topics=10, alpha=0.3, beta=0.02)
+        updated = params.with_topics(50)
+        assert updated.num_topics == 50
+        assert updated.alpha == pytest.approx(0.3)
+        assert updated.beta == pytest.approx(0.02)
+
+    def test_is_frozen(self):
+        params = LDAHyperParams.paper_defaults(10)
+        with pytest.raises(Exception):
+            params.num_topics = 20  # type: ignore[misc]

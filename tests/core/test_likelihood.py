@@ -1,0 +1,109 @@
+"""Tests for the log-likelihood metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LDAHyperParams,
+    count_by_doc_topic_dense,
+    count_by_word_topic,
+    heldout_log_likelihood,
+    log_likelihood_from_tokens,
+    split_heldout_documents,
+    training_log_likelihood,
+)
+from repro.core.likelihood import LikelihoodResult, document_topic_distributions
+
+
+class TestLikelihoodResult:
+    def test_per_token(self):
+        result = LikelihoodResult(total_log_likelihood=-100.0, num_tokens=50)
+        assert result.per_token == pytest.approx(-2.0)
+
+    def test_empty(self):
+        result = LikelihoodResult(0.0, 0)
+        assert result.per_token == 0.0
+
+    def test_perplexity(self):
+        result = LikelihoodResult(total_log_likelihood=-np.log(8.0), num_tokens=1)
+        assert result.perplexity == pytest.approx(8.0)
+
+
+class TestDocumentTopicDistributions:
+    def test_rows_sum_to_one(self, rng):
+        counts = rng.integers(0, 10, size=(5, 4))
+        theta = document_topic_distributions(counts, alpha=0.1)
+        np.testing.assert_allclose(theta.sum(axis=1), np.ones(5))
+
+    def test_empty_document_is_uniform(self):
+        theta = document_topic_distributions(np.zeros((1, 4)), alpha=0.5)
+        np.testing.assert_allclose(theta[0], np.full(4, 0.25))
+
+
+class TestTrainingLikelihood:
+    def test_bounded_above_by_zero(self, tiny_tokens, params):
+        params = LDAHyperParams(num_topics=3, alpha=0.1, beta=0.01)
+        doc_topic = count_by_doc_topic_dense(tiny_tokens, 3, 3)
+        word_topic = count_by_word_topic(tiny_tokens, 5, 3)
+        result = training_log_likelihood(tiny_tokens, doc_topic, word_topic, params)
+        assert result.per_token < 0.0
+
+    def test_better_than_uniform_model(self, small_corpus):
+        params = LDAHyperParams.paper_defaults(6)
+        result = log_likelihood_from_tokens(
+            small_corpus.tokens,
+            small_corpus.num_documents,
+            small_corpus.vocabulary_size,
+            params,
+        )
+        uniform = -np.log(small_corpus.vocabulary_size)
+        assert result.per_token > uniform
+
+    def test_empty_tokens(self, params):
+        from repro.core import TokenList
+
+        result = training_log_likelihood(
+            TokenList.empty(), np.zeros((0, 8)), np.zeros((5, 8)), params
+        )
+        assert result.num_tokens == 0
+
+
+class TestHeldout:
+    def test_split_preserves_tokens(self, small_corpus, rng):
+        observed, evaluation = split_heldout_documents(small_corpus.tokens, rng)
+        assert observed.num_tokens + evaluation.num_tokens == small_corpus.num_tokens
+
+    def test_split_fraction_respected_roughly(self, small_corpus, rng):
+        observed, _evaluation = split_heldout_documents(
+            small_corpus.tokens, rng, observed_fraction=0.7
+        )
+        fraction = observed.num_tokens / small_corpus.num_tokens
+        assert 0.6 < fraction < 0.8
+
+    def test_split_rejects_bad_fraction(self, small_corpus, rng):
+        with pytest.raises(ValueError):
+            split_heldout_documents(small_corpus.tokens, rng, observed_fraction=1.5)
+
+    def test_heldout_likelihood_is_finite_and_negative(self, small_corpus, rng):
+        params = LDAHyperParams.paper_defaults(6)
+        word_topic = count_by_word_topic(
+            small_corpus.tokens, small_corpus.vocabulary_size, 6
+        )
+        result = heldout_log_likelihood(small_corpus.tokens, word_topic, params, rng)
+        assert np.isfinite(result.per_token)
+        assert result.per_token < 0.0
+
+    def test_heldout_improves_with_trained_counts(self, small_corpus, rng):
+        """A model trained on the data should beat a model with shuffled word ids."""
+        params = LDAHyperParams.paper_defaults(6)
+        trained = count_by_word_topic(small_corpus.tokens, small_corpus.vocabulary_size, 6)
+        shuffled_tokens = small_corpus.tokens.copy()
+        shuffled_tokens.word_ids = rng.permutation(shuffled_tokens.word_ids)
+        shuffled = count_by_word_topic(shuffled_tokens, small_corpus.vocabulary_size, 6)
+        good = heldout_log_likelihood(
+            small_corpus.tokens, trained, params, np.random.default_rng(0)
+        )
+        bad = heldout_log_likelihood(
+            small_corpus.tokens, shuffled, params, np.random.default_rng(0)
+        )
+        assert good.per_token > bad.per_token

@@ -1,0 +1,78 @@
+"""Tests for the trained-model container."""
+
+import numpy as np
+import pytest
+
+from repro.core import LDAHyperParams, LDAModel, count_by_word_topic
+
+
+@pytest.fixture
+def model(tiny_tokens):
+    params = LDAHyperParams(num_topics=3, alpha=0.1, beta=0.01)
+    counts = count_by_word_topic(tiny_tokens, 5, 3)
+    vocabulary = ["iOS", "Android", "apple", "iPhone", "orange"]
+    return LDAModel(word_topic_counts=counts, params=params, vocabulary=vocabulary)
+
+
+class TestShapes:
+    def test_dimensions(self, model):
+        assert model.num_topics == 3
+        assert model.vocabulary_size == 5
+
+    def test_mismatched_topics_rejected(self, tiny_tokens):
+        params = LDAHyperParams(num_topics=4, alpha=0.1, beta=0.01)
+        counts = count_by_word_topic(tiny_tokens, 5, 3)
+        with pytest.raises(ValueError):
+            LDAModel(word_topic_counts=counts, params=params)
+
+    def test_mismatched_vocabulary_rejected(self, tiny_tokens):
+        params = LDAHyperParams(num_topics=3, alpha=0.1, beta=0.01)
+        counts = count_by_word_topic(tiny_tokens, 5, 3)
+        with pytest.raises(ValueError):
+            LDAModel(word_topic_counts=counts, params=params, vocabulary=["a", "b"])
+
+
+class TestTopics:
+    def test_distributions_sum_to_one_per_topic(self, model):
+        phi = model.topic_word_distributions()
+        np.testing.assert_allclose(phi.sum(axis=0), np.ones(3))
+
+    def test_top_words_of_fruit_topic(self, model):
+        # Topic 2 (0-based 1) contains "apple" and "orange" in the Fig. 1 example.
+        words = [word for word, _prob in model.top_words(1, num_words=2)]
+        assert set(words) == {"apple", "orange"}
+
+    def test_top_words_probabilities_sorted(self, model):
+        probabilities = [p for _w, p in model.top_words(0, num_words=5)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_invalid_topic_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.top_words(10)
+
+    def test_all_top_words_length(self, model):
+        assert len(model.all_top_words(num_words=3)) == 3
+
+    def test_word_name_fallback_without_vocabulary(self, tiny_tokens):
+        params = LDAHyperParams(num_topics=3, alpha=0.1, beta=0.01)
+        counts = count_by_word_topic(tiny_tokens, 5, 3)
+        model = LDAModel(word_topic_counts=counts, params=params)
+        assert model.word_name(2) == "w2"
+
+
+class TestInference:
+    def test_inferred_mixture_sums_to_one(self, model):
+        theta = model.infer_document([2, 4, 2])
+        assert theta.sum() == pytest.approx(1.0)
+
+    def test_fruit_document_prefers_fruit_topic(self, model):
+        theta = model.infer_document([2, 4, 4, 2])  # apple, orange, orange, apple
+        assert int(np.argmax(theta)) == 1
+
+    def test_empty_document_is_uniform(self, model):
+        theta = model.infer_document([])
+        np.testing.assert_allclose(theta, np.full(3, 1 / 3))
+
+    def test_coherence_proxy_in_unit_interval(self, model):
+        value = model.topic_coherence_proxy(num_words=3)
+        assert 0.0 < value <= 1.0

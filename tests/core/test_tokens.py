@@ -1,0 +1,88 @@
+"""Tests for the token list representation."""
+
+import numpy as np
+import pytest
+
+from repro.core import TokenList
+
+
+class TestConstruction:
+    def test_from_pairs_has_unassigned_topics(self):
+        tokens = TokenList.from_pairs([0, 0, 1], [3, 2, 1])
+        assert (tokens.topics == -1).all()
+
+    def test_empty(self):
+        tokens = TokenList.empty()
+        assert tokens.num_tokens == 0
+        assert tokens.num_documents == 0
+        assert tokens.vocabulary_size == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TokenList(np.array([0, 1]), np.array([0]), np.array([0, 1]))
+
+    def test_counts_from_fig1_example(self, tiny_tokens):
+        assert tiny_tokens.num_tokens == 8
+        assert tiny_tokens.num_documents == 3
+        assert tiny_tokens.vocabulary_size == 5
+
+
+class TestSorting:
+    def test_sorted_by_doc_groups_documents(self, tiny_tokens):
+        by_doc = tiny_tokens.sorted_by("doc")
+        assert list(by_doc.doc_ids) == sorted(tiny_tokens.doc_ids)
+
+    def test_sorted_by_word_groups_words(self, tiny_tokens):
+        by_word = tiny_tokens.sorted_by("word")
+        assert list(by_word.word_ids) == sorted(tiny_tokens.word_ids)
+
+    def test_sort_preserves_token_multiset(self, tiny_tokens):
+        by_word = tiny_tokens.sorted_by("word")
+        original = sorted(zip(tiny_tokens.doc_ids, tiny_tokens.word_ids, tiny_tokens.topics))
+        permuted = sorted(zip(by_word.doc_ids, by_word.word_ids, by_word.topics))
+        assert original == permuted
+
+    def test_invalid_order_rejected(self, tiny_tokens):
+        with pytest.raises(ValueError):
+            tiny_tokens.sorted_by("topic")
+
+
+class TestHistograms:
+    def test_tokens_per_document(self, tiny_tokens):
+        assert list(tiny_tokens.tokens_per_document()) == [2, 4, 2]
+
+    def test_tokens_per_word(self, tiny_tokens):
+        # apple (id 2) occurs three times in the Fig. 1 example.
+        assert tiny_tokens.tokens_per_word()[2] == 3
+
+    def test_tokens_per_word_with_padding(self, tiny_tokens):
+        histogram = tiny_tokens.tokens_per_word(vocabulary_size=10)
+        assert len(histogram) == 10
+        assert histogram[9] == 0
+
+
+class TestTransformations:
+    def test_randomize_topics_within_range(self, tiny_tokens, rng):
+        tokens = tiny_tokens.copy()
+        tokens.randomize_topics(4, rng)
+        assert tokens.topics.min() >= 0
+        assert tokens.topics.max() < 4
+
+    def test_copy_is_independent(self, tiny_tokens):
+        copy = tiny_tokens.copy()
+        copy.topics[0] = 99
+        assert tiny_tokens.topics[0] != 99
+
+    def test_select_mask(self, tiny_tokens):
+        selected = tiny_tokens.select(tiny_tokens.doc_ids == 1)
+        assert selected.num_tokens == 4
+        assert (selected.doc_ids == 1).all()
+
+    def test_concat(self, tiny_tokens):
+        combined = tiny_tokens.concat(tiny_tokens)
+        assert combined.num_tokens == 16
+
+    def test_iteration_yields_triplets(self, tiny_tokens):
+        triplets = list(tiny_tokens)
+        assert triplets[0] == (0, 0, 2)
+        assert len(triplets) == 8

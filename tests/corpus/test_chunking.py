@@ -1,0 +1,68 @@
+"""Tests for partition-by-document chunking."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import chunk_token_histogram, merge_chunks, partition_by_document
+
+
+class TestPartitioning:
+    def test_every_token_lands_in_exactly_one_chunk(self, small_corpus):
+        chunks = partition_by_document(small_corpus.tokens, small_corpus.num_documents, 4)
+        assert sum(chunk.num_tokens for chunk in chunks) == small_corpus.num_tokens
+
+    def test_chunks_cover_all_documents(self, small_corpus):
+        chunks = partition_by_document(small_corpus.tokens, small_corpus.num_documents, 4)
+        assert chunks[0].doc_start == 0
+        assert chunks[-1].doc_stop == small_corpus.num_documents
+        for previous, current in zip(chunks, chunks[1:]):
+            assert previous.doc_stop == current.doc_start
+
+    def test_tokens_respect_document_ranges(self, small_corpus):
+        chunks = partition_by_document(small_corpus.tokens, small_corpus.num_documents, 5)
+        for chunk in chunks:
+            if chunk.num_tokens:
+                assert chunk.tokens.doc_ids.min() >= chunk.doc_start
+                assert chunk.tokens.doc_ids.max() < chunk.doc_stop
+
+    def test_single_chunk_contains_everything(self, small_corpus):
+        chunks = partition_by_document(small_corpus.tokens, small_corpus.num_documents, 1)
+        assert len(chunks) == 1
+        assert chunks[0].num_tokens == small_corpus.num_tokens
+
+    def test_more_chunks_than_documents_is_clamped(self, tiny_tokens):
+        chunks = partition_by_document(tiny_tokens, 3, 10)
+        assert len(chunks) == 3
+
+    def test_invalid_chunk_count(self, tiny_tokens):
+        with pytest.raises(ValueError):
+            partition_by_document(tiny_tokens, 3, 0)
+
+    def test_local_doc_ids_are_rebased(self, small_corpus):
+        chunks = partition_by_document(small_corpus.tokens, small_corpus.num_documents, 3)
+        for chunk in chunks:
+            if chunk.num_tokens:
+                local = chunk.local_doc_ids()
+                assert local.min() >= 0
+                assert local.max() < chunk.num_documents
+
+
+class TestMergeAndHistogram:
+    def test_merge_restores_token_multiset(self, small_corpus):
+        chunks = partition_by_document(small_corpus.tokens, small_corpus.num_documents, 4)
+        merged = merge_chunks(chunks)
+        original = sorted(
+            zip(small_corpus.tokens.doc_ids, small_corpus.tokens.word_ids)
+        )
+        restored = sorted(zip(merged.doc_ids, merged.word_ids))
+        assert original == restored
+
+    def test_histogram_matches_chunk_sizes(self, small_corpus):
+        chunks = partition_by_document(small_corpus.tokens, small_corpus.num_documents, 4)
+        histogram = chunk_token_histogram(chunks)
+        assert list(histogram) == [chunk.num_tokens for chunk in chunks]
+
+    def test_chunk_sizes_roughly_balanced(self, medium_corpus):
+        chunks = partition_by_document(medium_corpus.tokens, medium_corpus.num_documents, 4)
+        histogram = chunk_token_histogram(chunks)
+        assert histogram.max() < 2.5 * max(histogram.min(), 1)

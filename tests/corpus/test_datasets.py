@@ -1,0 +1,76 @@
+"""Tests for dataset descriptors and replicas."""
+
+import pytest
+
+from repro.corpus import (
+    CLUEWEB,
+    NYTIMES,
+    PAPER_DATASETS,
+    PRIOR_GPU_SYSTEMS,
+    PUBMED,
+    get_descriptor,
+    nytimes_replica,
+    pubmed_replica,
+)
+
+
+class TestDescriptors:
+    def test_table3_nytimes(self):
+        assert NYTIMES.num_documents == 300_000
+        assert NYTIMES.num_tokens == 100_000_000
+        assert NYTIMES.vocabulary_size == 102_000
+        assert NYTIMES.tokens_per_document == pytest.approx(332, rel=0.02)
+
+    def test_table3_pubmed(self):
+        assert PUBMED.tokens_per_document == pytest.approx(90, rel=0.02)
+
+    def test_table3_clueweb(self):
+        assert CLUEWEB.num_tokens == 7_100_000_000
+        assert CLUEWEB.tokens_per_document == pytest.approx(365, rel=0.02)
+
+    def test_lookup_by_name(self):
+        assert get_descriptor("NYTimes") is NYTIMES
+        assert get_descriptor("pubmed") is PUBMED
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_descriptor("wikipedia")
+
+    def test_all_paper_datasets_present(self):
+        assert set(PAPER_DATASETS) == {"nytimes", "pubmed", "clueweb"}
+
+    def test_scaled_descriptor(self):
+        scaled = NYTIMES.scaled(1000)
+        assert scaled.num_documents == 300
+        assert scaled.num_tokens == 100_000
+        assert scaled.vocabulary_size == NYTIMES.vocabulary_size
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            NYTIMES.scaled(0)
+
+
+class TestPriorSystems:
+    def test_table1_saberlda_row(self):
+        row = PRIOR_GPU_SYSTEMS["SaberLDA"]
+        assert row["K"] == 10_000
+        assert row["T"] == 7_100_000_000
+
+    def test_table1_has_all_four_systems(self):
+        assert len(PRIOR_GPU_SYSTEMS) == 4
+
+
+class TestReplicas:
+    def test_nytimes_replica_preserves_shape(self):
+        replica = nytimes_replica(num_documents=80, vocabulary_size=400, seed=2)
+        assert replica.num_documents == 80
+        # T/D ratio should be in the ballpark of the published 332.
+        assert 200 < replica.tokens_per_document < 500
+
+    def test_pubmed_replica_has_short_documents(self):
+        replica = pubmed_replica(num_documents=80, vocabulary_size=400, seed=2)
+        assert 50 < replica.tokens_per_document < 140
+
+    def test_replicas_much_smaller_than_originals(self):
+        replica = nytimes_replica(num_documents=50, vocabulary_size=300)
+        assert replica.num_tokens < NYTIMES.num_tokens / 1000

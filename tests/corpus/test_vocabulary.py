@@ -1,0 +1,53 @@
+"""Tests for the vocabulary mapping."""
+
+import pytest
+
+from repro.corpus import Vocabulary
+
+
+class TestVocabulary:
+    def test_ids_assigned_in_insertion_order(self):
+        vocab = Vocabulary(["apple", "orange", "iOS"])
+        assert vocab.id_of("apple") == 0
+        assert vocab.id_of("iOS") == 2
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("apple")
+        second = vocab.add("apple")
+        assert first == second
+        assert len(vocab) == 1
+
+    def test_round_trip(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        for word in ["a", "b", "c"]:
+            assert vocab.word_of(vocab.id_of(word)) == word
+
+    def test_contains(self):
+        vocab = Vocabulary(["a"])
+        assert "a" in vocab
+        assert "b" not in vocab
+
+    def test_missing_word_raises(self):
+        with pytest.raises(KeyError):
+            Vocabulary().id_of("missing")
+
+    def test_add_all_returns_ids(self):
+        vocab = Vocabulary()
+        ids = vocab.add_all(["x", "y", "x"])
+        assert ids == [0, 1, 0]
+
+    def test_words_returns_copy(self):
+        vocab = Vocabulary(["a", "b"])
+        words = vocab.words()
+        words.append("c")
+        assert len(vocab) == 2
+
+    def test_synthetic_vocabulary(self):
+        vocab = Vocabulary.synthetic(5, prefix="term")
+        assert len(vocab) == 5
+        assert vocab.word_of(3) == "term_3"
+
+    def test_iteration_in_id_order(self):
+        vocab = Vocabulary(["z", "a", "m"])
+        assert list(vocab) == ["z", "a", "m"]

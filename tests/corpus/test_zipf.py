@@ -1,0 +1,58 @@
+"""Tests for the Zipf word-frequency model."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import ZipfModel, fit_zipf_exponent
+
+
+class TestZipfModel:
+    def test_probabilities_sum_to_one(self):
+        model = ZipfModel(vocabulary_size=1000)
+        assert model.probabilities().sum() == pytest.approx(1.0)
+
+    def test_probabilities_are_decreasing(self):
+        probs = ZipfModel(vocabulary_size=500).probabilities()
+        assert (np.diff(probs) <= 1e-15).all()
+
+    def test_head_share_increases_with_head_size(self):
+        model = ZipfModel(vocabulary_size=1000)
+        assert model.expected_head_share(100) > model.expected_head_share(10)
+
+    def test_head_is_heavy(self):
+        """A Zipfian head of 1% of words should carry far more than 1% of tokens."""
+        model = ZipfModel(vocabulary_size=10_000, exponent=1.05)
+        assert model.expected_head_share(100) > 0.15
+
+    def test_sampling_respects_vocabulary_bounds(self, rng):
+        samples = ZipfModel(vocabulary_size=50).sample_word_ids(2000, rng)
+        assert samples.min() >= 0
+        assert samples.max() < 50
+
+    def test_sampling_matches_head_probability(self, rng):
+        model = ZipfModel(vocabulary_size=200)
+        samples = model.sample_word_ids(20_000, rng)
+        empirical_head = (samples < 10).mean()
+        expected_head = model.expected_head_share(10)
+        assert empirical_head == pytest.approx(expected_head, abs=0.03)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfModel(vocabulary_size=0)
+        with pytest.raises(ValueError):
+            ZipfModel(vocabulary_size=10, exponent=0.0)
+        with pytest.raises(ValueError):
+            ZipfModel(vocabulary_size=10, shift=-1.0)
+
+
+class TestFitExponent:
+    def test_recovers_exponent_roughly(self, rng):
+        model = ZipfModel(vocabulary_size=2000, exponent=1.1, shift=0.0)
+        samples = model.sample_word_ids(200_000, rng)
+        frequencies = np.bincount(samples, minlength=2000)
+        fitted = fit_zipf_exponent(frequencies)
+        assert 0.7 < fitted < 1.5
+
+    def test_degenerate_input(self):
+        assert fit_zipf_exponent(np.array([5])) == 0.0
+        assert fit_zipf_exponent(np.zeros(10)) == 0.0

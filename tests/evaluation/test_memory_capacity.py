@@ -1,0 +1,98 @@
+"""Tests for the memory-footprint model (Table 2) and capacity analysis (Table 1)."""
+
+import pytest
+
+from repro.corpus import NYTIMES, PUBMED
+from repro.evaluation import (
+    derived_capacity_comparison,
+    max_topics_dense,
+    max_topics_saberlda,
+    memory_footprint,
+    minimum_chunks_required,
+    published_capacity_table,
+    table2_rows,
+    word_topic_fits_on_device,
+)
+from repro.gpusim import GTX_1080, TITAN_X_MAXWELL
+
+
+class TestTable2:
+    """Checks against the published Table 2 numbers (PubMed, GB)."""
+
+    def test_word_topic_matrix_at_k100(self):
+        gb = memory_footprint(PUBMED, 100).as_gigabytes()
+        assert gb["word_topic_dense"] == pytest.approx(0.108, rel=0.1)
+
+    def test_word_topic_matrix_scales_linearly_with_k(self):
+        rows = table2_rows(PUBMED)
+        assert rows[1_000]["word_topic_dense"] == pytest.approx(
+            10 * rows[100]["word_topic_dense"], rel=0.01
+        )
+        assert rows[10_000]["word_topic_dense"] == pytest.approx(10.8, rel=0.1)
+
+    def test_token_list_independent_of_k(self):
+        rows = table2_rows(PUBMED)
+        assert rows[100]["token_list"] == rows[10_000]["token_list"]
+        assert rows[100]["token_list"] == pytest.approx(8.65, rel=0.05)
+
+    def test_dense_doc_topic_matches_paper(self):
+        rows = table2_rows(PUBMED)
+        assert rows[100]["doc_topic_dense"] == pytest.approx(3.2, rel=0.05)
+        assert rows[1_000]["doc_topic_dense"] == pytest.approx(32.0, rel=0.05)
+        assert rows[10_000]["doc_topic_dense"] == pytest.approx(320.0, rel=0.05)
+
+    def test_sparse_doc_topic_independent_of_k_beyond_1000(self):
+        rows = table2_rows(PUBMED)
+        assert rows[1_000]["doc_topic_sparse"] == rows[10_000]["doc_topic_sparse"]
+        assert rows[1_000]["doc_topic_sparse"] == pytest.approx(5.8, rel=0.05)
+
+    def test_sparse_beats_dense_at_1000_topics(self):
+        rows = table2_rows(PUBMED)
+        assert rows[1_000]["doc_topic_sparse"] < rows[1_000]["doc_topic_dense"]
+        assert rows[10_000]["doc_topic_sparse"] < 0.02 * rows[10_000]["doc_topic_dense"]
+
+
+class TestDeviceFit:
+    def test_word_topic_fits_at_10k_on_titan_x(self):
+        assert word_topic_fits_on_device(NYTIMES, 10_000, TITAN_X_MAXWELL)
+
+    def test_minimum_chunks_grow_with_dataset(self):
+        nytimes_chunks = minimum_chunks_required(NYTIMES, 1000, GTX_1080)
+        pubmed_chunks = minimum_chunks_required(PUBMED, 1000, GTX_1080)
+        assert pubmed_chunks >= nytimes_chunks
+        assert nytimes_chunks >= 1
+
+    def test_minimum_chunks_raise_when_model_does_not_fit(self):
+        with pytest.raises(ValueError):
+            minimum_chunks_required(PUBMED, 50_000, GTX_1080)
+
+
+class TestTable1Capacity:
+    def test_published_rows(self):
+        table = published_capacity_table()
+        systems = {entry.system: entry for entry in table}
+        assert systems["SaberLDA"].num_topics == 10_000
+        assert systems["BIDMach"].num_topics == 256
+        assert len(table) == 4
+
+    def test_saberlda_supports_more_topics_than_dense_designs(self):
+        for device in (GTX_1080, TITAN_X_MAXWELL):
+            assert max_topics_saberlda(NYTIMES, device) > max_topics_dense(NYTIMES, device)
+            # On corpora with many documents (PubMed: 8.2M) the dense design
+            # collapses while SaberLDA's limit only depends on V and K.
+            assert max_topics_saberlda(PUBMED, device) > 10 * max_topics_dense(PUBMED, device)
+
+    def test_dense_design_limited_to_hundreds_of_topics_at_scale(self):
+        """Dense systems top out around a few thousand topics even on NYTimes-size corpora."""
+        assert max_topics_dense(PUBMED, GTX_1080) < 300
+
+    def test_saberlda_reaches_ten_thousand_topics(self):
+        assert max_topics_saberlda(NYTIMES, TITAN_X_MAXWELL) >= 10_000
+
+    def test_derived_comparison_keys(self):
+        comparison = derived_capacity_comparison(NYTIMES, GTX_1080)
+        assert set(comparison) == {
+            "dense_design_max_topics",
+            "saberlda_max_topics",
+            "word_topic_bytes_at_10k",
+        }

@@ -1,0 +1,135 @@
+"""Tests for the throughput projection and the convergence harness."""
+
+import pytest
+
+from repro.baselines import DenseGpuTrainer, EscaCpuTrainer, WarpLdaTrainer
+from repro.core import LDAHyperParams
+from repro.corpus import CLUEWEB, NYTIMES, generate_lda_corpus
+from repro.evaluation import (
+    ConvergenceCurve,
+    compare_systems,
+    project_saberlda_throughput,
+    throughput_drop_fraction,
+    topic_scaling_profile,
+)
+from repro.gpusim import GTX_1080, TITAN_X_MAXWELL
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_lda_corpus(
+        num_documents=60, vocabulary_size=150, num_topics=6, mean_document_length=40, seed=5
+    )
+
+
+class TestThroughputProjection:
+    def test_nytimes_throughput_in_paper_ballpark(self):
+        """The paper reports ~135 Mtoken/s on NYTimes-like workloads at K=1000."""
+        projection = project_saberlda_throughput(NYTIMES, 1000, mean_doc_nnz=130)
+        assert 60 < projection.mtokens_per_second < 250
+
+    def test_clueweb_iteration_time_allows_convergence_in_hours(self):
+        """Fig. 12: ClueWeb converges in ~5 hours, i.e. a few hundred iterations of tens of seconds."""
+        projection = project_saberlda_throughput(
+            CLUEWEB, 5000, device=GTX_1080, mean_doc_nnz=130
+        )
+        assert 20 < projection.iteration_seconds < 300
+
+    def test_titan_x_slower_than_gtx_1080(self):
+        """Fig. 12: GTX 1080 reaches higher throughput than the Titan X (135 vs 116 Mtoken/s)."""
+        gtx = project_saberlda_throughput(CLUEWEB, 5000, device=GTX_1080, mean_doc_nnz=130)
+        titan = project_saberlda_throughput(
+            CLUEWEB, 5000, device=TITAN_X_MAXWELL, mean_doc_nnz=130
+        )
+        assert gtx.tokens_per_second > titan.tokens_per_second
+
+    def test_headline_throughput_drop_under_one_third(self):
+        """Abstract: throughput decreases by only ~17% from 1,000 to 10,000 topics."""
+        profile = topic_scaling_profile(
+            NYTIMES, (1_000, 10_000), device=TITAN_X_MAXWELL, mean_doc_nnz=130
+        )
+        drop = throughput_drop_fraction(profile)
+        assert 0.0 < drop < 0.33
+
+    def test_sampling_dominates_iteration_time(self):
+        projection = project_saberlda_throughput(NYTIMES, 1000, mean_doc_nnz=130)
+        assert projection.phase_seconds["sampling"] > 0.5 * projection.iteration_seconds
+
+    def test_phase_keys(self):
+        projection = project_saberlda_throughput(NYTIMES, 1000, mean_doc_nnz=130)
+        assert set(projection.phase_seconds) == {
+            "sampling",
+            "a_update",
+            "preprocessing",
+            "transfer",
+        }
+
+
+class TestConvergenceCurve:
+    def test_time_to_reach(self):
+        curve = ConvergenceCurve(
+            system="x", seconds=[1.0, 2.0, 3.0], log_likelihood_per_token=[-9.0, -8.0, -7.5]
+        )
+        assert curve.time_to_reach(-8.0) == 2.0
+        assert curve.time_to_reach(-7.0) is None
+
+    def test_final_likelihood(self):
+        curve = ConvergenceCurve(system="x", seconds=[1.0], log_likelihood_per_token=[-8.0])
+        assert curve.final_likelihood() == -8.0
+        assert ConvergenceCurve(system="y").final_likelihood() is None
+
+
+class TestCompareSystems:
+    @pytest.fixture(scope="class")
+    def comparison(self, corpus):
+        params = LDAHyperParams(num_topics=6, alpha=0.1, beta=0.01)
+        baselines = [
+            EscaCpuTrainer(params, seed=1),
+            WarpLdaTrainer(params, seed=1),
+            DenseGpuTrainer(params, seed=1),
+        ]
+        from repro.saberlda import SaberLDAConfig
+
+        config = SaberLDAConfig(params=params, num_chunks=2, seed=1)
+        return compare_systems(
+            corpus,
+            num_topics=6,
+            baselines=baselines,
+            saberlda_config=config,
+            descriptor=NYTIMES,
+            num_iterations=6,
+            seed=1,
+            cost_num_topics=1000,
+        )
+
+    def test_all_systems_present(self, comparison):
+        assert "SaberLDA" in comparison.curves
+        assert "ESCA (CPU)" in comparison.curves
+        assert "WarpLDA" in comparison.curves
+        assert "BIDMach (dense GPU)" in comparison.curves
+
+    def test_curves_have_monotone_time_axes(self, comparison):
+        for curve in comparison.curves.values():
+            if curve.failed:
+                continue
+            assert all(b > a for a, b in zip(curve.seconds, curve.seconds[1:]))
+
+    def test_saberlda_faster_than_cpu_esca_to_common_threshold(self, comparison):
+        """Fig. 11: SaberLDA reaches the target likelihood before the CPU baselines."""
+        threshold = comparison.common_threshold(quantile=0.8)
+        speedup = comparison.speedup("SaberLDA", "ESCA (CPU)", threshold)
+        assert speedup is not None
+        assert speedup > 1.5
+
+    def test_saberlda_faster_than_dense_gpu(self, comparison):
+        threshold = comparison.common_threshold(quantile=0.8)
+        speedup = comparison.speedup("SaberLDA", "BIDMach (dense GPU)", threshold)
+        assert speedup is not None
+        assert speedup > 1.0
+
+    def test_common_threshold_reachable_by_all(self, comparison):
+        threshold = comparison.common_threshold(quantile=0.8)
+        for curve in comparison.curves.values():
+            if curve.failed or not curve.log_likelihood_per_token:
+                continue
+            assert curve.time_to_reach(threshold) is not None

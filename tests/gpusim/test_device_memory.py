@@ -1,0 +1,113 @@
+"""Tests for device specs and the memory-traffic accounting."""
+
+import pytest
+
+from repro.gpusim import (
+    GTX_1080,
+    HOST_CPU,
+    MemorySpace,
+    MemoryTraffic,
+    SharedMemoryBudget,
+    TITAN_X_MAXWELL,
+    get_device,
+)
+
+
+class TestDeviceSpecs:
+    def test_gtx_1080_basics(self):
+        assert GTX_1080.global_memory_bytes == 8 * 1024**3
+        assert GTX_1080.warp_width == 32
+        assert GTX_1080.cache_line_bytes == 128
+
+    def test_titan_x_has_more_memory(self):
+        assert TITAN_X_MAXWELL.global_memory_bytes > GTX_1080.global_memory_bytes
+
+    def test_gpu_bandwidth_exceeds_cpu(self):
+        assert GTX_1080.global_bandwidth > 2 * HOST_CPU.global_bandwidth
+
+    def test_effective_bandwidth_is_half_of_peak(self):
+        assert GTX_1080.effective_global_bandwidth == pytest.approx(
+            GTX_1080.global_bandwidth * 0.5
+        )
+
+    def test_fits_in_memory(self):
+        assert GTX_1080.fits_in_memory(4 * 1024**3)
+        assert not GTX_1080.fits_in_memory(16 * 1024**3)
+
+    def test_lookup_by_name(self):
+        assert get_device("gtx1080") is GTX_1080
+        assert get_device("Titan X") is TITAN_X_MAXWELL
+        assert get_device("cpu") is HOST_CPU
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            get_device("v100")
+
+
+class TestMemoryTraffic:
+    def test_read_write_accumulate(self):
+        traffic = MemoryTraffic()
+        traffic.read(MemorySpace.GLOBAL, 100.0)
+        traffic.write(MemorySpace.GLOBAL, 50.0)
+        assert traffic.bytes_at(MemorySpace.GLOBAL) == 150.0
+
+    def test_random_read_charges_full_cache_line(self):
+        traffic = MemoryTraffic()
+        traffic.random_read(MemorySpace.GLOBAL, useful_bytes=4, device=GTX_1080, count=10)
+        assert traffic.bytes_at(MemorySpace.GLOBAL) == 10 * 128
+
+    def test_random_read_larger_than_line(self):
+        traffic = MemoryTraffic()
+        traffic.random_read(MemorySpace.GLOBAL, useful_bytes=512, device=GTX_1080)
+        assert traffic.bytes_at(MemorySpace.GLOBAL) == 512
+
+    def test_transfer_accumulates(self):
+        traffic = MemoryTraffic()
+        traffic.transfer(1000.0)
+        traffic.transfer(500.0)
+        assert traffic.host_device_bytes == 1500.0
+
+    def test_merge_combines_everything(self):
+        a = MemoryTraffic()
+        a.read(MemorySpace.L2, 10.0)
+        a.compute_warp(5.0)
+        a.dependent_chain(100.0, 4.0)
+        b = MemoryTraffic()
+        b.read(MemorySpace.L2, 20.0)
+        b.compute_scalar(3.0)
+        b.dependent_chain(50.0, 8.0)
+        a.merge(b)
+        assert a.bytes_at(MemorySpace.L2) == 30.0
+        assert a.warp_ops == 5.0
+        assert a.scalar_ops == 3.0
+        assert a.chain_steps == 150.0
+        assert a.chain_parallelism == 8.0
+
+    def test_copy_is_independent(self):
+        a = MemoryTraffic()
+        a.read(MemorySpace.SHARED, 7.0)
+        b = a.copy()
+        b.read(MemorySpace.SHARED, 7.0)
+        assert a.bytes_at(MemorySpace.SHARED) == 7.0
+
+
+class TestSharedMemoryBudget:
+    def test_blocks_per_sm_from_allocation(self):
+        budget = SharedMemoryBudget(GTX_1080)
+        budget.allocate("bhat_row", 16 * 1024)
+        assert budget.blocks_per_sm() == 6
+
+    def test_zero_allocation_allows_max_blocks(self):
+        budget = SharedMemoryBudget(GTX_1080)
+        assert budget.blocks_per_sm() == GTX_1080.max_blocks_per_sm
+
+    def test_oversized_allocation_does_not_fit(self):
+        budget = SharedMemoryBudget(GTX_1080)
+        budget.allocate("huge", 200 * 1024)
+        assert not budget.fits()
+        assert budget.blocks_per_sm() == 0
+
+    def test_negative_allocation_rejected(self):
+        budget = SharedMemoryBudget(GTX_1080)
+        with pytest.raises(ValueError):
+            budget.allocate("bad", -1)

@@ -1,0 +1,90 @@
+"""Tests for the launch configuration and occupancy model."""
+
+import pytest
+
+from repro.gpusim import (
+    GTX_1080,
+    LaunchConfig,
+    best_threads_per_block,
+    blocks_per_sm,
+    occupancy,
+    occupancy_efficiency,
+    sync_overhead,
+)
+from repro.saberlda.costing import sampling_shared_bytes
+
+
+class TestLaunchConfig:
+    def test_valid_config(self):
+        LaunchConfig(256, 16 * 1024).validate(GTX_1080)
+
+    def test_non_multiple_of_warp_rejected(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(100).validate(GTX_1080)
+
+    def test_too_many_threads_rejected(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(2048).validate(GTX_1080)
+
+    def test_oversized_shared_memory_rejected(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(256, 200 * 1024).validate(GTX_1080)
+
+    def test_warps_per_block(self):
+        assert LaunchConfig(256).warps_per_block == 8
+
+
+class TestBlocksPerSm:
+    def test_limited_by_threads(self):
+        assert blocks_per_sm(LaunchConfig(1024), GTX_1080) == 2
+
+    def test_limited_by_shared_memory(self):
+        config = LaunchConfig(64, 48 * 1024)
+        assert blocks_per_sm(config, GTX_1080) == 2
+
+    def test_limited_by_block_slots(self):
+        assert blocks_per_sm(LaunchConfig(32), GTX_1080) == GTX_1080.max_blocks_per_sm
+
+
+class TestOccupancy:
+    def test_occupancy_in_unit_interval(self):
+        for threads in (32, 128, 256, 1024):
+            assert 0.0 < occupancy(LaunchConfig(threads), GTX_1080) <= 1.0
+
+    def test_sync_overhead_grows_with_block_size(self):
+        assert sync_overhead(LaunchConfig(1024)) > sync_overhead(LaunchConfig(64))
+
+    def test_efficiency_zero_when_nothing_fits(self):
+        config = LaunchConfig(32, 96 * 1024)
+        # One block fits exactly; with an impossible budget it would be zero.
+        assert occupancy_efficiency(config, GTX_1080) > 0.0
+
+    def test_256_threads_is_best_for_sampling_kernel(self):
+        """Sec. 4.2.3: 256 threads per block is (near-)optimal for K in 1k..5k.
+
+        The paper finds 256 always best; our model reproduces the shape —
+        256 within a few percent of the optimum and 32 clearly worse,
+        increasingly so at larger K where only few blocks fit per SM.
+        """
+        for num_topics in (1000, 3000, 5000):
+            scores = {}
+            for threads in (32, 64, 128, 256, 512, 1024):
+                shared = sampling_shared_bytes(num_topics, threads, mean_doc_nnz=130)
+                scores[threads] = occupancy_efficiency(LaunchConfig(threads, shared), GTX_1080)
+            best = max(scores, key=scores.get)
+            assert best in (128, 256, 512), f"K={num_topics}: best block size was {best}"
+            assert scores[256] >= 0.97 * scores[best]
+            assert scores[32] < 0.92 * scores[256]
+
+    def test_small_blocks_hurt_more_at_large_topic_counts(self):
+        """At K=5000 the shared-memory budget leaves few resident blocks, so T=32 collapses."""
+        shared_small_k = sampling_shared_bytes(1000, 32, 130)
+        shared_large_k = sampling_shared_bytes(5000, 32, 130)
+        small_k = occupancy_efficiency(LaunchConfig(32, shared_small_k), GTX_1080)
+        large_k = occupancy_efficiency(LaunchConfig(32, shared_large_k), GTX_1080)
+        assert large_k < small_k
+
+    def test_best_threads_helper_matches_sweep(self):
+        best = best_threads_per_block(GTX_1080, shared_bytes_per_block=16 * 1024)
+        assert best % 32 == 0
+        assert 32 <= best <= 1024

@@ -1,0 +1,130 @@
+"""Tests for the streaming schedule, cost model and profiler."""
+
+import pytest
+
+from repro.gpusim import (
+    ChunkWork,
+    CostModel,
+    GTX_1080,
+    MemorySpace,
+    MemoryTraffic,
+    PHASE_SAMPLING,
+    Profiler,
+    simulate_stream_schedule,
+)
+
+
+def _chunks(num_chunks: int, transfer_bytes: float, compute_seconds: float):
+    return [ChunkWork(transfer_bytes, compute_seconds) for _ in range(num_chunks)]
+
+
+class TestStreamSchedule:
+    def test_single_worker_exposes_all_transfers(self):
+        chunks = _chunks(4, transfer_bytes=1.2e9, compute_seconds=0.25)
+        schedule = simulate_stream_schedule(chunks, GTX_1080, num_workers=1)
+        assert schedule.makespan_seconds == pytest.approx(
+            schedule.compute_seconds + schedule.transfer_seconds, rel=1e-6
+        )
+
+    def test_multiple_workers_hide_transfers(self):
+        chunks = _chunks(6, transfer_bytes=1.2e9, compute_seconds=0.25)
+        single = simulate_stream_schedule(chunks, GTX_1080, num_workers=1)
+        multi = simulate_stream_schedule(chunks, GTX_1080, num_workers=4)
+        assert multi.makespan_seconds < single.makespan_seconds
+        assert multi.hidden_transfer_fraction > 0.5
+
+    def test_speedup_matches_transfer_share(self):
+        """Sec. 4.2.2: hiding transfers buys roughly the transfer share (~10-15%)."""
+        chunks = _chunks(10, transfer_bytes=0.18e9, compute_seconds=0.1)
+        single = simulate_stream_schedule(chunks, GTX_1080, num_workers=1)
+        multi = simulate_stream_schedule(chunks, GTX_1080, num_workers=4)
+        speedup = single.makespan_seconds / multi.makespan_seconds
+        assert 1.05 < speedup < 1.25
+
+    def test_transfer_bound_workload(self):
+        chunks = _chunks(4, transfer_bytes=24e9, compute_seconds=0.01)
+        schedule = simulate_stream_schedule(chunks, GTX_1080, num_workers=4)
+        assert schedule.makespan_seconds >= schedule.transfer_seconds
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            simulate_stream_schedule(_chunks(1, 1.0, 1.0), GTX_1080, num_workers=0)
+
+
+class TestCostModel:
+    def test_global_memory_bound_kernel(self):
+        traffic = MemoryTraffic()
+        traffic.read(MemorySpace.GLOBAL, 144e9)
+        time = CostModel(GTX_1080).kernel_time(traffic)
+        assert time.bottleneck == "global"
+        assert time.seconds == pytest.approx(1.0, rel=0.02)
+
+    def test_occupancy_penalty_scales_time(self):
+        traffic = MemoryTraffic()
+        traffic.read(MemorySpace.GLOBAL, 1e9)
+        model = CostModel(GTX_1080)
+        fast = model.kernel_time(traffic, occupancy_efficiency=1.0)
+        slow = model.kernel_time(traffic, occupancy_efficiency=0.5)
+        assert slow.seconds == pytest.approx(2 * fast.seconds)
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(ValueError):
+            CostModel(GTX_1080).kernel_time(MemoryTraffic(), occupancy_efficiency=0.0)
+
+    def test_chain_latency_binds_for_alias_style_work(self):
+        traffic = MemoryTraffic()
+        traffic.dependent_chain(steps=1e8, parallelism=100.0)
+        time = CostModel(GTX_1080).kernel_time(traffic)
+        assert time.bottleneck == "latency"
+        assert time.seconds == pytest.approx(1e8 * 350e-9 / 100.0)
+
+    def test_chain_parallelism_clamped_to_thread_slots(self):
+        traffic = MemoryTraffic()
+        traffic.dependent_chain(steps=1e8, parallelism=1e9)
+        slots = GTX_1080.num_sms * GTX_1080.max_threads_per_sm
+        time = CostModel(GTX_1080).kernel_time(traffic)
+        assert time.resource_seconds["latency"] == pytest.approx(1e8 * 350e-9 / slots)
+
+    def test_transfer_time_uses_pcie_bandwidth(self):
+        traffic = MemoryTraffic()
+        traffic.transfer(12e9)
+        assert CostModel(GTX_1080).transfer_time(traffic) == pytest.approx(1.0)
+
+    def test_bandwidth_report_structure(self):
+        traffic = MemoryTraffic()
+        traffic.read(MemorySpace.GLOBAL, 144e9)
+        traffic.read(MemorySpace.SHARED, 400e9)
+        report = CostModel(GTX_1080).bandwidth_report(traffic, elapsed_seconds=1.0)
+        assert set(report) == {"global", "l2", "l1", "shared"}
+        assert report["global"]["utilization"] == pytest.approx(0.5, abs=0.05)
+
+    def test_bandwidth_report_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            CostModel(GTX_1080).bandwidth_report(MemoryTraffic(), 0.0)
+
+
+class TestProfiler:
+    def test_phase_accumulation(self):
+        profiler = Profiler(CostModel(GTX_1080))
+        traffic = MemoryTraffic()
+        traffic.read(MemorySpace.GLOBAL, 1e9)
+        profiler.record(PHASE_SAMPLING, traffic, 0.5)
+        profiler.record(PHASE_SAMPLING, traffic, 0.25)
+        assert profiler.phase_seconds()[PHASE_SAMPLING] == pytest.approx(0.75)
+        assert profiler.total_seconds() == pytest.approx(0.75)
+
+    def test_time_breakdown_includes_all_phases(self):
+        profiler = Profiler(CostModel(GTX_1080))
+        breakdown = profiler.time_breakdown()
+        assert set(breakdown) == {"sampling", "a_update", "preprocessing", "transfer"}
+
+    def test_bandwidth_table_requires_recorded_phase(self):
+        profiler = Profiler(CostModel(GTX_1080))
+        with pytest.raises(ValueError):
+            profiler.bandwidth_table()
+
+    def test_throughput(self):
+        profiler = Profiler(CostModel(GTX_1080))
+        traffic = MemoryTraffic()
+        profiler.record(PHASE_SAMPLING, traffic, 2.0)
+        assert profiler.throughput_tokens_per_second(100_000_000) == pytest.approx(5e7)

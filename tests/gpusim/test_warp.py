@@ -1,0 +1,112 @@
+"""Tests for the lane-exact warp primitives."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    DivergenceTracker,
+    ffs,
+    warp_ballot,
+    warp_copy,
+    warp_prefix_sum,
+    warp_reduce_sum,
+    warp_shuffle_down,
+    warp_vote,
+)
+
+
+class TestPrefixSum:
+    def test_matches_cumsum(self, rng):
+        values = rng.random(32)
+        np.testing.assert_allclose(warp_prefix_sum(values), np.cumsum(values))
+
+    def test_all_zeros(self):
+        np.testing.assert_allclose(warp_prefix_sum(np.zeros(32)), np.zeros(32))
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            warp_prefix_sum(np.ones(16))
+
+    def test_custom_width(self, rng):
+        values = rng.random(8)
+        np.testing.assert_allclose(warp_prefix_sum(values, warp_width=8), np.cumsum(values))
+
+
+class TestReduceAndCopy:
+    def test_reduce_sum(self, rng):
+        values = rng.random(32)
+        assert warp_reduce_sum(values) == pytest.approx(values.sum())
+
+    def test_copy_broadcasts_lane_value(self, rng):
+        values = rng.random(32)
+        assert warp_copy(values, 31) == pytest.approx(values[31])
+        assert warp_copy(values, 0) == pytest.approx(values[0])
+
+    def test_copy_invalid_lane(self):
+        with pytest.raises(ValueError):
+            warp_copy(np.ones(32), 32)
+
+
+class TestBallotVote:
+    def test_ballot_packs_bits(self):
+        predicate = np.zeros(32, dtype=bool)
+        predicate[0] = True
+        predicate[5] = True
+        assert warp_ballot(predicate) == (1 | (1 << 5))
+
+    def test_ffs_semantics(self):
+        assert ffs(0) == 0
+        assert ffs(1) == 1
+        assert ffs(0b1000) == 4
+
+    def test_vote_returns_first_true_lane(self):
+        predicate = np.zeros(32, dtype=bool)
+        predicate[7] = True
+        predicate[20] = True
+        assert warp_vote(predicate) == 7
+
+    def test_vote_returns_minus_one_when_no_lane_true(self):
+        assert warp_vote(np.zeros(32, dtype=bool)) == -1
+
+    def test_vote_with_comparison_predicate(self):
+        prefix = np.cumsum(np.ones(32))
+        assert warp_vote(prefix >= 10.0) == 9
+
+
+class TestShuffleDown:
+    def test_shifts_values(self):
+        values = np.arange(32, dtype=float)
+        shifted = warp_shuffle_down(values, 4)
+        np.testing.assert_allclose(shifted[:28], values[4:])
+        np.testing.assert_allclose(shifted[28:], values[28:])
+
+    def test_zero_delta_is_identity(self):
+        values = np.arange(32, dtype=float)
+        np.testing.assert_allclose(warp_shuffle_down(values, 0), values)
+
+
+class TestDivergenceTracker:
+    def test_uniform_branch_is_not_divergent(self):
+        tracker = DivergenceTracker()
+        assert tracker.record_branch(np.ones(32, dtype=bool)) is False
+        assert tracker.record_branch(np.zeros(32, dtype=bool)) is False
+        assert tracker.divergence_rate == 0.0
+
+    def test_mixed_branch_is_divergent(self):
+        tracker = DivergenceTracker()
+        decisions = np.zeros(32, dtype=bool)
+        decisions[:16] = True
+        assert tracker.record_branch(decisions) is True
+        assert tracker.divergence_rate == 1.0
+
+    def test_loop_imbalance_reduces_lane_efficiency(self):
+        tracker = DivergenceTracker()
+        trips = np.full(32, 10.0)
+        trips[0] = 100.0
+        tracker.record_loop(trips)
+        assert tracker.lane_efficiency < 0.5
+
+    def test_balanced_loops_have_full_efficiency(self):
+        tracker = DivergenceTracker()
+        tracker.record_loop(np.full(32, 7.0))
+        assert tracker.lane_efficiency == pytest.approx(1.0)

@@ -1,0 +1,100 @@
+"""Integration tests across the full stack: corpus -> training -> evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core import LDAHyperParams, heldout_log_likelihood
+from repro.corpus import generate_lda_corpus, nytimes_replica
+from repro.saberlda import SaberLDAConfig, ablation_presets, train_saberlda
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_lda_corpus(
+        num_documents=100,
+        vocabulary_size=250,
+        num_topics=8,
+        mean_document_length=50,
+        seed=21,
+    )
+
+
+@pytest.fixture(scope="module")
+def result(corpus):
+    config = SaberLDAConfig(
+        params=LDAHyperParams(num_topics=8, alpha=0.1, beta=0.01),
+        num_iterations=15,
+        num_chunks=3,
+        seed=4,
+    )
+    return train_saberlda(
+        corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size, config
+    )
+
+
+class TestEndToEndTraining:
+    def test_training_improves_heldout_likelihood(self, corpus, result):
+        """The trained model must generalise better than an untrained one."""
+        params = result.config.params
+        rng = np.random.default_rng(0)
+        trained = heldout_log_likelihood(
+            corpus.tokens, result.model.word_topic_counts, params, rng
+        )
+        untrained_counts = np.ones_like(result.model.word_topic_counts)
+        rng = np.random.default_rng(0)
+        untrained = heldout_log_likelihood(corpus.tokens, untrained_counts, params, rng)
+        assert trained.per_token > untrained.per_token + 0.2
+
+    def test_document_sparsity_decreases_during_training(self, result):
+        """As topics sharpen, documents concentrate on fewer topics (K_d shrinks)."""
+        first = result.history[0].mean_doc_nnz
+        last = result.history[-1].mean_doc_nnz
+        assert last <= first
+
+    def test_topic_assignments_cover_multiple_topics(self, result):
+        counts = result.model.word_topic_counts.sum(axis=0)
+        assert (counts > 0).sum() >= 4
+
+    def test_inferred_mixture_matches_dominant_document_topic(self, corpus, result):
+        """Fold-in inference on a training document should give a valid distribution."""
+        doc_words = corpus.tokens.word_ids[corpus.tokens.doc_ids == 0]
+        theta = result.model.infer_document(doc_words.tolist())
+        assert theta.sum() == pytest.approx(1.0)
+        assert theta.max() > 1.0 / 8
+
+
+class TestAblationConsistency:
+    def test_all_optimisation_levels_learn_the_same_model_shape(self, corpus):
+        """The optimisations change performance, never the statistical result class."""
+        final_likelihoods = {}
+        for name, preset in ablation_presets(8, num_chunks=2).items():
+            config = preset.with_overrides(
+                params=LDAHyperParams(num_topics=8, alpha=0.1, beta=0.01),
+                num_iterations=5,
+                seed=11,
+                evaluate_every=5,
+            )
+            run = train_saberlda(
+                corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size, config
+            )
+            final_likelihoods[name] = run.history[-1].log_likelihood_per_token
+        values = list(final_likelihoods.values())
+        assert max(values) - min(values) < 0.15
+
+
+class TestReplicaTraining:
+    def test_nytimes_replica_end_to_end(self):
+        replica = nytimes_replica(num_documents=60, vocabulary_size=400, seed=9)
+        config = SaberLDAConfig(
+            params=LDAHyperParams(num_topics=20, alpha=0.2, beta=0.01),
+            num_iterations=8,
+            num_chunks=2,
+            seed=1,
+        )
+        run = train_saberlda(
+            replica.unassigned_copy(), replica.num_documents, replica.vocabulary_size, config
+        )
+        assert run.history[-1].log_likelihood_per_token > run.history[0].log_likelihood_per_token
+        assert run.simulated_seconds > 0
+        table = run.profiler.bandwidth_table()
+        assert 0.0 < table["global"]["utilization"] <= 1.0

@@ -1,0 +1,89 @@
+"""Cross-implementation equivalence tests.
+
+The paper's data structures (alias table, Fenwick tree, W-ary tree, warp
+kernel, SSC) are alternative implementations of the same mathematical
+objects; these tests pin them against each other.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SparseDocTopicMatrix
+from repro.corpus import generate_lda_corpus
+from repro.sampling import AliasTable, FenwickTree, WaryTree
+from repro.saberlda import (
+    SaberLDAConfig,
+    WarpWaryTree,
+    build_layout,
+    merge_chunk_rows,
+    rebuild_doc_topic_sort,
+    rebuild_doc_topic_ssc,
+)
+
+
+class TestSamplingStructureEquivalence:
+    """Alias table, Fenwick tree and both W-ary trees encode the same distribution."""
+
+    @pytest.fixture
+    def weights(self, rng):
+        return rng.random(300) + 1e-6
+
+    def test_alias_vs_wary_tree_distributions(self, weights):
+        alias = AliasTable.build(weights)
+        tree = WaryTree.build(weights)
+        np.testing.assert_allclose(
+            alias.outcome_probabilities(), tree.leaf_probabilities(), atol=1e-10
+        )
+
+    def test_fenwick_vs_wary_tree_samples(self, weights, rng):
+        fenwick = FenwickTree(weights)
+        tree = WaryTree.build(weights)
+        for u in rng.random(200):
+            assert fenwick.sample(float(u)) == tree.sample(float(u))
+
+    def test_warp_tree_vs_cpu_tree_samples(self, weights, rng):
+        warp_tree = WarpWaryTree.build(weights)
+        cpu_tree = WaryTree.build(weights)
+        for u in rng.random(200):
+            assert warp_tree.sample(float(u)) == cpu_tree.sample(float(u))
+
+    def test_empirical_agreement_of_all_structures(self, rng):
+        weights = np.array([5.0, 1.0, 0.0, 3.0, 1.0, 2.0])
+        expected = weights / weights.sum()
+        num_draws = 30_000
+
+        alias = AliasTable.build(weights)
+        alias_draws = alias.sample_batch(rng.random(num_draws), rng.random(num_draws))
+        fenwick = FenwickTree(weights)
+        fenwick_draws = np.array([fenwick.sample(float(u)) for u in rng.random(num_draws)])
+        tree = WarpWaryTree.build(weights)
+        tree_draws = np.array([tree.sample(float(u)) for u in rng.random(num_draws)])
+
+        for draws in (alias_draws, fenwick_draws, tree_draws):
+            empirical = np.bincount(draws, minlength=6) / num_draws
+            np.testing.assert_allclose(empirical, expected, atol=0.02)
+
+
+class TestCountRebuildEquivalence:
+    """SSC, the global sort and the reference counting must agree on real corpora."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_lda_corpus(
+            num_documents=70, vocabulary_size=200, num_topics=12, mean_document_length=45, seed=2
+        )
+
+    @pytest.mark.parametrize("num_chunks", [1, 2, 5])
+    def test_chunked_rebuilds_match_reference(self, corpus, num_chunks):
+        config = SaberLDAConfig.paper_defaults(12, num_chunks=num_chunks)
+        layouts = build_layout(corpus.tokens, corpus.num_documents, config)
+        reference = SparseDocTopicMatrix.from_tokens(corpus.tokens, corpus.num_documents, 12)
+
+        ssc = merge_chunk_rows(
+            [rebuild_doc_topic_ssc(layout, 12) for layout in layouts], corpus.num_documents, 12
+        )
+        sort = merge_chunk_rows(
+            [rebuild_doc_topic_sort(layout, 12) for layout in layouts], corpus.num_documents, 12
+        )
+        np.testing.assert_array_equal(ssc.to_dense(), reference.to_dense())
+        np.testing.assert_array_equal(sort.to_dense(), reference.to_dense())

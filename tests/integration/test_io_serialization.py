@@ -1,0 +1,116 @@
+"""Tests for corpus I/O (UCI bag-of-words) and model serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core import LDAHyperParams, count_by_word_topic, LDAModel
+from repro.core.serialization import load_model, save_model
+from repro.corpus import generate_lda_corpus
+from repro.corpus.io import read_uci_bag_of_words, write_uci_bag_of_words
+
+
+@pytest.fixture
+def corpus():
+    return generate_lda_corpus(
+        num_documents=40, vocabulary_size=80, num_topics=5, mean_document_length=25, seed=3
+    )
+
+
+class TestUciBagOfWords:
+    def test_round_trip_preserves_token_multiset(self, corpus, tmp_path):
+        docword = str(tmp_path / "docword.txt")
+        vocab = str(tmp_path / "vocab.txt")
+        write_uci_bag_of_words(corpus.tokens, docword, vocab, corpus.vocabulary)
+        restored = read_uci_bag_of_words(docword, vocab)
+
+        assert restored.num_tokens == corpus.num_tokens
+        assert restored.num_documents == corpus.num_documents
+        assert restored.vocabulary_size == corpus.vocabulary_size
+        original = sorted(zip(corpus.tokens.doc_ids, corpus.tokens.word_ids))
+        loaded = sorted(zip(restored.tokens.doc_ids, restored.tokens.word_ids))
+        assert original == loaded
+
+    def test_vocabulary_round_trip(self, corpus, tmp_path):
+        docword = str(tmp_path / "docword.txt")
+        vocab = str(tmp_path / "vocab.txt")
+        write_uci_bag_of_words(corpus.tokens, docword, vocab, corpus.vocabulary)
+        restored = read_uci_bag_of_words(docword, vocab)
+        assert restored.vocabulary.words() == corpus.vocabulary.words()
+
+    def test_header_is_valid(self, corpus, tmp_path):
+        docword = str(tmp_path / "docword.txt")
+        write_uci_bag_of_words(corpus.tokens, docword)
+        with open(docword, "r", encoding="utf-8") as handle:
+            num_documents = int(handle.readline())
+            vocabulary_size = int(handle.readline())
+            num_entries = int(handle.readline())
+        assert num_documents == corpus.num_documents
+        assert vocabulary_size == corpus.vocabulary_size
+        assert num_entries > 0
+
+    def test_max_documents_truncation(self, corpus, tmp_path):
+        docword = str(tmp_path / "docword.txt")
+        write_uci_bag_of_words(corpus.tokens, docword)
+        subset = read_uci_bag_of_words(docword, max_documents=10)
+        assert subset.num_documents == 10
+        assert subset.tokens.doc_ids.max() < 10
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_uci_bag_of_words(str(tmp_path / "missing.txt"))
+
+    def test_loaded_tokens_are_unassigned(self, corpus, tmp_path):
+        docword = str(tmp_path / "docword.txt")
+        write_uci_bag_of_words(corpus.tokens, docword)
+        restored = read_uci_bag_of_words(docword)
+        assert (restored.tokens.topics == -1).all()
+
+    def test_invalid_count_rejected(self, tmp_path):
+        path = tmp_path / "docword.txt"
+        path.write_text("1\n3\n1\n1 2 0\n")
+        with pytest.raises(ValueError):
+            read_uci_bag_of_words(str(path))
+
+    def test_out_of_range_word_rejected(self, tmp_path):
+        path = tmp_path / "docword.txt"
+        path.write_text("1\n3\n1\n1 9 2\n")
+        with pytest.raises(ValueError):
+            read_uci_bag_of_words(str(path))
+
+
+class TestModelSerialization:
+    def test_round_trip(self, corpus, tmp_path):
+        params = LDAHyperParams(num_topics=5, alpha=0.1, beta=0.01)
+        counts = count_by_word_topic(corpus.tokens, corpus.vocabulary_size, 5)
+        model = LDAModel(
+            word_topic_counts=counts,
+            params=params,
+            vocabulary=corpus.vocabulary.words(),
+            metadata={"system": "SaberLDA", "iterations": 10},
+        )
+        path = save_model(model, str(tmp_path / "model"))
+        restored = load_model(path)
+
+        np.testing.assert_array_equal(restored.word_topic_counts, counts)
+        assert restored.params == params
+        assert restored.vocabulary == corpus.vocabulary.words()
+        assert restored.metadata["system"] == "SaberLDA"
+
+    def test_round_trip_without_vocabulary(self, corpus, tmp_path):
+        params = LDAHyperParams(num_topics=5, alpha=0.1, beta=0.01)
+        counts = count_by_word_topic(corpus.tokens, corpus.vocabulary_size, 5)
+        model = LDAModel(word_topic_counts=counts, params=params)
+        path = save_model(model, str(tmp_path / "bare.npz"))
+        restored = load_model(path)
+        assert restored.vocabulary is None
+        assert restored.num_topics == 5
+
+    def test_top_words_preserved(self, corpus, tmp_path):
+        params = LDAHyperParams(num_topics=5, alpha=0.1, beta=0.01)
+        counts = count_by_word_topic(corpus.tokens, corpus.vocabulary_size, 5)
+        model = LDAModel(
+            word_topic_counts=counts, params=params, vocabulary=corpus.vocabulary.words()
+        )
+        path = save_model(model, str(tmp_path / "model"))
+        restored = load_model(path)
+        assert restored.top_words(0, 5) == model.top_words(0, 5)

@@ -1,0 +1,73 @@
+"""Property-based tests (hypothesis) for the sampling data structures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sampling import AliasTable, FenwickTree, WaryTree, prefix_sum_search
+from repro.saberlda import WarpWaryTree
+
+weight_arrays = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=400),
+    elements=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+).filter(lambda w: w.sum() > 1e-6)
+
+uniforms = st.floats(min_value=0.0, max_value=1.0, exclude_max=True)
+
+
+class TestPrefixSumSearchProperties:
+    @given(weights=weight_arrays, u=uniforms)
+    @settings(max_examples=60, deadline=None)
+    def test_result_is_a_valid_index_with_positive_weight_region(self, weights, u):
+        prefix = np.cumsum(weights)
+        index = prefix_sum_search(prefix, u * prefix[-1])
+        assert 0 <= index < len(weights)
+        # The selected position must be reachable: its prefix covers the target.
+        assert prefix[index] >= u * prefix[-1] - 1e-9
+
+
+class TestTreeEquivalenceProperties:
+    @given(weights=weight_arrays, u=uniforms)
+    @settings(max_examples=60, deadline=None)
+    def test_wary_tree_matches_searchsorted(self, weights, u):
+        tree = WaryTree.build(weights)
+        prefix = np.cumsum(weights)
+        expected = min(
+            int(np.searchsorted(prefix, u * prefix[-1], side="left")), len(weights) - 1
+        )
+        assert tree.sample(u) == expected
+
+    @given(weights=weight_arrays, u=uniforms)
+    @settings(max_examples=60, deadline=None)
+    def test_warp_tree_matches_cpu_tree(self, weights, u):
+        assert WarpWaryTree.build(weights).sample(u) == WaryTree.build(weights).sample(u)
+
+    @given(weights=weight_arrays, u=uniforms)
+    @settings(max_examples=60, deadline=None)
+    def test_fenwick_matches_searchsorted(self, weights, u):
+        tree = FenwickTree(weights)
+        prefix = np.cumsum(weights)
+        expected = min(
+            int(np.searchsorted(prefix, u * prefix[-1], side="left")), len(weights) - 1
+        )
+        # The Fenwick descent uses strict inequalities; allow the boundary case
+        # where the target falls exactly on a prefix value of a zero-width region.
+        got = tree.sample(u)
+        assert got == expected or abs(prefix[got] - prefix[expected]) < 1e-12
+
+    @given(weights=weight_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_alias_table_preserves_distribution(self, weights):
+        table = AliasTable.build(weights)
+        np.testing.assert_allclose(
+            table.outcome_probabilities(), weights / weights.sum(), atol=1e-9
+        )
+
+    @given(weights=weight_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_tree_totals_match(self, weights):
+        assert np.isclose(WaryTree.build(weights).total(), weights.sum())
+        assert np.isclose(WarpWaryTree.build(weights).sum(), weights.sum())
+        assert np.isclose(FenwickTree(weights).total(), weights.sum())

@@ -1,0 +1,80 @@
+"""Tests for the SaberLDA configuration and ablation presets."""
+
+import pytest
+
+from repro.gpusim import TITAN_X_MAXWELL
+from repro.saberlda import (
+    CountRebuildKind,
+    PreprocessKind,
+    SaberLDAConfig,
+    TokenOrder,
+    ablation_presets,
+)
+
+
+class TestConfig:
+    def test_paper_defaults_are_fully_optimised(self):
+        config = SaberLDAConfig.paper_defaults(1000)
+        assert config.uses_pdow
+        assert config.preprocess is PreprocessKind.WARY_TREE
+        assert config.count_rebuild is CountRebuildKind.SSC
+        assert config.asynchronous
+        assert config.params.alpha == pytest.approx(0.05)
+
+    def test_overrides(self):
+        config = SaberLDAConfig.paper_defaults(100, num_chunks=7, seed=3)
+        assert config.num_chunks == 7
+        assert config.seed == 3
+
+    def test_with_overrides_returns_new_object(self):
+        config = SaberLDAConfig.paper_defaults(100)
+        other = config.with_overrides(num_workers=8)
+        assert other.num_workers == 8
+        assert config.num_workers != 8 or other is not config
+
+    def test_device_override(self):
+        config = SaberLDAConfig.paper_defaults(100, device=TITAN_X_MAXWELL)
+        assert config.device.name.startswith("Titan")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SaberLDAConfig.paper_defaults(100, num_chunks=0)
+        with pytest.raises(ValueError):
+            SaberLDAConfig.paper_defaults(100, num_workers=0)
+        with pytest.raises(ValueError):
+            SaberLDAConfig.paper_defaults(100, threads_per_block=100)
+        with pytest.raises(ValueError):
+            SaberLDAConfig.paper_defaults(100, num_iterations=0)
+
+    def test_doc_major_is_not_pdow(self):
+        config = SaberLDAConfig.paper_defaults(100, token_order=TokenOrder.DOC_MAJOR)
+        assert not config.uses_pdow
+
+
+class TestAblationPresets:
+    def test_all_five_levels_present(self):
+        presets = ablation_presets(1000)
+        assert list(presets) == ["G0", "G1", "G2", "G3", "G4"]
+
+    def test_g0_is_the_unoptimised_baseline(self):
+        g0 = ablation_presets(1000)["G0"]
+        assert g0.token_order is TokenOrder.DOC_MAJOR
+        assert g0.preprocess is PreprocessKind.ALIAS_TABLE
+        assert g0.count_rebuild is CountRebuildKind.GLOBAL_SORT
+        assert not g0.asynchronous
+        assert g0.num_workers == 1
+
+    def test_optimisations_are_cumulative(self):
+        presets = ablation_presets(1000)
+        assert presets["G1"].token_order is TokenOrder.WORD_MAJOR
+        assert presets["G1"].preprocess is PreprocessKind.ALIAS_TABLE
+        assert presets["G2"].preprocess is PreprocessKind.WARY_TREE
+        assert presets["G2"].count_rebuild is CountRebuildKind.GLOBAL_SORT
+        assert presets["G3"].count_rebuild is CountRebuildKind.SSC
+        assert not presets["G3"].asynchronous
+        assert presets["G4"].asynchronous
+        assert presets["G4"].num_workers >= 2
+
+    def test_presets_share_topic_count(self):
+        presets = ablation_presets(321)
+        assert {preset.params.num_topics for preset in presets.values()} == {321}

@@ -1,0 +1,148 @@
+"""Tests for the warp-based and thread-based sampling kernels (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LDAHyperParams, count_by_word_topic, normalize_word_topic
+from repro.gpusim import DivergenceTracker
+from repro.sampling import XorShiftRNG, exact_token_distribution, word_prior_mass
+from repro.saberlda import (
+    WarpSampleStats,
+    WarpWaryTree,
+    thread_sample_token,
+    thread_sample_warp,
+    warp_sample_token,
+)
+
+
+@pytest.fixture
+def word_rows(tiny_tokens):
+    counts = count_by_word_topic(tiny_tokens, 5, 3)
+    return normalize_word_topic(counts, beta=0.01)
+
+
+def _empirical(sampler, num_draws, num_topics, seed=0):
+    rng = XorShiftRNG(seed)
+    draws = np.array([sampler(rng) for _ in range(num_draws)])
+    return np.bincount(draws, minlength=num_topics) / num_draws
+
+
+class TestWarpSample:
+    def test_matches_exact_distribution_small(self, word_rows):
+        params = LDAHyperParams(num_topics=3, alpha=0.5, beta=0.01)
+        nz_indices = np.array([0, 2])
+        nz_counts = np.array([3.0, 1.0])
+        word_row = word_rows[2]
+        tree = WarpWaryTree.build(word_row)
+        prior = word_prior_mass(word_row, params.alpha)
+
+        empirical = _empirical(
+            lambda rng: warp_sample_token(nz_indices, nz_counts, word_row, tree, prior, rng),
+            num_draws=30_000,
+            num_topics=3,
+        )
+        dense_row = np.array([3.0, 0.0, 1.0])
+        expected = exact_token_distribution(dense_row, word_row, params.alpha)
+        np.testing.assert_allclose(empirical, expected, atol=0.02)
+
+    def test_matches_exact_distribution_long_row(self, rng):
+        """Rows longer than one warp exercise the strided prefix-sum search."""
+        num_topics = 200
+        word_row = rng.random(num_topics) + 1e-3
+        word_row /= word_row.sum()
+        nz_indices = np.sort(rng.choice(num_topics, size=90, replace=False))
+        nz_counts = rng.integers(1, 6, size=90).astype(float)
+        tree = WarpWaryTree.build(word_row)
+        alpha = 0.25
+        prior = word_prior_mass(word_row, alpha)
+
+        empirical = _empirical(
+            lambda r: warp_sample_token(nz_indices, nz_counts, word_row, tree, prior, r),
+            num_draws=40_000,
+            num_topics=num_topics,
+        )
+        dense_row = np.zeros(num_topics)
+        dense_row[nz_indices] = nz_counts
+        expected = exact_token_distribution(dense_row, word_row, alpha)
+        total_variation = 0.5 * np.abs(empirical - expected).sum()
+        assert total_variation < 0.05
+
+    def test_empty_row_samples_from_tree_only(self, word_rows):
+        word_row = word_rows[0]
+        tree = WarpWaryTree.build(word_row)
+        rng = XorShiftRNG(3)
+        stats = WarpSampleStats()
+        for _ in range(50):
+            warp_sample_token(np.array([]), np.array([]), word_row, tree, 0.1, rng, stats)
+        assert stats.tree_samples == 50
+        assert stats.doc_side_samples == 0
+
+    def test_stats_accumulate(self, word_rows):
+        word_row = word_rows[2]
+        tree = WarpWaryTree.build(word_row)
+        rng = XorShiftRNG(4)
+        stats = WarpSampleStats()
+        for _ in range(100):
+            warp_sample_token(
+                np.array([0, 1, 2]), np.array([5.0, 1.0, 2.0]), word_row, tree, 0.01, rng, stats
+            )
+        assert stats.tokens_sampled == 100
+        assert stats.doc_side_samples + stats.tree_samples == 100
+        assert stats.warp_iterations >= 100
+
+    def test_agrees_with_thread_based_kernel_distribution(self, word_rows):
+        """Warp-based and thread-based kernels sample the same distribution."""
+        word_row = word_rows[2]
+        tree = WarpWaryTree.build(word_row)
+        nz_indices = np.array([0, 1])
+        nz_counts = np.array([2.0, 2.0])
+        prior = word_prior_mass(word_row, 0.4)
+        warp = _empirical(
+            lambda r: warp_sample_token(nz_indices, nz_counts, word_row, tree, prior, r),
+            20_000,
+            3,
+            seed=1,
+        )
+        thread = _empirical(
+            lambda r: thread_sample_token(nz_indices, nz_counts, word_row, tree, prior, r),
+            20_000,
+            3,
+            seed=2,
+        )
+        np.testing.assert_allclose(warp, thread, atol=0.025)
+
+
+class TestThreadSampleWarp:
+    def test_divergence_recorded_for_imbalanced_rows(self, word_rows, rng):
+        word_row = word_rows[2]
+        tree = WarpWaryTree.build(word_row)
+        rows = [
+            (np.array([0]), np.array([1.0])),
+            (np.array([0, 1, 2]), np.array([30.0, 20.0, 10.0])),
+        ] * 8
+        tracker = DivergenceTracker()
+        results = thread_sample_warp(
+            rows,
+            np.tile(word_row, (16, 1)),
+            [tree] * 16,
+            np.full(16, 0.2),
+            XorShiftRNG(9),
+            tracker,
+        )
+        assert len(results) == 16
+        assert tracker.lane_efficiency < 1.0
+        assert tracker.loop_events == 1
+
+    def test_rejects_more_than_warp_width_tokens(self, word_rows):
+        word_row = word_rows[0]
+        tree = WarpWaryTree.build(word_row)
+        rows = [(np.array([0]), np.array([1.0]))] * 33
+        with pytest.raises(ValueError):
+            thread_sample_warp(
+                rows,
+                np.tile(word_row, (33, 1)),
+                [tree] * 33,
+                np.full(33, 0.2),
+                XorShiftRNG(1),
+                DivergenceTracker(),
+            )

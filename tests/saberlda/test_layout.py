@@ -1,0 +1,86 @@
+"""Tests for the PDOW data layout."""
+
+import numpy as np
+import pytest
+
+from repro.saberlda import SaberLDAConfig, TokenOrder, build_layout, gather_layout_tokens
+from repro.saberlda.layout import layout_chunk
+from repro.corpus import partition_by_document
+
+
+@pytest.fixture
+def pdow_config():
+    return SaberLDAConfig.paper_defaults(10, num_chunks=3)
+
+
+@pytest.fixture
+def layouts(small_corpus, pdow_config):
+    return build_layout(small_corpus.tokens, small_corpus.num_documents, pdow_config)
+
+
+class TestPdowLayout:
+    def test_chunk_count(self, layouts, pdow_config):
+        assert len(layouts) == pdow_config.num_chunks
+
+    def test_tokens_preserved(self, small_corpus, layouts):
+        assert sum(layout.num_tokens for layout in layouts) == small_corpus.num_tokens
+
+    def test_tokens_sorted_by_word_within_chunk(self, layouts):
+        for layout in layouts:
+            assert (np.diff(layout.tokens.word_ids) >= 0).all()
+
+    def test_documents_partitioned_across_chunks(self, layouts):
+        for layout in layouts:
+            if layout.num_tokens:
+                assert layout.tokens.doc_ids.min() >= layout.chunk.doc_start
+                assert layout.tokens.doc_ids.max() < layout.chunk.doc_stop
+
+    def test_word_runs_cover_all_tokens(self, layouts):
+        for layout in layouts:
+            assert sum(run.num_tokens for run in layout.word_runs) == layout.num_tokens
+
+    def test_word_runs_scheduled_by_decreasing_frequency(self, layouts):
+        """Sec. 3.4: most frequent words are scheduled first for load balance."""
+        for layout in layouts:
+            sizes = [run.num_tokens for run in layout.word_runs]
+            assert sizes == sorted(sizes, reverse=True)
+
+    def test_word_runs_are_homogeneous(self, layouts):
+        for layout in layouts:
+            for run in layout.word_runs[:10]:
+                words = layout.tokens.word_ids[run.start : run.stop]
+                assert (words == run.word_id).all()
+
+    def test_distinct_words_counts_unique(self, layouts):
+        for layout in layouts:
+            expected = len(np.unique(layout.tokens.word_ids)) if layout.num_tokens else 0
+            assert layout.distinct_words() == expected
+
+    def test_gather_restores_token_multiset(self, small_corpus, layouts):
+        gathered = gather_layout_tokens(layouts)
+        original = sorted(zip(small_corpus.tokens.doc_ids, small_corpus.tokens.word_ids))
+        restored = sorted(zip(gathered.doc_ids, gathered.word_ids))
+        assert original == restored
+
+
+class TestDocMajorLayout:
+    def test_doc_major_sorts_by_document(self, small_corpus):
+        config = SaberLDAConfig.paper_defaults(10, num_chunks=2, token_order=TokenOrder.DOC_MAJOR)
+        layouts = build_layout(small_corpus.tokens, small_corpus.num_documents, config)
+        for layout in layouts:
+            assert (np.diff(layout.tokens.doc_ids) >= 0).all()
+            assert layout.word_runs == []
+
+
+class TestShufflePointers:
+    def test_pointers_are_a_permutation(self, layouts):
+        for layout in layouts:
+            pointers = layout.shuffle_pointers
+            assert sorted(pointers.tolist()) == list(range(layout.num_tokens))
+
+    def test_pointers_restore_document_grouping(self, small_corpus):
+        chunks = partition_by_document(small_corpus.tokens, small_corpus.num_documents, 2)
+        layout = layout_chunk(chunks[0], TokenOrder.WORD_MAJOR)
+        shuffled_docs = np.empty_like(layout.tokens.doc_ids)
+        shuffled_docs[layout.shuffle_pointers] = layout.tokens.doc_ids
+        assert (np.diff(shuffled_docs) >= 0).all()

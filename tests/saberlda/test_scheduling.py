@@ -1,0 +1,82 @@
+"""Tests for the block-level load-balancing scheduler (Sec. 3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import generate_zipf_corpus, partition_by_document
+from repro.gpusim import GTX_1080
+from repro.saberlda import TokenOrder
+from repro.saberlda.layout import layout_chunk
+from repro.saberlda.scheduling import (
+    ScheduleOutcome,
+    frequency_ordering_benefit,
+    head_token_share,
+    schedule_word_runs,
+    simulate_dynamic_schedule,
+)
+
+
+@pytest.fixture(scope="module")
+def zipf_layout():
+    corpus = generate_zipf_corpus(
+        num_documents=400, vocabulary_size=3_000, mean_document_length=120, seed=17
+    )
+    chunk = partition_by_document(corpus.tokens, corpus.num_documents, 1)[0]
+    return layout_chunk(chunk, TokenOrder.WORD_MAJOR)
+
+
+class TestDynamicSchedule:
+    def test_single_processor_makespan_is_total_work(self):
+        outcome = simulate_dynamic_schedule([5, 3, 2], num_processors=1)
+        assert outcome.makespan_units == 10
+        assert outcome.utilization == pytest.approx(1.0)
+
+    def test_perfectly_divisible_work_is_balanced(self):
+        outcome = simulate_dynamic_schedule([4] * 8, num_processors=4)
+        assert outcome.makespan_units == 8
+        assert outcome.imbalance == pytest.approx(0.0)
+
+    def test_one_giant_item_dominates(self):
+        outcome = simulate_dynamic_schedule([100, 1, 1, 1], num_processors=4)
+        assert outcome.makespan_units == 100
+        assert outcome.utilization < 0.5
+
+    def test_empty_work(self):
+        outcome = simulate_dynamic_schedule([], num_processors=4)
+        assert outcome.makespan_units == 0.0
+        assert outcome.utilization == 1.0
+
+    def test_zero_sized_items_ignored(self):
+        outcome = simulate_dynamic_schedule([0, 0, 3], num_processors=2)
+        assert outcome.busy_units == 3
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ValueError):
+            simulate_dynamic_schedule([1], num_processors=0)
+
+    def test_more_processors_never_slower(self):
+        sizes = list(np.random.default_rng(0).integers(1, 50, size=200))
+        few = simulate_dynamic_schedule(sizes, num_processors=8)
+        many = simulate_dynamic_schedule(sizes, num_processors=32)
+        assert many.makespan_units <= few.makespan_units
+
+
+class TestWordRunScheduling:
+    def test_zipf_head_carries_large_token_share(self, zipf_layout):
+        """The paper's premise: a few high-frequency words own a big chunk of the tokens."""
+        assert head_token_share(zipf_layout, head_words=30) > 0.2
+
+    def test_frequency_first_schedule_not_worse(self, zipf_layout):
+        """Scheduling the most frequent words first never increases the makespan."""
+        benefit = frequency_ordering_benefit(zipf_layout, GTX_1080, blocks_per_sm=4)
+        assert benefit >= 1.0
+
+    def test_utilization_reasonable_with_dynamic_scheduling(self, zipf_layout):
+        outcome = schedule_word_runs(zipf_layout, GTX_1080, blocks_per_sm=2)
+        assert isinstance(outcome, ScheduleOutcome)
+        assert outcome.utilization > 0.5
+
+    def test_sorted_and_naive_process_same_work(self, zipf_layout):
+        sorted_outcome = schedule_word_runs(zipf_layout, GTX_1080, sort_by_frequency=True)
+        naive_outcome = schedule_word_runs(zipf_layout, GTX_1080, sort_by_frequency=False)
+        assert sorted_outcome.busy_units == naive_outcome.busy_units

@@ -1,0 +1,124 @@
+"""Tests for shuffle-and-segmented-count (SSC) and the count-rebuild paths."""
+
+import numpy as np
+import pytest
+
+from repro.core import SparseDocTopicMatrix
+from repro.corpus import partition_by_document
+from repro.saberlda import (
+    SaberLDAConfig,
+    TokenOrder,
+    build_layout,
+    merge_chunk_rows,
+    radix_sort_shared,
+    rebuild_doc_topic_sort,
+    rebuild_doc_topic_ssc,
+    segmented_count,
+    shuffle_to_document_order,
+)
+from repro.saberlda.layout import layout_chunk
+
+
+class TestRadixSort:
+    def test_sorts_like_numpy(self, rng):
+        values = rng.integers(0, 1000, size=300)
+        np.testing.assert_array_equal(radix_sort_shared(values), np.sort(values))
+
+    def test_empty_input(self):
+        assert len(radix_sort_shared(np.array([], dtype=np.int64))) == 0
+
+    def test_single_value(self):
+        np.testing.assert_array_equal(radix_sort_shared(np.array([7])), [7])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            radix_sort_shared(np.array([1, -2]))
+
+    def test_large_values_need_multiple_passes(self, rng):
+        values = rng.integers(0, 2**20, size=200)
+        np.testing.assert_array_equal(radix_sort_shared(values, radix_bits=8), np.sort(values))
+
+
+class TestSegmentedCount:
+    def test_paper_figure8_example(self):
+        """Fig. 8: input [1,8,5,1,3,5,5,3] -> keys [1,3,5,8], counts [2,2,3,1]."""
+        keys, counts = segmented_count(np.array([1, 8, 5, 1, 3, 5, 5, 3]))
+        np.testing.assert_array_equal(keys, [1, 3, 5, 8])
+        np.testing.assert_array_equal(counts, [2, 2, 3, 1])
+
+    def test_matches_numpy_unique(self, rng):
+        topics = rng.integers(0, 50, size=400)
+        keys, counts = segmented_count(topics)
+        expected_keys, expected_counts = np.unique(topics, return_counts=True)
+        np.testing.assert_array_equal(keys, expected_keys)
+        np.testing.assert_array_equal(counts, expected_counts)
+
+    def test_empty_segment(self):
+        keys, counts = segmented_count(np.array([], dtype=np.int64))
+        assert len(keys) == 0
+        assert len(counts) == 0
+
+    def test_single_topic_segment(self):
+        keys, counts = segmented_count(np.array([4, 4, 4]))
+        np.testing.assert_array_equal(keys, [4])
+        np.testing.assert_array_equal(counts, [3])
+
+
+class TestShuffle:
+    def test_shuffle_groups_tokens_by_document(self, small_corpus):
+        chunks = partition_by_document(small_corpus.tokens, small_corpus.num_documents, 2)
+        layout = layout_chunk(chunks[0], TokenOrder.WORD_MAJOR)
+        shuffled = shuffle_to_document_order(layout)
+        assert (np.diff(shuffled.doc_ids) >= 0).all()
+        assert shuffled.num_tokens == layout.num_tokens
+
+    def test_shuffle_preserves_token_multiset(self, small_corpus):
+        chunks = partition_by_document(small_corpus.tokens, small_corpus.num_documents, 2)
+        layout = layout_chunk(chunks[0], TokenOrder.WORD_MAJOR)
+        shuffled = shuffle_to_document_order(layout)
+        original = sorted(zip(layout.tokens.doc_ids, layout.tokens.word_ids, layout.tokens.topics))
+        restored = sorted(zip(shuffled.doc_ids, shuffled.word_ids, shuffled.topics))
+        assert original == restored
+
+
+class TestRebuild:
+    @pytest.fixture
+    def layouts(self, small_corpus):
+        config = SaberLDAConfig.paper_defaults(6, num_chunks=3)
+        return build_layout(small_corpus.tokens, small_corpus.num_documents, config)
+
+    def test_ssc_equals_sort_rebuild(self, layouts):
+        """SSC and the naive global sort must produce identical CSR rows."""
+        for layout in layouts:
+            ssc = rebuild_doc_topic_ssc(layout, num_topics=6)
+            sort = rebuild_doc_topic_sort(layout, num_topics=6)
+            np.testing.assert_array_equal(ssc.matrix.to_dense(), sort.matrix.to_dense())
+
+    def test_ssc_equals_reference_counts(self, small_corpus, layouts):
+        merged = merge_chunk_rows(
+            [rebuild_doc_topic_ssc(layout, 6) for layout in layouts],
+            small_corpus.num_documents,
+            6,
+        )
+        reference = SparseDocTopicMatrix.from_tokens(
+            small_corpus.tokens, small_corpus.num_documents, 6
+        )
+        np.testing.assert_array_equal(merged.to_dense(), reference.to_dense())
+
+    def test_merge_preserves_total_count(self, small_corpus, layouts):
+        merged = merge_chunk_rows(
+            [rebuild_doc_topic_sort(layout, 6) for layout in layouts],
+            small_corpus.num_documents,
+            6,
+        )
+        assert merged.total_count() == small_corpus.num_tokens
+
+    def test_empty_chunk_handled(self):
+        from repro.core import TokenList
+        from repro.corpus.chunking import DocumentChunk
+
+        chunk = DocumentChunk(chunk_id=0, doc_start=0, doc_stop=3, tokens=TokenList.empty())
+        layout = layout_chunk(chunk, TokenOrder.WORD_MAJOR)
+        rows = rebuild_doc_topic_ssc(layout, num_topics=4)
+        assert rows.matrix.num_nonzeros == 0
+        assert rows.matrix.num_documents == 3

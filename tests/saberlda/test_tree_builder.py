@@ -1,0 +1,90 @@
+"""Tests for the warp-built W-ary tree (Figs. 6-7)."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import WaryTree
+from repro.saberlda import WarpWaryTree
+
+
+class TestConstruction:
+    def test_total_matches_weight_sum(self, rng):
+        weights = rng.random(1000)
+        tree = WarpWaryTree.build(weights)
+        assert tree.sum() == pytest.approx(weights.sum())
+
+    def test_level4_is_prefix_sum(self, rng):
+        weights = rng.random(100)
+        tree = WarpWaryTree.build(weights)
+        np.testing.assert_allclose(tree.level4[:100], np.cumsum(weights))
+
+    def test_level3_holds_group_totals(self, rng):
+        weights = rng.random(96)
+        tree = WarpWaryTree.build(weights)
+        np.testing.assert_allclose(tree.level3[:3], np.cumsum(weights)[31::32])
+
+    def test_level2_has_warp_width_entries(self, rng):
+        tree = WarpWaryTree.build(rng.random(2000))
+        assert len(tree.level2) == 32
+
+    def test_leaf_probabilities_match(self, rng):
+        weights = rng.random(500) + 1e-6
+        tree = WarpWaryTree.build(weights)
+        np.testing.assert_allclose(tree.leaf_probabilities(), weights / weights.sum())
+
+    def test_construction_warp_steps_scale_with_k(self):
+        small = WarpWaryTree.build(np.ones(320))
+        large = WarpWaryTree.build(np.ones(3200))
+        assert large.construction_warp_steps > small.construction_warp_steps
+        # Build cost is ~K/32 warp steps, far below K sequential steps.
+        assert large.construction_warp_steps < 3200 / 16
+
+    def test_supports_up_to_w_cubed_topics(self):
+        WarpWaryTree.build(np.ones(32_768))
+        with pytest.raises(ValueError):
+            WarpWaryTree.build(np.ones(32_769))
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            WarpWaryTree.build(np.array([]))
+        with pytest.raises(ValueError):
+            WarpWaryTree.build(np.array([1.0, -1.0]))
+
+    def test_shared_memory_footprint(self):
+        tree = WarpWaryTree.build(np.ones(1024))
+        assert tree.shared_memory_bytes() == (len(tree.level3) + len(tree.level4)) * 4
+
+
+class TestSampling:
+    def test_matches_cpu_reference_tree(self, rng):
+        """The warp-built tree and the CPU reference must agree on every query."""
+        weights = rng.random(700) + 1e-9
+        warp_tree = WarpWaryTree.build(weights)
+        prefix = np.cumsum(weights)
+        for u in rng.random(300):
+            expected = int(np.searchsorted(prefix, u * prefix[-1], side="left"))
+            assert warp_tree.sample(float(u)) == min(expected, 699)
+
+    def test_agrees_with_wary_tree_reference(self, rng):
+        weights = rng.random(257)
+        warp_tree = WarpWaryTree.build(weights)
+        reference = WaryTree.build(weights)
+        for u in rng.random(100):
+            assert warp_tree.sample(float(u)) == reference.sample(float(u))
+
+    def test_empirical_distribution(self, rng):
+        weights = np.array([1.0, 3.0, 0.0, 2.0, 4.0])
+        tree = WarpWaryTree.build(weights)
+        draws = np.array([tree.sample(float(u)) for u in rng.random(20_000)])
+        empirical = np.bincount(draws, minlength=5) / len(draws)
+        np.testing.assert_allclose(empirical, weights / weights.sum(), atol=0.02)
+
+    def test_samples_in_range_for_large_k(self, rng):
+        weights = rng.random(10_000)
+        tree = WarpWaryTree.build(weights)
+        for u in rng.random(50):
+            assert 0 <= tree.sample(float(u)) < 10_000
+
+    def test_single_outcome(self):
+        tree = WarpWaryTree.build(np.array([5.0]))
+        assert tree.sample(0.99) == 0

@@ -1,0 +1,65 @@
+"""Tests for Walker's alias table."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import AliasTable
+
+
+class TestConstruction:
+    def test_reconstructed_distribution_matches(self, rng):
+        weights = rng.random(64) + 0.01
+        table = AliasTable.build(weights)
+        np.testing.assert_allclose(
+            table.outcome_probabilities(), weights / weights.sum(), atol=1e-12
+        )
+
+    def test_uniform_weights(self):
+        table = AliasTable.build(np.ones(8))
+        np.testing.assert_allclose(table.probabilities, np.ones(8))
+
+    def test_handles_zero_weights(self):
+        weights = np.array([0.0, 1.0, 0.0, 3.0])
+        table = AliasTable.build(weights)
+        probs = table.outcome_probabilities()
+        assert probs[0] == pytest.approx(0.0, abs=1e-12)
+        assert probs[3] == pytest.approx(0.75)
+
+    def test_construction_steps_at_least_k(self):
+        table = AliasTable.build(np.random.default_rng(0).random(100))
+        assert table.construction_steps >= 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AliasTable.build(np.array([]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            AliasTable.build(np.array([1.0, -0.5]))
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            AliasTable.build(np.zeros(4))
+
+
+class TestSampling:
+    def test_empirical_distribution(self, rng):
+        weights = np.array([4.0, 1.0, 2.0, 1.0])
+        table = AliasTable.build(weights)
+        draws = table.sample_batch(rng.random(40_000), rng.random(40_000))
+        empirical = np.bincount(draws, minlength=4) / 40_000
+        np.testing.assert_allclose(empirical, weights / weights.sum(), atol=0.02)
+
+    def test_scalar_and_batch_agree(self, rng):
+        weights = rng.random(16) + 0.1
+        table = AliasTable.build(weights)
+        u1, u2 = rng.random(20), rng.random(20)
+        batch = table.sample_batch(u1, u2)
+        scalar = [table.sample(a, b) for a, b in zip(u1, u2)]
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_samples_in_range(self, rng):
+        table = AliasTable.build(rng.random(10) + 0.01)
+        draws = table.sample_batch(rng.random(1000), rng.random(1000))
+        assert draws.min() >= 0
+        assert draws.max() < 10

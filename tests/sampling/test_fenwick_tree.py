@@ -1,0 +1,78 @@
+"""Tests for the Fenwick (F+) tree."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import FenwickTree
+
+
+class TestConstruction:
+    def test_round_trip_weights(self, rng):
+        weights = rng.random(37)
+        tree = FenwickTree(weights)
+        np.testing.assert_allclose(tree.to_weights(), weights)
+
+    def test_total(self, rng):
+        weights = rng.random(100)
+        assert FenwickTree(weights).total() == pytest.approx(weights.sum())
+
+    def test_prefix_sums(self, rng):
+        weights = rng.random(20)
+        tree = FenwickTree(weights)
+        for count in range(21):
+            assert tree.prefix_sum(count) == pytest.approx(weights[:count].sum())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FenwickTree(np.array([]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FenwickTree(np.array([1.0, -2.0]))
+
+
+class TestUpdates:
+    def test_add_updates_prefix_sums(self, rng):
+        weights = rng.random(16)
+        tree = FenwickTree(weights)
+        tree.add(5, 2.5)
+        weights[5] += 2.5
+        np.testing.assert_allclose(tree.to_weights(), weights)
+
+    def test_set_value(self, rng):
+        tree = FenwickTree(rng.random(8))
+        tree.set(3, 7.0)
+        assert tree.get(3) == pytest.approx(7.0)
+
+    def test_set_negative_rejected(self):
+        tree = FenwickTree(np.ones(4))
+        with pytest.raises(ValueError):
+            tree.set(0, -1.0)
+
+    def test_index_bounds(self):
+        tree = FenwickTree(np.ones(4))
+        with pytest.raises(IndexError):
+            tree.add(4, 1.0)
+        with pytest.raises(IndexError):
+            tree.prefix_sum(5)
+
+
+class TestSampling:
+    def test_samples_in_range(self, rng):
+        tree = FenwickTree(rng.random(33))
+        for u in rng.random(200):
+            assert 0 <= tree.sample(float(u)) < 33
+
+    def test_empirical_distribution(self, rng):
+        weights = np.array([1.0, 0.0, 2.0, 5.0, 2.0])
+        tree = FenwickTree(weights)
+        draws = np.array([tree.sample(float(u)) for u in rng.random(20_000)])
+        empirical = np.bincount(draws, minlength=5) / len(draws)
+        np.testing.assert_allclose(empirical, weights / weights.sum(), atol=0.02)
+
+    def test_sampling_after_updates(self, rng):
+        tree = FenwickTree(np.ones(4))
+        tree.set(0, 0.0)
+        tree.set(1, 0.0)
+        draws = {tree.sample(float(u)) for u in rng.random(500)}
+        assert draws <= {2, 3}

@@ -1,0 +1,88 @@
+"""Tests for vanilla multinomial sampling and the prefix-sum search."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import (
+    prefix_sum_search,
+    sample_multinomial,
+    sample_multinomial_batch,
+    sample_sparse_vector,
+)
+
+
+class TestPrefixSumSearch:
+    def test_basic_positions(self):
+        prefix = np.array([1.0, 3.0, 6.0, 10.0])
+        assert prefix_sum_search(prefix, 0.5) == 0
+        assert prefix_sum_search(prefix, 1.0) == 0
+        assert prefix_sum_search(prefix, 1.5) == 1
+        assert prefix_sum_search(prefix, 9.9) == 3
+
+    def test_value_above_total_clamps_to_last(self):
+        prefix = np.array([1.0, 2.0])
+        assert prefix_sum_search(prefix, 5.0) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            prefix_sum_search(np.array([]), 0.5)
+
+
+class TestSampleMultinomial:
+    def test_paper_figure2_example(self):
+        """Fig. 2: p = [0.25, 0.125, 0.375, 0.25]; check the region boundaries."""
+        weights = np.array([0.25, 0.125, 0.375, 0.25])
+        assert sample_multinomial(weights, 0.1) == 0
+        assert sample_multinomial(weights, 0.3) == 1
+        assert sample_multinomial(weights, 0.5) == 2
+        assert sample_multinomial(weights, 0.9) == 3
+
+    def test_empirical_frequencies_match(self, rng):
+        weights = np.array([1.0, 2.0, 3.0, 4.0])
+        draws = np.array([sample_multinomial(weights, u) for u in rng.random(20_000)])
+        empirical = np.bincount(draws, minlength=4) / len(draws)
+        np.testing.assert_allclose(empirical, weights / weights.sum(), atol=0.02)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            sample_multinomial(np.array([1.0, -1.0]), 0.5)
+
+    def test_zero_sum_rejected(self):
+        with pytest.raises(ValueError):
+            sample_multinomial(np.zeros(3), 0.5)
+
+    def test_single_outcome(self):
+        assert sample_multinomial(np.array([2.0]), 0.99) == 0
+
+
+class TestBatch:
+    def test_matches_scalar_version(self, rng):
+        weights = rng.random((50, 6)) + 0.01
+        uniforms = rng.random(50)
+        batch = sample_multinomial_batch(weights, uniforms)
+        scalar = [sample_multinomial(weights[i], uniforms[i]) for i in range(50)]
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            sample_multinomial_batch(rng.random((3, 4)), rng.random(5))
+
+    def test_zero_row_rejected(self, rng):
+        weights = rng.random((3, 4))
+        weights[1] = 0.0
+        with pytest.raises(ValueError):
+            sample_multinomial_batch(weights, rng.random(3))
+
+
+class TestSparseVector:
+    def test_returns_original_indices(self):
+        indices = np.array([3, 17, 42])
+        weights = np.array([0.0, 5.0, 0.0])
+        assert sample_sparse_vector(indices, weights, 0.5) == 17
+
+    def test_distribution_over_original_indices(self, rng):
+        indices = np.array([2, 9])
+        weights = np.array([1.0, 3.0])
+        draws = [sample_sparse_vector(indices, weights, u) for u in rng.random(8000)]
+        fraction_nine = np.mean(np.array(draws) == 9)
+        assert fraction_nine == pytest.approx(0.75, abs=0.03)

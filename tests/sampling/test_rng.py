@@ -1,0 +1,65 @@
+"""Tests for the deterministic xorshift RNG."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import LaneRNGBank, XorShiftRNG
+
+
+class TestXorShift:
+    def test_deterministic_for_same_seed(self):
+        first = [XorShiftRNG(7).next_uint32() for _ in range(5)]
+        second = [XorShiftRNG(7).next_uint32() for _ in range(5)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = [XorShiftRNG(1).next_uint32() for _ in range(5)]
+        b = [XorShiftRNG(2).next_uint32() for _ in range(5)]
+        assert a != b
+
+    def test_floats_in_unit_interval(self):
+        rng = XorShiftRNG(3)
+        values = [rng.next_float() for _ in range(1000)]
+        assert min(values) >= 0.0
+        assert max(values) < 1.0
+
+    def test_floats_roughly_uniform(self):
+        rng = XorShiftRNG(11)
+        values = np.array([rng.next_float() for _ in range(20_000)])
+        assert abs(values.mean() - 0.5) < 0.02
+        assert abs((values < 0.25).mean() - 0.25) < 0.02
+
+    def test_next_below_bounds(self):
+        rng = XorShiftRNG(5)
+        for _ in range(100):
+            assert 0 <= rng.next_below(7) < 7
+
+    def test_next_below_invalid(self):
+        with pytest.raises(ValueError):
+            XorShiftRNG(1).next_below(0)
+
+    def test_zero_seed_does_not_stall(self):
+        rng = XorShiftRNG(0)
+        values = {rng.next_uint32() for _ in range(10)}
+        assert len(values) == 10
+
+    def test_spawn_streams_differ(self):
+        base = XorShiftRNG(9)
+        a = base.spawn(0)
+        b = base.spawn(1)
+        assert [a.next_uint32() for _ in range(4)] != [b.next_uint32() for _ in range(4)]
+
+
+class TestLaneBank:
+    def test_default_width(self):
+        bank = LaneRNGBank(seed=4)
+        assert len(bank) == 32
+
+    def test_lane_streams_are_independent(self):
+        bank = LaneRNGBank(seed=4)
+        floats = bank.floats()
+        assert len(set(np.round(floats, 12))) > 28
+
+    def test_indexing(self):
+        bank = LaneRNGBank(seed=4, num_lanes=8)
+        assert isinstance(bank[3], XorShiftRNG)

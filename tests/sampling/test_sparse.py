@@ -1,0 +1,84 @@
+"""Tests for the sparsity-aware token sampling (Alg. 2 reference)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LDAHyperParams, count_by_word_topic, normalize_word_topic
+from repro.sampling import (
+    WaryTree,
+    XorShiftRNG,
+    exact_token_distribution,
+    sample_token,
+    word_prior_mass,
+)
+
+
+@pytest.fixture
+def word_side(tiny_tokens):
+    counts = count_by_word_topic(tiny_tokens, 5, 3)
+    return normalize_word_topic(counts, beta=0.01)
+
+
+class TestPriorMass:
+    def test_prior_mass_formula(self, word_side):
+        alpha = 0.4
+        expected = alpha * word_side[2].sum()
+        assert word_prior_mass(word_side[2], alpha) == pytest.approx(expected)
+
+
+class TestExactDistribution:
+    def test_normalised(self, word_side):
+        dense_row = np.array([2.0, 0.0, 1.0])
+        dist = exact_token_distribution(dense_row, word_side[0], alpha=0.1)
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_prefers_topics_with_high_counts(self, word_side):
+        """The 'apple in document 3' example of Sec. 2.2: topic 2 beats topic 1."""
+        doc3_row = np.array([0.0, 1.0, 0.0])  # document 3 has one "orange" token on topic 2
+        dist = exact_token_distribution(doc3_row, word_side[2], alpha=50 / 3 * 0.01)
+        assert dist[1] > dist[0]
+
+
+class TestSampleToken:
+    def test_matches_exact_distribution(self, word_side):
+        """The two-branch decomposition must sample Eq. (1) exactly."""
+        params = LDAHyperParams(num_topics=3, alpha=0.5, beta=0.01)
+        dense_row = np.array([3.0, 0.0, 1.0])
+        nz_indices = np.array([0, 2])
+        nz_counts = np.array([3.0, 1.0])
+        word_row = word_side[2]
+        tree = WaryTree.build(word_row)
+        prior = word_prior_mass(word_row, params.alpha)
+
+        rng = XorShiftRNG(123)
+        draws = np.array(
+            [
+                sample_token(nz_indices, nz_counts, word_row, prior, tree, rng)
+                for _ in range(30_000)
+            ]
+        )
+        empirical = np.bincount(draws, minlength=3) / len(draws)
+        expected = exact_token_distribution(dense_row, word_row, params.alpha)
+        np.testing.assert_allclose(empirical, expected, atol=0.02)
+
+    def test_empty_document_row_uses_prior_only(self, word_side):
+        word_row = word_side[0]
+        tree = WaryTree.build(word_row)
+        rng = XorShiftRNG(5)
+        draws = {
+            sample_token(np.array([]), np.array([]), word_row, 0.3, tree, rng)
+            for _ in range(200)
+        }
+        assert draws <= {0, 1, 2}
+
+    def test_doc_side_dominates_when_prior_mass_tiny(self, word_side):
+        word_row = word_side[2]
+        tree = WaryTree.build(word_row)
+        rng = XorShiftRNG(7)
+        nz_indices = np.array([1])
+        nz_counts = np.array([50.0])
+        draws = {
+            sample_token(nz_indices, nz_counts, word_row, 1e-9, tree, rng)
+            for _ in range(100)
+        }
+        assert draws == {1}

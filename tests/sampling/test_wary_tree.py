@@ -1,0 +1,88 @@
+"""Tests for the CPU-reference W-ary sampling tree."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import WaryTree
+
+
+class TestConstruction:
+    def test_total_matches_weight_sum(self, rng):
+        weights = rng.random(200)
+        tree = WaryTree.build(weights)
+        assert tree.total() == pytest.approx(weights.sum())
+
+    def test_leaf_probabilities_recovered(self, rng):
+        weights = rng.random(75) + 0.01
+        tree = WaryTree.build(weights)
+        np.testing.assert_allclose(
+            tree.leaf_probabilities(), weights / weights.sum(), atol=1e-12
+        )
+
+    def test_number_of_levels_grows_logarithmically(self):
+        assert WaryTree.build(np.ones(10)).num_levels == 1
+        assert WaryTree.build(np.ones(100)).num_levels == 2
+        assert WaryTree.build(np.ones(2000)).num_levels == 3
+
+    def test_small_branching_factor(self, rng):
+        weights = rng.random(30)
+        tree = WaryTree.build(weights, branching=3)
+        np.testing.assert_allclose(tree.leaf_probabilities(), weights / weights.sum())
+
+    def test_paper_figure7_example(self):
+        """Fig. 7: weights [1,0,2,0,2,0,0,1,3] with W=3; p=7.5 lands on the leaf with value 3."""
+        weights = np.array([1, 0, 2, 0, 2, 0, 0, 1, 3], dtype=float)
+        tree = WaryTree.build(weights, branching=3)
+        assert tree.total() == pytest.approx(9.0)
+        # u = 7.5 / 9.0 should select the last leaf (index 8, the one holding value 3).
+        assert tree.sample(7.5 / 9.0) == 8
+
+    def test_construction_steps_scale_with_k_over_w(self):
+        small = WaryTree.build(np.ones(32))
+        large = WaryTree.build(np.ones(3200))
+        assert large.construction_steps > small.construction_steps
+        assert large.construction_steps <= 3200 / 32 + 8
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            WaryTree.build(np.array([]))
+        with pytest.raises(ValueError):
+            WaryTree.build(np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            WaryTree.build(np.ones(4), branching=1)
+
+
+class TestSampling:
+    def test_samples_in_range(self, rng):
+        tree = WaryTree.build(rng.random(1234))
+        draws = tree.sample_batch(rng.random(300))
+        assert draws.min() >= 0
+        assert draws.max() < 1234
+
+    def test_empirical_distribution_small(self, rng):
+        weights = np.array([3.0, 1.0, 0.0, 4.0, 2.0])
+        tree = WaryTree.build(weights)
+        draws = tree.sample_batch(rng.random(30_000))
+        empirical = np.bincount(draws, minlength=5) / 30_000
+        np.testing.assert_allclose(empirical, weights / weights.sum(), atol=0.02)
+
+    def test_zero_weight_leaves_never_sampled(self, rng):
+        weights = np.zeros(64)
+        weights[10] = 1.0
+        weights[50] = 1.0
+        tree = WaryTree.build(weights)
+        draws = set(tree.sample_batch(rng.random(500)).tolist())
+        assert draws <= {10, 50}
+
+    def test_matches_searchsorted_reference(self, rng):
+        """The tree descent must agree with a direct prefix-sum search."""
+        weights = rng.random(500) + 1e-6
+        tree = WaryTree.build(weights)
+        prefix = np.cumsum(weights)
+        for u in rng.random(200):
+            expected = int(np.searchsorted(prefix, u * prefix[-1], side="left"))
+            assert tree.sample(float(u)) == min(expected, 499)
+
+    def test_memory_floats_accounts_all_levels(self):
+        tree = WaryTree.build(np.ones(1024))
+        assert tree.memory_floats() >= 1024
