@@ -1,0 +1,148 @@
+"""Multi-device scaling — strong and weak scaling of the data-parallel trainer.
+
+The paper's system is single-GPU; this benchmark measures how far the
+``repro.distributed`` subsystem scales past it.  Two sweeps are reported:
+
+* **strong scaling** — one synthetic corpus trained on 1-8 simulated
+  devices; the baseline is the plain single-device trainer on the same
+  chunking, so the speedup isolates the distribution machinery (shard
+  imbalance, replicated pre-processing and the exposed ring all-reduce);
+* **weak scaling** — the corpus grows with the pool (fixed tokens per
+  device), where the ideal trainer holds the iteration time flat.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_multi_gpu_scaling.py -q
+"""
+
+import pytest
+
+from repro.bench import emit_report, format_table
+from repro.corpus import generate_lda_corpus
+from repro.distributed import measure_scaling, train_distributed
+from repro.gpusim import NVLINK, PCIE_P2P
+from repro.saberlda import SaberLDAConfig
+
+#: Default synthetic workload of the strong-scaling sweep.
+NUM_DOCUMENTS = 1200
+VOCABULARY_SIZE = 2000
+NUM_TOPICS = 48
+MEAN_DOCUMENT_LENGTH = 110
+DEVICE_COUNTS = (1, 2, 4, 8)
+NUM_ITERATIONS = 2
+
+#: Tokens per device of the weak-scaling sweep.
+WEAK_DOCUMENTS_PER_DEVICE = 300
+
+
+def _config(num_chunks: int = 16) -> SaberLDAConfig:
+    return SaberLDAConfig.paper_defaults(
+        NUM_TOPICS,
+        num_iterations=NUM_ITERATIONS,
+        num_chunks=num_chunks,
+        evaluate_every=NUM_ITERATIONS,
+        seed=17,
+    )
+
+
+def _strong_scaling():
+    corpus = generate_lda_corpus(
+        num_documents=NUM_DOCUMENTS,
+        vocabulary_size=VOCABULARY_SIZE,
+        num_topics=NUM_TOPICS,
+        mean_document_length=MEAN_DOCUMENT_LENGTH,
+        seed=23,
+    )
+    points = measure_scaling(
+        corpus.unassigned_copy(),
+        corpus.num_documents,
+        corpus.vocabulary_size,
+        _config(),
+        DEVICE_COUNTS,
+        interconnect=PCIE_P2P,
+    )
+    return corpus, points
+
+
+def _weak_scaling():
+    rows = []
+    baseline_seconds = None
+    for count in DEVICE_COUNTS[:-1]:  # 1, 2, 4
+        corpus = generate_lda_corpus(
+            num_documents=WEAK_DOCUMENTS_PER_DEVICE * count,
+            vocabulary_size=VOCABULARY_SIZE,
+            num_topics=NUM_TOPICS,
+            mean_document_length=MEAN_DOCUMENT_LENGTH,
+            seed=29 + count,
+        )
+        result = train_distributed(
+            corpus.unassigned_copy(),
+            corpus.num_documents,
+            corpus.vocabulary_size,
+            _config(),
+            num_devices=count,
+            interconnect=NVLINK,
+        )
+        seconds = result.simulated_seconds
+        if baseline_seconds is None:
+            baseline_seconds = seconds
+        rows.append(
+            (
+                count,
+                corpus.num_tokens,
+                seconds,
+                baseline_seconds / seconds if seconds > 0 else 0.0,
+                result.allreduce_share(),
+            )
+        )
+    return rows
+
+
+def _build_report(corpus, strong_points, weak_rows) -> str:
+    strong_table = format_table(
+        ["Devices", "Sim seconds", "Speedup", "Efficiency", "All-reduce share", "Token imbalance"],
+        [
+            [
+                point.num_devices,
+                f"{point.simulated_seconds:.6f}",
+                f"{point.speedup:.2f}x",
+                f"{point.efficiency:.0%}",
+                f"{point.allreduce_share:.1%}",
+                f"{point.token_imbalance:.1%}",
+            ]
+            for point in strong_points
+        ],
+    )
+    weak_table = format_table(
+        ["Devices", "Tokens", "Sim seconds", "Weak efficiency", "All-reduce share"],
+        [
+            [
+                count,
+                tokens,
+                f"{seconds:.6f}",
+                f"{efficiency:.0%}",
+                f"{share:.1%}",
+            ]
+            for count, tokens, seconds, efficiency, share in weak_rows
+        ],
+    )
+    return (
+        f"Strong scaling ({corpus.summary()}, K={NUM_TOPICS}, PCIe P2P ring):\n"
+        f"{strong_table}\n\n"
+        f"Weak scaling ({WEAK_DOCUMENTS_PER_DEVICE} docs/device, NVLink ring):\n"
+        f"{weak_table}\n"
+    )
+
+
+def test_multi_gpu_scaling(benchmark):
+    """4 simulated devices must beat the single device by more than 1.5x."""
+    corpus, strong_points = benchmark(_strong_scaling)
+    weak_rows = _weak_scaling()
+    emit_report("multi_gpu_scaling", _build_report(corpus, strong_points, weak_rows))
+
+    by_devices = {point.num_devices: point for point in strong_points}
+    assert by_devices[2].speedup > 1.3
+    assert by_devices[4].speedup > 1.5
+    # The ring eventually binds: efficiency decays monotonically with pool size.
+    efficiencies = [point.efficiency for point in strong_points]
+    assert all(earlier >= later for earlier, later in zip(efficiencies, efficiencies[1:]))

@@ -26,11 +26,18 @@ from .core import (
     SparseDocTopicMatrix,
     TokenList,
 )
+from .distributed import (
+    DistributedTrainer,
+    DistributedTrainingResult,
+    train_distributed,
+)
 from .saberlda import SaberLDAConfig, SaberLDATrainer, TrainingResult, train_saberlda
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "DistributedTrainer",
+    "DistributedTrainingResult",
     "LDAHyperParams",
     "LDAModel",
     "LikelihoodResult",
@@ -39,6 +46,7 @@ __all__ = [
     "SparseDocTopicMatrix",
     "TokenList",
     "TrainingResult",
+    "train_distributed",
     "train_saberlda",
     "__version__",
 ]

@@ -16,7 +16,13 @@ from .likelihood import (
     training_log_likelihood,
 )
 from .model import LDAModel
-from .serialization import load_model, save_model
+from .serialization import (
+    load_model,
+    load_sharded_model,
+    save_model,
+    save_sharded_model,
+    word_topic_digest,
+)
 from .tokens import TokenList
 
 __all__ = [
@@ -30,9 +36,12 @@ __all__ = [
     "document_topic_distributions",
     "heldout_log_likelihood",
     "load_model",
+    "load_sharded_model",
     "log_likelihood_from_tokens",
     "normalize_word_topic",
     "save_model",
+    "save_sharded_model",
+    "word_topic_digest",
     "split_heldout_documents",
     "training_log_likelihood",
 ]

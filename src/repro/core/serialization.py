@@ -1,10 +1,23 @@
-"""Model persistence: save and load trained LDA models as ``.npz`` archives."""
+"""Model persistence: save and load trained LDA models as ``.npz`` archives.
+
+Two formats are supported:
+
+* a single archive (:func:`save_model` / :func:`load_model`), and
+* a *sharded* checkpoint (:func:`save_sharded_model` /
+  :func:`load_sharded_model`): the word-topic count matrix is split into
+  contiguous vocabulary-row shards, one archive per shard, next to a JSON
+  manifest holding the hyper-parameters, the shard table and a digest of
+  the full matrix.  Data-parallel runs write one shard per device without
+  gathering ``B`` on a single host, and loading verifies the digest so a
+  missing or stale shard cannot reassemble silently.
+"""
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -54,3 +67,134 @@ def load_model(path: str) -> LDAModel:
             vocabulary=vocabulary,
             metadata=metadata,
         )
+
+
+# --------------------------------------------------------------------------- #
+# Sharded checkpoints
+# --------------------------------------------------------------------------- #
+def word_topic_digest(word_topic_counts: np.ndarray) -> str:
+    """Stable SHA-256 digest of a word-topic count matrix.
+
+    The digest covers the shape and the row-major int64 bytes, so two
+    matrices agree iff every count agrees — the integrity check of the
+    sharded checkpoints and the anchor of the golden regression tests.
+    """
+    counts = np.ascontiguousarray(np.asarray(word_topic_counts, dtype=np.int64))
+    hasher = hashlib.sha256()
+    hasher.update(np.array(counts.shape, dtype=np.int64).tobytes())
+    hasher.update(counts.tobytes())
+    return hasher.hexdigest()
+
+
+def _shard_path(base: str, shard_id: int) -> str:
+    return f"{base}.shard{shard_id:03d}.npz"
+
+
+def _manifest_path(base: str) -> str:
+    return base + ".manifest.json"
+
+
+def save_sharded_model(model: LDAModel, path: str, num_shards: int) -> str:
+    """Save ``model`` as ``num_shards`` vocabulary-row shards plus a manifest.
+
+    ``path`` is the checkpoint base name: the shards are written to
+    ``<path>.shardNNN.npz`` and the manifest to ``<path>.manifest.json``.
+    Returns the manifest path.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    counts = np.asarray(model.word_topic_counts)
+    vocabulary_size = counts.shape[0]
+    num_shards = min(num_shards, max(vocabulary_size, 1))
+    boundaries = np.linspace(0, vocabulary_size, num_shards + 1).astype(np.int64)
+
+    shard_table: List[dict] = []
+    for shard_id in range(num_shards):
+        row_start, row_stop = int(boundaries[shard_id]), int(boundaries[shard_id + 1])
+        shard_file = _shard_path(path, shard_id)
+        np.savez_compressed(
+            shard_file,
+            word_topic_counts=counts[row_start:row_stop],
+            row_start=np.array(row_start),
+            row_stop=np.array(row_stop),
+        )
+        shard_table.append(
+            {
+                "shard_id": shard_id,
+                "file": os.path.basename(shard_file),
+                "row_start": row_start,
+                "row_stop": row_stop,
+            }
+        )
+
+    manifest = {
+        "format": "saberlda-sharded-checkpoint",
+        "version": 1,
+        "num_shards": num_shards,
+        "vocabulary_size": vocabulary_size,
+        "num_topics": model.params.num_topics,
+        "alpha": model.params.alpha,
+        "beta": model.params.beta,
+        "digest": word_topic_digest(counts),
+        "shards": shard_table,
+        "vocabulary": list(model.vocabulary) if model.vocabulary else None,
+        "metadata": json.loads(json.dumps(model.metadata, default=str)),
+    }
+    manifest_file = _manifest_path(path)
+    with open(manifest_file, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    return manifest_file
+
+
+def load_sharded_model(path: str) -> LDAModel:
+    """Reassemble a model written by :func:`save_sharded_model`.
+
+    ``path`` is either the checkpoint base name or the manifest path.
+    Raises ``ValueError`` when a shard is missing, covers the wrong rows,
+    or the reassembled matrix does not match the manifest digest.
+    """
+    manifest_file = path if path.endswith(".manifest.json") else _manifest_path(path)
+    base = manifest_file[: -len(".manifest.json")]
+    with open(manifest_file, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("format") != "saberlda-sharded-checkpoint":
+        raise ValueError(f"{manifest_file!r} is not a sharded SaberLDA checkpoint")
+
+    vocabulary_size = int(manifest["vocabulary_size"])
+    num_topics = int(manifest["num_topics"])
+    counts = np.zeros((vocabulary_size, num_topics), dtype=np.int64)
+    covered = np.zeros(vocabulary_size, dtype=bool)
+    directory = os.path.dirname(base)
+    for entry in manifest["shards"]:
+        shard_file = os.path.join(directory, entry["file"]) if directory else entry["file"]
+        if not os.path.exists(shard_file):
+            raise ValueError(f"missing checkpoint shard {shard_file!r}")
+        with np.load(shard_file) as archive:
+            row_start = int(archive["row_start"])
+            row_stop = int(archive["row_stop"])
+            if (row_start, row_stop) != (entry["row_start"], entry["row_stop"]):
+                raise ValueError(
+                    f"shard {entry['shard_id']} covers rows [{row_start}, {row_stop}) "
+                    f"but the manifest expects [{entry['row_start']}, {entry['row_stop']})"
+                )
+            counts[row_start:row_stop] = archive["word_topic_counts"]
+            covered[row_start:row_stop] = True
+    if not covered.all():
+        raise ValueError("checkpoint shards do not cover the full vocabulary")
+    digest = word_topic_digest(counts)
+    if digest != manifest["digest"]:
+        raise ValueError(
+            f"sharded checkpoint digest mismatch: {digest} != {manifest['digest']}"
+        )
+
+    params = LDAHyperParams(
+        num_topics=num_topics,
+        alpha=float(manifest["alpha"]),
+        beta=float(manifest["beta"]),
+    )
+    return LDAModel(
+        word_topic_counts=counts,
+        params=params,
+        vocabulary=manifest.get("vocabulary"),
+        metadata=manifest.get("metadata") or {},
+    )

@@ -1,0 +1,65 @@
+"""repro.distributed — data-parallel SaberLDA across a simulated device pool.
+
+SaberLDA as published is a single-GPU system; this subsystem scales the
+reproduction past the paper by running the ESCA iteration data-parallel
+over ``N`` simulated devices.  The design has three layers:
+
+**Sharding** (:mod:`~repro.distributed.shard`).  The unit of distribution
+is the PDOW chunk from ``saberlda.layout``: a chunk owns a contiguous
+document range, its tokens and the matching rows of the document-topic
+matrix ``A``, so whole chunks move to devices without splitting any
+per-document state.  :class:`ShardPlanner` packs chunks onto devices with
+a longest-processing-time greedy (largest chunk to the lightest device),
+bounding the token imbalance by the largest single chunk even for
+Zipf-skewed chunk sizes.
+
+**All-reduce of B** (:mod:`~repro.distributed.allreduce`).  The only
+cross-device state is the word-topic count matrix ``B``: each device
+counts ``B_d`` from its shard during the M-step and the global matrix is
+``B = sum_d B_d`` — exact, because the counts are integers.  The *cost*
+of the merge follows the bandwidth-optimal ring all-reduce
+(reduce-scatter + all-gather): ``2(N-1)`` steps of ``|B|/N`` bytes, each
+charged on the pool's :class:`~repro.gpusim.streams.InterconnectSpec`
+with the alpha-beta model, via
+:meth:`~repro.gpusim.cost_model.CostModel.ring_allreduce_seconds`.  Under
+the asynchronous streaming schedule the reduce-scatter half overlaps the
+E-step tail (devices finish distinct words at different times), so only
+part of the collective is exposed.
+
+**Bulk-synchronous training** (:mod:`~repro.distributed.trainer`).
+Because ESCA freezes ``A`` and ``B̂`` during the E-step, resampling order
+is statistically irrelevant; :class:`DistributedTrainer` exploits this by
+executing the chunk mathematics in global stream order with a single RNG
+stream — making the ``N``-device run *bit-identical* to the sequential
+trainer at the same seed — while attributing each chunk's simulated cost
+to its owning device.  An iteration costs
+``max_d(shard phases) + exposed all-reduce``; per-device phase timings,
+balance efficiency and strong-scaling curves fall out of the records.
+"""
+
+from .allreduce import AllReduceCost, RingAllReduce, exposed_allreduce_seconds
+from .shard import DeviceShard, ShardPlan, ShardPlanner, build_sharded_layout
+from .trainer import (
+    DistributedIterationRecord,
+    DistributedTrainer,
+    DistributedTrainingResult,
+    ScalingPoint,
+    measure_scaling,
+    train_distributed,
+)
+
+__all__ = [
+    "AllReduceCost",
+    "DeviceShard",
+    "DistributedIterationRecord",
+    "DistributedTrainer",
+    "DistributedTrainingResult",
+    "RingAllReduce",
+    "ScalingPoint",
+    "ShardPlan",
+    "ShardPlanner",
+    "build_sharded_layout",
+    "exposed_allreduce_seconds",
+    "measure_scaling",
+    "train_distributed",
+]

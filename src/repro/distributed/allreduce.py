@@ -1,0 +1,115 @@
+"""Ring all-reduce of the word-topic counts: exact merge + simulated cost.
+
+Each device counts ``B_d`` from its own shard during the M-step; the
+global matrix is ``B = sum_d B_d``.  Because the counts are integers the
+merge is exact regardless of reduction order, so the *correctness* model
+is a plain sum — what the simulation charges is the *time* of moving the
+segments around the ring.
+
+The cost follows the classic bandwidth-optimal ring: a reduce-scatter
+followed by an all-gather, ``2 * (N - 1)`` steps of ``|B| / N`` bytes per
+link (``gpusim.cost_model.CostModel.ring_allreduce_seconds``).  Under the
+asynchronous streaming schedule the reduce-scatter of the early segments
+overlaps the tail of the E-step — each device has finished writing the
+rows of words that no remaining chunk touches — which
+:func:`exposed_allreduce_seconds` models as hiding up to the configured
+overlap window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..gpusim.cost_model import CostModel
+from ..gpusim.streams import InterconnectSpec
+
+
+@dataclass(frozen=True)
+class AllReduceCost:
+    """Simulated cost of one ring all-reduce."""
+
+    seconds: float
+    bytes_per_device: float
+    wire_bytes_per_device: float
+    num_steps: int
+
+
+@dataclass
+class RingAllReduce:
+    """Exact sum-reduction across device-local arrays plus its ring cost.
+
+    Attributes
+    ----------
+    link:
+        The interconnect every ring hop runs over.
+    element_bytes:
+        Bytes per element on the wire (counts travel as int32; the int64
+        host representation is a NumPy convenience).
+    """
+
+    link: InterconnectSpec
+    element_bytes: int = 4
+
+    def reduce(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        """Sum the per-device arrays elementwise (the correctness model).
+
+        All arrays must share one shape; the result dtype follows NumPy's
+        promotion of the inputs, which for the int64 count matrices keeps
+        the merge exact.
+        """
+        if len(arrays) == 0:
+            raise ValueError("reduce needs at least one array")
+        first = np.asarray(arrays[0])
+        merged = first.copy()
+        for array in arrays[1:]:
+            array = np.asarray(array)
+            if array.shape != first.shape:
+                raise ValueError(
+                    f"shape mismatch in all-reduce: {array.shape} != {first.shape}"
+                )
+            merged = merged + array
+        return merged
+
+    def cost(self, num_elements: int, num_devices: int) -> AllReduceCost:
+        """Ring cost of all-reducing ``num_elements`` across ``num_devices``."""
+        if num_elements < 0:
+            raise ValueError("num_elements must be >= 0")
+        num_bytes = float(num_elements) * self.element_bytes
+        seconds = CostModel.ring_allreduce_seconds(num_bytes, num_devices, self.link)
+        steps = 0 if num_devices <= 1 else 2 * (num_devices - 1)
+        wire = 0.0 if num_devices <= 1 else steps * num_bytes / num_devices
+        return AllReduceCost(
+            seconds=seconds,
+            bytes_per_device=num_bytes,
+            wire_bytes_per_device=wire,
+            num_steps=steps,
+        )
+
+    def reduce_with_cost(self, arrays: Sequence[np.ndarray]) -> tuple:
+        """Merge the arrays and cost the collective in one call."""
+        merged = self.reduce(arrays)
+        cost = self.cost(int(merged.size), len(arrays))
+        return merged, cost
+
+
+def exposed_allreduce_seconds(
+    cost: AllReduceCost, overlap_window_seconds: float, overlappable: bool
+) -> float:
+    """Exposed (non-hidden) time of the collective.
+
+    With the asynchronous schedule the reduce-scatter half can start while
+    the last chunks still sample, so up to ``overlap_window_seconds`` of
+    it hides behind compute — but never more than that half: the
+    all-gather needs every segment fully reduced, which only happens after
+    the E-step barrier, so it is always exposed.  The bulk-synchronous
+    schedule exposes everything.
+    """
+    if overlap_window_seconds < 0:
+        raise ValueError("overlap_window_seconds must be >= 0")
+    if not overlappable:
+        return cost.seconds
+    hidden = min(overlap_window_seconds, 0.5 * cost.seconds)
+    return cost.seconds - hidden

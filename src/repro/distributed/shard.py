@@ -1,0 +1,160 @@
+"""Sharding of the streamed chunk list across a device pool.
+
+The unit of distribution is the PDOW chunk (``saberlda.layout``): a chunk
+already owns a contiguous document range, all of its tokens and the
+matching rows of ``A``, so assigning whole chunks to devices keeps every
+device's working set self-contained — the only cross-device state is the
+word-topic count matrix ``B``, which the ring all-reduce merges.
+
+Chunk token counts are Zipf-skewed, so round-robin assignment can load
+one device with most of the corpus.  :class:`ShardPlanner` therefore uses
+longest-processing-time (LPT) greedy packing: chunks are placed largest
+first onto the currently lightest device, which bounds the token
+imbalance by the largest single chunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..core.tokens import TokenList
+from ..saberlda.config import SaberLDAConfig
+from ..saberlda.layout import ChunkLayout, build_layout
+
+
+@dataclass
+class DeviceShard:
+    """The chunks one device owns.
+
+    Attributes
+    ----------
+    device_id:
+        Position of the device in the pool.
+    chunk_indices:
+        Indices into the global chunk-layout list, in global stream order.
+    num_tokens:
+        Total tokens across the shard's chunks.
+    """
+
+    device_id: int
+    chunk_indices: List[int] = field(default_factory=list)
+    num_tokens: int = 0
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of chunks assigned to this device."""
+        return len(self.chunk_indices)
+
+
+@dataclass
+class ShardPlan:
+    """A full assignment of chunks to devices.
+
+    The plan never reorders the global chunk list; it only records which
+    device executes which chunk.  Training iterates the chunks in global
+    order (ESCA is bulk-synchronous, so the maths are order-independent,
+    and keeping the single-device order makes the distributed run
+    bit-identical to the sequential one), while the *cost* of an
+    iteration is the slowest device's shard.
+    """
+
+    shards: List[DeviceShard]
+    chunk_token_counts: List[int]
+
+    @property
+    def num_devices(self) -> int:
+        """Number of devices in the plan."""
+        return len(self.shards)
+
+    @property
+    def total_tokens(self) -> int:
+        """Tokens across all shards."""
+        return int(sum(shard.num_tokens for shard in self.shards))
+
+    @property
+    def max_shard_tokens(self) -> int:
+        """Tokens of the most loaded device (the iteration's critical path)."""
+        return int(max(shard.num_tokens for shard in self.shards))
+
+    @property
+    def token_imbalance(self) -> float:
+        """Relative overload of the heaviest shard versus a perfect split."""
+        if self.total_tokens == 0:
+            return 0.0
+        ideal = self.total_tokens / self.num_devices
+        return self.max_shard_tokens / ideal - 1.0
+
+    def device_of_chunk(self) -> Dict[int, int]:
+        """Mapping ``chunk index -> device id``."""
+        owner: Dict[int, int] = {}
+        for shard in self.shards:
+            for index in shard.chunk_indices:
+                owner[index] = shard.device_id
+        return owner
+
+    def layouts_for_device(
+        self, layouts: Sequence[ChunkLayout], device_id: int
+    ) -> List[ChunkLayout]:
+        """The chunk layouts the given device executes, in global order."""
+        return [layouts[index] for index in self.shards[device_id].chunk_indices]
+
+
+class ShardPlanner:
+    """Greedy LPT balancer assigning chunks to devices by token count."""
+
+    def plan(self, token_counts: Sequence[int], num_devices: int) -> ShardPlan:
+        """Assign ``len(token_counts)`` chunks to ``num_devices`` devices.
+
+        Chunks are placed in decreasing token count onto the lightest
+        device so far (ties broken by device id, which keeps the plan
+        deterministic).  Devices can end up empty only when there are
+        fewer chunks than devices.
+        """
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        counts = [int(count) for count in token_counts]
+        if any(count < 0 for count in counts):
+            raise ValueError("chunk token counts must be >= 0")
+
+        shards = [DeviceShard(device_id=device_id) for device_id in range(num_devices)]
+        order = sorted(range(len(counts)), key=lambda index: (-counts[index], index))
+        for chunk_index in order:
+            lightest = min(shards, key=lambda shard: (shard.num_tokens, shard.device_id))
+            lightest.chunk_indices.append(chunk_index)
+            lightest.num_tokens += counts[chunk_index]
+        for shard in shards:
+            shard.chunk_indices.sort()
+        return ShardPlan(shards=shards, chunk_token_counts=counts)
+
+    def plan_layouts(self, layouts: Sequence[ChunkLayout], num_devices: int) -> ShardPlan:
+        """Plan directly from laid-out chunks."""
+        return self.plan([layout.num_tokens for layout in layouts], num_devices)
+
+
+def build_sharded_layout(
+    tokens: TokenList,
+    num_documents: int,
+    config: SaberLDAConfig,
+    num_devices: int,
+) -> tuple:
+    """Lay out the corpus and shard the chunks across ``num_devices``.
+
+    The chunk count is raised to at least ``2 * num_devices`` (when the
+    configuration asks for fewer) so every device receives work and the
+    LPT packing has enough pieces to balance; the layout is otherwise the
+    standard single-device PDOW pipeline, reused unchanged.
+
+    Returns ``(layouts, plan, effective_config)``.
+    """
+    if num_devices < 1:
+        raise ValueError("num_devices must be >= 1")
+    num_chunks = max(config.num_chunks, 2 * num_devices) if num_devices > 1 else config.num_chunks
+    effective = (
+        config.with_overrides(num_chunks=num_chunks)
+        if num_chunks != config.num_chunks
+        else config
+    )
+    layouts = build_layout(tokens, num_documents, effective)
+    plan = ShardPlanner().plan_layouts(layouts, num_devices)
+    return layouts, plan, effective

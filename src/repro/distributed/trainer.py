@@ -1,0 +1,460 @@
+"""Data-parallel SaberLDA training across a simulated device pool.
+
+The distributed trainer runs the *same mathematics* as the single-device
+:class:`~repro.saberlda.trainer.SaberLDATrainer` — ESCA is bulk
+synchronous, so resampling every chunk against the frozen ``A``/``B̂`` and
+merging the integer count matrices afterwards is order-independent and
+exact.  The trainer therefore iterates the chunk layouts in global stream
+order with one RNG stream (bit-identical to the sequential run at the
+same seed) while attributing each chunk's *cost* to the device that owns
+it under the :class:`~repro.distributed.shard.ShardPlan`:
+
+* every device is charged the phases of its own shard (sampling, A
+  update, transfer) plus the replicated pre-processing of ``B̂``/``Q``
+  and the W-ary trees (the full matrix lives on every device);
+* the per-iteration barrier is the slowest device (BSP);
+* the word-topic counts are merged with a ring all-reduce whose cost
+  rides the pool's interconnect; under the asynchronous streaming
+  schedule the reduce-scatter half overlaps the E-step tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.count_matrices import SparseDocTopicMatrix, count_by_word_topic
+from ..core.model import LDAModel
+from ..core.tokens import TokenList
+from ..gpusim.profiler import PHASE_SAMPLING
+from ..gpusim.streams import PCIE_P2P, DevicePool, InterconnectSpec
+from ..saberlda.config import SaberLDAConfig
+from ..saberlda.costing import WorkloadStats, _hot_token_fraction
+from ..saberlda.estep import WordSide, esca_estep
+from ..saberlda.layout import ChunkLayout, gather_layout_tokens
+from ..saberlda.projection import cost_iteration_phases
+from ..saberlda.trainer import (
+    rebuild_doc_topic,
+    sparse_training_likelihood,
+    train_saberlda,
+)
+from .allreduce import RingAllReduce, exposed_allreduce_seconds
+from .shard import ShardPlan, build_sharded_layout
+
+
+@dataclass
+class DistributedIterationRecord:
+    """Per-iteration measurements of the multi-device run."""
+
+    iteration: int
+    per_device_phase_seconds: List[Dict[str, float]]
+    per_device_seconds: List[float]
+    allreduce_seconds: float
+    exposed_allreduce_seconds: float
+    simulated_seconds: float
+    cumulative_simulated_seconds: float
+    log_likelihood_per_token: Optional[float]
+
+    @property
+    def barrier_seconds(self) -> float:
+        """Compute time of the slowest device (the BSP barrier)."""
+        return max(self.per_device_seconds)
+
+    @property
+    def balance_efficiency(self) -> float:
+        """Mean device busy time over the barrier (1.0 = perfectly balanced)."""
+        barrier = self.barrier_seconds
+        if barrier <= 0:
+            return 1.0
+        return float(np.mean(self.per_device_seconds)) / barrier
+
+
+@dataclass
+class DistributedTrainingResult:
+    """Everything produced by one data-parallel run."""
+
+    model: LDAModel
+    doc_topic: SparseDocTopicMatrix
+    history: List[DistributedIterationRecord]
+    plan: ShardPlan
+    pool: DevicePool
+    config: SaberLDAConfig
+    num_tokens: int
+    wall_seconds: float
+
+    @property
+    def num_devices(self) -> int:
+        """Pool size of the run."""
+        return self.pool.num_devices
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated time of the run (barriers + exposed all-reduces)."""
+        if not self.history:
+            return 0.0
+        return self.history[-1].cumulative_simulated_seconds
+
+    def throughput_tokens_per_second(self) -> float:
+        """Aggregate simulated throughput of the pool."""
+        if self.simulated_seconds <= 0:
+            return 0.0
+        return self.num_tokens * len(self.history) / self.simulated_seconds
+
+    def final_log_likelihood(self) -> Optional[float]:
+        """Last recorded per-token training log-likelihood."""
+        for record in reversed(self.history):
+            if record.log_likelihood_per_token is not None:
+                return record.log_likelihood_per_token
+        return None
+
+    def allreduce_share(self) -> float:
+        """Fraction of the simulated time spent in exposed all-reduce."""
+        if self.simulated_seconds <= 0:
+            return 0.0
+        exposed = sum(record.exposed_allreduce_seconds for record in self.history)
+        return exposed / self.simulated_seconds
+
+    def phase_breakdown(self) -> Dict[str, float]:
+        """Slowest-device seconds per phase over the run, plus the all-reduce."""
+        totals: Dict[str, float] = {}
+        for record in self.history:
+            slowest = int(np.argmax(record.per_device_seconds))
+            for phase, seconds in record.per_device_phase_seconds[slowest].items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+            totals["allreduce"] = (
+                totals.get("allreduce", 0.0) + record.exposed_allreduce_seconds
+            )
+        return totals
+
+    def speedup_versus(self, single_device_seconds: float) -> float:
+        """Simulated speedup over a single-device run of the same workload."""
+        if self.simulated_seconds <= 0:
+            return 0.0
+        return single_device_seconds / self.simulated_seconds
+
+
+@dataclass
+class DistributedTrainer:
+    """Runs SaberLDA data-parallel on ``num_devices`` simulated devices.
+
+    ``config.device`` is replicated into a homogeneous pool joined by
+    ``interconnect``.  Statistical results are bit-identical to
+    :class:`~repro.saberlda.trainer.SaberLDATrainer` run with the same
+    seed and the same (effective) chunk count.
+    """
+
+    config: SaberLDAConfig
+    num_devices: int = 2
+    interconnect: InterconnectSpec = field(default=PCIE_P2P)
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        tokens: TokenList,
+        num_documents: int,
+        vocabulary_size: int,
+        vocabulary=None,
+    ) -> DistributedTrainingResult:
+        """Run the configured number of data-parallel iterations."""
+        import time as _time
+
+        wall_start = _time.perf_counter()
+        params = self.config.params
+        pool = DevicePool.homogeneous(
+            self.config.device, self.num_devices, self.interconnect
+        )
+        allreduce = RingAllReduce(link=self.interconnect)
+
+        # ------------- Layout, shard plan and initialisation ------------- #
+        working_tokens = tokens.copy()
+        if (working_tokens.topics < 0).any():
+            working_tokens.randomize_topics(params.num_topics, self._rng)
+        layouts, plan, config = build_sharded_layout(
+            working_tokens, num_documents, self.config, self.num_devices
+        )
+
+        doc_topic = self._rebuild_doc_topic(layouts, num_documents)
+        word_topic, _cost = self._merged_word_topic(
+            layouts, plan, vocabulary_size, allreduce
+        )
+        word_side = WordSide.prepare(word_topic, params.alpha, params.beta)
+
+        history: List[DistributedIterationRecord] = []
+        cumulative = 0.0
+
+        for iteration in range(1, config.num_iterations + 1):
+            # ------------------------- E-step (global order) ------------------------- #
+            for layout in layouts:
+                result = esca_estep(layout.tokens, doc_topic, word_side, self._rng)
+                layout.tokens.topics = result.new_topics
+
+            # ------------------------------- M-step ---------------------------------- #
+            doc_topic = self._rebuild_doc_topic(layouts, num_documents)
+            word_topic, allreduce_cost = self._merged_word_topic(
+                layouts, plan, vocabulary_size, allreduce
+            )
+            word_side = WordSide.prepare(word_topic, params.alpha, params.beta)
+
+            # --------------------------- Simulated timing ---------------------------- #
+            per_device_phases = [
+                self._device_phase_seconds(
+                    plan.layouts_for_device(layouts, device_id),
+                    doc_topic,
+                    vocabulary_size,
+                    config,
+                )
+                for device_id in range(self.num_devices)
+            ]
+            per_device_seconds = [sum(phases.values()) for phases in per_device_phases]
+            barrier = max(per_device_seconds)
+            slowest = int(np.argmax(per_device_seconds))
+            overlappable = (
+                config.asynchronous and config.num_workers >= 2 and self.num_devices > 1
+            )
+            # The reduce-scatter half of the ring can hide behind the E-step
+            # tail of the slowest device; the all-gather half is exposed.
+            window = 0.5 * per_device_phases[slowest].get(PHASE_SAMPLING, 0.0)
+            exposed = exposed_allreduce_seconds(allreduce_cost, window, overlappable)
+            iteration_seconds = barrier + exposed
+            cumulative += iteration_seconds
+
+            # ----------------------------- Model quality ----------------------------- #
+            log_likelihood: Optional[float] = None
+            if iteration % config.evaluate_every == 0 or iteration == config.num_iterations:
+                all_tokens = gather_layout_tokens(layouts)
+                likelihood = self._training_likelihood(
+                    all_tokens, doc_topic, word_topic, num_documents
+                )
+                log_likelihood = likelihood.per_token
+
+            history.append(
+                DistributedIterationRecord(
+                    iteration=iteration,
+                    per_device_phase_seconds=per_device_phases,
+                    per_device_seconds=per_device_seconds,
+                    allreduce_seconds=allreduce_cost.seconds,
+                    exposed_allreduce_seconds=exposed,
+                    simulated_seconds=iteration_seconds,
+                    cumulative_simulated_seconds=cumulative,
+                    log_likelihood_per_token=log_likelihood,
+                )
+            )
+
+        model = LDAModel(
+            word_topic_counts=word_topic,
+            params=params,
+            vocabulary=vocabulary,
+            metadata={
+                "system": "SaberLDA-distributed",
+                "device": config.device.name,
+                "num_devices": self.num_devices,
+                "interconnect": self.interconnect.name,
+                "num_iterations": config.num_iterations,
+                "num_chunks": config.num_chunks,
+                "num_workers": config.num_workers,
+                "seed": config.seed,
+            },
+        )
+        return DistributedTrainingResult(
+            model=model,
+            doc_topic=doc_topic,
+            history=history,
+            plan=plan,
+            pool=pool,
+            config=config,
+            num_tokens=tokens.num_tokens,
+            wall_seconds=_time.perf_counter() - wall_start,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _rebuild_doc_topic(
+        self, layouts: List[ChunkLayout], num_documents: int
+    ) -> SparseDocTopicMatrix:
+        return rebuild_doc_topic(layouts, num_documents, self.config.params.num_topics)
+
+    def _merged_word_topic(
+        self,
+        layouts: List[ChunkLayout],
+        plan: ShardPlan,
+        vocabulary_size: int,
+        allreduce: RingAllReduce,
+    ) -> tuple:
+        """Count ``B_d`` per device and merge with the ring all-reduce."""
+        num_topics = self.config.params.num_topics
+        locals_: List[np.ndarray] = []
+        for device_id in range(plan.num_devices):
+            device_counts = np.zeros((vocabulary_size, num_topics), dtype=np.int64)
+            for layout in plan.layouts_for_device(layouts, device_id):
+                device_counts += count_by_word_topic(
+                    layout.tokens, vocabulary_size, num_topics
+                )
+            locals_.append(device_counts)
+        return allreduce.reduce_with_cost(locals_)
+
+    def _device_phase_seconds(
+        self,
+        device_layouts: List[ChunkLayout],
+        doc_topic: SparseDocTopicMatrix,
+        vocabulary_size: int,
+        config: SaberLDAConfig,
+    ) -> Dict[str, float]:
+        """Cost one device's shard for one iteration."""
+        stats = _device_workload_stats(
+            device_layouts, doc_topic, config.params.num_topics, vocabulary_size, config
+        )
+        return dict(cost_iteration_phases(stats, config).phase_seconds)
+
+    def _training_likelihood(
+        self,
+        tokens: TokenList,
+        doc_topic: SparseDocTopicMatrix,
+        word_topic: np.ndarray,
+        num_documents: int,
+    ):
+        return sparse_training_likelihood(
+            tokens, doc_topic, word_topic, num_documents, self.config.params
+        )
+
+
+def _device_workload_stats(
+    device_layouts: List[ChunkLayout],
+    doc_topic: SparseDocTopicMatrix,
+    num_topics: int,
+    vocabulary_size: int,
+    config: SaberLDAConfig,
+) -> WorkloadStats:
+    """Exact per-shard workload statistics (the device's share of A included).
+
+    A device streams only its own chunks' tokens and ``A`` rows, so the
+    transfer and rebuild traffic must be charged on the shard's document
+    ranges, not the global matrix — otherwise every device would pay the
+    full corpus and nothing would scale.  Pre-processing statistics
+    (``V``, ``K``) stay global because ``B̂`` is replicated.
+    """
+    num_tokens = int(sum(layout.num_tokens for layout in device_layouts))
+    distinct_chunk_words = float(
+        sum(layout.distinct_words() for layout in device_layouts)
+    )
+    chunk_token_counts = [layout.num_tokens for layout in device_layouts]
+
+    shard_documents = 0
+    shard_nnz = 0
+    for layout in device_layouts:
+        chunk = layout.chunk
+        shard_documents += chunk.num_documents
+        shard_nnz += doc_topic.slice_documents(chunk.doc_start, chunk.doc_stop).num_nonzeros
+
+    term_frequencies = np.zeros(vocabulary_size, dtype=np.int64)
+    for layout in device_layouts:
+        term_frequencies += layout.tokens.tokens_per_word(vocabulary_size)
+    hot_fraction = _hot_token_fraction(term_frequencies, num_topics, config.device)
+
+    mean_doc_nnz = shard_nnz / shard_documents if shard_documents else 0.0
+    return WorkloadStats(
+        num_tokens=num_tokens,
+        num_documents=shard_documents,
+        vocabulary_size=vocabulary_size,
+        num_topics=num_topics,
+        mean_doc_nnz=mean_doc_nnz,
+        total_doc_nnz=float(shard_nnz),
+        distinct_chunk_words=distinct_chunk_words,
+        hot_token_fraction=hot_fraction,
+        chunk_token_counts=chunk_token_counts,
+    )
+
+
+def train_distributed(
+    tokens: TokenList,
+    num_documents: int,
+    vocabulary_size: int,
+    config: SaberLDAConfig,
+    num_devices: int,
+    interconnect: InterconnectSpec = PCIE_P2P,
+    vocabulary=None,
+) -> DistributedTrainingResult:
+    """Convenience wrapper: construct a distributed trainer and fit it."""
+    trainer = DistributedTrainer(
+        config=config, num_devices=num_devices, interconnect=interconnect
+    )
+    return trainer.fit(tokens, num_documents, vocabulary_size, vocabulary)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One device count of a scaling sweep."""
+
+    num_devices: int
+    simulated_seconds: float
+    speedup: float
+    efficiency: float
+    allreduce_share: float
+    token_imbalance: float
+
+
+def measure_scaling(
+    tokens: TokenList,
+    num_documents: int,
+    vocabulary_size: int,
+    config: SaberLDAConfig,
+    device_counts: Sequence[int],
+    interconnect: InterconnectSpec = PCIE_P2P,
+) -> List[ScalingPoint]:
+    """Strong-scaling sweep: the same corpus trained on each pool size.
+
+    Every point — including the single-device :func:`train_saberlda`
+    baseline — runs on one common chunking (the configured count, raised
+    to ``2 * max(device_counts)`` when smaller, matching what
+    :func:`~repro.distributed.shard.build_sharded_layout` would pick for
+    the largest pool), so the reported speedups measure the distribution
+    machinery only, never a chunk-count change.
+    """
+    counts_sorted = sorted(set(int(count) for count in device_counts))
+    if not counts_sorted:
+        return []
+    common_chunks = max(config.num_chunks, 2 * counts_sorted[-1])
+    if common_chunks != config.num_chunks:
+        config = config.with_overrides(num_chunks=common_chunks)
+    baseline: Optional[float] = None
+    points: List[ScalingPoint] = []
+    for count in counts_sorted:
+        if count == 1:
+            single = train_saberlda(
+                tokens.copy(), num_documents, vocabulary_size, config
+            )
+            seconds = single.simulated_seconds
+            share = 0.0
+            imbalance = 0.0
+        else:
+            result = train_distributed(
+                tokens.copy(), num_documents, vocabulary_size, config, count, interconnect
+            )
+            seconds = result.simulated_seconds
+            share = result.allreduce_share()
+            imbalance = result.plan.token_imbalance
+        if baseline is None:
+            baseline = seconds
+        speedup = baseline / seconds if seconds > 0 else 0.0
+        points.append(
+            ScalingPoint(
+                num_devices=count,
+                simulated_seconds=seconds,
+                speedup=speedup,
+                # Speedup is relative to the smallest pool in the sweep, so
+                # efficiency must be too (equals speedup/count when 1 is swept).
+                efficiency=speedup * counts_sorted[0] / count,
+                allreduce_share=share,
+                token_imbalance=imbalance,
+            )
+        )
+    return points

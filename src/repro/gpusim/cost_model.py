@@ -16,6 +16,7 @@ from typing import Dict
 
 from .device import DeviceSpec
 from .memory import MemorySpace, MemoryTraffic
+from .streams import InterconnectSpec
 
 
 @dataclass(frozen=True)
@@ -102,6 +103,31 @@ class CostModel:
     def transfer_time(self, traffic: MemoryTraffic) -> float:
         """PCIe time of the host<->device traffic recorded in ``traffic``."""
         return traffic.host_device_bytes / self.device.pcie_bandwidth
+
+    # ------------------------------------------------------------------ #
+    # Multi-device collectives
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def ring_allreduce_seconds(
+        num_bytes: float, num_devices: int, link: InterconnectSpec
+    ) -> float:
+        """Time of a ring all-reduce of ``num_bytes`` across ``num_devices``.
+
+        The bandwidth-optimal ring runs a reduce-scatter then an
+        all-gather: ``2 * (N - 1)`` steps, each moving ``num_bytes / N``
+        over every link simultaneously, so the per-device wire time is
+        ``2 * (N - 1) / N * num_bytes / bandwidth`` plus one link latency
+        per step.  With one device the collective is free.
+        """
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+        if num_devices == 1 or num_bytes == 0:
+            return 0.0
+        steps = 2 * (num_devices - 1)
+        segment_bytes = num_bytes / num_devices
+        return steps * (link.latency_seconds + segment_bytes / link.effective_bandwidth)
 
     # ------------------------------------------------------------------ #
     # Utilisation reporting (Table 4)

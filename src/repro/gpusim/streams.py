@@ -18,7 +18,113 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
-from .device import DeviceSpec
+from .device import GB, DeviceSpec
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """A point-to-point link between two devices of a pool.
+
+    The ring collectives of ``repro.distributed`` charge their traffic on
+    this link model: a message of ``n`` bytes costs
+    ``latency_seconds + n / (bandwidth * achievable_fraction)`` (the
+    classic alpha-beta model).
+
+    Attributes
+    ----------
+    name:
+        Marketing name of the interconnect.
+    bandwidth:
+        Peak unidirectional bandwidth of one link in bytes/second.
+    latency_seconds:
+        Per-message fixed cost (software stack + wire latency).
+    achievable_fraction:
+        Fraction of the peak a pipelined collective sustains in practice.
+    """
+
+    name: str
+    bandwidth: float
+    latency_seconds: float = 5e-6
+    achievable_fraction: float = 0.8
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Bandwidth a well-pipelined transfer actually sustains."""
+        return self.bandwidth * self.achievable_fraction
+
+    def message_seconds(self, num_bytes: float) -> float:
+        """Alpha-beta time of one point-to-point message of ``num_bytes``."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+        if num_bytes == 0:
+            return 0.0
+        return self.latency_seconds + num_bytes / self.effective_bandwidth
+
+
+#: PCIe 3.0 x16 peer-to-peer through the host bridge (the paper's era).
+PCIE_P2P = InterconnectSpec(name="PCIe 3.0 x16 P2P", bandwidth=12.0 * GB, latency_seconds=10e-6)
+
+#: First-generation NVLink bridge between device pairs.
+NVLINK = InterconnectSpec(name="NVLink", bandwidth=40.0 * GB, latency_seconds=3e-6)
+
+KNOWN_INTERCONNECTS = {
+    "pcie": PCIE_P2P,
+    "nvlink": NVLINK,
+}
+
+
+def get_interconnect(name: str) -> InterconnectSpec:
+    """Look up an interconnect spec by short name (``pcie``, ``nvlink``)."""
+    key = name.lower().replace(" ", "").replace("_", "")
+    if key not in KNOWN_INTERCONNECTS:
+        raise KeyError(
+            f"unknown interconnect {name!r}; choose from {sorted(KNOWN_INTERCONNECTS)}"
+        )
+    return KNOWN_INTERCONNECTS[key]
+
+
+@dataclass(frozen=True)
+class DevicePool:
+    """A set of devices joined by a common interconnect.
+
+    The data-parallel trainer of ``repro.distributed`` runs one shard per
+    pool member and merges the word-topic counts over ``interconnect``
+    with a ring all-reduce.  Pools are homogeneous in practice (a node of
+    identical GPUs), which :meth:`homogeneous` constructs directly; the
+    general constructor accepts mixed devices so degraded pools can be
+    modelled too.
+    """
+
+    devices: tuple
+    interconnect: InterconnectSpec
+
+    def __post_init__(self) -> None:
+        if len(self.devices) < 1:
+            raise ValueError("a DevicePool needs at least one device")
+        object.__setattr__(self, "devices", tuple(self.devices))
+
+    @classmethod
+    def homogeneous(
+        cls, device: DeviceSpec, num_devices: int, interconnect: InterconnectSpec = PCIE_P2P
+    ) -> "DevicePool":
+        """A pool of ``num_devices`` identical ``device`` members."""
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        return cls(devices=(device,) * num_devices, interconnect=interconnect)
+
+    @property
+    def num_devices(self) -> int:
+        """Number of devices in the pool."""
+        return len(self.devices)
+
+    @property
+    def total_memory_bytes(self) -> int:
+        """Aggregate device memory of the pool."""
+        return sum(device.global_memory_bytes for device in self.devices)
+
+    def fits_replicated(self, num_bytes: int) -> bool:
+        """Whether a working set replicated on every device fits everywhere."""
+        return all(device.fits_in_memory(num_bytes) for device in self.devices)
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,37 @@ from .projection import cost_iteration_phases
 from .ssc import merge_chunk_rows, rebuild_doc_topic_sort
 
 
+def rebuild_doc_topic(
+    layouts: List[ChunkLayout], num_documents: int, num_topics: int
+) -> SparseDocTopicMatrix:
+    """Rebuild A chunk by chunk and merge the rows (vectorised functional path).
+
+    Shared by the single-device and the distributed trainer — the
+    bit-identical equivalence between the two depends on both using this
+    exact rebuild.
+    """
+    chunk_rows = [rebuild_doc_topic_sort(layout, num_topics) for layout in layouts]
+    return merge_chunk_rows(chunk_rows, num_documents, num_topics)
+
+
+def sparse_training_likelihood(
+    tokens: TokenList,
+    doc_topic: SparseDocTopicMatrix,
+    word_topic: np.ndarray,
+    num_documents: int,
+    params,
+) -> LikelihoodResult:
+    """Training log-likelihood from the sparse ``A`` (densified row by row).
+
+    Shared by both trainers for the same reason as :func:`rebuild_doc_topic`.
+    """
+    dense_doc_topic = np.zeros((num_documents, params.num_topics), dtype=np.int64)
+    for doc_id in range(num_documents):
+        cols, vals = doc_topic.row(doc_id)
+        dense_doc_topic[doc_id, cols] = vals
+    return training_log_likelihood(tokens, dense_doc_topic, word_topic, params)
+
+
 @dataclass
 class IterationRecord:
     """Per-iteration measurements and simulated timings."""
@@ -234,10 +265,7 @@ class SaberLDATrainer:
     def _rebuild_doc_topic(
         self, layouts: List[ChunkLayout], num_documents: int
     ) -> SparseDocTopicMatrix:
-        """Rebuild A chunk by chunk and merge the rows (vectorised functional path)."""
-        num_topics = self.config.params.num_topics
-        chunk_rows = [rebuild_doc_topic_sort(layout, num_topics) for layout in layouts]
-        return merge_chunk_rows(chunk_rows, num_documents, num_topics)
+        return rebuild_doc_topic(layouts, num_documents, self.config.params.num_topics)
 
     def _training_likelihood(
         self,
@@ -246,11 +274,9 @@ class SaberLDATrainer:
         word_topic: np.ndarray,
         num_documents: int,
     ) -> LikelihoodResult:
-        dense_doc_topic = np.zeros((num_documents, self.config.params.num_topics), dtype=np.int64)
-        for doc_id in range(num_documents):
-            cols, vals = doc_topic.row(doc_id)
-            dense_doc_topic[doc_id, cols] = vals
-        return training_log_likelihood(tokens, dense_doc_topic, word_topic, self.config.params)
+        return sparse_training_likelihood(
+            tokens, doc_topic, word_topic, num_documents, self.config.params
+        )
 
     def _cost_iteration(
         self, stats: WorkloadStats, cost_model: CostModel, profiler: Profiler

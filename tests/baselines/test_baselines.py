@@ -12,16 +12,14 @@ from repro.baselines import (
     WarpLdaTrainer,
 )
 from repro.core import LDAHyperParams
-from repro.corpus import NYTIMES, generate_lda_corpus
+from repro.corpus import NYTIMES
 from repro.gpusim import GTX_1080
 from repro.saberlda import WorkloadStats
 
 
 @pytest.fixture(scope="module")
-def corpus():
-    return generate_lda_corpus(
-        num_documents=50, vocabulary_size=120, num_topics=5, mean_document_length=30, seed=3
-    )
+def corpus(make_corpus):
+    return make_corpus(50, 120, 5, 30, 3)
 
 
 @pytest.fixture

@@ -1,4 +1,10 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The corpus fixtures funnel through one cached :func:`make_corpus`
+factory, so tests that need a specific shape declare it in one line
+instead of repeating ``generate_lda_corpus`` boilerplate, and identical
+requests across modules share a single generated corpus.
+"""
 
 from __future__ import annotations
 
@@ -8,11 +14,20 @@ import pytest
 from repro.core import LDAHyperParams, TokenList
 from repro.corpus import SyntheticCorpus, generate_lda_corpus
 
+#: Seed of the suite-wide deterministic RNG fixtures.
+RNG_SEED = 12345
+
 
 @pytest.fixture
-def rng() -> np.random.Generator:
+def rng_seed() -> int:
+    """The suite-wide deterministic seed (pair of :func:`rng`)."""
+    return RNG_SEED
+
+
+@pytest.fixture
+def rng(rng_seed) -> np.random.Generator:
     """A deterministic NumPy generator."""
-    return np.random.default_rng(12345)
+    return np.random.default_rng(rng_seed)
 
 
 @pytest.fixture
@@ -35,24 +50,55 @@ def tiny_tokens() -> TokenList:
 
 
 @pytest.fixture(scope="session")
-def small_corpus() -> SyntheticCorpus:
-    """A small LDA-generated corpus shared by training tests (session-scoped for speed)."""
-    return generate_lda_corpus(
-        num_documents=60,
-        vocabulary_size=150,
-        num_topics=6,
-        mean_document_length=40,
-        seed=7,
-    )
+def make_corpus():
+    """Cached factory for LDA-generated corpora.
+
+    ``make_corpus(num_documents, vocabulary_size, num_topics,
+    mean_document_length, seed)`` returns the same object for the same
+    arguments for the whole session; callers must not mutate the result
+    (use ``corpus.unassigned_copy()`` / ``corpus.tokens.copy()``).  The
+    token arrays are frozen, so an accidental in-place write fails loudly
+    instead of corrupting unrelated tests.
+    """
+    cache: dict = {}
+
+    def factory(
+        num_documents: int,
+        vocabulary_size: int,
+        num_topics: int,
+        mean_document_length: int,
+        seed: int,
+    ) -> SyntheticCorpus:
+        key = (num_documents, vocabulary_size, num_topics, mean_document_length, seed)
+        if key not in cache:
+            corpus = generate_lda_corpus(
+                num_documents=num_documents,
+                vocabulary_size=vocabulary_size,
+                num_topics=num_topics,
+                mean_document_length=mean_document_length,
+                seed=seed,
+            )
+            for array in (corpus.tokens.doc_ids, corpus.tokens.word_ids, corpus.tokens.topics):
+                array.flags.writeable = False
+            cache[key] = corpus
+        return cache[key]
+
+    return factory
 
 
 @pytest.fixture(scope="session")
-def medium_corpus() -> SyntheticCorpus:
+def tiny_corpus(make_corpus) -> SyntheticCorpus:
+    """The smallest trainable corpus (pairs with :func:`rng_seed` for seeded runs)."""
+    return make_corpus(30, 60, 4, 20, RNG_SEED)
+
+
+@pytest.fixture(scope="session")
+def small_corpus(make_corpus) -> SyntheticCorpus:
+    """A small LDA-generated corpus shared by training tests (session-scoped for speed)."""
+    return make_corpus(60, 150, 6, 40, 7)
+
+
+@pytest.fixture(scope="session")
+def medium_corpus(make_corpus) -> SyntheticCorpus:
     """A slightly larger corpus for integration and convergence tests."""
-    return generate_lda_corpus(
-        num_documents=120,
-        vocabulary_size=300,
-        num_topics=10,
-        mean_document_length=60,
-        seed=11,
-    )
+    return make_corpus(120, 300, 10, 60, 11)

@@ -1,0 +1,146 @@
+"""Unit tests for the shard planner, the ring all-reduce and the pool model."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    AllReduceCost,
+    RingAllReduce,
+    ShardPlanner,
+    build_sharded_layout,
+    exposed_allreduce_seconds,
+)
+from repro.gpusim import NVLINK, PCIE_P2P, CostModel, DevicePool, GTX_1080, get_interconnect
+from repro.saberlda import SaberLDAConfig
+
+
+class TestShardPlanner:
+    def test_every_chunk_assigned_exactly_once(self):
+        plan = ShardPlanner().plan([10, 7, 3, 9, 2, 8], num_devices=3)
+        assigned = sorted(
+            index for shard in plan.shards for index in shard.chunk_indices
+        )
+        assert assigned == list(range(6))
+
+    def test_token_totals_preserved(self):
+        counts = [13, 2, 40, 5, 5, 21, 9]
+        plan = ShardPlanner().plan(counts, num_devices=4)
+        assert plan.total_tokens == sum(counts)
+        for shard in plan.shards:
+            assert shard.num_tokens == sum(counts[i] for i in shard.chunk_indices)
+
+    def test_lpt_beats_round_robin_on_skewed_chunks(self):
+        # One huge chunk plus a tail: round-robin pairs the huge chunk with
+        # more work, LPT gives it a device of its own.
+        counts = [100, 10, 10, 10, 10, 10]
+        plan = ShardPlanner().plan(counts, num_devices=2)
+        assert plan.max_shard_tokens == 100
+        round_robin_max = max(
+            sum(counts[0::2]), sum(counts[1::2])
+        )
+        assert plan.max_shard_tokens < round_robin_max
+
+    def test_chunk_indices_stay_in_stream_order(self):
+        plan = ShardPlanner().plan([5, 50, 5, 50, 5], num_devices=2)
+        for shard in plan.shards:
+            assert shard.chunk_indices == sorted(shard.chunk_indices)
+
+    def test_deterministic(self):
+        counts = list(np.random.default_rng(0).integers(1, 100, size=20))
+        first = ShardPlanner().plan(counts, num_devices=4)
+        second = ShardPlanner().plan(counts, num_devices=4)
+        assert [s.chunk_indices for s in first.shards] == [
+            s.chunk_indices for s in second.shards
+        ]
+
+    def test_imbalance_zero_for_perfect_split(self):
+        plan = ShardPlanner().plan([10, 10, 10, 10], num_devices=2)
+        assert plan.token_imbalance == pytest.approx(0.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            ShardPlanner().plan([1, 2], num_devices=0)
+        with pytest.raises(ValueError):
+            ShardPlanner().plan([1, -2], num_devices=2)
+
+    def test_build_sharded_layout_raises_chunk_count(self, small_corpus):
+        config = SaberLDAConfig.paper_defaults(6, num_chunks=2)
+        layouts, plan, effective = build_sharded_layout(
+            small_corpus.tokens.copy(), small_corpus.num_documents, config, num_devices=4
+        )
+        assert effective.num_chunks == 8
+        assert len(layouts) == 8
+        assert plan.num_devices == 4
+        assert all(shard.num_chunks > 0 for shard in plan.shards)
+
+
+class TestRingAllReduce:
+    def test_reduce_is_exact_integer_sum(self, rng):
+        arrays = [rng.integers(0, 100, size=(50, 8)) for _ in range(5)]
+        merged = RingAllReduce(link=NVLINK).reduce(arrays)
+        np.testing.assert_array_equal(merged, np.sum(arrays, axis=0))
+
+    def test_reduce_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            RingAllReduce(link=NVLINK).reduce([np.zeros((2, 2)), np.zeros((3, 2))])
+
+    def test_single_device_is_free(self):
+        cost = RingAllReduce(link=PCIE_P2P).cost(10_000, num_devices=1)
+        assert cost.seconds == 0.0
+        assert cost.num_steps == 0
+
+    def test_cost_grows_with_devices(self):
+        ring = RingAllReduce(link=PCIE_P2P)
+        costs = [ring.cost(1_000_000, n).seconds for n in (2, 4, 8)]
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_bandwidth_term_matches_closed_form(self):
+        num_elements, devices = 1_000_000, 4
+        cost = RingAllReduce(link=NVLINK).cost(num_elements, devices)
+        num_bytes = num_elements * 4
+        steps = 2 * (devices - 1)
+        expected = steps * (
+            NVLINK.latency_seconds + num_bytes / devices / NVLINK.effective_bandwidth
+        )
+        assert cost.seconds == pytest.approx(expected)
+
+    def test_faster_link_is_faster(self):
+        slow = RingAllReduce(link=PCIE_P2P).cost(4_000_000, 4).seconds
+        fast = RingAllReduce(link=NVLINK).cost(4_000_000, 4).seconds
+        assert fast < slow
+
+    def test_exposed_seconds_overlap(self):
+        cost = AllReduceCost(
+            seconds=1.0, bytes_per_device=1.0, wire_bytes_per_device=1.0, num_steps=2
+        )
+        assert exposed_allreduce_seconds(cost, 0.4, overlappable=True) == pytest.approx(0.6)
+        # Only the reduce-scatter half can hide: a huge window still leaves
+        # the all-gather half exposed.
+        assert exposed_allreduce_seconds(cost, 2.0, overlappable=True) == pytest.approx(0.5)
+        assert exposed_allreduce_seconds(cost, 2.0, overlappable=False) == 1.0
+
+
+class TestDevicePool:
+    def test_homogeneous_pool(self):
+        pool = DevicePool.homogeneous(GTX_1080, 4, NVLINK)
+        assert pool.num_devices == 4
+        assert pool.total_memory_bytes == 4 * GTX_1080.global_memory_bytes
+        assert pool.fits_replicated(GTX_1080.global_memory_bytes)
+        assert not pool.fits_replicated(GTX_1080.global_memory_bytes + 1)
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            DevicePool(devices=(), interconnect=NVLINK)
+
+    def test_interconnect_lookup(self):
+        assert get_interconnect("nvlink") is NVLINK
+        assert get_interconnect("PCIe") is PCIE_P2P
+        with pytest.raises(KeyError):
+            get_interconnect("infiniband")
+
+    def test_ring_allreduce_seconds_validation(self):
+        with pytest.raises(ValueError):
+            CostModel.ring_allreduce_seconds(1.0, 0, NVLINK)
+        with pytest.raises(ValueError):
+            CostModel.ring_allreduce_seconds(-1.0, 2, NVLINK)
+        assert CostModel.ring_allreduce_seconds(0.0, 4, NVLINK) == 0.0

@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines import DenseGpuTrainer, EscaCpuTrainer, WarpLdaTrainer
 from repro.core import LDAHyperParams
-from repro.corpus import CLUEWEB, NYTIMES, generate_lda_corpus
+from repro.corpus import CLUEWEB, NYTIMES
 from repro.evaluation import (
     ConvergenceCurve,
     compare_systems,
@@ -16,10 +16,8 @@ from repro.gpusim import GTX_1080, TITAN_X_MAXWELL
 
 
 @pytest.fixture(scope="module")
-def corpus():
-    return generate_lda_corpus(
-        num_documents=60, vocabulary_size=150, num_topics=6, mean_document_length=40, seed=5
-    )
+def corpus(make_corpus):
+    return make_corpus(60, 150, 6, 40, 5)
 
 
 class TestThroughputProjection:

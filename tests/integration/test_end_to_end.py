@@ -4,19 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core import LDAHyperParams, heldout_log_likelihood
-from repro.corpus import generate_lda_corpus, nytimes_replica
+from repro.corpus import nytimes_replica
 from repro.saberlda import SaberLDAConfig, ablation_presets, train_saberlda
 
 
 @pytest.fixture(scope="module")
-def corpus():
-    return generate_lda_corpus(
-        num_documents=100,
-        vocabulary_size=250,
-        num_topics=8,
-        mean_document_length=50,
-        seed=21,
-    )
+def corpus(make_corpus):
+    return make_corpus(100, 250, 8, 50, 21)
 
 
 @pytest.fixture(scope="module")

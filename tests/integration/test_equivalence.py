@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from repro.core import SparseDocTopicMatrix
-from repro.corpus import generate_lda_corpus
 from repro.sampling import AliasTable, FenwickTree, WaryTree
 from repro.saberlda import (
     SaberLDAConfig,
@@ -68,10 +67,8 @@ class TestCountRebuildEquivalence:
     """SSC, the global sort and the reference counting must agree on real corpora."""
 
     @pytest.fixture(scope="class")
-    def corpus(self):
-        return generate_lda_corpus(
-            num_documents=70, vocabulary_size=200, num_topics=12, mean_document_length=45, seed=2
-        )
+    def corpus(self, make_corpus):
+        return make_corpus(70, 200, 12, 45, 2)
 
     @pytest.mark.parametrize("num_chunks", [1, 2, 5])
     def test_chunked_rebuilds_match_reference(self, corpus, num_chunks):

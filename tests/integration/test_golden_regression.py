@@ -1,0 +1,149 @@
+"""Golden-file regression: a seeded end-to-end run is pinned bit-for-bit.
+
+The golden JSON under ``tests/golden/`` captures the log-likelihood
+trajectory and the word-topic count digest of a tiny, fully seeded
+training run.  Any refactor that changes the *statistics* of training —
+a reordered RNG draw, a different merge order, an off-by-one in the
+E-step — trips this test even if every unit test still passes.
+
+Regenerate (only when a statistical change is intentional) with::
+
+    PYTHONPATH=src python tests/integration/test_golden_regression.py --regenerate
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import word_topic_digest
+from repro.corpus import generate_lda_corpus
+from repro.distributed import train_distributed
+from repro.saberlda import SaberLDAConfig, train_saberlda
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "golden", "training_run.json"
+)
+
+#: The pinned workload: tiny, seeded, 3 iterations.
+CORPUS_SPEC = dict(
+    num_documents=40, vocabulary_size=100, num_topics=5, mean_document_length=30, seed=123
+)
+NUM_TOPICS = 6
+NUM_ITERATIONS = 3
+NUM_CHUNKS = 4
+TRAIN_SEED = 77
+
+#: Decimal places the trajectory is pinned to.  Well below any real
+#: statistical change, well above cross-platform libm jitter.
+LL_DECIMALS = 9
+
+
+def _run_training():
+    corpus = generate_lda_corpus(**CORPUS_SPEC)
+    config = SaberLDAConfig.paper_defaults(
+        NUM_TOPICS, num_iterations=NUM_ITERATIONS, num_chunks=NUM_CHUNKS, seed=TRAIN_SEED
+    )
+    result = train_saberlda(
+        corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size, config
+    )
+    return corpus, config, result
+
+
+def _snapshot(result) -> dict:
+    counts = np.asarray(result.model.word_topic_counts, dtype=np.int64)
+    return {
+        "format": "saberlda-golden-run",
+        "corpus": CORPUS_SPEC,
+        "num_topics": NUM_TOPICS,
+        "num_iterations": NUM_ITERATIONS,
+        "num_chunks": NUM_CHUNKS,
+        "train_seed": TRAIN_SEED,
+        "log_likelihood_per_token": [
+            round(record.log_likelihood_per_token, LL_DECIMALS)
+            for record in result.history
+        ],
+        "word_topic_digest": word_topic_digest(counts),
+        "total_count": int(counts.sum()),
+        "nonzero_entries": int((counts > 0).sum()),
+    }
+
+
+def regenerate() -> str:
+    """Rewrite the golden file from a fresh run (intentional changes only)."""
+    _corpus, _config, result = _run_training()
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(_snapshot(result), handle, indent=2)
+        handle.write("\n")
+    return GOLDEN_PATH
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    if not os.path.exists(GOLDEN_PATH):
+        pytest.fail(
+            f"golden file missing: {GOLDEN_PATH}; generate it with "
+            "`PYTHONPATH=src python tests/integration/test_golden_regression.py --regenerate`"
+        )
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def run():
+    return _run_training()
+
+
+class TestGoldenRun:
+    def test_log_likelihood_trajectory_unchanged(self, golden, run):
+        _corpus, _config, result = run
+        trajectory = [
+            round(record.log_likelihood_per_token, LL_DECIMALS)
+            for record in result.history
+        ]
+        assert trajectory == pytest.approx(
+            golden["log_likelihood_per_token"], abs=10**-LL_DECIMALS
+        )
+
+    def test_word_topic_digest_unchanged(self, golden, run):
+        _corpus, _config, result = run
+        assert word_topic_digest(result.model.word_topic_counts) == golden["word_topic_digest"]
+
+    def test_count_invariants_unchanged(self, golden, run):
+        corpus, _config, result = run
+        counts = np.asarray(result.model.word_topic_counts)
+        assert int(counts.sum()) == golden["total_count"] == corpus.num_tokens
+        assert int((counts > 0).sum()) == golden["nonzero_entries"]
+
+    def test_distributed_run_reproduces_the_golden_digest(self, golden):
+        """The data-parallel trainer is pinned to the same golden statistics."""
+        corpus = generate_lda_corpus(**CORPUS_SPEC)
+        config = SaberLDAConfig.paper_defaults(
+            NUM_TOPICS, num_iterations=NUM_ITERATIONS, num_chunks=NUM_CHUNKS, seed=TRAIN_SEED
+        )
+        result = train_distributed(
+            corpus.unassigned_copy(),
+            corpus.num_documents,
+            corpus.vocabulary_size,
+            config,
+            num_devices=2,
+        )
+        assert word_topic_digest(result.model.word_topic_counts) == golden["word_topic_digest"]
+        trajectory = [
+            round(record.log_likelihood_per_token, LL_DECIMALS)
+            for record in result.history
+        ]
+        assert trajectory == pytest.approx(
+            golden["log_likelihood_per_token"], abs=10**-LL_DECIMALS
+        )
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        print(f"wrote {regenerate()}")
+    else:
+        print(__doc__)

@@ -5,15 +5,12 @@ import pytest
 
 from repro.core import LDAHyperParams, count_by_word_topic, LDAModel
 from repro.core.serialization import load_model, save_model
-from repro.corpus import generate_lda_corpus
 from repro.corpus.io import read_uci_bag_of_words, write_uci_bag_of_words
 
 
 @pytest.fixture
-def corpus():
-    return generate_lda_corpus(
-        num_documents=40, vocabulary_size=80, num_topics=5, mean_document_length=25, seed=3
-    )
+def corpus(make_corpus):
+    return make_corpus(40, 80, 5, 25, 3)
 
 
 class TestUciBagOfWords:

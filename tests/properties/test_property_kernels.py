@@ -1,0 +1,234 @@
+"""Property tests: the warp kernel matches the functional E-step reference.
+
+The fixed-fixture tests in ``tests/saberlda/test_kernels.py`` pin the
+warp kernel on hand-picked rows; these properties sweep *random* corpora,
+topic counts and chunk layouts and assert the kernel still samples the
+exact target of Eq. 1 — the same target the vectorised
+``estep.esca_estep`` reference draws from.
+
+The core properties run as deterministic seeded fuzz loops (no external
+dependency); when ``hypothesis`` is installed an extra exploration layer
+searches the shape space adaptively.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import count_by_word_topic
+from repro.core.count_matrices import SparseDocTopicMatrix
+from repro.core.tokens import TokenList
+from repro.saberlda import (
+    SaberLDAConfig,
+    WarpWaryTree,
+    WordSide,
+    build_layout,
+    esca_estep,
+    gather_layout_tokens,
+    thread_sample_token,
+    warp_sample_token,
+)
+from repro.saberlda.config import TokenOrder
+from repro.sampling import XorShiftRNG, exact_token_distribution, word_prior_mass
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+# --------------------------------------------------------------------------- #
+# Random case construction
+# --------------------------------------------------------------------------- #
+def _random_token_case(seed: int):
+    """A random (doc row, word row, alpha) sampling problem."""
+    rng = np.random.default_rng(seed)
+    num_topics = int(rng.integers(2, 48))
+    nnz = int(rng.integers(0, min(num_topics, 40) + 1))
+    nz_indices = np.sort(rng.choice(num_topics, size=nnz, replace=False))
+    nz_counts = rng.integers(1, 12, size=nnz).astype(np.float64)
+    word_row = rng.random(num_topics) + 1e-4
+    word_row /= word_row.sum()
+    alpha = float(rng.uniform(0.05, 2.0))
+    return num_topics, nz_indices, nz_counts, word_row, alpha
+
+
+def _random_corpus(seed: int):
+    """A random small corpus with assigned topics, plus K and a chunk count."""
+    rng = np.random.default_rng(seed)
+    num_topics = int(rng.integers(3, 12))
+    num_documents = int(rng.integers(8, 30))
+    vocabulary_size = int(rng.integers(15, 60))
+    num_tokens = int(rng.integers(600, 1800))
+    doc_ids = np.sort(rng.integers(0, num_documents, size=num_tokens))
+    word_ids = rng.integers(0, vocabulary_size, size=num_tokens)
+    topics = rng.integers(0, num_topics, size=num_tokens)
+    tokens = TokenList(doc_ids.astype(np.int64), word_ids.astype(np.int64), topics.astype(np.int32))
+    num_chunks = int(rng.integers(1, 6))
+    return tokens, num_documents, vocabulary_size, num_topics, num_chunks
+
+
+def _total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def _check_warp_matches_exact(seed: int, num_draws: int = 3000) -> None:
+    """Empirical warp-kernel distribution vs the exact Eq. 1 target."""
+    num_topics, nz_indices, nz_counts, word_row, alpha = _random_token_case(seed)
+    tree = WarpWaryTree.build(word_row)
+    prior = word_prior_mass(word_row, alpha)
+    rng = XorShiftRNG(seed + 1)
+    draws = np.array(
+        [
+            warp_sample_token(nz_indices, nz_counts, word_row, tree, prior, rng)
+            for _ in range(num_draws)
+        ]
+    )
+    empirical = np.bincount(draws, minlength=num_topics) / num_draws
+    dense_row = np.zeros(num_topics)
+    dense_row[nz_indices] = nz_counts
+    expected = exact_token_distribution(dense_row, word_row, alpha)
+    assert _total_variation(empirical, expected) < 0.5 * np.sqrt(num_topics / num_draws) + 0.03
+
+
+# --------------------------------------------------------------------------- #
+# Seeded fuzz loops (always run)
+# --------------------------------------------------------------------------- #
+class TestWarpKernelMatchesExactTarget:
+    @pytest.mark.parametrize("seed", [11, 23, 37, 51, 68])
+    def test_random_rows_sample_the_exact_distribution(self, seed):
+        _check_warp_matches_exact(seed)
+
+    @pytest.mark.parametrize("seed", [5, 17, 29])
+    def test_warp_and_thread_kernels_agree_draw_by_draw(self, seed):
+        """Same RNG stream -> the two kernels take the same branch and pick.
+
+        The only admissible disagreements are floating-point knife edges
+        in the prefix-sum search, which random inputs hit almost never.
+        """
+        num_topics, nz_indices, nz_counts, word_row, alpha = _random_token_case(seed)
+        tree = WarpWaryTree.build(word_row)
+        prior = word_prior_mass(word_row, alpha)
+        draws = 800
+        warp = [
+            warp_sample_token(
+                nz_indices, nz_counts, word_row, tree, prior, XorShiftRNG(seed * 1000 + i)
+            )
+            for i in range(draws)
+        ]
+        thread = [
+            thread_sample_token(
+                nz_indices, nz_counts, word_row, tree, prior, XorShiftRNG(seed * 1000 + i)
+            )
+            for i in range(draws)
+        ]
+        agreement = np.mean(np.array(warp) == np.array(thread))
+        assert agreement > 0.995
+
+
+class TestKernelMatchesEstepOnRandomCorpora:
+    """Corpus-level: a warp-kernel E-step and ``esca_estep`` draw from one target."""
+
+    @pytest.mark.parametrize("seed", [3, 41, 97])
+    def test_aggregate_topic_counts_match_reference(self, seed):
+        tokens, num_documents, vocabulary_size, num_topics, num_chunks = _random_corpus(seed)
+        config = SaberLDAConfig.paper_defaults(num_topics, num_chunks=num_chunks)
+        layouts = build_layout(tokens, num_documents, config)
+        ordered = gather_layout_tokens(layouts)
+
+        doc_topic = SparseDocTopicMatrix.from_tokens(ordered, num_documents, num_topics)
+        word_topic = count_by_word_topic(ordered, vocabulary_size, num_topics)
+        word_side = WordSide.prepare(word_topic, config.params.alpha, config.params.beta)
+        dense_doc = doc_topic.to_dense()
+
+        # The exact aggregate target: sum of every token's Eq. 1 distribution.
+        expected = np.zeros(num_topics)
+        for doc_id, word_id, _topic in ordered:
+            expected += exact_token_distribution(
+                dense_doc[doc_id], word_side.probs[word_id], config.params.alpha
+            )
+        expected /= ordered.num_tokens
+
+        # Warp-kernel E-step over the laid-out corpus.
+        trees = {}
+        xrng = XorShiftRNG(seed + 7)
+        warp_counts = np.zeros(num_topics)
+        for doc_id, word_id, _topic in ordered:
+            if word_id not in trees:
+                trees[word_id] = WarpWaryTree.build(word_side.probs[word_id])
+            nz_topics, nz_values = doc_topic.row(doc_id)
+            picked = warp_sample_token(
+                nz_topics,
+                nz_values,
+                word_side.probs[word_id],
+                trees[word_id],
+                float(word_side.prior_mass[word_id]),
+                xrng,
+            )
+            warp_counts[picked] += 1
+        warp_dist = warp_counts / ordered.num_tokens
+
+        # Functional reference E-step on the same frozen state.
+        reference = esca_estep(
+            ordered, doc_topic, word_side, np.random.default_rng(seed + 7)
+        )
+        reference_dist = (
+            np.bincount(reference.new_topics, minlength=num_topics) / ordered.num_tokens
+        )
+
+        noise = 0.5 * np.sqrt(2.0 * num_topics / ordered.num_tokens)
+        assert _total_variation(warp_dist, expected) < noise + 0.03
+        assert _total_variation(reference_dist, expected) < noise + 0.03
+        assert _total_variation(warp_dist, reference_dist) < 2 * noise + 0.03
+
+    @pytest.mark.parametrize("seed", [13, 59])
+    @pytest.mark.parametrize("order", [TokenOrder.WORD_MAJOR, TokenOrder.DOC_MAJOR])
+    def test_layout_does_not_change_the_estep_statistics(self, seed, order):
+        """Chunking/ordering permutes tokens; the frozen-state target is invariant."""
+        tokens, num_documents, vocabulary_size, num_topics, _ = _random_corpus(seed)
+        config = SaberLDAConfig.paper_defaults(num_topics, token_order=order)
+        single = build_layout(tokens.copy(), num_documents, config)
+        chunked = build_layout(
+            tokens.copy(), num_documents, config.with_overrides(num_chunks=4)
+        )
+
+        results = []
+        for layouts in (single, chunked):
+            ordered = gather_layout_tokens(layouts)
+            doc_topic = SparseDocTopicMatrix.from_tokens(ordered, num_documents, num_topics)
+            word_topic = count_by_word_topic(ordered, vocabulary_size, num_topics)
+            word_side = WordSide.prepare(word_topic, config.params.alpha, config.params.beta)
+            result = esca_estep(
+                ordered, doc_topic, word_side, np.random.default_rng(seed)
+            )
+            results.append(
+                np.bincount(result.new_topics, minlength=num_topics) / ordered.num_tokens
+            )
+        noise = 0.5 * np.sqrt(2.0 * num_topics / tokens.num_tokens)
+        assert _total_variation(results[0], results[1]) < 2 * noise + 0.03
+
+
+# --------------------------------------------------------------------------- #
+# Hypothesis exploration layer (runs when hypothesis is installed)
+# --------------------------------------------------------------------------- #
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+class TestHypothesisExploration:
+    if HAVE_HYPOTHESIS:
+
+        @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+        @settings(max_examples=12, deadline=None, derandomize=True)
+        def test_warp_kernel_matches_exact_target(self, seed):
+            _check_warp_matches_exact(seed, num_draws=2000)
+
+        @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+        @settings(max_examples=8, deadline=None, derandomize=True)
+        def test_layout_preserves_token_multiset(self, seed):
+            tokens, num_documents, _v, num_topics, num_chunks = _random_corpus(seed)
+            config = SaberLDAConfig.paper_defaults(num_topics, num_chunks=num_chunks)
+            layouts = build_layout(tokens, num_documents, config)
+            ordered = gather_layout_tokens(layouts)
+            assert ordered.num_tokens == tokens.num_tokens
+            original = sorted(zip(tokens.doc_ids, tokens.word_ids, tokens.topics))
+            laid_out = sorted(zip(ordered.doc_ids, ordered.word_ids, ordered.topics))
+            assert original == laid_out

@@ -8,6 +8,11 @@ from repro.saberlda import SaberLDAConfig, SaberLDATrainer, run_ablation, train_
 
 
 @pytest.fixture(scope="module")
+def small_corpus_module(make_corpus):
+    return make_corpus(60, 150, 6, 40, 7)
+
+
+@pytest.fixture(scope="module")
 def trained(small_corpus_module):
     corpus = small_corpus_module
     config = SaberLDAConfig.paper_defaults(
@@ -17,15 +22,6 @@ def trained(small_corpus_module):
         corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size, config
     )
     return corpus, config, result
-
-
-@pytest.fixture(scope="module")
-def small_corpus_module():
-    from repro.corpus import generate_lda_corpus
-
-    return generate_lda_corpus(
-        num_documents=60, vocabulary_size=150, num_topics=6, mean_document_length=40, seed=7
-    )
 
 
 class TestTrainingResult:
