@@ -15,13 +15,12 @@ Three micro-ablations back the design rationale:
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import emit_report, format_table
 from repro.core import SparseDocTopicMatrix
 from repro.corpus import generate_zipf_corpus, nytimes_replica, partition_by_document
 from repro.gpusim import GTX_1080, DivergenceTracker
-from repro.sampling import AliasTable, FenwickTree
+from repro.sampling import AliasTable
 from repro.saberlda import (
     TokenOrder,
     WarpWaryTree,

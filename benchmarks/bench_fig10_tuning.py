@@ -7,7 +7,6 @@ NYTimes with K in {1000, 3000, 5000}:
 * (c) throughput versus the threads per block T in {32 ... 1024}.
 """
 
-import pytest
 
 from repro.bench import emit_report, format_table
 from repro.corpus import NYTIMES

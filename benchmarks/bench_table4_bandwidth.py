@@ -9,7 +9,7 @@ NYTimes scale.
 
 import pytest
 
-from repro.bench import comparison_row, emit_report, format_table
+from repro.bench import emit_report, format_table
 from repro.corpus import NYTIMES
 from repro.gpusim import GTX_1080, CostModel, PHASE_SAMPLING
 from repro.saberlda import SaberLDAConfig, WorkloadStats

@@ -27,8 +27,10 @@ from .core import (
     TokenList,
 )
 from .distributed import (
+    PARALLELISM_MODES,
     DistributedTrainer,
     DistributedTrainingResult,
+    TopicShardPlan,
     train_distributed,
 )
 from .saberlda import SaberLDAConfig, SaberLDATrainer, TrainingResult, train_saberlda
@@ -41,10 +43,12 @@ __all__ = [
     "LDAHyperParams",
     "LDAModel",
     "LikelihoodResult",
+    "PARALLELISM_MODES",
     "SaberLDAConfig",
     "SaberLDATrainer",
     "SparseDocTopicMatrix",
     "TokenList",
+    "TopicShardPlan",
     "TrainingResult",
     "train_distributed",
     "train_saberlda",

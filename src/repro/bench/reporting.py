@@ -10,7 +10,7 @@ latest run.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Sequence
+from typing import Iterable, List, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:

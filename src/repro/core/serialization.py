@@ -5,11 +5,14 @@ Two formats are supported:
 * a single archive (:func:`save_model` / :func:`load_model`), and
 * a *sharded* checkpoint (:func:`save_sharded_model` /
   :func:`load_sharded_model`): the word-topic count matrix is split into
-  contiguous vocabulary-row shards, one archive per shard, next to a JSON
-  manifest holding the hyper-parameters, the shard table and a digest of
-  the full matrix.  Data-parallel runs write one shard per device without
-  gathering ``B`` on a single host, and loading verifies the digest so a
-  missing or stale shard cannot reassemble silently.
+  contiguous shards — vocabulary rows (``axis="rows"``, the data-parallel
+  layout) or topic columns (``axis="columns"``, matching the
+  :class:`~repro.distributed.shard.TopicShardPlan` of model-parallel
+  runs) — one archive per shard, next to a JSON manifest holding the
+  hyper-parameters, the shard table and a digest of the full matrix.
+  Multi-device runs write one shard per device without gathering ``B`` on
+  a single host, and loading verifies the digest so a missing or stale
+  shard cannot reassemble silently.
 """
 
 from __future__ import annotations
@@ -94,42 +97,56 @@ def _manifest_path(base: str) -> str:
     return base + ".manifest.json"
 
 
-def save_sharded_model(model: LDAModel, path: str, num_shards: int) -> str:
-    """Save ``model`` as ``num_shards`` vocabulary-row shards plus a manifest.
+def save_sharded_model(
+    model: LDAModel, path: str, num_shards: int, axis: str = "rows"
+) -> str:
+    """Save ``model`` as ``num_shards`` contiguous shards plus a manifest.
 
-    ``path`` is the checkpoint base name: the shards are written to
-    ``<path>.shardNNN.npz`` and the manifest to ``<path>.manifest.json``.
-    Returns the manifest path.
+    ``axis`` selects the split: ``"rows"`` shards the vocabulary rows of
+    the word-topic matrix (one shard per device of a data-parallel run),
+    ``"columns"`` shards the topic columns (one shard per device of a
+    topic-sharded run, matching its
+    :class:`~repro.distributed.shard.TopicShardPlan` so no device ever
+    materialises the full matrix).  ``path`` is the checkpoint base name:
+    the shards are written to ``<path>.shardNNN.npz`` and the manifest to
+    ``<path>.manifest.json``.  Returns the manifest path.
     """
     if num_shards < 1:
         raise ValueError("num_shards must be >= 1")
+    if axis not in ("rows", "columns"):
+        raise ValueError(f'axis must be "rows" or "columns", got {axis!r}')
     counts = np.asarray(model.word_topic_counts)
-    vocabulary_size = counts.shape[0]
-    num_shards = min(num_shards, max(vocabulary_size, 1))
-    boundaries = np.linspace(0, vocabulary_size, num_shards + 1).astype(np.int64)
+    vocabulary_size, num_topics = counts.shape
+    extent = vocabulary_size if axis == "rows" else num_topics
+    num_shards = min(num_shards, max(extent, 1))
+    boundaries = np.linspace(0, extent, num_shards + 1).astype(np.int64)
 
     shard_table: List[dict] = []
     for shard_id in range(num_shards):
-        row_start, row_stop = int(boundaries[shard_id]), int(boundaries[shard_id + 1])
+        start, stop = int(boundaries[shard_id]), int(boundaries[shard_id + 1])
         shard_file = _shard_path(path, shard_id)
+        block = counts[start:stop] if axis == "rows" else counts[:, start:stop]
+        bounds_keys = (
+            ("row_start", "row_stop") if axis == "rows" else ("col_start", "col_stop")
+        )
         np.savez_compressed(
             shard_file,
-            word_topic_counts=counts[row_start:row_stop],
-            row_start=np.array(row_start),
-            row_stop=np.array(row_stop),
+            word_topic_counts=block,
+            **{bounds_keys[0]: np.array(start), bounds_keys[1]: np.array(stop)},
         )
         shard_table.append(
             {
                 "shard_id": shard_id,
                 "file": os.path.basename(shard_file),
-                "row_start": row_start,
-                "row_stop": row_stop,
+                bounds_keys[0]: start,
+                bounds_keys[1]: stop,
             }
         )
 
     manifest = {
         "format": "saberlda-sharded-checkpoint",
-        "version": 1,
+        "version": 2,
+        "axis": axis,
         "num_shards": num_shards,
         "vocabulary_size": vocabulary_size,
         "num_topics": model.params.num_topics,
@@ -150,8 +167,10 @@ def load_sharded_model(path: str) -> LDAModel:
     """Reassemble a model written by :func:`save_sharded_model`.
 
     ``path`` is either the checkpoint base name or the manifest path.
-    Raises ``ValueError`` when a shard is missing, covers the wrong rows,
-    or the reassembled matrix does not match the manifest digest.
+    Both shard axes are handled (``axis`` in the manifest; version-1
+    manifests predate column shards and default to rows).  Raises
+    ``ValueError`` when a shard is missing, covers the wrong rows or
+    columns, or the reassembled matrix does not match the manifest digest.
     """
     manifest_file = path if path.endswith(".manifest.json") else _manifest_path(path)
     base = manifest_file[: -len(".manifest.json")]
@@ -159,28 +178,42 @@ def load_sharded_model(path: str) -> LDAModel:
         manifest = json.load(handle)
     if manifest.get("format") != "saberlda-sharded-checkpoint":
         raise ValueError(f"{manifest_file!r} is not a sharded SaberLDA checkpoint")
+    axis = manifest.get("axis", "rows")
+    if axis not in ("rows", "columns"):
+        raise ValueError(f"unknown checkpoint shard axis {axis!r}")
 
     vocabulary_size = int(manifest["vocabulary_size"])
     num_topics = int(manifest["num_topics"])
     counts = np.zeros((vocabulary_size, num_topics), dtype=np.int64)
-    covered = np.zeros(vocabulary_size, dtype=bool)
+    extent = vocabulary_size if axis == "rows" else num_topics
+    start_key, stop_key = (
+        ("row_start", "row_stop") if axis == "rows" else ("col_start", "col_stop")
+    )
+    covered = np.zeros(extent, dtype=bool)
     directory = os.path.dirname(base)
     for entry in manifest["shards"]:
         shard_file = os.path.join(directory, entry["file"]) if directory else entry["file"]
         if not os.path.exists(shard_file):
             raise ValueError(f"missing checkpoint shard {shard_file!r}")
         with np.load(shard_file) as archive:
-            row_start = int(archive["row_start"])
-            row_stop = int(archive["row_stop"])
-            if (row_start, row_stop) != (entry["row_start"], entry["row_stop"]):
+            start = int(archive[start_key])
+            stop = int(archive[stop_key])
+            if (start, stop) != (entry[start_key], entry[stop_key]):
                 raise ValueError(
-                    f"shard {entry['shard_id']} covers rows [{row_start}, {row_stop}) "
-                    f"but the manifest expects [{entry['row_start']}, {entry['row_stop']})"
+                    f"shard {entry['shard_id']} covers {axis} [{start}, {stop}) "
+                    f"but the manifest expects "
+                    f"[{entry[start_key]}, {entry[stop_key]})"
                 )
-            counts[row_start:row_stop] = archive["word_topic_counts"]
-            covered[row_start:row_stop] = True
+            if axis == "rows":
+                counts[start:stop] = archive["word_topic_counts"]
+            else:
+                counts[:, start:stop] = archive["word_topic_counts"]
+            covered[start:stop] = True
     if not covered.all():
-        raise ValueError("checkpoint shards do not cover the full vocabulary")
+        raise ValueError(
+            "checkpoint shards do not cover the full "
+            + ("vocabulary" if axis == "rows" else "topic range")
+        )
     digest = word_topic_digest(counts)
     if digest != manifest["digest"]:
         raise ValueError(

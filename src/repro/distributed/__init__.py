@@ -1,45 +1,84 @@
-"""repro.distributed — data-parallel SaberLDA across a simulated device pool.
+"""repro.distributed — multi-device SaberLDA across a simulated device pool.
 
 SaberLDA as published is a single-GPU system; this subsystem scales the
-reproduction past the paper by running the ESCA iteration data-parallel
-over ``N`` simulated devices.  The design has three layers:
+reproduction past the paper by running the ESCA iteration over ``N``
+simulated devices.  The design has three layers:
 
-**Sharding** (:mod:`~repro.distributed.shard`).  The unit of distribution
-is the PDOW chunk from ``saberlda.layout``: a chunk owns a contiguous
-document range, its tokens and the matching rows of the document-topic
-matrix ``A``, so whole chunks move to devices without splitting any
-per-document state.  :class:`ShardPlanner` packs chunks onto devices with
-a longest-processing-time greedy (largest chunk to the lightest device),
-bounding the token imbalance by the largest single chunk even for
-Zipf-skewed chunk sizes.
+**Sharding** (:mod:`~repro.distributed.shard`).  Two orthogonal plans:
 
-**All-reduce of B** (:mod:`~repro.distributed.allreduce`).  The only
-cross-device state is the word-topic count matrix ``B``: each device
-counts ``B_d`` from its shard during the M-step and the global matrix is
-``B = sum_d B_d`` — exact, because the counts are integers.  The *cost*
-of the merge follows the bandwidth-optimal ring all-reduce
-(reduce-scatter + all-gather): ``2(N-1)`` steps of ``|B|/N`` bytes, each
-charged on the pool's :class:`~repro.gpusim.streams.InterconnectSpec`
-with the alpha-beta model, via
-:meth:`~repro.gpusim.cost_model.CostModel.ring_allreduce_seconds`.  Under
-the asynchronous streaming schedule the reduce-scatter half overlaps the
-E-step tail (devices finish distinct words at different times), so only
-part of the collective is exposed.
+* *data*: the unit of distribution is the PDOW chunk from
+  ``saberlda.layout`` — a chunk owns a contiguous document range, its
+  tokens and the matching rows of the document-topic matrix ``A``, so
+  whole chunks move to devices without splitting any per-document state.
+  :class:`ShardPlanner` packs chunks onto devices with a
+  longest-processing-time greedy (largest chunk to the lightest device),
+  bounding the token imbalance by the largest single chunk even for
+  Zipf-skewed chunk sizes.
+* *model*: :class:`TopicShardPlan` partitions the ``K`` topic columns of
+  the word-topic matrix ``B`` into contiguous near-equal blocks, one
+  owner per block, so a device stores and pre-processes only its
+  ``~K/N`` slice — the capacity lever for ``K`` in the hundreds of
+  thousands, where replicating ``V x K`` stops fitting a single device.
+
+**Collectives** (:mod:`~repro.distributed.allreduce`).  The only
+cross-device state is ``B``: each device counts a partial ``B_d`` during
+the M-step and the global matrix is ``B = sum_d B_d`` — exact, because
+the counts are integers.  Replicated runs merge with the
+bandwidth-optimal ring all-reduce (:class:`RingAllReduce`,
+``2(N-1)`` steps of ``|B|/N`` bytes); topic-sharded runs route each
+partial column block to its owner with an all-to-all (:class:`AllToAll`,
+``N-1`` pairwise rounds of ``|B|/N`` bytes).  Both charge the pool's
+:class:`~repro.gpusim.streams.InterconnectSpec` with the alpha-beta
+model, and under the asynchronous streaming schedule part of the
+collective hides behind the E-step tail — the window derived from the
+word-completion times of :mod:`repro.saberlda.scheduling`.
 
 **Bulk-synchronous training** (:mod:`~repro.distributed.trainer`).
 Because ESCA freezes ``A`` and ``B̂`` during the E-step, resampling order
 is statistically irrelevant; :class:`DistributedTrainer` exploits this by
 executing the chunk mathematics in global stream order with a single RNG
 stream — making the ``N``-device run *bit-identical* to the sequential
-trainer at the same seed — while attributing each chunk's simulated cost
-to its owning device.  An iteration costs
-``max_d(shard phases) + exposed all-reduce``; per-device phase timings,
-balance efficiency and strong-scaling curves fall out of the records.
+trainer at the same seed in **every** parallelism mode — while
+attributing each device's simulated cost per the mode.  An iteration
+costs ``max_d(shard phases) + exposed collective``.
+
+Choosing a ``parallelism`` mode (:class:`DistributedTrainer`):
+
+================  ==========  ============  ==============  ===========================
+mode              sampling    preprocess    per-device B    collective
+================  ==========  ============  ==============  ===========================
+``"data"``        ``T/N · K`` ``V·K`` (replicated) ``V·K``  ring all-reduce
+``"topic"``       ``T · K/N`` ``V·K/N``     ``V·K/N``       all-to-all
+``"hybrid"``      ``T/N · K`` ``V·K/N``     ``V·K/N``       all-to-all
+================  ==========  ============  ==============  ===========================
+
+Rules of thumb: ``"data"`` when ``B`` fits every device (fastest
+sampling split, replicated pre-processing); ``"topic"`` when ``K`` is so
+large that even one device's *sampling* working set must shrink (few
+documents, huge models); ``"hybrid"`` for the common large-``K`` regime —
+data-parallel sampling speed with model-parallel memory and
+pre-processing, which strictly dominates ``"data"`` once the replicated
+``V x K`` pre-processing or footprint binds.
 """
 
-from .allreduce import AllReduceCost, RingAllReduce, exposed_allreduce_seconds
-from .shard import DeviceShard, ShardPlan, ShardPlanner, build_sharded_layout
+from .allreduce import (
+    AllReduceCost,
+    AllToAll,
+    AllToAllCost,
+    RingAllReduce,
+    exposed_allreduce_seconds,
+)
+from .shard import (
+    DeviceShard,
+    ShardPlan,
+    ShardPlanner,
+    TopicShard,
+    TopicShardPlan,
+    build_sharded_layout,
+    plan_topic_shards,
+)
 from .trainer import (
+    PARALLELISM_MODES,
     DistributedIterationRecord,
     DistributedTrainer,
     DistributedTrainingResult,
@@ -50,16 +89,22 @@ from .trainer import (
 
 __all__ = [
     "AllReduceCost",
+    "AllToAll",
+    "AllToAllCost",
     "DeviceShard",
     "DistributedIterationRecord",
     "DistributedTrainer",
     "DistributedTrainingResult",
+    "PARALLELISM_MODES",
     "RingAllReduce",
     "ScalingPoint",
     "ShardPlan",
     "ShardPlanner",
+    "TopicShard",
+    "TopicShardPlan",
     "build_sharded_layout",
     "exposed_allreduce_seconds",
     "measure_scaling",
+    "plan_topic_shards",
     "train_distributed",
 ]

@@ -58,20 +58,48 @@ class RingAllReduce:
 
         All arrays must share one shape; the result dtype follows NumPy's
         promotion of the inputs, which for the int64 count matrices keeps
-        the merge exact.
+        the merge exact.  The accumulator is promoted once and then summed
+        in place — merging ``N`` device-sized matrices must not allocate
+        ``N`` temporaries.  Integer merges are checked against the
+        declared wire width (:attr:`element_bytes`): a count that no
+        longer fits the int32 wire format would make the simulated cost a
+        lie, so it raises instead of truncating silently.
         """
         if len(arrays) == 0:
             raise ValueError("reduce needs at least one array")
         first = np.asarray(arrays[0])
-        merged = first.copy()
+        dtype = np.result_type(*(np.asarray(array).dtype for array in arrays))
+        if np.issubdtype(dtype, np.integer):
+            # Accumulate integers wider than the wire so the sum itself
+            # cannot wrap before the range check sees it (int32 partials
+            # must not silently overflow an int32 accumulator).
+            dtype = np.result_type(dtype, np.int64)
+        merged = first.astype(dtype, copy=True)
         for array in arrays[1:]:
             array = np.asarray(array)
             if array.shape != first.shape:
                 raise ValueError(
                     f"shape mismatch in all-reduce: {array.shape} != {first.shape}"
                 )
-            merged = merged + array
+            np.add(merged, array, out=merged)
+        self._check_wire_range(merged)
         return merged
+
+    def _check_wire_range(self, merged: np.ndarray) -> None:
+        """Reject merged counts that overflow the declared integer wire format."""
+        if not np.issubdtype(merged.dtype, np.integer) or merged.size == 0:
+            return
+        wire_dtype = np.dtype(f"int{self.element_bytes * 8}")
+        if merged.dtype.itemsize < wire_dtype.itemsize:
+            return
+        info = np.iinfo(wire_dtype)
+        low, high = int(merged.min()), int(merged.max())
+        if low < info.min or high > info.max:
+            raise OverflowError(
+                f"merged count range [{low}, {high}] overflows the declared "
+                f"{wire_dtype.name} wire format of the collective; use a wider "
+                f"element_bytes or shard the counts"
+            )
 
     def cost(self, num_elements: int, num_devices: int) -> AllReduceCost:
         """Ring cost of all-reducing ``num_elements`` across ``num_devices``."""
@@ -95,8 +123,73 @@ class RingAllReduce:
         return merged, cost
 
 
+@dataclass(frozen=True)
+class AllToAllCost:
+    """Simulated cost of one all-to-all exchange of per-topic statistics."""
+
+    seconds: float
+    bytes_per_device: float
+    wire_bytes_per_device: float
+    num_rounds: int
+
+
+@dataclass
+class AllToAll:
+    """Exchange of per-topic sufficient statistics under a topic-sharded ``B``.
+
+    Under model parallelism every device's E-step pass produces partial
+    word-topic counts spanning *all* columns (the doc-side branch lands on
+    arbitrary topics), while device ``m`` is the sole owner of the columns
+    in its :class:`~repro.distributed.shard.TopicShardPlan` slice.  The
+    all-to-all routes each partial column block to its owner, after which
+    owner ``m`` holds the fully merged ``B[:, start_m:stop_m]`` — no ring
+    pass over the full matrix is ever needed.
+
+    As with the ring, *correctness* is an exact integer sum (with the same
+    wire-format overflow guard) and *time* is what the simulation charges:
+    ``N - 1`` pairwise rounds of ``|B| / N`` bytes on the alpha-beta link
+    (:meth:`~repro.gpusim.cost_model.CostModel.alltoall_seconds`).
+    """
+
+    link: InterconnectSpec
+    element_bytes: int = 4
+
+    def exchange(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        """Merge the per-device partial count matrices (the correctness model).
+
+        The merged matrix is the concatenation over owners of the summed
+        column blocks — which is exactly the elementwise sum of the full
+        partials, so the merge delegates to :meth:`RingAllReduce.reduce`
+        (in-place accumulation and the overflow guard included).
+        """
+        return RingAllReduce(
+            link=self.link, element_bytes=self.element_bytes
+        ).reduce(arrays)
+
+    def cost(self, num_elements: int, num_devices: int) -> AllToAllCost:
+        """Cost of redistributing ``num_elements`` per device across the pool."""
+        if num_elements < 0:
+            raise ValueError("num_elements must be >= 0")
+        num_bytes = float(num_elements) * self.element_bytes
+        seconds = CostModel.alltoall_seconds(num_bytes, num_devices, self.link)
+        rounds = 0 if num_devices <= 1 else num_devices - 1
+        wire = 0.0 if num_devices <= 1 else rounds * num_bytes / num_devices
+        return AllToAllCost(
+            seconds=seconds,
+            bytes_per_device=num_bytes,
+            wire_bytes_per_device=wire,
+            num_rounds=rounds,
+        )
+
+    def exchange_with_cost(self, arrays: Sequence[np.ndarray]) -> tuple:
+        """Merge the partials and cost the exchange in one call."""
+        merged = self.exchange(arrays)
+        cost = self.cost(int(merged.size), len(arrays))
+        return merged, cost
+
+
 def exposed_allreduce_seconds(
-    cost: AllReduceCost, overlap_window_seconds: float, overlappable: bool
+    cost, overlap_window_seconds: float, overlappable: bool
 ) -> float:
     """Exposed (non-hidden) time of the collective.
 
@@ -106,6 +199,11 @@ def exposed_allreduce_seconds(
     all-gather needs every segment fully reduced, which only happens after
     the E-step barrier, so it is always exposed.  The bulk-synchronous
     schedule exposes everything.
+
+    ``cost`` is any collective cost carrying ``.seconds`` —
+    :class:`AllReduceCost` or :class:`AllToAllCost`; for the all-to-all
+    the "half" is the send side (column blocks of finished words leave
+    early) while the merge of received blocks waits for the barrier.
     """
     if overlap_window_seconds < 0:
         raise ValueError("overlap_window_seconds must be >= 0")

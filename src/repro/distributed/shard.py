@@ -11,12 +11,20 @@ one device with most of the corpus.  :class:`ShardPlanner` therefore uses
 longest-processing-time (LPT) greedy packing: chunks are placed largest
 first onto the currently lightest device, which bounds the token
 imbalance by the largest single chunk.
+
+The module also holds the *model-parallel* counterpart:
+:class:`TopicShardPlan` partitions the ``K`` topic columns of the
+word-topic matrix ``B`` across the pool (contiguous near-equal blocks,
+:func:`plan_topic_shards`), so that for very large ``K`` no device ever
+stores — or pre-processes — more than its ``~K/N`` column slice.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
+
+import numpy as np
 
 from ..core.tokens import TokenList
 from ..saberlda.config import SaberLDAConfig
@@ -78,12 +86,37 @@ class ShardPlan:
         return int(max(shard.num_tokens for shard in self.shards))
 
     @property
+    def num_empty_devices(self) -> int:
+        """Devices that received no chunks (possible when chunks < devices)."""
+        return sum(1 for shard in self.shards if shard.num_chunks == 0)
+
+    @property
+    def num_active_devices(self) -> int:
+        """Devices that received at least one chunk."""
+        return self.num_devices - self.num_empty_devices
+
+    @property
     def token_imbalance(self) -> float:
-        """Relative overload of the heaviest shard versus a perfect split."""
+        """Relative overload of the heaviest shard versus a perfect split.
+
+        The ideal split is taken over the *non-empty* shards: with fewer
+        chunks than devices no planner can populate every device, and
+        counting the unavoidably idle ones would overstate the imbalance
+        of an otherwise perfect packing.  Degenerate plans are visible
+        through :attr:`num_empty_devices` instead.
+        """
         if self.total_tokens == 0:
             return 0.0
-        ideal = self.total_tokens / self.num_devices
+        ideal = self.total_tokens / self.num_active_devices
         return self.max_shard_tokens / ideal - 1.0
+
+    @property
+    def balance_efficiency(self) -> float:
+        """Mean non-empty shard load over the heaviest (1.0 = perfectly balanced)."""
+        if self.max_shard_tokens == 0:
+            return 1.0
+        mean_tokens = self.total_tokens / self.num_active_devices
+        return mean_tokens / self.max_shard_tokens
 
     def device_of_chunk(self) -> Dict[int, int]:
         """Mapping ``chunk index -> device id``."""
@@ -130,6 +163,133 @@ class ShardPlanner:
     def plan_layouts(self, layouts: Sequence[ChunkLayout], num_devices: int) -> ShardPlan:
         """Plan directly from laid-out chunks."""
         return self.plan([layout.num_tokens for layout in layouts], num_devices)
+
+
+@dataclass(frozen=True)
+class TopicShard:
+    """The contiguous block of topic columns one device owns.
+
+    Attributes
+    ----------
+    device_id:
+        Position of the owning device in the pool.
+    topic_start / topic_stop:
+        Half-open column range ``[topic_start, topic_stop)`` of ``B``.
+    """
+
+    device_id: int
+    topic_start: int
+    topic_stop: int
+
+    @property
+    def num_topics(self) -> int:
+        """Number of topic columns in this shard."""
+        return self.topic_stop - self.topic_start
+
+
+@dataclass(frozen=True)
+class TopicShardPlan:
+    """A partition of the ``K`` topic columns of ``B`` across a device pool.
+
+    Where :class:`ShardPlan` splits the *data* (chunks) and replicates the
+    model, this plan splits the *model*: device ``d`` stores and
+    pre-processes only the columns ``[topic_start_d, topic_stop_d)`` of
+    the word-topic matrix, so the per-device footprint of ``B`` (and of
+    ``B̂``, the W-ary trees and ``Q``) shrinks roughly ``1/N``.  Problem-2
+    draws are routed to the owning device and the per-topic sufficient
+    statistics are exchanged with an all-to-all
+    (:class:`~repro.distributed.allreduce.AllToAll`) instead of the ring.
+    """
+
+    shards: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shards", tuple(self.shards))
+        if not self.shards:
+            raise ValueError("a TopicShardPlan needs at least one shard")
+        position = 0
+        for shard in self.shards:
+            if shard.topic_start != position:
+                raise ValueError("topic shards must tile the columns contiguously")
+            if shard.num_topics < 0:
+                raise ValueError("topic shards must not have negative width")
+            position = shard.topic_stop
+
+    @property
+    def num_devices(self) -> int:
+        """Number of devices in the plan."""
+        return len(self.shards)
+
+    @property
+    def num_topics(self) -> int:
+        """Total number of topic columns covered by the plan."""
+        return self.shards[-1].topic_stop
+
+    @property
+    def shard_topic_counts(self) -> List[int]:
+        """Columns per device, in device order."""
+        return [shard.num_topics for shard in self.shards]
+
+    @property
+    def max_shard_topics(self) -> int:
+        """Columns of the widest shard (the per-device footprint driver)."""
+        return max(shard.num_topics for shard in self.shards)
+
+    @property
+    def num_empty_devices(self) -> int:
+        """Devices that own no columns (possible when K < devices)."""
+        return sum(1 for shard in self.shards if shard.num_topics == 0)
+
+    def columns_for_device(self, device_id: int) -> tuple:
+        """``(topic_start, topic_stop)`` of the given device."""
+        shard = self.shards[device_id]
+        return shard.topic_start, shard.topic_stop
+
+    def owner_of_topic(self, topic: int) -> int:
+        """Device id owning the given topic column."""
+        if not 0 <= topic < self.num_topics:
+            raise ValueError(f"topic {topic} outside [0, {self.num_topics})")
+        for shard in self.shards:
+            if shard.topic_start <= topic < shard.topic_stop:
+                return shard.device_id
+        raise ValueError(f"topic {topic} not covered by the plan")  # pragma: no cover
+
+    def model_bytes_per_device(
+        self, vocabulary_size: int, element_bytes: int = 4
+    ) -> List[float]:
+        """Bytes of the ``B`` slice each device stores."""
+        return [
+            float(vocabulary_size) * shard.num_topics * element_bytes
+            for shard in self.shards
+        ]
+
+    def max_model_bytes(self, vocabulary_size: int, element_bytes: int = 4) -> float:
+        """Largest per-device ``B`` slice — what must fit on one device."""
+        return float(vocabulary_size) * self.max_shard_topics * element_bytes
+
+
+def plan_topic_shards(num_topics: int, num_devices: int) -> TopicShardPlan:
+    """Split ``num_topics`` columns into ``num_devices`` contiguous near-equal shards.
+
+    The split mirrors the row boundaries of the sharded checkpoints
+    (``np.linspace`` rounding), so shard widths differ by at most one
+    column and the plan is deterministic.
+    """
+    if num_topics < 1:
+        raise ValueError("num_topics must be >= 1")
+    if num_devices < 1:
+        raise ValueError("num_devices must be >= 1")
+    boundaries = np.linspace(0, num_topics, num_devices + 1).astype(np.int64)
+    return TopicShardPlan(
+        shards=tuple(
+            TopicShard(
+                device_id=device_id,
+                topic_start=int(boundaries[device_id]),
+                topic_stop=int(boundaries[device_id + 1]),
+            )
+            for device_id in range(num_devices)
+        )
+    )
 
 
 def build_sharded_layout(

@@ -1,4 +1,4 @@
-"""Data-parallel SaberLDA training across a simulated device pool.
+"""Multi-device SaberLDA training across a simulated device pool.
 
 The distributed trainer runs the *same mathematics* as the single-device
 :class:`~repro.saberlda.trainer.SaberLDATrainer` — ESCA is bulk
@@ -6,16 +6,28 @@ synchronous, so resampling every chunk against the frozen ``A``/``B̂`` and
 merging the integer count matrices afterwards is order-independent and
 exact.  The trainer therefore iterates the chunk layouts in global stream
 order with one RNG stream (bit-identical to the sequential run at the
-same seed) while attributing each chunk's *cost* to the device that owns
-it under the :class:`~repro.distributed.shard.ShardPlan`:
+same seed) in every mode, while the *cost* attribution follows the
+selected ``parallelism``:
 
-* every device is charged the phases of its own shard (sampling, A
-  update, transfer) plus the replicated pre-processing of ``B̂``/``Q``
-  and the W-ary trees (the full matrix lives on every device);
-* the per-iteration barrier is the slowest device (BSP);
-* the word-topic counts are merged with a ring all-reduce whose cost
-  rides the pool's interconnect; under the asynchronous streaming
-  schedule the reduce-scatter half overlaps the E-step tail.
+* ``"data"`` — chunks are sharded (:class:`~repro.distributed.shard.ShardPlan`),
+  ``B`` is replicated: every device is charged the phases of its own
+  shard plus the replicated pre-processing of ``B̂``/``Q`` and the W-ary
+  trees, and the counts merge over a ring all-reduce;
+* ``"topic"`` — the ``K`` columns of ``B`` are sharded
+  (:class:`~repro.distributed.shard.TopicShardPlan`): every device scans
+  the full token stream but samples, stores and pre-processes only its
+  ``~K/N`` column slice (Problem-2 draws are routed to the owning
+  device), and the per-topic sufficient statistics are exchanged with an
+  all-to-all instead of the ring;
+* ``"hybrid"`` — both shardings at once: each device samples its own
+  chunk shard over the full ``K`` (routed draws), but stores and
+  pre-processes only its column slice, again merging via the all-to-all.
+
+In every case the per-iteration barrier is the slowest device (BSP), and
+under the asynchronous streaming schedule part of the collective hides
+behind the E-step tail — the overlap window is derived from the per-chunk
+word-completion times of :mod:`repro.saberlda.scheduling`, not a fixed
+fraction.
 """
 
 from __future__ import annotations
@@ -28,20 +40,24 @@ import numpy as np
 from ..core.count_matrices import SparseDocTopicMatrix, count_by_word_topic
 from ..core.model import LDAModel
 from ..core.tokens import TokenList
-from ..gpusim.profiler import PHASE_SAMPLING
+from ..gpusim.profiler import PHASE_PREPROCESSING, PHASE_SAMPLING
 from ..gpusim.streams import PCIE_P2P, DevicePool, InterconnectSpec
 from ..saberlda.config import SaberLDAConfig
 from ..saberlda.costing import WorkloadStats, _hot_token_fraction
 from ..saberlda.estep import WordSide, esca_estep
-from ..saberlda.layout import ChunkLayout, gather_layout_tokens
+from ..saberlda.layout import ChunkLayout, build_layout, gather_layout_tokens
 from ..saberlda.projection import cost_iteration_phases
+from ..saberlda.scheduling import allreduce_overlap_fraction
 from ..saberlda.trainer import (
     rebuild_doc_topic,
     sparse_training_likelihood,
     train_saberlda,
 )
-from .allreduce import RingAllReduce, exposed_allreduce_seconds
-from .shard import ShardPlan, build_sharded_layout
+from .allreduce import AllToAll, RingAllReduce, exposed_allreduce_seconds
+from .shard import ShardPlan, TopicShardPlan, build_sharded_layout, plan_topic_shards
+
+#: The supported cost-attribution modes of the distributed trainer.
+PARALLELISM_MODES = ("data", "topic", "hybrid")
 
 
 @dataclass
@@ -56,6 +72,20 @@ class DistributedIterationRecord:
     simulated_seconds: float
     cumulative_simulated_seconds: float
     log_likelihood_per_token: Optional[float]
+    #: Cost of the all-to-all exchange of per-topic sufficient statistics
+    #: (zero under pure data parallelism, where the ring merges ``B``).
+    alltoall_seconds: float = 0.0
+    exposed_alltoall_seconds: float = 0.0
+
+    @property
+    def collective_seconds(self) -> float:
+        """Total collective cost of the iteration (ring + all-to-all)."""
+        return self.allreduce_seconds + self.alltoall_seconds
+
+    @property
+    def exposed_collective_seconds(self) -> float:
+        """Exposed (non-overlapped) collective cost of the iteration."""
+        return self.exposed_allreduce_seconds + self.exposed_alltoall_seconds
 
     @property
     def barrier_seconds(self) -> float:
@@ -78,11 +108,13 @@ class DistributedTrainingResult:
     model: LDAModel
     doc_topic: SparseDocTopicMatrix
     history: List[DistributedIterationRecord]
-    plan: ShardPlan
+    plan: Optional[ShardPlan]
     pool: DevicePool
     config: SaberLDAConfig
     num_tokens: int
     wall_seconds: float
+    topic_plan: Optional[TopicShardPlan] = None
+    parallelism: str = "data"
 
     @property
     def num_devices(self) -> int:
@@ -110,14 +142,34 @@ class DistributedTrainingResult:
         return None
 
     def allreduce_share(self) -> float:
-        """Fraction of the simulated time spent in exposed all-reduce."""
+        """Fraction of the simulated time spent in exposed collectives."""
         if self.simulated_seconds <= 0:
             return 0.0
-        exposed = sum(record.exposed_allreduce_seconds for record in self.history)
+        exposed = sum(record.exposed_collective_seconds for record in self.history)
         return exposed / self.simulated_seconds
 
+    def alltoall_seconds_total(self) -> float:
+        """Total (pre-overlap) all-to-all cost over the run, separate from the ring."""
+        return sum(record.alltoall_seconds for record in self.history)
+
+    def ring_seconds_total(self) -> float:
+        """Total (pre-overlap) ring all-reduce cost over the run."""
+        return sum(record.allreduce_seconds for record in self.history)
+
+    def model_bytes_per_device(self, element_bytes: int = 4) -> float:
+        """Largest per-device footprint of ``B`` under the run's parallelism.
+
+        Replicated (data-parallel) runs hold the full ``V x K`` matrix on
+        every device; topic-sharded runs hold only the widest column
+        slice of the :class:`~repro.distributed.shard.TopicShardPlan`.
+        """
+        vocabulary_size, num_topics = self.model.word_topic_counts.shape
+        if self.topic_plan is not None:
+            return self.topic_plan.max_model_bytes(vocabulary_size, element_bytes)
+        return float(vocabulary_size) * num_topics * element_bytes
+
     def phase_breakdown(self) -> Dict[str, float]:
-        """Slowest-device seconds per phase over the run, plus the all-reduce."""
+        """Slowest-device seconds per phase over the run, plus the collectives."""
         totals: Dict[str, float] = {}
         for record in self.history:
             slowest = int(np.argmax(record.per_device_seconds))
@@ -125,6 +177,9 @@ class DistributedTrainingResult:
                 totals[phase] = totals.get(phase, 0.0) + seconds
             totals["allreduce"] = (
                 totals.get("allreduce", 0.0) + record.exposed_allreduce_seconds
+            )
+            totals["alltoall"] = (
+                totals.get("alltoall", 0.0) + record.exposed_alltoall_seconds
             )
         return totals
 
@@ -137,21 +192,37 @@ class DistributedTrainingResult:
 
 @dataclass
 class DistributedTrainer:
-    """Runs SaberLDA data-parallel on ``num_devices`` simulated devices.
+    """Runs SaberLDA on ``num_devices`` simulated devices.
 
     ``config.device`` is replicated into a homogeneous pool joined by
-    ``interconnect``.  Statistical results are bit-identical to
+    ``interconnect``; ``parallelism`` selects how work and model state are
+    split (see the module docstring and :data:`PARALLELISM_MODES`).
+    Statistical results are bit-identical to
     :class:`~repro.saberlda.trainer.SaberLDATrainer` run with the same
-    seed and the same (effective) chunk count.
+    seed and the same (effective) chunk count, in every mode.
     """
 
     config: SaberLDAConfig
     num_devices: int = 2
     interconnect: InterconnectSpec = field(default=PCIE_P2P)
+    parallelism: str = "data"
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
             raise ValueError("num_devices must be >= 1")
+        if self.parallelism not in PARALLELISM_MODES:
+            raise ValueError(
+                f"parallelism must be one of {PARALLELISM_MODES}, "
+                f"got {self.parallelism!r}"
+            )
+        if (
+            self.parallelism in ("topic", "hybrid")
+            and self.config.params.num_topics < self.num_devices
+        ):
+            raise ValueError(
+                "topic parallelism needs at least one topic column per device "
+                f"(K={self.config.params.num_topics} < {self.num_devices} devices)"
+            )
         self._rng = np.random.default_rng(self.config.seed)
 
     # ------------------------------------------------------------------ #
@@ -164,7 +235,7 @@ class DistributedTrainer:
         vocabulary_size: int,
         vocabulary=None,
     ) -> DistributedTrainingResult:
-        """Run the configured number of data-parallel iterations."""
+        """Run the configured number of multi-device iterations."""
         import time as _time
 
         wall_start = _time.perf_counter()
@@ -172,21 +243,50 @@ class DistributedTrainer:
         pool = DevicePool.homogeneous(
             self.config.device, self.num_devices, self.interconnect
         )
-        allreduce = RingAllReduce(link=self.interconnect)
+        ring = RingAllReduce(link=self.interconnect)
+        alltoall = AllToAll(link=self.interconnect)
 
-        # ------------- Layout, shard plan and initialisation ------------- #
+        # ------------- Layout, shard plans and initialisation ------------- #
         working_tokens = tokens.copy()
         if (working_tokens.topics < 0).any():
             working_tokens.randomize_topics(params.num_topics, self._rng)
-        layouts, plan, config = build_sharded_layout(
-            working_tokens, num_documents, self.config, self.num_devices
-        )
+        if self.parallelism == "topic":
+            # Pure model parallelism streams every chunk through every
+            # device, so the chunk count never needs raising for the pool.
+            layouts = build_layout(working_tokens, num_documents, self.config)
+            plan: Optional[ShardPlan] = None
+            config = self.config
+        else:
+            layouts, plan, config = build_sharded_layout(
+                working_tokens, num_documents, self.config, self.num_devices
+            )
+        topic_plan: Optional[TopicShardPlan] = None
+        if self.parallelism in ("topic", "hybrid"):
+            topic_plan = plan_topic_shards(params.num_topics, self.num_devices)
 
         doc_topic = self._rebuild_doc_topic(layouts, num_documents)
-        word_topic, _cost = self._merged_word_topic(
-            layouts, plan, vocabulary_size, allreduce
+        word_topic, _ring_cost, _a2a_cost = self._merged_word_topic(
+            layouts, plan, vocabulary_size, ring, alltoall
         )
         word_side = WordSide.prepare(word_topic, params.alpha, params.beta)
+
+        # The overlap window depends only on the word-run structure of each
+        # device's stream (words never move between chunks), so the
+        # per-device fractions are computed once, not per iteration.
+        num_processors = max(1, config.device.num_sms * 2)
+        if plan is None:
+            # Topic parallelism: every device scans the same full stream,
+            # so one fraction serves the whole pool.
+            overlap_fractions = [
+                allreduce_overlap_fraction(layouts, num_processors)
+            ] * self.num_devices
+        else:
+            overlap_fractions = [
+                allreduce_overlap_fraction(
+                    plan.layouts_for_device(layouts, device_id), num_processors
+                )
+                for device_id in range(self.num_devices)
+            ]
 
         history: List[DistributedIterationRecord] = []
         cumulative = 0.0
@@ -199,18 +299,16 @@ class DistributedTrainer:
 
             # ------------------------------- M-step ---------------------------------- #
             doc_topic = self._rebuild_doc_topic(layouts, num_documents)
-            word_topic, allreduce_cost = self._merged_word_topic(
-                layouts, plan, vocabulary_size, allreduce
+            word_topic, ring_cost, a2a_cost = self._merged_word_topic(
+                layouts, plan, vocabulary_size, ring, alltoall
             )
             word_side = WordSide.prepare(word_topic, params.alpha, params.beta)
 
             # --------------------------- Simulated timing ---------------------------- #
             per_device_phases = [
                 self._device_phase_seconds(
-                    plan.layouts_for_device(layouts, device_id),
-                    doc_topic,
-                    vocabulary_size,
-                    config,
+                    device_id, layouts, plan, topic_plan, doc_topic,
+                    vocabulary_size, config,
                 )
                 for device_id in range(self.num_devices)
             ]
@@ -220,11 +318,26 @@ class DistributedTrainer:
             overlappable = (
                 config.asynchronous and config.num_workers >= 2 and self.num_devices > 1
             )
-            # The reduce-scatter half of the ring can hide behind the E-step
-            # tail of the slowest device; the all-gather half is exposed.
-            window = 0.5 * per_device_phases[slowest].get(PHASE_SAMPLING, 0.0)
-            exposed = exposed_allreduce_seconds(allreduce_cost, window, overlappable)
-            iteration_seconds = barrier + exposed
+            # Reduce-scatter segments (ring) / column blocks (all-to-all) of
+            # words that completed early can ride the interconnect while the
+            # slowest device still samples its tail: the window is the
+            # word-completion-weighted share of its sampling phase.
+            window = overlap_fractions[slowest] * per_device_phases[slowest].get(
+                PHASE_SAMPLING, 0.0
+            )
+            ring_seconds = ring_cost.seconds if ring_cost is not None else 0.0
+            a2a_seconds = a2a_cost.seconds if a2a_cost is not None else 0.0
+            exposed_ring = (
+                exposed_allreduce_seconds(ring_cost, window, overlappable)
+                if ring_cost is not None
+                else 0.0
+            )
+            exposed_a2a = (
+                exposed_allreduce_seconds(a2a_cost, window, overlappable)
+                if a2a_cost is not None
+                else 0.0
+            )
+            iteration_seconds = barrier + exposed_ring + exposed_a2a
             cumulative += iteration_seconds
 
             # ----------------------------- Model quality ----------------------------- #
@@ -241,11 +354,13 @@ class DistributedTrainer:
                     iteration=iteration,
                     per_device_phase_seconds=per_device_phases,
                     per_device_seconds=per_device_seconds,
-                    allreduce_seconds=allreduce_cost.seconds,
-                    exposed_allreduce_seconds=exposed,
+                    allreduce_seconds=ring_seconds,
+                    exposed_allreduce_seconds=exposed_ring,
                     simulated_seconds=iteration_seconds,
                     cumulative_simulated_seconds=cumulative,
                     log_likelihood_per_token=log_likelihood,
+                    alltoall_seconds=a2a_seconds,
+                    exposed_alltoall_seconds=exposed_a2a,
                 )
             )
 
@@ -258,6 +373,7 @@ class DistributedTrainer:
                 "device": config.device.name,
                 "num_devices": self.num_devices,
                 "interconnect": self.interconnect.name,
+                "parallelism": self.parallelism,
                 "num_iterations": config.num_iterations,
                 "num_chunks": config.num_chunks,
                 "num_workers": config.num_workers,
@@ -273,6 +389,8 @@ class DistributedTrainer:
             config=config,
             num_tokens=tokens.num_tokens,
             wall_seconds=_time.perf_counter() - wall_start,
+            topic_plan=topic_plan,
+            parallelism=self.parallelism,
         )
 
     # ------------------------------------------------------------------ #
@@ -283,15 +401,47 @@ class DistributedTrainer:
     ) -> SparseDocTopicMatrix:
         return rebuild_doc_topic(layouts, num_documents, self.config.params.num_topics)
 
+    def _device_stream(
+        self,
+        layouts: List[ChunkLayout],
+        plan: Optional[ShardPlan],
+        device_id: int,
+    ) -> List[ChunkLayout]:
+        """The chunk layouts the given device streams through per iteration."""
+        if plan is None:  # topic parallelism: every device scans everything
+            return list(layouts)
+        return plan.layouts_for_device(layouts, device_id)
+
     def _merged_word_topic(
         self,
         layouts: List[ChunkLayout],
-        plan: ShardPlan,
+        plan: Optional[ShardPlan],
         vocabulary_size: int,
-        allreduce: RingAllReduce,
+        ring: RingAllReduce,
+        alltoall: AllToAll,
     ) -> tuple:
-        """Count ``B_d`` per device and merge with the ring all-reduce."""
+        """Count the per-device partial ``B`` and merge with the mode's collective.
+
+        Returns ``(word_topic, ring_cost | None, alltoall_cost | None)`` —
+        exactly one collective runs per mode, and its cost is reported
+        separately so benchmarks can compare the ring against the
+        all-to-all.
+        """
         num_topics = self.config.params.num_topics
+        if self.parallelism == "topic":
+            # No data sharding: the merged matrix is one pass over the
+            # stream, and the all-to-all routes each owner its columns.
+            merged = np.zeros((vocabulary_size, num_topics), dtype=np.int64)
+            for layout in layouts:
+                merged += count_by_word_topic(
+                    layout.tokens, vocabulary_size, num_topics
+                )
+            # Route through the collective so the wire-format overflow
+            # guard applies in this mode too, then charge the exchange at
+            # the pool size (the single partial is a correctness artefact).
+            merged = alltoall.exchange([merged])
+            return merged, None, alltoall.cost(int(merged.size), self.num_devices)
+
         locals_: List[np.ndarray] = []
         for device_id in range(plan.num_devices):
             device_counts = np.zeros((vocabulary_size, num_topics), dtype=np.int64)
@@ -300,20 +450,53 @@ class DistributedTrainer:
                     layout.tokens, vocabulary_size, num_topics
                 )
             locals_.append(device_counts)
-        return allreduce.reduce_with_cost(locals_)
+        if self.parallelism == "hybrid":
+            merged, cost = alltoall.exchange_with_cost(locals_)
+            return merged, None, cost
+        merged, cost = ring.reduce_with_cost(locals_)
+        return merged, cost, None
 
     def _device_phase_seconds(
         self,
-        device_layouts: List[ChunkLayout],
+        device_id: int,
+        layouts: List[ChunkLayout],
+        plan: Optional[ShardPlan],
+        topic_plan: Optional[TopicShardPlan],
         doc_topic: SparseDocTopicMatrix,
         vocabulary_size: int,
         config: SaberLDAConfig,
     ) -> Dict[str, float]:
-        """Cost one device's shard for one iteration."""
+        """Cost one device's share of one iteration under the selected mode.
+
+        * ``data``: the device's chunk shard at the full ``K`` (``B``
+          replicated, pre-processing included in full);
+        * ``topic``: the whole stream, but every ``K``-dependent phase at
+          the device's column-shard width (draws routed to the owner);
+        * ``hybrid``: the chunk shard at full ``K`` for sampling, with
+          only the pre-processing re-costed at the column-shard width
+          (each device builds ``B̂``/trees for its own slice only).
+        """
+        num_topics = config.params.num_topics
+        device_layouts = self._device_stream(layouts, plan, device_id)
+        if self.parallelism == "topic":
+            shard_topics = max(1, topic_plan.shards[device_id].num_topics)
+            stats = _device_workload_stats(
+                device_layouts, doc_topic, shard_topics, vocabulary_size, config
+            )
+            return dict(cost_iteration_phases(stats, config).phase_seconds)
+
         stats = _device_workload_stats(
-            device_layouts, doc_topic, config.params.num_topics, vocabulary_size, config
+            device_layouts, doc_topic, num_topics, vocabulary_size, config
         )
-        return dict(cost_iteration_phases(stats, config).phase_seconds)
+        phases = dict(cost_iteration_phases(stats, config).phase_seconds)
+        if self.parallelism == "hybrid":
+            shard_topics = max(1, topic_plan.shards[device_id].num_topics)
+            shard_stats = _device_workload_stats(
+                device_layouts, doc_topic, shard_topics, vocabulary_size, config
+            )
+            shard_phases = cost_iteration_phases(shard_stats, config).phase_seconds
+            phases[PHASE_PREPROCESSING] = shard_phases[PHASE_PREPROCESSING]
+        return phases
 
     def _training_likelihood(
         self,
@@ -382,10 +565,14 @@ def train_distributed(
     num_devices: int,
     interconnect: InterconnectSpec = PCIE_P2P,
     vocabulary=None,
+    parallelism: str = "data",
 ) -> DistributedTrainingResult:
     """Convenience wrapper: construct a distributed trainer and fit it."""
     trainer = DistributedTrainer(
-        config=config, num_devices=num_devices, interconnect=interconnect
+        config=config,
+        num_devices=num_devices,
+        interconnect=interconnect,
+        parallelism=parallelism,
     )
     return trainer.fit(tokens, num_documents, vocabulary_size, vocabulary)
 

@@ -129,6 +129,29 @@ class CostModel:
         segment_bytes = num_bytes / num_devices
         return steps * (link.latency_seconds + segment_bytes / link.effective_bandwidth)
 
+    @staticmethod
+    def alltoall_seconds(
+        num_bytes: float, num_devices: int, link: InterconnectSpec
+    ) -> float:
+        """Time of an all-to-all where each device redistributes ``num_bytes``.
+
+        Every device holds ``num_bytes`` of payload partitioned into ``N``
+        equal destination blocks and sends the ``N - 1`` foreign blocks,
+        one per peer, while all links run simultaneously (a full-duplex
+        pairwise exchange): ``N - 1`` rounds, each moving
+        ``num_bytes / N`` over the alpha-beta link.  With one device (or
+        nothing to move) the exchange is free.
+        """
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+        if num_devices == 1 or num_bytes == 0:
+            return 0.0
+        rounds = num_devices - 1
+        block_bytes = num_bytes / num_devices
+        return rounds * (link.latency_seconds + block_bytes / link.effective_bandwidth)
+
     # ------------------------------------------------------------------ #
     # Utilisation reporting (Table 4)
     # ------------------------------------------------------------------ #

@@ -89,6 +89,94 @@ def simulate_dynamic_schedule(
     )
 
 
+def dynamic_finish_times(
+    work_sizes: Sequence[int], num_processors: int
+) -> List[float]:
+    """Finish time of every work item under greedy list scheduling.
+
+    Same policy as :func:`simulate_dynamic_schedule`, but returning the
+    completion time of each item (in token-units, aligned with the input
+    order; zero-size items finish at their dispatch time).  This is what
+    the distributed overlap model needs: a word's ``B`` row is reducible
+    the moment its run completes, not at the chunk barrier.
+    """
+    if num_processors < 1:
+        raise ValueError("num_processors must be >= 1")
+    sizes = [max(0, int(size)) for size in work_sizes]
+    heap: List[float] = [0.0] * min(num_processors, max(1, len(sizes)))
+    finishes: List[float] = []
+    for size in sizes:
+        earliest = heappop(heap)
+        finish = earliest + float(size)
+        heappush(heap, finish)
+        finishes.append(finish)
+    return finishes
+
+
+def word_finalization_fractions(
+    layouts: Sequence[ChunkLayout], num_processors: int
+) -> np.ndarray:
+    """When each distinct word's ``B`` row becomes final, as a fraction of the E-step.
+
+    The chunks run back-to-back in stream order; within a chunk the word
+    runs finish at their dynamic-schedule completion times.  A word's row
+    of the word-topic matrix is *final* — and may enter the reduce-scatter
+    / all-to-all early — once its run in the **last** chunk containing it
+    completes.  Returns one fraction in ``(0, 1]`` per distinct word of
+    the stream (order unspecified); doc-major chunks have no word runs and
+    degrade to one run covering the whole chunk.
+    """
+    if num_processors < 1:
+        raise ValueError("num_processors must be >= 1")
+    offsets: List[float] = []
+    total = 0.0
+    chunk_finishes: List[dict] = []
+    for layout in layouts:
+        if layout.word_runs:
+            sizes = [run.num_tokens for run in layout.word_runs]
+            finishes = dynamic_finish_times(sizes, num_processors)
+            per_word = {
+                run.word_id: finish
+                for run, finish in zip(layout.word_runs, finishes)
+            }
+            makespan = max(finishes) if finishes else 0.0
+        else:
+            makespan = float(layout.num_tokens) / num_processors
+            per_word = {
+                int(word): makespan for word in np.unique(layout.tokens.word_ids)
+            }
+        offsets.append(total)
+        total += makespan
+        chunk_finishes.append(per_word)
+
+    finalization: dict = {}
+    for offset, per_word in zip(offsets, chunk_finishes):
+        for word, finish in per_word.items():
+            finalization[word] = offset + finish  # later chunks overwrite
+    if not finalization or total <= 0:
+        return np.zeros(0, dtype=np.float64)
+    return np.array(sorted(finalization.values()), dtype=np.float64) / total
+
+
+def allreduce_overlap_fraction(
+    layouts: Sequence[ChunkLayout], num_processors: int
+) -> float:
+    """Fraction of the sampling phase available to hide the collective.
+
+    Averaged over the distinct words of the stream: each word's final row
+    waits ``1 - finalization_fraction`` of the phase before the barrier,
+    and during that wait its segment of the reduce-scatter (or its column
+    block of the all-to-all) can ride the interconnect.  Front-loaded
+    streams (big chunks early, Zipf heads scheduled first) therefore
+    expose less of the collective than back-loaded ones — the quantity the
+    hard-coded ``0.5`` used to paper over.
+    """
+    fractions = word_finalization_fractions(layouts, num_processors)
+    if fractions.size == 0:
+        return 0.0
+    return float(np.mean(1.0 - fractions))
+
+
 def schedule_word_runs(
     layout: ChunkLayout, device: DeviceSpec, blocks_per_sm: int = 2, sort_by_frequency: bool = True
 ) -> ScheduleOutcome:

@@ -1,6 +1,5 @@
 """Tests for the baseline LDA systems (dense GPU, ESCA CPU, Gibbs, F+LDA, WarpLDA)."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import (

@@ -1,6 +1,5 @@
 """Tests for partition-by-document chunking."""
 
-import numpy as np
 import pytest
 
 from repro.corpus import chunk_token_histogram, merge_chunks, partition_by_document

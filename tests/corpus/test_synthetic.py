@@ -1,7 +1,6 @@
 """Tests for the synthetic corpus generators."""
 
 import numpy as np
-import pytest
 
 from repro.corpus import fit_zipf_exponent, generate_lda_corpus, generate_zipf_corpus
 

@@ -1,0 +1,156 @@
+"""Regression tests for the schedule-derived all-reduce overlap window.
+
+The exposed collective used to hide behind a hard-coded half of the
+slowest device's sampling phase; it now hides behind the window derived
+from the per-chunk word-completion times of ``saberlda.scheduling``, so
+it must *respond to chunk skew*: a stream whose words finalise late
+leaves less room to overlap than one that front-loads its work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.corpus import generate_lda_corpus
+from repro.distributed import train_distributed
+from repro.gpusim import GTX_1080, PCIE_P2P
+from repro.saberlda import SaberLDAConfig
+from repro.saberlda.layout import build_layout
+from repro.saberlda.scheduling import (
+    allreduce_overlap_fraction,
+    dynamic_finish_times,
+    word_finalization_fractions,
+)
+
+
+class TestDynamicFinishTimes:
+    def test_single_processor_is_cumulative(self):
+        finishes = dynamic_finish_times([3, 5, 2], num_processors=1)
+        assert finishes == [3.0, 8.0, 10.0]
+
+    def test_many_processors_run_concurrently(self):
+        finishes = dynamic_finish_times([3, 5, 2], num_processors=3)
+        assert finishes == [3.0, 5.0, 2.0]
+
+    def test_makespan_matches_simulate_dynamic_schedule(self):
+        from repro.saberlda.scheduling import simulate_dynamic_schedule
+
+        sizes = [13, 7, 2, 40, 9, 9, 1]
+        finishes = dynamic_finish_times(sizes, num_processors=3)
+        outcome = simulate_dynamic_schedule(sizes, num_processors=3)
+        assert max(finishes) == pytest.approx(outcome.makespan_units)
+
+    def test_rejects_bad_processor_count(self):
+        with pytest.raises(ValueError):
+            dynamic_finish_times([1], num_processors=0)
+
+
+@pytest.fixture(scope="module")
+def layouts(make_corpus):
+    corpus = make_corpus(200, 400, 8, 60, 21)
+    config = SaberLDAConfig.paper_defaults(8, num_chunks=6, seed=21)
+    return build_layout(corpus.tokens.copy(), corpus.num_documents, config)
+
+
+class TestWordFinalization:
+    def test_fractions_in_unit_interval(self, layouts):
+        fractions = word_finalization_fractions(layouts, num_processors=40)
+        assert fractions.size > 0
+        assert np.all(fractions > 0.0)
+        assert np.all(fractions <= 1.0)
+
+    def test_one_fraction_per_distinct_word(self, layouts):
+        distinct = len(
+            set(
+                int(word)
+                for layout in layouts
+                for word in np.unique(layout.tokens.word_ids)
+            )
+        )
+        fractions = word_finalization_fractions(layouts, num_processors=40)
+        assert fractions.size == distinct
+
+    def test_empty_stream_yields_no_fractions(self):
+        assert word_finalization_fractions([], num_processors=4).size == 0
+
+    def test_overlap_fraction_bounds(self, layouts):
+        fraction = allreduce_overlap_fraction(layouts, num_processors=40)
+        assert 0.0 < fraction < 1.0
+
+    def test_overlap_fraction_of_empty_stream_is_zero(self):
+        assert allreduce_overlap_fraction([], num_processors=4) == 0.0
+
+
+class TestWindowRespondsToChunkSkew:
+    """The load-bearing regression: skew must move the window and the exposed time."""
+
+    @staticmethod
+    def _skewed_corpus(back_loaded: bool, num_documents=240, seed=33):
+        corpus = generate_lda_corpus(
+            num_documents=num_documents,
+            vocabulary_size=500,
+            num_topics=8,
+            mean_document_length=50,
+            seed=seed,
+        )
+        tokens = corpus.tokens.copy()
+        # Chunks cut by document range: remapping document ids so most
+        # tokens live in the first (or last) documents skews the chunk
+        # token counts without changing any word statistics.
+        order = np.argsort(tokens.doc_ids, kind="stable")
+        ranks = np.empty_like(order)
+        ranks[order] = np.arange(len(order))
+        squeeze = (ranks / len(ranks)) ** 2  # dense at 0
+        if back_loaded:
+            squeeze = 1.0 - squeeze
+        new_docs = np.minimum(
+            (squeeze * num_documents).astype(np.int64), num_documents - 1
+        )
+        tokens.doc_ids[:] = np.sort(new_docs)[ranks]
+        return corpus, tokens
+
+    def test_window_tracks_where_words_are_last_touched(self):
+        config = SaberLDAConfig.paper_defaults(8, num_chunks=6, seed=33)
+        _, front_tokens = self._skewed_corpus(back_loaded=False)
+        _, back_tokens = self._skewed_corpus(back_loaded=True)
+        processors = GTX_1080.num_sms * 2
+        front_layouts = build_layout(front_tokens, 240, config)
+        back_layouts = build_layout(back_tokens, 240, config)
+        front = allreduce_overlap_fraction(front_layouts, processors)
+        back = allreduce_overlap_fraction(back_layouts, processors)
+        # What gates the reduce-scatter is the *last* touch of each word.
+        # Front-loaded streams end with tiny chunks that still re-dirty
+        # most words right before the barrier, so almost nothing ships
+        # early; a heavy final chunk spreads the last touches across its
+        # long makespan instead.  The old hard-coded model gave both 0.5.
+        assert back > front
+        assert front != pytest.approx(back)
+
+    def test_exposed_allreduce_differs_between_skews(self):
+        """End-to-end: the trainer's exposed time must track the window."""
+        config = SaberLDAConfig.paper_defaults(
+            8, num_iterations=1, num_chunks=4, seed=33, evaluate_every=5
+        )
+        exposed = {}
+        for label, back_loaded in (("front", False), ("back", True)):
+            corpus, tokens = self._skewed_corpus(back_loaded)
+            result = train_distributed(
+                tokens,
+                240,
+                corpus.vocabulary_size,
+                config,
+                num_devices=2,
+                interconnect=PCIE_P2P,
+            )
+            record = result.history[-1]
+            # Normalise by the collective size: both corpora share V and K,
+            # so allreduce_seconds match and the exposed share isolates the
+            # window.
+            exposed[label] = (
+                record.exposed_allreduce_seconds / record.allreduce_seconds
+            )
+        assert exposed["front"] != exposed["back"]
+
+    def test_window_no_longer_hard_coded_half(self, layouts):
+        """The 0.5 constant is gone: the fraction is data-dependent."""
+        fraction = allreduce_overlap_fraction(layouts, GTX_1080.num_sms * 2)
+        assert fraction != pytest.approx(0.5, abs=1e-6)

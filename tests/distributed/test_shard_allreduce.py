@@ -57,6 +57,32 @@ class TestShardPlanner:
         plan = ShardPlanner().plan([10, 10, 10, 10], num_devices=2)
         assert plan.token_imbalance == pytest.approx(0.0)
 
+    def test_empty_devices_do_not_inflate_imbalance(self):
+        # Two equal chunks on four devices: the planner cannot populate
+        # more than two shards, and the packing it found is perfect.
+        plan = ShardPlanner().plan([10, 10], num_devices=4)
+        assert plan.num_empty_devices == 2
+        assert plan.num_active_devices == 2
+        assert plan.token_imbalance == pytest.approx(0.0)
+        assert plan.balance_efficiency == pytest.approx(1.0)
+
+    def test_imbalance_still_counts_uneven_active_shards(self):
+        plan = ShardPlanner().plan([30, 10], num_devices=4)
+        assert plan.num_empty_devices == 2
+        # Ideal over the two active shards is 20 tokens; the heavy one
+        # carries 30.
+        assert plan.token_imbalance == pytest.approx(0.5)
+        assert plan.balance_efficiency == pytest.approx(20 / 30)
+
+    def test_fully_populated_plan_unchanged_by_the_fix(self):
+        counts = [40, 30, 20, 10]
+        plan = ShardPlanner().plan(counts, num_devices=2)
+        assert plan.num_empty_devices == 0
+        ideal = sum(counts) / 2
+        assert plan.token_imbalance == pytest.approx(
+            plan.max_shard_tokens / ideal - 1.0
+        )
+
     def test_rejects_bad_inputs(self):
         with pytest.raises(ValueError):
             ShardPlanner().plan([1, 2], num_devices=0)
@@ -83,6 +109,48 @@ class TestRingAllReduce:
     def test_reduce_rejects_shape_mismatch(self):
         with pytest.raises(ValueError):
             RingAllReduce(link=NVLINK).reduce([np.zeros((2, 2)), np.zeros((3, 2))])
+
+    def test_reduce_does_not_mutate_inputs(self):
+        arrays = [np.full((4, 4), 7, dtype=np.int64) for _ in range(3)]
+        originals = [array.copy() for array in arrays]
+        RingAllReduce(link=NVLINK).reduce(arrays)
+        for array, original in zip(arrays, originals):
+            np.testing.assert_array_equal(array, original)
+
+    def test_reduce_promotes_mixed_dtypes_once(self):
+        arrays = [
+            np.full((2, 2), 100, dtype=np.int32),
+            np.full((2, 2), 200, dtype=np.int64),
+        ]
+        merged = RingAllReduce(link=NVLINK).reduce(arrays)
+        assert merged.dtype == np.int64
+        np.testing.assert_array_equal(merged, np.full((2, 2), 300, dtype=np.int64))
+
+    def test_reduce_rejects_int32_wire_overflow(self):
+        # Two int64 partials whose sum no longer fits the int32 wire
+        # format the cost is charged on: silently truncating would
+        # under-cost the collective, so it must raise instead.
+        half = np.full((2, 2), 2**31 - 1, dtype=np.int64)
+        with pytest.raises(OverflowError, match="int32 wire format"):
+            RingAllReduce(link=NVLINK).reduce([half, half])
+
+    def test_reduce_catches_overflow_of_int32_inputs(self):
+        # Partials already at the wire width must not wrap inside the
+        # accumulator before the guard runs: 4 x 2**30 is exactly 2**32,
+        # which an int32 accumulator would fold to zero.
+        partial = np.full((2, 2), 2**30, dtype=np.int32)
+        with pytest.raises(OverflowError, match="int32 wire format"):
+            RingAllReduce(link=NVLINK).reduce([partial] * 4)
+
+    def test_reduce_at_wire_limit_is_accepted(self):
+        below = np.full((2, 2), 2**30, dtype=np.int64)
+        merged = RingAllReduce(link=NVLINK).reduce([below, below - 1])
+        assert merged.max() == 2**31 - 1
+
+    def test_wider_wire_format_lifts_the_limit(self):
+        half = np.full((2, 2), 2**31 - 1, dtype=np.int64)
+        merged = RingAllReduce(link=NVLINK, element_bytes=8).reduce([half, half])
+        assert merged.max() == 2 * (2**31 - 1)
 
     def test_single_device_is_free(self):
         cost = RingAllReduce(link=PCIE_P2P).cost(10_000, num_devices=1)

@@ -1,0 +1,279 @@
+"""Tests for topic-column model parallelism: plans, all-to-all, trainer modes."""
+
+import numpy as np
+import pytest
+
+from repro.core import word_topic_digest
+from repro.distributed import (
+    AllToAll,
+    DistributedTrainer,
+    RingAllReduce,
+    TopicShardPlan,
+    TopicShard,
+    plan_topic_shards,
+    train_distributed,
+)
+from repro.gpusim import NVLINK, PCIE_P2P, CostModel, InterconnectSpec
+from repro.saberlda import SaberLDAConfig, train_saberlda
+
+
+class TestTopicShardPlan:
+    def test_shards_tile_the_columns(self):
+        plan = plan_topic_shards(100, 8)
+        assert plan.num_topics == 100
+        assert plan.num_devices == 8
+        position = 0
+        for shard in plan.shards:
+            assert shard.topic_start == position
+            position = shard.topic_stop
+        assert position == 100
+
+    def test_near_equal_split(self):
+        plan = plan_topic_shards(103, 4)
+        widths = plan.shard_topic_counts
+        assert sum(widths) == 103
+        assert max(widths) - min(widths) <= 1
+        assert plan.max_shard_topics == max(widths)
+
+    def test_owner_of_topic(self):
+        plan = plan_topic_shards(12, 3)
+        for topic in range(12):
+            owner = plan.owner_of_topic(topic)
+            start, stop = plan.columns_for_device(owner)
+            assert start <= topic < stop
+        with pytest.raises(ValueError):
+            plan.owner_of_topic(12)
+        with pytest.raises(ValueError):
+            plan.owner_of_topic(-1)
+
+    def test_model_bytes_shrink_with_devices(self):
+        vocabulary_size = 50_000
+        replicated = vocabulary_size * 96 * 4
+        previous = float("inf")
+        for num_devices in (1, 2, 4, 8):
+            plan = plan_topic_shards(96, num_devices)
+            per_device = plan.max_model_bytes(vocabulary_size)
+            assert per_device == pytest.approx(replicated / num_devices)
+            assert per_device < previous or num_devices == 1
+            previous = per_device
+
+    def test_rejects_gapped_or_overlapping_shards(self):
+        with pytest.raises(ValueError):
+            TopicShardPlan(shards=(TopicShard(0, 0, 4), TopicShard(1, 5, 8)))
+        with pytest.raises(ValueError):
+            TopicShardPlan(shards=(TopicShard(0, 0, 4), TopicShard(1, 3, 8)))
+        with pytest.raises(ValueError):
+            TopicShardPlan(shards=())
+
+    def test_empty_devices_counted(self):
+        plan = plan_topic_shards(2, 4)
+        assert plan.num_topics == 2
+        assert plan.num_empty_devices == 2
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            plan_topic_shards(0, 2)
+        with pytest.raises(ValueError):
+            plan_topic_shards(8, 0)
+
+
+class TestAllToAllCost:
+    def test_single_device_is_free(self):
+        cost = AllToAll(link=NVLINK).cost(10_000, num_devices=1)
+        assert cost.seconds == 0.0
+        assert cost.num_rounds == 0
+        assert cost.wire_bytes_per_device == 0.0
+
+    def test_monotone_in_bytes(self):
+        alltoall = AllToAll(link=PCIE_P2P)
+        sizes = [10_000, 100_000, 1_000_000, 10_000_000]
+        seconds = [alltoall.cost(size, 4).seconds for size in sizes]
+        assert all(a < b for a, b in zip(seconds, seconds[1:]))
+
+    def test_monotone_in_devices(self):
+        alltoall = AllToAll(link=PCIE_P2P)
+        # More peers mean more rounds; with the per-round payload shrinking
+        # 1/N the bandwidth term saturates, but the latency term keeps the
+        # total strictly increasing.
+        seconds = [alltoall.cost(1_000_000, n).seconds for n in (2, 4, 8, 16)]
+        assert all(a < b for a, b in zip(seconds, seconds[1:]))
+
+    def test_monotone_in_latency(self):
+        slow_link = InterconnectSpec(
+            name="slow", bandwidth=NVLINK.bandwidth, latency_seconds=1e-3
+        )
+        fast = AllToAll(link=NVLINK).cost(500_000, 4).seconds
+        slow = AllToAll(link=slow_link).cost(500_000, 4).seconds
+        assert slow > fast
+
+    def test_matches_closed_form(self):
+        num_elements, devices = 1_000_000, 4
+        cost = AllToAll(link=NVLINK).cost(num_elements, devices)
+        num_bytes = num_elements * 4
+        expected = (devices - 1) * (
+            NVLINK.latency_seconds + num_bytes / devices / NVLINK.effective_bandwidth
+        )
+        assert cost.seconds == pytest.approx(expected)
+        assert cost.num_rounds == devices - 1
+
+    def test_cheaper_than_the_ring(self):
+        # Half the steps of the bandwidth-optimal ring at the same payload.
+        ring = RingAllReduce(link=PCIE_P2P).cost(4_000_000, 8).seconds
+        alltoall = AllToAll(link=PCIE_P2P).cost(4_000_000, 8).seconds
+        assert alltoall == pytest.approx(0.5 * ring)
+
+    def test_exchange_is_exact_sum(self, rng):
+        arrays = [rng.integers(0, 50, size=(40, 12)) for _ in range(4)]
+        merged = AllToAll(link=NVLINK).exchange(arrays)
+        np.testing.assert_array_equal(merged, np.sum(arrays, axis=0))
+
+    def test_exchange_applies_wire_overflow_guard(self):
+        half = np.full((2, 2), 2**31 - 1, dtype=np.int64)
+        with pytest.raises(OverflowError, match="int32 wire format"):
+            AllToAll(link=NVLINK).exchange([half, half])
+        # The guard also covers the single-partial path the topic-parallel
+        # trainer routes its merged counts through.
+        with pytest.raises(OverflowError, match="int32 wire format"):
+            AllToAll(link=NVLINK).exchange([np.full((1,), 2**31, dtype=np.int64)])
+
+    def test_cost_model_validation(self):
+        with pytest.raises(ValueError):
+            CostModel.alltoall_seconds(1.0, 0, NVLINK)
+        with pytest.raises(ValueError):
+            CostModel.alltoall_seconds(-1.0, 2, NVLINK)
+        assert CostModel.alltoall_seconds(0.0, 4, NVLINK) == 0.0
+
+
+@pytest.fixture(scope="module")
+def corpus(make_corpus):
+    return make_corpus(120, 300, 8, 50, 3)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SaberLDAConfig.paper_defaults(8, num_iterations=3, num_chunks=8, seed=5)
+
+
+@pytest.fixture(scope="module")
+def single_result(corpus, config):
+    return train_saberlda(
+        corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size, config
+    )
+
+
+class TestTopicParallelTraining:
+    @pytest.mark.parametrize("parallelism", ["topic", "hybrid"])
+    @pytest.mark.parametrize("num_devices", [2, 4])
+    def test_bit_identical_to_single_device(
+        self, corpus, config, single_result, parallelism, num_devices
+    ):
+        result = train_distributed(
+            corpus.unassigned_copy(),
+            corpus.num_documents,
+            corpus.vocabulary_size,
+            config,
+            num_devices=num_devices,
+            parallelism=parallelism,
+        )
+        assert word_topic_digest(result.model.word_topic_counts) == word_topic_digest(
+            single_result.model.word_topic_counts
+        )
+        np.testing.assert_array_equal(
+            result.doc_topic.to_dense(), single_result.doc_topic.to_dense()
+        )
+
+    @pytest.mark.parametrize("parallelism", ["topic", "hybrid"])
+    def test_alltoall_reported_separately_from_ring(self, corpus, config, parallelism):
+        result = train_distributed(
+            corpus.unassigned_copy(),
+            corpus.num_documents,
+            corpus.vocabulary_size,
+            config,
+            num_devices=4,
+            parallelism=parallelism,
+        )
+        for record in result.history:
+            assert record.allreduce_seconds == 0.0
+            assert record.alltoall_seconds > 0.0
+            assert 0.0 <= record.exposed_alltoall_seconds <= record.alltoall_seconds
+            assert record.simulated_seconds == pytest.approx(
+                record.barrier_seconds + record.exposed_alltoall_seconds
+            )
+        assert result.ring_seconds_total() == 0.0
+        assert result.alltoall_seconds_total() > 0.0
+
+    def test_model_memory_shrinks_with_devices(self, corpus, config):
+        replicated = None
+        for num_devices in (1, 2, 4):
+            result = train_distributed(
+                corpus.unassigned_copy(),
+                corpus.num_documents,
+                corpus.vocabulary_size,
+                config,
+                num_devices=num_devices,
+                parallelism="hybrid",
+            )
+            if replicated is None:
+                replicated = result.model_bytes_per_device()
+            assert result.model_bytes_per_device() == pytest.approx(
+                replicated / num_devices
+            )
+
+    def test_data_mode_reports_no_alltoall(self, corpus, config):
+        result = train_distributed(
+            corpus.unassigned_copy(),
+            corpus.num_documents,
+            corpus.vocabulary_size,
+            config,
+            num_devices=2,
+            parallelism="data",
+        )
+        assert result.alltoall_seconds_total() == 0.0
+        assert result.ring_seconds_total() > 0.0
+        assert result.topic_plan is None
+
+    def test_topic_mode_has_no_chunk_plan(self, corpus, config):
+        result = train_distributed(
+            corpus.unassigned_copy(),
+            corpus.num_documents,
+            corpus.vocabulary_size,
+            config,
+            num_devices=2,
+            parallelism="topic",
+        )
+        assert result.plan is None
+        assert result.topic_plan is not None
+        assert result.topic_plan.num_devices == 2
+        assert result.model.metadata["parallelism"] == "topic"
+
+    def test_hybrid_beats_data_on_preprocessing(self, corpus, config):
+        """Sharded pre-processing must shrink the slowest device's phase."""
+        data = train_distributed(
+            corpus.unassigned_copy(),
+            corpus.num_documents,
+            corpus.vocabulary_size,
+            config,
+            num_devices=4,
+            parallelism="data",
+        )
+        hybrid = train_distributed(
+            corpus.unassigned_copy(),
+            corpus.num_documents,
+            corpus.vocabulary_size,
+            config,
+            num_devices=4,
+            parallelism="hybrid",
+        )
+        assert (
+            hybrid.phase_breakdown()["preprocessing"]
+            < data.phase_breakdown()["preprocessing"]
+        )
+
+    def test_rejects_unknown_mode(self, config):
+        with pytest.raises(ValueError):
+            DistributedTrainer(config=config, num_devices=2, parallelism="tensor")
+
+    def test_rejects_more_devices_than_topics(self):
+        config = SaberLDAConfig.paper_defaults(4)
+        with pytest.raises(ValueError):
+            DistributedTrainer(config=config, num_devices=8, parallelism="topic")

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core import LDAHyperParams, count_by_word_topic, LDAModel
-from repro.core.serialization import load_model, save_model
+from repro.core.serialization import (
+    load_model,
+    load_sharded_model,
+    save_model,
+    save_sharded_model,
+)
 from repro.corpus.io import read_uci_bag_of_words, write_uci_bag_of_words
 
 
@@ -111,3 +116,79 @@ class TestModelSerialization:
         path = save_model(model, str(tmp_path / "model"))
         restored = load_model(path)
         assert restored.top_words(0, 5) == model.top_words(0, 5)
+
+
+class TestShardedCheckpoints:
+    @pytest.fixture
+    def model(self, corpus):
+        params = LDAHyperParams(num_topics=5, alpha=0.1, beta=0.01)
+        counts = count_by_word_topic(corpus.tokens, corpus.vocabulary_size, 5)
+        return LDAModel(
+            word_topic_counts=counts,
+            params=params,
+            vocabulary=corpus.vocabulary.words(),
+            metadata={"system": "SaberLDA"},
+        )
+
+    @pytest.mark.parametrize("axis", ["rows", "columns"])
+    @pytest.mark.parametrize("num_shards", [1, 3, 4])
+    def test_round_trip(self, model, tmp_path, axis, num_shards):
+        base = str(tmp_path / "ckpt")
+        save_sharded_model(model, base, num_shards=num_shards, axis=axis)
+        restored = load_sharded_model(base)
+        np.testing.assert_array_equal(
+            restored.word_topic_counts, model.word_topic_counts
+        )
+        assert restored.params == model.params
+        assert restored.vocabulary == model.vocabulary
+
+    def test_column_shards_cover_topics_not_rows(self, model, tmp_path):
+        base = str(tmp_path / "ckpt")
+        save_sharded_model(model, base, num_shards=3, axis="columns")
+        with np.load(base + ".shard000.npz") as archive:
+            assert "col_start" in archive
+            block = archive["word_topic_counts"]
+            assert block.shape[0] == model.word_topic_counts.shape[0]
+            assert block.shape[1] < model.word_topic_counts.shape[1]
+
+    def test_column_shard_count_capped_at_num_topics(self, model, tmp_path):
+        base = str(tmp_path / "ckpt")
+        manifest = save_sharded_model(model, base, num_shards=50, axis="columns")
+        import json
+
+        with open(manifest, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["num_shards"] == 5  # K = 5
+        restored = load_sharded_model(base)
+        np.testing.assert_array_equal(
+            restored.word_topic_counts, model.word_topic_counts
+        )
+
+    def test_missing_column_shard_raises(self, model, tmp_path):
+        import os
+
+        base = str(tmp_path / "ckpt")
+        save_sharded_model(model, base, num_shards=3, axis="columns")
+        os.remove(base + ".shard001.npz")
+        with pytest.raises(ValueError, match="missing checkpoint shard"):
+            load_sharded_model(base)
+
+    def test_rejects_unknown_axis(self, model, tmp_path):
+        with pytest.raises(ValueError, match="axis"):
+            save_sharded_model(model, str(tmp_path / "ckpt"), 2, axis="diagonal")
+
+    def test_version1_manifest_defaults_to_rows(self, model, tmp_path):
+        import json
+
+        base = str(tmp_path / "ckpt")
+        manifest_path = save_sharded_model(model, base, num_shards=2, axis="rows")
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        # A checkpoint written before column shards existed has no axis key.
+        del manifest["axis"]
+        manifest["version"] = 1
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        restored = load_sharded_model(base)
+        np.testing.assert_array_equal(
+            restored.word_topic_counts, model.word_topic_counts
+        )

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.corpus import NYTIMES
-from repro.saberlda import SaberLDAConfig, SaberLDATrainer, run_ablation, train_saberlda
+from repro.saberlda import SaberLDAConfig, run_ablation, train_saberlda
 
 
 @pytest.fixture(scope="module")
