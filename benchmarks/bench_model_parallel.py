@@ -17,11 +17,18 @@ before that.  This benchmark measures what the ``TopicShardPlan`` buys:
 Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_model_parallel.py -q
+
+or directly (``--tiny`` shrinks the sweep for CI smoke runs; both modes
+write ``benchmarks/results/model_parallel.{txt,json}``)::
+
+    PYTHONPATH=src python benchmarks/bench_model_parallel.py [--tiny]
 """
+
+import argparse
 
 import pytest
 
-from repro.bench import emit_report, format_table
+from repro.bench import emit_json_report, emit_report, format_table
 from repro.core import word_topic_digest
 from repro.corpus import generate_lda_corpus
 from repro.distributed import (
@@ -44,11 +51,11 @@ TRAIN_TOPICS = 32
 TRAIN_DEVICES = 4
 
 
-def _capacity_rows():
+def _capacity_rows(topic_counts=TOPIC_COUNTS):
     ring = RingAllReduce(link=NVLINK, element_bytes=ELEMENT_BYTES)
     alltoall = AllToAll(link=NVLINK, element_bytes=ELEMENT_BYTES)
     rows = []
-    for num_topics in TOPIC_COUNTS:
+    for num_topics in topic_counts:
         num_elements = VOCABULARY_SIZE * num_topics
         replicated_bytes = float(num_elements) * ELEMENT_BYTES
         for num_devices in DEVICE_COUNTS:
@@ -71,12 +78,12 @@ def _capacity_rows():
     return rows
 
 
-def _training_rows():
+def _training_rows(num_documents=400, vocabulary_size=1_200, mean_document_length=80):
     corpus = generate_lda_corpus(
-        num_documents=400,
-        vocabulary_size=1_200,
+        num_documents=num_documents,
+        vocabulary_size=vocabulary_size,
         num_topics=TRAIN_TOPICS,
-        mean_document_length=80,
+        mean_document_length=mean_document_length,
         seed=31,
     )
     config = SaberLDAConfig.paper_defaults(
@@ -125,7 +132,7 @@ def _mb(num_bytes: float) -> str:
     return f"{num_bytes / 2**20:.1f} MiB"
 
 
-def _build_report(capacity_rows, training_rows) -> str:
+def _build_report(capacity_rows, training_rows, train_vocab=1_200) -> str:
     capacity_table = format_table(
         [
             "K",
@@ -187,7 +194,7 @@ def _build_report(capacity_rows, training_rows) -> str:
     return (
         f"Capacity sweep (V={VOCABULARY_SIZE:,}, int32 counts, NVLink,"
         f" {GTX_1080.name} 8 GB budget):\n{capacity_table}\n\n"
-        f"Training sweep (V=1,200, K={TRAIN_TOPICS}, {TRAIN_DEVICES} devices,"
+        f"Training sweep (V={train_vocab:,}, K={TRAIN_TOPICS}, {TRAIN_DEVICES} devices,"
         f" NVLink):\n{training_table}\n"
     )
 
@@ -232,7 +239,50 @@ def test_model_parallel(benchmark):
     assert by_mode["data"][4] > 0.0
 
 
+def _json_payload(capacity_rows, training_rows) -> dict:
+    capacity_keys = (
+        "num_topics",
+        "num_devices",
+        "replicated_bytes_per_device",
+        "sharded_bytes_per_device",
+        "replicated_fits",
+        "sharded_fits",
+        "ring_seconds",
+        "alltoall_seconds",
+    )
+    training_keys = (
+        "mode",
+        "num_devices",
+        "digest_matches_single",
+        "model_bytes_per_device",
+        "ring_seconds_total",
+        "alltoall_seconds_total",
+        "simulated_seconds",
+    )
+    return {
+        "capacity_sweep": [dict(zip(capacity_keys, row)) for row in capacity_rows],
+        "training_sweep": [dict(zip(training_keys, row)) for row in training_rows],
+    }
+
+
 if __name__ == "__main__":
-    rows = _capacity_rows()
-    training = _training_rows()
-    print(_build_report(rows, training))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true", help="CI smoke sweep (seconds, not minutes)"
+    )
+    args = parser.parse_args()
+    if args.tiny:
+        rows = _capacity_rows(topic_counts=(10_000, 100_000))
+        training = _training_rows(
+            num_documents=120, vocabulary_size=500, mean_document_length=40
+        )
+        report = _build_report(rows, training, train_vocab=500)
+    else:
+        rows = _capacity_rows()
+        training = _training_rows()
+        report = _build_report(rows, training)
+    print(report)
+    emit_report("model_parallel", report)
+    print(f"json report: {emit_json_report('model_parallel', _json_payload(rows, training))}")
+    for _mode, _devices, match, *_rest in training:
+        assert match, f"{_mode} run diverged from the single-device digest"

@@ -1,0 +1,320 @@
+"""Online serving — latency/throughput knee under open-loop Poisson load.
+
+The serving subsystem turns the trainer-only reproduction into a
+train-and-serve system; this benchmark measures what the micro-batching
+scheduler buys and where it saturates:
+
+* **load sweep** — for each (K, batch size) the server is driven with
+  open-loop Poisson arrivals at a sweep of target QPS around the
+  engine's measured batch capacity, reporting simulated p50/p99 latency,
+  sustained QPS and the rejection rate past the knee;
+* **checkpoint equivalence** — one seeded query set is served from the
+  same model loaded out of a plain archive, a row-sharded checkpoint and
+  a column-sharded checkpoint; the per-request topic mixtures must be
+  bit-identical (one digest) across all three layouts.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q
+
+or directly (``--tiny`` shrinks the sweep for CI smoke runs; both modes
+write ``benchmarks/results/serving.{txt,json}``)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--tiny]
+"""
+
+import argparse
+import functools
+import os
+import tempfile
+
+import numpy as np
+
+from repro.bench import emit_json_report, emit_report, format_table
+from repro.core import save_model, save_sharded_model
+from repro.corpus import generate_lda_corpus
+from repro.saberlda import SaberLDAConfig, train_saberlda
+from repro.serving import (
+    BatchScheduler,
+    InferenceEngine,
+    RequestQueue,
+    ResultCache,
+    ServingRequest,
+    TopicServer,
+    engine_results_digest,
+    layout_batch,
+    make_requests,
+    poisson_arrivals,
+    warm_sampler_bank,
+)
+
+#: Full sweep (pytest / default CLI run).
+FULL = dict(
+    topic_counts=(8, 32, 64),
+    batch_sizes=(1, 4, 16),
+    load_factors=(0.5, 1.0, 4.0),
+    num_requests=80,
+    num_sweeps=8,
+    mean_query_tokens=24,
+)
+#: CI smoke sweep.
+TINY = dict(
+    topic_counts=(8,),
+    batch_sizes=(1, 4, 16),
+    load_factors=(0.5, 4.0),
+    num_requests=30,
+    num_sweeps=4,
+    mean_query_tokens=16,
+)
+
+VOCABULARY_SIZE = 400
+NUM_TRAIN_DOCS = 120
+TRAIN_ITERATIONS = 3
+SEED = 42
+QUEUE_DEPTH = 16
+REPEAT_FRACTION = 0.1
+EQUIVALENCE_QUERIES = 12
+
+
+@functools.lru_cache(maxsize=None)
+def _train_model(num_topics: int):
+    corpus = generate_lda_corpus(
+        num_documents=NUM_TRAIN_DOCS,
+        vocabulary_size=VOCABULARY_SIZE,
+        num_topics=max(4, num_topics // 2),
+        mean_document_length=40,
+        seed=SEED,
+    )
+    config = SaberLDAConfig.paper_defaults(
+        num_topics,
+        num_iterations=TRAIN_ITERATIONS,
+        num_chunks=4,
+        seed=SEED,
+        evaluate_every=TRAIN_ITERATIONS,
+    )
+    result = train_saberlda(
+        corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size, config
+    )
+    return result.model
+
+
+def _make_queries(num_requests: int, mean_tokens: int, rng: np.random.Generator):
+    """Zipf-flavoured query documents with a repeated (cacheable) tail."""
+    ranks = np.arange(1, VOCABULARY_SIZE + 1, dtype=np.float64)
+    weights = 1.0 / ranks**1.05
+    weights /= weights.sum()
+    documents = []
+    for _ in range(num_requests):
+        length = max(3, int(rng.poisson(mean_tokens)))
+        documents.append(rng.choice(VOCABULARY_SIZE, size=length, p=weights))
+    num_repeats = int(REPEAT_FRACTION * num_requests)
+    for position in range(num_repeats):
+        documents[-(position + 1)] = documents[position]
+    return documents
+
+
+def _warmed_engine(model, num_sweeps: int, documents) -> InferenceEngine:
+    """One engine per model, pre-built for steady-state measurement.
+
+    The frozen state (and hence every inference result) is independent of
+    the bank's warmth and of batching, so one engine serves every load
+    factor and batch size of a sweep; only the queue/scheduler/cache are
+    per-simulation state.  Warming up front keeps the cold-start build
+    transient out of the latency numbers.
+    """
+    engine = InferenceEngine.from_model(model, num_sweeps=num_sweeps, seed=SEED)
+    warm_sampler_bank(engine, np.concatenate(documents))
+    return engine
+
+
+def _fresh_server(engine, batch_docs: int, capacity_qps: float) -> TopicServer:
+    # Bound the batching delay to one batch-fill time at capacity so the
+    # wait knob scales with the simulated service time, not wall units.
+    max_wait = batch_docs / capacity_qps if np.isfinite(capacity_qps) else 0.0
+    return TopicServer(
+        engine,
+        scheduler=BatchScheduler(max_batch_docs=batch_docs, max_wait_seconds=max_wait),
+        queue=RequestQueue(max_depth=QUEUE_DEPTH),
+        cache=ResultCache(capacity=10_000),
+    )
+
+
+def _batch_capacity_qps(engine, batch_docs: int, documents) -> float:
+    """Measured saturation QPS: full batches over the whole query set."""
+    total_seconds = 0.0
+    for start in range(0, len(documents), batch_docs):
+        group = documents[start : start + batch_docs]
+        requests = [
+            ServingRequest(
+                request_id=10_000 + start + position,
+                word_ids=np.asarray(doc, dtype=np.int32),
+                arrival_seconds=0.0,
+            )
+            for position, doc in enumerate(group)
+        ]
+        execution = engine.execute(layout_batch(requests, batch_id=0, dispatch_seconds=0.0))
+        total_seconds += execution.seconds
+    if total_seconds <= 0:
+        return float("inf")
+    return len(documents) / total_seconds
+
+
+def _load_sweep_rows(spec: dict):
+    rows = []
+    rng = np.random.default_rng(SEED)
+    for num_topics in spec["topic_counts"]:
+        model = _train_model(num_topics)
+        documents = _make_queries(spec["num_requests"], spec["mean_query_tokens"], rng)
+        engine = _warmed_engine(model, spec["num_sweeps"], documents)
+        for batch_docs in spec["batch_sizes"]:
+            capacity = _batch_capacity_qps(engine, batch_docs, documents)
+            for factor in spec["load_factors"]:
+                target_qps = factor * capacity
+                arrivals = poisson_arrivals(
+                    target_qps, spec["num_requests"], np.random.default_rng(SEED + batch_docs)
+                )
+                server = _fresh_server(engine, batch_docs, capacity)
+                report = server.serve(make_requests(documents, arrivals))
+                summary = report.summary()
+                rows.append(
+                    {
+                        "num_topics": num_topics,
+                        "batch_docs": batch_docs,
+                        "load_factor": factor,
+                        "target_qps": target_qps,
+                        "capacity_qps": capacity,
+                        **summary,
+                    }
+                )
+    return rows
+
+
+def _checkpoint_equivalence(spec: dict):
+    """Serve one seeded query set from all three checkpoint layouts."""
+    model = _train_model(spec["topic_counts"][0])
+    rng = np.random.default_rng(SEED + 7)
+    documents = _make_queries(EQUIVALENCE_QUERIES, spec["mean_query_tokens"], rng)
+
+    digests = {}
+    with tempfile.TemporaryDirectory() as tmpdir:
+        plain = save_model(model, os.path.join(tmpdir, "model"))
+        row_manifest = save_sharded_model(
+            model, os.path.join(tmpdir, "rows"), num_shards=3, axis="rows"
+        )
+        col_manifest = save_sharded_model(
+            model, os.path.join(tmpdir, "cols"), num_shards=3, axis="columns"
+        )
+        for label, path in (
+            ("plain", plain),
+            ("row-sharded", row_manifest),
+            ("column-sharded", col_manifest),
+        ):
+            engine = InferenceEngine.from_checkpoint(
+                path, num_sweeps=spec["num_sweeps"], seed=SEED
+            )
+            results = [
+                engine.infer_request(doc, request_id=position)
+                for position, doc in enumerate(documents)
+            ]
+            digests[label] = engine_results_digest(results)
+    return digests
+
+
+def _build_report(rows, digests) -> str:
+    table = format_table(
+        [
+            "K",
+            "Batch",
+            "Load",
+            "Target QPS",
+            "Sustained QPS",
+            "p50 (ms)",
+            "p99 (ms)",
+            "Rejected",
+            "Cache hits",
+        ],
+        [
+            [
+                row["num_topics"],
+                row["batch_docs"],
+                f"{row['load_factor']:.1f}x",
+                f"{row['target_qps']:.0f}",
+                f"{row['sustained_qps']:.0f}",
+                f"{row['p50_ms']:.3f}",
+                f"{row['p99_ms']:.3f}",
+                f"{row['rejection_rate']:.0%}",
+                f"{row['cache_hit_rate']:.0%}",
+            ]
+            for row in rows
+        ],
+    )
+    digest_table = format_table(
+        ["Checkpoint layout", "Results digest"],
+        [[label, digest[:16] + "..."] for label, digest in digests.items()],
+    )
+    identical = len(set(digests.values())) == 1
+    return (
+        f"Load sweep (V={VOCABULARY_SIZE}, open-loop Poisson arrivals, "
+        f"queue depth {QUEUE_DEPTH}, max wait = one batch-fill at capacity):\n"
+        f"{table}\n\n"
+        f"Checkpoint-layout equivalence (seeded query set):\n{digest_table}\n"
+        f"bit-identical across layouts: {'yes' if identical else 'NO'}\n"
+    )
+
+
+def _run(spec: dict):
+    rows = _load_sweep_rows(spec)
+    digests = _checkpoint_equivalence(spec)
+    return rows, digests
+
+
+def _check_invariants(rows, digests, spec):
+    assert len(set(digests.values())) == 1, (
+        f"serving diverged across checkpoint layouts: {digests}"
+    )
+    assert len({row["batch_docs"] for row in rows}) >= 3
+    for row in rows:
+        assert row["p99_ms"] >= row["p50_ms"] >= 0.0
+        assert row["answered"] + row["rejected"] == spec["num_requests"]
+    # Past the knee the server saturates: sustained QPS decouples from the
+    # offered load (it stays near capacity) and the tail latency grows
+    # against the underloaded point of the same (K, batch) cell.
+    for num_topics in spec["topic_counts"]:
+        for batch_docs in spec["batch_sizes"]:
+            cell = {
+                row["load_factor"]: row
+                for row in rows
+                if row["num_topics"] == num_topics and row["batch_docs"] == batch_docs
+            }
+            low = cell[min(cell)]
+            for factor, row in cell.items():
+                if factor <= 1.0:
+                    continue
+                assert row["sustained_qps"] < row["target_qps"]
+                assert row["p99_ms"] >= low["p99_ms"]
+
+
+def test_serving(benchmark):
+    """p50/p99/QPS across the sweep; one digest across checkpoint layouts."""
+    rows = benchmark(_load_sweep_rows, TINY)
+    digests = _checkpoint_equivalence(TINY)
+    emit_report("serving", _build_report(rows, digests))
+    emit_json_report("serving", {"load_sweep": rows, "checkpoint_digests": digests})
+    _check_invariants(rows, digests, TINY)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true", help="CI smoke sweep (seconds, not minutes)"
+    )
+    args = parser.parse_args()
+    spec = TINY if args.tiny else FULL
+    sweep_rows, layout_digests = _run(spec)
+    print(_build_report(sweep_rows, layout_digests))
+    emit_report("serving", _build_report(sweep_rows, layout_digests))
+    path = emit_json_report(
+        "serving", {"load_sweep": sweep_rows, "checkpoint_digests": layout_digests}
+    )
+    _check_invariants(sweep_rows, layout_digests, spec)
+    print(f"json report: {path}")

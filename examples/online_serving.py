@@ -1,0 +1,132 @@
+"""Train → checkpoint → serve → query, end to end.
+
+Run with::
+
+    PYTHONPATH=src python examples/online_serving.py
+
+The script trains a model with the hybrid-parallel trainer, writes a
+*column-sharded* checkpoint (the layout a topic-parallel run produces
+naturally), then stands up the online serving stack against it:
+``load_model`` auto-detects and reassembles the shards, the
+:class:`~repro.serving.InferenceEngine` freezes the model and builds
+per-word samplers lazily, and a :class:`~repro.serving.TopicServer`
+answers a Poisson query stream through the micro-batching scheduler —
+reporting p50/p99 latency, sustained QPS, batch occupancy and cache hit
+rate on the simulated device clock.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro import SaberLDAConfig, train_distributed
+from repro.gpusim import NVLINK
+from repro.corpus import generate_lda_corpus
+from repro.core import save_sharded_model
+from repro.serving import (
+    BatchScheduler,
+    InferenceEngine,
+    RequestQueue,
+    ResultCache,
+    TopicServer,
+    make_requests,
+    poisson_arrivals,
+)
+
+NUM_TOPICS = 16
+NUM_DEVICES = 4
+NUM_QUERIES = 60
+SEED = 23
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. Train (hybrid parallelism) and checkpoint by topic columns.
+    # ------------------------------------------------------------------ #
+    corpus = generate_lda_corpus(
+        num_documents=300,
+        vocabulary_size=800,
+        num_topics=NUM_TOPICS,
+        mean_document_length=60,
+        seed=SEED,
+    )
+    print(f"Corpus: {corpus.summary()}")
+    config = SaberLDAConfig.paper_defaults(
+        NUM_TOPICS, num_iterations=5, num_chunks=8, seed=SEED, evaluate_every=5
+    )
+    trained = train_distributed(
+        corpus.unassigned_copy(),
+        corpus.num_documents,
+        corpus.vocabulary_size,
+        config,
+        num_devices=NUM_DEVICES,
+        interconnect=NVLINK,
+        parallelism="hybrid",
+    )
+    print(
+        f"Trained {NUM_TOPICS} topics on {NUM_DEVICES} devices "
+        f"(ll/token {trained.final_log_likelihood():.3f})"
+    )
+
+    with tempfile.TemporaryDirectory() as directory:
+        base = os.path.join(directory, "model")
+        save_sharded_model(trained.model, base, num_shards=NUM_DEVICES, axis="columns")
+        print(f"Checkpoint: {len(os.listdir(directory))} files (column shards + manifest)")
+
+        # -------------------------------------------------------------- #
+        # 2. Serve: the engine auto-detects the checkpoint layout.
+        # -------------------------------------------------------------- #
+        engine = InferenceEngine.from_checkpoint(base, num_sweeps=10, seed=SEED)
+        server = TopicServer(
+            engine,
+            scheduler=BatchScheduler(max_batch_docs=8, max_wait_seconds=1e-4),
+            queue=RequestQueue(max_depth=64),
+            cache=ResultCache(capacity=1_000),
+        )
+
+        # -------------------------------------------------------------- #
+        # 3. A Poisson query stream; a few repeated documents hit the cache.
+        # -------------------------------------------------------------- #
+        rng = np.random.default_rng(SEED)
+        # Query with held-back corpus documents: real topical structure,
+        # so the inferred mixtures concentrate instead of staying flat.
+        query_docs = rng.choice(corpus.num_documents, size=NUM_QUERIES, replace=False)
+        documents = [
+            corpus.tokens.word_ids[corpus.tokens.doc_ids == doc_id]
+            for doc_id in query_docs
+        ]
+        documents[-3:] = documents[:3]  # repeats exercise the result cache
+        arrivals = poisson_arrivals(rate_qps=50_000.0, num_requests=NUM_QUERIES, rng=rng)
+        report = server.serve(make_requests(documents, arrivals))
+
+        # -------------------------------------------------------------- #
+        # 4. What came back.
+        # -------------------------------------------------------------- #
+        summary = report.summary()
+        print(
+            f"\nServed {summary['answered']:.0f}/{NUM_QUERIES} queries in "
+            f"{len(report.batches)} batches "
+            f"(mean {summary['mean_batch_docs']:.1f} docs/batch)"
+        )
+        print(
+            f"Latency p50 {summary['p50_ms'] * 1e3:.1f} us, "
+            f"p99 {summary['p99_ms'] * 1e3:.1f} us; "
+            f"sustained {summary['sustained_qps']:.0f} QPS; "
+            f"cache hit rate {summary['cache_hit_rate']:.0%}"
+        )
+        first = next(o for o in report.outcomes if o.theta is not None)
+        top = np.argsort(first.theta)[::-1][:3]
+        mix = ", ".join(f"topic {k}: {first.theta[k]:.2f}" for k in top)
+        print(f"Request {first.request_id} top topics -> {mix}")
+        builds = engine.state.bank
+        print(
+            f"Sampler bank: {builds.builds} built lazily, {builds.hits} reused, "
+            f"{builds.resident_words} resident"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -34,19 +34,23 @@ from .distributed import (
     train_distributed,
 )
 from .saberlda import SaberLDAConfig, SaberLDATrainer, TrainingResult, train_saberlda
+from .serving import InferenceEngine, ServingReport, TopicServer
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DistributedTrainer",
     "DistributedTrainingResult",
+    "InferenceEngine",
     "LDAHyperParams",
     "LDAModel",
     "LikelihoodResult",
     "PARALLELISM_MODES",
     "SaberLDAConfig",
     "SaberLDATrainer",
+    "ServingReport",
     "SparseDocTopicMatrix",
+    "TopicServer",
     "TokenList",
     "TopicShardPlan",
     "TrainingResult",

@@ -3,6 +3,7 @@
 from .reporting import (
     banner,
     comparison_row,
+    emit_json_report,
     emit_report,
     format_series,
     format_table,
@@ -12,6 +13,7 @@ from .reporting import (
 __all__ = [
     "banner",
     "comparison_row",
+    "emit_json_report",
     "emit_report",
     "format_series",
     "format_table",

@@ -9,6 +9,7 @@ latest run.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterable, List, Sequence
 
@@ -58,6 +59,20 @@ def emit_report(name: str, text: str) -> str:
     path = os.path.join(results_dir(), f"{name}.txt")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
+    return path
+
+
+def emit_json_report(name: str, payload: dict) -> str:
+    """Persist a machine-readable report under ``benchmarks/results/<name>.json``.
+
+    The text report (:func:`emit_report`) stays the human surface; the
+    JSON twin is what CI uploads as a workflow artifact so runs can be
+    diffed without parsing tables.
+    """
+    path = os.path.join(results_dir(), f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
     return path
 
 

@@ -17,6 +17,7 @@ from .likelihood import (
 )
 from .model import LDAModel
 from .serialization import (
+    detect_checkpoint_format,
     load_model,
     load_sharded_model,
     save_model,
@@ -33,6 +34,7 @@ __all__ = [
     "TokenList",
     "count_by_doc_topic_dense",
     "count_by_word_topic",
+    "detect_checkpoint_format",
     "document_topic_distributions",
     "heldout_log_likelihood",
     "load_model",

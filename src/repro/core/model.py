@@ -73,6 +73,27 @@ class LDAModel:
         """``B_hat`` — a ``V x K`` matrix whose columns are proper distributions."""
         return normalize_word_topic(self.word_topic_counts, self.params.beta)
 
+    def fold_in_phi(self) -> np.ndarray:
+        """``B̂`` rows guarded for fold-in on unseen documents.
+
+        The smoothed estimator of :meth:`topic_word_distributions` keeps
+        every entry positive for finite integer counts, but serving loads
+        checkpoints it did not train: a float matrix can carry NaN/inf
+        entries, and a word whose count row is all zeros *and* whose
+        smoothing underflows leaves a zero-sum weight row — either way
+        the per-word fold-in samplers would normalise the row 0/0 into
+        NaNs.  Any row that is non-finite or has no mass falls back to
+        the symmetric beta prior (uniform over topics), which is the
+        exact posterior for a word never seen in training.
+        """
+        phi = self.topic_word_distributions()
+        row_mass = phi.sum(axis=1)
+        bad = ~np.isfinite(row_mass) | (row_mass <= 0.0)
+        if bad.any():
+            phi = np.array(phi, copy=True)
+            phi[bad] = 1.0 / self.num_topics
+        return phi
+
     def word_name(self, word_id: int) -> str:
         """Human-readable name of a word id."""
         if self.vocabulary is not None:
@@ -99,7 +120,7 @@ class LDAModel:
     ) -> np.ndarray:
         """Infer the topic mixture of an unseen document (soft fold-in EM)."""
         word_ids = np.asarray(word_ids, dtype=np.int64)
-        phi = self.topic_word_distributions()
+        phi = self.fold_in_phi()
         if len(word_ids) == 0:
             return np.full(self.num_topics, 1.0 / self.num_topics)
         token_phi = phi[word_ids]  # n x K

@@ -50,8 +50,35 @@ def save_model(model: LDAModel, path: str) -> str:
     return path
 
 
+def detect_checkpoint_format(path: str) -> str:
+    """Classify what kind of checkpoint ``path`` names.
+
+    Returns ``"plain"`` for a :func:`save_model` archive, ``"sharded"``
+    for a :func:`save_sharded_model` manifest (either shard axis; the
+    path may be the manifest itself or the checkpoint base name), and
+    raises ``FileNotFoundError`` when nothing usable exists at ``path``.
+    """
+    if path.endswith(".manifest.json") and os.path.isfile(path):
+        return "sharded"
+    if os.path.isfile(_manifest_path(path)):
+        return "sharded"
+    if os.path.isfile(path) or os.path.isfile(path + ".npz"):
+        return "plain"
+    raise FileNotFoundError(f"no model checkpoint found at {path!r}")
+
+
 def load_model(path: str) -> LDAModel:
-    """Load a model previously written by :func:`save_model`."""
+    """Load a model from ``path``, whatever checkpoint layout wrote it.
+
+    ``path`` may name a plain :func:`save_model` archive, a sharded
+    checkpoint base name, or a shard manifest directly; the format is
+    auto-detected (:func:`detect_checkpoint_format`) and sharded
+    checkpoints — rows *and* columns — are reassembled into the full
+    word-topic matrix.  Serving loads whatever the training run saved
+    without knowing which parallelism mode produced it.
+    """
+    if detect_checkpoint_format(path) == "sharded":
+        return load_sharded_model(path)
     if not os.path.exists(path) and os.path.exists(path + ".npz"):
         path = path + ".npz"
     with np.load(path, allow_pickle=True) as archive:

@@ -42,15 +42,17 @@ trainer at the same seed in **every** parallelism mode — while
 attributing each device's simulated cost per the mode.  An iteration
 costs ``max_d(shard phases) + exposed collective``.
 
-Choosing a ``parallelism`` mode (:class:`DistributedTrainer`):
+Choosing a ``parallelism`` mode (:class:`DistributedTrainer`), and what
+each mode hands to serving:
 
-================  ==========  ============  ==============  ===========================
-mode              sampling    preprocess    per-device B    collective
-================  ==========  ============  ==============  ===========================
-``"data"``        ``T/N · K`` ``V·K`` (replicated) ``V·K``  ring all-reduce
-``"topic"``       ``T · K/N`` ``V·K/N``     ``V·K/N``       all-to-all
-``"hybrid"``      ``T/N · K`` ``V·K/N``     ``V·K/N``       all-to-all
-================  ==========  ============  ==============  ===========================
+================  ==========  ============  ==============  ===========================  =======================
+mode              sampling    preprocess    per-device B    collective                   checkpoint → serving
+================  ==========  ============  ==============  ===========================  =======================
+``"data"``        ``T/N · K`` ``V·K`` (replicated) ``V·K``  ring all-reduce              rows (``axis="rows"``)
+``"topic"``       ``T · K/N`` ``V·K/N``     ``V·K/N``       all-to-all                   columns (``axis="columns"``)
+``"hybrid"``      ``T/N · K`` ``V·K/N``     ``V·K/N``       all-to-all                   columns (``axis="columns"``)
+``serving``       ``T_q · K`` lazy/hot word ``V·K`` frozen  none (one engine, one device)  consumes any of the above
+================  ==========  ============  ==============  ===========================  =======================
 
 Rules of thumb: ``"data"`` when ``B`` fits every device (fastest
 sampling split, replicated pre-processing); ``"topic"`` when ``K`` is so
@@ -59,6 +61,19 @@ documents, huge models); ``"hybrid"`` for the common large-``K`` regime —
 data-parallel sampling speed with model-parallel memory and
 pre-processing, which strictly dominates ``"data"`` once the replicated
 ``V x K`` pre-processing or footprint binds.
+
+**Train → checkpoint → serve.**  Data-parallel runs naturally persist
+``B`` as *row* shards (each device owns its vocabulary rows of the
+merged matrix), topic-sharded runs as *column* shards (each device owns
+its ``TopicShardPlan`` slice and never materialises the full matrix) —
+both via :func:`repro.core.serialization.save_sharded_model`, plus the
+single-archive :func:`~repro.core.serialization.save_model` for small
+models.  Serving does not care which: the online subsystem
+(:mod:`repro.serving`) loads any layout through
+:func:`repro.core.serialization.load_model`'s manifest auto-detection,
+reassembles the full ``B`` once (digest-verified), freezes it, and
+answers fold-in queries bit-identically across all three layouts —
+see ``examples/online_serving.py`` for the round trip.
 """
 
 from .allreduce import (

@@ -47,7 +47,7 @@ from ..saberlda.costing import WorkloadStats, _hot_token_fraction
 from ..saberlda.estep import WordSide, esca_estep
 from ..saberlda.layout import ChunkLayout, build_layout, gather_layout_tokens
 from ..saberlda.projection import cost_iteration_phases
-from ..saberlda.scheduling import allreduce_overlap_fraction
+from ..saberlda.scheduling import allreduce_overlap_fraction, alltoall_overlap_fraction
 from ..saberlda.trainer import (
     rebuild_doc_topic,
     sparse_training_likelihood,
@@ -270,23 +270,21 @@ class DistributedTrainer:
         )
         word_side = WordSide.prepare(word_topic, params.alpha, params.beta)
 
-        # The overlap window depends only on the word-run structure of each
-        # device's stream (words never move between chunks), so the
-        # per-device fractions are computed once, not per iteration.
+        # The ring's overlap window depends only on the word-run structure of
+        # each device's stream (words never move between chunks), so the
+        # per-device fractions are computed once, not per iteration — and
+        # only for the mode that runs a ring at all (topic/hybrid merge with
+        # the all-to-all, whose per-column window is iteration-dependent).
         num_processors = max(1, config.device.num_sms * 2)
-        if plan is None:
-            # Topic parallelism: every device scans the same full stream,
-            # so one fraction serves the whole pool.
-            overlap_fractions = [
-                allreduce_overlap_fraction(layouts, num_processors)
-            ] * self.num_devices
-        else:
+        if self.parallelism == "data":
             overlap_fractions = [
                 allreduce_overlap_fraction(
                     plan.layouts_for_device(layouts, device_id), num_processors
                 )
                 for device_id in range(self.num_devices)
             ]
+        else:
+            overlap_fractions = None
 
         history: List[DistributedIterationRecord] = []
         cumulative = 0.0
@@ -318,25 +316,34 @@ class DistributedTrainer:
             overlappable = (
                 config.asynchronous and config.num_workers >= 2 and self.num_devices > 1
             )
-            # Reduce-scatter segments (ring) / column blocks (all-to-all) of
-            # words that completed early can ride the interconnect while the
-            # slowest device still samples its tail: the window is the
-            # word-completion-weighted share of its sampling phase.
-            window = overlap_fractions[slowest] * per_device_phases[slowest].get(
-                PHASE_SAMPLING, 0.0
-            )
+            # Reduce-scatter segments of words that completed early can ride
+            # the interconnect while the slowest device still samples its
+            # tail: the ring window is the word-completion-weighted share of
+            # its sampling phase.
+            slowest_sampling = per_device_phases[slowest].get(PHASE_SAMPLING, 0.0)
             ring_seconds = ring_cost.seconds if ring_cost is not None else 0.0
             a2a_seconds = a2a_cost.seconds if a2a_cost is not None else 0.0
-            exposed_ring = (
-                exposed_allreduce_seconds(ring_cost, window, overlappable)
-                if ring_cost is not None
-                else 0.0
-            )
-            exposed_a2a = (
-                exposed_allreduce_seconds(a2a_cost, window, overlappable)
-                if a2a_cost is not None
-                else 0.0
-            )
+            if ring_cost is not None:
+                window = overlap_fractions[slowest] * slowest_sampling
+                exposed_ring = exposed_allreduce_seconds(ring_cost, window, overlappable)
+            else:
+                exposed_ring = 0.0
+            if a2a_cost is not None:
+                # The all-to-all moves *column blocks*, which are final only
+                # once the stream's last token of each topic has been drawn —
+                # a per-column readiness derived from this iteration's
+                # assignments (topics move between iterations; word runs do
+                # not, which is why the ring window can be precomputed).
+                column_fraction = alltoall_overlap_fraction(
+                    self._device_stream(layouts, plan, slowest),
+                    num_processors,
+                    params.num_topics,
+                )
+                exposed_a2a = exposed_allreduce_seconds(
+                    a2a_cost, column_fraction * slowest_sampling, overlappable
+                )
+            else:
+                exposed_a2a = 0.0
             iteration_seconds = barrier + exposed_ring + exposed_a2a
             cumulative += iteration_seconds
 

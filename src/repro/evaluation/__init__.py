@@ -21,6 +21,11 @@ from .memory_model import (
     table2_rows,
     word_topic_fits_on_device,
 )
+from .serving import (
+    ServingProjection,
+    project_serving_throughput,
+    serving_batch_profile,
+)
 from .throughput import (
     ThroughputProjection,
     project_saberlda_throughput,
@@ -33,6 +38,7 @@ __all__ = [
     "ConvergenceComparison",
     "ConvergenceCurve",
     "MemoryFootprint",
+    "ServingProjection",
     "ThroughputProjection",
     "baseline_curve",
     "compare_systems",
@@ -42,7 +48,9 @@ __all__ = [
     "memory_footprint",
     "minimum_chunks_required",
     "project_saberlda_throughput",
+    "project_serving_throughput",
     "published_capacity_table",
+    "serving_batch_profile",
     "saberlda_curve",
     "table2_rows",
     "throughput_drop_fraction",

@@ -1,0 +1,158 @@
+"""Full-scale serving projection: latency and QPS at published dataset shapes.
+
+The measured serving experiments run small models; this module projects
+the steady-state serving cost of one micro-batch at the *published*
+corpus statistics — queries look like the dataset's documents (mean
+length, Zipf word frequencies, vocabulary) — through the same
+:func:`~repro.serving.engine.cost_batch_phases` pipeline the engine
+charges, exactly as :func:`~repro.evaluation.throughput.project_saberlda_throughput`
+projects training iterations.  The headline quantities are the
+saturation throughput (``batch_docs / batch_seconds``) and the service
+latency floor of one batch, per batch size and topic count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..corpus.datasets import DatasetDescriptor
+from ..corpus.zipf import ZipfModel
+from ..gpusim.device import DeviceSpec, GTX_1080
+from ..saberlda.config import SaberLDAConfig
+from ..saberlda.costing import (
+    WorkloadStats,
+    _hot_token_fraction_from_probs,
+    expected_distinct_topics,
+)
+from ..serving.engine import cost_batch_phases
+
+
+@dataclass(frozen=True)
+class ServingProjection:
+    """Projected steady-state serving cost of one micro-batch."""
+
+    dataset: str
+    device: str
+    num_topics: int
+    batch_docs: int
+    num_sweeps: int
+    phase_seconds: Dict[str, float]
+    batch_seconds: float
+    cold_words_per_batch: float
+
+    @property
+    def max_qps(self) -> float:
+        """Saturation throughput: documents served per second at full batches."""
+        if self.batch_seconds <= 0:
+            return 0.0
+        return self.batch_docs / self.batch_seconds
+
+    @property
+    def latency_floor_seconds(self) -> float:
+        """Service time of one batch — the best-case answered latency."""
+        return self.batch_seconds
+
+    @property
+    def latency_floor_ms(self) -> float:
+        """:attr:`latency_floor_seconds` in milliseconds."""
+        return self.batch_seconds * 1e3
+
+
+def project_serving_throughput(
+    descriptor: DatasetDescriptor,
+    num_topics: int,
+    batch_docs: int,
+    num_sweeps: int = 15,
+    device: Optional[DeviceSpec] = None,
+    config: Optional[SaberLDAConfig] = None,
+    mean_doc_nnz: Optional[float] = None,
+    cold_word_fraction: float = 0.0,
+    zipf_exponent: float = 1.05,
+) -> ServingProjection:
+    """Project one serving micro-batch at a published dataset's query shape.
+
+    ``cold_word_fraction`` is the share of the batch's distinct words
+    whose Problem-2 sampler must be built during the batch (0 models the
+    steady state where the Zipf head is already resident; 1 models a
+    cold start).  ``mean_doc_nnz`` defaults to the analytic estimate of
+    the distinct topics a query document of the dataset's mean length
+    touches.
+    """
+    if batch_docs < 1:
+        raise ValueError("batch_docs must be >= 1")
+    if not 0.0 <= cold_word_fraction <= 1.0:
+        raise ValueError("cold_word_fraction must be in [0, 1]")
+    device = device or GTX_1080
+    if config is None:
+        config = SaberLDAConfig.paper_defaults(num_topics, device=device)
+    else:
+        config = config.with_overrides(
+            params=config.params.with_topics(num_topics), device=device
+        )
+
+    mean_length = descriptor.tokens_per_document
+    num_tokens = max(1, int(round(batch_docs * mean_length)))
+    if mean_doc_nnz is None:
+        mean_doc_nnz = expected_distinct_topics(mean_length, num_topics)
+    mean_doc_nnz = float(min(mean_doc_nnz, num_topics, mean_length))
+
+    probabilities = ZipfModel(
+        descriptor.vocabulary_size, exponent=zipf_exponent
+    ).probabilities()
+    # Expected distinct words in a batch of `num_tokens` Zipf draws
+    # (word-occupancy formula, as in WorkloadStats.from_descriptor).
+    expected_words = float(np.sum(1.0 - np.exp(-probabilities * num_tokens)))
+    hot_fraction = _hot_token_fraction_from_probs(probabilities, num_topics, device)
+
+    stats = WorkloadStats(
+        num_tokens=num_tokens,
+        num_documents=batch_docs,
+        vocabulary_size=descriptor.vocabulary_size,
+        num_topics=num_topics,
+        mean_doc_nnz=mean_doc_nnz,
+        total_doc_nnz=mean_doc_nnz * batch_docs,
+        distinct_chunk_words=expected_words,
+        hot_token_fraction=hot_fraction,
+        chunk_token_counts=[num_tokens],
+    )
+    cold_words = cold_word_fraction * expected_words
+    phase_seconds = cost_batch_phases(
+        stats,
+        num_sweeps=num_sweeps,
+        built_words=int(round(cold_words)),
+        config=config,
+    )
+    return ServingProjection(
+        dataset=descriptor.name,
+        device=device.name,
+        num_topics=num_topics,
+        batch_docs=batch_docs,
+        num_sweeps=num_sweeps,
+        phase_seconds=dict(phase_seconds),
+        batch_seconds=sum(phase_seconds.values()),
+        cold_words_per_batch=cold_words,
+    )
+
+
+def serving_batch_profile(
+    descriptor: DatasetDescriptor,
+    num_topics: int,
+    batch_sizes=(1, 8, 32, 128),
+    num_sweeps: int = 15,
+    device: Optional[DeviceSpec] = None,
+) -> Dict[int, ServingProjection]:
+    """Latency/throughput across batch sizes — the micro-batching knee.
+
+    Larger batches amortise per-pass overheads into higher saturation
+    QPS at the price of a higher per-batch latency floor; the knee is
+    where the marginal QPS gain stops paying for the latency.
+    """
+    return {
+        batch_docs: project_serving_throughput(
+            descriptor, num_topics, batch_docs, num_sweeps=num_sweeps, device=device
+        )
+        for batch_docs in batch_sizes
+    }

@@ -23,6 +23,8 @@ from .layout import ChunkLayout, WordRun, build_layout, gather_layout_tokens, la
 from .projection import IterationCost, cost_iteration_phases
 from .scheduling import (
     ScheduleOutcome,
+    alltoall_overlap_fraction,
+    column_finalization_fractions,
     frequency_ordering_benefit,
     head_token_share,
     schedule_word_runs,
@@ -61,7 +63,9 @@ __all__ = [
     "WordSide",
     "WorkloadStats",
     "ablation_presets",
+    "alltoall_overlap_fraction",
     "build_layout",
+    "column_finalization_fractions",
     "cost_iteration_phases",
     "count_rebuild_traffic",
     "esca_estep",

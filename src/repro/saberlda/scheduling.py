@@ -158,6 +158,72 @@ def word_finalization_fractions(
     return np.array(sorted(finalization.values()), dtype=np.float64) / total
 
 
+def column_finalization_fractions(
+    layouts: Sequence[ChunkLayout], num_processors: int, num_topics: int
+) -> np.ndarray:
+    """When each topic *column* of the partial ``B`` becomes final.
+
+    The all-to-all of the topic-sharded modes moves *column blocks*, not
+    word rows: owner ``m`` receives ``B[:, start_m:stop_m]``, and a
+    column ``k`` of the partial is final — eligible to leave early —
+    once the stream's last token assigned to topic ``k`` has been
+    sampled.  The chunks run back-to-back in stream order with word runs
+    finishing at their dynamic-schedule completion times (doc-major
+    chunks degrade to one run covering the whole chunk).  Returns one
+    fraction in ``(0, 1]`` per topic column that received at least one
+    token (order unspecified); columns no token landed on carry no bytes
+    worth modelling and are omitted, mirroring the distinct-word
+    convention of :func:`word_finalization_fractions`.
+    """
+    if num_processors < 1:
+        raise ValueError("num_processors must be >= 1")
+    if num_topics < 1:
+        raise ValueError("num_topics must be >= 1")
+    finalization = np.full(num_topics, -1.0)
+    total = 0.0
+    for layout in layouts:
+        if layout.word_runs:
+            sizes = [run.num_tokens for run in layout.word_runs]
+            finishes = dynamic_finish_times(sizes, num_processors)
+            makespan = max(finishes) if finishes else 0.0
+            for run, finish in zip(layout.word_runs, finishes):
+                topics = layout.tokens.topics[run.start : run.stop]
+                topics = topics[topics >= 0]
+                if len(topics):
+                    np.maximum.at(finalization, topics, total + finish)
+        else:
+            makespan = float(layout.num_tokens) / num_processors
+            topics = layout.tokens.topics[layout.tokens.topics >= 0]
+            if len(topics):
+                np.maximum.at(finalization, np.unique(topics), total + makespan)
+        total += makespan
+    touched = finalization[finalization >= 0.0]
+    if touched.size == 0 or total <= 0:
+        return np.zeros(0, dtype=np.float64)
+    return np.sort(touched) / total
+
+
+def alltoall_overlap_fraction(
+    layouts: Sequence[ChunkLayout], num_processors: int, num_topics: int
+) -> float:
+    """Fraction of the sampling phase available to hide the all-to-all.
+
+    The per-*column* analogue of :func:`allreduce_overlap_fraction`:
+    each topic column's block waits ``1 - finalization_fraction`` of the
+    phase before the barrier, during which its bytes can ride the
+    interconnect toward the owning device.  Columns are typically
+    touched until deep into the stream (any word may draw any topic), so
+    this window is tighter than the per-word one — skew in *when* a
+    topic's last token lands (e.g. a topic concentrated in one late
+    chunk) now shows up in the exposed collective instead of being
+    averaged away by the word model.
+    """
+    fractions = column_finalization_fractions(layouts, num_processors, num_topics)
+    if fractions.size == 0:
+        return 0.0
+    return float(np.mean(1.0 - fractions))
+
+
 def allreduce_overlap_fraction(
     layouts: Sequence[ChunkLayout], num_processors: int
 ) -> float:

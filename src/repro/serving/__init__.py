@@ -1,0 +1,98 @@
+"""repro.serving — online topic inference over trained SaberLDA models.
+
+Training ends with a checkpoint; this subsystem is everything after it:
+load a frozen :class:`~repro.core.model.LDAModel` and answer
+"what is this document about?" for unseen documents under live request
+load, with the latency and throughput of every design choice measured on
+the same simulated-GPU cost model the trainer uses.  The pipeline:
+
+**Loading** — :meth:`InferenceEngine.from_checkpoint` accepts any
+checkpoint layout through :func:`repro.core.serialization.load_model`'s
+format auto-detection: a plain archive, row shards (data-parallel runs)
+or column shards (topic-parallel runs) reassemble to one ``B``; a seeded
+query stream is bit-identical across all three.
+
+**Fold-in inference** (:mod:`~repro.serving.foldin`) — ESCA-flavoured
+Gibbs sweeps with the paper's sparsity-aware decomposition.  Because
+``B̂`` is frozen, the per-word Problem-2 structures (alias table or
+W-ary tree — the same ``repro.sampling`` implementations the trainer
+ablates) are built *lazily per hot word* and kept in an LRU
+:class:`WordSamplerBank` instead of being rebuilt every iteration.
+
+**Request path** (:mod:`~repro.serving.queue` /
+:mod:`~repro.serving.scheduler` / :mod:`~repro.serving.cache`) — a
+bounded :class:`RequestQueue` with admission control sheds load past
+saturation; a :class:`BatchScheduler` packs pending documents into
+PDOW-style micro-batches (one training chunk's layout, built with
+``corpus.chunking``) trading bounded queueing delay for GPU occupancy;
+a digest-keyed :class:`ResultCache` answers repeated documents without
+spending a batch slot.
+
+**Execution and measurement** (:mod:`~repro.serving.engine` /
+:mod:`~repro.serving.server`) — :class:`InferenceEngine` runs the real
+fold-in mathematics and charges sampling / lazy pre-processing /
+transfer on :class:`~repro.gpusim.cost_model.CostModel`;
+:class:`TopicServer` drives the whole path as a discrete-event
+simulation under open-loop (Poisson) arrivals and reports p50/p99
+latency, sustained QPS, batch occupancy, cache hit rate and rejection
+rate — the serving analogue of the trainer's iteration records.
+
+Typical usage::
+
+    from repro.serving import InferenceEngine, TopicServer, make_requests
+
+    engine = InferenceEngine.from_checkpoint("model.ckpt", seed=7)
+    server = TopicServer(engine)
+    report = server.serve(make_requests(documents, arrival_times))
+    print(report.summary())
+"""
+
+from .cache import ResultCache, document_digest
+from .engine import (
+    BatchExecution,
+    InferenceEngine,
+    engine_results_digest,
+    warm_sampler_bank,
+)
+from .foldin import (
+    FoldInResult,
+    FrozenModelState,
+    WordSamplerBank,
+    fold_in_document,
+    fold_in_proximity,
+    request_rng,
+)
+from .queue import RequestQueue, ServingRequest
+from .scheduler import BatchScheduler, InferenceBatch, layout_batch
+from .server import (
+    RequestOutcome,
+    ServingReport,
+    TopicServer,
+    make_requests,
+    poisson_arrivals,
+)
+
+__all__ = [
+    "BatchExecution",
+    "BatchScheduler",
+    "FoldInResult",
+    "FrozenModelState",
+    "InferenceBatch",
+    "InferenceEngine",
+    "RequestOutcome",
+    "RequestQueue",
+    "ResultCache",
+    "ServingReport",
+    "ServingRequest",
+    "TopicServer",
+    "WordSamplerBank",
+    "document_digest",
+    "engine_results_digest",
+    "fold_in_document",
+    "fold_in_proximity",
+    "layout_batch",
+    "make_requests",
+    "poisson_arrivals",
+    "request_rng",
+    "warm_sampler_bank",
+]

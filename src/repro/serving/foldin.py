@@ -1,0 +1,291 @@
+"""Fold-in Gibbs inference for unseen documents.
+
+Serving answers "what topics is this new document about?" against a
+*frozen* model: the word-topic matrix ``B`` never changes, only the
+query document's topic counts do.  The sampler is the ESCA-flavoured
+fold-in loop — each sweep resamples every token of the document against
+the document counts frozen at the start of the sweep, exactly the
+bulk-synchronous semantics of the trainer's E-step — and each token uses
+the paper's sparsity-aware decomposition (Alg. 2):
+
+* **Problem 1** (document side) — ``p1(k) ∝ n_dk B̂_vk`` over the
+  ``K_d`` non-zero topics of the query document, sampled with the same
+  prefix-sum search as training;
+* **Problem 2** (prior side) — ``p2(k) ∝ B̂_vk``, answered from a
+  per-word pre-processed sampler (:class:`~repro.sampling.alias_table.AliasTable`
+  or :class:`~repro.sampling.wary_tree.WaryTree`).  Training rebuilds
+  every word's structure each iteration because ``B`` moves; serving's
+  ``B`` is frozen, so :class:`WordSamplerBank` builds a word's structure
+  the first time a query touches it and keeps the hottest words cached —
+  the Zipf head of real query traffic makes the amortised build cost per
+  token tiny.
+
+Everything is deterministic given the RNG: tokens are visited in
+position order and the draw schedule per token is fixed, so a seeded
+fold-in is bit-reproducible — the anchor of the serving golden tests and
+of the plain/row-sharded/column-sharded checkpoint equivalence check.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..core.model import LDAModel
+from ..sampling.alias_table import AliasTable
+from ..sampling.multinomial import sample_sparse_vector
+from ..sampling.wary_tree import WaryTree
+from ..saberlda.config import PreprocessKind
+
+#: A pre-processed Problem-2 sampler of one word.
+WordSampler = Union[AliasTable, WaryTree]
+
+
+@dataclass
+class WordSamplerBank:
+    """Lazily built per-word Problem-2 samplers over frozen ``B̂`` rows.
+
+    Attributes
+    ----------
+    phi:
+        The frozen ``V x K`` fold-in matrix (:meth:`LDAModel.fold_in_phi`).
+    kind:
+        Which pre-processed structure to build per word (the same
+        alias-table/W-ary-tree switch the trainer ablates).
+    capacity:
+        Maximum number of word structures kept resident (LRU eviction) —
+        the serving analogue of the shared-memory budget: only the hot
+        head of the query vocabulary stays pre-processed.
+    """
+
+    phi: np.ndarray
+    kind: PreprocessKind = PreprocessKind.WARY_TREE
+    capacity: int = 4096
+    builds: int = 0
+    hits: int = 0
+    evictions: int = 0
+    construction_steps: int = 0
+    _samplers: "OrderedDict[int, WordSampler]" = field(default_factory=OrderedDict)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+
+    @property
+    def resident_words(self) -> int:
+        """Number of word structures currently cached."""
+        return len(self._samplers)
+
+    def sampler(self, word_id: int) -> WordSampler:
+        """The pre-processed sampler of one word, building it on first touch."""
+        word_id = int(word_id)
+        cached = self._samplers.get(word_id)
+        if cached is not None:
+            self.hits += 1
+            self._samplers.move_to_end(word_id)
+            return cached
+        weights = self.phi[word_id]
+        if self.kind is PreprocessKind.ALIAS_TABLE:
+            built: WordSampler = AliasTable.build(weights)
+        else:
+            built = WaryTree.build(weights)
+        self.builds += 1
+        self.construction_steps += built.construction_steps
+        self._samplers[word_id] = built
+        if len(self._samplers) > self.capacity:
+            self._samplers.popitem(last=False)
+            self.evictions += 1
+        return built
+
+    def draw(self, word_id: int, count: int, rng: np.random.Generator) -> np.ndarray:
+        """``count`` Problem-2 topic draws for one word (fixed RNG schedule)."""
+        sampler = self.sampler(word_id)
+        if isinstance(sampler, AliasTable):
+            return sampler.sample_batch(rng.random(count), rng.random(count))
+        return sampler.sample_batch(rng.random(count))
+
+    def begin_batch(self) -> int:
+        """Mark a batch boundary; returns builds so far (pair with :meth:`builds_since`)."""
+        return self.builds
+
+    def builds_since(self, mark: int) -> int:
+        """Word structures built since ``mark`` — what a batch must be charged for."""
+        return self.builds - mark
+
+
+@dataclass(frozen=True)
+class FoldInResult:
+    """Inference output for one document.
+
+    Attributes
+    ----------
+    theta:
+        Posterior-mean topic mixture ``(n_k + alpha) / (n + K alpha)``.
+    doc_topic_counts:
+        Final hard topic counts of the document's tokens.
+    topics:
+        Final per-token assignments (aligned with the query word ids).
+    num_sweeps:
+        Gibbs sweeps performed (including the initialisation sweep).
+    """
+
+    theta: np.ndarray
+    doc_topic_counts: np.ndarray
+    topics: np.ndarray
+    num_sweeps: int
+
+    @property
+    def num_tokens(self) -> int:
+        """Length of the query document."""
+        return int(len(self.topics))
+
+    def top_topics(self, count: int = 3) -> list:
+        """The ``count`` highest-probability topics as ``(topic_id, prob)`` pairs."""
+        order = np.argsort(self.theta)[::-1][:count]
+        return [(int(k), float(self.theta[k])) for k in order]
+
+
+def fold_in_document(
+    word_ids: Sequence[int],
+    phi: np.ndarray,
+    prior_mass: np.ndarray,
+    alpha: float,
+    bank: WordSamplerBank,
+    rng: np.random.Generator,
+    num_sweeps: int = 15,
+) -> FoldInResult:
+    """Fold one unseen document into a frozen model.
+
+    ``phi`` and ``prior_mass`` are the frozen per-word quantities
+    (``B̂`` and ``Q_v = alpha Σ_k B̂_vk``); ``bank`` answers Problem 2.
+    Sweep 0 initialises every token from its word's prior-side sampler
+    (the document has no counts yet); each later sweep freezes the
+    document counts and resamples every token with the two-branch
+    decomposition.  Tokens are visited grouped by word in ascending word
+    id — the PDOW ordering of a one-document chunk — so the RNG schedule
+    is a pure function of the (sorted) query and the seed.
+    """
+    if num_sweeps < 1:
+        raise ValueError("num_sweeps must be >= 1")
+    word_ids = np.asarray(word_ids, dtype=np.int64)
+    num_topics = int(phi.shape[1])
+    if word_ids.size and (word_ids.min() < 0 or word_ids.max() >= phi.shape[0]):
+        raise ValueError("query word ids must be in [0, vocabulary_size)")
+    topics = np.empty(len(word_ids), dtype=np.int32)
+    counts = np.zeros(num_topics, dtype=np.int64)
+    if len(word_ids) == 0:
+        theta = np.full(num_topics, 1.0 / num_topics)
+        return FoldInResult(theta, counts, topics, num_sweeps)
+
+    # Group token positions into per-word runs once (word-major order).
+    order = np.argsort(word_ids, kind="stable")
+    sorted_words = word_ids[order]
+    boundaries = np.flatnonzero(np.diff(sorted_words)) + 1
+    starts = np.concatenate([[0], boundaries])
+    stops = np.concatenate([boundaries, [len(word_ids)]])
+    runs = [
+        (int(sorted_words[start]), order[start:stop])
+        for start, stop in zip(starts, stops)
+    ]
+
+    # Sweep 0: no document counts yet, only Problem 2 has mass.
+    for word_id, positions in runs:
+        drawn = bank.draw(word_id, len(positions), rng)
+        topics[positions] = drawn.astype(np.int32)
+        np.add.at(counts, drawn, 1)
+
+    for _ in range(1, num_sweeps):
+        frozen = counts  # BSP: every token of the sweep reads these counts
+        nz_topics = np.flatnonzero(frozen)
+        nz_counts = frozen[nz_topics].astype(np.float64)
+        new_topics = np.empty_like(topics)
+        for word_id, positions in runs:
+            run_length = len(positions)
+            product = phi[word_id, nz_topics] * nz_counts
+            doc_mass = float(product.sum())
+            q = float(prior_mass[word_id])
+            take_doc = rng.random(run_length) < doc_mass / (doc_mass + q)
+            chosen = np.empty(run_length, dtype=np.int64)
+            for slot in np.flatnonzero(take_doc):
+                chosen[slot] = sample_sparse_vector(nz_topics, product, rng.random())
+            prior_slots = np.flatnonzero(~take_doc)
+            if len(prior_slots):
+                chosen[prior_slots] = bank.draw(word_id, len(prior_slots), rng)
+            new_topics[positions] = chosen.astype(np.int32)
+        topics = new_topics
+        counts = np.bincount(topics, minlength=num_topics).astype(np.int64)
+
+    totals = len(word_ids) + num_topics * alpha
+    theta = (counts + alpha) / totals
+    return FoldInResult(theta, counts, topics, num_sweeps)
+
+
+@dataclass
+class FrozenModelState:
+    """Everything the engine pre-computes once per loaded model.
+
+    ``phi`` comes from :meth:`LDAModel.fold_in_phi` (zero-count words
+    fall back to the symmetric prior), ``prior_mass`` is ``Q_v`` and the
+    bank holds the lazily built per-word samplers.
+    """
+
+    model: LDAModel
+    phi: np.ndarray
+    prior_mass: np.ndarray
+    bank: WordSamplerBank
+
+    @classmethod
+    def prepare(
+        cls,
+        model: LDAModel,
+        kind: PreprocessKind = PreprocessKind.WARY_TREE,
+        sampler_capacity: int = 4096,
+    ) -> "FrozenModelState":
+        """Freeze a trained model for serving."""
+        phi = model.fold_in_phi()
+        prior_mass = model.params.alpha * phi.sum(axis=1)
+        bank = WordSamplerBank(phi=phi, kind=kind, capacity=sampler_capacity)
+        return cls(model=model, phi=phi, prior_mass=prior_mass, bank=bank)
+
+    def fold_in(
+        self,
+        word_ids: Sequence[int],
+        rng: np.random.Generator,
+        num_sweeps: int = 15,
+    ) -> FoldInResult:
+        """Fold one document in against this frozen state."""
+        return fold_in_document(
+            word_ids,
+            self.phi,
+            self.prior_mass,
+            self.model.params.alpha,
+            self.bank,
+            rng,
+            num_sweeps=num_sweeps,
+        )
+
+
+def request_rng(seed: int, request_id: int) -> np.random.Generator:
+    """The per-request deterministic RNG.
+
+    Keyed by ``(seed, request_id)`` only — *not* by batch composition —
+    so a request's inferred topics are identical whatever batch the
+    scheduler packed it into, and identical across checkpoint layouts of
+    the same model.
+    """
+    return np.random.default_rng(np.random.SeedSequence([int(seed), int(request_id)]))
+
+
+def fold_in_proximity(result: FoldInResult, reference_counts: np.ndarray, alpha: float) -> float:
+    """L1 distance between a fold-in theta and a reference count vector's theta.
+
+    Used by the property tests: folding a *training* document back in
+    against its own model should land near the document's training-time
+    topic mixture (far nearer than the uniform mixture).
+    """
+    reference = np.asarray(reference_counts, dtype=np.float64)
+    ref_theta = (reference + alpha) / (reference.sum() + len(reference) * alpha)
+    return float(np.abs(result.theta - ref_theta).sum())

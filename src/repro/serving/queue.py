@@ -1,0 +1,102 @@
+"""Request admission and queueing for the serving front door.
+
+The queue is the system's pressure valve: an open-loop arrival process
+does not slow down when the engine falls behind, so without admission
+control the queue — and every latency percentile — grows without bound
+past the saturation knee.  :class:`RequestQueue` bounds the number of
+pending documents and rejects (load-sheds) arrivals beyond it, which
+keeps the served requests' latency finite and makes the overload regime
+measurable (goodput + rejection rate) instead of degenerate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ServingRequest:
+    """One topic-inference query.
+
+    Attributes
+    ----------
+    request_id:
+        Dense id assigned by the caller; also the per-request RNG key,
+        so results do not depend on batching or arrival interleaving.
+    word_ids:
+        The query document's token word ids.
+    arrival_seconds:
+        Simulated arrival time.
+    """
+
+    request_id: int
+    word_ids: np.ndarray
+    arrival_seconds: float
+
+    @property
+    def num_tokens(self) -> int:
+        """Length of the query document."""
+        return int(len(self.word_ids))
+
+
+@dataclass
+class RequestQueue:
+    """Bounded FIFO of pending requests with admission control.
+
+    ``max_depth`` is the admission limit measured in *documents*; an
+    arrival finding the queue full is rejected and counted.  ``None``
+    disables shedding (an unbounded queue — useful to demonstrate why
+    the bound exists).
+    """
+
+    max_depth: Optional[int] = 256
+    admitted: int = 0
+    rejected: int = 0
+    _pending: Deque[ServingRequest] = field(default_factory=deque)
+
+    def __post_init__(self) -> None:
+        if self.max_depth is not None and self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1 (or None for unbounded)")
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def depth(self) -> int:
+        """Number of pending documents."""
+        return len(self._pending)
+
+    def offer(self, request: ServingRequest) -> bool:
+        """Admit a request if there is room; returns whether it was admitted."""
+        if self.max_depth is not None and len(self._pending) >= self.max_depth:
+            self.rejected += 1
+            return False
+        self._pending.append(request)
+        self.admitted += 1
+        return True
+
+    def oldest_arrival(self) -> Optional[float]:
+        """Arrival time of the longest-waiting request, or ``None`` when empty."""
+        if not self._pending:
+            return None
+        return self._pending[0].arrival_seconds
+
+    def pop_up_to(self, count: int) -> List[ServingRequest]:
+        """Remove and return up to ``count`` requests in FIFO order."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        taken: List[ServingRequest] = []
+        while self._pending and len(taken) < count:
+            taken.append(self._pending.popleft())
+        return taken
+
+    def rejection_rate(self) -> float:
+        """Rejected over offered (0.0 before any offer)."""
+        offered = self.admitted + self.rejected
+        if offered == 0:
+            return 0.0
+        return self.rejected / offered

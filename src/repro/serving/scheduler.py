@@ -1,0 +1,167 @@
+"""Micro-batching: pack pending documents into PDOW-style batches.
+
+A single query document cannot saturate a GPU — the whole point of the
+paper's layout work is that throughput comes from processing many
+documents' tokens word-major.  The scheduler therefore trades a bounded
+amount of queueing delay for occupancy: it dispatches when either enough
+documents are pending (``max_batch_docs``) or the oldest request has
+waited ``max_wait_seconds`` — the classic micro-batching knee between
+latency at low load and throughput at high load.
+
+A dispatched batch is laid out exactly like a training chunk: the
+requests' tokens become one :class:`~repro.core.tokens.TokenList` with
+batch-local document ids, are partitioned with the same
+:func:`~repro.corpus.chunking.partition_by_document` used by the
+trainer's streaming pipeline (one chunk — a batch *is* a chunk), and
+sorted word-major so the engine's cost model sees the PDOW access
+pattern (one ``B̂`` row load per distinct word of the batch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.tokens import TokenList
+from ..corpus.chunking import DocumentChunk, partition_by_document
+from .queue import RequestQueue, ServingRequest
+
+
+@dataclass(frozen=True)
+class InferenceBatch:
+    """One dispatched micro-batch.
+
+    Attributes
+    ----------
+    batch_id:
+        Position in the dispatch stream.
+    requests:
+        The packed requests, in queue (FIFO) order; request ``i`` owns
+        batch-local document id ``i``.
+    chunk:
+        The PDOW chunk of the batch: all tokens, word-major, with the
+        batch-local document ids.
+    dispatch_seconds:
+        Simulated time the batch left the queue.
+    """
+
+    batch_id: int
+    requests: List[ServingRequest]
+    chunk: DocumentChunk
+    tokens: TokenList
+    dispatch_seconds: float
+
+    @property
+    def num_documents(self) -> int:
+        """Documents in the batch."""
+        return len(self.requests)
+
+    @property
+    def num_tokens(self) -> int:
+        """Total query tokens in the batch."""
+        return self.tokens.num_tokens
+
+    def distinct_words(self) -> int:
+        """Distinct word ids — the ``B̂`` rows a batch pass touches."""
+        if self.num_tokens == 0:
+            return 0
+        return int(len(np.unique(self.tokens.word_ids)))
+
+    def queue_wait_seconds(self) -> List[float]:
+        """Per-request wait between arrival and dispatch."""
+        return [self.dispatch_seconds - request.arrival_seconds for request in self.requests]
+
+
+def layout_batch(
+    requests: List[ServingRequest], batch_id: int, dispatch_seconds: float
+) -> InferenceBatch:
+    """Lay the requests out as one PDOW chunk (word-major tokens)."""
+    if not requests:
+        raise ValueError("a batch needs at least one request")
+    doc_ids = np.concatenate(
+        [
+            np.full(request.num_tokens, local_id, dtype=np.int32)
+            for local_id, request in enumerate(requests)
+        ]
+    )
+    word_ids = np.concatenate(
+        [np.asarray(request.word_ids, dtype=np.int32) for request in requests]
+    )
+    tokens = TokenList.from_pairs(doc_ids, word_ids)
+    [chunk] = partition_by_document(tokens, num_documents=len(requests), num_chunks=1)
+    word_major = chunk.tokens.sorted_by("word")
+    return InferenceBatch(
+        batch_id=batch_id,
+        requests=list(requests),
+        chunk=chunk,
+        tokens=word_major,
+        dispatch_seconds=dispatch_seconds,
+    )
+
+
+@dataclass
+class BatchScheduler:
+    """Decides when a batch leaves the queue and packs it.
+
+    Attributes
+    ----------
+    max_batch_docs:
+        Dispatch as soon as this many documents are pending.
+    max_wait_seconds:
+        Dispatch a partial batch once the oldest request has waited this
+        long (the latency bound at low load); ``0`` dispatches whatever
+        is pending the moment the engine goes idle.
+    """
+
+    max_batch_docs: int = 16
+    max_wait_seconds: float = 0.005
+    batches_dispatched: int = 0
+    documents_dispatched: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_docs < 1:
+            raise ValueError("max_batch_docs must be >= 1")
+        if self.max_wait_seconds < 0:
+            raise ValueError("max_wait_seconds must be >= 0")
+
+    def ready(self, queue: RequestQueue, now: float, draining: bool = False) -> bool:
+        """Should a batch be dispatched at ``now``?
+
+        ``draining`` forces dispatch of whatever is pending (no more
+        arrivals will ever come, so waiting for a full batch would wait
+        forever).
+        """
+        if len(queue) == 0:
+            return False
+        if draining or len(queue) >= self.max_batch_docs:
+            return True
+        oldest = queue.oldest_arrival()
+        # Compare against the same float expression next_deadline() hands
+        # the event loop: `now - oldest >= max_wait` can round the other
+        # way and spin the clock on its own deadline forever.
+        return oldest is not None and now >= oldest + self.max_wait_seconds
+
+    def next_deadline(self, queue: RequestQueue) -> Optional[float]:
+        """Earliest future time :meth:`ready` could flip true by waiting alone."""
+        oldest = queue.oldest_arrival()
+        if oldest is None:
+            return None
+        return oldest + self.max_wait_seconds
+
+    def dispatch(self, queue: RequestQueue, now: float) -> InferenceBatch:
+        """Pop up to ``max_batch_docs`` requests and lay them out."""
+        requests = queue.pop_up_to(self.max_batch_docs)
+        if not requests:
+            raise ValueError("dispatch called on an empty queue")
+        batch = layout_batch(requests, self.batches_dispatched, now)
+        self.batches_dispatched += 1
+        self.documents_dispatched += batch.num_documents
+        return batch
+
+    def mean_batch_occupancy(self) -> float:
+        """Average documents per dispatched batch (batching efficiency)."""
+        if self.batches_dispatched == 0:
+            return 0.0
+        return self.documents_dispatched / self.batches_dispatched

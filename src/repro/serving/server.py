@@ -1,0 +1,304 @@
+"""The serving front end: admission → queue → micro-batch → engine → cache.
+
+:class:`TopicServer` wires the pieces into a discrete-event simulation
+over the engine's simulated clock.  The driver is open-loop: requests
+arrive at their own times (Poisson for the benchmarks) whether or not
+the engine keeps up, which is what exposes the latency/throughput knee —
+below saturation the queue stays shallow and latency is one batch; past
+it, waits grow until admission control sheds load.
+
+One engine serves one device; the server dispatches at most one batch
+at a time (the engine is the GPU).  Cache hits are answered at arrival
+without touching the queue, so repeated documents cost a lookup, not a
+batch slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .cache import ResultCache, document_digest
+from .engine import BatchExecution, InferenceEngine
+from .queue import RequestQueue, ServingRequest
+from .scheduler import BatchScheduler
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """What happened to one offered request."""
+
+    request_id: int
+    arrival_seconds: float
+    status: str  # "served" | "cache_hit" | "rejected"
+    finish_seconds: Optional[float] = None
+    batch_id: Optional[int] = None
+    theta: Optional[np.ndarray] = None
+
+    @property
+    def latency_seconds(self) -> Optional[float]:
+        """Arrival-to-answer latency (None for rejected requests)."""
+        if self.finish_seconds is None:
+            return None
+        return self.finish_seconds - self.arrival_seconds
+
+
+@dataclass
+class ServingReport:
+    """Aggregate metrics of one simulated serving run.
+
+    All counters are *per-run snapshots* taken when :meth:`TopicServer.serve`
+    returns — serving more traffic through the same server afterwards does
+    not retroactively change an earlier report, and a report never mixes in
+    a previous run's admissions or cache lookups.
+    """
+
+    outcomes: List[RequestOutcome]
+    batches: List[BatchExecution]
+    makespan_seconds: float
+    rejection_rate: float
+    mean_batch_docs: float
+    cache_hits: int
+    cache_lookups: int
+
+    def _latencies(self, include_cache_hits: bool = True) -> np.ndarray:
+        values = [
+            outcome.latency_seconds
+            for outcome in self.outcomes
+            if outcome.latency_seconds is not None
+            and (include_cache_hits or outcome.status == "served")
+        ]
+        return np.asarray(values, dtype=np.float64)
+
+    def latency_percentile(self, percentile: float, include_cache_hits: bool = True) -> float:
+        """Latency percentile over answered requests (seconds)."""
+        latencies = self._latencies(include_cache_hits)
+        if latencies.size == 0:
+            return 0.0
+        return float(np.percentile(latencies, percentile))
+
+    @property
+    def p50_seconds(self) -> float:
+        """Median answered latency."""
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99_seconds(self) -> float:
+        """Tail answered latency."""
+        return self.latency_percentile(99.0)
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean answered latency."""
+        latencies = self._latencies()
+        if latencies.size == 0:
+            return 0.0
+        return float(latencies.mean())
+
+    @property
+    def answered(self) -> int:
+        """Requests answered (served or cache hit)."""
+        return sum(1 for outcome in self.outcomes if outcome.status != "rejected")
+
+    @property
+    def rejected(self) -> int:
+        """Requests shed by admission control."""
+        return sum(1 for outcome in self.outcomes if outcome.status == "rejected")
+
+    @property
+    def sustained_qps(self) -> float:
+        """Answered requests over the span from first arrival to last answer."""
+        if not self.outcomes or self.makespan_seconds <= 0:
+            return 0.0
+        return self.answered / self.makespan_seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cache hits over lookups during this run (0.0 before any lookup)."""
+        if self.cache_lookups == 0:
+            return 0.0
+        return self.cache_hits / self.cache_lookups
+
+    def summary(self) -> Dict[str, float]:
+        """Flat metrics dict for reports and benchmark JSON."""
+        return {
+            "answered": float(self.answered),
+            "rejected": float(self.rejected),
+            "rejection_rate": self.rejection_rate,
+            "p50_ms": self.p50_seconds * 1e3,
+            "p99_ms": self.p99_seconds * 1e3,
+            "mean_ms": self.mean_seconds * 1e3,
+            "sustained_qps": self.sustained_qps,
+            "mean_batch_docs": self.mean_batch_docs,
+            "cache_hit_rate": self.cache_hit_rate,
+            "num_batches": float(len(self.batches)),
+        }
+
+
+@dataclass
+class TopicServer:
+    """Single-device topic-inference server over a simulated clock."""
+
+    engine: InferenceEngine
+    scheduler: BatchScheduler = field(default_factory=BatchScheduler)
+    queue: RequestQueue = field(default_factory=RequestQueue)
+    cache: ResultCache = field(default_factory=ResultCache)
+
+    def serve(self, requests: Sequence[ServingRequest]) -> ServingReport:
+        """Run the full arrival stream to completion and report.
+
+        Requests must be offered in arrival order; the simulation
+        advances the clock between arrivals, batch dispatches and batch
+        completions, with the engine processing one batch at a time.
+        """
+        arrivals = sorted(requests, key=lambda request: request.arrival_seconds)
+        outcomes: Dict[int, RequestOutcome] = {}
+        batches: List[BatchExecution] = []
+        pending_digests: Dict[int, str] = {}
+
+        # Counter baselines: the report covers this run only, even when the
+        # same server (and its cumulative scheduler/cache counters) serves
+        # several streams back to back.
+        batches_before = self.scheduler.batches_dispatched
+        documents_before = self.scheduler.documents_dispatched
+        cache_hits_before = self.cache.hits
+        cache_lookups_before = self.cache.hits + self.cache.misses
+        vocabulary_size = self.engine.model.vocabulary_size
+
+        now = 0.0
+        next_arrival = 0
+        busy_until: Optional[float] = None
+        in_flight: Optional[BatchExecution] = None
+        last_answer = 0.0
+
+        def admit(request: ServingRequest) -> None:
+            # Validate at admission: a malformed request is refused on its
+            # own, never dispatched where it would abort a whole batch (and
+            # the simulation) from inside the engine.
+            word_ids = np.asarray(request.word_ids)
+            if len(word_ids) and (
+                word_ids.min() < 0 or word_ids.max() >= vocabulary_size
+            ):
+                outcomes[request.request_id] = RequestOutcome(
+                    request_id=request.request_id,
+                    arrival_seconds=request.arrival_seconds,
+                    status="rejected",
+                )
+                return
+            digest = document_digest(request.word_ids)
+            cached = self.cache.get(digest)
+            if cached is not None:
+                outcomes[request.request_id] = RequestOutcome(
+                    request_id=request.request_id,
+                    arrival_seconds=request.arrival_seconds,
+                    status="cache_hit",
+                    finish_seconds=request.arrival_seconds,
+                    theta=cached,
+                )
+                return
+            if self.queue.offer(request):
+                pending_digests[request.request_id] = digest
+            else:
+                outcomes[request.request_id] = RequestOutcome(
+                    request_id=request.request_id,
+                    arrival_seconds=request.arrival_seconds,
+                    status="rejected",
+                )
+
+        while next_arrival < len(arrivals) or len(self.queue) > 0 or in_flight is not None:
+            draining = next_arrival >= len(arrivals)
+
+            # Dispatch whenever the engine is idle and the policy fires.
+            if in_flight is None and self.scheduler.ready(self.queue, now, draining):
+                batch = self.scheduler.dispatch(self.queue, now)
+                in_flight = self.engine.execute(batch)
+                busy_until = now + in_flight.seconds
+                continue
+
+            # Advance the clock to the next event.
+            candidates: List[float] = []
+            if next_arrival < len(arrivals):
+                candidates.append(arrivals[next_arrival].arrival_seconds)
+            if busy_until is not None:
+                candidates.append(busy_until)
+            if in_flight is None and len(self.queue) > 0:
+                deadline = self.scheduler.next_deadline(self.queue)
+                if deadline is not None:
+                    candidates.append(deadline)
+            now = max(now, min(candidates))
+
+            # Admit every arrival at or before the new clock.
+            while (
+                next_arrival < len(arrivals)
+                and arrivals[next_arrival].arrival_seconds <= now
+            ):
+                admit(arrivals[next_arrival])
+                next_arrival += 1
+
+            # Complete the in-flight batch.
+            if in_flight is not None and busy_until is not None and busy_until <= now:
+                finish = busy_until
+                for request, result in zip(in_flight.batch.requests, in_flight.results):
+                    outcomes[request.request_id] = RequestOutcome(
+                        request_id=request.request_id,
+                        arrival_seconds=request.arrival_seconds,
+                        status="served",
+                        finish_seconds=finish,
+                        batch_id=in_flight.batch.batch_id,
+                        theta=result.theta,
+                    )
+                    digest = pending_digests.pop(request.request_id, None)
+                    if digest is not None:
+                        self.cache.put(digest, result.theta)
+                last_answer = max(last_answer, finish)
+                batches.append(in_flight)
+                in_flight = None
+                busy_until = None
+
+        ordered = [outcomes[request.request_id] for request in arrivals]
+        first_arrival = arrivals[0].arrival_seconds if arrivals else 0.0
+        makespan = max(last_answer, now) - first_arrival if arrivals else 0.0
+        rejected = sum(1 for outcome in ordered if outcome.status == "rejected")
+        run_batches = self.scheduler.batches_dispatched - batches_before
+        run_documents = self.scheduler.documents_dispatched - documents_before
+        return ServingReport(
+            outcomes=ordered,
+            batches=batches,
+            makespan_seconds=makespan,
+            rejection_rate=rejected / len(ordered) if ordered else 0.0,
+            mean_batch_docs=run_documents / run_batches if run_batches else 0.0,
+            cache_hits=self.cache.hits - cache_hits_before,
+            cache_lookups=self.cache.hits + self.cache.misses - cache_lookups_before,
+        )
+
+
+def poisson_arrivals(
+    rate_qps: float, num_requests: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Open-loop Poisson arrival times: exponential gaps at ``rate_qps``."""
+    if rate_qps <= 0:
+        raise ValueError("rate_qps must be positive")
+    if num_requests < 0:
+        raise ValueError("num_requests must be >= 0")
+    gaps = rng.exponential(1.0 / rate_qps, size=num_requests)
+    return np.cumsum(gaps)
+
+
+def make_requests(
+    documents: Sequence[Sequence[int]],
+    arrival_times: Sequence[float],
+    first_request_id: int = 0,
+) -> List[ServingRequest]:
+    """Zip query documents with arrival times into requests."""
+    if len(documents) != len(arrival_times):
+        raise ValueError("documents and arrival_times must have the same length")
+    return [
+        ServingRequest(
+            request_id=first_request_id + position,
+            word_ids=np.asarray(word_ids, dtype=np.int32),
+            arrival_seconds=float(arrival),
+        )
+        for position, (word_ids, arrival) in enumerate(zip(documents, arrival_times))
+    ]

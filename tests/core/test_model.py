@@ -76,3 +76,41 @@ class TestInference:
     def test_coherence_proxy_in_unit_interval(self, model):
         value = model.topic_coherence_proxy(num_words=3)
         assert 0.0 < value <= 1.0
+
+
+class TestFoldInPhi:
+    """The guarded fold-in estimator (zero-count / corrupt rows)."""
+
+    def test_matches_smoothed_estimator_for_healthy_counts(self, model):
+        np.testing.assert_array_equal(
+            model.fold_in_phi(), model.topic_word_distributions()
+        )
+
+    def test_zero_count_word_gets_positive_prior_weights(self, tiny_tokens):
+        params = LDAHyperParams(num_topics=3, alpha=0.1, beta=0.01)
+        counts = count_by_word_topic(tiny_tokens, 5, 3)
+        padded = np.vstack([counts, np.zeros((1, 3), dtype=np.int64)])
+        model = LDAModel(word_topic_counts=padded, params=params)
+        phi = model.fold_in_phi()
+        assert np.isfinite(phi).all()
+        assert (phi[-1] > 0.0).all()  # the unseen word still has fold-in mass
+
+    def test_non_finite_rows_fall_back_to_symmetric_prior(self, tiny_tokens):
+        params = LDAHyperParams(num_topics=3, alpha=0.1, beta=0.01)
+        counts = count_by_word_topic(tiny_tokens, 5, 3).astype(np.float64)
+        counts[2, :] = np.nan  # a corrupt float checkpoint row
+        model = LDAModel(word_topic_counts=counts, params=params)
+        phi = model.fold_in_phi()
+        assert np.isfinite(phi).all()
+        # NaN poisons the column totals, so every row degrades to the
+        # symmetric prior rather than NaN-ing the fold-in samplers.
+        np.testing.assert_allclose(phi, 1.0 / 3.0)
+
+    def test_infer_document_with_unseen_words_is_finite(self, tiny_tokens):
+        params = LDAHyperParams(num_topics=3, alpha=0.1, beta=0.01)
+        counts = count_by_word_topic(tiny_tokens, 5, 3)
+        padded = np.vstack([counts, np.zeros((1, 3), dtype=np.int64)])
+        model = LDAModel(word_topic_counts=padded, params=params)
+        theta = model.infer_document([5, 5, 5])  # only the unseen word
+        assert np.isfinite(theta).all()
+        assert theta.sum() == pytest.approx(1.0)

@@ -17,6 +17,8 @@ from repro.saberlda import SaberLDAConfig
 from repro.saberlda.layout import build_layout
 from repro.saberlda.scheduling import (
     allreduce_overlap_fraction,
+    alltoall_overlap_fraction,
+    column_finalization_fractions,
     dynamic_finish_times,
     word_finalization_fractions,
 )
@@ -78,6 +80,120 @@ class TestWordFinalization:
 
     def test_overlap_fraction_of_empty_stream_is_zero(self):
         assert allreduce_overlap_fraction([], num_processors=4) == 0.0
+
+
+class TestColumnFinalization:
+    """Per-*column* readiness — what gates the all-to-all's column blocks."""
+
+    def test_fractions_in_unit_interval(self, layouts):
+        fractions = column_finalization_fractions(layouts, 40, num_topics=8)
+        assert fractions.size > 0
+        assert np.all(fractions > 0.0)
+        assert np.all(fractions <= 1.0)
+
+    def test_one_fraction_per_touched_topic(self, layouts):
+        touched = len(
+            set(
+                int(topic)
+                for layout in layouts
+                for topic in np.unique(layout.tokens.topics)
+                if topic >= 0
+            )
+        )
+        fractions = column_finalization_fractions(layouts, 40, num_topics=8)
+        assert fractions.size == touched
+
+    def test_empty_stream_yields_no_fractions(self):
+        assert column_finalization_fractions([], 4, num_topics=8).size == 0
+        assert alltoall_overlap_fraction([], 4, num_topics=8) == 0.0
+
+    def test_columns_finalise_later_than_words(self, layouts):
+        """Any word may draw any topic, so columns stay dirty deep into the
+        stream: the per-column window must be tighter than the per-word one."""
+        processors = GTX_1080.num_sms * 2
+        column = alltoall_overlap_fraction(layouts, processors, num_topics=8)
+        word = allreduce_overlap_fraction(layouts, processors)
+        assert 0.0 <= column < word
+
+    def test_topic_confined_to_late_chunk_finalises_late(self):
+        """Chunk-skew regression: a topic whose last tokens sit in the final
+        chunk ships later than one confined to the first chunk."""
+        corpus = generate_lda_corpus(
+            num_documents=120,
+            vocabulary_size=300,
+            num_topics=4,
+            mean_document_length=40,
+            seed=5,
+        )
+        config = SaberLDAConfig.paper_defaults(4, num_chunks=4, seed=5)
+
+        def confined(topic_for_last_chunk: int) -> float:
+            tokens = corpus.tokens.copy()
+            tokens.topics[:] = 0
+            # Documents [90, 120) land in the last of 4 chunks.
+            last_chunk = tokens.doc_ids >= 90
+            tokens.topics[last_chunk] = topic_for_last_chunk
+            layouts = build_layout(tokens, corpus.num_documents, config)
+            fractions = column_finalization_fractions(layouts, 40, num_topics=4)
+            return fractions
+
+        fractions = confined(3)
+        # Two touched columns: topic 0 (everywhere, so last-touched late)
+        # and topic 3 (only the last chunk, also late) — both near 1.
+        assert fractions.size == 2
+        tokens = corpus.tokens.copy()
+        tokens.topics[:] = 0
+        early = tokens.doc_ids < 30  # first chunk only
+        tokens.topics[early] = 3
+        layouts = build_layout(tokens, corpus.num_documents, config)
+        early_fractions = column_finalization_fractions(layouts, 40, num_topics=4)
+        # Topic 3 now finalises inside the first chunk: its fraction is the
+        # smallest and strictly below the everywhere-topic's.
+        assert early_fractions.size == 2
+        assert early_fractions[0] < early_fractions[1]
+        assert early_fractions[0] < fractions.min()
+
+    def test_exposed_alltoall_tracks_columns_not_words(self):
+        """End-to-end regression: the hybrid trainer's all-to-all hides behind
+        the per-column window, which is strictly tighter than the per-word
+        window the ring uses on the same stream.
+
+        With uniformly spread topics every column stays dirty until the last
+        chunk's last runs, so the all-to-all is (nearly) fully exposed even
+        though the ring — gated on per-word last touches — still hides part
+        of itself.  Before the per-column model both collectives shared the
+        word window and these shares were equal by construction.
+        """
+        config = SaberLDAConfig.paper_defaults(
+            8, num_iterations=1, num_chunks=4, seed=33, evaluate_every=5
+        )
+        corpus, tokens = TestWindowRespondsToChunkSkew._skewed_corpus(back_loaded=True)
+        hybrid = train_distributed(
+            tokens.copy(),
+            240,
+            corpus.vocabulary_size,
+            config,
+            num_devices=2,
+            interconnect=PCIE_P2P,
+            parallelism="hybrid",
+        )
+        data = train_distributed(
+            tokens.copy(),
+            240,
+            corpus.vocabulary_size,
+            config,
+            num_devices=2,
+            interconnect=PCIE_P2P,
+            parallelism="data",
+        )
+        a2a = hybrid.history[-1]
+        ring = data.history[-1]
+        assert a2a.alltoall_seconds > 0.0
+        assert ring.allreduce_seconds > 0.0
+        a2a_share = a2a.exposed_alltoall_seconds / a2a.alltoall_seconds
+        ring_share = ring.exposed_allreduce_seconds / ring.allreduce_seconds
+        assert a2a_share > ring_share
+        assert ring_share < 1.0
 
 
 class TestWindowRespondsToChunkSkew:

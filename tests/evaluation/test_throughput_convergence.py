@@ -9,6 +9,8 @@ from repro.evaluation import (
     ConvergenceCurve,
     compare_systems,
     project_saberlda_throughput,
+    project_serving_throughput,
+    serving_batch_profile,
     throughput_drop_fraction,
     topic_scaling_profile,
 )
@@ -131,3 +133,48 @@ class TestCompareSystems:
             if curve.failed or not curve.log_likelihood_per_token:
                 continue
             assert curve.time_to_reach(threshold) is not None
+
+
+class TestServingProjection:
+    """The serving companion of the training projection."""
+
+    def test_batching_amortises_into_higher_qps(self):
+        profile = serving_batch_profile(NYTIMES, 1000, batch_sizes=(1, 8, 32, 128))
+        qps = [profile[batch].max_qps for batch in (1, 8, 32, 128)]
+        latency = [profile[batch].latency_floor_seconds for batch in (1, 8, 32, 128)]
+        assert qps == sorted(qps)  # bigger batches never lose throughput
+        assert latency == sorted(latency)  # but always cost latency
+        assert all(value > 0 for value in qps + latency)
+
+    def test_more_topics_cost_latency(self):
+        small = project_serving_throughput(NYTIMES, 1000, batch_docs=32)
+        large = project_serving_throughput(NYTIMES, 10_000, batch_docs=32)
+        assert large.latency_floor_seconds > small.latency_floor_seconds
+        assert large.max_qps < small.max_qps
+
+    def test_sweeps_scale_the_sampling_phase(self):
+        few = project_serving_throughput(NYTIMES, 1000, batch_docs=32, num_sweeps=5)
+        many = project_serving_throughput(NYTIMES, 1000, batch_docs=32, num_sweeps=20)
+        assert many.batch_seconds > few.batch_seconds
+
+    def test_cold_start_charges_sampler_builds(self):
+        warm = project_serving_throughput(NYTIMES, 1000, batch_docs=32)
+        cold = project_serving_throughput(
+            NYTIMES, 1000, batch_docs=32, cold_word_fraction=1.0
+        )
+        assert warm.cold_words_per_batch == 0.0
+        assert cold.cold_words_per_batch > 0.0
+        assert cold.batch_seconds > warm.batch_seconds
+
+    def test_single_gpu_serving_needs_a_fleet_for_millions_of_users(self):
+        """Sanity anchor for the ROADMAP north star: one simulated device
+        serves thousands-to-tens-of-thousands of QPS at K=1000, so heavy
+        traffic is a replication story, not a single-device one."""
+        projection = project_serving_throughput(NYTIMES, 1000, batch_docs=32)
+        assert 100 < projection.max_qps < 1_000_000
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            project_serving_throughput(NYTIMES, 1000, batch_docs=0)
+        with pytest.raises(ValueError):
+            project_serving_throughput(NYTIMES, 1000, 8, cold_word_fraction=1.5)

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import LDAHyperParams, count_by_word_topic, LDAModel
 from repro.core.serialization import (
+    detect_checkpoint_format,
     load_model,
     load_sharded_model,
     save_model,
@@ -192,3 +193,69 @@ class TestShardedCheckpoints:
         np.testing.assert_array_equal(
             restored.word_topic_counts, model.word_topic_counts
         )
+
+
+class TestLoadModelAutoDetect:
+    """`load_model` serves whatever layout training saved (serving's loader)."""
+
+    @pytest.fixture
+    def model(self, corpus):
+        params = LDAHyperParams(num_topics=5, alpha=0.1, beta=0.01)
+        counts = count_by_word_topic(corpus.tokens, corpus.vocabulary_size, 5)
+        return LDAModel(
+            word_topic_counts=counts,
+            params=params,
+            vocabulary=corpus.vocabulary.words(),
+        )
+
+    def test_detects_plain_archives(self, model, tmp_path):
+        path = save_model(model, str(tmp_path / "plain"))
+        assert detect_checkpoint_format(path) == "plain"
+        assert detect_checkpoint_format(str(tmp_path / "plain")) == "plain"
+
+    @pytest.mark.parametrize("axis", ["rows", "columns"])
+    def test_detects_sharded_checkpoints(self, model, tmp_path, axis):
+        base = str(tmp_path / "sharded")
+        manifest = save_sharded_model(model, base, num_shards=3, axis=axis)
+        assert detect_checkpoint_format(base) == "sharded"
+        assert detect_checkpoint_format(manifest) == "sharded"
+
+    def test_detect_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            detect_checkpoint_format(str(tmp_path / "nothing-here"))
+
+    @pytest.mark.parametrize("axis", ["rows", "columns"])
+    def test_load_model_reassembles_sharded_checkpoints(self, model, tmp_path, axis):
+        """The satellite: callers no longer need to know the shard axis."""
+        base = str(tmp_path / "ckpt")
+        manifest = save_sharded_model(model, base, num_shards=4, axis=axis)
+        for path in (base, manifest):
+            restored = load_model(path)
+            np.testing.assert_array_equal(
+                restored.word_topic_counts, model.word_topic_counts
+            )
+            assert restored.params == model.params
+            assert list(restored.vocabulary) == list(model.vocabulary)
+
+    def test_all_three_layouts_load_identically(self, model, tmp_path):
+        plain = load_model(save_model(model, str(tmp_path / "plain")))
+        rows = load_model(
+            save_sharded_model(model, str(tmp_path / "rows"), num_shards=3, axis="rows")
+        )
+        columns = load_model(
+            save_sharded_model(
+                model, str(tmp_path / "cols"), num_shards=3, axis="columns"
+            )
+        )
+        np.testing.assert_array_equal(plain.word_topic_counts, rows.word_topic_counts)
+        np.testing.assert_array_equal(plain.word_topic_counts, columns.word_topic_counts)
+        assert plain.params == rows.params == columns.params
+
+    def test_load_model_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(str(tmp_path / "absent"))
+
+    def test_detect_rejects_directories(self, tmp_path):
+        (tmp_path / "ckpt-dir").mkdir()
+        with pytest.raises(FileNotFoundError):
+            detect_checkpoint_format(str(tmp_path / "ckpt-dir"))

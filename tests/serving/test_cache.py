@@ -1,0 +1,80 @@
+"""Result cache: digest semantics, LRU behaviour, counters."""
+
+import numpy as np
+import pytest
+
+from repro.serving import ResultCache, document_digest
+
+
+class TestDocumentDigest:
+    def test_stable_across_calls_and_dtypes(self):
+        assert document_digest([1, 2, 3]) == document_digest(np.array([1, 2, 3], dtype=np.int32))
+
+    def test_sensitive_to_order_and_content(self):
+        base = document_digest([1, 2, 3])
+        assert document_digest([3, 2, 1]) != base
+        assert document_digest([1, 2, 4]) != base
+        assert document_digest([1, 2]) != base
+
+    def test_length_prefix_separates_concatenations(self):
+        # Without the length prefix [1] + [2] and [1, 2] could collide
+        # across adjacent cache keys built from raw byte concatenation.
+        assert document_digest([]) != document_digest([0])
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        digest = document_digest([1, 2])
+        assert cache.get(digest) is None
+        cache.put(digest, np.array([0.5, 0.5]))
+        hit = cache.get(digest)
+        assert hit is not None
+        assert hit == pytest.approx([0.5, 0.5])
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_prefers_recently_used(self):
+        cache = ResultCache(capacity=2)
+        a, b, c = (document_digest([i]) for i in range(3))
+        cache.put(a, np.array([1.0]))
+        cache.put(b, np.array([2.0]))
+        cache.get(a)  # refresh a
+        cache.put(c, np.array([3.0]))  # evicts b
+        assert cache.get(a) is not None
+        assert cache.get(b) is None
+        assert cache.get(c) is not None
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_zero_capacity_disables_caching(self):
+        cache = ResultCache(capacity=0)
+        digest = document_digest([7])
+        cache.put(digest, np.array([1.0]))
+        assert cache.get(digest) is None
+        assert len(cache) == 0
+
+    def test_cached_theta_is_frozen(self):
+        cache = ResultCache(capacity=2)
+        digest = document_digest([1])
+        cache.put(digest, np.array([0.25, 0.75]))
+        entry = cache.get(digest)
+        with pytest.raises(ValueError):
+            entry[0] = 0.9
+
+    def test_put_copies_the_input(self):
+        cache = ResultCache(capacity=2)
+        digest = document_digest([1])
+        theta = np.array([0.25, 0.75])
+        cache.put(digest, theta)
+        theta[0] = 0.9  # mutating the caller's array must not leak in
+        assert cache.get(digest) == pytest.approx([0.25, 0.75])
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)
+
+    def test_stats_shape(self):
+        cache = ResultCache(capacity=3)
+        stats = cache.stats()
+        assert set(stats) == {"size", "capacity", "hits", "misses", "evictions", "hit_rate"}

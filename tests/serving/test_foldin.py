@@ -1,0 +1,296 @@
+"""Fold-in inference: determinism (golden-pinned), convergence, sampler bank.
+
+Regenerate the golden file (only when a statistical change to fold-in is
+intentional) with::
+
+    PYTHONPATH=src python tests/serving/test_foldin.py --regenerate
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import LDAHyperParams, LDAModel
+from repro.saberlda import PreprocessKind, SaberLDAConfig, train_saberlda
+from repro.serving import (
+    InferenceEngine,
+    WordSamplerBank,
+    fold_in_proximity,
+    request_rng,
+)
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "golden",
+    "serving_fold_in.json",
+)
+
+#: The pinned workload.
+CORPUS_SPEC = dict(
+    num_documents=40, vocabulary_size=100, num_topics=5, mean_document_length=30, seed=123
+)
+NUM_TOPICS = 6
+TRAIN_SEED = 77
+SERVE_SEED = 31
+NUM_SWEEPS = 12
+NUM_GOLDEN_QUERIES = 6
+THETA_DECIMALS = 12
+
+
+def _train_model(make_corpus):
+    corpus = make_corpus(**CORPUS_SPEC)
+    config = SaberLDAConfig.paper_defaults(
+        NUM_TOPICS, num_iterations=3, num_chunks=4, seed=TRAIN_SEED, evaluate_every=3
+    )
+    result = train_saberlda(
+        corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size, config
+    )
+    return corpus, result
+
+
+def _golden_queries(corpus):
+    rng = np.random.default_rng(SERVE_SEED)
+    picks = rng.choice(corpus.num_documents, size=NUM_GOLDEN_QUERIES, replace=False)
+    return [
+        corpus.tokens.word_ids[corpus.tokens.doc_ids == doc_id] for doc_id in picks
+    ]
+
+
+def _golden_thetas(engine, queries):
+    return [
+        [
+            round(float(value), THETA_DECIMALS)
+            for value in engine.infer_request(query, request_id=position).theta
+        ]
+        for position, query in enumerate(queries)
+    ]
+
+
+@pytest.fixture(scope="module")
+def trained(make_corpus):
+    return _train_model(make_corpus)
+
+
+@pytest.fixture(scope="module")
+def engine(trained):
+    _corpus, result = trained
+    return InferenceEngine.from_model(result.model, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED)
+
+
+class TestGoldenFoldIn:
+    """Seeded fold-in topic distributions are pinned bit-for-bit."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        if not os.path.exists(GOLDEN_PATH):
+            pytest.fail(
+                f"golden file missing: {GOLDEN_PATH}; generate it with "
+                "`PYTHONPATH=src python tests/serving/test_foldin.py --regenerate`"
+            )
+        with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def test_thetas_unchanged(self, golden, trained, engine):
+        corpus, _result = trained
+        thetas = _golden_thetas(engine, _golden_queries(corpus))
+        assert len(thetas) == len(golden["thetas"])
+        for measured, pinned in zip(thetas, golden["thetas"]):
+            assert measured == pytest.approx(pinned, abs=10**-THETA_DECIMALS)
+
+    def test_workload_spec_unchanged(self, golden):
+        assert golden["corpus"] == CORPUS_SPEC
+        assert golden["num_topics"] == NUM_TOPICS
+        assert golden["num_sweeps"] == NUM_SWEEPS
+        assert golden["serve_seed"] == SERVE_SEED
+
+
+class TestDeterminism:
+    def test_same_request_id_is_bit_identical(self, trained):
+        _corpus, result = trained
+        query = [3, 5, 5, 9, 40, 2, 7]
+        first = InferenceEngine.from_model(
+            result.model, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED
+        ).infer_request(query, request_id=4)
+        second = InferenceEngine.from_model(
+            result.model, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED
+        ).infer_request(query, request_id=4)
+        assert np.array_equal(first.theta, second.theta)
+        assert np.array_equal(first.topics, second.topics)
+
+    def test_request_rng_keyed_by_seed_and_id(self):
+        assert request_rng(1, 2).random() == request_rng(1, 2).random()
+        assert request_rng(1, 2).random() != request_rng(1, 3).random()
+        assert request_rng(1, 2).random() != request_rng(2, 2).random()
+
+    def test_result_independent_of_bank_state(self, trained):
+        """A warm sampler bank must not change the numbers, only the cost."""
+        _corpus, result = trained
+        query = [10, 11, 12, 13, 10, 11]
+        cold = InferenceEngine.from_model(
+            result.model, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED
+        )
+        warm = InferenceEngine.from_model(
+            result.model, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED
+        )
+        for word in range(result.model.vocabulary_size):
+            warm.state.bank.sampler(word)
+        assert np.array_equal(
+            cold.infer_request(query, 9).theta, warm.infer_request(query, 9).theta
+        )
+
+
+class TestFoldInQuality:
+    def test_empty_document_returns_uniform_prior(self, engine):
+        result = engine.infer_request([], request_id=0)
+        assert result.theta == pytest.approx(np.full(NUM_TOPICS, 1.0 / NUM_TOPICS))
+        assert result.num_tokens == 0
+
+    def test_theta_is_a_distribution(self, trained, engine):
+        corpus, _result = trained
+        for position, query in enumerate(_golden_queries(corpus)):
+            theta = engine.infer_request(query, request_id=position).theta
+            assert theta.sum() == pytest.approx(1.0)
+            assert np.all(theta > 0.0)
+
+    def test_counts_match_topics(self, engine):
+        result = engine.infer_request([1, 2, 3, 4, 5, 6, 7, 8], request_id=5)
+        rebuilt = np.bincount(result.topics, minlength=NUM_TOPICS)
+        assert np.array_equal(rebuilt, result.doc_topic_counts)
+
+    def test_training_documents_fold_in_near_their_training_counts(self, make_corpus):
+        """Property: folding a training document back into a *converged* model
+        lands far nearer its training-time topic mixture than the uniform
+        mixture does (a barely-trained model has no signal to recover)."""
+        corpus = make_corpus(60, 120, 4, 40, 123)
+        config = SaberLDAConfig.paper_defaults(
+            4, num_iterations=30, num_chunks=2, seed=TRAIN_SEED, evaluate_every=30
+        )
+        result = train_saberlda(
+            corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size, config
+        )
+        engine = InferenceEngine.from_model(result.model, num_sweeps=30, seed=SERVE_SEED)
+        alpha = result.model.params.alpha
+        num_topics = result.model.num_topics
+        uniform = FoldLike(theta=np.full(num_topics, 1.0 / num_topics))
+        improvements = []
+        for doc_id in range(0, corpus.num_documents, 3):
+            query = corpus.tokens.word_ids[corpus.tokens.doc_ids == doc_id]
+            if len(query) == 0:
+                continue
+            reference_topics, reference_counts = result.doc_topic.row(doc_id)
+            reference = np.zeros(num_topics)
+            reference[reference_topics] = reference_counts
+            folded = engine.infer_request(query, request_id=1000 + doc_id)
+            distance = fold_in_proximity(folded, reference, alpha)
+            uniform_distance = fold_in_proximity(uniform, reference, alpha)
+            improvements.append(uniform_distance - distance)
+        assert len(improvements) >= 15
+        # Fold-in recovers the training mixture far better than the
+        # uninformed prior; allow individual documents to be noisy.
+        assert np.mean(improvements) > 0.1
+        assert np.mean([delta > 0 for delta in improvements]) >= 0.8
+
+    def test_unseen_word_falls_back_to_prior_without_nans(self):
+        """Satellite fix: a zero-count vocabulary row must fold in finitely."""
+        params = LDAHyperParams.paper_defaults(4)
+        counts = np.zeros((6, 4), dtype=np.int64)
+        counts[:5] = [[8, 0, 0, 0]] * 5  # word 5 never seen in training
+        model = LDAModel(word_topic_counts=counts, params=params)
+        engine = InferenceEngine.from_model(model, num_sweeps=5, seed=1)
+        result = engine.infer_request([5, 5, 5], request_id=0)
+        assert np.isfinite(result.theta).all()
+        assert result.theta.sum() == pytest.approx(1.0)
+
+
+class FoldLike:
+    """Minimal stand-in carrying a theta for :func:`fold_in_proximity`."""
+
+    def __init__(self, theta):
+        self.theta = theta
+
+
+class TestWordSamplerBank:
+    @pytest.fixture()
+    def phi(self, trained):
+        _corpus, result = trained
+        return result.model.fold_in_phi()
+
+    def test_builds_lazily_and_reuses(self, phi):
+        bank = WordSamplerBank(phi=phi)
+        bank.sampler(3)
+        bank.sampler(3)
+        bank.sampler(7)
+        assert bank.builds == 2
+        assert bank.hits == 1
+        assert bank.resident_words == 2
+
+    def test_lru_eviction(self, phi):
+        bank = WordSamplerBank(phi=phi, capacity=2)
+        bank.sampler(0)
+        bank.sampler(1)
+        bank.sampler(0)  # refresh word 0
+        bank.sampler(2)  # evicts word 1
+        assert bank.evictions == 1
+        bank.sampler(0)
+        assert bank.builds == 3  # 0 still resident
+        bank.sampler(1)
+        assert bank.builds == 4  # 1 was evicted and rebuilt
+
+    @pytest.mark.parametrize("kind", [PreprocessKind.WARY_TREE, PreprocessKind.ALIAS_TABLE])
+    def test_both_sampler_kinds_draw_valid_topics(self, phi, kind, rng):
+        bank = WordSamplerBank(phi=phi, kind=kind)
+        draws = bank.draw(5, 200, rng)
+        assert draws.shape == (200,)
+        assert np.all((0 <= draws) & (draws < phi.shape[1]))
+
+    def test_draws_follow_the_word_distribution(self, phi, rng):
+        bank = WordSamplerBank(phi=phi)
+        draws = bank.draw(2, 20_000, rng)
+        empirical = np.bincount(draws, minlength=phi.shape[1]) / 20_000
+        expected = phi[2] / phi[2].sum()
+        assert empirical == pytest.approx(expected, abs=0.02)
+
+    def test_rejects_bad_capacity(self, phi):
+        with pytest.raises(ValueError):
+            WordSamplerBank(phi=phi, capacity=0)
+
+
+def _regenerate():
+    """Rewrite the golden file (intentional statistical changes only)."""
+    from repro.corpus import generate_lda_corpus
+
+    corpus = generate_lda_corpus(**CORPUS_SPEC)
+    config = SaberLDAConfig.paper_defaults(
+        NUM_TOPICS, num_iterations=3, num_chunks=4, seed=TRAIN_SEED, evaluate_every=3
+    )
+    result = train_saberlda(
+        corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size, config
+    )
+    engine = InferenceEngine.from_model(
+        result.model, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED
+    )
+    payload = {
+        "format": "saberlda-serving-golden",
+        "corpus": CORPUS_SPEC,
+        "num_topics": NUM_TOPICS,
+        "train_seed": TRAIN_SEED,
+        "serve_seed": SERVE_SEED,
+        "num_sweeps": NUM_SWEEPS,
+        "thetas": _golden_thetas(engine, _golden_queries(corpus)),
+    }
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return GOLDEN_PATH
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        print(f"wrote {_regenerate()}")
+    else:
+        print(__doc__)

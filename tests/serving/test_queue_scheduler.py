@@ -1,0 +1,132 @@
+"""Admission control and micro-batch packing."""
+
+import numpy as np
+import pytest
+
+from repro.serving import BatchScheduler, RequestQueue, ServingRequest, layout_batch
+
+
+def _request(request_id: int, arrival: float = 0.0, tokens=(1, 2, 3)) -> ServingRequest:
+    return ServingRequest(
+        request_id=request_id,
+        word_ids=np.asarray(tokens, dtype=np.int32),
+        arrival_seconds=arrival,
+    )
+
+
+class TestRequestQueue:
+    def test_fifo_order(self):
+        queue = RequestQueue(max_depth=8)
+        for request_id in range(3):
+            assert queue.offer(_request(request_id, arrival=0.1 * request_id))
+        taken = queue.pop_up_to(2)
+        assert [request.request_id for request in taken] == [0, 1]
+        assert queue.depth == 1
+
+    def test_admission_control_sheds_past_the_bound(self):
+        queue = RequestQueue(max_depth=2)
+        assert queue.offer(_request(0))
+        assert queue.offer(_request(1))
+        assert not queue.offer(_request(2))
+        assert queue.admitted == 2
+        assert queue.rejected == 1
+        assert queue.rejection_rate() == pytest.approx(1.0 / 3.0)
+
+    def test_unbounded_queue_never_rejects(self):
+        queue = RequestQueue(max_depth=None)
+        for request_id in range(500):
+            assert queue.offer(_request(request_id))
+        assert queue.rejected == 0
+
+    def test_oldest_arrival(self):
+        queue = RequestQueue()
+        assert queue.oldest_arrival() is None
+        queue.offer(_request(0, arrival=0.7))
+        queue.offer(_request(1, arrival=0.9))
+        assert queue.oldest_arrival() == pytest.approx(0.7)
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            RequestQueue(max_depth=0)
+
+
+class TestBatchScheduler:
+    def test_not_ready_when_empty(self):
+        scheduler = BatchScheduler(max_batch_docs=4, max_wait_seconds=1.0)
+        assert not scheduler.ready(RequestQueue(), now=100.0)
+
+    def test_ready_when_batch_fills(self):
+        scheduler = BatchScheduler(max_batch_docs=2, max_wait_seconds=100.0)
+        queue = RequestQueue()
+        queue.offer(_request(0))
+        assert not scheduler.ready(queue, now=0.0)
+        queue.offer(_request(1))
+        assert scheduler.ready(queue, now=0.0)
+
+    def test_ready_when_oldest_waits_out(self):
+        scheduler = BatchScheduler(max_batch_docs=16, max_wait_seconds=0.5)
+        queue = RequestQueue()
+        queue.offer(_request(0, arrival=1.0))
+        assert not scheduler.ready(queue, now=1.4)
+        assert scheduler.ready(queue, now=1.5)
+        assert scheduler.next_deadline(queue) == pytest.approx(1.5)
+
+    def test_ready_is_consistent_with_its_own_deadline(self):
+        """Float-precision regression: advancing the clock to next_deadline()
+        must flip ready() true, whatever the arrival's mantissa."""
+        scheduler = BatchScheduler(max_batch_docs=16, max_wait_seconds=0.002)
+        queue = RequestQueue()
+        queue.offer(_request(0, arrival=0.12345678901234567))
+        deadline = scheduler.next_deadline(queue)
+        assert scheduler.ready(queue, now=deadline)
+
+    def test_draining_dispatches_partial_batches(self):
+        scheduler = BatchScheduler(max_batch_docs=16, max_wait_seconds=100.0)
+        queue = RequestQueue()
+        queue.offer(_request(0))
+        assert not scheduler.ready(queue, now=0.0)
+        assert scheduler.ready(queue, now=0.0, draining=True)
+
+    def test_dispatch_pops_and_counts(self):
+        scheduler = BatchScheduler(max_batch_docs=2, max_wait_seconds=0.0)
+        queue = RequestQueue()
+        for request_id in range(3):
+            queue.offer(_request(request_id))
+        batch = scheduler.dispatch(queue, now=1.0)
+        assert batch.num_documents == 2
+        assert queue.depth == 1
+        assert scheduler.batches_dispatched == 1
+        assert scheduler.mean_batch_occupancy() == pytest.approx(2.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BatchScheduler(max_batch_docs=0)
+        with pytest.raises(ValueError):
+            BatchScheduler(max_wait_seconds=-1.0)
+
+
+class TestLayoutBatch:
+    def test_batch_is_one_pdow_chunk(self):
+        requests = [
+            _request(10, arrival=0.0, tokens=[5, 1, 5]),
+            _request(11, arrival=0.1, tokens=[2, 5]),
+        ]
+        batch = layout_batch(requests, batch_id=3, dispatch_seconds=0.2)
+        assert batch.batch_id == 3
+        assert batch.num_documents == 2
+        assert batch.num_tokens == 5
+        # Word-major: tokens sorted by word id, the PDOW in-chunk order.
+        assert list(batch.tokens.word_ids) == sorted(batch.tokens.word_ids)
+        assert batch.distinct_words() == 3
+        # Batch-local document ids index back into `requests`.
+        assert set(batch.tokens.doc_ids) == {0, 1}
+        assert batch.chunk.num_documents == 2
+
+    def test_queue_wait_accounting(self):
+        requests = [_request(0, arrival=0.2), _request(1, arrival=0.5)]
+        batch = layout_batch(requests, batch_id=0, dispatch_seconds=1.0)
+        assert batch.queue_wait_seconds() == pytest.approx([0.8, 0.5])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            layout_batch([], batch_id=0, dispatch_seconds=0.0)

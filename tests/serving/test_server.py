@@ -1,0 +1,250 @@
+"""End-to-end serving: the event loop, the cache path, admission shedding,
+engine costing, and the checkpoint-layout bit-identity acceptance check."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import save_model, save_sharded_model
+from repro.gpusim import PHASE_PREPROCESSING, PHASE_SAMPLING, PHASE_TRANSFER
+from repro.saberlda import SaberLDAConfig, train_saberlda
+from repro.serving import (
+    BatchScheduler,
+    InferenceEngine,
+    RequestQueue,
+    ResultCache,
+    TopicServer,
+    engine_results_digest,
+    layout_batch,
+    make_requests,
+    poisson_arrivals,
+    warm_sampler_bank,
+)
+from repro.serving.queue import ServingRequest
+
+NUM_TOPICS = 6
+SERVE_SEED = 31
+
+
+@pytest.fixture(scope="module")
+def model(make_corpus):
+    corpus = make_corpus(40, 100, 5, 30, 123)
+    config = SaberLDAConfig.paper_defaults(
+        NUM_TOPICS, num_iterations=3, num_chunks=4, seed=77, evaluate_every=3
+    )
+    result = train_saberlda(
+        corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size, config
+    )
+    return result.model
+
+
+@pytest.fixture()
+def documents(rng):
+    return [
+        rng.integers(0, 100, size=int(rng.integers(5, 25))).astype(np.int32)
+        for _ in range(30)
+    ]
+
+
+def _server(model, **overrides) -> TopicServer:
+    engine = InferenceEngine.from_model(model, num_sweeps=6, seed=SERVE_SEED)
+    defaults = dict(
+        scheduler=BatchScheduler(max_batch_docs=4, max_wait_seconds=1e-5),
+        queue=RequestQueue(max_depth=32),
+        cache=ResultCache(capacity=100),
+    )
+    defaults.update(overrides)
+    return TopicServer(engine, **defaults)
+
+
+class TestServeLoop:
+    def test_light_load_answers_everything(self, model, documents, rng):
+        server = _server(model)
+        arrivals = poisson_arrivals(1_000.0, len(documents), rng)
+        report = server.serve(make_requests(documents, arrivals))
+        assert report.answered == len(documents)
+        assert report.rejected == 0
+        assert report.p99_seconds >= report.p50_seconds > 0.0
+        assert report.sustained_qps > 0.0
+        assert len(report.outcomes) == len(documents)
+        # Outcomes align with the offered requests in arrival order.
+        assert [outcome.request_id for outcome in report.outcomes] == sorted(
+            outcome.request_id for outcome in report.outcomes
+        )
+
+    def test_batched_results_match_unbatched_inference(self, model, documents, rng):
+        """Batching is a scheduling decision, never a numeric one."""
+        server = _server(model)
+        arrivals = poisson_arrivals(50_000.0, len(documents), rng)
+        report = server.serve(make_requests(documents, arrivals))
+        assert max(execution.batch.num_documents for execution in report.batches) > 1
+        reference = InferenceEngine.from_model(model, num_sweeps=6, seed=SERVE_SEED)
+        for outcome, document in zip(report.outcomes, documents):
+            assert outcome.status == "served"
+            expected = reference.infer_request(document, outcome.request_id).theta
+            assert np.array_equal(outcome.theta, expected)
+
+    def test_repeated_document_hits_the_cache(self, model, documents):
+        server = _server(model)
+        repeated = documents[:5] + [documents[0], documents[1]]
+        arrivals = np.arange(1, len(repeated) + 1, dtype=np.float64)  # serial
+        report = server.serve(make_requests(repeated, arrivals))
+        statuses = [outcome.status for outcome in report.outcomes]
+        assert statuses[-2:] == ["cache_hit", "cache_hit"]
+        assert server.cache.hits == 2
+        # The cached answer is the served answer, bit for bit.
+        assert np.array_equal(report.outcomes[-2].theta, report.outcomes[0].theta)
+        # Cache hits answer at arrival: zero latency on the simulated clock.
+        assert report.outcomes[-2].latency_seconds == 0.0
+
+    def test_burst_past_queue_depth_is_shed(self, model, documents):
+        server = _server(
+            model,
+            queue=RequestQueue(max_depth=4),
+            scheduler=BatchScheduler(max_batch_docs=4, max_wait_seconds=1e-3),
+            cache=ResultCache(capacity=0),
+        )
+        arrivals = np.zeros(len(documents))  # everything at t=0
+        report = server.serve(make_requests(documents, arrivals))
+        assert report.rejected > 0
+        assert report.answered + report.rejected == len(documents)
+        for outcome in report.outcomes:
+            if outcome.status == "rejected":
+                assert outcome.theta is None
+                assert outcome.latency_seconds is None
+
+    def test_empty_request_stream(self, model):
+        report = _server(model).serve([])
+        assert report.answered == 0
+        assert report.sustained_qps == 0.0
+        assert report.p50_seconds == 0.0
+
+    def test_malformed_request_is_refused_without_killing_the_batch(self, model, documents):
+        """Out-of-vocabulary ids are refused at admission; everyone else in
+        the stream is still served."""
+        server = _server(model)
+        stream = [documents[0], np.array([10_000], dtype=np.int32), documents[1]]
+        report = server.serve(make_requests(stream, [0.0, 0.0, 0.0]))
+        statuses = [outcome.status for outcome in report.outcomes]
+        assert statuses[1] == "rejected"
+        assert statuses[0] == statuses[2] == "served"
+        assert report.rejection_rate == pytest.approx(1.0 / 3.0)
+
+    def test_reports_snapshot_per_run_not_server_lifetime(self, model, documents):
+        """Serving again through the same server must not bleed counters into
+        an earlier report, nor an earlier run into the new report."""
+        server = _server(
+            model,
+            queue=RequestQueue(max_depth=4),
+            scheduler=BatchScheduler(max_batch_docs=4, max_wait_seconds=1e-3),
+            cache=ResultCache(capacity=0),
+        )
+        burst = server.serve(make_requests(documents, np.zeros(len(documents))))
+        assert burst.rejected > 0
+        first_rate = burst.rejection_rate
+        calm = server.serve(
+            make_requests(documents, 1.0 + np.arange(len(documents)), first_request_id=1000)
+        )
+        assert calm.rejected == 0
+        assert calm.rejection_rate == 0.0  # run 1's shedding must not leak in
+        assert burst.rejection_rate == first_rate  # and report 1 is immutable
+
+
+class TestEngineCosting:
+    def _batch(self, documents, first_id=0):
+        requests = [
+            ServingRequest(
+                request_id=first_id + position,
+                word_ids=document,
+                arrival_seconds=0.0,
+            )
+            for position, document in enumerate(documents)
+        ]
+        return layout_batch(requests, batch_id=0, dispatch_seconds=0.0)
+
+    def test_phases_are_positive_and_complete(self, model, documents):
+        engine = InferenceEngine.from_model(model, num_sweeps=6, seed=SERVE_SEED)
+        execution = engine.execute(self._batch(documents[:4]))
+        assert set(execution.phase_seconds) == {
+            PHASE_SAMPLING,
+            PHASE_PREPROCESSING,
+            PHASE_TRANSFER,
+        }
+        assert execution.phase_seconds[PHASE_SAMPLING] > 0.0
+        assert execution.phase_seconds[PHASE_PREPROCESSING] > 0.0  # cold bank
+        assert execution.phase_seconds[PHASE_TRANSFER] > 0.0
+        assert execution.seconds == pytest.approx(sum(execution.phase_seconds.values()))
+        assert execution.samplers_built > 0
+
+    def test_warm_bank_stops_paying_preprocessing(self, model, documents):
+        engine = InferenceEngine.from_model(model, num_sweeps=6, seed=SERVE_SEED)
+        first = engine.execute(self._batch(documents[:4]))
+        second = engine.execute(self._batch(documents[:4], first_id=100))
+        assert first.phase_seconds[PHASE_PREPROCESSING] > 0.0
+        assert second.phase_seconds[PHASE_PREPROCESSING] == 0.0
+        assert second.samplers_built == 0
+
+    def test_warm_sampler_bank_prebuilds(self, model, documents):
+        engine = InferenceEngine.from_model(model, num_sweeps=6, seed=SERVE_SEED)
+        built = warm_sampler_bank(engine, np.concatenate(documents[:4]))
+        assert built > 0
+        execution = engine.execute(self._batch(documents[:4]))
+        assert execution.samplers_built == 0
+
+    def test_more_sweeps_cost_more_sampling(self, model, documents):
+        few = InferenceEngine.from_model(model, num_sweeps=2, seed=SERVE_SEED)
+        many = InferenceEngine.from_model(model, num_sweeps=20, seed=SERVE_SEED)
+        batch = self._batch(documents[:4])
+        assert (
+            many.execute(batch).phase_seconds[PHASE_SAMPLING]
+            > few.execute(batch).phase_seconds[PHASE_SAMPLING]
+        )
+
+
+class TestCheckpointLayoutEquivalence:
+    """Acceptance: one seeded query set, three checkpoint layouts, one digest."""
+
+    def test_bit_identical_across_plain_row_and_column_checkpoints(
+        self, model, documents, tmp_path
+    ):
+        plain = save_model(model, os.path.join(tmp_path, "plain"))
+        rows = save_sharded_model(
+            model, os.path.join(tmp_path, "rows"), num_shards=3, axis="rows"
+        )
+        columns = save_sharded_model(
+            model, os.path.join(tmp_path, "cols"), num_shards=4, axis="columns"
+        )
+        digests = {}
+        thetas = {}
+        for label, path in (("plain", plain), ("rows", rows), ("columns", columns)):
+            engine = InferenceEngine.from_checkpoint(path, num_sweeps=6, seed=SERVE_SEED)
+            results = [
+                engine.infer_request(document, request_id=position)
+                for position, document in enumerate(documents)
+            ]
+            digests[label] = engine_results_digest(results)
+            thetas[label] = [result.theta for result in results]
+        assert digests["plain"] == digests["rows"] == digests["columns"]
+        for plain_theta, column_theta in zip(thetas["plain"], thetas["columns"]):
+            assert np.array_equal(plain_theta, column_theta)
+
+    def test_served_traffic_is_layout_invariant_too(self, model, documents, tmp_path):
+        """The whole server path — batching and all — agrees across layouts."""
+        columns = save_sharded_model(
+            model, os.path.join(tmp_path, "cols"), num_shards=4, axis="columns"
+        )
+        arrivals = np.linspace(0.0, 1e-3, len(documents))
+        from_model = _server(model)
+        from_checkpoint = TopicServer(
+            InferenceEngine.from_checkpoint(columns, num_sweeps=6, seed=SERVE_SEED),
+            scheduler=BatchScheduler(max_batch_docs=4, max_wait_seconds=1e-5),
+            queue=RequestQueue(max_depth=32),
+            cache=ResultCache(capacity=100),
+        )
+        first = from_model.serve(make_requests(documents, arrivals))
+        second = from_checkpoint.serve(make_requests(documents, arrivals))
+        for left, right in zip(first.outcomes, second.outcomes):
+            assert left.status == right.status
+            if left.theta is not None:
+                assert np.array_equal(left.theta, right.theta)
