@@ -8,10 +8,18 @@ scheduler buys and where it saturates:
   open-loop Poisson arrivals at a sweep of target QPS around the
   engine's measured batch capacity, reporting simulated p50/p99 latency,
   sustained QPS and the rejection rate past the knee;
+* **pool scaling** — the same query stream is driven through
+  :class:`~repro.serving.EnginePool`s of 1-8 engines (replicated and
+  topic-sharded) at an offered load that grows with the pool, reporting
+  sustained QPS and p99 versus the engine count, the per-engine model
+  footprint, and — from the analytic projection — the replication-vs-
+  sharding crossover: the K past which a replicated engine's full model
+  stops fitting the device and the tier must topic-shard;
 * **checkpoint equivalence** — one seeded query set is served from the
   same model loaded out of a plain archive, a row-sharded checkpoint and
   a column-sharded checkpoint; the per-request topic mixtures must be
-  bit-identical (one digest) across all three layouts.
+  bit-identical (one digest) across all three layouts — and across
+  every pool configuration (asserted against the single engine).
 
 Run with::
 
@@ -33,9 +41,13 @@ import numpy as np
 from repro.bench import emit_json_report, emit_report, format_table
 from repro.core import save_model, save_sharded_model
 from repro.corpus import generate_lda_corpus
+from repro.corpus.datasets import NYTIMES
+from repro.evaluation import project_pool_throughput
+from repro.gpusim.device import GTX_1080
 from repro.saberlda import SaberLDAConfig, train_saberlda
 from repro.serving import (
     BatchScheduler,
+    EnginePool,
     InferenceEngine,
     RequestQueue,
     ResultCache,
@@ -45,6 +57,7 @@ from repro.serving import (
     layout_batch,
     make_requests,
     poisson_arrivals,
+    pool_results_digest,
     warm_sampler_bank,
 )
 
@@ -56,6 +69,8 @@ FULL = dict(
     num_requests=80,
     num_sweeps=8,
     mean_query_tokens=24,
+    pool_engine_counts=(1, 2, 4, 8),
+    crossover_topic_counts=(1_000, 10_000, 100_000),
 )
 #: CI smoke sweep.
 TINY = dict(
@@ -65,6 +80,8 @@ TINY = dict(
     num_requests=30,
     num_sweeps=4,
     mean_query_tokens=16,
+    pool_engine_counts=(1, 2, 4),
+    crossover_topic_counts=(1_000, 100_000),
 )
 
 VOCABULARY_SIZE = 400
@@ -189,6 +206,140 @@ def _load_sweep_rows(spec: dict):
     return rows
 
 
+def _pool_executor(model, strategy: str, num_engines: int, spec: dict, documents):
+    """A warmed executor: single engine, replicated pool or sharded pool."""
+    kwargs = dict(num_sweeps=spec["num_sweeps"], seed=SEED)
+    if strategy == "single":
+        executor = InferenceEngine.from_model(model, **kwargs)
+        engines = [executor]
+    elif strategy == "replicated":
+        executor = EnginePool.replicated(model, num_engines, **kwargs)
+        engines = executor.engines
+    else:
+        executor = EnginePool.topic_sharded(model, num_engines, **kwargs)
+        engines = executor.engines
+    warm = np.concatenate(documents)
+    for engine in engines:
+        warm_sampler_bank(engine, warm)
+    return executor
+
+
+def _pool_scaling_rows(spec: dict):
+    """Sustained QPS and p99 versus engine count, offered load growing with
+    the pool (each point is driven past its own single-engine knee)."""
+    num_topics = spec["topic_counts"][-1]
+    model = _train_model(num_topics)
+    rng = np.random.default_rng(SEED + 3)
+    # Twice the load-sweep stream at half the batch size: enough batches
+    # that even the widest pool has every lane busy.
+    num_requests = 2 * spec["num_requests"]
+    documents = _make_queries(num_requests, spec["mean_query_tokens"], rng)
+    batch_docs = 8
+    reference = _pool_executor(model, "single", 1, spec, documents)
+    capacity = _batch_capacity_qps(reference, batch_docs, documents)
+
+    rows = []
+    for strategy in ("replicated", "topic_sharded"):
+        for num_engines in spec["pool_engine_counts"]:
+            if strategy == "topic_sharded" and num_engines > num_topics:
+                continue
+            executor = (
+                reference
+                if num_engines == 1 and strategy == "replicated"
+                else _pool_executor(model, strategy, num_engines, spec, documents)
+            )
+            target_qps = 2.0 * capacity * num_engines
+            arrivals = poisson_arrivals(
+                target_qps, num_requests, np.random.default_rng(SEED + num_engines)
+            )
+            server = _fresh_server(executor, batch_docs, capacity)
+            report = server.serve(make_requests(documents, arrivals))
+            pool_stats = executor.stats() if isinstance(executor, EnginePool) else None
+            rows.append(
+                {
+                    "strategy": strategy,
+                    "num_engines": num_engines,
+                    "num_topics": num_topics,
+                    "target_qps": target_qps,
+                    "model_mb_per_engine": (
+                        pool_stats["model_bytes_per_engine"]
+                        if pool_stats
+                        else model.vocabulary_size * num_topics * 4
+                    )
+                    / 1e6,
+                    **report.summary(),
+                }
+            )
+    return rows
+
+
+def _pool_identity_digests(spec: dict):
+    """One moderate query stream, every executor configuration, one digest.
+
+    Served with an unbounded queue so every configuration answers every
+    request — the digest then covers identical request sets and must be
+    identical bit for bit across single engine and both pool strategies.
+    """
+    num_topics = spec["topic_counts"][-1]
+    model = _train_model(num_topics)
+    rng = np.random.default_rng(SEED + 11)
+    documents = _make_queries(EQUIVALENCE_QUERIES, spec["mean_query_tokens"], rng)
+    arrivals = np.linspace(0.0, 1e-3, len(documents))
+    configurations = [("single", 1)] + [
+        (strategy, count)
+        for strategy in ("replicated", "topic_sharded")
+        for count in spec["pool_engine_counts"]
+        if count > 1 and (strategy != "topic_sharded" or count <= num_topics)
+    ]
+    digests = {}
+    for strategy, num_engines in configurations:
+        executor = _pool_executor(model, strategy, num_engines, spec, documents)
+        server = TopicServer(
+            executor,
+            scheduler=BatchScheduler(max_batch_docs=8, max_wait_seconds=1e-4),
+            queue=RequestQueue(max_depth=None),
+            cache=ResultCache(capacity=0),
+        )
+        report = server.serve(make_requests(documents, arrivals))
+        digests[f"{strategy}x{num_engines}"] = pool_results_digest(report.outcomes)
+    return digests
+
+
+def _pool_crossover_rows(spec: dict):
+    """Analytic replication-vs-sharding trade-off at published scale.
+
+    Per (K, engines=8): projected saturation QPS of both strategies and
+    the per-engine model bytes against the device's memory — the
+    crossover is the smallest K whose full replicated model no longer
+    fits, where topic sharding stops being an option and becomes the
+    only one.
+    """
+    engines = 8
+    rows = []
+    for num_topics in spec["crossover_topic_counts"]:
+        replicated = project_pool_throughput(
+            NYTIMES, num_topics, 32, engines, "replicated", num_sweeps=spec["num_sweeps"]
+        )
+        sharded = project_pool_throughput(
+            NYTIMES, num_topics, 32, engines, "topic_sharded", num_sweeps=spec["num_sweeps"]
+        )
+        rows.append(
+            {
+                "num_topics": num_topics,
+                "replicated_qps": replicated.max_qps,
+                "sharded_qps": sharded.max_qps,
+                "replicated_mb_per_engine": replicated.model_bytes_per_engine / 1e6,
+                "sharded_mb_per_engine": sharded.model_bytes_per_engine / 1e6,
+                "replicated_fits_device": replicated.model_bytes_per_engine
+                <= GTX_1080.global_memory_bytes,
+                "sharded_fits_device": sharded.model_bytes_per_engine
+                <= GTX_1080.global_memory_bytes,
+                "alltoall_us": sharded.alltoall_seconds * 1e6,
+            }
+        )
+    return rows
+
+
 def _checkpoint_equivalence(spec: dict):
     """Serve one seeded query set from all three checkpoint layouts."""
     model = _train_model(spec["topic_counts"][0])
@@ -220,7 +371,7 @@ def _checkpoint_equivalence(spec: dict):
     return digests
 
 
-def _build_report(rows, digests) -> str:
+def _build_report(rows, digests, pool_rows, pool_digests, crossover_rows) -> str:
     table = format_table(
         [
             "K",
@@ -253,10 +404,64 @@ def _build_report(rows, digests) -> str:
         [[label, digest[:16] + "..."] for label, digest in digests.items()],
     )
     identical = len(set(digests.values())) == 1
+    pool_table = format_table(
+        [
+            "Strategy",
+            "Engines",
+            "Target QPS",
+            "Sustained QPS",
+            "p99 (ms)",
+            "Rejected",
+            "MB/engine",
+        ],
+        [
+            [
+                row["strategy"],
+                row["num_engines"],
+                f"{row['target_qps']:.0f}",
+                f"{row['sustained_qps']:.0f}",
+                f"{row['p99_ms']:.3f}",
+                f"{row['rejection_rate']:.0%}",
+                f"{row['model_mb_per_engine']:.3f}",
+            ]
+            for row in pool_rows
+        ],
+    )
+    pool_identical = len(set(pool_digests.values())) == 1
+    crossover_table = format_table(
+        ["K", "Repl QPS", "Shard QPS", "Repl MB/eng", "Shard MB/eng", "Repl fits", "Shard fits"],
+        [
+            [
+                row["num_topics"],
+                f"{row['replicated_qps']:.0f}",
+                f"{row['sharded_qps']:.0f}",
+                f"{row['replicated_mb_per_engine']:.0f}",
+                f"{row['sharded_mb_per_engine']:.0f}",
+                "yes" if row["replicated_fits_device"] else "NO",
+                "yes" if row["sharded_fits_device"] else "NO",
+            ]
+            for row in crossover_rows
+        ],
+    )
+    crossover = next(
+        (row["num_topics"] for row in crossover_rows if not row["replicated_fits_device"]),
+        None,
+    )
+    crossover_line = (
+        f"replication-vs-sharding crossover: K >= {crossover} no longer fits a "
+        f"replicated engine ({GTX_1080.name}); the tier must topic-shard\n"
+        if crossover is not None
+        else "replication-vs-sharding crossover: every swept K fits a replicated engine\n"
+    )
     return (
         f"Load sweep (V={VOCABULARY_SIZE}, open-loop Poisson arrivals, "
         f"queue depth {QUEUE_DEPTH}, max wait = one batch-fill at capacity):\n"
         f"{table}\n\n"
+        f"Pool scaling (offered load = 2 x single-engine capacity x engines):\n"
+        f"{pool_table}\n"
+        f"pool results bit-identical to single engine: {'yes' if pool_identical else 'NO'}\n\n"
+        f"Replication-vs-sharding projection (NYTimes shape, 8 engines, batch 32):\n"
+        f"{crossover_table}\n{crossover_line}\n"
         f"Checkpoint-layout equivalence (seeded query set):\n{digest_table}\n"
         f"bit-identical across layouts: {'yes' if identical else 'NO'}\n"
     )
@@ -265,7 +470,42 @@ def _build_report(rows, digests) -> str:
 def _run(spec: dict):
     rows = _load_sweep_rows(spec)
     digests = _checkpoint_equivalence(spec)
-    return rows, digests
+    pool_rows = _pool_scaling_rows(spec)
+    pool_digests = _pool_identity_digests(spec)
+    crossover_rows = _pool_crossover_rows(spec)
+    return rows, digests, pool_rows, pool_digests, crossover_rows
+
+
+def _check_pool_invariants(pool_rows, pool_digests, crossover_rows, spec):
+    assert len(set(pool_digests.values())) == 1, (
+        f"pooled serving diverged from the single engine: {pool_digests}"
+    )
+    replicated = sorted(
+        (row for row in pool_rows if row["strategy"] == "replicated"),
+        key=lambda row: row["num_engines"],
+    )
+    # Sustained QPS must keep scaling with the replicated lane count —
+    # monotone (small tolerance for batching noise) and materially above
+    # the single-engine knee at the widest pool.
+    for before, after in zip(replicated, replicated[1:]):
+        assert after["sustained_qps"] >= before["sustained_qps"] * 0.98, (
+            before,
+            after,
+        )
+    if len(replicated) > 1:
+        assert replicated[-1]["sustained_qps"] > 1.3 * replicated[0]["sustained_qps"]
+    sharded = sorted(
+        (row for row in pool_rows if row["strategy"] == "topic_sharded"),
+        key=lambda row: row["num_engines"],
+    )
+    for before, after in zip(sharded, sharded[1:]):
+        assert after["model_mb_per_engine"] < before["model_mb_per_engine"]
+    # The projection must exhibit the crossover: a K the swept device can
+    # only serve topic-sharded.
+    assert any(
+        not row["replicated_fits_device"] and row["sharded_fits_device"]
+        for row in crossover_rows
+    ), crossover_rows
 
 
 def _check_invariants(rows, digests, spec):
@@ -295,12 +535,27 @@ def _check_invariants(rows, digests, spec):
 
 
 def test_serving(benchmark):
-    """p50/p99/QPS across the sweep; one digest across checkpoint layouts."""
+    """p50/p99/QPS across the sweep; engines sweep; one digest everywhere."""
     rows = benchmark(_load_sweep_rows, TINY)
     digests = _checkpoint_equivalence(TINY)
-    emit_report("serving", _build_report(rows, digests))
-    emit_json_report("serving", {"load_sweep": rows, "checkpoint_digests": digests})
+    pool_rows = _pool_scaling_rows(TINY)
+    pool_digests = _pool_identity_digests(TINY)
+    crossover_rows = _pool_crossover_rows(TINY)
+    emit_report(
+        "serving", _build_report(rows, digests, pool_rows, pool_digests, crossover_rows)
+    )
+    emit_json_report(
+        "serving",
+        {
+            "load_sweep": rows,
+            "checkpoint_digests": digests,
+            "pool_scaling": pool_rows,
+            "pool_identity_digests": pool_digests,
+            "pool_crossover": crossover_rows,
+        },
+    )
     _check_invariants(rows, digests, TINY)
+    _check_pool_invariants(pool_rows, pool_digests, crossover_rows, TINY)
 
 
 if __name__ == "__main__":
@@ -310,11 +565,22 @@ if __name__ == "__main__":
     )
     args = parser.parse_args()
     spec = TINY if args.tiny else FULL
-    sweep_rows, layout_digests = _run(spec)
-    print(_build_report(sweep_rows, layout_digests))
-    emit_report("serving", _build_report(sweep_rows, layout_digests))
+    sweep_rows, layout_digests, pool_rows, pool_digests, crossover_rows = _run(spec)
+    report_text = _build_report(
+        sweep_rows, layout_digests, pool_rows, pool_digests, crossover_rows
+    )
+    print(report_text)
+    emit_report("serving", report_text)
     path = emit_json_report(
-        "serving", {"load_sweep": sweep_rows, "checkpoint_digests": layout_digests}
+        "serving",
+        {
+            "load_sweep": sweep_rows,
+            "checkpoint_digests": layout_digests,
+            "pool_scaling": pool_rows,
+            "pool_identity_digests": pool_digests,
+            "pool_crossover": crossover_rows,
+        },
     )
     _check_invariants(sweep_rows, layout_digests, spec)
+    _check_pool_invariants(pool_rows, pool_digests, crossover_rows, spec)
     print(f"json report: {path}")

@@ -13,6 +13,11 @@ per-word samplers lazily, and a :class:`~repro.serving.TopicServer`
 answers a Poisson query stream through the micro-batching scheduler —
 reporting p50/p99 latency, sustained QPS, batch occupancy and cache hit
 rate on the simulated device clock.
+
+The last act scales the serving tier: the same checkpoint behind an
+:class:`~repro.serving.EnginePool` — replicated lanes for throughput,
+topic-sharded engines for per-engine memory — with bit-identical
+answers either way.
 """
 
 from __future__ import annotations
@@ -28,12 +33,14 @@ from repro.corpus import generate_lda_corpus
 from repro.core import save_sharded_model
 from repro.serving import (
     BatchScheduler,
+    EnginePool,
     InferenceEngine,
     RequestQueue,
     ResultCache,
     TopicServer,
     make_requests,
     poisson_arrivals,
+    pool_results_digest,
 )
 
 NUM_TOPICS = 16
@@ -126,6 +133,51 @@ def main() -> None:
             f"Sampler bank: {builds.builds} built lazily, {builds.hits} reused, "
             f"{builds.resident_words} resident"
         )
+
+        # -------------------------------------------------------------- #
+        # 5. Scale the tier: the same checkpoint behind an engine pool.
+        # -------------------------------------------------------------- #
+        def pooled_report(executor):
+            pool_server = TopicServer(
+                executor,
+                scheduler=BatchScheduler(max_batch_docs=8, max_wait_seconds=1e-4),
+                queue=RequestQueue(max_depth=None),
+                cache=ResultCache(capacity=0),
+            )
+            return pool_server.serve(
+                make_requests(documents, np.zeros(len(documents)))
+            )
+
+        single = pooled_report(
+            InferenceEngine.from_checkpoint(base, num_sweeps=10, seed=SEED)
+        )
+        replicated = EnginePool.from_checkpoint(
+            base, 3, strategy="replicated", num_sweeps=10, seed=SEED
+        )
+        sharded = EnginePool.from_checkpoint(
+            base, 4, strategy="topic_sharded", num_sweeps=10, seed=SEED
+        )
+        replicated_report = pooled_report(replicated)
+        sharded_report = pooled_report(sharded)
+        burst_single = single.makespan_seconds
+        burst_replicated = replicated_report.makespan_seconds
+        print(
+            f"\nBurst drain ({len(documents)} docs): single engine "
+            f"{burst_single * 1e3:.2f} ms, 3 replicated lanes "
+            f"{burst_replicated * 1e3:.2f} ms "
+            f"({burst_single / burst_replicated:.1f}x)"
+        )
+        print(
+            f"Topic-sharded pool (4 engines): "
+            f"{sharded.model_bytes_per_engine() / 1e3:.1f} KB of B per engine vs "
+            f"{replicated.model_bytes_per_engine() / 1e3:.1f} KB replicated; "
+            f"all-to-all merge charged per batch"
+        )
+        digests = {
+            pool_results_digest(report.outcomes)
+            for report in (single, replicated_report, sharded_report)
+        }
+        print(f"Pooled answers bit-identical to the single engine: {len(digests) == 1}")
 
 
 if __name__ == "__main__":

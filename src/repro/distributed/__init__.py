@@ -45,14 +45,16 @@ costs ``max_d(shard phases) + exposed collective``.
 Choosing a ``parallelism`` mode (:class:`DistributedTrainer`), and what
 each mode hands to serving:
 
-================  ==========  ============  ==============  ===========================  =======================
-mode              sampling    preprocess    per-device B    collective                   checkpoint → serving
-================  ==========  ============  ==============  ===========================  =======================
-``"data"``        ``T/N · K`` ``V·K`` (replicated) ``V·K``  ring all-reduce              rows (``axis="rows"``)
-``"topic"``       ``T · K/N`` ``V·K/N``     ``V·K/N``       all-to-all                   columns (``axis="columns"``)
-``"hybrid"``      ``T/N · K`` ``V·K/N``     ``V·K/N``       all-to-all                   columns (``axis="columns"``)
-``serving``       ``T_q · K`` lazy/hot word ``V·K`` frozen  none (one engine, one device)  consumes any of the above
-================  ==========  ============  ==============  ===========================  =======================
+=======================  ==========  ============  ==============  ===========================  =======================
+mode                     sampling    preprocess    per-device B    collective                   checkpoint → serving
+=======================  ==========  ============  ==============  ===========================  =======================
+``"data"``               ``T/N · K`` ``V·K`` (replicated) ``V·K``  ring all-reduce              rows (``axis="rows"``)
+``"topic"``              ``T · K/N`` ``V·K/N``     ``V·K/N``       all-to-all                   columns (``axis="columns"``)
+``"hybrid"``             ``T/N · K`` ``V·K/N``     ``V·K/N``       all-to-all                   columns (``axis="columns"``)
+``serving``              ``T_q · K`` lazy/hot word ``V·K`` frozen  none (one engine, one device)  consumes any of the above
+``serving replicated``   ``T_q · K`` lazy/hot word ``V·K`` frozen  none (one batch per lane)    pool of N full engines
+``serving topic-shard``  ``T_q · K/N`` lazy, per slice ``V·K/N``   all-to-all (doc counts)      pool of N column owners
+=======================  ==========  ============  ==============  ===========================  =======================
 
 Rules of thumb: ``"data"`` when ``B`` fits every device (fastest
 sampling split, replicated pre-processing); ``"topic"`` when ``K`` is so
@@ -60,7 +62,13 @@ large that even one device's *sampling* working set must shrink (few
 documents, huge models); ``"hybrid"`` for the common large-``K`` regime —
 data-parallel sampling speed with model-parallel memory and
 pre-processing, which strictly dominates ``"data"`` once the replicated
-``V x K`` pre-processing or footprint binds.
+``V x K`` pre-processing or footprint binds.  The serving pool
+(:class:`repro.serving.EnginePool`) follows the same fork: *replicate*
+engines when the frozen model fits each device and the goal is QPS
+(whole micro-batches to the least-loaded lane, throughput ~``N``x);
+*topic-shard* engines when ``V x K`` no longer fits — per-engine memory
+drops to the widest ``~K/N`` slice and each batch pays the per-document
+count all-to-all instead.
 
 **Train → checkpoint → serve.**  Data-parallel runs naturally persist
 ``B`` as *row* shards (each device owns its vocabulary rows of the

@@ -254,6 +254,21 @@ class TopicShardPlan:
                 return shard.device_id
         raise ValueError(f"topic {topic} not covered by the plan")  # pragma: no cover
 
+    def slice_columns(self, matrix: np.ndarray, device_id: int) -> np.ndarray:
+        """The column block of ``matrix`` the given device owns (a view).
+
+        Works for any ``(rows, K)`` array sharing the plan's column axis —
+        ``B``, ``B̂`` or a per-document count block.  The serving pool
+        slices its frozen ``B̂`` through this to report what each engine
+        holds resident (:meth:`repro.serving.pool.EnginePool.phi_shard`).
+        """
+        if matrix.ndim != 2 or matrix.shape[1] != self.num_topics:
+            raise ValueError(
+                f"matrix must have {self.num_topics} columns, got {matrix.shape}"
+            )
+        start, stop = self.columns_for_device(device_id)
+        return matrix[:, start:stop]
+
     def model_bytes_per_device(
         self, vocabulary_size: int, element_bytes: int = 4
     ) -> List[float]:

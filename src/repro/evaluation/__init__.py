@@ -22,7 +22,9 @@ from .memory_model import (
     word_topic_fits_on_device,
 )
 from .serving import (
+    PoolServingProjection,
     ServingProjection,
+    project_pool_throughput,
     project_serving_throughput,
     serving_batch_profile,
 )
@@ -38,6 +40,7 @@ __all__ = [
     "ConvergenceComparison",
     "ConvergenceCurve",
     "MemoryFootprint",
+    "PoolServingProjection",
     "ServingProjection",
     "ThroughputProjection",
     "baseline_curve",
@@ -48,6 +51,7 @@ __all__ = [
     "memory_footprint",
     "minimum_chunks_required",
     "project_saberlda_throughput",
+    "project_pool_throughput",
     "project_serving_throughput",
     "published_capacity_table",
     "serving_batch_profile",

@@ -13,14 +13,17 @@ latency floor of one batch, per batch size and topic count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 import numpy as np
 
 from ..corpus.datasets import DatasetDescriptor
 from ..corpus.zipf import ZipfModel
+from ..distributed.shard import plan_topic_shards
+from ..gpusim.cost_model import CostModel
 from ..gpusim.device import DeviceSpec, GTX_1080
+from ..gpusim.streams import PCIE_P2P, InterconnectSpec
 from ..saberlda.config import SaberLDAConfig
 from ..saberlda.costing import (
     WorkloadStats,
@@ -28,6 +31,7 @@ from ..saberlda.costing import (
     expected_distinct_topics,
 )
 from ..serving.engine import cost_batch_phases
+from ..serving.pool import MERGE_ENTRY_BYTES, POOL_STRATEGIES
 
 
 @dataclass(frozen=True)
@@ -61,25 +65,20 @@ class ServingProjection:
         return self.batch_seconds * 1e3
 
 
-def project_serving_throughput(
+def _batch_workload(
     descriptor: DatasetDescriptor,
     num_topics: int,
     batch_docs: int,
-    num_sweeps: int = 15,
-    device: Optional[DeviceSpec] = None,
-    config: Optional[SaberLDAConfig] = None,
-    mean_doc_nnz: Optional[float] = None,
-    cold_word_fraction: float = 0.0,
-    zipf_exponent: float = 1.05,
-) -> ServingProjection:
-    """Project one serving micro-batch at a published dataset's query shape.
+    device: Optional[DeviceSpec],
+    config: Optional[SaberLDAConfig],
+    mean_doc_nnz: Optional[float],
+    cold_word_fraction: float,
+    zipf_exponent: float,
+):
+    """The analytic batch workload shared by the single and pool projections.
 
-    ``cold_word_fraction`` is the share of the batch's distinct words
-    whose Problem-2 sampler must be built during the batch (0 models the
-    steady state where the Zipf head is already resident; 1 models a
-    cold start).  ``mean_doc_nnz`` defaults to the analytic estimate of
-    the distinct topics a query document of the dataset's mean length
-    touches.
+    Returns ``(stats, cold_words, config)`` — one sweep-pass over a batch
+    whose queries look like the dataset's documents.
     """
     if batch_docs < 1:
         raise ValueError("batch_docs must be >= 1")
@@ -118,7 +117,52 @@ def project_serving_throughput(
         hot_token_fraction=hot_fraction,
         chunk_token_counts=[num_tokens],
     )
-    cold_words = cold_word_fraction * expected_words
+    return stats, cold_word_fraction * expected_words, config
+
+
+def project_serving_throughput(
+    descriptor: DatasetDescriptor,
+    num_topics: int,
+    batch_docs: int,
+    num_sweeps: int = 15,
+    device: Optional[DeviceSpec] = None,
+    config: Optional[SaberLDAConfig] = None,
+    mean_doc_nnz: Optional[float] = None,
+    cold_word_fraction: float = 0.0,
+    zipf_exponent: float = 1.05,
+) -> ServingProjection:
+    """Project one serving micro-batch at a published dataset's query shape.
+
+    ``cold_word_fraction`` is the share of the batch's distinct words
+    whose Problem-2 sampler must be built during the batch (0 models the
+    steady state where the Zipf head is already resident; 1 models a
+    cold start).  ``mean_doc_nnz`` defaults to the analytic estimate of
+    the distinct topics a query document of the dataset's mean length
+    touches.
+    """
+    stats, cold_words, config = _batch_workload(
+        descriptor,
+        num_topics,
+        batch_docs,
+        device=device,
+        config=config,
+        mean_doc_nnz=mean_doc_nnz,
+        cold_word_fraction=cold_word_fraction,
+        zipf_exponent=zipf_exponent,
+    )
+    return _projection_from_workload(
+        descriptor, stats, cold_words, config, num_sweeps
+    )
+
+
+def _projection_from_workload(
+    descriptor: DatasetDescriptor,
+    stats: WorkloadStats,
+    cold_words: float,
+    config: SaberLDAConfig,
+    num_sweeps: int,
+) -> ServingProjection:
+    """Cost one analytic batch workload into a :class:`ServingProjection`."""
     phase_seconds = cost_batch_phases(
         stats,
         num_sweeps=num_sweeps,
@@ -127,13 +171,140 @@ def project_serving_throughput(
     )
     return ServingProjection(
         dataset=descriptor.name,
-        device=device.name,
-        num_topics=num_topics,
-        batch_docs=batch_docs,
+        device=config.device.name,
+        num_topics=stats.num_topics,
+        batch_docs=stats.num_documents,
         num_sweeps=num_sweeps,
         phase_seconds=dict(phase_seconds),
         batch_seconds=sum(phase_seconds.values()),
         cold_words_per_batch=cold_words,
+    )
+
+
+@dataclass(frozen=True)
+class PoolServingProjection:
+    """Projected steady-state cost of one micro-batch on an engine pool.
+
+    ``single`` is the one-engine reference the scaling is measured
+    against; ``batch_seconds`` is the pool's per-batch service time
+    (replicated: one engine's batch, unchanged; topic-sharded: the
+    slowest ``~K/N`` shard plus the all-to-all merge) and ``num_lanes``
+    how many such batches run concurrently.
+    """
+
+    single: ServingProjection
+    strategy: str
+    num_engines: int
+    num_lanes: int
+    batch_seconds: float
+    alltoall_seconds: float
+    model_bytes_per_engine: float
+
+    @property
+    def max_qps(self) -> float:
+        """Saturation throughput of the pool: concurrent lanes x batch rate."""
+        if self.batch_seconds <= 0:
+            return 0.0
+        return self.num_lanes * self.single.batch_docs / self.batch_seconds
+
+    @property
+    def latency_floor_seconds(self) -> float:
+        """Service time of one batch on the pool."""
+        return self.batch_seconds
+
+    @property
+    def speedup_vs_single(self) -> float:
+        """Saturation-QPS gain over the single-engine projection."""
+        if self.single.max_qps <= 0:
+            return 0.0
+        return self.max_qps / self.single.max_qps
+
+
+def project_pool_throughput(
+    descriptor: DatasetDescriptor,
+    num_topics: int,
+    batch_docs: int,
+    num_engines: int,
+    strategy: str = "replicated",
+    num_sweeps: int = 15,
+    device: Optional[DeviceSpec] = None,
+    config: Optional[SaberLDAConfig] = None,
+    interconnect: InterconnectSpec = PCIE_P2P,
+    mean_doc_nnz: Optional[float] = None,
+    cold_word_fraction: float = 0.0,
+    zipf_exponent: float = 1.05,
+) -> PoolServingProjection:
+    """Project one pool micro-batch at a published dataset's query shape.
+
+    Mirrors :meth:`repro.serving.pool.EnginePool.execute` analytically:
+    a replicated pool keeps the single-engine batch time and multiplies
+    the lanes; a topic-sharded pool re-costs the batch per ``~K/N``
+    column shard (the same ``num_topics`` narrowing the topic-parallel
+    trainer applies) and adds the per-document count exchange charged on
+    :meth:`~repro.gpusim.cost_model.CostModel.alltoall_seconds`.
+    """
+    if num_engines < 1:
+        raise ValueError("num_engines must be >= 1")
+    if strategy not in POOL_STRATEGIES:
+        raise ValueError(
+            f"strategy must be one of {POOL_STRATEGIES}, got {strategy!r}"
+        )
+    # One analytic workload serves both the single-engine reference and
+    # the per-shard re-costing (the Zipf occupancy sums are the dominant
+    # cost of a projection; never compute them twice).
+    stats, cold_words, config = _batch_workload(
+        descriptor,
+        num_topics,
+        batch_docs,
+        device=device,
+        config=config,
+        mean_doc_nnz=mean_doc_nnz,
+        cold_word_fraction=cold_word_fraction,
+        zipf_exponent=zipf_exponent,
+    )
+    single = _projection_from_workload(descriptor, stats, cold_words, config, num_sweeps)
+    full_bytes = float(descriptor.vocabulary_size) * num_topics * 4
+
+    if strategy == "replicated":
+        return PoolServingProjection(
+            single=single,
+            strategy=strategy,
+            num_engines=num_engines,
+            num_lanes=num_engines,
+            batch_seconds=single.batch_seconds,
+            alltoall_seconds=0.0,
+            model_bytes_per_engine=full_bytes,
+        )
+
+    if num_topics < num_engines:
+        raise ValueError(
+            "topic sharding needs at least one topic column per engine "
+            f"(K={num_topics} < {num_engines} engines)"
+        )
+    plan = plan_topic_shards(num_topics, num_engines)
+    barrier = max(
+        sum(
+            cost_batch_phases(
+                replace(stats, num_topics=max(1, shard.num_topics)),
+                num_sweeps=num_sweeps,
+                built_words=int(round(cold_words)),
+                config=config,
+            ).values()
+        )
+        for shard in plan.shards
+    )
+    merge_bytes = float(batch_docs) * num_topics * MERGE_ENTRY_BYTES
+    alltoall_seconds = CostModel(config.device).alltoall_seconds(
+        merge_bytes, plan.num_devices, interconnect
+    )
+    return PoolServingProjection(
+        single=single,
+        strategy=strategy,
+        num_engines=num_engines,
+        num_lanes=1,
+        batch_seconds=barrier + alltoall_seconds,
+        alltoall_seconds=alltoall_seconds,
+        model_bytes_per_engine=plan.max_model_bytes(descriptor.vocabulary_size),
     )
 
 

@@ -28,6 +28,16 @@ PDOW-style micro-batches (one training chunk's layout, built with
 a digest-keyed :class:`ResultCache` answers repeated documents without
 spending a batch slot.
 
+**Scaling out** (:mod:`~repro.serving.pool`) — :class:`EnginePool`
+feeds ``N`` engines from the one shared queue, either *replicated*
+(full model per engine, whole micro-batches to the least-loaded lane)
+or *topic-sharded* (engines own ``~K/N`` column slices from the
+trainer's :func:`~repro.distributed.shard.plan_topic_shards`; each
+batch's Problem-2 work splits by column owner and merges through an
+all-to-all charged on
+:meth:`~repro.gpusim.cost_model.CostModel.alltoall_seconds`).  Results
+stay bit-identical to the single-engine path in both strategies.
+
 **Execution and measurement** (:mod:`~repro.serving.engine` /
 :mod:`~repro.serving.server`) — :class:`InferenceEngine` runs the real
 fold-in mathematics and charges sampling / lazy pre-processing /
@@ -62,6 +72,12 @@ from .foldin import (
     fold_in_proximity,
     request_rng,
 )
+from .pool import (
+    POOL_STRATEGIES,
+    EnginePool,
+    PoolBatchExecution,
+    pool_results_digest,
+)
 from .queue import RequestQueue, ServingRequest
 from .scheduler import BatchScheduler, InferenceBatch, layout_batch
 from .server import (
@@ -75,10 +91,13 @@ from .server import (
 __all__ = [
     "BatchExecution",
     "BatchScheduler",
+    "EnginePool",
     "FoldInResult",
     "FrozenModelState",
     "InferenceBatch",
     "InferenceEngine",
+    "POOL_STRATEGIES",
+    "PoolBatchExecution",
     "RequestOutcome",
     "RequestQueue",
     "ResultCache",
@@ -93,6 +112,7 @@ __all__ = [
     "layout_batch",
     "make_requests",
     "poisson_arrivals",
+    "pool_results_digest",
     "request_rng",
     "warm_sampler_bank",
 ]

@@ -135,6 +135,15 @@ class InferenceEngine:
         """The frozen model being served."""
         return self.state.model
 
+    @property
+    def cost_config(self) -> SaberLDAConfig:
+        """The costing configuration the engine charges batches with.
+
+        Exposed for the pool (:mod:`~repro.serving.pool`), which re-costs
+        a batch per topic shard through the same formulas.
+        """
+        return self._cost_config
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
@@ -162,10 +171,15 @@ class InferenceEngine:
     # ------------------------------------------------------------------ #
     # Costing
     # ------------------------------------------------------------------ #
-    def _batch_stats(
+    def batch_stats(
         self, batch: InferenceBatch, results: List[FoldInResult]
     ) -> WorkloadStats:
-        """Workload statistics of one sweep-pass over the batch chunk."""
+        """Workload statistics of one sweep-pass over the batch chunk.
+
+        Public because the pool derives per-shard costs from the same
+        measurement (``num_topics`` narrowed to the shard width, exactly
+        as the topic-parallel trainer re-costs a device's slice).
+        """
         vocabulary_size = self.state.model.vocabulary_size
         num_topics = self.state.model.num_topics
         doc_nnz = [int((result.doc_topic_counts > 0).sum()) for result in results]
@@ -190,7 +204,7 @@ class InferenceEngine:
         self, batch: InferenceBatch, results: List[FoldInResult], built: int
     ) -> Dict[str, float]:
         return cost_batch_phases(
-            self._batch_stats(batch, results),
+            self.batch_stats(batch, results),
             num_sweeps=self.num_sweeps,
             built_words=built,
             config=self._cost_config,

@@ -19,8 +19,8 @@ pattern (one ``B̂`` row load per distinct word of the batch).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -113,12 +113,18 @@ class BatchScheduler:
         Dispatch a partial batch once the oldest request has waited this
         long (the latency bound at low load); ``0`` dispatches whatever
         is pending the moment the engine goes idle.
+
+    One scheduler feeds every lane of an engine pool (the queue is
+    shared), so besides the global dispatch counters it keeps a
+    per-lane tally — the benchmark's view of how evenly the
+    least-loaded policy spreads batches across engines.
     """
 
     max_batch_docs: int = 16
     max_wait_seconds: float = 0.005
     batches_dispatched: int = 0
     documents_dispatched: int = 0
+    lane_dispatches: Dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.max_batch_docs < 1:
@@ -150,14 +156,22 @@ class BatchScheduler:
             return None
         return oldest + self.max_wait_seconds
 
-    def dispatch(self, queue: RequestQueue, now: float) -> InferenceBatch:
-        """Pop up to ``max_batch_docs`` requests and lay them out."""
+    def dispatch(
+        self, queue: RequestQueue, now: float, lane: Optional[int] = None
+    ) -> InferenceBatch:
+        """Pop up to ``max_batch_docs`` requests and lay them out.
+
+        ``lane`` tags the dispatch with the executing pool lane (single
+        engines pass none — there is only one lane to count).
+        """
         requests = queue.pop_up_to(self.max_batch_docs)
         if not requests:
             raise ValueError("dispatch called on an empty queue")
         batch = layout_batch(requests, self.batches_dispatched, now)
         self.batches_dispatched += 1
         self.documents_dispatched += batch.num_documents
+        if lane is not None:
+            self.lane_dispatches[lane] = self.lane_dispatches.get(lane, 0) + 1
         return batch
 
     def mean_batch_occupancy(self) -> float:

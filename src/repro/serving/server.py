@@ -1,29 +1,36 @@
-"""The serving front end: admission → queue → micro-batch → engine → cache.
+"""The serving front end: admission → queue → micro-batch → engine(s) → cache.
 
 :class:`TopicServer` wires the pieces into a discrete-event simulation
-over the engine's simulated clock.  The driver is open-loop: requests
+over the engines' simulated clock.  The driver is open-loop: requests
 arrive at their own times (Poisson for the benchmarks) whether or not
-the engine keeps up, which is what exposes the latency/throughput knee —
+the engines keep up, which is what exposes the latency/throughput knee —
 below saturation the queue stays shallow and latency is one batch; past
 it, waits grow until admission control sheds load.
 
-One engine serves one device; the server dispatches at most one batch
-at a time (the engine is the GPU).  Cache hits are answered at arrival
-without touching the queue, so repeated documents cost a lookup, not a
-batch slot.
+The executor may be a single :class:`~repro.serving.engine.InferenceEngine`
+(one device, one batch in flight — the engine is the GPU) or an
+:class:`~repro.serving.pool.EnginePool` (one shared queue feeding ``N``
+engines: replicated pools run one batch per idle lane, dispatched to the
+least-loaded engine; topic-sharded pools run each batch cooperatively
+across all engines).  Cache hits are answered at arrival without touching
+the queue, so repeated documents cost a lookup, not a batch slot.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from .cache import ResultCache, document_digest
 from .engine import BatchExecution, InferenceEngine
+from .pool import EnginePool, PoolBatchExecution
 from .queue import RequestQueue, ServingRequest
 from .scheduler import BatchScheduler
+
+#: What one dispatched batch came back as (single engine or pool).
+AnyExecution = Union[BatchExecution, PoolBatchExecution]
 
 
 @dataclass(frozen=True)
@@ -56,7 +63,7 @@ class ServingReport:
     """
 
     outcomes: List[RequestOutcome]
-    batches: List[BatchExecution]
+    batches: List[AnyExecution]
     makespan_seconds: float
     rejection_rate: float
     mean_batch_docs: float
@@ -73,10 +80,17 @@ class ServingReport:
         return np.asarray(values, dtype=np.float64)
 
     def latency_percentile(self, percentile: float, include_cache_hits: bool = True) -> float:
-        """Latency percentile over answered requests (seconds)."""
+        """Latency percentile over answered requests (seconds).
+
+        With zero answered requests — e.g. an overload run where
+        admission control shed everything — there is no latency
+        distribution to take a percentile of, so this returns ``NaN``
+        (it is *not* a zero-latency server) rather than raising from an
+        empty-array percentile.
+        """
         latencies = self._latencies(include_cache_hits)
         if latencies.size == 0:
-            return 0.0
+            return float("nan")
         return float(np.percentile(latencies, percentile))
 
     @property
@@ -91,10 +105,10 @@ class ServingReport:
 
     @property
     def mean_seconds(self) -> float:
-        """Mean answered latency."""
+        """Mean answered latency (``NaN`` with zero answered requests)."""
         latencies = self._latencies()
         if latencies.size == 0:
-            return 0.0
+            return float("nan")
         return float(latencies.mean())
 
     @property
@@ -139,23 +153,40 @@ class ServingReport:
 
 @dataclass
 class TopicServer:
-    """Single-device topic-inference server over a simulated clock."""
+    """Topic-inference server over a simulated clock.
 
-    engine: InferenceEngine
+    ``engine`` is either one :class:`InferenceEngine` (single device,
+    one batch in flight) or an :class:`~repro.serving.pool.EnginePool`
+    (one shared queue, one batch in flight per lane).  Everything else —
+    admission, micro-batching, caching, reporting — is identical, and so
+    are the per-request results: pooling is a scheduling decision, never
+    a numeric one.
+    """
+
+    engine: Union[InferenceEngine, EnginePool]
     scheduler: BatchScheduler = field(default_factory=BatchScheduler)
     queue: RequestQueue = field(default_factory=RequestQueue)
     cache: ResultCache = field(default_factory=ResultCache)
+
+    @property
+    def num_lanes(self) -> int:
+        """Concurrent batch slots of the executor (1 for a single engine)."""
+        if isinstance(self.engine, EnginePool):
+            return self.engine.num_lanes
+        return 1
 
     def serve(self, requests: Sequence[ServingRequest]) -> ServingReport:
         """Run the full arrival stream to completion and report.
 
         Requests must be offered in arrival order; the simulation
         advances the clock between arrivals, batch dispatches and batch
-        completions, with the engine processing one batch at a time.
+        completions, with each lane processing one batch at a time.
         """
+        pool = self.engine if isinstance(self.engine, EnginePool) else None
+        num_lanes = self.num_lanes
         arrivals = sorted(requests, key=lambda request: request.arrival_seconds)
         outcomes: Dict[int, RequestOutcome] = {}
-        batches: List[BatchExecution] = []
+        batches: List[AnyExecution] = []
         pending_digests: Dict[int, str] = {}
 
         # Counter baselines: the report covers this run only, even when the
@@ -169,8 +200,8 @@ class TopicServer:
 
         now = 0.0
         next_arrival = 0
-        busy_until: Optional[float] = None
-        in_flight: Optional[BatchExecution] = None
+        busy_until: List[Optional[float]] = [None] * num_lanes
+        in_flight: List[Optional[AnyExecution]] = [None] * num_lanes
         last_answer = 0.0
 
         def admit(request: ServingRequest) -> None:
@@ -207,23 +238,37 @@ class TopicServer:
                     status="rejected",
                 )
 
-        while next_arrival < len(arrivals) or len(self.queue) > 0 or in_flight is not None:
+        while (
+            next_arrival < len(arrivals)
+            or len(self.queue) > 0
+            or any(execution is not None for execution in in_flight)
+        ):
             draining = next_arrival >= len(arrivals)
+            idle = [lane for lane in range(num_lanes) if in_flight[lane] is None]
 
-            # Dispatch whenever the engine is idle and the policy fires.
-            if in_flight is None and self.scheduler.ready(self.queue, now, draining):
-                batch = self.scheduler.dispatch(self.queue, now)
-                in_flight = self.engine.execute(batch)
-                busy_until = now + in_flight.seconds
+            # Dispatch whenever a lane is idle and the policy fires; the
+            # loop comes straight back, so several idle lanes fill at the
+            # same simulated instant while the queue stays deep enough.
+            if idle and self.scheduler.ready(self.queue, now, draining):
+                lane = pool.select_lane(idle) if pool is not None else idle[0]
+                batch = self.scheduler.dispatch(self.queue, now, lane=lane)
+                execution = (
+                    pool.execute(batch, lane)
+                    if pool is not None
+                    else self.engine.execute(batch)
+                )
+                in_flight[lane] = execution
+                busy_until[lane] = now + execution.seconds
                 continue
 
             # Advance the clock to the next event.
             candidates: List[float] = []
             if next_arrival < len(arrivals):
                 candidates.append(arrivals[next_arrival].arrival_seconds)
-            if busy_until is not None:
-                candidates.append(busy_until)
-            if in_flight is None and len(self.queue) > 0:
+            active = [finish for finish in busy_until if finish is not None]
+            if active:
+                candidates.append(min(active))
+            if idle and len(self.queue) > 0:
                 deadline = self.scheduler.next_deadline(self.queue)
                 if deadline is not None:
                     candidates.append(deadline)
@@ -237,25 +282,35 @@ class TopicServer:
                 admit(arrivals[next_arrival])
                 next_arrival += 1
 
-            # Complete the in-flight batch.
-            if in_flight is not None and busy_until is not None and busy_until <= now:
-                finish = busy_until
-                for request, result in zip(in_flight.batch.requests, in_flight.results):
+            # Complete every finished lane, in (finish time, lane) order so
+            # the batch stream and the counters stay deterministic.
+            finished = sorted(
+                (
+                    lane
+                    for lane in range(num_lanes)
+                    if busy_until[lane] is not None and busy_until[lane] <= now
+                ),
+                key=lambda lane: (busy_until[lane], lane),
+            )
+            for lane in finished:
+                finish = busy_until[lane]
+                execution = in_flight[lane]
+                for request, result in zip(execution.batch.requests, execution.results):
                     outcomes[request.request_id] = RequestOutcome(
                         request_id=request.request_id,
                         arrival_seconds=request.arrival_seconds,
                         status="served",
                         finish_seconds=finish,
-                        batch_id=in_flight.batch.batch_id,
+                        batch_id=execution.batch.batch_id,
                         theta=result.theta,
                     )
                     digest = pending_digests.pop(request.request_id, None)
                     if digest is not None:
                         self.cache.put(digest, result.theta)
                 last_answer = max(last_answer, finish)
-                batches.append(in_flight)
-                in_flight = None
-                busy_until = None
+                batches.append(execution)
+                in_flight[lane] = None
+                busy_until[lane] = None
 
         ordered = [outcomes[request.request_id] for request in arrivals]
         first_arrival = arrivals[0].arrival_seconds if arrivals else 0.0

@@ -9,6 +9,7 @@ from repro.evaluation import (
     ConvergenceCurve,
     compare_systems,
     project_saberlda_throughput,
+    project_pool_throughput,
     project_serving_throughput,
     serving_batch_profile,
     throughput_drop_fraction,
@@ -178,3 +179,49 @@ class TestServingProjection:
             project_serving_throughput(NYTIMES, 1000, batch_docs=0)
         with pytest.raises(ValueError):
             project_serving_throughput(NYTIMES, 1000, 8, cold_word_fraction=1.5)
+
+
+class TestPoolProjection:
+    """The analytic mirror of repro.serving.pool.EnginePool.execute."""
+
+    def test_replicated_pool_scales_qps_linearly(self):
+        single = project_serving_throughput(NYTIMES, 1000, batch_docs=32)
+        for engines in (1, 2, 4, 8):
+            pool = project_pool_throughput(
+                NYTIMES, 1000, 32, engines, strategy="replicated"
+            )
+            assert pool.max_qps == pytest.approx(engines * single.max_qps)
+            assert pool.batch_seconds == pytest.approx(single.batch_seconds)
+            assert pool.alltoall_seconds == 0.0
+            assert pool.speedup_vs_single == pytest.approx(engines)
+
+    def test_sharded_pool_trades_alltoall_for_memory(self):
+        single = project_serving_throughput(NYTIMES, 10_000, batch_docs=32)
+        pool = project_pool_throughput(
+            NYTIMES, 10_000, 32, 4, strategy="topic_sharded"
+        )
+        assert pool.num_lanes == 1
+        assert pool.alltoall_seconds > 0.0
+        # Per-engine footprint shrinks ~1/N; the batch barrier (slowest
+        # ~K/N shard) is cheaper than the full-width batch.
+        # 10k columns over 4 engines: the widest slice is 2500 columns.
+        assert pool.model_bytes_per_engine == pytest.approx(
+            NYTIMES.vocabulary_size * 2500 * 4
+        )
+        assert pool.batch_seconds - pool.alltoall_seconds < single.batch_seconds
+
+    def test_sharded_speedup_grows_with_topic_count(self):
+        """Sharding pays where replication cannot: the wider the model,
+        the closer the per-shard speedup gets to N (the all-to-all
+        amortises over more columns)."""
+        small = project_pool_throughput(NYTIMES, 1_000, 32, 4, "topic_sharded")
+        large = project_pool_throughput(NYTIMES, 100_000, 32, 4, "topic_sharded")
+        assert large.speedup_vs_single > small.speedup_vs_single
+
+    def test_rejects_bad_pool_arguments(self):
+        with pytest.raises(ValueError):
+            project_pool_throughput(NYTIMES, 1000, 32, 0)
+        with pytest.raises(ValueError):
+            project_pool_throughput(NYTIMES, 1000, 32, 4, strategy="mirrored")
+        with pytest.raises(ValueError):
+            project_pool_throughput(NYTIMES, 8, 32, 16, strategy="topic_sharded")

@@ -1,0 +1,212 @@
+"""Property-based tests (hypothesis) for the serving front door.
+
+The queue and the cache are the two pieces of serving state every
+request crosses; their invariants must hold for *any* traffic pattern,
+not just the streams the benchmarks happen to drive.  Random arrival
+bursts exercise the queue's conservation and FIFO laws; random query
+streams — including empty and single-token documents — exercise the
+cache's digest soundness, LRU order and counter conservation.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import RequestQueue, ResultCache, document_digest
+from repro.serving.queue import ServingRequest
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+
+#: Burst sizes of an arrival wave and pop sizes of a drain step.
+arrival_bursts = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),  # arrivals in this wave
+        st.integers(min_value=0, max_value=40),  # pops before the next wave
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+queue_depths = st.one_of(st.none(), st.integers(min_value=1, max_value=32))
+
+#: Query documents: empty, single-token and longer word-id sequences.
+documents = st.lists(
+    st.integers(min_value=0, max_value=50), min_size=0, max_size=12
+).map(lambda ids: np.asarray(ids, dtype=np.int64))
+
+query_streams = st.lists(documents, min_size=0, max_size=80)
+
+cache_capacities = st.integers(min_value=0, max_value=8)
+
+
+def _request(request_id: int) -> ServingRequest:
+    return ServingRequest(
+        request_id=request_id,
+        word_ids=np.asarray([request_id % 7], dtype=np.int32),
+        arrival_seconds=float(request_id),
+    )
+
+
+# --------------------------------------------------------------------- #
+# RequestQueue
+# --------------------------------------------------------------------- #
+class TestRequestQueueProperties:
+    @given(bursts=arrival_bursts, max_depth=queue_depths)
+    @settings(max_examples=80, deadline=None)
+    def test_conservation_depth_bound_and_fifo(self, bursts, max_depth):
+        """Across any burst pattern: admitted + rejected == arrivals, the
+        depth never exceeds the bound, and pops preserve arrival order."""
+        queue = RequestQueue(max_depth=max_depth)
+        offered = 0
+        admitted_ids = []
+        popped_ids = []
+        for arrivals, pops in bursts:
+            for _ in range(arrivals):
+                request = _request(offered)
+                if queue.offer(request):
+                    admitted_ids.append(request.request_id)
+                offered += 1
+                if max_depth is not None:
+                    assert queue.depth <= max_depth
+            if pops > 0:
+                popped = queue.pop_up_to(pops)
+                popped_ids.extend(request.request_id for request in popped)
+                assert len(popped) <= pops
+
+        assert queue.admitted + queue.rejected == offered
+        assert queue.admitted == len(admitted_ids)
+        assert queue.depth == queue.admitted - len(popped_ids)
+        # FIFO: what came out is exactly the head of what went in, in order.
+        assert popped_ids == admitted_ids[: len(popped_ids)]
+        remaining = queue.pop_up_to(max(queue.depth, 1)) if queue.depth else []
+        assert popped_ids + [r.request_id for r in remaining] == admitted_ids
+
+    @given(bursts=arrival_bursts)
+    @settings(max_examples=40, deadline=None)
+    def test_unbounded_queue_never_sheds(self, bursts):
+        queue = RequestQueue(max_depth=None)
+        offered = 0
+        for arrivals, pops in bursts:
+            for _ in range(arrivals):
+                assert queue.offer(_request(offered))
+                offered += 1
+            if pops > 0:
+                queue.pop_up_to(pops)
+        assert queue.rejected == 0
+        assert queue.admitted == offered
+        assert queue.rejection_rate() == 0.0
+
+    @given(extra=st.integers(min_value=1, max_value=30), depth=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=40, deadline=None)
+    def test_full_queue_sheds_exactly_the_overflow(self, extra, depth):
+        queue = RequestQueue(max_depth=depth)
+        for position in range(depth + extra):
+            queue.offer(_request(position))
+        assert queue.depth == depth
+        assert queue.admitted == depth
+        assert queue.rejected == extra
+        assert queue.rejection_rate() == extra / (depth + extra)
+
+
+# --------------------------------------------------------------------- #
+# ResultCache / document_digest
+# --------------------------------------------------------------------- #
+class TestDocumentDigestProperties:
+    @given(first=documents, second=documents)
+    @settings(max_examples=120, deadline=None)
+    def test_digest_equal_iff_byte_identical_sequence(self, first, second):
+        same = len(first) == len(second) and bool(np.all(first == second))
+        assert (document_digest(first) == document_digest(second)) == same
+
+    @given(doc=documents)
+    @settings(max_examples=60, deadline=None)
+    def test_digest_is_stable_and_dtype_insensitive(self, doc):
+        assert document_digest(doc) == document_digest(doc)
+        assert document_digest(doc) == document_digest(doc.astype(np.int32))
+        assert document_digest(list(map(int, doc))) == document_digest(doc)
+
+    @given(doc=documents.filter(lambda ids: ids.size >= 2))
+    @settings(max_examples=60, deadline=None)
+    def test_digest_is_order_sensitive(self, doc):
+        reordered = doc[::-1]
+        if bool(np.all(reordered == doc)):
+            return  # palindromic sequence: same bytes, same digest
+        assert document_digest(reordered) != document_digest(doc)
+
+
+class TestResultCacheProperties:
+    def _theta_for(self, digest: str, num_topics: int = 4) -> np.ndarray:
+        seed = int(digest[:8], 16)
+        return np.random.default_rng(seed).random(num_topics)
+
+    @given(stream=query_streams, capacity=cache_capacities)
+    @settings(max_examples=80, deadline=None)
+    def test_counters_conserve_and_model_matches_an_oracle(self, stream, capacity):
+        """Against a dict-based LRU oracle: hit iff the byte-identical
+        document is resident, hits + misses == lookups, size bounded,
+        capacity 0 stores nothing."""
+        from collections import OrderedDict
+
+        cache = ResultCache(capacity=capacity)
+        oracle: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        lookups = 0
+        for doc in stream:
+            digest = document_digest(doc)
+            expected = oracle.get(digest)
+            got = cache.get(digest)
+            lookups += 1
+            if expected is None:
+                assert got is None
+            else:
+                assert got is not None and np.array_equal(got, expected)
+                oracle.move_to_end(digest)
+            if got is None:
+                theta = self._theta_for(digest)
+                cache.put(digest, theta)
+                if capacity > 0:
+                    oracle[digest] = theta
+                    oracle.move_to_end(digest)
+                    while len(oracle) > capacity:
+                        oracle.popitem(last=False)
+            assert len(cache) == len(oracle)
+            assert len(cache) <= capacity
+        assert cache.hits + cache.misses == lookups
+        if capacity == 0:
+            assert len(cache) == 0 and cache.hits == 0
+
+    @given(capacity=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_lru_eviction_order(self, capacity):
+        """Filling past capacity evicts strictly least-recently-used."""
+        cache = ResultCache(capacity=capacity)
+        digests = [document_digest([position]) for position in range(capacity + 2)]
+        theta = np.ones(3)
+        for digest in digests[:capacity]:
+            cache.put(digest, theta)
+        # Touch the first entry: it becomes most-recent and must survive
+        # the next eviction; the second-oldest must not.
+        assert cache.get(digests[0]) is not None
+        cache.put(digests[capacity], theta)
+        if capacity > 1:
+            assert cache.get(digests[0]) is not None
+            assert cache.get(digests[1]) is None
+        cache.put(digests[capacity + 1], theta)
+        assert len(cache) == capacity
+        assert cache.evictions == 2
+
+    @given(doc=documents)
+    @settings(max_examples=40, deadline=None)
+    def test_cached_result_is_frozen(self, doc):
+        cache = ResultCache(capacity=4)
+        digest = document_digest(doc)
+        cache.put(digest, np.arange(4, dtype=np.float64))
+        resident = cache.get(digest)
+        assert resident is not None
+        try:
+            resident[0] = 99.0
+            mutated = True
+        except ValueError:
+            mutated = False
+        assert not mutated

@@ -1,0 +1,392 @@
+"""Multi-engine serving pool: construction, dispatch, cost attribution,
+and the cross-layout x cross-strategy bit-identity matrix (golden-pinned).
+
+Regenerate the golden file (only when a statistical change to fold-in is
+intentional) with::
+
+    PYTHONPATH=src python tests/serving/test_pool.py --regenerate
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import save_model, save_sharded_model
+from repro.distributed import plan_topic_shards
+from repro.saberlda import SaberLDAConfig, train_saberlda
+from repro.serving import (
+    BatchScheduler,
+    EnginePool,
+    InferenceEngine,
+    RequestQueue,
+    ResultCache,
+    TopicServer,
+    make_requests,
+    pool_results_digest,
+)
+from repro.serving.pool import PHASE_ALLTOALL
+from repro.serving.scheduler import layout_batch
+from repro.serving.queue import ServingRequest
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "golden",
+    "serving_pool.json",
+)
+
+#: The pinned workload (same corpus family as the fold-in golden).
+CORPUS_SPEC = dict(
+    num_documents=40, vocabulary_size=100, num_topics=5, mean_document_length=30, seed=123
+)
+NUM_TOPICS = 6
+TRAIN_SEED = 77
+SERVE_SEED = 31
+NUM_SWEEPS = 6
+NUM_QUERIES = 18
+THETA_DECIMALS = 12
+
+#: The matrix axes of the acceptance test.
+LAYOUTS = ("plain", "rows", "columns")
+EXECUTORS = ("single", "replicated", "topic_sharded")
+POOL_ENGINES = 3
+
+
+def _train_model(make_corpus):
+    corpus = make_corpus(**CORPUS_SPEC)
+    config = SaberLDAConfig.paper_defaults(
+        NUM_TOPICS, num_iterations=3, num_chunks=4, seed=TRAIN_SEED, evaluate_every=3
+    )
+    result = train_saberlda(
+        corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size, config
+    )
+    return corpus, result.model
+
+
+def _queries(corpus):
+    rng = np.random.default_rng(SERVE_SEED)
+    picks = rng.choice(corpus.num_documents, size=NUM_QUERIES, replace=False)
+    return [
+        corpus.tokens.word_ids[corpus.tokens.doc_ids == doc_id] for doc_id in picks
+    ]
+
+
+def _executor(kind: str, source):
+    """Build the executor under test from a model or a checkpoint path."""
+    kwargs = dict(num_sweeps=NUM_SWEEPS, seed=SERVE_SEED)
+    from_path = isinstance(source, str)
+    if kind == "single":
+        if from_path:
+            return InferenceEngine.from_checkpoint(source, **kwargs)
+        return InferenceEngine.from_model(source, **kwargs)
+    if from_path:
+        return EnginePool.from_checkpoint(source, POOL_ENGINES, strategy=kind, **kwargs)
+    if kind == "replicated":
+        return EnginePool.replicated(source, POOL_ENGINES, **kwargs)
+    return EnginePool.topic_sharded(source, POOL_ENGINES, **kwargs)
+
+
+def _serve(executor, documents):
+    server = TopicServer(
+        executor,
+        scheduler=BatchScheduler(max_batch_docs=4, max_wait_seconds=1e-5),
+        queue=RequestQueue(max_depth=None),  # never shed: every combo answers all
+        cache=ResultCache(capacity=0),  # every request exercises the engines
+    )
+    arrivals = np.linspace(0.0, 1e-3, len(documents))
+    return server.serve(make_requests(documents, arrivals))
+
+
+@pytest.fixture(scope="module")
+def trained(make_corpus):
+    return _train_model(make_corpus)
+
+
+@pytest.fixture(scope="module")
+def model(trained):
+    return trained[1]
+
+
+@pytest.fixture(scope="module")
+def documents(trained):
+    return _queries(trained[0])
+
+
+@pytest.fixture(scope="module")
+def checkpoints(model, tmp_path_factory):
+    root = tmp_path_factory.mktemp("pool_ckpts")
+    return {
+        "plain": save_model(model, os.path.join(root, "plain")),
+        "rows": save_sharded_model(
+            model, os.path.join(root, "rows"), num_shards=3, axis="rows"
+        ),
+        "columns": save_sharded_model(
+            model, os.path.join(root, "cols"), num_shards=4, axis="columns"
+        ),
+    }
+
+
+class TestPoolConstruction:
+    def test_rejects_unknown_strategy(self, model):
+        engine = InferenceEngine.from_model(model, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED)
+        with pytest.raises(ValueError, match="strategy"):
+            EnginePool(engines=[engine], strategy="sharded-ish")
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError, match="at least one engine"):
+            EnginePool(engines=[], strategy="replicated")
+
+    def test_replicated_lanes_must_share_seed_and_sweeps(self, model):
+        first = InferenceEngine.from_model(model, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED)
+        second = InferenceEngine.from_model(model, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED + 1)
+        with pytest.raises(ValueError, match="bit-identity"):
+            EnginePool(engines=[first, second], strategy="replicated")
+
+    def test_replicated_lanes_must_serve_the_same_model(self, model, trained):
+        corpus, _model = trained
+        config = SaberLDAConfig.paper_defaults(
+            NUM_TOPICS, num_iterations=2, num_chunks=4, seed=TRAIN_SEED + 1, evaluate_every=2
+        )
+        other = train_saberlda(
+            corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size, config
+        ).model
+        engines = [
+            InferenceEngine.from_model(m, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED)
+            for m in (model, other)
+        ]
+        with pytest.raises(ValueError, match="same frozen model"):
+            EnginePool(engines=engines, strategy="replicated")
+
+    def test_topic_sharding_needs_a_column_per_engine(self, model):
+        with pytest.raises(ValueError, match="column per engine"):
+            EnginePool.topic_sharded(model, NUM_TOPICS + 1, seed=SERVE_SEED)
+
+    def test_replicated_lanes_share_frozen_state_but_not_banks(self, model):
+        pool = EnginePool.replicated(model, 3, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED)
+        first = pool.engines[0]
+        for engine in pool.engines[1:]:
+            assert engine.state.phi is first.state.phi  # one B-hat, shared
+            assert engine.state.prior_mass is first.state.prior_mass
+            assert engine.state.bank is not first.state.bank  # warmth is per lane
+        # Warming one lane must not warm another.
+        pool.engines[0].state.bank.sampler(0)
+        assert pool.engines[0].state.bank.builds == 1
+        assert pool.engines[1].state.bank.builds == 0
+
+    def test_lane_counts_per_strategy(self, model):
+        replicated = EnginePool.replicated(model, 4, seed=SERVE_SEED)
+        sharded = EnginePool.topic_sharded(model, 3, seed=SERVE_SEED)
+        assert (replicated.num_engines, replicated.num_lanes) == (4, 4)
+        # A sharded pool has N engines cooperating on one batch at a time.
+        assert (sharded.num_engines, sharded.num_lanes) == (3, 1)
+
+    def test_sharded_pool_shrinks_per_engine_model_bytes(self, model):
+        replicated = EnginePool.replicated(model, 3, seed=SERVE_SEED)
+        sharded = EnginePool.topic_sharded(model, 3, seed=SERVE_SEED)
+        full = replicated.model_bytes_per_engine()
+        assert sharded.model_bytes_per_engine() < full
+        # The widest slice is ceil(K/N) of the columns.
+        assert sharded.model_bytes_per_engine() == pytest.approx(full * 2 / NUM_TOPICS)
+
+    def test_slice_columns_tiles_the_matrix(self, model):
+        plan = plan_topic_shards(NUM_TOPICS, 3)
+        matrix = model.word_topic_counts
+        slices = [plan.slice_columns(matrix, d) for d in range(plan.num_devices)]
+        assert sum(block.shape[1] for block in slices) == NUM_TOPICS
+        assert np.array_equal(np.concatenate(slices, axis=1), matrix)
+        with pytest.raises(ValueError, match="columns"):
+            plan.slice_columns(matrix[:, :-1], 0)
+
+    def test_phi_shards_tile_the_frozen_state(self, model):
+        sharded = EnginePool.topic_sharded(model, 3, seed=SERVE_SEED)
+        shards = [sharded.phi_shard(d) for d in range(sharded.num_engines)]
+        assert np.array_equal(
+            np.concatenate(shards, axis=1), sharded.engines[0].state.phi
+        )
+        # The widest resident slice is exactly what the memory stat sizes.
+        widest = max(block.shape[1] for block in shards)
+        assert sharded.model_bytes_per_engine() == pytest.approx(
+            model.vocabulary_size * widest * 4
+        )
+        replicated = EnginePool.replicated(model, 2, seed=SERVE_SEED)
+        with pytest.raises(ValueError, match="topic-sharded"):
+            replicated.phi_shard(0)
+
+
+class TestPoolExecution:
+    def _batch(self, documents, first_id=0):
+        requests = [
+            ServingRequest(
+                request_id=first_id + position, word_ids=doc, arrival_seconds=0.0
+            )
+            for position, doc in enumerate(documents)
+        ]
+        return layout_batch(requests, batch_id=0, dispatch_seconds=0.0)
+
+    def test_replicated_execution_matches_single_engine(self, model, documents):
+        pool = EnginePool.replicated(model, 2, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED)
+        single = InferenceEngine.from_model(model, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED)
+        batch = self._batch(documents[:4])
+        pooled = pool.execute(batch, lane=1)
+        reference = single.execute(batch)
+        assert pooled.engine_id == 1
+        assert pooled.alltoall_seconds == 0.0
+        assert pooled.seconds == pytest.approx(reference.seconds)
+        for left, right in zip(pooled.results, reference.results):
+            assert np.array_equal(left.theta, right.theta)
+
+    def test_sharded_execution_charges_the_alltoall(self, model, documents):
+        pool = EnginePool.topic_sharded(model, 3, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED)
+        single = InferenceEngine.from_model(model, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED)
+        batch = self._batch(documents[:4])
+        pooled = pool.execute(batch)
+        reference = single.execute(batch)
+        assert pooled.engine_id == -1
+        assert pooled.participants == [0, 1, 2]
+        assert len(pooled.per_engine_phase_seconds) == 3
+        assert pooled.alltoall_seconds > 0.0
+        assert PHASE_ALLTOALL in pooled.phase_seconds
+        # Each shard samples ~K/N columns, so the compute barrier is
+        # cheaper than the full-width single engine; the exchange is the
+        # price, charged on top.
+        assert pooled.barrier_seconds < reference.seconds
+        assert pooled.seconds == pytest.approx(
+            pooled.barrier_seconds + pooled.alltoall_seconds
+        )
+        # And the mathematics are untouched by the cost attribution.
+        for left, right in zip(pooled.results, reference.results):
+            assert np.array_equal(left.theta, right.theta)
+
+    def test_least_loaded_lane_selection(self, model):
+        pool = EnginePool.replicated(model, 3, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED)
+        pool.busy_seconds = [5.0, 1.0, 3.0]
+        assert pool.select_lane([0, 1, 2]) == 1
+        assert pool.select_lane([0, 2]) == 2
+        pool.busy_seconds = [2.0, 2.0, 2.0]
+        assert pool.select_lane([2, 0]) == 0  # deterministic tie-break by id
+
+    def test_burst_drains_faster_with_more_lanes(self, model, documents):
+        """The replicated pool's whole point: N engines drain a burst ~N
+        times faster than one (same batches, run concurrently)."""
+        arrivals = np.zeros(len(documents))
+
+        def makespan(executor):
+            server = TopicServer(
+                executor,
+                scheduler=BatchScheduler(max_batch_docs=2, max_wait_seconds=0.0),
+                queue=RequestQueue(max_depth=None),
+                cache=ResultCache(capacity=0),
+            )
+            report = server.serve(make_requests(documents, arrivals))
+            assert report.answered == len(documents)
+            return report.makespan_seconds
+
+        single = makespan(InferenceEngine.from_model(model, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED))
+        quad = makespan(EnginePool.replicated(model, 4, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED))
+        assert quad < single / 2  # 4 lanes must at least halve the drain time
+
+    def test_scheduler_counts_dispatches_per_lane(self, model, documents):
+        pool = EnginePool.replicated(model, 3, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED)
+        server = TopicServer(
+            pool,
+            scheduler=BatchScheduler(max_batch_docs=2, max_wait_seconds=0.0),
+            queue=RequestQueue(max_depth=None),
+            cache=ResultCache(capacity=0),
+        )
+        report = server.serve(make_requests(documents, np.zeros(len(documents))))
+        lanes = server.scheduler.lane_dispatches
+        assert sum(lanes.values()) == server.scheduler.batches_dispatched
+        assert len(lanes) == 3  # every lane got work under the burst
+        assert pool.batches_executed == len(report.batches)
+        assert pool.documents_executed == len(documents)
+        assert all(seconds > 0.0 for seconds in pool.busy_seconds)
+
+
+class TestCrossLayoutCrossStrategyMatrix:
+    """Acceptance: {plain, rows, columns} checkpoints x {single engine,
+    replicated pool, topic-sharded pool} — one digest, pinned by golden."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        if not os.path.exists(GOLDEN_PATH):
+            pytest.fail(
+                f"golden file missing: {GOLDEN_PATH}; generate it with "
+                "`PYTHONPATH=src python tests/serving/test_pool.py --regenerate`"
+            )
+        with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    @pytest.fixture(scope="class")
+    def reports(self, checkpoints, documents):
+        return {
+            (layout, executor): _serve(_executor(executor, checkpoints[layout]), documents)
+            for layout in LAYOUTS
+            for executor in EXECUTORS
+        }
+
+    def test_one_digest_across_the_whole_matrix(self, reports):
+        digests = {
+            combo: pool_results_digest(report.outcomes)
+            for combo, report in reports.items()
+        }
+        assert len(set(digests.values())) == 1, f"serving diverged: {digests}"
+
+    def test_every_combo_answers_everything(self, reports, documents):
+        for combo, report in reports.items():
+            assert report.answered == len(documents), combo
+            assert report.rejected == 0, combo
+
+    def test_thetas_match_the_golden_file(self, golden, reports):
+        report = reports[("plain", "single")]
+        for outcome, pinned in zip(report.outcomes, golden["thetas"]):
+            measured = [round(float(v), THETA_DECIMALS) for v in outcome.theta]
+            assert measured == pytest.approx(pinned, abs=10**-THETA_DECIMALS)
+
+    def test_matrix_shape_is_pinned(self, golden):
+        assert golden["layouts"] == list(LAYOUTS)
+        assert golden["executors"] == list(EXECUTORS)
+        assert golden["num_queries"] == NUM_QUERIES
+
+
+def _regenerate():
+    from repro.corpus import generate_lda_corpus
+
+    corpus = generate_lda_corpus(**CORPUS_SPEC)
+    cache = {}
+
+    def make_corpus(**spec):
+        return cache.setdefault(tuple(sorted(spec.items())), corpus)
+
+    _corpus, model = _train_model(make_corpus)
+    documents = _queries(corpus)
+    report = _serve(_executor("single", model), documents)
+    payload = {
+        "format": "saberlda-serving-pool-golden",
+        "corpus": CORPUS_SPEC,
+        "num_topics": NUM_TOPICS,
+        "train_seed": TRAIN_SEED,
+        "serve_seed": SERVE_SEED,
+        "num_sweeps": NUM_SWEEPS,
+        "pool_engines": POOL_ENGINES,
+        "layouts": list(LAYOUTS),
+        "executors": list(EXECUTORS),
+        "num_queries": NUM_QUERIES,
+        "thetas": [
+            [round(float(v), THETA_DECIMALS) for v in outcome.theta]
+            for outcome in report.outcomes
+        ],
+    }
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {GOLDEN_PATH} ({len(payload['thetas'])} thetas)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

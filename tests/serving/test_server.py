@@ -118,7 +118,29 @@ class TestServeLoop:
         report = _server(model).serve([])
         assert report.answered == 0
         assert report.sustained_qps == 0.0
-        assert report.p50_seconds == 0.0
+        # No answered requests -> no latency distribution: NaN, not 0.
+        assert np.isnan(report.p50_seconds)
+
+    def test_all_rejected_overload_has_nan_percentiles(self, model, documents):
+        """Regression: a fully shed run must report NaN latency, not raise
+        (or claim a zero-latency server) from an empty percentile array."""
+        server = _server(
+            model,
+            queue=RequestQueue(max_depth=1),
+            scheduler=BatchScheduler(max_batch_docs=1, max_wait_seconds=0.0),
+            cache=ResultCache(capacity=0),
+        )
+        # Every word id is out of vocabulary: all rejected at admission.
+        bad = [np.array([10_000], dtype=np.int32) for _ in documents]
+        report = server.serve(make_requests(bad, np.zeros(len(bad))))
+        assert report.answered == 0
+        assert report.rejected == len(bad)
+        assert np.isnan(report.latency_percentile(50.0))
+        assert np.isnan(report.p99_seconds)
+        assert np.isnan(report.mean_seconds)
+        summary = report.summary()
+        assert np.isnan(summary["p50_ms"]) and np.isnan(summary["p99_ms"])
+        assert summary["rejection_rate"] == 1.0
 
     def test_malformed_request_is_refused_without_killing_the_batch(self, model, documents):
         """Out-of-vocabulary ids are refused at admission; everyone else in
