@@ -38,7 +38,7 @@ import tempfile
 
 import numpy as np
 
-from repro.bench import emit_json_report, emit_report, format_table
+from repro.bench import emit_json_report, emit_report, format_table, wall_clock
 from repro.core import save_model, save_sharded_model
 from repro.corpus import generate_lda_corpus
 from repro.corpus.datasets import NYTIMES
@@ -371,7 +371,9 @@ def _checkpoint_equivalence(spec: dict):
     return digests
 
 
-def _build_report(rows, digests, pool_rows, pool_digests, crossover_rows) -> str:
+def _build_report(
+    rows, digests, pool_rows, pool_digests, crossover_rows, wall_rows=None
+) -> str:
     table = format_table(
         [
             "K",
@@ -453,6 +455,24 @@ def _build_report(rows, digests, pool_rows, pool_digests, crossover_rows) -> str
         if crossover is not None
         else "replication-vs-sharding crossover: every swept K fits a replicated engine\n"
     )
+    wall_table = ""
+    if wall_rows:
+        wall_table = (
+            "Kernel-backend wall clock (warmed engine, whole query stream):\n"
+            + format_table(
+                ["backend", "K", "wall seconds", "sampled tokens/s"],
+                [
+                    [
+                        row["backend"],
+                        row["num_topics"],
+                        f"{row['wall_seconds']:.4f}",
+                        f"{row['tokens_per_s']:.3g}",
+                    ]
+                    for row in wall_rows
+                ],
+            )
+            + "\n\n"
+        )
     return (
         f"Load sweep (V={VOCABULARY_SIZE}, open-loop Poisson arrivals, "
         f"queue depth {QUEUE_DEPTH}, max wait = one batch-fill at capacity):\n"
@@ -462,9 +482,53 @@ def _build_report(rows, digests, pool_rows, pool_digests, crossover_rows) -> str
         f"pool results bit-identical to single engine: {'yes' if pool_identical else 'NO'}\n\n"
         f"Replication-vs-sharding projection (NYTimes shape, 8 engines, batch 32):\n"
         f"{crossover_table}\n{crossover_line}\n"
+        f"{wall_table}"
         f"Checkpoint-layout equivalence (seeded query set):\n{digest_table}\n"
         f"bit-identical across layouts: {'yes' if identical else 'NO'}\n"
     )
+
+
+def _wall_clock_backends(spec: dict):
+    """Measured (not simulated) fold-in wall clock per kernel backend.
+
+    One warmed engine per backend folds the sweep's query stream in;
+    :func:`repro.bench.wall_clock` keeps the warmup/repeat discipline
+    consistent with ``bench_kernel_backends.py``.  The per-request
+    mixtures are asserted identical across backends — the wall-clock
+    gap is pure kernel execution.
+    """
+    num_topics = spec["topic_counts"][-1]
+    model = _train_model(num_topics)
+    documents = _make_queries(
+        spec["num_requests"], spec["mean_query_tokens"], np.random.default_rng(SEED)
+    )
+    num_tokens = int(sum(len(document) for document in documents))
+    rows = []
+    digests = {}
+    for backend in ("reference", "vectorized"):
+        engine = InferenceEngine.from_model(
+            model, num_sweeps=spec["num_sweeps"], seed=SEED, backend=backend
+        )
+        warm_sampler_bank(engine, np.concatenate(documents))
+
+        def serve_stream(engine=engine):
+            return [
+                engine.infer_request(document, request_id=index)
+                for index, document in enumerate(documents)
+            ]
+
+        digests[backend] = engine_results_digest(serve_stream())
+        timing = wall_clock(serve_stream, repeat=2, warmup=1)
+        rows.append(
+            {
+                "backend": backend,
+                "num_topics": num_topics,
+                "wall_seconds": timing.best,
+                "tokens_per_s": timing.throughput(num_tokens * spec["num_sweeps"]),
+            }
+        )
+    assert digests["reference"] == digests["vectorized"], digests
+    return rows
 
 
 def _run(spec: dict):
@@ -541,8 +605,12 @@ def test_serving(benchmark):
     pool_rows = _pool_scaling_rows(TINY)
     pool_digests = _pool_identity_digests(TINY)
     crossover_rows = _pool_crossover_rows(TINY)
+    wall_rows = _wall_clock_backends(TINY)
     emit_report(
-        "serving", _build_report(rows, digests, pool_rows, pool_digests, crossover_rows)
+        "serving",
+        _build_report(
+            rows, digests, pool_rows, pool_digests, crossover_rows, wall_rows
+        ),
     )
     emit_json_report(
         "serving",
@@ -552,6 +620,7 @@ def test_serving(benchmark):
             "pool_scaling": pool_rows,
             "pool_identity_digests": pool_digests,
             "pool_crossover": crossover_rows,
+            "kernel_backend_wall_clock": wall_rows,
         },
     )
     _check_invariants(rows, digests, TINY)
@@ -566,8 +635,9 @@ if __name__ == "__main__":
     args = parser.parse_args()
     spec = TINY if args.tiny else FULL
     sweep_rows, layout_digests, pool_rows, pool_digests, crossover_rows = _run(spec)
+    wall_rows = _wall_clock_backends(spec)
     report_text = _build_report(
-        sweep_rows, layout_digests, pool_rows, pool_digests, crossover_rows
+        sweep_rows, layout_digests, pool_rows, pool_digests, crossover_rows, wall_rows
     )
     print(report_text)
     emit_report("serving", report_text)
@@ -579,6 +649,7 @@ if __name__ == "__main__":
             "pool_scaling": pool_rows,
             "pool_identity_digests": pool_digests,
             "pool_crossover": crossover_rows,
+            "kernel_backend_wall_clock": wall_rows,
         },
     )
     _check_invariants(sweep_rows, layout_digests, spec)

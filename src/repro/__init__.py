@@ -33,6 +33,7 @@ from .distributed import (
     TopicShardPlan,
     train_distributed,
 )
+from .kernels import KernelBackend
 from .saberlda import SaberLDAConfig, SaberLDATrainer, TrainingResult, train_saberlda
 from .serving import InferenceEngine, ServingReport, TopicServer
 
@@ -42,6 +43,7 @@ __all__ = [
     "DistributedTrainer",
     "DistributedTrainingResult",
     "InferenceEngine",
+    "KernelBackend",
     "LDAHyperParams",
     "LDAModel",
     "LikelihoodResult",

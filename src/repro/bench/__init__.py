@@ -1,4 +1,4 @@
-"""Benchmark harness utilities: table/series formatting and report persistence."""
+"""Benchmark harness utilities: formatting, report persistence, wall-clock timing."""
 
 from .reporting import (
     banner,
@@ -9,8 +9,10 @@ from .reporting import (
     format_table,
     results_dir,
 )
+from .timing import WallClockTiming, wall_clock, wall_timer
 
 __all__ = [
+    "WallClockTiming",
     "banner",
     "comparison_row",
     "emit_json_report",
@@ -18,4 +20,6 @@ __all__ = [
     "format_series",
     "format_table",
     "results_dir",
+    "wall_clock",
+    "wall_timer",
 ]

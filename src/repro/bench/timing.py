@@ -1,0 +1,107 @@
+"""Wall-clock measurement helpers shared by the benchmark harness.
+
+Simulated seconds come from the roofline cost model; *wall-clock*
+seconds are what the kernel-backend work optimises.  Every benchmark
+that reports wall-clock goes through :func:`wall_clock` (callable
+runner / decorator) or :func:`wall_timer` (context manager) so warmup
+discipline and the reported statistics are consistent across benches:
+the timed section always runs ``warmup`` throwaway repetitions first
+(JIT-warm caches, lazily built samplers, allocator pools), then
+``repeat`` measured ones.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class WallClockTiming:
+    """Measured wall-clock repetitions of one workload."""
+
+    seconds: Tuple[float, ...]
+    warmup: int
+
+    @property
+    def repeat(self) -> int:
+        """Number of measured repetitions."""
+        return len(self.seconds)
+
+    @property
+    def best(self) -> float:
+        """Fastest repetition — the least-noisy throughput estimator."""
+        return min(self.seconds)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the measured repetitions."""
+        return sum(self.seconds) / len(self.seconds)
+
+    def throughput(self, units: float) -> float:
+        """``units`` per second at the best repetition (0 when unmeasurable)."""
+        if self.best <= 0:
+            return 0.0
+        return units / self.best
+
+
+def wall_clock(
+    fn: Optional[Callable[[], object]] = None,
+    *,
+    repeat: int = 3,
+    warmup: int = 1,
+) -> object:
+    """Time ``fn()`` after warming it: ``wall_clock(fn, repeat=, warmup=)``.
+
+    Called with a function, runs it ``warmup + repeat`` times and
+    returns a :class:`WallClockTiming`.  Called without one
+    (``@wall_clock(repeat=5)``), acts as a decorator whose wrapped
+    function returns the timing instead of its own result.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+
+    def measure(target: Callable[[], object]) -> WallClockTiming:
+        for _ in range(warmup):
+            target()
+        seconds = []
+        for _ in range(repeat):
+            start = time.perf_counter()
+            target()
+            seconds.append(time.perf_counter() - start)
+        return WallClockTiming(seconds=tuple(seconds), warmup=warmup)
+
+    if fn is None:
+
+        def decorate(target: Callable[..., object]) -> Callable[..., WallClockTiming]:
+            def wrapped(*args, **kwargs) -> WallClockTiming:
+                return measure(lambda: target(*args, **kwargs))
+
+            wrapped.__name__ = getattr(target, "__name__", "wall_clock")
+            wrapped.__doc__ = target.__doc__
+            return wrapped
+
+        return decorate
+    return measure(fn)
+
+
+@dataclass
+class _TimerBox:
+    """Mutable result handle yielded by :func:`wall_timer`."""
+
+    seconds: float = 0.0
+
+
+@contextmanager
+def wall_timer() -> Iterator[_TimerBox]:
+    """Context manager timing its body: ``with wall_timer() as t: ...``."""
+    box = _TimerBox()
+    start = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box.seconds = time.perf_counter() - start

@@ -292,7 +292,13 @@ class DistributedTrainer:
         for iteration in range(1, config.num_iterations + 1):
             # ------------------------- E-step (global order) ------------------------- #
             for layout in layouts:
-                result = esca_estep(layout.tokens, doc_topic, word_side, self._rng)
+                result = esca_estep(
+                    layout.tokens,
+                    doc_topic,
+                    word_side,
+                    self._rng,
+                    backend=config.kernel_backend,
+                )
                 layout.tokens.topics = result.new_topics
 
             # ------------------------------- M-step ---------------------------------- #

@@ -1,0 +1,47 @@
+"""Kernel backend selection.
+
+Every sampling hot path (the trainer's E-step, the serving fold-in
+sweep, the Problem-2 word draws) exists in two executions:
+
+* ``reference`` — the original, loop-shaped implementation whose RNG
+  draw schedule *defines* the statistics of the system.  It is the
+  oracle the golden files pin and the right mode for debugging and for
+  regenerating goldens.
+* ``vectorized`` — the batched NumPy execution that flattens the token
+  runs of a whole chunk (or all slots of a fold-in sweep) into
+  contiguous index arrays and replaces the Python-level loops with
+  ``searchsorted``/segment reductions.  It consumes the *same* uniforms
+  in the *same* order and performs every floating-point reduction with
+  the same row shape, so it is bit-identical to the reference on every
+  input — verified by the property suite and the golden files.
+
+The backend is threaded through
+:class:`~repro.saberlda.config.SaberLDAConfig` (training, single- and
+multi-device) and :class:`~repro.serving.foldin.FrozenModelState`
+(serving), so one config switch flips every hot path at once.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Union
+
+
+class KernelBackend(str, Enum):
+    """Which execution of the sampling kernels to run."""
+
+    REFERENCE = "reference"
+    VECTORIZED = "vectorized"
+
+
+def resolve_backend(value: Union["KernelBackend", str]) -> KernelBackend:
+    """Coerce a config value (enum or string) to a :class:`KernelBackend`."""
+    if isinstance(value, KernelBackend):
+        return value
+    try:
+        return KernelBackend(str(value))
+    except ValueError:
+        valid = ", ".join(repr(member.value) for member in KernelBackend)
+        raise ValueError(
+            f"unknown kernel backend {value!r}; expected one of {valid}"
+        ) from None

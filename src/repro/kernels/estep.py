@@ -1,0 +1,251 @@
+"""Vectorized E-step kernel: one batched pass over a whole chunk.
+
+The reference E-step (``repro.saberlda.estep``) visits documents in a
+Python loop — one product gather, one branch draw and two CDF searches
+per document.  This kernel flattens *all* token runs of the chunk into
+contiguous index arrays and executes the same mathematics chunk-at-once:
+
+* documents are grouped by their ``A``-row width ``K_d`` so the
+  ``P = A_d ⊙ B̂_v`` products of every same-width document stack into one
+  rectangular gather (row-wise reductions are shape-stable, so the
+  stacked ``sum``/``cumsum`` reproduce the reference's per-document
+  results bit-for-bit); everything width-independent — branch decisions,
+  per-segment ranks, uniform-stream offsets — runs once, globally;
+* the whole chunk's uniforms are drawn in one ``rng.random(total)`` call
+  and scattered to tokens through precomputed stream offsets — each
+  token of a non-empty document consumes exactly two uniforms (branch +
+  pick) and each token of an empty-row document exactly one, so the
+  offsets are known before any outcome is, and the draw *order* matches
+  the reference schedule exactly;
+* Problem-1 picks run as one stacked prefix-sum search per width group,
+  Problem-2 picks as one :func:`~repro.kernels.cdf.sample_from_word_cdf`
+  pass over every prior-side token of the chunk.
+
+The function is deliberately array-in/array-out (no repro imports), so
+the package stays dependency-free and both trainers can call it through
+the thin dispatch in ``repro.saberlda.estep``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cdf import (
+    DENSE_BLOCK_ELEMENTS,
+    concat_ranges,
+    sample_from_word_cdf,
+    sample_rows_from_cdf,
+    segment_pick_ranks,
+)
+
+
+def esca_estep_vectorized(
+    doc_ids: np.ndarray,
+    word_ids: np.ndarray,
+    doc_indptr: np.ndarray,
+    doc_nz_topics: np.ndarray,
+    doc_nz_counts: np.ndarray,
+    probs: np.ndarray,
+    cdf: np.ndarray,
+    prior_mass: np.ndarray,
+    rng: np.random.Generator,
+    block_elements: int = DENSE_BLOCK_ELEMENTS,
+) -> tuple:
+    """Resample every token of a chunk, bit-identical to the reference loop.
+
+    ``doc_indptr``/``doc_nz_topics``/``doc_nz_counts`` are the CSR arrays
+    of the frozen document-topic matrix ``A``; ``probs``/``cdf``/
+    ``prior_mass`` the frozen per-word quantities ``B̂``, its row CDFs and
+    ``Q_v``.  Returns ``(new_topics, doc_branch_tokens,
+    prior_branch_tokens)`` with ``new_topics`` aligned to the input
+    token order.
+    """
+    doc_ids = np.asarray(doc_ids)
+    num_tokens = int(doc_ids.shape[0])
+    new_topics = np.empty(num_tokens, dtype=np.int32)
+    if num_tokens == 0:
+        return new_topics, 0, 0
+
+    doc_indptr = np.asarray(doc_indptr, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Segment the chunk by document (identical grouping to the reference).
+    # ------------------------------------------------------------------ #
+    order = np.argsort(doc_ids, kind="stable")
+    sorted_docs = doc_ids[order]
+    boundaries = np.flatnonzero(np.diff(sorted_docs)) + 1
+    seg_starts = np.concatenate([[0], boundaries]).astype(np.int64)
+    seg_counts = np.diff(np.concatenate([seg_starts, [num_tokens]]))
+    seg_docs = np.asarray(sorted_docs[seg_starts], dtype=np.int64)
+    seg_nnz = doc_indptr[seg_docs + 1] - doc_indptr[seg_docs]
+
+    words_sorted = np.asarray(word_ids, dtype=np.int64)[order]
+    result_sorted = np.empty(num_tokens, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # The whole chunk's uniform stream, with per-segment base offsets.
+    # Reference order per document: branch uniforms (one per token), then
+    # Problem-1 picks (doc-side tokens, position order), then Problem-2
+    # picks; empty-row documents draw one pick per token only.
+    # ------------------------------------------------------------------ #
+    seg_draws = np.where(seg_nnz > 0, 2 * seg_counts, seg_counts)
+    seg_base = np.concatenate([[0], np.cumsum(seg_draws)[:-1]]).astype(np.int64)
+    uniforms = rng.random(int(seg_draws.sum()))
+
+    prior_positions_parts = []
+    prior_uniform_parts = []
+
+    empty = seg_nnz == 0
+    if empty.any():
+        prior_positions_parts.append(
+            concat_ranges(seg_starts[empty], seg_counts[empty])
+        )
+        prior_uniform_parts.append(concat_ranges(seg_base[empty], seg_counts[empty]))
+
+    doc_branch_total = 0
+    nonempty = np.flatnonzero(~empty)
+    if nonempty.size:
+        doc_branch_total = _sample_nonempty(
+            nonempty, seg_starts, seg_counts, seg_docs, seg_base, seg_nnz,
+            doc_indptr, doc_nz_topics, doc_nz_counts, probs, prior_mass,
+            words_sorted, uniforms, result_sorted,
+            prior_positions_parts, prior_uniform_parts, block_elements,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Problem-2 draws for every prior-side token of the chunk at once.
+    # ------------------------------------------------------------------ #
+    if prior_positions_parts:
+        prior_positions = np.concatenate(prior_positions_parts)
+        prior_uniforms = uniforms[np.concatenate(prior_uniform_parts)]
+        result_sorted[prior_positions] = sample_from_word_cdf(
+            cdf, words_sorted[prior_positions], prior_uniforms, block_elements
+        )
+
+    new_topics[order] = result_sorted.astype(np.int32)
+    return new_topics, int(doc_branch_total), num_tokens - int(doc_branch_total)
+
+
+def _sample_nonempty(
+    nonempty: np.ndarray,
+    seg_starts: np.ndarray,
+    seg_counts: np.ndarray,
+    seg_docs: np.ndarray,
+    seg_base: np.ndarray,
+    seg_nnz: np.ndarray,
+    doc_indptr: np.ndarray,
+    doc_nz_topics: np.ndarray,
+    doc_nz_counts: np.ndarray,
+    probs: np.ndarray,
+    prior_mass: np.ndarray,
+    words_sorted: np.ndarray,
+    uniforms: np.ndarray,
+    result_sorted: np.ndarray,
+    prior_positions_parts: list,
+    prior_uniform_parts: list,
+    block_elements: int,
+) -> int:
+    """Sample every token whose document has a non-empty ``A`` row.
+
+    Segments are ordered by row width so same-width documents stack into
+    rectangular blocks; only the width-dependent product work runs per
+    block — branch decisions, ranks and uniform offsets are computed in
+    one global pass over the width-ordered token array.  Writes doc-side
+    picks into ``result_sorted``, appends prior-side (position,
+    uniform-index) pairs for the chunk-wide Problem-2 pass and returns
+    the doc-branch token count.
+    """
+    by_width = nonempty[np.argsort(seg_nnz[nonempty], kind="stable")]
+    widths = seg_nnz[by_width]
+    counts = seg_counts[by_width]
+    num_segments = len(by_width)
+
+    # Token-level arrays in (width, segment, rank) order.
+    tokens = concat_ranges(seg_starts[by_width], counts)
+    rank = concat_ranges(np.zeros(num_segments, dtype=np.int64), counts)
+    segrow = np.repeat(np.arange(num_segments, dtype=np.int64), counts)
+    words = words_sorted[tokens]
+    branch_idx = np.repeat(seg_base[by_width], counts) + rank
+    pick_base = np.repeat(seg_base[by_width] + counts, counts)
+    seg_token_start = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+
+    # Width-group extents and their row-capped sub-blocks, shared by the
+    # doc-mass pass and the doc-side pick pass.
+    width_bounds = np.flatnonzero(np.diff(widths)) + 1
+    group_starts = np.concatenate([[0], width_bounds])
+    group_stops = np.concatenate([width_bounds, [num_segments]])
+    blocks = []  # (segment lo, segment hi, cached row stacks)
+    for group_start, group_stop in zip(group_starts, group_stops):
+        width = int(widths[group_start])
+        max_rows = max(1, block_elements // width)
+        lo = group_start
+        while lo < group_stop:
+            hi = lo + 1
+            budget = int(counts[lo])
+            while hi < group_stop and budget + int(counts[hi]) <= max_rows:
+                budget += int(counts[hi])
+                hi += 1
+            row_starts = doc_indptr[seg_docs[by_width[lo:hi]]]
+            gather = row_starts[:, None] + np.arange(width, dtype=np.int64)[None, :]
+            blocks.append(
+                (
+                    lo,
+                    hi,
+                    np.asarray(doc_nz_topics)[gather].astype(np.int64),
+                    np.asarray(doc_nz_counts)[gather].astype(np.float64),
+                )
+            )
+            lo = hi
+
+    # Pass 1 — doc-side masses: P = A_d ⊙ B̂_v row sums, one rectangular
+    # block at a time (row width matches the reference's per-document
+    # arrays, so the pairwise-sum tree and every output bit agree).  The
+    # product rows are kept for the pick pass while the chunk's total
+    # fits the block budget; past it they are recomputed per block.
+    doc_mass = np.empty(len(tokens), dtype=np.float64)
+    total_product_elements = int((np.repeat(widths, counts)).sum())
+    keep_products = total_product_elements <= block_elements
+    products = []
+    for lo, hi, nz_topics, nz_counts in blocks:
+        t0, t1 = seg_token_start[lo], seg_token_start[hi]
+        local = segrow[t0:t1] - lo
+        product = probs[words[t0:t1, None], nz_topics[local]] * nz_counts[local]
+        doc_mass[t0:t1] = product.sum(axis=1)
+        if keep_products:
+            products.append(product)
+
+    # Global branch decisions and per-segment doc/prior ranks: the pick
+    # uniform of the r-th doc-side token of a segment sits at
+    # ``base + count + r``, of the s-th prior-side token at
+    # ``base + count + n_doc + s``.
+    take = uniforms[branch_idx] < doc_mass / (doc_mass + prior_mass[words])
+    take_int = take.astype(np.int64)
+    doc_rank, prior_rank, ndoc_per_segment = segment_pick_ranks(
+        take_int, rank, seg_token_start[:-1], counts
+    )
+
+    # Pass 2 — doc-side picks: stacked prefix-sum search per block.
+    for index, (lo, hi, nz_topics, nz_counts) in enumerate(blocks):
+        t0, t1 = seg_token_start[lo], seg_token_start[hi]
+        selected = np.flatnonzero(take[t0:t1]) + t0
+        if not selected.size:
+            continue
+        local = segrow[selected] - lo
+        if keep_products:
+            product = products[index][selected - t0]
+        else:
+            product = probs[words[selected, None], nz_topics[local]] * nz_counts[local]
+        doc_cdf = np.cumsum(product, axis=1)
+        pick_uniforms = uniforms[pick_base[selected] + doc_rank[selected]]
+        picks = sample_rows_from_cdf(doc_cdf, pick_uniforms)
+        result_sorted[tokens[selected]] = nz_topics[local, picks]
+
+    prior_side = np.flatnonzero(~take)
+    if prior_side.size:
+        prior_positions_parts.append(tokens[prior_side])
+        prior_uniform_parts.append(
+            pick_base[prior_side]
+            + np.repeat(ndoc_per_segment, counts)[prior_side]
+            + prior_rank[prior_side]
+        )
+    return int(take_int.sum())

@@ -20,6 +20,7 @@ from typing import Dict
 
 from ..core.hyperparams import LDAHyperParams
 from ..gpusim.device import GTX_1080, DeviceSpec
+from ..kernels.backend import KernelBackend, resolve_backend
 
 
 class TokenOrder(str, Enum):
@@ -75,6 +76,12 @@ class SaberLDAConfig:
         Number of E/M iterations to run.
     evaluate_every:
         Compute the training log-likelihood every this many iterations.
+    kernel_backend:
+        Execution of the sampling kernels
+        (:class:`~repro.kernels.KernelBackend`): ``vectorized`` (the
+        default — batched chunk-at-once NumPy) or ``reference`` (the
+        per-document loop; bit-identical, useful for debugging and
+        golden regeneration).
     """
 
     params: LDAHyperParams
@@ -89,8 +96,11 @@ class SaberLDAConfig:
     seed: int = 0
     num_iterations: int = 50
     evaluate_every: int = 1
+    kernel_backend: KernelBackend = KernelBackend.VECTORIZED
 
     def __post_init__(self) -> None:
+        # Accept plain strings ("vectorized") from callers and configs.
+        object.__setattr__(self, "kernel_backend", resolve_backend(self.kernel_backend))
         if self.num_chunks < 1:
             raise ValueError("num_chunks must be >= 1")
         if self.num_workers < 1:

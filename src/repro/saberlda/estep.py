@@ -1,23 +1,33 @@
-"""Vectorised ESCA E-step (the functional counterpart of the warp kernel).
+"""ESCA E-step (the functional counterpart of the warp kernel).
 
 ESCA is bulk-synchronous: during the E-step every token reads the *frozen*
 matrices ``A`` and ``B̂`` (Alg. 1), so the statistical result does not
 depend on the order in which tokens are visited.  The trainer therefore
-runs the sampling mathematics with NumPy batched per document — exactly
-the same two-branch decomposition as Alg. 2 — while the layout-dependent
-*cost* of the pass is charged separately by ``repro.saberlda.costing``.
-The lane-exact warp kernel in ``repro.saberlda.kernels`` is validated
-against this reference in the test suite.
+runs the sampling mathematics with NumPy — exactly the same two-branch
+decomposition as Alg. 2 — while the layout-dependent *cost* of the pass
+is charged separately by ``repro.saberlda.costing``.  The lane-exact
+warp kernel in ``repro.saberlda.kernels`` is validated against this
+reference in the test suite.
+
+:func:`esca_estep` dispatches between two executions of the same
+mathematics (see :class:`repro.kernels.KernelBackend`): the *reference*
+per-document loop implemented below — the draw-schedule spec — and the
+chunk-at-once *vectorized* kernel in ``repro.kernels.estep``, which is
+bit-identical to it and what both trainers run by default.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
 
 import numpy as np
 
 from ..core.count_matrices import SparseDocTopicMatrix, normalize_word_topic
 from ..core.tokens import TokenList
+from ..kernels.backend import KernelBackend, resolve_backend
+from ..kernels.cdf import sample_rows_from_cdf
+from ..kernels.estep import esca_estep_vectorized
 
 
 @dataclass
@@ -70,12 +80,9 @@ class EStepResult:
         return self.doc_branch_tokens / total
 
 
-def _sample_rows_from_cdf(cdf_rows: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
-    """Vectorised prefix-sum search: one sample per row of ``cdf_rows``."""
-    totals = cdf_rows[:, -1]
-    targets = uniforms * totals
-    indices = (cdf_rows < targets[:, None]).sum(axis=1)
-    return np.minimum(indices, cdf_rows.shape[1] - 1)
+#: Shared CDF helper (moved to the kernel package; kept under its old
+#: name for callers that imported it from here).
+_sample_rows_from_cdf = sample_rows_from_cdf
 
 
 def esca_estep(
@@ -83,12 +90,34 @@ def esca_estep(
     doc_topic: SparseDocTopicMatrix,
     word_side: WordSide,
     rng: np.random.Generator,
+    backend: Union[KernelBackend, str] = KernelBackend.REFERENCE,
 ) -> EStepResult:
     """Resample every token's topic with the sparsity-aware decomposition.
 
     Returns the new topic assignments aligned with ``tokens`` (the input
-    list is not modified).
+    list is not modified).  ``backend`` selects the execution — the
+    reference per-document loop below, or the chunk-at-once
+    :func:`~repro.kernels.estep.esca_estep_vectorized` kernel, which is
+    bit-identical to it (same uniforms, same draw order, same reduction
+    shapes) but replaces the Python loop with batched index arithmetic.
     """
+    if resolve_backend(backend) is KernelBackend.VECTORIZED:
+        new_topics, doc_branch, prior_branch = esca_estep_vectorized(
+            tokens.doc_ids,
+            tokens.word_ids,
+            doc_topic.indptr,
+            doc_topic.indices,
+            doc_topic.values,
+            word_side.probs,
+            word_side.cdf,
+            word_side.prior_mass,
+            rng,
+        )
+        return EStepResult(
+            new_topics=new_topics,
+            doc_branch_tokens=doc_branch,
+            prior_branch_tokens=prior_branch,
+        )
     num_tokens = tokens.num_tokens
     new_topics = np.empty(num_tokens, dtype=np.int32)
     if num_tokens == 0:

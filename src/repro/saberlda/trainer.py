@@ -196,7 +196,13 @@ class SaberLDATrainer:
 
             # ------------------------------ E-step ------------------------------ #
             for layout in layouts:
-                result = esca_estep(layout.tokens, doc_topic, word_side, self._rng)
+                result = esca_estep(
+                    layout.tokens,
+                    doc_topic,
+                    word_side,
+                    self._rng,
+                    backend=config.kernel_backend,
+                )
                 layout.tokens.topics = result.new_topics
                 doc_branch_tokens += result.doc_branch_tokens
                 total_tokens += layout.num_tokens

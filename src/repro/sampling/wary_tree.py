@@ -116,6 +116,24 @@ class WaryTree:
         """Sample once per entry of ``u`` (simple loop over :meth:`sample`)."""
         return np.array([self.sample(float(x)) for x in np.asarray(u)], dtype=np.int64)
 
+    def sample_batch_vectorized(self, u: np.ndarray) -> np.ndarray:
+        """Batched sampling: one ``searchsorted`` over the full leaf prefix.
+
+        Bit-identical to :meth:`sample_batch`: the level-by-level descent
+        of :meth:`sample` selects, at every level, the first group entry
+        ``>= target`` — which composes to the first *leaf* prefix entry
+        ``>= target`` (every earlier W-block's end, and hence every leaf
+        in it, is ``< target``), exactly the flat left-search below.
+        Padding slots hold running totals and real slots precede them,
+        so ties resolve to the same leaf; the final clamp mirrors
+        ``prefix_sum_search``'s round-off guard.  The equivalence is
+        pinned by the backend property suite.
+        """
+        prefix = self.levels[-1][: self.num_outcomes]
+        targets = np.asarray(u, dtype=np.float64) * self.total()
+        indices = np.searchsorted(prefix, targets, side="left")
+        return np.minimum(indices, self.num_outcomes - 1).astype(np.int64)
+
     def leaf_probabilities(self) -> np.ndarray:
         """Recover the normalised leaf distribution (for testing)."""
         prefix = self.levels[-1][: self.num_outcomes]

@@ -24,12 +24,13 @@ were batched.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..core.model import LDAModel
 from ..core.serialization import load_model
+from ..kernels.backend import KernelBackend
 from ..gpusim.cost_model import CostModel
 from ..gpusim.device import GTX_1080, DeviceSpec
 from ..gpusim.memory import MemoryTraffic
@@ -115,11 +116,17 @@ class InferenceEngine:
         seed: int = 0,
         preprocess: PreprocessKind = PreprocessKind.WARY_TREE,
         sampler_capacity: int = 4096,
+        backend: Union[KernelBackend, str] = KernelBackend.VECTORIZED,
         **overrides,
     ) -> "InferenceEngine":
-        """Freeze a trained model and wrap it in an engine."""
+        """Freeze a trained model and wrap it in an engine.
+
+        ``backend`` picks the fold-in kernel execution
+        (:class:`~repro.kernels.KernelBackend`); results are
+        bit-identical either way, ``vectorized`` is simply faster.
+        """
         state = FrozenModelState.prepare(
-            model, kind=preprocess, sampler_capacity=sampler_capacity
+            model, kind=preprocess, sampler_capacity=sampler_capacity, backend=backend
         )
         return cls(
             state=state, device=device, num_sweeps=num_sweeps, seed=seed, **overrides

@@ -24,6 +24,12 @@ Everything is deterministic given the RNG: tokens are visited in
 position order and the draw schedule per token is fixed, so a seeded
 fold-in is bit-reproducible — the anchor of the serving golden tests and
 of the plain/row-sharded/column-sharded checkpoint equivalence check.
+That schedule is preserved across kernel backends
+(:class:`repro.kernels.KernelBackend`): the *reference* execution is the
+per-slot loop below, the *vectorized* one (serving's default) batches
+each sweep's products, prefix sums and Problem-2 draws but consumes the
+same uniforms in the same order and touches the sampler bank in the same
+sequence, so both produce identical bits.
 """
 
 from __future__ import annotations
@@ -35,6 +41,8 @@ from typing import Sequence, Union
 import numpy as np
 
 from ..core.model import LDAModel
+from ..kernels.backend import KernelBackend, resolve_backend
+from ..kernels.cdf import concat_ranges, sample_from_word_cdf, segment_pick_ranks
 from ..sampling.alias_table import AliasTable
 from ..sampling.multinomial import sample_sparse_vector
 from ..sampling.wary_tree import WaryTree
@@ -69,10 +77,70 @@ class WordSamplerBank:
     evictions: int = 0
     construction_steps: int = 0
     _samplers: "OrderedDict[int, WordSampler]" = field(default_factory=OrderedDict)
+    #: Reusable uniform buffers (two: the alias table draws a pair of
+    #: streams per batch).  Fold-in profiles showed per-call allocation
+    #: of the uniform arrays; :meth:`draw` fills these views in place
+    #: instead — the drawn values (and the RNG stream) are unchanged.
+    _uniform_scratch: list = field(default_factory=list, repr=False)
+    #: Lazily built row CDFs of ``phi`` (see :attr:`phi_cdf`).
+    _phi_cdf: "np.ndarray | None" = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
             raise ValueError("capacity must be >= 1")
+        self._uniform_scratch = [np.empty(0, dtype=np.float64) for _ in range(2)]
+
+    @classmethod
+    def fresh_replica(
+        cls, parent: "WordSamplerBank", share_phi_cdf: bool = False
+    ) -> "WordSamplerBank":
+        """A cold bank over the parent's frozen ``phi`` (LRU/counters reset).
+
+        With ``share_phi_cdf`` (pass it when the replica will serve the
+        vectorized backend), the parent's :attr:`phi_cdf` is built once
+        and handed to the replica read-only — ``phi_cdf`` is a pure
+        function of the shared ``phi``, so N replicas must never hold N
+        copies of the dense ``V x K`` matrix.  The decision is gated
+        here on the sampler kind (only the W-ary path samples from it);
+        the caller supplies the backend half of the condition.
+        """
+        replica = cls(phi=parent.phi, kind=parent.kind, capacity=parent.capacity)
+        if share_phi_cdf and parent.kind is PreprocessKind.WARY_TREE:
+            replica._phi_cdf = parent.phi_cdf
+        return replica
+
+    @property
+    def phi_cdf(self) -> np.ndarray:
+        """Row-wise prefix sums of ``phi``, built once on first use.
+
+        Row ``v`` is bit-identical to the leaf prefix of word ``v``'s
+        W-ary tree (both are ``np.cumsum(phi[v])``), so the vectorized
+        fold-in can answer every word's Problem-2 draws from this one
+        matrix — with exactly the results the per-word trees give —
+        while the trees themselves remain the structures the LRU bank
+        builds and the cost model charges.
+        """
+        if self._phi_cdf is None:
+            self._phi_cdf = np.cumsum(self.phi, axis=1)
+        return self._phi_cdf
+
+    def _uniforms(self, count: int, rng: np.random.Generator, slot: int) -> np.ndarray:
+        """``count`` uniforms drawn into the preallocated scratch slot.
+
+        The returned view is only valid until the next draw from the
+        same slot; callers consume it immediately (``sample_batch``
+        returns fresh arrays).
+        """
+        scratch = self._uniform_scratch[slot]
+        if scratch.shape[0] < count:
+            capacity = 1 << max(count - 1, 1).bit_length()
+            scratch = np.empty(capacity, dtype=np.float64)
+            self._uniform_scratch[slot] = scratch
+        if count == 0:
+            return scratch[:0]
+        view = scratch[:count]
+        rng.random(out=view)
+        return view
 
     @property
     def resident_words(self) -> int:
@@ -100,12 +168,28 @@ class WordSamplerBank:
             self.evictions += 1
         return built
 
-    def draw(self, word_id: int, count: int, rng: np.random.Generator) -> np.ndarray:
-        """``count`` Problem-2 topic draws for one word (fixed RNG schedule)."""
+    def draw(
+        self,
+        word_id: int,
+        count: int,
+        rng: np.random.Generator,
+        backend: KernelBackend = KernelBackend.REFERENCE,
+    ) -> np.ndarray:
+        """``count`` Problem-2 topic draws for one word (fixed RNG schedule).
+
+        Identical uniforms are consumed in identical order whatever the
+        backend; ``vectorized`` only swaps the W-ary tree's per-draw
+        descent for the flat batched search (bit-identical results).
+        """
         sampler = self.sampler(word_id)
         if isinstance(sampler, AliasTable):
-            return sampler.sample_batch(rng.random(count), rng.random(count))
-        return sampler.sample_batch(rng.random(count))
+            u1 = self._uniforms(count, rng, 0)
+            u2 = self._uniforms(count, rng, 1)
+            return sampler.sample_batch(u1, u2)
+        uniforms = self._uniforms(count, rng, 0)
+        if backend is KernelBackend.VECTORIZED:
+            return sampler.sample_batch_vectorized(uniforms)
+        return sampler.sample_batch(uniforms)
 
     def begin_batch(self) -> int:
         """Mark a batch boundary; returns builds so far (pair with :meth:`builds_since`)."""
@@ -156,6 +240,7 @@ def fold_in_document(
     bank: WordSamplerBank,
     rng: np.random.Generator,
     num_sweeps: int = 15,
+    backend: Union[KernelBackend, str] = KernelBackend.REFERENCE,
 ) -> FoldInResult:
     """Fold one unseen document into a frozen model.
 
@@ -167,9 +252,17 @@ def fold_in_document(
     decomposition.  Tokens are visited grouped by word in ascending word
     id — the PDOW ordering of a one-document chunk — so the RNG schedule
     is a pure function of the (sorted) query and the seed.
+
+    ``backend`` selects the sweep execution: the reference per-slot loop
+    or the vectorized one (products and prefix sums batched across all
+    runs, every slot of a run sampled with one ``searchsorted``).  Both
+    consume the same uniforms in the same order, touch the sampler bank
+    in the same sequence (preserving LRU/build accounting) and produce
+    bit-identical results.
     """
     if num_sweeps < 1:
         raise ValueError("num_sweeps must be >= 1")
+    backend = resolve_backend(backend)
     word_ids = np.asarray(word_ids, dtype=np.int64)
     num_topics = int(phi.shape[1])
     if word_ids.size and (word_ids.min() < 0 or word_ids.max() >= phi.shape[0]):
@@ -191,9 +284,18 @@ def fold_in_document(
         for start, stop in zip(starts, stops)
     ]
 
+    if backend is KernelBackend.VECTORIZED and bank.kind is PreprocessKind.WARY_TREE:
+        # The W-ary kind consumes exactly two uniforms per token per
+        # sweep (branch + pick), so the whole sweep batches; the alias
+        # kind's pair-of-streams draw keeps the per-run path below.
+        return _fold_in_wary_vectorized(
+            order, sorted_words, runs, num_topics, phi, prior_mass,
+            alpha, bank, rng, num_sweeps,
+        )
+
     # Sweep 0: no document counts yet, only Problem 2 has mass.
     for word_id, positions in runs:
-        drawn = bank.draw(word_id, len(positions), rng)
+        drawn = bank.draw(word_id, len(positions), rng, backend=backend)
         topics[positions] = drawn.astype(np.int32)
         np.add.at(counts, drawn, 1)
 
@@ -201,26 +303,204 @@ def fold_in_document(
         frozen = counts  # BSP: every token of the sweep reads these counts
         nz_topics = np.flatnonzero(frozen)
         nz_counts = frozen[nz_topics].astype(np.float64)
-        new_topics = np.empty_like(topics)
-        for word_id, positions in runs:
-            run_length = len(positions)
-            product = phi[word_id, nz_topics] * nz_counts
-            doc_mass = float(product.sum())
-            q = float(prior_mass[word_id])
-            take_doc = rng.random(run_length) < doc_mass / (doc_mass + q)
-            chosen = np.empty(run_length, dtype=np.int64)
-            for slot in np.flatnonzero(take_doc):
-                chosen[slot] = sample_sparse_vector(nz_topics, product, rng.random())
-            prior_slots = np.flatnonzero(~take_doc)
-            if len(prior_slots):
-                chosen[prior_slots] = bank.draw(word_id, len(prior_slots), rng)
-            new_topics[positions] = chosen.astype(np.int32)
-        topics = new_topics
+        if backend is KernelBackend.VECTORIZED:
+            topics = _sweep_vectorized(
+                runs, topics, nz_topics, nz_counts, phi, prior_mass, bank, rng
+            )
+        else:
+            topics = _sweep_reference(
+                runs, topics, nz_topics, nz_counts, phi, prior_mass, bank, rng
+            )
         counts = np.bincount(topics, minlength=num_topics).astype(np.int64)
 
     totals = len(word_ids) + num_topics * alpha
     theta = (counts + alpha) / totals
     return FoldInResult(theta, counts, topics, num_sweeps)
+
+
+def _fold_in_wary_vectorized(
+    order: np.ndarray,
+    sorted_words: np.ndarray,
+    runs: list,
+    num_topics: int,
+    phi: np.ndarray,
+    prior_mass: np.ndarray,
+    alpha: float,
+    bank: WordSamplerBank,
+    rng: np.random.Generator,
+    num_sweeps: int,
+) -> FoldInResult:
+    """Fully batched fold-in for the W-ary sampler kind.
+
+    Every sweep draws its whole uniform stream in one call — token ``t``
+    of run ``r`` consumes uniform ``base_r + rank_t`` for the branch and
+    one pick uniform at a precomputed offset (doc-side picks of a run
+    precede its prior-side picks, exactly the reference order) — then
+    resolves all Problem-1 picks with one stacked prefix-sum search and
+    all Problem-2 picks with one pass over the bank's ``phi_cdf`` (bit-
+    identical to each word's W-ary tree).  The sampler bank is still
+    touched once per run that draws prior-side, in run order, so the
+    LRU state and build accounting evolve exactly as in the reference.
+    """
+    num_tokens = int(sorted_words.shape[0])
+    phi_cdf = bank.phi_cdf
+    num_runs = len(runs)
+    run_words = np.fromiter((w for w, _p in runs), dtype=np.int64, count=num_runs)
+    run_lengths = np.fromiter(
+        (len(p) for _w, p in runs), dtype=np.int64, count=num_runs
+    )
+
+    # Sweep 0: prior draws only — touch every word in run order, then
+    # answer the whole document with one batched CDF pass.  Document
+    # counts are carried sparsely between sweeps (``unique`` of the
+    # assignments equals ``flatnonzero``/gather of the dense bincount,
+    # exactly) so no per-sweep pass over all ``K`` topics is needed.
+    for word_id in run_words:
+        bank.sampler(int(word_id))
+    drawn = sample_from_word_cdf(phi_cdf, sorted_words, rng.random(num_tokens))
+    topics = np.empty(num_tokens, dtype=np.int32)
+    topics[order] = drawn.astype(np.int32)
+    nz_topics, nz_occupancy = np.unique(drawn, return_counts=True)
+
+    # Per-token stream offsets, fixed across sweeps (2 uniforms/token).
+    token_run = np.repeat(np.arange(num_runs, dtype=np.int64), run_lengths)
+    rank = concat_ranges(np.zeros(num_runs, dtype=np.int64), run_lengths)
+    run_starts = np.concatenate([[0], np.cumsum(run_lengths)[:-1]]).astype(np.int64)
+    seg_base = 2 * run_starts
+    branch_idx = np.repeat(seg_base, run_lengths) + rank
+    pick_base = np.repeat(seg_base + run_lengths, run_lengths)
+    run_prior_mass = prior_mass[run_words]
+
+    for _ in range(1, num_sweeps):
+        nz_counts = nz_occupancy.astype(np.float64)
+        width = int(nz_topics.shape[0])
+        products = phi[run_words[:, None], nz_topics[None, :]] * nz_counts[None, :]
+        doc_mass = products.sum(axis=1)
+        ratio = doc_mass / (doc_mass + run_prior_mass)
+
+        uniforms = rng.random(2 * num_tokens)
+        take_doc = uniforms[branch_idx] < ratio[token_run]
+
+        take_int = take_doc.astype(np.int64)
+        doc_rank, prior_rank, ndoc_per_run = segment_pick_ranks(
+            take_int, rank, run_starts, run_lengths
+        )
+
+        chosen = np.empty(num_tokens, dtype=np.int64)
+        doc_side = np.flatnonzero(take_doc)
+        if doc_side.size:
+            doc_cdf = np.cumsum(products, axis=1)
+            rows = doc_cdf[token_run[doc_side]]
+            # The reference scales by the run's pairwise sum (its
+            # ``weights.sum()``), not the prefix's last entry.
+            targets = (
+                uniforms[pick_base[doc_side] + doc_rank[doc_side]]
+                * doc_mass[token_run[doc_side]]
+            )
+            picks = np.minimum((rows < targets[:, None]).sum(axis=1), width - 1)
+            chosen[doc_side] = nz_topics[picks]
+
+        prior_side = np.flatnonzero(~take_doc)
+        if prior_side.size:
+            for r in np.flatnonzero(ndoc_per_run < run_lengths):
+                bank.sampler(int(run_words[r]))
+            prior_idx = (
+                pick_base[prior_side]
+                + np.repeat(ndoc_per_run, run_lengths)[prior_side]
+                + prior_rank[prior_side]
+            )
+            chosen[prior_side] = sample_from_word_cdf(
+                phi_cdf, sorted_words[prior_side], uniforms[prior_idx]
+            )
+
+        topics = np.empty(num_tokens, dtype=np.int32)
+        topics[order] = chosen.astype(np.int32)
+        nz_topics, nz_occupancy = np.unique(chosen, return_counts=True)
+
+    counts = np.zeros(num_topics, dtype=np.int64)
+    counts[nz_topics] = nz_occupancy
+    totals = num_tokens + num_topics * alpha
+    theta = (counts + alpha) / totals
+    return FoldInResult(theta, counts, topics, num_sweeps)
+
+
+def _sweep_reference(
+    runs: list,
+    topics: np.ndarray,
+    nz_topics: np.ndarray,
+    nz_counts: np.ndarray,
+    phi: np.ndarray,
+    prior_mass: np.ndarray,
+    bank: WordSamplerBank,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One BSP fold-in sweep, reference execution (per-slot sampling loop)."""
+    new_topics = np.empty_like(topics)
+    for word_id, positions in runs:
+        run_length = len(positions)
+        product = phi[word_id, nz_topics] * nz_counts
+        doc_mass = float(product.sum())
+        q = float(prior_mass[word_id])
+        take_doc = rng.random(run_length) < doc_mass / (doc_mass + q)
+        chosen = np.empty(run_length, dtype=np.int64)
+        for slot in np.flatnonzero(take_doc):
+            chosen[slot] = sample_sparse_vector(nz_topics, product, rng.random())
+        prior_slots = np.flatnonzero(~take_doc)
+        if len(prior_slots):
+            chosen[prior_slots] = bank.draw(word_id, len(prior_slots), rng)
+        new_topics[positions] = chosen.astype(np.int32)
+    return new_topics
+
+
+def _sweep_vectorized(
+    runs: list,
+    topics: np.ndarray,
+    nz_topics: np.ndarray,
+    nz_counts: np.ndarray,
+    phi: np.ndarray,
+    prior_mass: np.ndarray,
+    bank: WordSamplerBank,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One BSP fold-in sweep, vectorized execution.
+
+    The sweep's counts are frozen, so every run shares one set of
+    non-zero topics: all ``P = n_d ⊙ B̂_v`` product rows (and their
+    prefix sums) are computed in a single stacked gather up front, and
+    each run's doc-side slots are resolved with one batched
+    ``searchsorted`` against the run's CDF instead of a per-slot Python
+    loop.  The run loop itself survives only to keep the RNG consumption
+    and sampler-bank touch order identical to the reference.
+    """
+    run_words = np.fromiter(
+        (word_id for word_id, _positions in runs), dtype=np.int64, count=len(runs)
+    )
+    products = phi[run_words[:, None], nz_topics[None, :]] * nz_counts[None, :]
+    doc_masses = products.sum(axis=1)
+    cdfs = np.cumsum(products, axis=1)
+    width = int(nz_topics.shape[0])
+
+    new_topics = np.empty_like(topics)
+    for index, (word_id, positions) in enumerate(runs):
+        run_length = len(positions)
+        doc_mass = float(doc_masses[index])
+        q = float(prior_mass[word_id])
+        take_doc = rng.random(run_length) < doc_mass / (doc_mass + q)
+        chosen = np.empty(run_length, dtype=np.int64)
+        doc_slots = np.flatnonzero(take_doc)
+        if len(doc_slots):
+            targets = rng.random(len(doc_slots)) * doc_mass
+            picks = np.minimum(
+                np.searchsorted(cdfs[index], targets, side="left"), width - 1
+            )
+            chosen[doc_slots] = nz_topics[picks]
+        prior_slots = np.flatnonzero(~take_doc)
+        if len(prior_slots):
+            chosen[prior_slots] = bank.draw(
+                word_id, len(prior_slots), rng, backend=KernelBackend.VECTORIZED
+            )
+        new_topics[positions] = chosen.astype(np.int32)
+    return new_topics
 
 
 @dataclass
@@ -236,6 +516,10 @@ class FrozenModelState:
     phi: np.ndarray
     prior_mass: np.ndarray
     bank: WordSamplerBank
+    backend: KernelBackend = KernelBackend.VECTORIZED
+
+    def __post_init__(self) -> None:
+        self.backend = resolve_backend(self.backend)
 
     @classmethod
     def prepare(
@@ -243,12 +527,19 @@ class FrozenModelState:
         model: LDAModel,
         kind: PreprocessKind = PreprocessKind.WARY_TREE,
         sampler_capacity: int = 4096,
+        backend: Union[KernelBackend, str] = KernelBackend.VECTORIZED,
     ) -> "FrozenModelState":
         """Freeze a trained model for serving."""
         phi = model.fold_in_phi()
         prior_mass = model.params.alpha * phi.sum(axis=1)
         bank = WordSamplerBank(phi=phi, kind=kind, capacity=sampler_capacity)
-        return cls(model=model, phi=phi, prior_mass=prior_mass, bank=bank)
+        return cls(
+            model=model,
+            phi=phi,
+            prior_mass=prior_mass,
+            bank=bank,
+            backend=resolve_backend(backend),
+        )
 
     def fold_in(
         self,
@@ -265,6 +556,7 @@ class FrozenModelState:
             self.bank,
             rng,
             num_sweeps=num_sweeps,
+            backend=self.backend,
         )
 
 

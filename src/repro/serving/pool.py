@@ -43,6 +43,7 @@ from ..core.serialization import load_model
 from ..distributed.shard import TopicShardPlan, plan_topic_shards
 from ..gpusim.cost_model import CostModel
 from ..gpusim.streams import PCIE_P2P, InterconnectSpec
+from ..kernels.backend import KernelBackend
 from .engine import BatchExecution, InferenceEngine, cost_batch_phases
 from .foldin import FoldInResult, FrozenModelState, WordSamplerBank
 from .scheduler import InferenceBatch
@@ -416,12 +417,16 @@ def _engine_with_fresh_bank(engine: InferenceEngine) -> InferenceEngine:
     must be private (each lane warms its own hot-word set).
     """
     state = engine.state
-    bank = WordSamplerBank(
-        phi=state.phi, kind=state.bank.kind, capacity=state.bank.capacity
+    bank = WordSamplerBank.fresh_replica(
+        state.bank, share_phi_cdf=state.backend is KernelBackend.VECTORIZED
     )
     return InferenceEngine(
         state=FrozenModelState(
-            model=state.model, phi=state.phi, prior_mass=state.prior_mass, bank=bank
+            model=state.model,
+            phi=state.phi,
+            prior_mass=state.prior_mass,
+            bank=bank,
+            backend=state.backend,
         ),
         device=engine.device,
         num_sweeps=engine.num_sweeps,

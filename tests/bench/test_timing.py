@@ -1,0 +1,61 @@
+"""Tests for the wall-clock timing helpers of the benchmark harness."""
+
+import pytest
+
+from repro.bench import WallClockTiming, wall_clock, wall_timer
+
+
+class TestWallClock:
+    def test_runs_warmup_plus_repeat_times(self):
+        calls = []
+        timing = wall_clock(lambda: calls.append(1), repeat=3, warmup=2)
+        assert len(calls) == 5
+        assert timing.repeat == 3
+        assert timing.warmup == 2
+        assert len(timing.seconds) == 3
+
+    def test_statistics(self):
+        timing = WallClockTiming(seconds=(0.2, 0.1, 0.4), warmup=1)
+        assert timing.best == 0.1
+        assert timing.mean == pytest.approx(0.7 / 3)
+        assert timing.throughput(50) == pytest.approx(500.0)
+
+    def test_zero_best_yields_zero_throughput(self):
+        assert WallClockTiming(seconds=(0.0,), warmup=0).throughput(10) == 0.0
+
+    def test_decorator_form(self):
+        @wall_clock(repeat=2, warmup=0)
+        def workload(value):
+            return value * 2
+
+        timing = workload(21)
+        assert isinstance(timing, WallClockTiming)
+        assert timing.repeat == 2
+        assert all(second >= 0 for second in timing.seconds)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="repeat"):
+            wall_clock(lambda: None, repeat=0)
+        with pytest.raises(ValueError, match="warmup"):
+            wall_clock(lambda: None, warmup=-1)
+
+    def test_measured_seconds_reflect_the_workload(self):
+        import time
+
+        timing = wall_clock(lambda: time.sleep(0.01), repeat=2, warmup=0)
+        assert min(timing.seconds) >= 0.009
+
+
+class TestWallTimer:
+    def test_times_the_body(self):
+        import time
+
+        with wall_timer() as timer:
+            time.sleep(0.01)
+        assert timer.seconds >= 0.009
+
+    def test_records_even_when_the_body_raises(self):
+        with pytest.raises(RuntimeError):
+            with wall_timer() as timer:
+                raise RuntimeError("boom")
+        assert timer.seconds >= 0.0

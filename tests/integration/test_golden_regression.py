@@ -117,6 +117,23 @@ class TestGoldenRun:
         assert int(counts.sum()) == golden["total_count"] == corpus.num_tokens
         assert int((counts > 0).sum()) == golden["nonzero_entries"]
 
+    def test_reference_backend_reproduces_the_golden_digest(self, golden):
+        """The `run` fixture trains with the (default) vectorized kernel
+        backend; the reference backend must pin to the same golden file —
+        the backends are bit-identical by contract."""
+        corpus = generate_lda_corpus(**CORPUS_SPEC)
+        config = SaberLDAConfig.paper_defaults(
+            NUM_TOPICS,
+            num_iterations=NUM_ITERATIONS,
+            num_chunks=NUM_CHUNKS,
+            seed=TRAIN_SEED,
+            kernel_backend="reference",
+        )
+        result = train_saberlda(
+            corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size, config
+        )
+        assert word_topic_digest(result.model.word_topic_counts) == golden["word_topic_digest"]
+
     def test_distributed_run_reproduces_the_golden_digest(self, golden):
         """The data-parallel trainer is pinned to the same golden statistics."""
         corpus = generate_lda_corpus(**CORPUS_SPEC)

@@ -42,20 +42,46 @@ class TestTreeEquivalenceProperties:
     @given(weights=weight_arrays, u=uniforms)
     @settings(max_examples=60, deadline=None)
     def test_warp_tree_matches_cpu_tree(self, weights, u):
-        assert WarpWaryTree.build(weights).sample(u) == WaryTree.build(weights).sample(u)
+        cpu_tree = WaryTree.build(weights)
+        warp_leaf = WarpWaryTree.build(weights).sample(u)
+        cpu_leaf = cpu_tree.sample(u)
+        if warp_leaf == cpu_leaf:
+            return
+        # The warp build scans each 32-group with the Hillis-Steele
+        # shuffle tree while the CPU tree uses the sequential cumsum;
+        # the two round differently, so a target landing within an ulp
+        # of a prefix boundary may legitimately resolve to either side
+        # (the same boundary case the Fenwick test below allows).  Any
+        # boundary crossed between the two answers must sit at the
+        # target up to that rounding slack.
+        prefix = np.cumsum(weights)
+        target = u * cpu_tree.total()
+        crossed = prefix[min(warp_leaf, cpu_leaf) : max(warp_leaf, cpu_leaf)]
+        tolerance = 8 * np.spacing(float(prefix[-1]))
+        assert np.all(np.abs(crossed - target) <= tolerance)
 
     @given(weights=weight_arrays, u=uniforms)
     @settings(max_examples=60, deadline=None)
     def test_fenwick_matches_searchsorted(self, weights, u):
         tree = FenwickTree(weights)
         prefix = np.cumsum(weights)
+        target = u * prefix[-1]
         expected = min(
-            int(np.searchsorted(prefix, u * prefix[-1], side="left")), len(weights) - 1
+            int(np.searchsorted(prefix, target, side="left")), len(weights) - 1
         )
-        # The Fenwick descent uses strict inequalities; allow the boundary case
-        # where the target falls exactly on a prefix value of a zero-width region.
         got = tree.sample(u)
-        assert got == expected or abs(prefix[got] - prefix[expected]) < 1e-12
+        if got == expected:
+            return
+        # The Fenwick descent accumulates binary-indexed partial sums,
+        # which round differently from the sequential cumsum (and its
+        # inequalities are strict): a target within an ulp of a prefix
+        # boundary — including one falling exactly on a zero-width
+        # region — may resolve to either side.  Every boundary crossed
+        # between the two answers must sit at the target up to that
+        # rounding slack.
+        crossed = prefix[min(got, expected) : max(got, expected)]
+        tolerance = 8 * np.spacing(float(prefix[-1]))
+        assert np.all(np.abs(crossed - target) <= tolerance)
 
     @given(weights=weight_arrays)
     @settings(max_examples=40, deadline=None)

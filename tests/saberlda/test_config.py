@@ -3,6 +3,7 @@
 import pytest
 
 from repro.gpusim import TITAN_X_MAXWELL
+from repro.kernels import KernelBackend
 from repro.saberlda import (
     CountRebuildKind,
     PreprocessKind,
@@ -10,6 +11,22 @@ from repro.saberlda import (
     TokenOrder,
     ablation_presets,
 )
+
+
+class TestKernelBackendConfig:
+    def test_default_is_vectorized(self):
+        assert (
+            SaberLDAConfig.paper_defaults(8).kernel_backend
+            is KernelBackend.VECTORIZED
+        )
+
+    def test_strings_are_coerced_to_the_enum(self):
+        config = SaberLDAConfig.paper_defaults(8, kernel_backend="reference")
+        assert config.kernel_backend is KernelBackend.REFERENCE
+
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(ValueError, match="kernel backend"):
+            SaberLDAConfig.paper_defaults(8, kernel_backend="cuda")
 
 
 class TestConfig:

@@ -68,6 +68,24 @@ class TestEStep:
         result = esca_estep(TokenList.empty(), doc_topic, word_side, rng)
         assert len(result.new_topics) == 0
 
+    def test_vectorized_backend_matches_reference(self, prepared, tiny_tokens, rng_seed):
+        _params, doc_topic, word_side = prepared
+        reference = esca_estep(
+            tiny_tokens, doc_topic, word_side,
+            np.random.default_rng(rng_seed), backend="reference",
+        )
+        vectorized = esca_estep(
+            tiny_tokens, doc_topic, word_side,
+            np.random.default_rng(rng_seed), backend="vectorized",
+        )
+        np.testing.assert_array_equal(reference.new_topics, vectorized.new_topics)
+        assert reference.doc_branch_tokens == vectorized.doc_branch_tokens
+
+    def test_unknown_backend_is_rejected(self, prepared, tiny_tokens, rng):
+        _params, doc_topic, word_side = prepared
+        with pytest.raises(ValueError, match="kernel backend"):
+            esca_estep(tiny_tokens, doc_topic, word_side, rng, backend="warp")
+
     def test_samples_exact_conditional_distribution(self, prepared, tiny_tokens):
         """Repeatedly resampling one corpus must match Eq. (1) marginally per token."""
         params, doc_topic, word_side = prepared

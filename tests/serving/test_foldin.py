@@ -13,6 +13,8 @@ import numpy as np
 import pytest
 
 from repro.core import LDAHyperParams, LDAModel
+from repro.kernels import KernelBackend
+from repro.sampling.alias_table import AliasTable
 from repro.saberlda import PreprocessKind, SaberLDAConfig, train_saberlda
 from repro.serving import (
     InferenceEngine,
@@ -104,6 +106,21 @@ class TestGoldenFoldIn:
         assert golden["num_topics"] == NUM_TOPICS
         assert golden["num_sweeps"] == NUM_SWEEPS
         assert golden["serve_seed"] == SERVE_SEED
+
+    def test_reference_backend_reproduces_the_golden_thetas(self, golden, trained):
+        """The `engine` fixture serves the (default) vectorized backend;
+        the reference backend must pin to the same golden file — the
+        two executions are bit-identical by contract."""
+        corpus, result = trained
+        engine = InferenceEngine.from_model(
+            result.model,
+            num_sweeps=NUM_SWEEPS,
+            seed=SERVE_SEED,
+            backend=KernelBackend.REFERENCE,
+        )
+        thetas = _golden_thetas(engine, _golden_queries(corpus))
+        for measured, pinned in zip(thetas, golden["thetas"]):
+            assert measured == pytest.approx(pinned, abs=10**-THETA_DECIMALS)
 
 
 class TestDeterminism:
@@ -255,6 +272,50 @@ class TestWordSamplerBank:
     def test_rejects_bad_capacity(self, phi):
         with pytest.raises(ValueError):
             WordSamplerBank(phi=phi, capacity=0)
+
+    @pytest.mark.parametrize(
+        "kind", [PreprocessKind.WARY_TREE, PreprocessKind.ALIAS_TABLE]
+    )
+    def test_scratch_buffer_does_not_change_the_draws(self, phi, kind, rng_seed):
+        """Regression: the preallocated uniform scratch leaves draws unchanged.
+
+        The bank fills a reusable buffer via ``rng.random(out=...)``
+        instead of allocating per call; the drawn topics (and the RNG
+        stream position) must equal the allocate-per-call schedule
+        ``sample_batch(rng.random(n)[, rng.random(n)])`` exactly, and a
+        later draw must not corrupt an earlier draw's returned array.
+        """
+        bank = WordSamplerBank(phi=phi, kind=kind)
+        rng = np.random.default_rng(rng_seed)
+        first = bank.draw(3, 17, rng)
+        first_copy = first.copy()
+        second = bank.draw(5, 40, rng)  # refills the same scratch views
+
+        oracle_rng = np.random.default_rng(rng_seed)
+        oracle_bank = WordSamplerBank(phi=phi, kind=kind)
+        expected_first = self._draw_without_scratch(oracle_bank, 3, 17, oracle_rng)
+        expected_second = self._draw_without_scratch(oracle_bank, 5, 40, oracle_rng)
+
+        assert np.array_equal(first, expected_first)
+        assert np.array_equal(first, first_copy)  # not aliased to scratch
+        assert np.array_equal(second, expected_second)
+        assert rng.random() == oracle_rng.random()  # same stream position
+
+    @staticmethod
+    def _draw_without_scratch(bank, word_id, count, rng):
+        """The pre-scratch draw schedule, as an oracle."""
+        sampler = bank.sampler(word_id)
+        if isinstance(sampler, AliasTable):
+            return sampler.sample_batch(rng.random(count), rng.random(count))
+        return sampler.sample_batch(rng.random(count))
+
+    def test_vectorized_draws_match_reference_draws(self, phi, rng_seed):
+        bank = WordSamplerBank(phi=phi)
+        reference = bank.draw(4, 64, np.random.default_rng(rng_seed))
+        vectorized = bank.draw(
+            4, 64, np.random.default_rng(rng_seed), backend=KernelBackend.VECTORIZED
+        )
+        assert np.array_equal(reference, vectorized)
 
 
 def _regenerate():

@@ -128,6 +128,23 @@ def checkpoints(model, tmp_path_factory):
 
 
 class TestPoolConstruction:
+    def test_every_lane_inherits_the_kernel_backend(self, model):
+        from repro.kernels import KernelBackend
+
+        pool = EnginePool.replicated(
+            model, 3, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED, backend="reference"
+        )
+        assert all(
+            engine.state.backend is KernelBackend.REFERENCE
+            for engine in pool.engines
+        )
+
+    def test_vectorized_lanes_share_one_phi_cdf(self, model):
+        """Replicas must not hold N copies of the dense V x K prefix matrix."""
+        pool = EnginePool.replicated(model, 3, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED)
+        shared = pool.engines[0].state.bank.phi_cdf
+        assert all(engine.state.bank.phi_cdf is shared for engine in pool.engines)
+
     def test_rejects_unknown_strategy(self, model):
         engine = InferenceEngine.from_model(model, num_sweeps=NUM_SWEEPS, seed=SERVE_SEED)
         with pytest.raises(ValueError, match="strategy"):
