@@ -21,14 +21,25 @@ scheduler buys and where it saturates:
   bit-identical (one digest) across all three layouts — and across
   every pool configuration (asserted against the single engine).
 
+* **wall-clock pool scaling** (``--wallclock``) — the same 1-N engine
+  sweep, but *measured*: the model is written to an mmap checkpoint,
+  :class:`~repro.serving.WorkerPool` forks N real OS processes that each
+  open ``phi``/``phi_cdf`` with ``mmap_mode="r"`` (one physical copy),
+  and the query stream is driven over real IPC.  Reports measured QPS
+  and p99 per worker count, asserts the digests stay bit-identical to
+  the single in-process engine, and compares the measured scaling curve
+  against the simulated (replicated-pool) projection — naming where the
+  two disagree about the knee (the simulator has no core count; the
+  machine does).  Writes ``benchmarks/results/BENCH_serving_wallclock.json``.
+
 Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q
 
-or directly (``--tiny`` shrinks the sweep for CI smoke runs; both modes
-write ``benchmarks/results/serving.{txt,json}``)::
+or directly (``--tiny`` shrinks the sweep for CI smoke runs; the
+simulated modes write ``benchmarks/results/serving.{txt,json}``)::
 
-    PYTHONPATH=src python benchmarks/bench_serving.py [--tiny]
+    PYTHONPATH=src python benchmarks/bench_serving.py [--tiny] [--wallclock]
 """
 
 import argparse
@@ -39,10 +50,10 @@ import tempfile
 import numpy as np
 
 from repro.bench import emit_json_report, emit_report, format_table, wall_clock
-from repro.core import save_model, save_sharded_model
+from repro.core import save_model, save_model_mmap, save_sharded_model
 from repro.corpus import generate_lda_corpus
 from repro.corpus.datasets import NYTIMES
-from repro.evaluation import project_pool_throughput
+from repro.evaluation import compare_pool_scaling, project_pool_throughput
 from repro.gpusim.device import GTX_1080
 from repro.saberlda import SaberLDAConfig, train_saberlda
 from repro.serving import (
@@ -53,11 +64,13 @@ from repro.serving import (
     ResultCache,
     ServingRequest,
     TopicServer,
+    WorkerPool,
     engine_results_digest,
     layout_batch,
     make_requests,
     poisson_arrivals,
     pool_results_digest,
+    serve_wallclock,
     warm_sampler_bank,
 )
 
@@ -531,6 +544,173 @@ def _wall_clock_backends(spec: dict):
     return rows
 
 
+WALLCLOCK_BATCH_DOCS = 8
+WALLCLOCK_REQUEST_FACTOR = 3  # wall-clock stream = factor x the sweep's stream
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _wallclock_rows(spec: dict):
+    """Measured QPS/p99 of the real process pool, 1-N workers.
+
+    One model, one mmap checkpoint on disk; every worker count serves
+    the *same* request stream and must reproduce the single in-process
+    engine's thetas bit for bit (asserted via the request-keyed digest).
+    The scaling gate (N=4 workers >= 2x one worker) only fires when the
+    machine actually has >= 4 cores — a single-core container can run
+    the data plane correctly but cannot exhibit parallel speedup, and
+    the JSON records ``available_cores`` so readers can tell which case
+    they are looking at.
+    """
+    num_topics = spec["topic_counts"][-1]
+    model = _train_model(num_topics)
+    rng = np.random.default_rng(SEED + 23)
+    num_requests = WALLCLOCK_REQUEST_FACTOR * spec["num_requests"]
+    documents = _make_queries(num_requests, 2 * spec["mean_query_tokens"], rng)
+    requests = [
+        ServingRequest(
+            request_id=index,
+            word_ids=np.asarray(document, dtype=np.int32),
+            arrival_seconds=0.0,
+        )
+        for index, document in enumerate(documents)
+    ]
+
+    # The bit-identity reference never touches the mmap checkpoint: a
+    # plain in-process engine over the in-memory model.
+    reference = InferenceEngine.from_model(
+        model, num_sweeps=spec["num_sweeps"], seed=SEED
+    )
+    reference_digest = pool_results_digest(
+        [
+            type("R", (), {"request_id": request.request_id,
+                           "theta": reference.infer_request(
+                               request.word_ids, request.request_id
+                           ).theta})()
+            for request in requests
+        ]
+    )
+
+    cores = _available_cores()
+    rows = []
+    measured_qps = {}
+    with tempfile.TemporaryDirectory() as tmpdir:
+        checkpoint = save_model_mmap(model, os.path.join(tmpdir, "ckpt"))
+        for num_workers in spec["pool_engine_counts"]:
+            with WorkerPool(
+                checkpoint,
+                num_workers=num_workers,
+                seed=SEED,
+                num_sweeps=spec["num_sweeps"],
+            ) as pool:
+                workers_mmapped = all(
+                    info.get("phi_is_memmap") and info.get("phi_cdf_is_memmap")
+                    for info in pool.worker_info.values()
+                )
+                report = serve_wallclock(
+                    pool, requests, batch_docs=WALLCLOCK_BATCH_DOCS
+                )
+            digest = pool_results_digest(report.outcomes)
+            assert digest == reference_digest, (
+                f"{num_workers}-worker wall-clock run diverged from the "
+                f"single in-process engine"
+            )
+            assert workers_mmapped, pool.worker_info
+            summary = report.summary()
+            assert summary["pool_failed"] == 0 and summary["pool_pending"] == 0
+            assert (
+                summary["pool_admitted"] == summary["pool_answered"]
+            ), summary
+            measured_qps[num_workers] = summary["sustained_qps"]
+            rows.append({"num_workers": num_workers, "digest": digest, **summary})
+
+    projected_qps = {
+        count: project_pool_throughput(
+            NYTIMES,
+            num_topics,
+            WALLCLOCK_BATCH_DOCS,
+            count,
+            "replicated",
+            num_sweeps=spec["num_sweeps"],
+        ).max_qps
+        for count in spec["pool_engine_counts"]
+    }
+    comparison = compare_pool_scaling(measured_qps, projected_qps)
+
+    if cores >= 4 and 4 in measured_qps:
+        assert measured_qps[4] >= 2.0 * measured_qps[1], (
+            f"4 workers sustained {measured_qps[4]:.0f} QPS, expected >= 2x "
+            f"the single worker's {measured_qps[1]:.0f} ({cores} cores)"
+        )
+    return rows, comparison, cores
+
+
+def _build_wallclock_report(rows, comparison, cores) -> str:
+    table = format_table(
+        ["Workers", "QPS", "p50 (ms)", "p99 (ms)", "Answered", "Retries", "Fallbacks"],
+        [
+            [
+                row["num_workers"],
+                f"{row['sustained_qps']:.0f}",
+                f"{row['p50_ms']:.2f}",
+                f"{row['p99_ms']:.2f}",
+                row["answered"],
+                row["pool_retries"],
+                row["pool_fallback_batches"],
+            ]
+            for row in rows
+        ],
+    )
+    comparison_table = format_table(
+        ["Workers", "Measured x", "Projected x", "Agree"],
+        [
+            [
+                row["num_engines"],
+                f"{row['measured_speedup']:.2f}",
+                f"{row['projected_speedup']:.2f}",
+                "yes" if row["agree"] else "NO",
+            ]
+            for row in comparison.rows()
+        ],
+    )
+    knee_line = (
+        "simulated and measured scaling agree across the sweep"
+        if comparison.knees_agree
+        else (
+            f"DISAGREE: projection knees at {comparison.projected_knee}, "
+            f"measurement knees at {comparison.measured_knee} "
+            f"(machine has {cores} core(s); the simulator has no core count)"
+        )
+    )
+    return (
+        f"Wall-clock process-pool scaling ({cores} core(s) available, "
+        f"batch {WALLCLOCK_BATCH_DOCS} docs, mmap checkpoint shared read-only):\n"
+        f"{table}\n"
+        f"digests bit-identical to the single in-process engine: yes\n\n"
+        f"Simulated-vs-measured scaling (speedup over one worker/engine):\n"
+        f"{comparison_table}\n{knee_line}\n"
+    )
+
+
+def _run_wallclock(spec: dict) -> str:
+    rows, comparison, cores = _wallclock_rows(spec)
+    report_text = _build_wallclock_report(rows, comparison, cores)
+    payload = {
+        "available_cores": cores,
+        "batch_docs": WALLCLOCK_BATCH_DOCS,
+        "rows": rows,
+        "scaling_comparison": comparison.summary(),
+        "digests_identical_to_inprocess_engine": True,
+    }
+    path = emit_json_report("BENCH_serving_wallclock", payload)
+    return report_text + f"json report: {path}\n"
+
+
 def _run(spec: dict):
     rows = _load_sweep_rows(spec)
     digests = _checkpoint_equivalence(spec)
@@ -632,8 +812,18 @@ if __name__ == "__main__":
     parser.add_argument(
         "--tiny", action="store_true", help="CI smoke sweep (seconds, not minutes)"
     )
+    parser.add_argument(
+        "--wallclock",
+        action="store_true",
+        help="measured process-pool scaling (real workers over an mmap "
+        "checkpoint) instead of the simulated sweeps; writes "
+        "benchmarks/results/BENCH_serving_wallclock.json",
+    )
     args = parser.parse_args()
     spec = TINY if args.tiny else FULL
+    if args.wallclock:
+        print(_run_wallclock(spec))
+        raise SystemExit(0)
     sweep_rows, layout_digests, pool_rows, pool_digests, crossover_rows = _run(spec)
     wall_rows = _wall_clock_backends(spec)
     report_text = _build_report(

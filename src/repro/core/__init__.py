@@ -17,16 +17,22 @@ from .likelihood import (
 )
 from .model import LDAModel
 from .serialization import (
+    FrozenArtifacts,
     detect_checkpoint_format,
+    load_mmap_model,
     load_model,
     load_sharded_model,
+    open_frozen_artifacts,
+    resolve_checkpoint,
     save_model,
+    save_model_mmap,
     save_sharded_model,
     word_topic_digest,
 )
 from .tokens import TokenList
 
 __all__ = [
+    "FrozenArtifacts",
     "LDAHyperParams",
     "LDAModel",
     "LikelihoodResult",
@@ -37,11 +43,15 @@ __all__ = [
     "detect_checkpoint_format",
     "document_topic_distributions",
     "heldout_log_likelihood",
+    "load_mmap_model",
     "load_model",
     "load_sharded_model",
     "log_likelihood_from_tokens",
     "normalize_word_topic",
+    "open_frozen_artifacts",
+    "resolve_checkpoint",
     "save_model",
+    "save_model_mmap",
     "save_sharded_model",
     "word_topic_digest",
     "split_heldout_documents",

@@ -1,8 +1,8 @@
-"""Model persistence: save and load trained LDA models as ``.npz`` archives.
+"""Model persistence: save and load trained LDA models.
 
-Two formats are supported:
+Three formats are supported:
 
-* a single archive (:func:`save_model` / :func:`load_model`), and
+* a single compressed archive (:func:`save_model` / :func:`load_model`),
 * a *sharded* checkpoint (:func:`save_sharded_model` /
   :func:`load_sharded_model`): the word-topic count matrix is split into
   contiguous shards — vocabulary rows (``axis="rows"``, the data-parallel
@@ -13,6 +13,19 @@ Two formats are supported:
   Multi-device runs write one shard per device without gathering ``B`` on
   a single host, and loading verifies the digest so a missing or stale
   shard cannot reassemble silently.
+* an *mmap* checkpoint (:func:`save_model_mmap` /
+  :func:`open_frozen_artifacts`): an uncompressed directory of raw
+  ``.npy`` members beside a JSON manifest.  Because the members are
+  plain ``np.lib.format`` files, N serving worker processes can open
+  the frozen ``phi`` / ``phi_cdf`` with ``mmap_mode="r"`` and share
+  **one physical copy** of the model through the page cache — the
+  layout :mod:`repro.serving.workers` is built on.
+
+No format stores pickled Python objects: vocabulary and metadata travel
+as JSON strings, every array member is a plain numeric/str dtype, and
+every load path runs with NumPy's default ``allow_pickle=False`` — a
+crafted checkpoint containing pickled objects is *rejected*, never
+executed.
 """
 
 from __future__ import annotations
@@ -20,21 +33,55 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .hyperparams import LDAHyperParams
 from .model import LDAModel
 
+#: Manifest file name inside an mmap checkpoint directory.
+MMAP_MANIFEST_NAME = "checkpoint.json"
+
+#: Format tags written into the JSON manifests.
+MMAP_FORMAT = "saberlda-mmap-checkpoint"
+SHARDED_FORMAT = "saberlda-sharded-checkpoint"
+
+_PICKLE_REFUSED = (
+    "checkpoint {path!r} contains pickled object arrays; refusing to load "
+    "them (pickle can execute arbitrary code).  Re-save the model with "
+    "save_model / save_model_mmap, which store vocabulary and metadata "
+    "as JSON."
+)
+
+
+def _archive_member(archive: "np.lib.npyio.NpzFile", key: str, path: str) -> np.ndarray:
+    """Read one archive member, translating pickle refusal into a clear error.
+
+    ``np.load`` runs with ``allow_pickle=False`` (the default); accessing
+    an object-dtype member then raises ``ValueError`` from deep inside
+    NumPy.  Surface it as a checkpoint-level rejection instead.
+    """
+    try:
+        member = archive[key]
+    except ValueError as error:
+        raise ValueError(_PICKLE_REFUSED.format(path=path)) from error
+    if not isinstance(member, np.ndarray):
+        # NpzFile hands back the raw bytes of a member that is not a
+        # real .npy (e.g. a bare pickle stream smuggled into the zip).
+        raise ValueError(_PICKLE_REFUSED.format(path=path))
+    return member
+
 
 def save_model(model: LDAModel, path: str) -> str:
     """Save a trained model (counts, hyper-parameters, vocabulary, metadata) to ``path``.
 
     The archive is a standard ``numpy.savez_compressed`` file, so it can
-    be inspected without this package.
+    be inspected without this package.  Vocabulary and metadata are
+    stored as JSON strings (plain ``str`` array members), never as
+    pickled objects — the archive loads under ``allow_pickle=False``.
     """
-    vocabulary = np.array(list(model.vocabulary), dtype=object) if model.vocabulary else None
     payload = {
         "word_topic_counts": model.word_topic_counts,
         "num_topics": np.array(model.params.num_topics),
@@ -42,57 +89,100 @@ def save_model(model: LDAModel, path: str) -> str:
         "beta": np.array(model.params.beta),
         "metadata_json": np.array(json.dumps(model.metadata, default=str)),
     }
-    if vocabulary is not None:
-        payload["vocabulary"] = vocabulary
+    if model.vocabulary:
+        payload["vocabulary_json"] = np.array(
+            json.dumps([str(word) for word in model.vocabulary])
+        )
     if not path.endswith(".npz"):
         path = path + ".npz"
     np.savez_compressed(path, **payload)
     return path
 
 
+# --------------------------------------------------------------------------- #
+# Path resolution
+# --------------------------------------------------------------------------- #
+def resolve_checkpoint(path: str) -> Tuple[str, str]:
+    """Resolve ``path`` to ``(format, resolved_path)`` — the one path oracle.
+
+    Every loader and format probe goes through here, so the spelling
+    rules live in exactly one place:
+
+    * ``"mmap"`` — an mmap checkpoint directory (``path`` may be the
+      directory or its ``checkpoint.json``); resolves to the directory.
+    * ``"sharded"`` — a shard manifest (``path`` may be the manifest
+      itself or the checkpoint base name); resolves to the manifest.
+    * ``"plain"`` — a :func:`save_model` archive (``path`` may carry the
+      ``.npz`` suffix or not — :func:`save_model` appends it, and
+      callers routinely pass the pre-append spelling); resolves to the
+      existing file.
+
+    Raises ``FileNotFoundError`` when nothing usable exists at ``path``.
+    """
+    if os.path.basename(path) == MMAP_MANIFEST_NAME and os.path.isfile(path):
+        return "mmap", os.path.dirname(path) or "."
+    if os.path.isdir(path) and os.path.isfile(os.path.join(path, MMAP_MANIFEST_NAME)):
+        return "mmap", path
+    if path.endswith(".manifest.json") and os.path.isfile(path):
+        return "sharded", path
+    if os.path.isfile(_manifest_path(path)):
+        return "sharded", _manifest_path(path)
+    if os.path.isfile(path):
+        return "plain", path
+    if os.path.isfile(path + ".npz"):
+        return "plain", path + ".npz"
+    raise FileNotFoundError(f"no model checkpoint found at {path!r}")
+
+
 def detect_checkpoint_format(path: str) -> str:
     """Classify what kind of checkpoint ``path`` names.
 
     Returns ``"plain"`` for a :func:`save_model` archive, ``"sharded"``
-    for a :func:`save_sharded_model` manifest (either shard axis; the
-    path may be the manifest itself or the checkpoint base name), and
-    raises ``FileNotFoundError`` when nothing usable exists at ``path``.
+    for a :func:`save_sharded_model` manifest, ``"mmap"`` for a
+    :func:`save_model_mmap` directory (each accepting the same path
+    spellings as :func:`resolve_checkpoint`), and raises
+    ``FileNotFoundError`` when nothing usable exists at ``path``.
     """
-    if path.endswith(".manifest.json") and os.path.isfile(path):
-        return "sharded"
-    if os.path.isfile(_manifest_path(path)):
-        return "sharded"
-    if os.path.isfile(path) or os.path.isfile(path + ".npz"):
-        return "plain"
-    raise FileNotFoundError(f"no model checkpoint found at {path!r}")
+    kind, _resolved = resolve_checkpoint(path)
+    return kind
 
 
 def load_model(path: str) -> LDAModel:
     """Load a model from ``path``, whatever checkpoint layout wrote it.
 
     ``path`` may name a plain :func:`save_model` archive, a sharded
-    checkpoint base name, or a shard manifest directly; the format is
-    auto-detected (:func:`detect_checkpoint_format`) and sharded
+    checkpoint base name or manifest, or an mmap checkpoint directory;
+    the format is auto-detected (:func:`resolve_checkpoint`) and sharded
     checkpoints — rows *and* columns — are reassembled into the full
     word-topic matrix.  Serving loads whatever the training run saved
     without knowing which parallelism mode produced it.
+
+    Pickled checkpoints are rejected with ``ValueError`` — nothing in
+    the load path ever unpickles.
     """
-    if detect_checkpoint_format(path) == "sharded":
-        return load_sharded_model(path)
-    if not os.path.exists(path) and os.path.exists(path + ".npz"):
-        path = path + ".npz"
-    with np.load(path, allow_pickle=True) as archive:
+    kind, resolved = resolve_checkpoint(path)
+    if kind == "sharded":
+        return load_sharded_model(resolved)
+    if kind == "mmap":
+        return load_mmap_model(resolved)
+    with np.load(resolved) as archive:
         params = LDAHyperParams(
-            num_topics=int(archive["num_topics"]),
-            alpha=float(archive["alpha"]),
-            beta=float(archive["beta"]),
+            num_topics=int(_archive_member(archive, "num_topics", resolved)),
+            alpha=float(_archive_member(archive, "alpha", resolved)),
+            beta=float(_archive_member(archive, "beta", resolved)),
         )
         vocabulary: Optional[list] = None
-        if "vocabulary" in archive:
-            vocabulary = [str(word) for word in archive["vocabulary"].tolist()]
-        metadata = json.loads(str(archive["metadata_json"]))
+        if "vocabulary_json" in archive:
+            vocabulary = json.loads(str(_archive_member(archive, "vocabulary_json", resolved)))
+        elif "vocabulary" in archive:
+            # Pre-PR-6 archives stored the vocabulary as an object array;
+            # those only load through pickle, so _archive_member rejects
+            # them (str-dtype arrays, if any, still load fine).
+            raw = _archive_member(archive, "vocabulary", resolved)
+            vocabulary = [str(word) for word in raw.tolist()]
+        metadata = json.loads(str(_archive_member(archive, "metadata_json", resolved)))
         return LDAModel(
-            word_topic_counts=archive["word_topic_counts"],
+            word_topic_counts=_archive_member(archive, "word_topic_counts", resolved),
             params=params,
             vocabulary=vocabulary,
             metadata=metadata,
@@ -100,7 +190,7 @@ def load_model(path: str) -> LDAModel:
 
 
 # --------------------------------------------------------------------------- #
-# Sharded checkpoints
+# Digests
 # --------------------------------------------------------------------------- #
 def word_topic_digest(word_topic_counts: np.ndarray) -> str:
     """Stable SHA-256 digest of a word-topic count matrix.
@@ -116,6 +206,175 @@ def word_topic_digest(word_topic_counts: np.ndarray) -> str:
     return hasher.hexdigest()
 
 
+# --------------------------------------------------------------------------- #
+# Mmap checkpoints (raw .npy members — the multi-process serving layout)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FrozenArtifacts:
+    """The opened members of an mmap checkpoint.
+
+    ``word_topic_counts``, ``phi``, ``phi_cdf`` and ``prior_mass`` are
+    the arrays serving needs; opened with ``mmap_mode="r"`` they are
+    read-only ``np.memmap`` views whose pages the OS shares across every
+    process that opens the same files — N workers, one physical model.
+    """
+
+    directory: str
+    manifest: Dict[str, object]
+    word_topic_counts: np.ndarray
+    phi: Optional[np.ndarray]
+    phi_cdf: Optional[np.ndarray]
+    prior_mass: Optional[np.ndarray]
+    mmap_mode: Optional[str]
+
+    @property
+    def params(self) -> LDAHyperParams:
+        """Hyper-parameters recorded in the manifest."""
+        return LDAHyperParams(
+            num_topics=int(self.manifest["num_topics"]),
+            alpha=float(self.manifest["alpha"]),
+            beta=float(self.manifest["beta"]),
+        )
+
+    @property
+    def has_serving_artifacts(self) -> bool:
+        """Whether the frozen ``phi`` / ``phi_cdf`` / ``prior_mass`` were written."""
+        return self.phi is not None
+
+    def to_model(self) -> LDAModel:
+        """Wrap the (possibly memory-mapped) counts as an :class:`LDAModel`."""
+        return LDAModel(
+            word_topic_counts=self.word_topic_counts,
+            params=self.params,
+            vocabulary=self.manifest.get("vocabulary"),
+            metadata=dict(self.manifest.get("metadata") or {}),
+        )
+
+
+def _mmap_manifest_path(directory: str) -> str:
+    return os.path.join(directory, MMAP_MANIFEST_NAME)
+
+
+def save_model_mmap(
+    model: LDAModel, path: str, serving_artifacts: bool = True
+) -> str:
+    """Write ``model`` as an uncompressed, mmap-able checkpoint directory.
+
+    ``path`` names the directory (created if needed).  Members are raw
+    ``np.lib.format`` ``.npy`` files — ``word_topic_counts.npy`` always,
+    plus (with ``serving_artifacts``, the default) the frozen serving
+    quantities ``phi.npy`` (:meth:`LDAModel.fold_in_phi`),
+    ``phi_cdf.npy`` (its row prefix sums — bit-identical to what
+    :class:`~repro.serving.foldin.WordSamplerBank` would build) and
+    ``prior_mass.npy`` — so worker processes reconstruct the frozen
+    state with ``mmap_mode="r"`` and **zero** per-worker recompute or
+    copy.  The manifest stores hyper-parameters, vocabulary and metadata
+    as JSON (pickle-free) and a digest of the counts.  Returns ``path``.
+    """
+    os.makedirs(path, exist_ok=True)
+    counts = np.ascontiguousarray(np.asarray(model.word_topic_counts, dtype=np.int64))
+    np.save(os.path.join(path, "word_topic_counts.npy"), counts)
+    arrays: Dict[str, str] = {"word_topic_counts": "word_topic_counts.npy"}
+    if serving_artifacts:
+        phi = np.ascontiguousarray(model.fold_in_phi().astype(np.float64, copy=False))
+        phi_cdf = np.cumsum(phi, axis=1)
+        prior_mass = model.params.alpha * phi.sum(axis=1)
+        np.save(os.path.join(path, "phi.npy"), phi)
+        np.save(os.path.join(path, "phi_cdf.npy"), phi_cdf)
+        np.save(os.path.join(path, "prior_mass.npy"), prior_mass)
+        arrays.update(
+            phi="phi.npy", phi_cdf="phi_cdf.npy", prior_mass="prior_mass.npy"
+        )
+    manifest = {
+        "format": MMAP_FORMAT,
+        "version": 1,
+        "vocabulary_size": model.vocabulary_size,
+        "num_topics": model.params.num_topics,
+        "alpha": model.params.alpha,
+        "beta": model.params.beta,
+        "digest": word_topic_digest(counts),
+        "arrays": arrays,
+        "vocabulary": [str(w) for w in model.vocabulary] if model.vocabulary else None,
+        "metadata": json.loads(json.dumps(model.metadata, default=str)),
+    }
+    with open(_mmap_manifest_path(path), "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    return path
+
+
+def _read_mmap_manifest(directory: str) -> Dict[str, object]:
+    with open(_mmap_manifest_path(directory), "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("format") != MMAP_FORMAT:
+        raise ValueError(f"{directory!r} is not an mmap SaberLDA checkpoint")
+    return manifest
+
+
+def open_frozen_artifacts(
+    path: str, mmap_mode: Optional[str] = "r"
+) -> FrozenArtifacts:
+    """Open an mmap checkpoint's members (``mmap_mode="r"`` by default).
+
+    With the default mode every returned array is a read-only
+    ``np.memmap`` backed by the on-disk ``.npy`` — the one physical copy
+    all worker processes share.  Pass ``mmap_mode=None`` to read the
+    members fully into memory instead.
+    """
+    kind, directory = resolve_checkpoint(path)
+    if kind != "mmap":
+        raise ValueError(
+            f"{path!r} is a {kind!r} checkpoint; open_frozen_artifacts needs "
+            "an mmap checkpoint directory (save_model_mmap)"
+        )
+    manifest = _read_mmap_manifest(directory)
+    arrays = manifest.get("arrays") or {}
+
+    def _open(name: str) -> Optional[np.ndarray]:
+        member = arrays.get(name)
+        if member is None:
+            return None
+        member_path = os.path.join(directory, str(member))
+        if not os.path.isfile(member_path):
+            raise ValueError(f"mmap checkpoint member missing: {member_path!r}")
+        return np.load(member_path, mmap_mode=mmap_mode)
+
+    counts = _open("word_topic_counts")
+    if counts is None:
+        raise ValueError(f"mmap checkpoint {directory!r} lacks word_topic_counts")
+    return FrozenArtifacts(
+        directory=directory,
+        manifest=manifest,
+        word_topic_counts=counts,
+        phi=_open("phi"),
+        phi_cdf=_open("phi_cdf"),
+        prior_mass=_open("prior_mass"),
+        mmap_mode=mmap_mode,
+    )
+
+
+def load_mmap_model(path: str, mmap_mode: Optional[str] = None) -> LDAModel:
+    """Load the model out of an mmap checkpoint directory.
+
+    ``mmap_mode=None`` (the default for :func:`load_model`'s
+    auto-detection) reads the counts into memory and verifies the
+    manifest digest; a non-``None`` mode keeps them memory-mapped and
+    skips the digest pass (verifying would fault in every page, which
+    defeats the point of mapping).
+    """
+    artifacts = open_frozen_artifacts(path, mmap_mode=mmap_mode)
+    if mmap_mode is None:
+        digest = word_topic_digest(artifacts.word_topic_counts)
+        expected = artifacts.manifest["digest"]
+        if digest != expected:
+            raise ValueError(
+                f"mmap checkpoint digest mismatch: {digest} != {expected}"
+            )
+    return artifacts.to_model()
+
+
+# --------------------------------------------------------------------------- #
+# Sharded checkpoints
+# --------------------------------------------------------------------------- #
 def _shard_path(base: str, shard_id: int) -> str:
     return f"{base}.shard{shard_id:03d}.npz"
 
@@ -171,7 +430,7 @@ def save_sharded_model(
         )
 
     manifest = {
-        "format": "saberlda-sharded-checkpoint",
+        "format": SHARDED_FORMAT,
         "version": 2,
         "axis": axis,
         "num_shards": num_shards,
@@ -203,7 +462,7 @@ def load_sharded_model(path: str) -> LDAModel:
     base = manifest_file[: -len(".manifest.json")]
     with open(manifest_file, "r", encoding="utf-8") as handle:
         manifest = json.load(handle)
-    if manifest.get("format") != "saberlda-sharded-checkpoint":
+    if manifest.get("format") != SHARDED_FORMAT:
         raise ValueError(f"{manifest_file!r} is not a sharded SaberLDA checkpoint")
     axis = manifest.get("axis", "rows")
     if axis not in ("rows", "columns"):
@@ -223,18 +482,19 @@ def load_sharded_model(path: str) -> LDAModel:
         if not os.path.exists(shard_file):
             raise ValueError(f"missing checkpoint shard {shard_file!r}")
         with np.load(shard_file) as archive:
-            start = int(archive[start_key])
-            stop = int(archive[stop_key])
+            start = int(_archive_member(archive, start_key, shard_file))
+            stop = int(_archive_member(archive, stop_key, shard_file))
             if (start, stop) != (entry[start_key], entry[stop_key]):
                 raise ValueError(
                     f"shard {entry['shard_id']} covers {axis} [{start}, {stop}) "
                     f"but the manifest expects "
                     f"[{entry[start_key]}, {entry[stop_key]})"
                 )
+            block = _archive_member(archive, "word_topic_counts", shard_file)
             if axis == "rows":
-                counts[start:stop] = archive["word_topic_counts"]
+                counts[start:stop] = block
             else:
-                counts[:, start:stop] = archive["word_topic_counts"]
+                counts[:, start:stop] = block
             covered[start:stop] = True
     if not covered.all():
         raise ValueError(

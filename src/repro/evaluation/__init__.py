@@ -23,7 +23,9 @@ from .memory_model import (
 )
 from .serving import (
     PoolServingProjection,
+    ScalingComparison,
     ServingProjection,
+    compare_pool_scaling,
     project_pool_throughput,
     project_serving_throughput,
     serving_batch_profile,
@@ -41,9 +43,11 @@ __all__ = [
     "ConvergenceCurve",
     "MemoryFootprint",
     "PoolServingProjection",
+    "ScalingComparison",
     "ServingProjection",
     "ThroughputProjection",
     "baseline_curve",
+    "compare_pool_scaling",
     "compare_systems",
     "derived_capacity_comparison",
     "max_topics_dense",

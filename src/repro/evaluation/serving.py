@@ -14,7 +14,7 @@ latency floor of one batch, per batch size and topic count.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -305,6 +305,118 @@ def project_pool_throughput(
         batch_seconds=barrier + alltoall_seconds,
         alltoall_seconds=alltoall_seconds,
         model_bytes_per_engine=plan.max_model_bytes(descriptor.vocabulary_size),
+    )
+
+
+@dataclass(frozen=True)
+class ScalingComparison:
+    """Measured-vs-projected scaling of one engine/worker sweep.
+
+    The simulated pool (:func:`project_pool_throughput`, replicated)
+    scales by construction — N lanes, N× the saturation QPS; a *real*
+    process pool stops paying once the lanes outnumber the cores (or the
+    IPC overhead catches the batch compute).  This record puts both
+    curves side by side and names the **knee**: the smallest engine
+    count whose per-engine scaling efficiency (``speedup / engines``)
+    drops below ``efficiency_floor``.  Where the two knees differ is
+    exactly where the simulation's answer ("add engines") and the
+    machine's answer ("you ran out of cores") disagree.
+    """
+
+    engine_counts: List[int]
+    measured_qps: Dict[int, float]
+    projected_qps: Dict[int, float]
+    efficiency_floor: float
+
+    def _speedup(self, curve: Mapping[int, float], count: int) -> float:
+        base = curve[self.engine_counts[0]]
+        if base <= 0:
+            return 0.0
+        return curve[count] / base
+
+    def measured_speedup(self, count: int) -> float:
+        return self._speedup(self.measured_qps, count)
+
+    def projected_speedup(self, count: int) -> float:
+        return self._speedup(self.projected_qps, count)
+
+    def _knee(self, curve: Mapping[int, float]) -> Optional[int]:
+        for count in self.engine_counts[1:]:
+            if self._speedup(curve, count) < self.efficiency_floor * count:
+                return count
+        return None
+
+    @property
+    def measured_knee(self) -> Optional[int]:
+        """Smallest count where measured scaling falls off (None: never)."""
+        return self._knee(self.measured_qps)
+
+    @property
+    def projected_knee(self) -> Optional[int]:
+        """Smallest count where projected scaling falls off (None: never)."""
+        return self._knee(self.projected_qps)
+
+    @property
+    def knees_agree(self) -> bool:
+        """True when simulation and measurement fall off at the same count."""
+        return self.measured_knee == self.projected_knee
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Per-engine-count comparison rows for reports and JSON."""
+        return [
+            {
+                "num_engines": count,
+                "measured_qps": self.measured_qps[count],
+                "projected_qps": self.projected_qps[count],
+                "measured_speedup": self.measured_speedup(count),
+                "projected_speedup": self.projected_speedup(count),
+                "agree": (
+                    self.measured_speedup(count)
+                    >= self.efficiency_floor * count
+                )
+                == (
+                    self.projected_speedup(count)
+                    >= self.efficiency_floor * count
+                ),
+            }
+            for count in self.engine_counts
+        ]
+
+    def summary(self) -> Dict[str, object]:
+        """Headline comparison for reports and JSON."""
+        return {
+            "engine_counts": list(self.engine_counts),
+            "measured_knee": self.measured_knee,
+            "projected_knee": self.projected_knee,
+            "knees_agree": self.knees_agree,
+            "efficiency_floor": self.efficiency_floor,
+            "rows": self.rows(),
+        }
+
+
+def compare_pool_scaling(
+    measured_qps: Mapping[int, float],
+    projected_qps: Mapping[int, float],
+    efficiency_floor: float = 0.7,
+) -> ScalingComparison:
+    """Compare a measured QPS-vs-engines curve against the projection.
+
+    Both mappings go from engine/worker count to saturation (or
+    sustained) QPS; only counts present in *both* curves are compared,
+    in ascending order, and speedups are normalised to each curve's
+    smallest count so absolute units (simulated GPU seconds vs measured
+    wall seconds) never have to be commensurate.
+    """
+    if not 0.0 < efficiency_floor <= 1.0:
+        raise ValueError("efficiency_floor must be in (0, 1]")
+    counts = sorted(set(measured_qps) & set(projected_qps))
+    if len(counts) < 2:
+        raise ValueError("need at least two common engine counts to compare")
+    return ScalingComparison(
+        engine_counts=counts,
+        measured_qps={count: float(measured_qps[count]) for count in counts},
+        projected_qps={count: float(projected_qps[count]) for count in counts},
+        efficiency_floor=efficiency_floor,
     )
 
 

@@ -47,6 +47,17 @@ simulation under open-loop (Poisson) arrivals and reports p50/p99
 latency, sustained QPS, batch occupancy, cache hit rate and rejection
 rate — the serving analogue of the trainer's iteration records.
 
+**Real processes** (:mod:`~repro.serving.workers`) — everything above
+measures *simulated* seconds; :class:`WorkerPool` is the wall-clock data
+plane: N OS worker processes each open the frozen ``phi`` / ``phi_cdf``
+off an mmap checkpoint (:func:`repro.core.serialization.save_model_mmap`)
+with ``mmap_mode="r"`` — one physical copy of the model shared through
+the page cache — and serve micro-batches over real IPC, with
+crash/timeout detection, bounded retry and graceful degradation to
+in-process execution.  :func:`serve_wallclock` measures sustained QPS
+and latency percentiles; results stay bit-identical to the single
+in-process engine because requests are keyed by ``(seed, request_id)``.
+
 Typical usage::
 
     from repro.serving import InferenceEngine, TopicServer, make_requests
@@ -87,9 +98,18 @@ from .server import (
     make_requests,
     poisson_arrivals,
 )
+from .workers import (
+    BatchOutcome,
+    WallClockOutcome,
+    WallClockReport,
+    WorkerJobSpec,
+    WorkerPool,
+    serve_wallclock,
+)
 
 __all__ = [
     "BatchExecution",
+    "BatchOutcome",
     "BatchScheduler",
     "EnginePool",
     "FoldInResult",
@@ -104,7 +124,11 @@ __all__ = [
     "ServingReport",
     "ServingRequest",
     "TopicServer",
+    "WallClockOutcome",
+    "WallClockReport",
     "WordSamplerBank",
+    "WorkerJobSpec",
+    "WorkerPool",
     "document_digest",
     "engine_results_digest",
     "fold_in_document",
@@ -114,5 +138,6 @@ __all__ = [
     "poisson_arrivals",
     "pool_results_digest",
     "request_rng",
+    "serve_wallclock",
     "warm_sampler_bank",
 ]

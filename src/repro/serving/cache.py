@@ -68,8 +68,7 @@ class ResultCache:
         """Insert (or refresh) a result; evicts the least recently used."""
         if self.capacity == 0:
             return
-        theta = np.asarray(theta, dtype=np.float64)
-        theta = np.array(theta, copy=True)
+        theta = np.array(theta, dtype=np.float64, copy=True)
         theta.flags.writeable = False  # a cached result is shared; freeze it
         self._entries[digest] = theta
         self._entries.move_to_end(digest)

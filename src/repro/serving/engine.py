@@ -134,8 +134,40 @@ class InferenceEngine:
 
     @classmethod
     def from_checkpoint(cls, path: str, **kwargs) -> "InferenceEngine":
-        """Load any checkpoint layout (plain / row-sharded / column-sharded)."""
+        """Load any checkpoint layout (plain / sharded / mmap directory)."""
         return cls.from_model(load_model(path), **kwargs)
+
+    @classmethod
+    def from_mmap_checkpoint(
+        cls,
+        path: str,
+        device: DeviceSpec = GTX_1080,
+        num_sweeps: int = 15,
+        seed: int = 0,
+        preprocess: PreprocessKind = PreprocessKind.WARY_TREE,
+        sampler_capacity: int = 4096,
+        backend: Union[KernelBackend, str] = KernelBackend.VECTORIZED,
+        mmap_mode: "str | None" = "r",
+        **overrides,
+    ) -> "InferenceEngine":
+        """Serve an mmap checkpoint without loading or recomputing the model.
+
+        The frozen ``phi`` / ``phi_cdf`` / ``prior_mass`` are opened
+        straight off the checkpoint's raw ``.npy`` members (read-only
+        memory maps by default) — the constructor worker processes use,
+        so every worker shares the parent's single on-disk copy.
+        Results are bit-identical to :meth:`from_checkpoint`.
+        """
+        state = FrozenModelState.from_mmap_checkpoint(
+            path,
+            kind=preprocess,
+            sampler_capacity=sampler_capacity,
+            backend=backend,
+            mmap_mode=mmap_mode,
+        )
+        return cls(
+            state=state, device=device, num_sweeps=num_sweeps, seed=seed, **overrides
+        )
 
     @property
     def model(self) -> LDAModel:

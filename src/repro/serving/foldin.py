@@ -541,6 +541,48 @@ class FrozenModelState:
             backend=resolve_backend(backend),
         )
 
+    @classmethod
+    def from_mmap_checkpoint(
+        cls,
+        path: str,
+        kind: PreprocessKind = PreprocessKind.WARY_TREE,
+        sampler_capacity: int = 4096,
+        backend: Union[KernelBackend, str] = KernelBackend.VECTORIZED,
+        mmap_mode: "str | None" = "r",
+    ) -> "FrozenModelState":
+        """Open a frozen state over an mmap checkpoint — zero recompute, zero copy.
+
+        The checkpoint (:func:`repro.core.serialization.save_model_mmap`)
+        already holds the frozen ``phi``, its row prefix sums and the
+        prior mass as raw ``.npy`` members; with the default
+        ``mmap_mode="r"`` they are opened as read-only memory maps, so N
+        worker processes over the same checkpoint share one physical
+        copy of the model through the page cache.  Results are
+        bit-identical to :meth:`prepare` on the same model: the stored
+        arrays are the same float64 values :meth:`prepare` would
+        compute, and the draw schedule never depends on how the arrays
+        are backed.
+        """
+        from ..core.serialization import open_frozen_artifacts
+
+        artifacts = open_frozen_artifacts(path, mmap_mode=mmap_mode)
+        if not artifacts.has_serving_artifacts:
+            raise ValueError(
+                f"mmap checkpoint {path!r} was saved without serving artifacts "
+                "(save_model_mmap(..., serving_artifacts=True))"
+            )
+        bank = WordSamplerBank(
+            phi=artifacts.phi, kind=kind, capacity=sampler_capacity
+        )
+        bank._phi_cdf = artifacts.phi_cdf
+        return cls(
+            model=artifacts.to_model(),
+            phi=artifacts.phi,
+            prior_mass=artifacts.prior_mass,
+            bank=bank,
+            backend=resolve_backend(backend),
+        )
+
     def fold_in(
         self,
         word_ids: Sequence[int],

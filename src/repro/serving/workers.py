@@ -1,0 +1,790 @@
+"""Real multi-process serving data plane over an mmap checkpoint.
+
+Everything else in :mod:`repro.serving` measures *simulated* seconds on
+the roofline cost model; this module is the wall-clock counterpart: a
+pool of genuine OS worker processes that each open the frozen model's
+``phi`` / ``phi_cdf`` / ``prior_mass`` straight off an mmap checkpoint
+(:func:`repro.core.serialization.save_model_mmap`) with
+``mmap_mode="r"``, so N workers share **one physical copy** of the model
+through the page cache — replication without N× the memory.
+
+The shape follows the classic multiprocessing job-runner discipline
+(per-job argument packs, a pool of long-lived workers, one log file per
+worker, crash containment in the parent):
+
+* :class:`WorkerJobSpec` — the pickled argument pack a worker boots
+  from: checkpoint directory, RNG seed, sweep count, sampler kind,
+  backend, log path.  Workers never receive live objects, only the
+  recipe to open their own (shared) view of the model.
+* :func:`_worker_main` — the worker loop: open the checkpoint
+  read-only, announce readiness (including whether ``phi`` really is a
+  memory map — asserted by the tests), then serve micro-batches off a
+  task queue until told to stop, appending one log line per batch.
+* :class:`WorkerPool` — the parent-side data plane: feeds micro-batches
+  over real IPC (one task queue per worker, one shared result queue),
+  balances by outstanding batches, and survives worker failure —
+  a crashed or wedged worker is detected (liveness + per-batch
+  deadline), its in-flight batches are retried on surviving workers up
+  to ``max_retries``, and when no worker can answer the pool degrades
+  gracefully to in-process execution.  The conservation invariant
+  ``admitted == answered + pending + failed`` holds through every
+  fault path.
+
+Results are **bit-identical** to the single in-process engine: a
+request's draws are keyed by ``(seed, request_id)`` alone
+(:func:`~repro.serving.foldin.request_rng`), and the mmapped arrays are
+byte-for-byte the arrays :meth:`FrozenModelState.prepare` computes — so
+neither the worker count, the batch packing, nor a mid-stream crash and
+retry can change a single theta byte
+(:func:`~repro.serving.pool.pool_results_digest` is the anchor).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..kernels.backend import KernelBackend, resolve_backend
+from ..saberlda.config import PreprocessKind
+from .foldin import FoldInResult, FrozenModelState, request_rng
+from .pool import PoolBatchExecution
+from .queue import ServingRequest
+from .scheduler import InferenceBatch
+
+#: Phase key wall-clock executions report under (there is no simulated
+#: phase breakdown on a real process — one measured number).
+PHASE_WALL = "wall"
+
+#: How often the parent polls the result queue while sweeping deadlines.
+_POLL_SECONDS = 0.05
+
+#: One serialized request on the wire: ``(request_id, word_ids)``.
+RequestPayload = Tuple[int, np.ndarray]
+
+
+@dataclass(frozen=True)
+class WorkerJobSpec:
+    """The per-job argument pack a worker process boots from.
+
+    Everything a worker needs travels in this one picklable record —
+    workers share *nothing* with the parent except the checkpoint files
+    they re-open read-only (that re-open is what makes the model pages
+    shared rather than copied).
+    """
+
+    worker_id: int
+    checkpoint_dir: str
+    seed: int
+    num_sweeps: int
+    preprocess: str
+    sampler_capacity: int
+    backend: str
+    log_path: str
+    mmap_mode: Optional[str] = "r"
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """One micro-batch's journey through the pool.
+
+    ``worker_id`` is the worker that finally answered (``-1`` for the
+    in-process fallback), ``attempts`` how many submissions it took
+    (1 = no fault), ``latency_seconds`` the wall clock from first
+    submission to the collected answer.
+    """
+
+    batch_id: int
+    request_ids: List[int]
+    results: List[FoldInResult]
+    worker_id: int
+    attempts: int
+    latency_seconds: float
+    status: str  # "answered" | "failed"
+
+
+@dataclass
+class _InFlight:
+    payload: List[RequestPayload]
+    worker_id: int
+    submitted: float
+    first_submitted: float
+    deadline: float
+    attempts: int
+    stall_seconds: float
+
+
+def _worker_main(spec: WorkerJobSpec, task_queue, result_queue) -> None:
+    """Worker process entry point: open the shared model, serve batches.
+
+    Protocol (all messages are plain picklable tuples):
+
+    * parent -> worker: ``("batch", batch_id, attempt, payload, stall)``
+      or ``("stop",)``.
+    * worker -> parent: ``("ready", worker_id, info)`` once after boot,
+      then ``("ok", worker_id, batch_id, attempt, results, seconds)`` or
+      ``("error", worker_id, batch_id, attempt, traceback)`` per batch.
+
+    ``stall`` is a fault-injection knob (seconds to sleep *before*
+    executing) used by the fault-path tests and the slow-worker
+    benchmarks; real traffic sends 0.
+    """
+    log = open(spec.log_path, "a", encoding="utf-8", buffering=1)
+
+    def log_line(message: str) -> None:
+        log.write(f"{time.strftime('%H:%M:%S')} worker{spec.worker_id:02d} {message}\n")
+
+    try:
+        state = FrozenModelState.from_mmap_checkpoint(
+            spec.checkpoint_dir,
+            kind=PreprocessKind(spec.preprocess),
+            sampler_capacity=spec.sampler_capacity,
+            backend=spec.backend,
+            mmap_mode=spec.mmap_mode,
+        )
+        info = {
+            "pid": os.getpid(),
+            "phi_is_memmap": isinstance(state.phi, np.memmap),
+            "phi_cdf_is_memmap": isinstance(state.bank.phi_cdf, np.memmap),
+            "phi_filename": getattr(state.phi, "filename", None),
+            "mmap_mode": spec.mmap_mode,
+        }
+        result_queue.put(("ready", spec.worker_id, info))
+        log_line(f"ready pid={info['pid']} phi_is_memmap={info['phi_is_memmap']}")
+    except Exception:
+        result_queue.put(("boot_error", spec.worker_id, traceback.format_exc()))
+        log.close()
+        return
+
+    while True:
+        message = task_queue.get()
+        if message[0] == "stop":
+            log_line("stopping")
+            break
+        _kind, batch_id, attempt, payload, stall_seconds = message
+        started = time.monotonic()
+        try:
+            if stall_seconds > 0:
+                time.sleep(stall_seconds)
+            results = [
+                _fold_in_payload(state, spec, request_id, word_ids)
+                for request_id, word_ids in payload
+            ]
+            seconds = time.monotonic() - started
+            result_queue.put(("ok", spec.worker_id, batch_id, attempt, results, seconds))
+            log_line(
+                f"batch={batch_id} attempt={attempt} docs={len(payload)} "
+                f"seconds={seconds:.4f}"
+            )
+        except Exception:
+            result_queue.put(
+                ("error", spec.worker_id, batch_id, attempt, traceback.format_exc())
+            )
+            log_line(f"batch={batch_id} attempt={attempt} ERROR")
+    log.close()
+
+
+def _fold_in_payload(
+    state: FrozenModelState, spec: WorkerJobSpec, request_id: int, word_ids: np.ndarray
+) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+    """One request's fold-in, keyed exactly like the in-process engine."""
+    rng = request_rng(spec.seed, request_id)
+    result = state.fold_in(word_ids, rng, num_sweeps=spec.num_sweeps)
+    return (request_id, result.theta, result.doc_topic_counts, result.topics)
+
+
+def _default_start_method() -> str:
+    """``fork`` where the platform offers it (cheap boot), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+@dataclass
+class WorkerPool:
+    """N real worker processes serving one mmap checkpoint.
+
+    Build, :meth:`start`, feed with :meth:`submit` / :meth:`collect`
+    (or the synchronous :meth:`execute`, which speaks the
+    :class:`~repro.serving.pool.EnginePool` execution surface), and
+    :meth:`close` — or use it as a context manager.
+
+    Fault model: a worker that dies (crash, kill) or blows the per-batch
+    ``batch_timeout_seconds`` deadline is removed from the pool and its
+    in-flight batches are resubmitted to surviving workers, up to
+    ``max_retries`` extra attempts per batch; when attempts are
+    exhausted — or no worker is alive — the batch falls back to an
+    in-process engine over the same checkpoint (``inprocess_fallback``),
+    so the data plane degrades to exactly the single-process behaviour
+    instead of losing requests.  ``admitted == answered + pending +
+    failed`` holds at every point.
+    """
+
+    checkpoint_dir: str
+    num_workers: int = 2
+    seed: int = 0
+    num_sweeps: int = 15
+    preprocess: PreprocessKind = PreprocessKind.WARY_TREE
+    sampler_capacity: int = 4096
+    backend: "KernelBackend | str" = KernelBackend.VECTORIZED
+    log_dir: Optional[str] = None
+    start_method: Optional[str] = None
+    batch_timeout_seconds: float = 30.0
+    ready_timeout_seconds: float = 120.0
+    max_retries: int = 1
+    inprocess_fallback: bool = True
+    mmap_mode: Optional[str] = "r"
+
+    # Conservation counters: admitted == answered + pending + failed.
+    admitted: int = 0
+    answered: int = 0
+    failed: int = 0
+    retries: int = 0
+    fallback_batches: int = 0
+
+    worker_info: Dict[int, dict] = field(default_factory=dict)
+    _processes: Dict[int, multiprocessing.Process] = field(default_factory=dict)
+    _task_queues: Dict[int, object] = field(default_factory=dict)
+    _result_queue: Optional[object] = None
+    _in_flight: Dict[int, _InFlight] = field(default_factory=dict)
+    _outstanding: Dict[int, int] = field(default_factory=dict)
+    _next_batch_id: int = 0
+    _started: bool = False
+    _fallback_state: Optional[FrozenModelState] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "WorkerPool":
+        """Fork the workers and wait until every one has opened the model.
+
+        With ``num_workers == 0`` the pool starts degraded (pure
+        in-process execution) — the graceful floor every fault path
+        bottoms out on.  A worker that fails to boot is dropped; if none
+        boot, the pool degrades rather than raises (the checkpoint
+        itself is validated eagerly either way).
+        """
+        if self._started:
+            raise RuntimeError("WorkerPool.start() called twice")
+        self._started = True
+        self.backend = resolve_backend(self.backend)
+        # Validate the checkpoint up front (raises on a bad path) and keep
+        # the state around as the fallback engine.
+        self._fallback_state = FrozenModelState.from_mmap_checkpoint(
+            self.checkpoint_dir,
+            kind=self.preprocess,
+            sampler_capacity=self.sampler_capacity,
+            backend=self.backend,
+            mmap_mode=self.mmap_mode,
+        )
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        if self.num_workers == 0:
+            return self
+        if self.log_dir is None:
+            self.log_dir = os.path.join(self.checkpoint_dir, "worker_logs")
+        os.makedirs(self.log_dir, exist_ok=True)
+        context = multiprocessing.get_context(
+            self.start_method or _default_start_method()
+        )
+        self._result_queue = context.Queue()
+        for worker_id in range(self.num_workers):
+            spec = WorkerJobSpec(
+                worker_id=worker_id,
+                checkpoint_dir=self.checkpoint_dir,
+                seed=self.seed,
+                num_sweeps=self.num_sweeps,
+                preprocess=self.preprocess.value,
+                sampler_capacity=self.sampler_capacity,
+                backend=self.backend.value,
+                log_path=os.path.join(self.log_dir, f"worker{worker_id:02d}.log"),
+                mmap_mode=self.mmap_mode,
+            )
+            task_queue = context.Queue()
+            process = context.Process(
+                target=_worker_main,
+                args=(spec, task_queue, self._result_queue),
+                daemon=True,
+                name=f"saberlda-worker-{worker_id}",
+            )
+            process.start()
+            self._processes[worker_id] = process
+            self._task_queues[worker_id] = task_queue
+            self._outstanding[worker_id] = 0
+        self._await_ready()
+        return self
+
+    def _await_ready(self) -> None:
+        deadline = time.monotonic() + self.ready_timeout_seconds
+        awaiting = set(self._processes)
+        while awaiting and time.monotonic() < deadline:
+            try:
+                message = self._result_queue.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                for worker_id in list(awaiting):
+                    if not self._processes[worker_id].is_alive():
+                        awaiting.discard(worker_id)
+                        self._drop_worker(worker_id)
+                continue
+            if message[0] == "ready":
+                _kind, worker_id, info = message
+                self.worker_info[worker_id] = info
+                awaiting.discard(worker_id)
+            elif message[0] == "boot_error":
+                _kind, worker_id, trace = message
+                self.worker_info[worker_id] = {"boot_error": trace}
+                awaiting.discard(worker_id)
+                self._drop_worker(worker_id)
+        for worker_id in awaiting:  # never announced: wedged boot
+            self._drop_worker(worker_id)
+
+    def close(self) -> None:
+        """Stop every worker (politely, then forcefully) and release IPC."""
+        for worker_id, task_queue in list(self._task_queues.items()):
+            process = self._processes.get(worker_id)
+            if process is not None and process.is_alive():
+                try:
+                    task_queue.put(("stop",))
+                except Exception:
+                    pass
+        for process in self._processes.values():
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        for task_queue in self._task_queues.values():
+            task_queue.close()
+            task_queue.cancel_join_thread()
+        if self._result_queue is not None:
+            self._result_queue.close()
+            self._result_queue.cancel_join_thread()
+        self._processes.clear()
+        self._task_queues.clear()
+        self._outstanding.clear()
+
+    def __enter__(self) -> "WorkerPool":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def live_workers(self) -> List[int]:
+        """Worker ids currently alive and accepting batches."""
+        return sorted(
+            worker_id
+            for worker_id, process in self._processes.items()
+            if process.is_alive()
+        )
+
+    @property
+    def degraded(self) -> bool:
+        """True when every batch runs in-process (no live workers)."""
+        return not self.live_workers
+
+    @property
+    def pending(self) -> int:
+        """Batches submitted but not yet answered or failed (in documents)."""
+        return sum(len(flight.payload) for flight in self._in_flight.values())
+
+    @property
+    def num_lanes(self) -> int:
+        """Concurrent dispatch lanes (EnginePool surface): live workers, min 1."""
+        return max(len(self.live_workers), 1)
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for reports, benchmarks and the conservation check."""
+        return {
+            "strategy": "process_pool",
+            "num_workers": self.num_workers,
+            "live_workers": list(self.live_workers),
+            "degraded": self.degraded,
+            "admitted": self.admitted,
+            "answered": self.answered,
+            "failed": self.failed,
+            "pending": self.pending,
+            "retries": self.retries,
+            "fallback_batches": self.fallback_batches,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Data plane
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        requests: Sequence[ServingRequest],
+        stall_seconds: float = 0.0,
+        worker_id: Optional[int] = None,
+    ) -> int:
+        """Queue one micro-batch on the least-loaded live worker.
+
+        Returns the batch id to pair with :meth:`collect`.  With no live
+        worker the batch is parked in-flight and resolved by
+        :meth:`collect` through the in-process fallback.  ``worker_id``
+        pins the batch to one worker (tests and benchmarks);
+        ``stall_seconds`` is the fault-injection sleep forwarded to the
+        worker.
+        """
+        if not self._started:
+            raise RuntimeError("WorkerPool.submit() before start()")
+        payload = [
+            (int(request.request_id), np.asarray(request.word_ids, dtype=np.int32))
+            for request in requests
+        ]
+        if not payload:
+            raise ValueError("a batch needs at least one request")
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        self.admitted += len(payload)
+        now = time.monotonic()
+        flight = _InFlight(
+            payload=payload,
+            worker_id=-1,
+            submitted=now,
+            first_submitted=now,
+            deadline=now + self.batch_timeout_seconds,
+            attempts=0,
+            stall_seconds=stall_seconds,
+        )
+        self._in_flight[batch_id] = flight
+        target = worker_id if worker_id is not None else self._least_loaded()
+        if target is None or target not in self._task_queues:
+            return batch_id  # no live worker: collect() falls back in-process
+        self._dispatch(batch_id, flight, target)
+        return batch_id
+
+    def _least_loaded(self) -> Optional[int]:
+        live = self.live_workers
+        if not live:
+            return None
+        return min(live, key=lambda worker_id: (self._outstanding[worker_id], worker_id))
+
+    def _dispatch(self, batch_id: int, flight: _InFlight, worker_id: int) -> None:
+        flight.worker_id = worker_id
+        flight.attempts += 1
+        flight.submitted = time.monotonic()
+        flight.deadline = flight.submitted + self.batch_timeout_seconds
+        self._outstanding[worker_id] = self._outstanding.get(worker_id, 0) + 1
+        self._task_queues[worker_id].put(
+            ("batch", batch_id, flight.attempts, flight.payload, flight.stall_seconds)
+        )
+
+    def collect(self, timeout: Optional[float] = None) -> BatchOutcome:
+        """Wait for the next answered (or terminally failed) batch.
+
+        Drives the whole fault path: dead-worker detection, per-batch
+        deadlines, bounded retry on surviving workers, and in-process
+        fallback.  Raises ``queue_module.Empty`` only when ``timeout``
+        elapses with every in-flight batch still healthy.
+        """
+        if not self._in_flight:
+            raise ValueError("collect() with no batch in flight")
+        overall_deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            outcome = self._collect_step()
+            if outcome is not None:
+                return outcome
+            if overall_deadline is not None and time.monotonic() > overall_deadline:
+                raise queue_module.Empty
+
+    def _collect_step(self) -> Optional[BatchOutcome]:
+        """One poll: drain a result message or sweep for failures."""
+        # Degraded pool (or batches parked with no live worker): answer the
+        # oldest unassigned batch in-process, immediately.
+        unassigned = [
+            batch_id
+            for batch_id, flight in self._in_flight.items()
+            if flight.worker_id < 0 or flight.worker_id not in self._task_queues
+        ]
+        if unassigned and (self.degraded or self._result_queue is None):
+            return self._resolve_inprocess(min(unassigned))
+
+        message = None
+        if self._result_queue is not None:
+            try:
+                message = self._result_queue.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                message = None
+        if message is not None:
+            outcome = self._handle_message(message)
+            if outcome is not None:
+                return outcome
+        return self._sweep_failures()
+
+    def _handle_message(self, message) -> Optional[BatchOutcome]:
+        kind = message[0]
+        if kind in ("ready", "boot_error"):
+            return None  # late boot messages carry no batch
+        _kind, worker_id, batch_id, attempt = message[:4]
+        flight = self._in_flight.get(batch_id)
+        self._outstanding[worker_id] = max(self._outstanding.get(worker_id, 1) - 1, 0)
+        if flight is None or attempt != flight.attempts or worker_id != flight.worker_id:
+            return None  # stale: the batch was reassigned or already resolved
+        if kind == "ok":
+            results = [_to_fold_in(entry, self.num_sweeps) for entry in message[4]]
+            del self._in_flight[batch_id]
+            self.answered += len(flight.payload)
+            return BatchOutcome(
+                batch_id=batch_id,
+                request_ids=[request_id for request_id, _ in flight.payload],
+                results=results,
+                worker_id=worker_id,
+                attempts=flight.attempts,
+                latency_seconds=time.monotonic() - flight.first_submitted,
+                status="answered",
+            )
+        # kind == "error": the worker survives (the fault was the batch's),
+        # but the batch burns an attempt like any other failure.
+        return self._retry_or_fallback(batch_id, flight)
+
+    def _sweep_failures(self) -> Optional[BatchOutcome]:
+        """Detect dead workers and blown deadlines; resolve one batch."""
+        now = time.monotonic()
+        for batch_id, flight in sorted(self._in_flight.items()):
+            worker_id = flight.worker_id
+            if worker_id < 0 or worker_id not in self._processes:
+                continue
+            process = self._processes.get(worker_id)
+            worker_dead = process is None or not process.is_alive()
+            if worker_dead or now > flight.deadline:
+                if not worker_dead:
+                    # Wedged past its deadline: evict so a late answer can
+                    # never race the retry (stale attempts are dropped too,
+                    # but a killed worker cannot even try).
+                    self._kill_worker(worker_id)
+                else:
+                    self._drop_worker(worker_id)
+                return self._retry_or_fallback(batch_id, flight)
+        return None
+
+    def _retry_or_fallback(self, batch_id: int, flight: _InFlight) -> Optional[BatchOutcome]:
+        target = self._least_loaded()
+        if flight.attempts <= self.max_retries and target is not None:
+            self.retries += 1
+            self._dispatch(batch_id, flight, target)
+            return None
+        if self.inprocess_fallback:
+            return self._resolve_inprocess(batch_id)
+        del self._in_flight[batch_id]
+        self.failed += len(flight.payload)
+        return BatchOutcome(
+            batch_id=batch_id,
+            request_ids=[request_id for request_id, _ in flight.payload],
+            results=[],
+            worker_id=flight.worker_id,
+            attempts=flight.attempts,
+            latency_seconds=time.monotonic() - flight.first_submitted,
+            status="failed",
+        )
+
+    def _resolve_inprocess(self, batch_id: int) -> BatchOutcome:
+        """Graceful degradation: run the batch on the parent's own engine.
+
+        The fallback state shares the same mmap checkpoint, and requests
+        are keyed by ``(seed, request_id)`` — the answer is bit-identical
+        to what the lost worker would have produced.  (The fault-injection
+        stall is an IPC-side knob; the fallback does not replay it.)
+        """
+        flight = self._in_flight.pop(batch_id)
+        self.fallback_batches += 1
+        results = []
+        for request_id, word_ids in flight.payload:
+            rng = request_rng(self.seed, request_id)
+            results.append(
+                self._fallback_state.fold_in(
+                    word_ids, rng, num_sweeps=self.num_sweeps
+                )
+            )
+        self.answered += len(flight.payload)
+        return BatchOutcome(
+            batch_id=batch_id,
+            request_ids=[request_id for request_id, _ in flight.payload],
+            results=results,
+            worker_id=-1,
+            attempts=flight.attempts,
+            latency_seconds=time.monotonic() - flight.first_submitted,
+            status="answered",
+        )
+
+    def _kill_worker(self, worker_id: int) -> None:
+        process = self._processes.get(worker_id)
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(timeout=5.0)
+        self._drop_worker(worker_id)
+
+    def _drop_worker(self, worker_id: int) -> None:
+        self._processes.pop(worker_id, None)
+        task_queue = self._task_queues.pop(worker_id, None)
+        if task_queue is not None:
+            task_queue.close()
+            task_queue.cancel_join_thread()
+        self._outstanding.pop(worker_id, None)
+
+    # ------------------------------------------------------------------ #
+    # EnginePool execution surface
+    # ------------------------------------------------------------------ #
+    def execute(self, batch: InferenceBatch, lane: int = 0) -> PoolBatchExecution:
+        """Run one laid-out micro-batch synchronously (EnginePool surface).
+
+        ``lane`` picks among live workers (modulo the live count), so the
+        pool slots behind the same dispatch code paths as
+        :class:`~repro.serving.pool.EnginePool`; the phase breakdown is a
+        single measured ``"wall"`` entry — a process has no simulated
+        phases.
+        """
+        live = self.live_workers
+        worker_id = live[lane % len(live)] if live else None
+        batch_id = self.submit(batch.requests, worker_id=worker_id)
+        outcome = self.collect()
+        while outcome.batch_id != batch_id:  # only with interleaved submits
+            outcome = self.collect()
+        return PoolBatchExecution(
+            batch=batch,
+            results=outcome.results,
+            engine_id=outcome.worker_id,
+            participants=[outcome.worker_id],
+            per_engine_phase_seconds=[{PHASE_WALL: outcome.latency_seconds}],
+            alltoall_seconds=0.0,
+            samplers_built=0,
+        )
+
+
+def _to_fold_in(entry, num_sweeps: int) -> FoldInResult:
+    _request_id, theta, doc_topic_counts, topics = entry
+    return FoldInResult(
+        theta=theta,
+        doc_topic_counts=doc_topic_counts,
+        topics=topics,
+        num_sweeps=num_sweeps,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Wall-clock serving runs
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class WallClockOutcome:
+    """Per-request record of a wall-clock run (digest-compatible shape)."""
+
+    request_id: int
+    theta: Optional[np.ndarray]
+    latency_seconds: float
+    worker_id: int
+    status: str
+
+
+@dataclass
+class WallClockReport:
+    """Measured (not simulated) serving metrics of one request stream."""
+
+    outcomes: List[WallClockOutcome]
+    batches: List[BatchOutcome]
+    wall_seconds: float
+    pool_stats: Dict[str, object]
+
+    @property
+    def answered(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.status == "answered")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.status == "failed")
+
+    @property
+    def sustained_qps(self) -> float:
+        """Answered requests per measured wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.answered / self.wall_seconds
+
+    def latency_percentile(self, percentile: float) -> float:
+        latencies = [
+            outcome.latency_seconds
+            for outcome in self.outcomes
+            if outcome.status == "answered"
+        ]
+        if not latencies:
+            return float("nan")
+        return float(np.percentile(np.asarray(latencies), percentile))
+
+    @property
+    def p50_seconds(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99_seconds(self) -> float:
+        return self.latency_percentile(99.0)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat metrics dict for reports and benchmark JSON."""
+        return {
+            "answered": self.answered,
+            "failed": self.failed,
+            "wall_seconds": self.wall_seconds,
+            "sustained_qps": self.sustained_qps,
+            "p50_ms": self.p50_seconds * 1e3,
+            "p99_ms": self.p99_seconds * 1e3,
+            "num_batches": len(self.batches),
+            **{f"pool_{key}": value for key, value in self.pool_stats.items()},
+        }
+
+
+def serve_wallclock(
+    pool: WorkerPool,
+    requests: Sequence[ServingRequest],
+    batch_docs: int = 16,
+) -> WallClockReport:
+    """Drive a request stream through the pool and measure real time.
+
+    Requests are packed into micro-batches of ``batch_docs`` in stream
+    order; every batch is submitted up front (closed-loop saturation —
+    the measurement is the data plane's sustained capacity, the
+    open-loop arrival dynamics stay the simulator's job) and collected
+    as workers answer.  Per-request latency is its batch's
+    submit-to-answer wall time.
+    """
+    if batch_docs < 1:
+        raise ValueError("batch_docs must be >= 1")
+    started = time.monotonic()
+    batch_ids = [
+        pool.submit(requests[start : start + batch_docs])
+        for start in range(0, len(requests), batch_docs)
+    ]
+    batches = [pool.collect() for _ in batch_ids]
+    wall_seconds = time.monotonic() - started
+
+    outcomes: List[WallClockOutcome] = []
+    for batch in batches:
+        thetas = (
+            [result.theta for result in batch.results]
+            if batch.status == "answered"
+            else [None] * len(batch.request_ids)
+        )
+        for request_id, theta in zip(batch.request_ids, thetas):
+            outcomes.append(
+                WallClockOutcome(
+                    request_id=request_id,
+                    theta=theta,
+                    latency_seconds=batch.latency_seconds,
+                    worker_id=batch.worker_id,
+                    status=batch.status,
+                )
+            )
+    outcomes.sort(key=lambda outcome: outcome.request_id)
+    return WallClockReport(
+        outcomes=outcomes,
+        batches=batches,
+        wall_seconds=wall_seconds,
+        pool_stats=pool.stats(),
+    )

@@ -1,0 +1,207 @@
+"""Checkpoint safety and path resolution.
+
+Two properties every load path must hold:
+
+* **No pickle execution** — a checkpoint is data, never code.  A
+  crafted archive whose member would only deserialise through pickle
+  must be *rejected* with a clear error, and its payload must not run.
+* **One path oracle** — ``model``, ``model.npz``, a sharded manifest
+  (with or without the ``.manifest.json`` suffix) and an mmap checkpoint
+  directory (or its ``checkpoint.json``) all resolve through
+  :func:`repro.core.serialization.resolve_checkpoint`, so the probing
+  order cannot drift between loaders.
+"""
+
+import json
+import os
+import pickle
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.core import LDAHyperParams, LDAModel
+from repro.core.serialization import (
+    MMAP_MANIFEST_NAME,
+    detect_checkpoint_format,
+    load_model,
+    open_frozen_artifacts,
+    resolve_checkpoint,
+    save_model,
+    save_model_mmap,
+    save_sharded_model,
+)
+
+
+@pytest.fixture
+def model():
+    rng = np.random.default_rng(11)
+    counts = rng.integers(0, 25, size=(60, 6)).astype(np.int64)
+    return LDAModel(
+        word_topic_counts=counts,
+        params=LDAHyperParams(num_topics=6, alpha=0.1, beta=0.01),
+        vocabulary=[f"word{i}" for i in range(60)],
+        metadata={"iterations": 3},
+    )
+
+
+class _Payload:
+    """A pickle whose deserialisation has an observable side effect."""
+
+    marker = None
+
+    def __reduce__(self):
+        return (_Payload._execute, ())
+
+    @staticmethod
+    def _execute():
+        _Payload.marker = "executed"
+        return _Payload()
+
+
+class TestPickleRejection:
+    def test_crafted_pickled_member_is_rejected_not_executed(self, tmp_path):
+        # Build an archive shaped like a checkpoint whose vocabulary is
+        # an object array: loading it requires pickle, which must never
+        # happen — the loader has to refuse, and the payload stay inert.
+        path = str(tmp_path / "evil.npz")
+        payload = np.empty(1, dtype=object)
+        payload[0] = _Payload()
+        np.savez_compressed(
+            path,
+            word_topic_counts=np.zeros((4, 2), dtype=np.int64),
+            num_topics=np.array(2),
+            alpha=np.float64(0.1),
+            beta=np.float64(0.01),
+            vocabulary=payload,
+        )
+        _Payload.marker = None
+        with pytest.raises(ValueError, match="pickle"):
+            load_model(path)
+        assert _Payload.marker is None, "pickled payload was executed"
+
+    def test_raw_pickle_member_is_rejected_not_executed(self, tmp_path):
+        # Even a hand-built zip whose member is a raw pickle stream (not
+        # a real .npy) must not reach the unpickler.
+        import io
+
+        path = str(tmp_path / "raw.npz")
+
+        def member_bytes(value):
+            member = io.BytesIO()
+            np.save(member, value)
+            return member.getvalue()
+
+        with zipfile.ZipFile(path, "w") as archive:
+            archive.writestr(
+                "word_topic_counts.npy", member_bytes(np.zeros((4, 2), dtype=np.int64))
+            )
+            archive.writestr("num_topics.npy", member_bytes(np.array(2)))
+            archive.writestr("alpha.npy", member_bytes(np.float64(0.1)))
+            archive.writestr("beta.npy", member_bytes(np.float64(0.01)))
+            archive.writestr("vocabulary.npy", pickle.dumps(_Payload()))
+        _Payload.marker = None
+        with pytest.raises(ValueError):
+            load_model(path)
+        assert _Payload.marker is None, "pickled payload was executed"
+
+    def test_no_allow_pickle_in_load_paths(self):
+        # The regression the satellite pins: the loader source must not
+        # re-grow an allow_pickle=True anywhere.
+        import repro.core.serialization as serialization
+
+        with open(serialization.__file__, "r", encoding="utf-8") as handle:
+            assert "allow_pickle=True" not in handle.read()
+
+    def test_vocabulary_round_trips_pickle_free(self, model, tmp_path):
+        path = save_model(model, str(tmp_path / "model"))
+        restored = load_model(path)
+        assert list(restored.vocabulary) == list(model.vocabulary)
+        assert restored.metadata["iterations"] == 3
+
+
+class TestResolveCheckpoint:
+    def test_plain_exact_and_suffixless(self, model, tmp_path):
+        saved = save_model(model, str(tmp_path / "model"))
+        assert saved.endswith(".npz")
+        base = saved[: -len(".npz")]
+        assert resolve_checkpoint(saved) == ("plain", saved)
+        assert resolve_checkpoint(base) == ("plain", saved)
+        assert detect_checkpoint_format(base) == "plain"
+
+    def test_sharded_exact_and_suffixless(self, model, tmp_path):
+        manifest = save_sharded_model(
+            model, str(tmp_path / "shards"), num_shards=2, axis="rows"
+        )
+        assert manifest.endswith(".manifest.json")
+        base = manifest[: -len(".manifest.json")]
+        assert resolve_checkpoint(manifest) == ("sharded", manifest)
+        assert resolve_checkpoint(base) == ("sharded", manifest)
+        assert detect_checkpoint_format(base) == "sharded"
+
+    def test_mmap_directory_and_manifest_file(self, model, tmp_path):
+        directory = save_model_mmap(model, str(tmp_path / "ckpt"))
+        assert resolve_checkpoint(directory) == ("mmap", directory)
+        manifest = os.path.join(directory, MMAP_MANIFEST_NAME)
+        assert resolve_checkpoint(manifest) == ("mmap", directory)
+        assert detect_checkpoint_format(directory) == "mmap"
+
+    def test_missing_path_raises_with_spellings(self, tmp_path):
+        missing = str(tmp_path / "nope")
+        with pytest.raises(FileNotFoundError, match="nope"):
+            resolve_checkpoint(missing)
+        with pytest.raises(FileNotFoundError):
+            load_model(missing)
+
+    def test_directory_without_manifest_is_not_a_checkpoint(self, tmp_path):
+        plain_dir = tmp_path / "not_a_checkpoint"
+        plain_dir.mkdir()
+        with pytest.raises(FileNotFoundError):
+            resolve_checkpoint(str(plain_dir))
+
+    def test_all_layouts_load_identically(self, model, tmp_path):
+        plain = save_model(model, str(tmp_path / "plain"))
+        manifest = save_sharded_model(
+            model, str(tmp_path / "shards"), num_shards=3, axis="columns"
+        )
+        directory = save_model_mmap(model, str(tmp_path / "mmap"))
+        for path in (plain, manifest, directory):
+            restored = load_model(path)
+            np.testing.assert_array_equal(
+                restored.word_topic_counts, model.word_topic_counts
+            )
+            assert restored.params == model.params
+
+
+class TestMmapCheckpoint:
+    def test_artifacts_are_readonly_memmaps(self, model, tmp_path):
+        directory = save_model_mmap(model, str(tmp_path / "ckpt"))
+        artifacts = open_frozen_artifacts(directory, mmap_mode="r")
+        for array in (
+            artifacts.word_topic_counts,
+            artifacts.phi,
+            artifacts.phi_cdf,
+            artifacts.prior_mass,
+        ):
+            assert isinstance(array, np.memmap)
+            assert not array.flags.writeable
+
+    def test_artifacts_match_inmemory_preparation(self, model, tmp_path):
+        directory = save_model_mmap(model, str(tmp_path / "ckpt"))
+        artifacts = open_frozen_artifacts(directory, mmap_mode="r")
+        phi = model.fold_in_phi().astype(np.float64)
+        np.testing.assert_array_equal(np.asarray(artifacts.phi), phi)
+        np.testing.assert_array_equal(
+            np.asarray(artifacts.phi_cdf), np.cumsum(phi, axis=1)
+        )
+        np.testing.assert_array_equal(
+            np.asarray(artifacts.prior_mass), model.params.alpha * phi.sum(axis=1)
+        )
+
+    def test_manifest_is_json_with_shapes(self, model, tmp_path):
+        directory = save_model_mmap(model, str(tmp_path / "ckpt"))
+        with open(os.path.join(directory, MMAP_MANIFEST_NAME), encoding="utf-8") as f:
+            manifest = json.load(f)
+        assert manifest["vocabulary_size"] == 60
+        assert manifest["num_topics"] == 6
+        assert set(manifest["arrays"]) >= {"word_topic_counts", "phi", "phi_cdf"}

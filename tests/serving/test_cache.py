@@ -70,6 +70,24 @@ class TestResultCache:
         theta[0] = 0.9  # mutating the caller's array must not leak in
         assert cache.get(digest) == pytest.approx([0.25, 0.75])
 
+    def test_refresh_of_existing_digest_keeps_size_and_counters(self):
+        # Re-putting a resident digest at full capacity is a refresh, not
+        # an insert: the size must not change, nothing may be evicted,
+        # and the refreshed entry becomes the most recently used.
+        cache = ResultCache(capacity=2)
+        a, b = (document_digest([i]) for i in range(2))
+        cache.put(a, np.array([1.0]))
+        cache.put(b, np.array([2.0]))
+        cache.put(a, np.array([1.5]))  # refresh a with a new value
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        assert cache.get(a) == pytest.approx([1.5])
+        # a was refreshed after b's insert, so b is now the LRU victim.
+        cache.put(document_digest([9]), np.array([3.0]))
+        assert cache.get(b) is None
+        assert cache.get(a) is not None
+        assert cache.evictions == 1
+
     def test_rejects_negative_capacity(self):
         with pytest.raises(ValueError):
             ResultCache(capacity=-1)

@@ -1,0 +1,255 @@
+"""The multi-process data plane: mmap sharing, fault paths, conservation.
+
+Every test here drives *real* OS processes (kept tiny: small models,
+few requests, short fold-ins), so the suite asserts the properties that
+only hold if the machinery is genuinely multi-process:
+
+* workers open ``phi`` / ``phi_cdf`` as **read-only memory maps of the
+  parent's checkpoint files** — one physical copy of the model;
+* every fault path — a worker killed mid-batch, a wedged worker blowing
+  the IPC deadline, a pool degraded to zero workers — preserves request
+  conservation (``admitted == answered + pending + failed``) and the
+  request-keyed digest (bit-identity with the in-process engine).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import LDAHyperParams, save_model_mmap
+from repro.core.model import LDAModel
+from repro.serving import (
+    InferenceEngine,
+    ServingRequest,
+    WorkerPool,
+    layout_batch,
+    pool_results_digest,
+    serve_wallclock,
+)
+
+NUM_TOPICS = 6
+VOCABULARY = 80
+SEED = 13
+NUM_SWEEPS = 3
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tmp_path_factory):
+    rng = np.random.default_rng(SEED)
+    counts = rng.integers(0, 30, size=(VOCABULARY, NUM_TOPICS)).astype(np.int64)
+    model = LDAModel(
+        word_topic_counts=counts,
+        params=LDAHyperParams(num_topics=NUM_TOPICS, alpha=0.1, beta=0.01),
+    )
+    directory = str(tmp_path_factory.mktemp("ckpt") / "model")
+    return save_model_mmap(model, directory)
+
+
+@pytest.fixture(scope="module")
+def requests():
+    rng = np.random.default_rng(SEED + 1)
+    return [
+        ServingRequest(
+            request_id=index,
+            word_ids=rng.integers(0, VOCABULARY, size=12).astype(np.int32),
+            arrival_seconds=0.0,
+        )
+        for index in range(12)
+    ]
+
+
+@pytest.fixture(scope="module")
+def reference_digest(checkpoint, requests):
+    engine = InferenceEngine.from_mmap_checkpoint(
+        checkpoint, seed=SEED, num_sweeps=NUM_SWEEPS, mmap_mode=None
+    )
+    outcomes = [
+        type(
+            "Outcome",
+            (),
+            {
+                "request_id": request.request_id,
+                "theta": engine.infer_request(
+                    request.word_ids, request.request_id
+                ).theta,
+            },
+        )()
+        for request in requests
+    ]
+    return pool_results_digest(outcomes)
+
+
+def _pool(checkpoint, **overrides):
+    options = dict(
+        checkpoint_dir=checkpoint,
+        num_workers=2,
+        seed=SEED,
+        num_sweeps=NUM_SWEEPS,
+    )
+    options.update(overrides)
+    return WorkerPool(**options)
+
+
+def _assert_conserved(pool):
+    stats = pool.stats()
+    assert (
+        stats["admitted"]
+        == stats["answered"] + stats["pending"] + stats["failed"]
+    ), stats
+
+
+class TestMmapSharing:
+    def test_workers_map_the_checkpoint_readonly(self, checkpoint):
+        with _pool(checkpoint) as pool:
+            assert sorted(pool.worker_info) == [0, 1]
+            phi_path = os.path.realpath(os.path.join(checkpoint, "phi.npy"))
+            for info in pool.worker_info.values():
+                assert info["phi_is_memmap"] is True
+                assert info["phi_cdf_is_memmap"] is True
+                assert info["mmap_mode"] == "r"
+                # Every worker maps the parent's file — one on-disk copy.
+                assert os.path.realpath(info["phi_filename"]) == phi_path
+            pids = {info["pid"] for info in pool.worker_info.values()}
+            assert os.getpid() not in pids and len(pids) == 2
+
+    def test_parent_fallback_state_is_memmapped_too(self, checkpoint):
+        with _pool(checkpoint, num_workers=0) as pool:
+            assert isinstance(pool._fallback_state.phi, np.memmap)
+            assert not pool._fallback_state.phi.flags.writeable
+
+
+class TestHappyPath:
+    def test_bit_identical_to_inprocess_engine(
+        self, checkpoint, requests, reference_digest
+    ):
+        with _pool(checkpoint) as pool:
+            report = serve_wallclock(pool, requests, batch_docs=4)
+        assert report.failed == 0
+        assert pool_results_digest(report.outcomes) == reference_digest
+        assert report.summary()["pool_retries"] == 0
+
+    def test_engine_pool_execute_surface(self, checkpoint, requests, reference_digest):
+        # The EnginePool-shaped surface: laid-out batches in, results out,
+        # a single measured "wall" phase per participating worker.
+        with _pool(checkpoint) as pool:
+            outcomes = []
+            for start in range(0, len(requests), 4):
+                batch = layout_batch(
+                    requests[start : start + 4], batch_id=start, dispatch_seconds=0.0
+                )
+                execution = pool.execute(batch, lane=start % 2)
+                assert execution.per_engine_phase_seconds[0]["wall"] > 0
+                for request, result in zip(batch.requests, execution.results):
+                    outcomes.append(
+                        type(
+                            "Outcome",
+                            (),
+                            {"request_id": request.request_id, "theta": result.theta},
+                        )()
+                    )
+            _assert_conserved(pool)
+        digest = pool_results_digest(sorted(outcomes, key=lambda o: o.request_id))
+        assert digest == reference_digest
+
+
+class TestFaultPaths:
+    def test_worker_killed_mid_batch_retries_on_survivor(
+        self, checkpoint, requests, reference_digest
+    ):
+        with _pool(checkpoint, batch_timeout_seconds=20.0) as pool:
+            # Pin a stalled batch to worker 0, kill it mid-flight.
+            first = requests[: len(requests) // 2]
+            second = requests[len(requests) // 2 :]
+            pool.submit(first, stall_seconds=8.0, worker_id=0)
+            time.sleep(0.3)
+            pool._processes[0].kill()
+            pool.submit(second, worker_id=1)
+            outcomes = [pool.collect(), pool.collect()]
+            _assert_conserved(pool)
+            assert pool.retries == 1
+            assert {outcome.status for outcome in outcomes} == {"answered"}
+            assert all(outcome.worker_id == 1 for outcome in outcomes)
+            assert 0 not in pool.live_workers
+        flat = [
+            type("Outcome", (), {"request_id": rid, "theta": result.theta})()
+            for outcome in outcomes
+            for rid, result in zip(outcome.request_ids, outcome.results)
+        ]
+        flat.sort(key=lambda o: o.request_id)
+        assert pool_results_digest(flat) == reference_digest
+
+    def test_ipc_timeout_falls_back_in_process(
+        self, checkpoint, requests, reference_digest
+    ):
+        # One worker, wedged far past the deadline: the pool must kill
+        # it, exhaust retries (no survivor exists) and answer in-process.
+        with _pool(
+            checkpoint, num_workers=1, batch_timeout_seconds=0.4
+        ) as pool:
+            pool.submit(requests, stall_seconds=60.0, worker_id=0)
+            outcome = pool.collect()
+            _assert_conserved(pool)
+            assert outcome.status == "answered"
+            assert outcome.worker_id == -1  # in-process fallback
+            assert pool.fallback_batches == 1
+            assert pool.degraded
+        flat = [
+            type("Outcome", (), {"request_id": rid, "theta": result.theta})()
+            for rid, result in zip(outcome.request_ids, outcome.results)
+        ]
+        assert pool_results_digest(flat) == reference_digest
+
+    def test_timeout_without_fallback_fails_conserved(self, checkpoint, requests):
+        with _pool(
+            checkpoint,
+            num_workers=1,
+            batch_timeout_seconds=0.4,
+            max_retries=0,
+            inprocess_fallback=False,
+        ) as pool:
+            pool.submit(requests[:4], stall_seconds=60.0, worker_id=0)
+            outcome = pool.collect()
+            assert outcome.status == "failed"
+            assert outcome.results == []
+            assert pool.failed == 4
+            _assert_conserved(pool)
+
+    def test_zero_worker_pool_degrades_gracefully(
+        self, checkpoint, requests, reference_digest
+    ):
+        with _pool(checkpoint, num_workers=0) as pool:
+            assert pool.degraded
+            report = serve_wallclock(pool, requests, batch_docs=5)
+            _assert_conserved(pool)
+        assert report.failed == 0
+        assert all(outcome.worker_id == -1 for outcome in report.outcomes)
+        assert pool_results_digest(report.outcomes) == reference_digest
+
+
+class TestValidation:
+    def test_rejects_empty_batch_and_double_start(self, checkpoint):
+        with _pool(checkpoint, num_workers=0) as pool:
+            with pytest.raises(ValueError, match="at least one request"):
+                pool.submit([])
+            with pytest.raises(RuntimeError, match="twice"):
+                pool.start()
+            with pytest.raises(ValueError, match="no batch in flight"):
+                pool.collect()
+
+    def test_rejects_non_mmap_checkpoint(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            WorkerPool(str(tmp_path / "missing"), num_workers=0).start()
+
+    def test_per_worker_logs_are_written(self, checkpoint, requests):
+        with _pool(checkpoint) as pool:
+            serve_wallclock(pool, requests, batch_docs=6)
+            log_dir = pool.log_dir
+        logs = sorted(os.listdir(log_dir))
+        assert logs == ["worker00.log", "worker01.log"]
+        merged = ""
+        for name in logs:
+            with open(os.path.join(log_dir, name), encoding="utf-8") as handle:
+                merged += handle.read()
+        assert "ready" in merged and "batch=" in merged
