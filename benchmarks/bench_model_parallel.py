@@ -260,8 +260,8 @@ def _json_payload(capacity_rows, training_rows) -> dict:
         "simulated_seconds",
     )
     return {
-        "capacity_sweep": [dict(zip(capacity_keys, row)) for row in capacity_rows],
-        "training_sweep": [dict(zip(training_keys, row)) for row in training_rows],
+        "capacity_sweep": [dict(zip(capacity_keys, row, strict=True)) for row in capacity_rows],
+        "training_sweep": [dict(zip(training_keys, row, strict=True)) for row in training_rows],
     }
 
 

@@ -145,4 +145,4 @@ def test_multi_gpu_scaling(benchmark):
     assert by_devices[4].speedup > 1.5
     # The ring eventually binds: efficiency decays monotonically with pool size.
     efficiencies = [point.efficiency for point in strong_points]
-    assert all(earlier >= later for earlier, later in zip(efficiencies, efficiencies[1:]))
+    assert all(earlier >= later for earlier, later in zip(efficiencies, efficiencies[1:], strict=False))

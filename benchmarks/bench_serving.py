@@ -731,7 +731,7 @@ def _check_pool_invariants(pool_rows, pool_digests, crossover_rows, spec):
     # Sustained QPS must keep scaling with the replicated lane count —
     # monotone (small tolerance for batching noise) and materially above
     # the single-engine knee at the widest pool.
-    for before, after in zip(replicated, replicated[1:]):
+    for before, after in zip(replicated, replicated[1:], strict=False):
         assert after["sustained_qps"] >= before["sustained_qps"] * 0.98, (
             before,
             after,
@@ -742,7 +742,7 @@ def _check_pool_invariants(pool_rows, pool_digests, crossover_rows, spec):
         (row for row in pool_rows if row["strategy"] == "topic_sharded"),
         key=lambda row: row["num_engines"],
     )
-    for before, after in zip(sharded, sharded[1:]):
+    for before, after in zip(sharded, sharded[1:], strict=False):
         assert after["model_mb_per_engine"] < before["model_mb_per_engine"]
     # The projection must exhibit the crossover: a K the swept device can
     # only serve topic-sharded.

@@ -1,0 +1,42 @@
+"""Static determinism & IPC-safety analysis (the ``detlint`` gate).
+
+The golden/property layers prove the bit-identity invariants
+*dynamically*; this package enforces them *statically*, at review time,
+before a nondeterministic RNG call or a pickle import ever reaches a
+test run.  See :mod:`repro.analysis.rules` for the rule set and
+:mod:`repro.analysis.engine` for the suppression grammar.
+
+Run it as ``python -m repro.analysis src/ tests/ benchmarks/``.
+"""
+
+from .engine import (
+    AnalysisResult,
+    Finding,
+    LintEngine,
+    ModuleContext,
+    Suppression,
+    collect_files,
+    module_name_for_path,
+    parse_suppressions,
+)
+from .report import Baseline, apply_baseline, findings_to_json, render_human
+from .rules import DEFAULT_RULES, Rule, rules_by_id, select_rules
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "DEFAULT_RULES",
+    "Finding",
+    "LintEngine",
+    "ModuleContext",
+    "Rule",
+    "Suppression",
+    "apply_baseline",
+    "collect_files",
+    "findings_to_json",
+    "module_name_for_path",
+    "parse_suppressions",
+    "render_human",
+    "rules_by_id",
+    "select_rules",
+]

@@ -1,0 +1,127 @@
+"""``python -m repro.analysis`` — the determinism & IPC-safety linter.
+
+Exit codes: 0 clean (or all findings baselined), 1 findings, 2 usage
+error.  ``--write-baseline`` records the current findings and exits 0,
+so a tree with historical debt can adopt the gate immediately and
+ratchet the debt down.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .engine import LintEngine
+from .report import Baseline, apply_baseline, findings_to_json, render_human
+from .rules import DEFAULT_RULES, select_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Static determinism & IPC-safety analysis enforcing the repo's "
+            "bit-identity invariants (DET*, IPC*, NUM* rules)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format on stdout",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the JSON report to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="tolerate findings whose fingerprints appear in FILE",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings as a baseline to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def _split_rule_list(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [token.strip().upper() for token in raw.split(",") if token.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in DEFAULT_RULES:
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+
+    try:
+        rules = select_rules(_split_rule_list(args.select), _split_rule_list(args.ignore))
+    except KeyError as error:
+        parser.error(str(error))  # exits 2
+
+    engine = LintEngine(rules)
+    try:
+        result = engine.run(args.paths)
+    except FileNotFoundError as error:
+        parser.error(str(error))  # exits 2
+
+    findings = result.all_findings
+
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(args.write_baseline)
+        print(
+            f"baseline with {len(findings)} finding(s) written to {args.write_baseline}"
+        )
+        return 0
+
+    baseline = Baseline.load(args.baseline) if args.baseline else None
+    findings, filtered = apply_baseline(findings, baseline)
+
+    payload = findings_to_json(
+        findings, result.files_checked, args.paths, baseline_filtered=filtered
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_human(findings, result.files_checked, baseline_filtered=filtered))
+
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

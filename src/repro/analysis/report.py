@@ -1,0 +1,119 @@
+"""Report rendering and baseline handling for the detlint CLI.
+
+The JSON report is the machine surface (CI uploads it as an artifact);
+the human report is the terminal surface.  A *baseline* is a JSON file
+of finding fingerprints: ``--baseline`` filters known findings out so
+the linter can be adopted on a tree with historical debt while still
+failing on anything *new* — the same ratchet discipline as the
+coverage floor.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .engine import Finding
+
+REPORT_VERSION = 1
+
+
+def findings_to_json(
+    findings: Sequence[Finding],
+    files_checked: int,
+    paths: Sequence[str],
+    baseline_filtered: int = 0,
+) -> Dict[str, object]:
+    """The artifact schema CI uploads."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    return {
+        "version": REPORT_VERSION,
+        "paths": list(paths),
+        "files_checked": files_checked,
+        "total_findings": len(findings),
+        "baseline_filtered": baseline_filtered,
+        "counts_by_rule": dict(sorted(counts.items())),
+        "findings": [
+            {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "line": finding.line,
+                "column": finding.column,
+                "message": finding.message,
+                "snippet": finding.snippet.strip(),
+                "fingerprint": finding.fingerprint,
+            }
+            for finding in findings
+        ],
+    }
+
+
+def render_human(
+    findings: Sequence[Finding], files_checked: int, baseline_filtered: int = 0
+) -> str:
+    lines: List[str] = []
+    for finding in findings:
+        lines.append(finding.render())
+        if finding.snippet.strip():
+            lines.append(f"    {finding.snippet.strip()}")
+    summary = f"{len(findings)} finding(s) in {files_checked} file(s)"
+    if baseline_filtered:
+        summary += f" ({baseline_filtered} filtered by baseline)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """A set of known-finding fingerprints to tolerate."""
+
+    fingerprints: frozenset
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if isinstance(payload, dict):
+            entries = payload.get("fingerprints", [])
+        else:
+            entries = payload
+        return cls(fingerprints=frozenset(str(entry) for entry in entries))
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls(fingerprints=frozenset(finding.fingerprint for finding in findings))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"version": REPORT_VERSION, "fingerprints": sorted(self.fingerprints)},
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> "tuple[List[Finding], List[Finding]]":
+        """Partition into (new, known)."""
+        new: List[Finding] = []
+        known: List[Finding] = []
+        for finding in findings:
+            if finding.fingerprint in self.fingerprints:
+                known.append(finding)
+            else:
+                new.append(finding)
+        return new, known
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Optional[Baseline]
+) -> "tuple[List[Finding], int]":
+    """Filter known findings; returns (kept, filtered_count)."""
+    if baseline is None:
+        return list(findings), 0
+    new, known = baseline.split(findings)
+    return new, len(known)

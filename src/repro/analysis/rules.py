@@ -1,0 +1,631 @@
+"""The detlint rule set: the repo's bit-identity invariants, as AST checks.
+
+Each rule encodes a promise the test suite keeps proving dynamically:
+
+========  ==============================================================
+DET001    RNG determinism — no unseeded ``default_rng()``, no legacy
+          ``np.random.*`` global state, no stdlib ``random``.
+DET002    Ordered iteration — never iterate a ``set`` (or a set-typed
+          dict-view expression) into anything order-sensitive; normalise
+          with ``sorted(...)`` first.
+DET003    No wall-clock reads outside the sanctioned timing modules
+          (``repro.bench.timing``, ``repro.serving.workers``) — results
+          must never depend on when they were computed.
+IPC001    No ``pickle`` (or pickle-shaped codecs) and no
+          ``allow_pickle=True`` outside ``repro.core.serialization``'s
+          guarded reader — checkpoints are data, never code.
+IPC002    Multiprocessing queue messages must be tagged tuples whose
+          kind is declared in the module's ``WIRE_MESSAGE_KINDS``
+          whitelist — the wire format is an API, not an accident.
+NUM001    No dtype-narrowing accumulations (``dtype=float32/float16``
+          reductions) in the numeric core — narrowing mid-reduction
+          breaks cross-backend bit-identity.
+========  ==============================================================
+
+Every rule is a *static approximation* of the dynamic property; the
+golden/property tests remain the ground truth.  The approximations are
+chosen so the shipped tree is clean without weakening the rule — where
+the code is genuinely allowed to do the flagged thing, a per-line
+``# detlint: ignore[RULE] -- why`` records the argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from .engine import Finding, ModuleContext
+
+# --------------------------------------------------------------------------- #
+# Shared resolution helpers
+# --------------------------------------------------------------------------- #
+
+
+def build_import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted module/attribute they import.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from numpy.random import default_rng as rng_maker`` ->
+    ``{"rng_maker": "numpy.random.default_rng"}``.  Only top-of-tree
+    imports matter for the rules here, but nested imports (the trainers
+    import ``time`` inside ``fit``) are collected too.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                local = item.asname or item.name.split(".")[0]
+                target = item.name if item.asname else item.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                local = item.asname or item.name
+                aliases[local] = f"{node.module}.{item.name}"
+    return aliases
+
+
+def resolve_dotted(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve ``np.random.default_rng`` to ``numpy.random.default_rng``.
+
+    Returns ``None`` for expressions that do not bottom out in an
+    imported name (calls on locals, subscripts, ...).
+    """
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    base = aliases.get(current.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def _imports_module(tree: ast.Module, module: str) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(
+                item.name == module or item.name.startswith(module + ".")
+                for item in node.names
+            ):
+                return True
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.module == module or node.module.startswith(module + "."):
+                return True
+    return False
+
+
+class Rule:
+    """Base class: subclasses set ``rule_id``/``title`` and ``check``."""
+
+    rule_id: str = ""
+    title: str = ""
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        return True
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, context: ModuleContext, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            rule_id=self.rule_id,
+            path=context.path,
+            line=line,
+            column=getattr(node, "col_offset", 0),
+            message=message,
+            snippet=context.line_text(line),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# DET001 — RNG determinism
+# --------------------------------------------------------------------------- #
+
+#: Legacy ``numpy.random`` global-state surface: calling any of these
+#: draws from (or mutates) the hidden module-level RandomState, which no
+#: seed threading can make reproducible across call-site reorderings.
+_LEGACY_NP_RANDOM = frozenset(
+    {
+        "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
+        "sample", "choice", "bytes", "shuffle", "permutation", "uniform",
+        "normal", "standard_normal", "beta", "binomial", "gamma", "poisson",
+        "exponential", "geometric", "dirichlet", "multinomial",
+        "multivariate_normal", "laplace", "logistic", "lognormal",
+        "get_state", "set_state", "RandomState",
+    }
+)
+
+
+class UnseededRandomRule(Rule):
+    rule_id = "DET001"
+    title = "unseeded or global-state randomness"
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        aliases = build_import_aliases(context.tree)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    if item.name == "random" or item.name.startswith("random."):
+                        yield self.finding(
+                            context,
+                            node,
+                            "stdlib `random` is process-global state; draw from a "
+                            "seeded np.random.Generator threaded through the call",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module and (
+                    node.module == "random" or node.module.startswith("random.")
+                ):
+                    yield self.finding(
+                        context,
+                        node,
+                        "stdlib `random` is process-global state; draw from a "
+                        "seeded np.random.Generator threaded through the call",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = resolve_dotted(node.func, aliases)
+                if dotted is None:
+                    continue
+                if dotted == "numpy.random.default_rng" and not node.args and not node.keywords:
+                    yield self.finding(
+                        context,
+                        node,
+                        "default_rng() without a seed draws OS entropy — results "
+                        "change every run; pass an explicit seed or SeedSequence",
+                    )
+                elif (
+                    dotted.startswith("numpy.random.")
+                    and dotted.rsplit(".", 1)[-1] in _LEGACY_NP_RANDOM
+                ):
+                    name = dotted.rsplit(".", 1)[-1]
+                    yield self.finding(
+                        context,
+                        node,
+                        f"np.random.{name} uses the legacy global RandomState; "
+                        "use a seeded np.random.Generator instead",
+                    )
+
+
+# --------------------------------------------------------------------------- #
+# DET002 — ordered iteration
+# --------------------------------------------------------------------------- #
+
+#: Consuming a set through any of these is order-sensitive: the result
+#: (a list, an enumeration, a float accumulation, an array) depends on
+#: hash iteration order, which PYTHONHASHSEED perturbs across runs.
+_ORDER_SENSITIVE_CALLS = frozenset(
+    {"list", "tuple", "enumerate", "iter", "sum", "reversed", "next", "map", "filter"}
+)
+_ORDER_SENSITIVE_NUMPY = frozenset(
+    {
+        "numpy.array", "numpy.asarray", "numpy.fromiter", "numpy.stack",
+        "numpy.concatenate", "numpy.hstack", "numpy.vstack",
+    }
+)
+_SET_METHODS = frozenset(
+    {"intersection", "union", "difference", "symmetric_difference"}
+)
+
+
+class UnorderedIterationRule(Rule):
+    rule_id = "DET002"
+    title = "iteration over unordered set"
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        aliases = build_import_aliases(context.tree)
+        set_names = self._set_typed_names(context.tree)
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._is_set_expr(node.iter, set_names):
+                    yield self.finding(
+                        context,
+                        node.iter,
+                        "iterating a set: element order follows the hash seed, "
+                        "not the data; normalise with sorted(...) first",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    if self._is_set_expr(generator.iter, set_names):
+                        yield self.finding(
+                            context,
+                            generator.iter,
+                            "comprehension over a set: element order follows the "
+                            "hash seed, not the data; normalise with sorted(...)",
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_consumer(context, node, aliases, set_names)
+
+    def _check_consumer(
+        self,
+        context: ModuleContext,
+        node: ast.Call,
+        aliases: Dict[str, str],
+        set_names: Set[str],
+    ) -> Iterator[Finding]:
+        if not node.args or not self._is_set_expr(node.args[0], set_names):
+            return
+        func = node.func
+        consumer: Optional[str] = None
+        if isinstance(func, ast.Name) and func.id in _ORDER_SENSITIVE_CALLS:
+            consumer = func.id
+        elif isinstance(func, ast.Attribute):
+            dotted = resolve_dotted(func, aliases)
+            if dotted in _ORDER_SENSITIVE_NUMPY:
+                consumer = dotted
+            elif func.attr == "join" and dotted is None:
+                consumer = "str.join"
+        if consumer is not None:
+            yield self.finding(
+                context,
+                node,
+                f"{consumer}(...) over a set is order-sensitive; wrap the set "
+                "in sorted(...) to pin the order",
+            )
+
+    def _set_typed_names(self, tree: ast.Module) -> Set[str]:
+        """Names assigned a set expression anywhere (conservative)."""
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and self._is_set_expr(node.value, set()):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    def _is_set_expr(self, node: ast.AST, set_names: Set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in set_names
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHODS
+                and self._is_set_expr(func.value, set_names)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)
+        ):
+            # Set algebra — including dict-view algebra: `a.keys() & b.keys()`
+            # is a *set*, even though a lone .keys() view is insertion-ordered.
+            return (
+                self._is_set_expr(node.left, set_names)
+                or self._is_set_expr(node.right, set_names)
+                or self._is_keys_view(node.left)
+                or self._is_keys_view(node.right)
+            )
+        return False
+
+    @staticmethod
+    def _is_keys_view(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in {"keys", "items"}
+            and not node.args
+        )
+
+
+# --------------------------------------------------------------------------- #
+# DET003 — wall-clock reads
+# --------------------------------------------------------------------------- #
+
+#: Modules allowed to read the clock: the shared timing harness and the
+#: real-IPC data plane (deadlines, liveness, log timestamps — wall time
+#: is its *subject*, and none of it feeds model mathematics).
+_TIMING_ALLOWLIST = ("repro.bench.timing", "repro.serving.workers")
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
+        "time.monotonic", "time.monotonic_ns", "time.process_time",
+        "time.process_time_ns", "time.clock_gettime", "time.localtime",
+        "time.gmtime",
+    }
+)
+_DATETIME_NOW = frozenset(
+    {
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    }
+)
+
+
+class WallClockRule(Rule):
+    rule_id = "DET003"
+    title = "wall-clock read outside timing modules"
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        return context.module_name not in _TIMING_ALLOWLIST
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        aliases = build_import_aliases(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolve_dotted(node.func, aliases)
+            if dotted is None:
+                continue
+            if dotted in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    context,
+                    node,
+                    f"{dotted}() outside the timing allowlist; route wall-clock "
+                    "measurement through repro.bench.timing",
+                )
+            elif dotted in _DATETIME_NOW and not node.args:
+                yield self.finding(
+                    context,
+                    node,
+                    f"argless {dotted}() reads the wall clock; results must not "
+                    "depend on when they were computed",
+                )
+            elif dotted == "time.strftime" and len(node.args) < 2:
+                yield self.finding(
+                    context,
+                    node,
+                    "time.strftime without an explicit time tuple formats the "
+                    "current wall clock",
+                )
+
+
+# --------------------------------------------------------------------------- #
+# IPC001 — pickle
+# --------------------------------------------------------------------------- #
+
+_PICKLE_MODULES = frozenset(
+    {"pickle", "cPickle", "_pickle", "dill", "cloudpickle", "shelve", "marshal"}
+)
+
+
+class PickleRule(Rule):
+    rule_id = "IPC001"
+    title = "pickle import or allow_pickle=True"
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        # The guarded reader is the one place allowed to *talk about*
+        # pickle (it exists to reject it with a good error message).
+        return context.module_name != "repro.core.serialization"
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    root = item.name.split(".")[0]
+                    if root in _PICKLE_MODULES:
+                        yield self.finding(
+                            context,
+                            node,
+                            f"import of {root}: deserialising it executes arbitrary "
+                            "code; checkpoints and IPC payloads must stay data-only",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module and node.module.split(".")[0] in _PICKLE_MODULES:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"import from {node.module}: deserialising it executes "
+                        "arbitrary code; payloads must stay data-only",
+                    )
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if (
+                        keyword.arg == "allow_pickle"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    ):
+                        yield self.finding(
+                            context,
+                            node,
+                            "allow_pickle=True turns a checkpoint into executable "
+                            "code; only repro.core.serialization may load arrays, "
+                            "and it refuses pickled members",
+                        )
+
+
+# --------------------------------------------------------------------------- #
+# IPC002 — multiprocessing wire format
+# --------------------------------------------------------------------------- #
+
+#: Name of the module-level whitelist a multiprocessing module must
+#: declare.  See ``repro.serving.workers.WIRE_MESSAGE_KINDS``.
+WIRE_WHITELIST_NAME = "WIRE_MESSAGE_KINDS"
+
+
+class WireFormatRule(Rule):
+    rule_id = "IPC002"
+    title = "undeclared multiprocessing wire format"
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        return _imports_module(context.tree, "multiprocessing")
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        kinds = self._declared_kinds(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in {"put", "put_nowait"}:
+                continue
+            receiver = ast.unparse(func.value).lower()
+            if "queue" not in receiver:
+                continue
+            if not node.args:
+                continue
+            payload = node.args[0]
+            if kinds is None:
+                yield self.finding(
+                    context,
+                    node,
+                    "module puts objects on multiprocessing queues but declares "
+                    f"no {WIRE_WHITELIST_NAME} whitelist of message kinds",
+                )
+                continue
+            if not isinstance(payload, ast.Tuple) or not payload.elts:
+                yield self.finding(
+                    context,
+                    node,
+                    "queue message must be a tagged tuple literal "
+                    '`("<kind>", ...)` so the wire format stays auditable',
+                )
+                continue
+            head = payload.elts[0]
+            if not (isinstance(head, ast.Constant) and isinstance(head.value, str)):
+                yield self.finding(
+                    context,
+                    node,
+                    "queue message tag must be a string literal naming the "
+                    "message kind",
+                )
+            elif head.value not in kinds:
+                yield self.finding(
+                    context,
+                    node,
+                    f"message kind {head.value!r} is not declared in "
+                    f"{WIRE_WHITELIST_NAME}",
+                )
+
+    def _declared_kinds(self, tree: ast.Module) -> Optional[Set[str]]:
+        for node in tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(target, ast.Name) and target.id == WIRE_WHITELIST_NAME
+                for target in node.targets
+            ):
+                continue
+            value = node.value
+            if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+                if value.func.id in {"frozenset", "set"} and value.args:
+                    value = value.args[0]
+            if isinstance(value, (ast.Set, ast.Tuple, ast.List)):
+                kinds = {
+                    element.value
+                    for element in value.elts
+                    if isinstance(element, ast.Constant) and isinstance(element.value, str)
+                }
+                return kinds
+        return None
+
+
+# --------------------------------------------------------------------------- #
+# NUM001 — dtype-narrowing accumulation
+# --------------------------------------------------------------------------- #
+
+#: The numeric core where reductions feed digests and cross-backend
+#: bit-identity checks.
+_NUMERIC_CORE_PREFIXES = (
+    "repro.kernels",
+    "repro.saberlda",
+    "repro.sampling",
+    "repro.serving.foldin",
+    "repro.distributed",
+    "repro.core",
+    "repro.baselines",
+)
+
+_ACCUMULATORS = frozenset(
+    {"sum", "cumsum", "prod", "cumprod", "dot", "matmul", "mean", "average", "einsum"}
+)
+_NARROW_DTYPES = frozenset({"float32", "float16", "single", "half", "f4", "f2"})
+
+
+class NarrowingAccumulationRule(Rule):
+    rule_id = "NUM001"
+    title = "dtype-narrowing accumulation in the numeric core"
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        return context.module_name.startswith(_NUMERIC_CORE_PREFIXES)
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        aliases = build_import_aliases(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._accumulator_name(node, aliases)
+            if name is None:
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "dtype":
+                    continue
+                if self._is_narrow_dtype(keyword.value, aliases):
+                    yield self.finding(
+                        context,
+                        node,
+                        f"{name} accumulating into a narrow dtype loses bits "
+                        "mid-reduction; accumulate in float64 and narrow the "
+                        "final result if storage demands it",
+                    )
+
+    def _accumulator_name(
+        self, node: ast.Call, aliases: Dict[str, str]
+    ) -> Optional[str]:
+        func = node.func
+        dotted = resolve_dotted(func, aliases)
+        if dotted and dotted.startswith("numpy."):
+            tail = dotted.split(".", 1)[1]
+            if tail in _ACCUMULATORS or tail in {"add.reduce", "add.accumulate"}:
+                return dotted
+            return None
+        if isinstance(func, ast.Attribute) and func.attr in _ACCUMULATORS:
+            return f".{func.attr}"
+        return None
+
+    def _is_narrow_dtype(self, node: ast.AST, aliases: Dict[str, str]) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value in _NARROW_DTYPES
+        dotted = resolve_dotted(node, aliases)
+        if dotted and dotted.startswith("numpy."):
+            return dotted.split(".", 1)[1] in _NARROW_DTYPES
+        if isinstance(node, ast.Name):
+            return node.id in _NARROW_DTYPES
+        return False
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+
+DEFAULT_RULES: Sequence[Rule] = (
+    UnseededRandomRule(),
+    UnorderedIterationRule(),
+    WallClockRule(),
+    PickleRule(),
+    WireFormatRule(),
+    NarrowingAccumulationRule(),
+)
+
+
+def rules_by_id() -> Dict[str, Rule]:
+    return {rule.rule_id: rule for rule in DEFAULT_RULES}
+
+
+def select_rules(
+    select: Optional[Sequence[str]] = None, ignore: Optional[Sequence[str]] = None
+) -> List[Rule]:
+    """Resolve ``--select`` / ``--ignore`` arguments to rule instances."""
+    registry = rules_by_id()
+    chosen = list(registry)
+    if select:
+        unknown = [rule_id for rule_id in select if rule_id not in registry]
+        if unknown:
+            raise KeyError(f"unknown rule ids: {', '.join(sorted(unknown))}")
+        chosen = [rule_id for rule_id in chosen if rule_id in set(select)]
+    if ignore:
+        unknown = [rule_id for rule_id in ignore if rule_id not in registry]
+        if unknown:
+            raise KeyError(f"unknown rule ids: {', '.join(sorted(unknown))}")
+        chosen = [rule_id for rule_id in chosen if rule_id not in set(ignore)]
+    return [registry[rule_id] for rule_id in chosen]

@@ -17,10 +17,10 @@ in its cost/capacity model.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
+from ..bench.timing import stopwatch
 from ..core.count_matrices import count_by_doc_topic_dense, count_by_word_topic
 from ..core.hyperparams import LDAHyperParams
 from ..core.tokens import TokenList
@@ -75,7 +75,7 @@ class DenseGpuTrainer(BaselineTrainer):
         """Run the dense O(K) sampler; raises when the dense layout would not fit."""
         if self.check_memory:
             self.check_fits(num_documents, vocabulary_size)
-        start = time.perf_counter()
+        watch = stopwatch()
         rng = np.random.default_rng(self.seed)
         working = self._initial_topics(tokens, rng)
         history = BaselineHistory(system=self.system_name)
@@ -97,7 +97,7 @@ class DenseGpuTrainer(BaselineTrainer):
             model=model,
             history=history,
             num_tokens=tokens.num_tokens,
-            wall_seconds=time.perf_counter() - start,
+            wall_seconds=watch.elapsed(),
         )
 
     def _dense_estep(
@@ -115,7 +115,7 @@ class DenseGpuTrainer(BaselineTrainer):
         boundaries = np.flatnonzero(np.diff(sorted_docs)) + 1
         starts = np.concatenate([[0], boundaries])
         stops = np.concatenate([boundaries, [num_tokens]])
-        for seg_start, seg_stop in zip(starts, stops):
+        for seg_start, seg_stop in zip(starts, stops, strict=True):
             positions = order[seg_start:seg_stop]
             doc_id = int(sorted_docs[seg_start])
             words = tokens.word_ids[positions]

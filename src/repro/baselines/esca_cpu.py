@@ -10,10 +10,10 @@ about 4x faster than this baseline.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
+from ..bench.timing import stopwatch
 from ..core.count_matrices import SparseDocTopicMatrix, count_by_word_topic
 from ..core.hyperparams import LDAHyperParams
 from ..core.tokens import TokenList
@@ -45,7 +45,7 @@ class EscaCpuTrainer(BaselineTrainer):
         self, tokens: TokenList, num_documents: int, vocabulary_size: int
     ) -> BaselineResult:
         """Run the sparsity-aware E/M iteration with CPU-style doc-major visiting order."""
-        start = time.perf_counter()
+        watch = stopwatch()
         rng = np.random.default_rng(self.seed)
         working = self._initial_topics(tokens, rng)
         history = BaselineHistory(system=self.system_name)
@@ -71,7 +71,7 @@ class EscaCpuTrainer(BaselineTrainer):
             model=model,
             history=history,
             num_tokens=tokens.num_tokens,
-            wall_seconds=time.perf_counter() - start,
+            wall_seconds=watch.elapsed(),
         )
 
     # ------------------------------------------------------------------ #

@@ -15,10 +15,10 @@ prefers ESCA on GPUs.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
+from ..bench.timing import stopwatch
 from ..core.count_matrices import count_by_doc_topic_dense, count_by_word_topic
 from ..core.hyperparams import LDAHyperParams
 from ..core.tokens import TokenList
@@ -49,7 +49,7 @@ class CollapsedGibbsTrainer(BaselineTrainer):
         self, tokens: TokenList, num_documents: int, vocabulary_size: int
     ) -> BaselineResult:
         """Run CGS for the configured number of sweeps."""
-        start = time.perf_counter()
+        watch = stopwatch()
         rng = np.random.default_rng(self.seed)
         working = self._initial_topics(tokens, rng)
         params = self.params
@@ -102,7 +102,7 @@ class CollapsedGibbsTrainer(BaselineTrainer):
             model=model,
             history=history,
             num_tokens=tokens.num_tokens,
-            wall_seconds=time.perf_counter() - start,
+            wall_seconds=watch.elapsed(),
         )
 
     # ------------------------------------------------------------------ #

@@ -20,10 +20,10 @@ observes exactly this ("WarpLDA converges to a worse local optimum").
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
+from ..bench.timing import stopwatch
 from ..core.count_matrices import count_by_doc_topic_dense, count_by_word_topic
 from ..core.hyperparams import LDAHyperParams
 from ..core.tokens import TokenList
@@ -56,7 +56,7 @@ class WarpLdaTrainer(BaselineTrainer):
         self, tokens: TokenList, num_documents: int, vocabulary_size: int
     ) -> BaselineResult:
         """Run the MH sweeps (counts are refreshed once per iteration, as in MCEM)."""
-        start = time.perf_counter()
+        watch = stopwatch()
         rng = np.random.default_rng(self.seed)
         working = self._initial_topics(tokens, rng)
         params = self.params
@@ -77,7 +77,7 @@ class WarpLdaTrainer(BaselineTrainer):
             model=model,
             history=history,
             num_tokens=tokens.num_tokens,
-            wall_seconds=time.perf_counter() - start,
+            wall_seconds=watch.elapsed(),
         )
 
     def _mh_sweep(
@@ -107,7 +107,7 @@ class WarpLdaTrainer(BaselineTrainer):
         stops = np.concatenate([boundaries, [num_tokens]])
 
         for _round in range(self.proposals_per_token):
-            for seg_start, seg_stop in zip(starts, stops):
+            for seg_start, seg_stop in zip(starts, stops, strict=True):
                 positions = order[seg_start:seg_stop]
                 d = int(sorted_docs[seg_start])
                 words = word_ids[positions]

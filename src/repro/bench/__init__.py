@@ -9,7 +9,7 @@ from .reporting import (
     format_table,
     results_dir,
 )
-from .timing import WallClockTiming, wall_clock, wall_timer
+from .timing import Stopwatch, WallClockTiming, stopwatch, wall_clock, wall_timer
 
 __all__ = [
     "WallClockTiming",

@@ -89,6 +89,29 @@ def wall_clock(
     return measure(fn)
 
 
+@dataclass(frozen=True)
+class Stopwatch:
+    """A started wall clock: ``watch = stopwatch(); ...; watch.elapsed()``.
+
+    The trainers and baselines report a ``wall_seconds`` alongside their
+    simulated seconds; this is the one sanctioned way to measure it.
+    Routing the read through here keeps raw ``time.perf_counter()``
+    calls out of algorithm modules (the DET003 lint rule), so a clock
+    read can never creep from *reporting* into *mathematics*.
+    """
+
+    started: float
+
+    def elapsed(self) -> float:
+        """Seconds since :func:`stopwatch` created this watch."""
+        return time.perf_counter() - self.started
+
+
+def stopwatch() -> Stopwatch:
+    """Start a :class:`Stopwatch` now."""
+    return Stopwatch(started=time.perf_counter())
+
+
 @dataclass
 class _TimerBox:
     """Mutable result handle yielded by :func:`wall_timer`."""

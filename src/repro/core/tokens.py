@@ -88,7 +88,7 @@ class TokenList:
         return self.num_tokens
 
     def __iter__(self) -> Iterator[Tuple[int, int, int]]:
-        for d, v, k in zip(self.doc_ids, self.word_ids, self.topics):
+        for d, v, k in zip(self.doc_ids, self.word_ids, self.topics, strict=True):
             yield int(d), int(v), int(k)
 
     # ------------------------------------------------------------------ #

@@ -44,7 +44,7 @@ def write_uci_bag_of_words(
 
     with open(docword_path, "w", encoding="utf-8") as handle:
         handle.write(f"{num_documents}\n{vocabulary_size}\n{len(pairs)}\n")
-        for doc, word, count in zip(docs, words, counts):
+        for doc, word, count in zip(docs, words, counts, strict=True):
             handle.write(f"{doc + 1} {word + 1} {count}\n")
 
     if vocab_path is not None:

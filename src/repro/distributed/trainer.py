@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..bench.timing import stopwatch
 from ..core.count_matrices import SparseDocTopicMatrix, count_by_word_topic
 from ..core.model import LDAModel
 from ..core.tokens import TokenList
@@ -236,9 +237,7 @@ class DistributedTrainer:
         vocabulary=None,
     ) -> DistributedTrainingResult:
         """Run the configured number of multi-device iterations."""
-        import time as _time
-
-        wall_start = _time.perf_counter()
+        watch = stopwatch()
         params = self.config.params
         pool = DevicePool.homogeneous(
             self.config.device, self.num_devices, self.interconnect
@@ -401,7 +400,7 @@ class DistributedTrainer:
             pool=pool,
             config=config,
             num_tokens=tokens.num_tokens,
-            wall_seconds=_time.perf_counter() - wall_start,
+            wall_seconds=watch.elapsed(),
             topic_plan=topic_plan,
             parallelism=self.parallelism,
         )

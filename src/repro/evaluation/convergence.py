@@ -41,14 +41,14 @@ class ConvergenceCurve:
 
     def time_to_reach(self, threshold: float) -> Optional[float]:
         """First simulated time at which the likelihood reaches ``threshold``."""
-        for elapsed, value in zip(self.seconds, self.log_likelihood_per_token):
+        for elapsed, value in zip(self.seconds, self.log_likelihood_per_token, strict=True):
             if value >= threshold:
                 return elapsed
         return None
 
     def points(self) -> List[Tuple[float, float]]:
         """``(seconds, likelihood)`` pairs."""
-        return list(zip(self.seconds, self.log_likelihood_per_token))
+        return list(zip(self.seconds, self.log_likelihood_per_token, strict=True))
 
 
 @dataclass

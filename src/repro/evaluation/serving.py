@@ -409,6 +409,10 @@ def compare_pool_scaling(
     """
     if not 0.0 < efficiency_floor <= 1.0:
         raise ValueError("efficiency_floor must be in (0, 1]")
+    # set-then-sort is deterministic by construction: the intersection is
+    # an unordered set, but sorted() pins the order to the *values* before
+    # anything iterates it, so hash order never leaks into the comparison
+    # (this is the sanctioned DET002 normalisation pattern).
     counts = sorted(set(measured_qps) & set(projected_qps))
     if len(counts) < 2:
         raise ValueError("need at least two common engine counts to compare")

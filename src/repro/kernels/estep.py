@@ -175,7 +175,7 @@ def _sample_nonempty(
     group_starts = np.concatenate([[0], width_bounds])
     group_stops = np.concatenate([width_bounds, [num_segments]])
     blocks = []  # (segment lo, segment hi, cached row stacks)
-    for group_start, group_stop in zip(group_starts, group_stops):
+    for group_start, group_stop in zip(group_starts, group_stops, strict=True):
         width = int(widths[group_start])
         max_rows = max(1, block_elements // width)
         lo = group_start

@@ -132,7 +132,7 @@ def esca_estep(
     starts = np.concatenate([[0], boundaries])
     stops = np.concatenate([boundaries, [num_tokens]])
 
-    for start, stop in zip(starts, stops):
+    for start, stop in zip(starts, stops, strict=True):
         positions = order[start:stop]
         doc_id = int(sorted_docs[start])
         words = tokens.word_ids[positions]

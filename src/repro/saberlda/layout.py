@@ -91,7 +91,7 @@ def _word_runs_by_frequency(tokens: TokenList) -> List[WordRun]:
     stops = np.concatenate([boundaries, [len(word_ids)]])
     runs = [
         WordRun(word_id=int(word_ids[start]), start=int(start), stop=int(stop))
-        for start, stop in zip(starts, stops)
+        for start, stop in zip(starts, stops, strict=True)
     ]
     runs.sort(key=lambda run: run.num_tokens, reverse=True)
     return runs

@@ -137,7 +137,7 @@ def word_finalization_fractions(
             finishes = dynamic_finish_times(sizes, num_processors)
             per_word = {
                 run.word_id: finish
-                for run, finish in zip(layout.word_runs, finishes)
+                for run, finish in zip(layout.word_runs, finishes, strict=True)
             }
             makespan = max(finishes) if finishes else 0.0
         else:
@@ -150,7 +150,7 @@ def word_finalization_fractions(
         chunk_finishes.append(per_word)
 
     finalization: dict = {}
-    for offset, per_word in zip(offsets, chunk_finishes):
+    for offset, per_word in zip(offsets, chunk_finishes, strict=True):
         for word, finish in per_word.items():
             finalization[word] = offset + finish  # later chunks overwrite
     if not finalization or total <= 0:
@@ -186,7 +186,7 @@ def column_finalization_fractions(
             sizes = [run.num_tokens for run in layout.word_runs]
             finishes = dynamic_finish_times(sizes, num_processors)
             makespan = max(finishes) if finishes else 0.0
-            for run, finish in zip(layout.word_runs, finishes):
+            for run, finish in zip(layout.word_runs, finishes, strict=True):
                 topics = layout.tokens.topics[run.start : run.stop]
                 topics = topics[topics >= 0]
                 if len(topics):

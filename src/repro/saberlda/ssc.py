@@ -56,7 +56,7 @@ def radix_sort_shared(values: np.ndarray, radix_bits: int = 8) -> np.ndarray:
         np.cumsum(histogram[:-1], out=offsets[1:])
         output = np.empty_like(sorted_values)
         cursor = offsets.copy()
-        for value, digit in zip(sorted_values, digits):
+        for value, digit in zip(sorted_values, digits, strict=True):
             output[cursor[digit]] = value
             cursor[digit] += 1
         sorted_values = output
@@ -151,7 +151,7 @@ def rebuild_doc_topic_ssc(layout: ChunkLayout, num_topics: int) -> ChunkDocTopic
 
     row_nnz = np.zeros(num_docs, dtype=np.int64)
     per_doc: dict = {}
-    for start, stop in zip(starts, stops):
+    for start, stop in zip(starts, stops, strict=True):
         doc_local = int(local_docs[start])
         keys, counts = segmented_count(shuffled.topics[start:stop])
         per_doc[doc_local] = (keys.astype(np.int32), counts.astype(np.int32))

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..bench.timing import stopwatch
 from ..core.count_matrices import SparseDocTopicMatrix, count_by_word_topic
 from ..core.likelihood import LikelihoodResult, training_log_likelihood
 from ..core.model import LDAModel
@@ -167,9 +168,7 @@ class SaberLDATrainer:
         vocabulary=None,
     ) -> TrainingResult:
         """Run the configured number of iterations and return the trained model."""
-        import time as _time
-
-        wall_start = _time.perf_counter()
+        watch = stopwatch()
         config = self.config
         params = config.params
         device = config.device
@@ -262,7 +261,7 @@ class SaberLDATrainer:
             profiler=profiler,
             config=config,
             num_tokens=tokens.num_tokens,
-            wall_seconds=_time.perf_counter() - wall_start,
+            wall_seconds=watch.elapsed(),
         )
 
     # ------------------------------------------------------------------ #

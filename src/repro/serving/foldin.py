@@ -281,7 +281,7 @@ def fold_in_document(
     stops = np.concatenate([boundaries, [len(word_ids)]])
     runs = [
         (int(sorted_words[start]), order[start:stop])
-        for start, stop in zip(starts, stops)
+        for start, stop in zip(starts, stops, strict=True)
     ]
 
     if backend is KernelBackend.VECTORIZED and bank.kind is PreprocessKind.WARY_TREE:

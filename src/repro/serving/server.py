@@ -295,7 +295,7 @@ class TopicServer:
             for lane in finished:
                 finish = busy_until[lane]
                 execution = in_flight[lane]
-                for request, result in zip(execution.batch.requests, execution.results):
+                for request, result in zip(execution.batch.requests, execution.results, strict=True):
                     outcomes[request.request_id] = RequestOutcome(
                         request_id=request.request_id,
                         arrival_seconds=request.arrival_seconds,
@@ -355,5 +355,5 @@ def make_requests(
             word_ids=np.asarray(word_ids, dtype=np.int32),
             arrival_seconds=float(arrival),
         )
-        for position, (word_ids, arrival) in enumerate(zip(documents, arrival_times))
+        for position, (word_ids, arrival) in enumerate(zip(documents, arrival_times, strict=True))
     ]

@@ -65,6 +65,23 @@ PHASE_WALL = "wall"
 #: How often the parent polls the result queue while sweeping deadlines.
 _POLL_SECONDS = 0.05
 
+#: Every message placed on a worker queue is a tagged tuple whose first
+#: element names its kind — and every kind must be declared here.  This
+#: is the wire-format whitelist the IPC002 lint rule enforces: adding a
+#: new message shape means adding its tag (and documenting its payload
+#: in :func:`_worker_main`), so the IPC surface can never grow by
+#: accident.
+WIRE_MESSAGE_KINDS = frozenset(
+    {
+        "batch",       # parent -> worker: (batch_id, attempt, payload, stall)
+        "stop",        # parent -> worker: shut down after current batch
+        "ready",       # worker -> parent: (worker_id, boot info dict)
+        "boot_error",  # worker -> parent: (worker_id, traceback text)
+        "ok",          # worker -> parent: (worker_id, batch_id, attempt, results, seconds)
+        "error",       # worker -> parent: (worker_id, batch_id, attempt, traceback text)
+    }
+)
+
 #: One serialized request on the wire: ``(request_id, word_ids)``.
 RequestPayload = Tuple[int, np.ndarray]
 
@@ -326,7 +343,7 @@ class WorkerPool:
             try:
                 message = self._result_queue.get(timeout=_POLL_SECONDS)
             except queue_module.Empty:
-                for worker_id in list(awaiting):
+                for worker_id in sorted(awaiting):
                     if not self._processes[worker_id].is_alive():
                         awaiting.discard(worker_id)
                         self._drop_worker(worker_id)
@@ -340,7 +357,9 @@ class WorkerPool:
                 self.worker_info[worker_id] = {"boot_error": trace}
                 awaiting.discard(worker_id)
                 self._drop_worker(worker_id)
-        for worker_id in awaiting:  # never announced: wedged boot
+        # sorted(): `awaiting` is a set — drop wedged workers in id order
+        # so the surviving pool (and its logs) never depend on hash order.
+        for worker_id in sorted(awaiting):  # never announced: wedged boot
             self._drop_worker(worker_id)
 
     def close(self) -> None:
@@ -771,7 +790,7 @@ def serve_wallclock(
             if batch.status == "answered"
             else [None] * len(batch.request_ids)
         )
-        for request_id, theta in zip(batch.request_ids, thetas):
+        for request_id, theta in zip(batch.request_ids, thetas, strict=True):
             outcomes.append(
                 WallClockOutcome(
                     request_id=request_id,

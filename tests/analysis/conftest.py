@@ -1,0 +1,32 @@
+"""Shared helpers for the analysis-engine suite."""
+
+import os
+
+import pytest
+
+from repro.analysis import DEFAULT_RULES, LintEngine
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+@pytest.fixture
+def engine() -> LintEngine:
+    return LintEngine(DEFAULT_RULES)
+
+
+@pytest.fixture
+def lint_fixture(engine):
+    """Lint a fixture file, optionally under a virtual module path.
+
+    Rules scope themselves by dotted module name (NUM001 only watches
+    the numeric core, DET003 exempts the timing modules), so fixtures
+    for scoped rules are checked as-if they lived at a repro path.
+    """
+
+    def run(name: str, virtual_path: str = None):
+        path = os.path.join(FIXTURES, name)
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        return engine.check_source(virtual_path or path, source)
+
+    return run

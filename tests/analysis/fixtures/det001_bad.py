@@ -1,0 +1,23 @@
+"""DET001 fixture: every flavour of nondeterministic randomness."""
+
+import random  # stdlib global state
+
+import numpy as np
+
+
+def unseeded():
+    return np.random.default_rng()
+
+
+def legacy_global_draw(n):
+    np.random.seed(0)
+    return np.random.rand(n)
+
+
+def legacy_shuffle(items):
+    np.random.shuffle(items)
+    return items
+
+
+def stdlib_draw():
+    return random.random()

@@ -1,0 +1,19 @@
+"""DET001 fixture, fixed form: seeded Generators threaded explicitly."""
+
+import numpy as np
+
+
+def seeded(seed: int):
+    return np.random.default_rng(seed)
+
+
+def keyed(seed: int, request_id: int):
+    return np.random.default_rng(np.random.SeedSequence([seed, request_id]))
+
+
+def draw(rng: np.random.Generator, n: int):
+    return rng.random(n)
+
+
+def shuffled(rng: np.random.Generator, items):
+    return items[rng.permutation(len(items))]

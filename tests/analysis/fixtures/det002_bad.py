@@ -1,0 +1,30 @@
+"""DET002 fixture: hash-ordered iteration feeding ordered consumers."""
+
+
+def iterate_set_literal():
+    total = 0.0
+    for value in {0.1, 0.2, 0.3}:
+        total += value  # float accumulation order follows hash order
+    return total
+
+
+def iterate_set_call(items):
+    return [value * 2 for value in set(items)]
+
+
+def listify(items):
+    return list(set(items))
+
+
+def enumerate_shards(devices):
+    return {shard: device for shard, device in enumerate(set(devices))}
+
+
+def keys_view_algebra(left, right):
+    return sum(left[key] for key in left.keys() & right.keys())
+
+
+def tracked_name(items):
+    pending = set(items)
+    for value in pending:
+        yield value

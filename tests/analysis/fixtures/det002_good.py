@@ -1,0 +1,34 @@
+"""DET002 fixture, fixed form: sorted() pins the order before iteration."""
+
+
+def iterate_sorted():
+    total = 0.0
+    for value in sorted({0.1, 0.2, 0.3}):
+        total += value
+    return total
+
+
+def iterate_sorted_call(items):
+    return [value * 2 for value in sorted(set(items))]
+
+
+def listify(items):
+    return sorted(set(items))
+
+
+def enumerate_shards(devices):
+    return {shard: device for shard, device in enumerate(sorted(set(devices)))}
+
+
+def keys_view_algebra(left, right):
+    return sum(left[key] for key in sorted(left.keys() & right.keys()))
+
+
+def membership_is_fine(items, probe):
+    # Membership tests and len() never observe iteration order.
+    return probe in set(items) and len(set(items)) > 1
+
+
+def plain_dict_keys_are_ordered(mapping):
+    # A lone dict view iterates in insertion order (guaranteed since 3.7).
+    return [mapping[key] for key in mapping.keys()]

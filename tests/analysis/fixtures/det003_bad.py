@@ -1,0 +1,23 @@
+"""DET003 fixture: wall-clock reads outside the timing modules."""
+
+import time as _clock
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp_result(value):
+    return {"value": value, "at": _clock.time()}
+
+
+def measure(fn):
+    start = perf_counter()
+    fn()
+    return perf_counter() - start
+
+
+def label_run():
+    return datetime.now().isoformat()
+
+
+def log_line(message):
+    return f"{_clock.strftime('%H:%M:%S')} {message}"

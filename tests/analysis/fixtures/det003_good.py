@@ -1,0 +1,18 @@
+"""DET003 fixture, fixed form: timing routed through repro.bench.timing."""
+
+from repro.bench.timing import stopwatch, wall_clock
+
+
+def measure(fn):
+    return wall_clock(fn, repeat=1, warmup=0).best
+
+
+def report_wall_seconds(fn):
+    watch = stopwatch()
+    fn()
+    return watch.elapsed()
+
+
+def label_run(run_id: int):
+    # Results are labelled by their inputs, never by when they ran.
+    return f"run-{run_id:06d}"

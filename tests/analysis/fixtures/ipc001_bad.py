@@ -1,0 +1,14 @@
+"""IPC001 fixture: pickle-shaped serialisation in a load path."""
+
+import pickle
+
+import numpy as np
+
+
+def load_state(path):
+    with open(path, "rb") as handle:
+        return pickle.load(handle)
+
+
+def load_arrays(path):
+    return np.load(path, allow_pickle=True)

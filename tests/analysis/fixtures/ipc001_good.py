@@ -1,0 +1,15 @@
+"""IPC001 fixture, fixed form: JSON for objects, default-guarded np.load."""
+
+import json
+
+import numpy as np
+
+
+def load_state(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def load_arrays(path):
+    # allow_pickle defaults to False: pickled members raise, never execute.
+    return np.load(path)

@@ -1,0 +1,14 @@
+"""IPC002 fixture: undisciplined multiprocessing wire traffic.
+
+No ``WIRE_MESSAGE_KINDS`` whitelist is declared, untagged objects go on
+the wire, and one message uses a tag the (missing) whitelist never
+named.
+"""
+
+import multiprocessing
+
+
+def undeclared_put(payload):
+    task_queue = multiprocessing.Queue()
+    task_queue.put(payload)
+    return task_queue

@@ -1,0 +1,12 @@
+"""IPC002 fixture, fixed form: declared, tagged wire format."""
+
+import multiprocessing
+
+WIRE_MESSAGE_KINDS = frozenset({"work", "stop"})
+
+
+def tagged_puts(payload):
+    task_queue = multiprocessing.Queue()
+    task_queue.put(("work", payload))
+    task_queue.put(("stop",))
+    return task_queue

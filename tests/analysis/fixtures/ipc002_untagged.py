@@ -1,0 +1,17 @@
+"""IPC002 fixture: a whitelist exists, but messages break its contract."""
+
+import multiprocessing
+
+WIRE_MESSAGE_KINDS = frozenset({"work", "stop"})
+
+
+def untagged_put(payload):
+    task_queue = multiprocessing.Queue()
+    task_queue.put(payload)  # not a tagged tuple literal
+    return task_queue
+
+
+def unknown_kind():
+    task_queue = multiprocessing.Queue()
+    task_queue.put(("shutdown",))  # "shutdown" is not a declared kind
+    return task_queue

@@ -1,0 +1,15 @@
+"""NUM001 fixture: reductions that narrow mid-accumulation."""
+
+import numpy as np
+
+
+def narrowed_total(weights):
+    return np.sum(weights, dtype=np.float32)
+
+
+def narrowed_prefix(weights):
+    return weights.cumsum(dtype="float32")
+
+
+def narrowed_dot(phi, theta):
+    return np.dot(phi, theta).sum(dtype=np.float16)

@@ -1,0 +1,16 @@
+"""NUM001 fixture, fixed form: accumulate wide, narrow only at rest."""
+
+import numpy as np
+
+
+def wide_total(weights):
+    return np.sum(weights, dtype=np.float64)
+
+
+def wide_prefix(weights):
+    return weights.cumsum(dtype=np.float64)
+
+
+def narrow_storage_after(phi, theta):
+    # Narrowing the *stored result* is fine; the reduction ran in float64.
+    return np.dot(phi, theta).sum().astype(np.float32)

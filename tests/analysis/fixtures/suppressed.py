@@ -1,0 +1,15 @@
+"""Suppression fixture: justified, bare, and stale suppressions."""
+
+import numpy as np
+
+
+def justified():
+    return np.random.default_rng()  # detlint: ignore[DET001] -- fixture demonstrating a justified suppression
+
+
+def bare():
+    return np.random.default_rng()  # detlint: ignore[DET001]
+
+
+def stale(seed):
+    return np.random.default_rng(seed)  # detlint: ignore[DET001] -- nothing fires here

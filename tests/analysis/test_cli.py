@@ -1,0 +1,114 @@
+"""The ``python -m repro.analysis`` surface: exit codes, reports, gating.
+
+Includes the two acceptance-critical ends of the gate:
+
+* the **meta-test** — the shipped tree is clean (exit 0 over
+  ``src/ tests/ benchmarks/``), which is exactly what the CI
+  ``analysis`` job runs; and
+* the **negative test** — a seeded fixture violation fails (exit 1),
+  proving the CI gate actually bites.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.cli import main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def run_cli(*argv: str) -> "subprocess.CompletedProcess[str]":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, capsys):
+        assert main([os.path.join(FIXTURES, "det001_good.py")]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, capsys):
+        assert main([os.path.join(FIXTURES, "det001_bad.py")]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_unknown_rule_id_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--select", "NOPE", FIXTURES])
+        assert excinfo.value.code == 2
+
+    def test_missing_path_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["no/such/path.py"])
+        assert excinfo.value.code == 2
+
+
+class TestReports:
+    def test_json_report_schema(self, capsys):
+        assert main(["--format", "json", os.path.join(FIXTURES, "det001_bad.py")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["total_findings"] == payload["counts_by_rule"]["DET001"] == 5
+        entry = payload["findings"][0]
+        assert set(entry) == {
+            "rule", "path", "line", "column", "message", "snippet", "fingerprint",
+        }
+
+    def test_output_artifact_written_even_when_failing(self, tmp_path, capsys):
+        artifact = tmp_path / "report.json"
+        code = main(
+            ["--output", str(artifact), os.path.join(FIXTURES, "det001_bad.py")]
+        )
+        capsys.readouterr()
+        assert code == 1
+        payload = json.loads(artifact.read_text())
+        assert payload["total_findings"] == 5
+
+    def test_select_restricts_rules(self, capsys):
+        code = main(["--select", "IPC001", os.path.join(FIXTURES, "det001_bad.py")])
+        capsys.readouterr()
+        assert code == 0  # DET001 findings exist but were not selected
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "DET002", "DET003", "IPC001", "IPC002", "NUM001"):
+            assert rule_id in out
+
+
+class TestBaselineFlow:
+    def test_write_then_gate(self, tmp_path, capsys):
+        bad = os.path.join(FIXTURES, "det001_bad.py")
+        baseline = tmp_path / "baseline.json"
+        assert main(["--write-baseline", str(baseline), bad]) == 0
+        capsys.readouterr()
+        # The recorded debt no longer fails...
+        assert main(["--baseline", str(baseline), bad]) == 0
+        out = capsys.readouterr().out
+        assert "filtered by baseline" in out
+
+
+class TestShippedTreeGate:
+    def test_meta_shipped_tree_is_clean(self):
+        """`python -m repro.analysis src/ tests/ benchmarks/` exits 0."""
+        result = run_cli("src", "tests", "benchmarks", "examples")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_negative_seeded_violation_fails_the_gate(self):
+        """CI fails on a violation: the fixture file trips the same CLI."""
+        result = run_cli(os.path.join("tests", "analysis", "fixtures", "det001_bad.py"))
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "DET001" in result.stdout

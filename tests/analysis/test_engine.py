@@ -1,0 +1,139 @@
+"""Engine mechanics: suppressions, module naming, collection, baselines."""
+
+import os
+
+from repro.analysis import (
+    Baseline,
+    Finding,
+    apply_baseline,
+    collect_files,
+    module_name_for_path,
+    parse_suppressions,
+)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+class TestSuppressionParsing:
+    def test_parses_rules_and_justification(self):
+        source = "x = clock()  # detlint: ignore[DET003] -- benchmark harness\n"
+        suppressions = parse_suppressions(source)
+        assert list(suppressions) == [1]
+        assert suppressions[1].rule_ids == ("DET003",)
+        assert suppressions[1].justification == "benchmark harness"
+
+    def test_multiple_rules_one_comment(self):
+        source = "y = f()  # detlint: ignore[DET001, IPC001] -- test harness\n"
+        assert parse_suppressions(source)[1].rule_ids == ("DET001", "IPC001")
+
+    def test_bare_suppression_has_no_justification(self):
+        source = "z = g()  # detlint: ignore[DET001]\n"
+        assert parse_suppressions(source)[1].justification is None
+
+    def test_grammar_quoted_in_strings_is_not_live(self):
+        # The docs quote the suppression syntax inside docstrings and
+        # string literals; only real comments may suppress.
+        source = (
+            '"""Docs: use # detlint: ignore[DET001] -- reason."""\n'
+            "MESSAGE = 'write # detlint: ignore[DET003] -- why'\n"
+        )
+        assert parse_suppressions(source) == {}
+
+
+class TestSuppressionEnforcement:
+    def test_justified_suppression_silences_finding(self, engine):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # detlint: ignore[DET001] -- demo\n"
+        )
+        assert engine.check_source("src/repro/x.py", source) == []
+
+    def test_bare_suppression_is_sup001(self, engine):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # detlint: ignore[DET001]\n"
+        )
+        findings = engine.check_source("src/repro/x.py", source)
+        assert [finding.rule_id for finding in findings] == ["SUP001"]
+
+    def test_stale_suppression_is_sup002(self, engine):
+        source = "value = 1  # detlint: ignore[DET001] -- nothing fires\n"
+        findings = engine.check_source("src/repro/x.py", source)
+        assert [finding.rule_id for finding in findings] == ["SUP002"]
+
+    def test_suppression_fixture_yields_exactly_the_policing_findings(self, engine):
+        path = os.path.join(FIXTURES, "suppressed.py")
+        with open(path, "r", encoding="utf-8") as handle:
+            findings = engine.check_source(path, handle.read())
+        assert sorted(finding.rule_id for finding in findings) == ["SUP001", "SUP002"]
+
+    def test_suppression_only_covers_listed_rules(self, engine):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # detlint: ignore[DET003] -- wrong rule\n"
+        )
+        findings = engine.check_source("src/repro/x.py", source)
+        # DET001 still fires, and the DET003 suppression is stale.
+        assert sorted(finding.rule_id for finding in findings) == ["DET001", "SUP002"]
+
+
+class TestModuleNaming:
+    def test_src_rooted_paths_become_repro_modules(self):
+        assert (
+            module_name_for_path("src/repro/serving/workers.py")
+            == "repro.serving.workers"
+        )
+
+    def test_tests_paths_get_pseudo_names(self):
+        assert (
+            module_name_for_path("tests/serving/test_workers.py")
+            == "tests.serving.test_workers"
+        )
+
+
+class TestCollection:
+    def test_fixture_directory_is_excluded_from_walks(self):
+        files = collect_files(["tests/analysis"])
+        assert not any("fixtures" in path for path in files)
+
+    def test_explicit_fixture_files_are_always_included(self):
+        bad = os.path.join(FIXTURES, "det001_bad.py")
+        assert collect_files([bad]) == [os.path.normpath(bad)]
+
+    def test_walk_is_sorted(self):
+        files = collect_files(["src/repro/analysis"])
+        assert files == sorted(files)
+
+
+class TestBaseline:
+    def _finding(self, snippet: str) -> Finding:
+        return Finding(
+            rule_id="DET001",
+            path="src/repro/x.py",
+            line=3,
+            column=0,
+            message="m",
+            snippet=snippet,
+        )
+
+    def test_fingerprint_survives_line_drift(self):
+        before = self._finding("rng = np.random.default_rng()")
+        after = Finding(
+            rule_id="DET001",
+            path="src/repro/x.py",
+            line=30,
+            column=0,
+            message="m",
+            snippet="rng = np.random.default_rng()",
+        )
+        assert before.fingerprint == after.fingerprint
+
+    def test_round_trip_and_filtering(self, tmp_path):
+        known = self._finding("known_line()")
+        fresh = self._finding("fresh_line()")
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_findings([known]).save(str(baseline_path))
+        loaded = Baseline.load(str(baseline_path))
+        kept, filtered = apply_baseline([known, fresh], loaded)
+        assert kept == [fresh]
+        assert filtered == 1

@@ -1,0 +1,141 @@
+"""Every rule, against a fixture exhibiting the violation and the fix.
+
+The bad fixture must produce the rule's findings (at the documented
+sites); the good fixture — the same behaviour written the sanctioned
+way — must be completely clean.  That pairing is the rule's contract:
+it proves both that the rule catches the hazard and that the blessed
+idiom passes without suppression.
+"""
+
+import pytest
+
+
+def rule_ids(findings):
+    return sorted({finding.rule_id for finding in findings})
+
+
+class TestDET001:
+    def test_bad_fixture_fires(self, lint_fixture):
+        findings = lint_fixture("det001_bad.py")
+        assert rule_ids(findings) == ["DET001"]
+        messages = " ".join(finding.message for finding in findings)
+        assert "default_rng() without a seed" in messages
+        assert "legacy global RandomState" in messages
+        assert "stdlib `random`" in messages
+        # unseeded call, stdlib import, seed, rand, shuffle
+        assert len(findings) == 5
+
+    def test_good_fixture_clean(self, lint_fixture):
+        assert lint_fixture("det001_good.py") == []
+
+    def test_seed_sequence_is_not_unseeded(self, engine):
+        findings = engine.check_source(
+            "src/repro/example.py",
+            "import numpy as np\n"
+            "rng = np.random.default_rng(np.random.SeedSequence([1, 2]))\n",
+        )
+        assert findings == []
+
+
+class TestDET002:
+    def test_bad_fixture_fires(self, lint_fixture):
+        findings = lint_fixture("det002_bad.py")
+        assert rule_ids(findings) == ["DET002"]
+        # for-loop, comprehension, list(), enumerate(), keys-view algebra,
+        # tracked set-typed name
+        assert len(findings) == 6
+
+    def test_good_fixture_clean(self, lint_fixture):
+        assert lint_fixture("det002_good.py") == []
+
+    def test_sorted_wrapper_is_the_sanctioned_normalisation(self, engine):
+        findings = engine.check_source(
+            "src/repro/example.py",
+            "counts = sorted(set(measured) & set(projected))\n"
+            "for count in counts:\n"
+            "    print(count)\n",
+        )
+        assert findings == []
+
+
+class TestDET003:
+    def test_bad_fixture_fires(self, lint_fixture):
+        findings = lint_fixture("det003_bad.py")
+        assert rule_ids(findings) == ["DET003"]
+        # time.time, 2x perf_counter, datetime.now, strftime
+        assert len(findings) == 5
+
+    def test_good_fixture_clean(self, lint_fixture):
+        assert lint_fixture("det003_good.py") == []
+
+    @pytest.mark.parametrize(
+        "virtual_path",
+        ["src/repro/bench/timing.py", "src/repro/serving/workers.py"],
+    )
+    def test_timing_modules_are_allowlisted(self, lint_fixture, virtual_path):
+        assert lint_fixture("det003_bad.py", virtual_path) == []
+
+
+class TestIPC001:
+    def test_bad_fixture_fires(self, lint_fixture):
+        findings = lint_fixture("ipc001_bad.py")
+        assert rule_ids(findings) == ["IPC001"]
+        messages = " ".join(finding.message for finding in findings)
+        assert "import of pickle" in messages
+        assert "allow_pickle=True" in messages
+        assert len(findings) == 2
+
+    def test_good_fixture_clean(self, lint_fixture):
+        assert lint_fixture("ipc001_good.py") == []
+
+    def test_guarded_reader_is_allowlisted(self, lint_fixture):
+        assert lint_fixture("ipc001_bad.py", "src/repro/core/serialization.py") == []
+
+    def test_allow_pickle_false_is_fine(self, engine):
+        findings = engine.check_source(
+            "src/repro/example.py",
+            "import numpy as np\n"
+            "arrays = np.load('x.npz', allow_pickle=False)\n",
+        )
+        assert findings == []
+
+
+class TestIPC002:
+    def test_missing_whitelist_fires(self, lint_fixture):
+        findings = lint_fixture("ipc002_bad.py")
+        assert rule_ids(findings) == ["IPC002"]
+        assert "declares no WIRE_MESSAGE_KINDS" in findings[0].message
+
+    def test_untagged_and_unknown_kind_fire(self, lint_fixture):
+        findings = lint_fixture("ipc002_untagged.py")
+        assert rule_ids(findings) == ["IPC002"]
+        messages = " ".join(finding.message for finding in findings)
+        assert "tagged tuple literal" in messages
+        assert "'shutdown' is not declared" in messages
+        assert len(findings) == 2
+
+    def test_good_fixture_clean(self, lint_fixture):
+        assert lint_fixture("ipc002_good.py") == []
+
+    def test_rule_ignores_modules_without_multiprocessing(self, engine):
+        # A domain queue with a .put() API is not IPC.
+        findings = engine.check_source(
+            "src/repro/example.py",
+            "def feed(request_queue, item):\n"
+            "    request_queue.put(item)\n",
+        )
+        assert findings == []
+
+
+class TestNUM001:
+    def test_bad_fixture_fires_in_numeric_core(self, lint_fixture):
+        findings = lint_fixture("num001_bad.py", "src/repro/kernels/fixture.py")
+        assert rule_ids(findings) == ["NUM001"]
+        assert len(findings) == 3
+
+    def test_good_fixture_clean_in_numeric_core(self, lint_fixture):
+        assert lint_fixture("num001_good.py", "src/repro/kernels/fixture.py") == []
+
+    def test_rule_scoped_to_numeric_core(self, lint_fixture):
+        # The same source outside the numeric core is not NUM001's business.
+        assert lint_fixture("num001_bad.py", "src/repro/evaluation/fixture.py") == []

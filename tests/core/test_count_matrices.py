@@ -71,7 +71,7 @@ class TestSparseDocTopicMatrix:
     def test_row_access(self, tiny_tokens):
         sparse = SparseDocTopicMatrix.from_tokens(tiny_tokens, 3, 3)
         topics, counts = sparse.row(1)
-        assert dict(zip(topics.tolist(), counts.tolist())) == {0: 3, 2: 1}
+        assert dict(zip(topics.tolist(), counts.tolist(), strict=True)) == {0: 3, 2: 1}
 
     def test_row_nnz_and_mean(self, tiny_tokens):
         sparse = SparseDocTopicMatrix.from_tokens(tiny_tokens, 3, 3)

@@ -1,5 +1,7 @@
 """Tests for LDA hyper-parameters."""
 
+import dataclasses
+
 import pytest
 
 from repro.core import LDAHyperParams
@@ -46,5 +48,5 @@ class TestWithTopics:
 
     def test_is_frozen(self):
         params = LDAHyperParams.paper_defaults(10)
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             params.num_topics = 20  # type: ignore[misc]

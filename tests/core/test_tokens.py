@@ -38,8 +38,8 @@ class TestSorting:
 
     def test_sort_preserves_token_multiset(self, tiny_tokens):
         by_word = tiny_tokens.sorted_by("word")
-        original = sorted(zip(tiny_tokens.doc_ids, tiny_tokens.word_ids, tiny_tokens.topics))
-        permuted = sorted(zip(by_word.doc_ids, by_word.word_ids, by_word.topics))
+        original = sorted(zip(tiny_tokens.doc_ids, tiny_tokens.word_ids, tiny_tokens.topics, strict=True))
+        permuted = sorted(zip(by_word.doc_ids, by_word.word_ids, by_word.topics, strict=True))
         assert original == permuted
 
     def test_invalid_order_rejected(self, tiny_tokens):

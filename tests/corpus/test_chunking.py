@@ -14,7 +14,7 @@ class TestPartitioning:
         chunks = partition_by_document(small_corpus.tokens, small_corpus.num_documents, 4)
         assert chunks[0].doc_start == 0
         assert chunks[-1].doc_stop == small_corpus.num_documents
-        for previous, current in zip(chunks, chunks[1:]):
+        for previous, current in zip(chunks, chunks[1:], strict=False):
             assert previous.doc_stop == current.doc_start
 
     def test_tokens_respect_document_ranges(self, small_corpus):
@@ -51,9 +51,9 @@ class TestMergeAndHistogram:
         chunks = partition_by_document(small_corpus.tokens, small_corpus.num_documents, 4)
         merged = merge_chunks(chunks)
         original = sorted(
-            zip(small_corpus.tokens.doc_ids, small_corpus.tokens.word_ids)
+            zip(small_corpus.tokens.doc_ids, small_corpus.tokens.word_ids, strict=True)
         )
-        restored = sorted(zip(merged.doc_ids, merged.word_ids))
+        restored = sorted(zip(merged.doc_ids, merged.word_ids, strict=True))
         assert original == restored
 
     def test_histogram_matches_chunk_sizes(self, small_corpus):

@@ -147,7 +147,7 @@ class TestRecordsAndAccounting:
 
     def test_cumulative_time_monotone(self, result):
         cumulative = [r.cumulative_simulated_seconds for r in result.history]
-        assert all(b > a for a, b in zip(cumulative, cumulative[1:]))
+        assert all(b > a for a, b in zip(cumulative, cumulative[1:], strict=False))
 
     def test_balance_efficiency_in_unit_interval(self, result):
         for record in result.history:
@@ -201,7 +201,7 @@ class TestScaling:
 
     def test_efficiency_decays_monotonically(self, points):
         efficiencies = [point.efficiency for point in points]
-        assert all(a >= b for a, b in zip(efficiencies, efficiencies[1:]))
+        assert all(a >= b for a, b in zip(efficiencies, efficiencies[1:], strict=False))
 
     def test_baseline_and_pool_points_share_one_chunking(self, tiny_corpus):
         """A low configured chunk count must not skew the speedup baseline."""

@@ -114,7 +114,7 @@ class TestRingAllReduce:
         arrays = [np.full((4, 4), 7, dtype=np.int64) for _ in range(3)]
         originals = [array.copy() for array in arrays]
         RingAllReduce(link=NVLINK).reduce(arrays)
-        for array, original in zip(arrays, originals):
+        for array, original in zip(arrays, originals, strict=True):
             np.testing.assert_array_equal(array, original)
 
     def test_reduce_promotes_mixed_dtypes_once(self):

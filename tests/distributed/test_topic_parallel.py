@@ -88,7 +88,7 @@ class TestAllToAllCost:
         alltoall = AllToAll(link=PCIE_P2P)
         sizes = [10_000, 100_000, 1_000_000, 10_000_000]
         seconds = [alltoall.cost(size, 4).seconds for size in sizes]
-        assert all(a < b for a, b in zip(seconds, seconds[1:]))
+        assert all(a < b for a, b in zip(seconds, seconds[1:], strict=False))
 
     def test_monotone_in_devices(self):
         alltoall = AllToAll(link=PCIE_P2P)
@@ -96,7 +96,7 @@ class TestAllToAllCost:
         # 1/N the bandwidth term saturates, but the latency term keeps the
         # total strictly increasing.
         seconds = [alltoall.cost(1_000_000, n).seconds for n in (2, 4, 8, 16)]
-        assert all(a < b for a, b in zip(seconds, seconds[1:]))
+        assert all(a < b for a, b in zip(seconds, seconds[1:], strict=False))
 
     def test_monotone_in_latency(self):
         slow_link = InterconnectSpec(

@@ -113,7 +113,7 @@ class TestCompareSystems:
         for curve in comparison.curves.values():
             if curve.failed:
                 continue
-            assert all(b > a for a, b in zip(curve.seconds, curve.seconds[1:]))
+            assert all(b > a for a, b in zip(curve.seconds, curve.seconds[1:], strict=False))
 
     def test_saberlda_faster_than_cpu_esca_to_common_threshold(self, comparison):
         """Fig. 11: SaberLDA reaches the target likelihood before the CPU baselines."""

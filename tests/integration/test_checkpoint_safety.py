@@ -14,7 +14,7 @@ Two properties every load path must hold:
 
 import json
 import os
-import pickle
+import pickle  # detlint: ignore[IPC001] -- crafting hostile pickled checkpoints to assert the loader rejects them
 import zipfile
 
 import numpy as np

@@ -29,8 +29,8 @@ class TestUciBagOfWords:
         assert restored.num_tokens == corpus.num_tokens
         assert restored.num_documents == corpus.num_documents
         assert restored.vocabulary_size == corpus.vocabulary_size
-        original = sorted(zip(corpus.tokens.doc_ids, corpus.tokens.word_ids))
-        loaded = sorted(zip(restored.tokens.doc_ids, restored.tokens.word_ids))
+        original = sorted(zip(corpus.tokens.doc_ids, corpus.tokens.word_ids, strict=True))
+        loaded = sorted(zip(restored.tokens.doc_ids, restored.tokens.word_ids, strict=True))
         assert original == loaded
 
     def test_vocabulary_round_trip(self, corpus, tmp_path):

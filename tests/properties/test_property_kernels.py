@@ -229,6 +229,6 @@ class TestHypothesisExploration:
             layouts = build_layout(tokens, num_documents, config)
             ordered = gather_layout_tokens(layouts)
             assert ordered.num_tokens == tokens.num_tokens
-            original = sorted(zip(tokens.doc_ids, tokens.word_ids, tokens.topics))
-            laid_out = sorted(zip(ordered.doc_ids, ordered.word_ids, ordered.topics))
+            original = sorted(zip(tokens.doc_ids, tokens.word_ids, tokens.topics, strict=True))
+            laid_out = sorted(zip(ordered.doc_ids, ordered.word_ids, ordered.topics, strict=True))
             assert original == laid_out

@@ -58,8 +58,8 @@ class TestPdowLayout:
 
     def test_gather_restores_token_multiset(self, small_corpus, layouts):
         gathered = gather_layout_tokens(layouts)
-        original = sorted(zip(small_corpus.tokens.doc_ids, small_corpus.tokens.word_ids))
-        restored = sorted(zip(gathered.doc_ids, gathered.word_ids))
+        original = sorted(zip(small_corpus.tokens.doc_ids, small_corpus.tokens.word_ids, strict=True))
+        restored = sorted(zip(gathered.doc_ids, gathered.word_ids, strict=True))
         assert original == restored
 
 

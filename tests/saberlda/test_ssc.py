@@ -76,8 +76,8 @@ class TestShuffle:
         chunks = partition_by_document(small_corpus.tokens, small_corpus.num_documents, 2)
         layout = layout_chunk(chunks[0], TokenOrder.WORD_MAJOR)
         shuffled = shuffle_to_document_order(layout)
-        original = sorted(zip(layout.tokens.doc_ids, layout.tokens.word_ids, layout.tokens.topics))
-        restored = sorted(zip(shuffled.doc_ids, shuffled.word_ids, shuffled.topics))
+        original = sorted(zip(layout.tokens.doc_ids, layout.tokens.word_ids, layout.tokens.topics, strict=True))
+        restored = sorted(zip(shuffled.doc_ids, shuffled.word_ids, shuffled.topics, strict=True))
         assert original == restored
 
 

@@ -38,7 +38,7 @@ class TestTrainingResult:
     def test_simulated_time_is_cumulative(self, trained):
         _corpus, _config, result = trained
         times = [record.cumulative_simulated_seconds for record in result.history]
-        assert all(later > earlier for earlier, later in zip(times, times[1:]))
+        assert all(later > earlier for earlier, later in zip(times, times[1:], strict=False))
 
     def test_phase_breakdown_sums_to_total(self, trained):
         _corpus, _config, result = trained

@@ -55,7 +55,7 @@ class TestSampling:
         table = AliasTable.build(weights)
         u1, u2 = rng.random(20), rng.random(20)
         batch = table.sample_batch(u1, u2)
-        scalar = [table.sample(a, b) for a, b in zip(u1, u2)]
+        scalar = [table.sample(a, b) for a, b in zip(u1, u2, strict=True)]
         np.testing.assert_array_equal(batch, scalar)
 
     def test_samples_in_range(self, rng):

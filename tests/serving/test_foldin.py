@@ -98,7 +98,7 @@ class TestGoldenFoldIn:
         corpus, _result = trained
         thetas = _golden_thetas(engine, _golden_queries(corpus))
         assert len(thetas) == len(golden["thetas"])
-        for measured, pinned in zip(thetas, golden["thetas"]):
+        for measured, pinned in zip(thetas, golden["thetas"], strict=True):
             assert measured == pytest.approx(pinned, abs=10**-THETA_DECIMALS)
 
     def test_workload_spec_unchanged(self, golden):
@@ -119,7 +119,7 @@ class TestGoldenFoldIn:
             backend=KernelBackend.REFERENCE,
         )
         thetas = _golden_thetas(engine, _golden_queries(corpus))
-        for measured, pinned in zip(thetas, golden["thetas"]):
+        for measured, pinned in zip(thetas, golden["thetas"], strict=True):
             assert measured == pytest.approx(pinned, abs=10**-THETA_DECIMALS)
 
 

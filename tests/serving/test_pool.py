@@ -250,7 +250,7 @@ class TestPoolExecution:
         assert pooled.engine_id == 1
         assert pooled.alltoall_seconds == 0.0
         assert pooled.seconds == pytest.approx(reference.seconds)
-        for left, right in zip(pooled.results, reference.results):
+        for left, right in zip(pooled.results, reference.results, strict=True):
             assert np.array_equal(left.theta, right.theta)
 
     def test_sharded_execution_charges_the_alltoall(self, model, documents):
@@ -272,7 +272,7 @@ class TestPoolExecution:
             pooled.barrier_seconds + pooled.alltoall_seconds
         )
         # And the mathematics are untouched by the cost attribution.
-        for left, right in zip(pooled.results, reference.results):
+        for left, right in zip(pooled.results, reference.results, strict=True):
             assert np.array_equal(left.theta, right.theta)
 
     def test_least_loaded_lane_selection(self, model):
@@ -356,7 +356,7 @@ class TestCrossLayoutCrossStrategyMatrix:
 
     def test_thetas_match_the_golden_file(self, golden, reports):
         report = reports[("plain", "single")]
-        for outcome, pinned in zip(report.outcomes, golden["thetas"]):
+        for outcome, pinned in zip(report.outcomes, golden["thetas"], strict=True):
             measured = [round(float(v), THETA_DECIMALS) for v in outcome.theta]
             assert measured == pytest.approx(pinned, abs=10**-THETA_DECIMALS)
 

@@ -80,7 +80,7 @@ class TestServeLoop:
         report = server.serve(make_requests(documents, arrivals))
         assert max(execution.batch.num_documents for execution in report.batches) > 1
         reference = InferenceEngine.from_model(model, num_sweeps=6, seed=SERVE_SEED)
-        for outcome, document in zip(report.outcomes, documents):
+        for outcome, document in zip(report.outcomes, documents, strict=True):
             assert outcome.status == "served"
             expected = reference.infer_request(document, outcome.request_id).theta
             assert np.array_equal(outcome.theta, expected)
@@ -248,7 +248,7 @@ class TestCheckpointLayoutEquivalence:
             digests[label] = engine_results_digest(results)
             thetas[label] = [result.theta for result in results]
         assert digests["plain"] == digests["rows"] == digests["columns"]
-        for plain_theta, column_theta in zip(thetas["plain"], thetas["columns"]):
+        for plain_theta, column_theta in zip(thetas["plain"], thetas["columns"], strict=True):
             assert np.array_equal(plain_theta, column_theta)
 
     def test_served_traffic_is_layout_invariant_too(self, model, documents, tmp_path):
@@ -266,7 +266,7 @@ class TestCheckpointLayoutEquivalence:
         )
         first = from_model.serve(make_requests(documents, arrivals))
         second = from_checkpoint.serve(make_requests(documents, arrivals))
-        for left, right in zip(first.outcomes, second.outcomes):
+        for left, right in zip(first.outcomes, second.outcomes, strict=True):
             assert left.status == right.status
             if left.theta is not None:
                 assert np.array_equal(left.theta, right.theta)

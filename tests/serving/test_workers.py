@@ -141,7 +141,7 @@ class TestHappyPath:
                 )
                 execution = pool.execute(batch, lane=start % 2)
                 assert execution.per_engine_phase_seconds[0]["wall"] > 0
-                for request, result in zip(batch.requests, execution.results):
+                for request, result in zip(batch.requests, execution.results, strict=True):
                     outcomes.append(
                         type(
                             "Outcome",
@@ -175,7 +175,7 @@ class TestFaultPaths:
         flat = [
             type("Outcome", (), {"request_id": rid, "theta": result.theta})()
             for outcome in outcomes
-            for rid, result in zip(outcome.request_ids, outcome.results)
+            for rid, result in zip(outcome.request_ids, outcome.results, strict=True)
         ]
         flat.sort(key=lambda o: o.request_id)
         assert pool_results_digest(flat) == reference_digest
@@ -197,7 +197,7 @@ class TestFaultPaths:
             assert pool.degraded
         flat = [
             type("Outcome", (), {"request_id": rid, "theta": result.theta})()
-            for rid, result in zip(outcome.request_ids, outcome.results)
+            for rid, result in zip(outcome.request_ids, outcome.results, strict=True)
         ]
         assert pool_results_digest(flat) == reference_digest
 
