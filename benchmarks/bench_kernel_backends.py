@@ -24,10 +24,12 @@ Run with::
 """
 
 import argparse
+import os
 
 import numpy as np
 
 from repro.bench import emit_json_report, emit_report, format_table, wall_clock
+from repro.bench.reporting import results_dir
 from repro.core import LDAHyperParams, LDAModel
 from repro.core.count_matrices import SparseDocTopicMatrix, count_by_word_topic
 from repro.corpus import generate_lda_corpus
@@ -35,6 +37,13 @@ from repro.kernels import KernelBackend
 from repro.saberlda.estep import WordSide, esca_estep
 from repro.serving import FrozenModelState
 from repro.serving.foldin import request_rng
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    WallClock,
+    write_chrome_trace,
+    write_metrics_json,
+)
 
 SEED = 2017
 BACKENDS = (KernelBackend.REFERENCE, KernelBackend.VECTORIZED)
@@ -95,8 +104,13 @@ def _estep_state(corpus_spec, num_topics):
     return tokens, doc_topic, word_side, word_topic, params
 
 
-def _estep_row(spec, corpus_spec, num_topics):
-    """Wall-clock one full E-step pass per backend; assert bit-identity."""
+def _estep_row(spec, corpus_spec, num_topics, tracer, metrics):
+    """Wall-clock one full E-step pass per backend; assert bit-identity.
+
+    The whole (backend, cell) measurement — warmup and repeats — runs
+    under one ``estep_cell`` span; the tracer never wraps the timed
+    callable itself, so the measured numbers stay untouched.
+    """
     tokens, doc_topic, word_side, _word_topic, _params = _estep_state(
         corpus_spec, num_topics
     )
@@ -110,9 +124,18 @@ def _estep_row(spec, corpus_spec, num_topics):
             outputs[backend] = result.new_topics
             return result
 
-        timings[backend] = wall_clock(
-            one_pass, repeat=spec["estep_repeat"], warmup=spec["estep_warmup"]
-        )
+        with tracer.span(
+            "estep_cell",
+            category="bench",
+            backend=backend.value,
+            corpus=corpus_spec[0],
+            num_topics=num_topics,
+        ):
+            timings[backend] = wall_clock(
+                one_pass, repeat=spec["estep_repeat"], warmup=spec["estep_warmup"]
+            )
+        metrics.counter("bench.estep_cells").inc()
+        metrics.counter("bench.estep_seconds").inc(timings[backend].best)
     assert np.array_equal(
         outputs[KernelBackend.REFERENCE], outputs[KernelBackend.VECTORIZED]
     ), f"E-step backends diverged at {corpus_spec[0]}, K={num_topics}"
@@ -140,7 +163,7 @@ def _make_queries(spec, vocabulary_size):
     ]
 
 
-def _foldin_row(spec, corpus_spec, num_topics):
+def _foldin_row(spec, corpus_spec, num_topics, tracer, metrics):
     """Wall-clock a warmed fold-in pass over the query stream per backend."""
     _tokens, _doc_topic, _word_side, word_topic, params = _estep_state(
         corpus_spec, num_topics
@@ -165,9 +188,18 @@ def _foldin_row(spec, corpus_spec, num_topics):
             outputs[backend] = np.concatenate([result.topics for result in results])
             return results
 
-        timings[backend] = wall_clock(
-            serve_stream, repeat=spec["foldin_repeat"], warmup=spec["foldin_warmup"]
-        )
+        with tracer.span(
+            "foldin_cell",
+            category="bench",
+            backend=backend.value,
+            corpus=corpus_spec[0],
+            num_topics=num_topics,
+        ):
+            timings[backend] = wall_clock(
+                serve_stream, repeat=spec["foldin_repeat"], warmup=spec["foldin_warmup"]
+            )
+        metrics.counter("bench.foldin_cells").inc()
+        metrics.counter("bench.foldin_seconds").inc(timings[backend].best)
     assert np.array_equal(
         outputs[KernelBackend.REFERENCE], outputs[KernelBackend.VECTORIZED]
     ), f"fold-in backends diverged at {corpus_spec[0]}, K={num_topics}"
@@ -185,13 +217,17 @@ def _foldin_row(spec, corpus_spec, num_topics):
     }
 
 
-def _run(spec):
+def _run(spec, tracer, metrics):
     estep_rows = []
     foldin_rows = []
     for corpus_spec in spec["corpora"]:
         for num_topics in spec["topic_counts"]:
-            estep_rows.append(_estep_row(spec, corpus_spec, num_topics))
-            foldin_rows.append(_foldin_row(spec, corpus_spec, num_topics))
+            estep_rows.append(
+                _estep_row(spec, corpus_spec, num_topics, tracer, metrics)
+            )
+            foldin_rows.append(
+                _foldin_row(spec, corpus_spec, num_topics, tracer, metrics)
+            )
     headline_corpus, headline_topics = spec["headline"]
     headline = {
         "corpus": headline_corpus,
@@ -290,7 +326,10 @@ if __name__ == "__main__":
     )
     args = parser.parse_args()
     spec = TINY if args.tiny else FULL
-    estep_rows, foldin_rows, headline = _run(spec)
+    tracer = Tracer(WallClock())
+    metrics = MetricsRegistry()
+    with tracer.span("bench_kernel_backends", category="bench", mode=spec["mode"]):
+        estep_rows, foldin_rows, headline = _run(spec, tracer, metrics)
     report_text = _build_report(spec, estep_rows, foldin_rows, headline)
     emit_report("BENCH_kernels", report_text)
     path = emit_json_report(
@@ -303,5 +342,17 @@ if __name__ == "__main__":
             "bit_identical": True,
         },
     )
+    trace_path = write_chrome_trace(
+        os.path.join(results_dir(), "BENCH_kernels_trace.json"),
+        tracer.spans,
+        metadata={"bench": "kernel_backends", "mode": spec["mode"]},
+    )
+    metrics_path = write_metrics_json(
+        os.path.join(results_dir(), "BENCH_kernels_metrics.json"),
+        metrics,
+        metadata={"bench": "kernel_backends", "mode": spec["mode"]},
+    )
     _check_invariants(spec, estep_rows, foldin_rows, headline, floor=args.assert_floor)
+    print(f"trace artifact: {trace_path}")
+    print(f"metrics artifact: {metrics_path}")
     print(f"json report: {path}")

@@ -43,13 +43,18 @@ simulated modes write ``benchmarks/results/serving.{txt,json}``)::
 """
 
 import argparse
+import contextlib
 import functools
+import io
+import json
+import math
 import os
 import tempfile
 
 import numpy as np
 
 from repro.bench import emit_json_report, emit_report, format_table, wall_clock
+from repro.bench.reporting import results_dir
 from repro.core import save_model, save_model_mmap, save_sharded_model
 from repro.corpus import generate_lda_corpus
 from repro.corpus.datasets import NYTIMES
@@ -73,6 +78,17 @@ from repro.serving import (
     serve_wallclock,
     warm_sampler_bank,
 )
+from repro.telemetry import (
+    MetricsRegistry,
+    SimClock,
+    Tracer,
+    WallClock,
+    pinned_percentile,
+    span_coverage,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.telemetry.cli import main as telemetry_cli
 
 #: Full sweep (pytest / default CLI run).
 FULL = dict(
@@ -555,17 +571,75 @@ def _available_cores() -> int:
         return os.cpu_count() or 1
 
 
+SPAN_COVERAGE_FLOOR = 0.95
+
+
+def _simulated_reference(model, requests, spec: dict):
+    """The bit-identity + report reference: a *simulated* serving run.
+
+    One in-process :class:`TopicServer` (unbounded queue, no cache) over
+    the same request stream, traced on a :class:`SimClock`.  It supplies
+    three things at once: the reference digest every worker count must
+    reproduce, the simulated :class:`ServingReport` the measured report
+    is diffed against field for field, and the ``sim``-domain half of
+    the dual-clock trace artifact.
+    """
+    engine = InferenceEngine.from_model(
+        model, num_sweeps=spec["num_sweeps"], seed=SEED
+    )
+    tracer = Tracer(SimClock())
+    metrics = MetricsRegistry()
+    server = TopicServer(
+        engine,
+        scheduler=BatchScheduler(
+            max_batch_docs=WALLCLOCK_BATCH_DOCS, max_wait_seconds=0.0
+        ),
+        queue=RequestQueue(max_depth=None),
+        cache=ResultCache(capacity=0),
+        tracer=tracer,
+        metrics=metrics,
+    )
+    report = server.serve(requests)
+    assert report.answered == len(requests), report.summary()
+    return report, pool_results_digest(report.outcomes), tracer, metrics
+
+
+def _assert_trace_reproduces_report(tracer, report):
+    """The acceptance gate: spans alone reproduce the measured report.
+
+    The ``request`` spans' duration multiset must answer the report's
+    p50/p99 bit for bit (they carry the very same latency floats), and
+    the top-level wall spans must cover >= 95% of the measured run.
+    """
+    latencies = [
+        span.duration_seconds for span in tracer.spans if span.name == "request"
+    ]
+    assert len(latencies) == report.answered
+    assert pinned_percentile(latencies, 50.0) == report.latency_percentile(50.0)
+    assert pinned_percentile(latencies, 99.0) == report.latency_percentile(99.0)
+    coverage = span_coverage(tracer.spans, report.wall_seconds)
+    assert coverage >= SPAN_COVERAGE_FLOOR, (
+        f"wall spans cover {coverage:.1%} of the measured run, "
+        f"need >= {SPAN_COVERAGE_FLOOR:.0%}"
+    )
+    return coverage
+
+
 def _wallclock_rows(spec: dict):
     """Measured QPS/p99 of the real process pool, 1-N workers.
 
     One model, one mmap checkpoint on disk; every worker count serves
-    the *same* request stream and must reproduce the single in-process
-    engine's thetas bit for bit (asserted via the request-keyed digest).
-    The scaling gate (N=4 workers >= 2x one worker) only fires when the
-    machine actually has >= 4 cores — a single-core container can run
-    the data plane correctly but cannot exhibit parallel speedup, and
-    the JSON records ``available_cores`` so readers can tell which case
-    they are looking at.
+    the *same* request stream and must reproduce the simulated
+    reference server's thetas bit for bit (asserted via the
+    request-keyed digest).  Every pool runs traced —
+    :class:`~repro.telemetry.Tracer` on a wall clock plus a
+    :class:`~repro.telemetry.MetricsRegistry` — and each count's trace
+    must reproduce its report's p50/p99 from spans alone and cover
+    >= 95% of the measured run.  The scaling gate (N=4 workers >= 2x
+    one worker) only fires when the machine actually has >= 4 cores — a
+    single-core container can run the data plane correctly but cannot
+    exhibit parallel speedup, and the JSON records ``available_cores``
+    so readers can tell which case they are looking at.
     """
     num_topics = spec["topic_counts"][-1]
     model = _train_model(num_topics)
@@ -581,32 +655,29 @@ def _wallclock_rows(spec: dict):
         for index, document in enumerate(documents)
     ]
 
-    # The bit-identity reference never touches the mmap checkpoint: a
-    # plain in-process engine over the in-memory model.
-    reference = InferenceEngine.from_model(
-        model, num_sweeps=spec["num_sweeps"], seed=SEED
-    )
-    reference_digest = pool_results_digest(
-        [
-            type("R", (), {"request_id": request.request_id,
-                           "theta": reference.infer_request(
-                               request.word_ids, request.request_id
-                           ).theta})()
-            for request in requests
-        ]
+    simulated_report, reference_digest, sim_tracer, sim_metrics = (
+        _simulated_reference(model, requests, spec)
     )
 
     cores = _available_cores()
     rows = []
     measured_qps = {}
+    coverages = {}
+    last_report = None
+    last_tracer = None
+    last_metrics = None
     with tempfile.TemporaryDirectory() as tmpdir:
         checkpoint = save_model_mmap(model, os.path.join(tmpdir, "ckpt"))
         for num_workers in spec["pool_engine_counts"]:
+            tracer = Tracer(WallClock())
+            metrics = MetricsRegistry()
             with WorkerPool(
                 checkpoint,
                 num_workers=num_workers,
                 seed=SEED,
                 num_sweeps=spec["num_sweeps"],
+                tracer=tracer,
+                metrics=metrics,
             ) as pool:
                 workers_mmapped = all(
                     info.get("phi_is_memmap") and info.get("phi_cdf_is_memmap")
@@ -618,7 +689,7 @@ def _wallclock_rows(spec: dict):
             digest = pool_results_digest(report.outcomes)
             assert digest == reference_digest, (
                 f"{num_workers}-worker wall-clock run diverged from the "
-                f"single in-process engine"
+                f"simulated reference server"
             )
             assert workers_mmapped, pool.worker_info
             summary = report.summary()
@@ -626,8 +697,10 @@ def _wallclock_rows(spec: dict):
             assert (
                 summary["pool_admitted"] == summary["pool_answered"]
             ), summary
+            coverages[num_workers] = _assert_trace_reproduces_report(tracer, report)
             measured_qps[num_workers] = summary["sustained_qps"]
             rows.append({"num_workers": num_workers, "digest": digest, **summary})
+            last_report, last_tracer, last_metrics = report, tracer, metrics
 
     projected_qps = {
         count: project_pool_throughput(
@@ -640,14 +713,68 @@ def _wallclock_rows(spec: dict):
         ).max_qps
         for count in spec["pool_engine_counts"]
     }
-    comparison = compare_pool_scaling(measured_qps, projected_qps)
+    comparison = compare_pool_scaling(
+        measured_qps,
+        projected_qps,
+        simulated_report=simulated_report,
+        measured_report=last_report,
+    )
 
     if cores >= 4 and 4 in measured_qps:
         assert measured_qps[4] >= 2.0 * measured_qps[1], (
             f"4 workers sustained {measured_qps[4]:.0f} QPS, expected >= 2x "
             f"the single worker's {measured_qps[1]:.0f} ({cores} cores)"
         )
-    return rows, comparison, cores
+    telemetry = {
+        "sim": (sim_tracer, sim_metrics),
+        "wall": (last_tracer, last_metrics),
+        "coverages": coverages,
+        "last_report": last_report,
+    }
+    return rows, comparison, cores, telemetry
+
+
+def _emit_telemetry_artifacts(telemetry, spec: dict):
+    """Write the dual-clock ``trace.json`` + ``metrics.json`` artifacts
+    and prove the CLI summary reproduces the measured report.
+
+    The trace carries both domains — the simulated reference run (pid 0)
+    and the widest pool's measured run (pid 1) — in one Perfetto-loadable
+    file.  ``python -m repro.telemetry`` is then run on that file and its
+    ``wall``-domain ``request`` row must reproduce the report's p50/p99
+    (to trace precision: timestamps quantize to float microseconds).
+    """
+    sim_tracer, sim_metrics = telemetry["sim"]
+    wall_tracer, wall_metrics = telemetry["wall"]
+    report = telemetry["last_report"]
+    trace_path = write_chrome_trace(
+        os.path.join(results_dir(), "trace.json"),
+        list(sim_tracer.spans) + list(wall_tracer.spans),
+        metadata={"bench": "serving_wallclock", "seed": SEED},
+    )
+    wall_metrics.merge_wire(sim_metrics.drain_wire())
+    metrics_path = write_metrics_json(
+        os.path.join(results_dir(), "metrics.json"),
+        wall_metrics,
+        metadata={"bench": "serving_wallclock", "seed": SEED},
+    )
+
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        status = telemetry_cli([trace_path, "--domain", "wall", "--json"])
+    assert status == 0
+    phases = {
+        row["name"]: row for row in json.loads(stdout.getvalue())["phases"]
+    }
+    request_row = phases["request"]
+    assert request_row["count"] == report.answered
+    assert math.isclose(
+        request_row["p50_seconds"], report.latency_percentile(50.0), rel_tol=1e-9
+    )
+    assert math.isclose(
+        request_row["p99_seconds"], report.latency_percentile(99.0), rel_tol=1e-9
+    )
+    return trace_path, metrics_path
 
 
 def _build_wallclock_report(rows, comparison, cores) -> str:
@@ -691,24 +818,40 @@ def _build_wallclock_report(rows, comparison, cores) -> str:
         f"Wall-clock process-pool scaling ({cores} core(s) available, "
         f"batch {WALLCLOCK_BATCH_DOCS} docs, mmap checkpoint shared read-only):\n"
         f"{table}\n"
-        f"digests bit-identical to the single in-process engine: yes\n\n"
+        f"digests bit-identical to the simulated reference server: yes\n\n"
         f"Simulated-vs-measured scaling (speedup over one worker/engine):\n"
         f"{comparison_table}\n{knee_line}\n"
     )
 
 
 def _run_wallclock(spec: dict) -> str:
-    rows, comparison, cores = _wallclock_rows(spec)
+    rows, comparison, cores, telemetry = _wallclock_rows(spec)
+    trace_path, metrics_path = _emit_telemetry_artifacts(telemetry, spec)
     report_text = _build_wallclock_report(rows, comparison, cores)
     payload = {
         "available_cores": cores,
         "batch_docs": WALLCLOCK_BATCH_DOCS,
         "rows": rows,
         "scaling_comparison": comparison.summary(),
-        "digests_identical_to_inprocess_engine": True,
+        "digests_identical_to_simulated_reference": True,
+        "telemetry": {
+            "trace_path": trace_path,
+            "metrics_path": metrics_path,
+            "span_coverage": {
+                str(count): coverage
+                for count, coverage in telemetry["coverages"].items()
+            },
+            "span_coverage_floor": SPAN_COVERAGE_FLOOR,
+            "cli_summary_reproduces_report": True,
+        },
     }
     path = emit_json_report("BENCH_serving_wallclock", payload)
-    return report_text + f"json report: {path}\n"
+    return (
+        report_text
+        + f"trace artifact: {trace_path}\n"
+        + f"metrics artifact: {metrics_path}\n"
+        + f"json report: {path}\n"
+    )
 
 
 def _run(spec: dict):

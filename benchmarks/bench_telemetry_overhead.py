@@ -1,0 +1,286 @@
+"""Telemetry overhead — tracing must observe the system, not slow it.
+
+Two claims back the ``repro.telemetry`` design, and this benchmark
+measures both on the same seeded workloads:
+
+* **disabled is free** — a null tracer/registry executes the same
+  instruction stream as an uninstrumented run (the identity tests pin
+  the bits; this bench pins the wall clock), and
+* **enabled is cheap** — recording spans and counters costs a bounded
+  fraction of the work being observed.  CI gates the enabled/disabled
+  best-of ratio at ``--assert-within 1.10`` (10%) on the tiny sweep.
+
+Each cell runs the workload ``warmup + repeat`` times per mode and
+compares best-of wall seconds (best-of absorbs scheduler noise far
+better than means on shared runners).  Result bits are asserted
+identical across modes — the overhead being measured is pure
+observation, never a different computation.
+
+Writes ``benchmarks/results/BENCH_telemetry_overhead.json``.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py
+        [--tiny] [--assert-within RATIO]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.bench import emit_json_report, emit_report, format_table, wall_clock
+from repro.corpus import generate_lda_corpus
+from repro.saberlda import SaberLDAConfig, train_saberlda
+from repro.serving import (
+    BatchScheduler,
+    InferenceEngine,
+    RequestQueue,
+    ResultCache,
+    ServingRequest,
+    TopicServer,
+    engine_results_digest,
+    warm_sampler_bank,
+)
+from repro.telemetry import (
+    MetricsRegistry,
+    SimClock,
+    Tracer,
+    null_metrics,
+    null_tracer,
+)
+
+SEED = 4242
+VOCABULARY_SIZE = 300
+
+# A ratio gate needs workloads where real work dominates the tracer's
+# small fixed cost, so each cell sizes its corpus to run for tens of
+# milliseconds even in tiny mode.
+FULL = {
+    "mode": "full",
+    "num_requests": 120,
+    "mean_query_tokens": 24,
+    "num_sweeps": 8,
+    "batch_docs": 8,
+    "serve_train_documents": 80,
+    "serve_train_iterations": 4,
+    "fit_documents": 400,
+    "fit_iterations": 6,
+    "num_topics": 16,
+    "repeat": 5,
+    "warmup": 2,
+}
+
+TINY = {
+    "mode": "tiny",
+    "num_requests": 60,
+    "mean_query_tokens": 16,
+    "num_sweeps": 6,
+    "batch_docs": 8,
+    "serve_train_documents": 50,
+    "serve_train_iterations": 3,
+    "fit_documents": 250,
+    "fit_iterations": 4,
+    "num_topics": 8,
+    "repeat": 4,
+    "warmup": 2,
+}
+
+
+def _corpus(spec, num_documents):
+    return generate_lda_corpus(
+        num_documents=num_documents,
+        vocabulary_size=VOCABULARY_SIZE,
+        num_topics=max(4, spec["num_topics"] // 2),
+        mean_document_length=40,
+        seed=SEED,
+    )
+
+
+def _requests(spec):
+    rng = np.random.default_rng(SEED + 1)
+    return [
+        ServingRequest(
+            request_id=index,
+            word_ids=rng.integers(
+                0, VOCABULARY_SIZE, size=max(3, int(rng.poisson(spec["mean_query_tokens"])))
+            ).astype(np.int32),
+            arrival_seconds=0.0,
+        )
+        for index in range(spec["num_requests"])
+    ]
+
+
+def _serving_cell(spec):
+    """Simulated serving, traced vs untraced: wall seconds + digest."""
+    corpus = _corpus(spec, spec["serve_train_documents"])
+    config = SaberLDAConfig.paper_defaults(
+        spec["num_topics"],
+        num_iterations=spec["serve_train_iterations"],
+        num_chunks=2,
+        seed=SEED,
+        evaluate_every=spec["serve_train_iterations"],
+    )
+    model = train_saberlda(
+        corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size, config
+    ).model
+    engine = InferenceEngine.from_model(
+        model, num_sweeps=spec["num_sweeps"], seed=SEED
+    )
+    requests = _requests(spec)
+    warm_sampler_bank(engine, np.concatenate([r.word_ids for r in requests]))
+
+    digests = {}
+
+    def serve(enabled):
+        tracer = Tracer(SimClock()) if enabled else null_tracer()
+        metrics = MetricsRegistry() if enabled else null_metrics()
+        server = TopicServer(
+            engine,
+            scheduler=BatchScheduler(
+                max_batch_docs=spec["batch_docs"], max_wait_seconds=0.0
+            ),
+            queue=RequestQueue(max_depth=None),
+            cache=ResultCache(capacity=0),
+            tracer=tracer,
+            metrics=metrics,
+        )
+        report = server.serve(requests)
+        digests[enabled] = engine_results_digest(report.outcomes)
+        return report
+
+    timings = {
+        enabled: wall_clock(
+            lambda enabled=enabled: serve(enabled),
+            repeat=spec["repeat"],
+            warmup=spec["warmup"],
+        )
+        for enabled in (False, True)
+    }
+    assert digests[True] == digests[False], (
+        "tracing changed the served results: the tracer is not a pure observer"
+    )
+    return _cell_row("serving", timings, digests[True])
+
+
+def _training_cell(spec):
+    """Simulated training, traced vs untraced: wall seconds + model bits."""
+    corpus = _corpus(spec, spec["fit_documents"])
+    config = SaberLDAConfig.paper_defaults(
+        spec["num_topics"],
+        num_iterations=spec["fit_iterations"],
+        num_chunks=2,
+        seed=SEED + 9,
+        evaluate_every=spec["fit_iterations"],
+    )
+    counts = {}
+
+    def fit(enabled):
+        tracer = Tracer(SimClock()) if enabled else None
+        metrics = MetricsRegistry() if enabled else None
+        result = train_saberlda(
+            corpus.unassigned_copy(),
+            corpus.num_documents,
+            corpus.vocabulary_size,
+            config,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        counts[enabled] = result.model.word_topic_counts
+        return result
+
+    timings = {
+        enabled: wall_clock(
+            lambda enabled=enabled: fit(enabled),
+            repeat=spec["repeat"],
+            warmup=spec["warmup"],
+        )
+        for enabled in (False, True)
+    }
+    assert np.array_equal(counts[True], counts[False]), (
+        "tracing changed the trained model: the tracer is not a pure observer"
+    )
+    return _cell_row("training", timings, None)
+
+
+def _cell_row(workload, timings, digest):
+    disabled = timings[False].best
+    enabled = timings[True].best
+    row = {
+        "workload": workload,
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "overhead_ratio": enabled / disabled if disabled > 0 else float("nan"),
+        "bits_identical": True,
+    }
+    if digest is not None:
+        row["digest"] = digest
+    return row
+
+
+def _build_report(spec, rows, within):
+    table = format_table(
+        ["workload", "disabled (s)", "enabled (s)", "ratio"],
+        [
+            [
+                row["workload"],
+                f"{row['disabled_seconds']:.4f}",
+                f"{row['enabled_seconds']:.4f}",
+                f"{row['overhead_ratio']:.3f}x",
+            ]
+            for row in rows
+        ],
+    )
+    gate = (
+        f"gate: every ratio <= {within:.2f}x"
+        if within is not None
+        else "gate: none (informational run)"
+    )
+    return (
+        f"Telemetry overhead, enabled vs disabled (best of "
+        f"{spec['repeat']} after {spec['warmup']} warmups, mode={spec['mode']}):\n"
+        f"{table}\n"
+        f"result bits identical across modes: yes\n{gate}\n"
+    )
+
+
+def _check_invariants(rows, within):
+    for row in rows:
+        assert row["disabled_seconds"] > 0 and row["enabled_seconds"] > 0
+        assert row["bits_identical"]
+    if within is not None:
+        worst = max(row["overhead_ratio"] for row in rows)
+        assert worst <= within, (
+            f"enabled tracing cost {worst:.3f}x the disabled run, "
+            f"over the {within:.2f}x gate"
+        )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true", help="CI smoke sweep (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "--assert-within",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="fail unless enabled/disabled best-of ratio stays within RATIO "
+        "on every workload (CI uses 1.10)",
+    )
+    args = parser.parse_args()
+    spec = TINY if args.tiny else FULL
+    rows = [_serving_cell(spec), _training_cell(spec)]
+    report_text = _build_report(spec, rows, args.assert_within)
+    print(report_text)
+    emit_report("BENCH_telemetry_overhead", report_text)
+    path = emit_json_report(
+        "BENCH_telemetry_overhead",
+        {
+            "mode": spec["mode"],
+            "rows": rows,
+            "gate_ratio": args.assert_within,
+        },
+    )
+    _check_invariants(rows, args.assert_within)
+    print(f"json report: {path}")

@@ -359,12 +359,23 @@ class WallClockRule(Rule):
             if dotted is None:
                 continue
             if dotted in _WALL_CLOCK_CALLS:
-                yield self.finding(
-                    context,
-                    node,
-                    f"{dotted}() outside the timing allowlist; route wall-clock "
-                    "measurement through repro.bench.timing",
-                )
+                if context.module_name.startswith("repro.telemetry"):
+                    # The tracing layer is deliberately NOT allowlisted:
+                    # its WallClock must wrap bench.timing's Stopwatch, so
+                    # a raw clock read creeping into a span is a bug here
+                    # exactly as it would be in an algorithm module.
+                    message = (
+                        f"{dotted}() inside repro.telemetry; spans must read "
+                        "wall time only through repro.bench.timing (wrap a "
+                        "Stopwatch in telemetry.WallClock), never the machine "
+                        "clock directly"
+                    )
+                else:
+                    message = (
+                        f"{dotted}() outside the timing allowlist; route "
+                        "wall-clock measurement through repro.bench.timing"
+                    )
+                yield self.finding(context, node, message)
             elif dotted in _DATETIME_NOW and not node.args:
                 yield self.finding(
                     context,

@@ -54,6 +54,8 @@ from ..saberlda.trainer import (
     sparse_training_likelihood,
     train_saberlda,
 )
+from ..telemetry.metrics import MetricsRegistry, null_metrics
+from ..telemetry.tracer import Tracer, null_tracer
 from .allreduce import AllToAll, RingAllReduce, exposed_allreduce_seconds
 from .shard import ShardPlan, TopicShardPlan, build_sharded_layout, plan_topic_shards
 
@@ -207,6 +209,12 @@ class DistributedTrainer:
     num_devices: int = 2
     interconnect: InterconnectSpec = field(default=PCIE_P2P)
     parallelism: str = "data"
+    #: Disabled by default.  An enabled tracer records, per iteration,
+    #: one simulated span per device (track = device id, phases as
+    #: children) plus the exposed ring/all-to-all collectives — the
+    #: multi-track view of the BSP barrier.
+    tracer: Tracer = field(default_factory=null_tracer)
+    metrics: MetricsRegistry = field(default_factory=null_metrics)
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
@@ -350,7 +358,16 @@ class DistributedTrainer:
             else:
                 exposed_a2a = 0.0
             iteration_seconds = barrier + exposed_ring + exposed_a2a
+            if self.tracer.enabled:
+                self._trace_iteration(
+                    iteration, cumulative, per_device_phases, barrier,
+                    exposed_ring, exposed_a2a,
+                )
             cumulative += iteration_seconds
+            self.metrics.counter("train.iterations").inc()
+            self.metrics.counter("train.simulated_seconds").inc(iteration_seconds)
+            self.metrics.counter("train.exposed_ring_seconds").inc(exposed_ring)
+            self.metrics.counter("train.exposed_alltoall_seconds").inc(exposed_a2a)
 
             # ----------------------------- Model quality ----------------------------- #
             log_likelihood: Optional[float] = None
@@ -408,6 +425,64 @@ class DistributedTrainer:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _trace_iteration(
+        self,
+        iteration: int,
+        start_seconds: float,
+        per_device_phases: List[Dict[str, float]],
+        barrier_seconds: float,
+        exposed_ring: float,
+        exposed_a2a: float,
+    ) -> None:
+        """One iteration's multi-track simulated spans.
+
+        Every device's compute rides its own track (``device_id + 1``);
+        the iteration span on track 0 covers barrier + exposed
+        collectives — the same floats the iteration record carries.
+        """
+        tracer = self.tracer
+        total = barrier_seconds + exposed_ring + exposed_a2a
+        clock = tracer.clock
+        if hasattr(clock, "advance_to"):
+            clock.advance_to(max(clock.now(), start_seconds + total))
+        tracer.add_span(
+            "iteration",
+            start_seconds,
+            total,
+            category="train",
+            depth=0,
+            args={"iteration": iteration},
+        )
+        for device_id, phases in enumerate(per_device_phases):
+            tracer.add_span(
+                "device_compute",
+                start_seconds,
+                sum(phases.values()),
+                category="train",
+                track=device_id + 1,
+                depth=1,
+                args={"device": device_id},
+            )
+            cursor = start_seconds
+            for phase, seconds in phases.items():
+                tracer.add_span(
+                    phase, cursor, seconds, category="phase",
+                    track=device_id + 1, depth=2,
+                )
+                cursor += seconds
+        collective_start = start_seconds + barrier_seconds
+        if exposed_ring > 0:
+            tracer.add_span(
+                "allreduce", collective_start, exposed_ring,
+                category="collective", depth=1,
+            )
+            collective_start += exposed_ring
+        if exposed_a2a > 0:
+            tracer.add_span(
+                "alltoall", collective_start, exposed_a2a,
+                category="collective", depth=1,
+            )
+
     def _rebuild_doc_topic(
         self, layouts: List[ChunkLayout], num_documents: int
     ) -> SparseDocTopicMatrix:
@@ -578,6 +653,8 @@ def train_distributed(
     interconnect: InterconnectSpec = PCIE_P2P,
     vocabulary=None,
     parallelism: str = "data",
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> DistributedTrainingResult:
     """Convenience wrapper: construct a distributed trainer and fit it."""
     trainer = DistributedTrainer(
@@ -585,6 +662,8 @@ def train_distributed(
         num_devices=num_devices,
         interconnect=interconnect,
         parallelism=parallelism,
+        tracer=tracer if tracer is not None else null_tracer(),
+        metrics=metrics if metrics is not None else null_metrics(),
     )
     return trainer.fit(tokens, num_documents, vocabulary_size, vocabulary)
 

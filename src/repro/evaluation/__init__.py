@@ -22,12 +22,14 @@ from .memory_model import (
     word_topic_fits_on_device,
 )
 from .serving import (
+    REPORT_FIELDS,
     PoolServingProjection,
     ScalingComparison,
     ServingProjection,
     compare_pool_scaling,
     project_pool_throughput,
     project_serving_throughput,
+    report_field_comparison,
     serving_batch_profile,
 )
 from .throughput import (
@@ -43,6 +45,7 @@ __all__ = [
     "ConvergenceCurve",
     "MemoryFootprint",
     "PoolServingProjection",
+    "REPORT_FIELDS",
     "ScalingComparison",
     "ServingProjection",
     "ThroughputProjection",
@@ -58,6 +61,7 @@ __all__ = [
     "project_pool_throughput",
     "project_serving_throughput",
     "published_capacity_table",
+    "report_field_comparison",
     "serving_batch_profile",
     "saberlda_curve",
     "table2_rows",

@@ -13,8 +13,9 @@ latency floor of one batch, per batch size and topic count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Mapping, Optional
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -308,6 +309,59 @@ def project_pool_throughput(
     )
 
 
+#: The report fields the simulated and the measured serving planes share
+#: (both expose them through :class:`repro.serving.stats.LatencyReportMixin`
+#: and matching properties), compared field for field below.
+REPORT_FIELDS = (
+    "answered",
+    "rejected",
+    "rejection_rate",
+    "sustained_qps",
+    "p50_seconds",
+    "p99_seconds",
+    "mean_seconds",
+    "mean_batch_docs",
+    "cache_hit_rate",
+)
+
+
+def report_field_comparison(
+    simulated: object,
+    measured: object,
+    fields: Sequence[str] = REPORT_FIELDS,
+) -> List[Dict[str, object]]:
+    """Field-for-field diff of a simulated vs a measured serving report.
+
+    Works on any pair exposing the shared report surface — a
+    :class:`~repro.serving.server.ServingReport` against a
+    :class:`~repro.serving.workers.WallClockReport` is the intended
+    pairing.  Latency fields are *expected* to disagree (simulated GPU
+    seconds vs measured wall seconds on this machine); the point of the
+    row-by-row view is that the *structural* fields (answered, rejected,
+    batch occupancy) must not.  ``ratio`` is measured over simulated,
+    ``None`` when undefined (zero or NaN simulated value), and two NaNs
+    — both planes answering "no distribution" — count as agreeing.
+    """
+    rows: List[Dict[str, object]] = []
+    for name in fields:
+        simulated_value = float(getattr(simulated, name))
+        measured_value = float(getattr(measured, name))
+        both_nan = math.isnan(simulated_value) and math.isnan(measured_value)
+        ratio: Optional[float] = None
+        if not both_nan and math.isfinite(simulated_value) and simulated_value != 0:
+            ratio = measured_value / simulated_value
+        rows.append(
+            {
+                "field": name,
+                "simulated": simulated_value,
+                "measured": measured_value,
+                "ratio": ratio,
+                "equal": both_nan or simulated_value == measured_value,
+            }
+        )
+    return rows
+
+
 @dataclass(frozen=True)
 class ScalingComparison:
     """Measured-vs-projected scaling of one engine/worker sweep.
@@ -327,6 +381,9 @@ class ScalingComparison:
     measured_qps: Dict[int, float]
     projected_qps: Dict[int, float]
     efficiency_floor: float
+    #: Optional field-for-field report diff (:func:`report_field_comparison`)
+    #: of one representative simulated/measured report pair.
+    report_fields: Optional[List[Dict[str, object]]] = field(default=None)
 
     def _speedup(self, curve: Mapping[int, float], count: int) -> float:
         base = curve[self.engine_counts[0]]
@@ -384,7 +441,7 @@ class ScalingComparison:
 
     def summary(self) -> Dict[str, object]:
         """Headline comparison for reports and JSON."""
-        return {
+        summary = {
             "engine_counts": list(self.engine_counts),
             "measured_knee": self.measured_knee,
             "projected_knee": self.projected_knee,
@@ -392,12 +449,17 @@ class ScalingComparison:
             "efficiency_floor": self.efficiency_floor,
             "rows": self.rows(),
         }
+        if self.report_fields is not None:
+            summary["report_fields"] = self.report_fields
+        return summary
 
 
 def compare_pool_scaling(
     measured_qps: Mapping[int, float],
     projected_qps: Mapping[int, float],
     efficiency_floor: float = 0.7,
+    simulated_report: Optional[object] = None,
+    measured_report: Optional[object] = None,
 ) -> ScalingComparison:
     """Compare a measured QPS-vs-engines curve against the projection.
 
@@ -406,7 +468,16 @@ def compare_pool_scaling(
     in ascending order, and speedups are normalised to each curve's
     smallest count so absolute units (simulated GPU seconds vs measured
     wall seconds) never have to be commensurate.
+
+    Passing a representative ``simulated_report`` / ``measured_report``
+    pair (both given, or neither) additionally attaches their
+    :func:`report_field_comparison` to the result's summary — the two
+    planes now share one stats surface, so the diff is field for field.
     """
+    if (simulated_report is None) != (measured_report is None):
+        raise ValueError(
+            "pass both simulated_report and measured_report, or neither"
+        )
     if not 0.0 < efficiency_floor <= 1.0:
         raise ValueError("efficiency_floor must be in (0, 1]")
     # set-then-sort is deterministic by construction: the intersection is
@@ -416,11 +487,15 @@ def compare_pool_scaling(
     counts = sorted(set(measured_qps) & set(projected_qps))
     if len(counts) < 2:
         raise ValueError("need at least two common engine counts to compare")
+    report_fields = None
+    if simulated_report is not None:
+        report_fields = report_field_comparison(simulated_report, measured_report)
     return ScalingComparison(
         engine_counts=counts,
         measured_qps={count: float(measured_qps[count]) for count in counts},
         projected_qps={count: float(projected_qps[count]) for count in counts},
         efficiency_floor=efficiency_floor,
+        report_fields=report_fields,
     )
 
 

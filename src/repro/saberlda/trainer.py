@@ -31,6 +31,9 @@ from ..core.model import LDAModel
 from ..core.tokens import TokenList
 from ..gpusim.cost_model import CostModel
 from ..gpusim.profiler import Profiler
+from ..telemetry.clock import DOMAIN_WALL
+from ..telemetry.metrics import MetricsRegistry, null_metrics
+from ..telemetry.tracer import Tracer, null_tracer
 from .config import SaberLDAConfig
 from .costing import WorkloadStats
 from .estep import WordSide, esca_estep
@@ -152,6 +155,12 @@ class SaberLDATrainer:
     """
 
     config: SaberLDAConfig
+    #: Disabled by default.  Pass ``Tracer(SimClock())`` to record one
+    #: span per iteration with its phase breakdown as children, all on
+    #: the *simulated* clock (the cumulative seconds the records carry),
+    #: plus one wall-domain ``fit`` span from the run's stopwatch.
+    tracer: Tracer = field(default_factory=null_tracer)
+    metrics: MetricsRegistry = field(default_factory=null_metrics)
     _rng: np.random.Generator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -218,8 +227,14 @@ class SaberLDATrainer:
             )
             phase_seconds = self._cost_iteration(stats, cost_model, profiler)
             iteration_seconds = sum(phase_seconds.values())
+            if self.tracer.enabled:
+                self._trace_iteration(iteration, cumulative, phase_seconds)
             cumulative += iteration_seconds
             profiler.record_iteration(iteration_seconds)
+            self.metrics.counter("train.iterations").inc()
+            self.metrics.counter("train.simulated_seconds").inc(iteration_seconds)
+            for phase, seconds in phase_seconds.items():
+                self.metrics.counter(f"train.phase.{phase}_seconds").inc(seconds)
 
             # --------------------------- Model quality -------------------------- #
             log_likelihood: Optional[float] = None
@@ -254,6 +269,19 @@ class SaberLDATrainer:
                 "seed": config.seed,
             },
         )
+        wall_seconds = watch.elapsed()
+        if self.tracer.enabled:
+            # One wall-domain span alongside the simulated ones: the
+            # measured cost of producing this simulated run.
+            self.tracer.add_span(
+                "fit",
+                0.0,
+                wall_seconds,
+                category="train",
+                domain=DOMAIN_WALL,
+                depth=0,
+                args={"iterations": config.num_iterations},
+            )
         return TrainingResult(
             model=model,
             doc_topic=doc_topic,
@@ -261,7 +289,7 @@ class SaberLDATrainer:
             profiler=profiler,
             config=config,
             num_tokens=tokens.num_tokens,
-            wall_seconds=watch.elapsed(),
+            wall_seconds=wall_seconds,
         )
 
     # ------------------------------------------------------------------ #
@@ -283,6 +311,33 @@ class SaberLDATrainer:
             tokens, doc_topic, word_topic, num_documents, self.config.params
         )
 
+    def _trace_iteration(
+        self, iteration: int, start_seconds: float, phase_seconds: Dict[str, float]
+    ) -> None:
+        """One simulated iteration span with its phases as children.
+
+        ``start_seconds`` is the cumulative simulated time *before* this
+        iteration — the same floats the iteration records carry, so the
+        trace and the history agree exactly.
+        """
+        tracer = self.tracer
+        total = sum(phase_seconds.values())
+        clock = tracer.clock
+        if hasattr(clock, "advance_to"):
+            clock.advance_to(max(clock.now(), start_seconds + total))
+        tracer.add_span(
+            "iteration",
+            start_seconds,
+            total,
+            category="train",
+            depth=0,
+            args={"iteration": iteration},
+        )
+        cursor = start_seconds
+        for phase, seconds in phase_seconds.items():
+            tracer.add_span(phase, cursor, seconds, category="phase", depth=1)
+            cursor += seconds
+
     def _cost_iteration(
         self, stats: WorkloadStats, cost_model: CostModel, profiler: Profiler
     ) -> Dict[str, float]:
@@ -300,7 +355,13 @@ def train_saberlda(
     vocabulary_size: int,
     config: SaberLDAConfig,
     vocabulary=None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> TrainingResult:
     """Convenience wrapper: construct a trainer and fit it."""
-    trainer = SaberLDATrainer(config=config)
+    trainer = SaberLDATrainer(
+        config=config,
+        tracer=tracer if tracer is not None else null_tracer(),
+        metrics=metrics if metrics is not None else null_metrics(),
+    )
     return trainer.fit(tokens, num_documents, vocabulary_size, vocabulary)

@@ -91,6 +91,7 @@ from .pool import (
 )
 from .queue import RequestQueue, ServingRequest
 from .scheduler import BatchScheduler, InferenceBatch, layout_batch
+from .stats import LatencyReportMixin
 from .server import (
     RequestOutcome,
     ServingReport,
@@ -116,6 +117,7 @@ __all__ = [
     "FrozenModelState",
     "InferenceBatch",
     "InferenceEngine",
+    "LatencyReportMixin",
     "POOL_STRATEGIES",
     "PoolBatchExecution",
     "RequestOutcome",

@@ -23,14 +23,20 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..telemetry.metrics import MetricsRegistry, null_metrics
+from ..telemetry.tracer import Tracer, null_tracer
 from .cache import ResultCache, document_digest
 from .engine import BatchExecution, InferenceEngine
 from .pool import EnginePool, PoolBatchExecution
 from .queue import RequestQueue, ServingRequest
 from .scheduler import BatchScheduler
+from .stats import LatencyReportMixin
 
 #: What one dispatched batch came back as (single engine or pool).
 AnyExecution = Union[BatchExecution, PoolBatchExecution]
+
+#: Fixed bucket edges of the dispatched-batch-size histogram (docs).
+_BATCH_DOCS_EDGES = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 
 @dataclass(frozen=True)
@@ -53,13 +59,19 @@ class RequestOutcome:
 
 
 @dataclass
-class ServingReport:
+class ServingReport(LatencyReportMixin):
     """Aggregate metrics of one simulated serving run.
 
     All counters are *per-run snapshots* taken when :meth:`TopicServer.serve`
     returns — serving more traffic through the same server afterwards does
     not retroactively change an earlier report, and a report never mixes in
     a previous run's admissions or cache lookups.
+
+    Latency statistics (``latency_percentile`` and friends) come from
+    :class:`~repro.serving.stats.LatencyReportMixin`, which pins one
+    percentile rule for every stats surface: NumPy linear interpolation,
+    a single sample answering every percentile with itself, duplicates
+    answered exactly, ``NaN`` on zero answered requests.
     """
 
     outcomes: List[RequestOutcome]
@@ -78,38 +90,6 @@ class ServingReport:
             and (include_cache_hits or outcome.status == "served")
         ]
         return np.asarray(values, dtype=np.float64)
-
-    def latency_percentile(self, percentile: float, include_cache_hits: bool = True) -> float:
-        """Latency percentile over answered requests (seconds).
-
-        With zero answered requests — e.g. an overload run where
-        admission control shed everything — there is no latency
-        distribution to take a percentile of, so this returns ``NaN``
-        (it is *not* a zero-latency server) rather than raising from an
-        empty-array percentile.
-        """
-        latencies = self._latencies(include_cache_hits)
-        if latencies.size == 0:
-            return float("nan")
-        return float(np.percentile(latencies, percentile))
-
-    @property
-    def p50_seconds(self) -> float:
-        """Median answered latency."""
-        return self.latency_percentile(50.0)
-
-    @property
-    def p99_seconds(self) -> float:
-        """Tail answered latency."""
-        return self.latency_percentile(99.0)
-
-    @property
-    def mean_seconds(self) -> float:
-        """Mean answered latency (``NaN`` with zero answered requests)."""
-        latencies = self._latencies()
-        if latencies.size == 0:
-            return float("nan")
-        return float(latencies.mean())
 
     @property
     def answered(self) -> int:
@@ -167,6 +147,13 @@ class TopicServer:
     scheduler: BatchScheduler = field(default_factory=BatchScheduler)
     queue: RequestQueue = field(default_factory=RequestQueue)
     cache: ResultCache = field(default_factory=ResultCache)
+    #: Disabled by default: pass ``Tracer(SimClock())`` /
+    #: ``MetricsRegistry()`` to observe a run.  The spans live on the
+    #: *simulated* clock (event times the serve loop already computes);
+    #: nothing here reads the machine clock, so an instrumented run's
+    #: trace — and its results — are bit-identical across executions.
+    tracer: Tracer = field(default_factory=null_tracer)
+    metrics: MetricsRegistry = field(default_factory=null_metrics)
 
     @property
     def num_lanes(self) -> int:
@@ -188,6 +175,8 @@ class TopicServer:
         outcomes: Dict[int, RequestOutcome] = {}
         batches: List[AnyExecution] = []
         pending_digests: Dict[int, str] = {}
+        tracing = self.tracer.enabled
+        metrics = self.metrics
 
         # Counter baselines: the report covers this run only, even when the
         # same server (and its cumulative scheduler/cache counters) serves
@@ -217,6 +206,7 @@ class TopicServer:
                     arrival_seconds=request.arrival_seconds,
                     status="rejected",
                 )
+                metrics.counter("serving.rejected").inc()
                 return
             digest = document_digest(request.word_ids)
             cached = self.cache.get(digest)
@@ -228,15 +218,30 @@ class TopicServer:
                     finish_seconds=request.arrival_seconds,
                     theta=cached,
                 )
+                metrics.counter("serving.cache_hits").inc()
+                if tracing:
+                    # Answered at arrival: a zero-duration request span, so
+                    # the trace's "request" multiset matches the report's
+                    # latency multiset (cache hits count as latency 0).
+                    self.tracer.add_span(
+                        "request",
+                        request.arrival_seconds,
+                        0.0,
+                        category="cache_hit",
+                        depth=1,
+                        args={"request_id": request.request_id},
+                    )
                 return
             if self.queue.offer(request):
                 pending_digests[request.request_id] = digest
+                metrics.counter("serving.admitted").inc()
             else:
                 outcomes[request.request_id] = RequestOutcome(
                     request_id=request.request_id,
                     arrival_seconds=request.arrival_seconds,
                     status="rejected",
                 )
+                metrics.counter("serving.rejected").inc()
 
         while (
             next_arrival < len(arrivals)
@@ -259,6 +264,11 @@ class TopicServer:
                 )
                 in_flight[lane] = execution
                 busy_until[lane] = now + execution.seconds
+                metrics.counter("serving.batches").inc()
+                metrics.counter("serving.documents").inc(len(batch.requests))
+                metrics.histogram(
+                    "serving.batch_docs", _BATCH_DOCS_EDGES
+                ).observe(len(batch.requests))
                 continue
 
             # Advance the clock to the next event.
@@ -311,7 +321,13 @@ class TopicServer:
                 batches.append(execution)
                 in_flight[lane] = None
                 busy_until[lane] = None
+                if tracing:
+                    self._trace_batch(execution, finish, lane)
 
+        if tracing:
+            clock = self.tracer.clock
+            if hasattr(clock, "advance_to"):
+                clock.advance_to(max(clock.now(), now, last_answer))
         ordered = [outcomes[request.request_id] for request in arrivals]
         first_arrival = arrivals[0].arrival_seconds if arrivals else 0.0
         makespan = max(last_answer, now) - first_arrival if arrivals else 0.0
@@ -327,6 +343,52 @@ class TopicServer:
             cache_hits=self.cache.hits - cache_hits_before,
             cache_lookups=self.cache.hits + self.cache.misses - cache_lookups_before,
         )
+
+    def _trace_batch(self, execution: AnyExecution, finish_seconds: float, lane: int) -> None:
+        """Record one completed batch on the simulated clock.
+
+        The spans reuse the exact event floats the report is built from
+        — a request span's duration *is* its outcome's latency — so the
+        trace summarizer reproduces the report's percentiles bit for
+        bit.  Batch spans sit on track ``lane + 1``; track 0 holds the
+        request-level view.
+        """
+        tracer = self.tracer
+        batch = execution.batch
+        start = finish_seconds - execution.seconds
+        clock = tracer.clock
+        if hasattr(clock, "advance_to"):
+            clock.advance_to(max(clock.now(), finish_seconds))
+        tracer.add_span(
+            "batch",
+            start,
+            execution.seconds,
+            category="serving",
+            track=lane + 1,
+            depth=1,
+            args={"batch_id": batch.batch_id, "docs": len(batch.requests), "lane": lane},
+        )
+        cursor = start
+        for phase, seconds in execution.phase_seconds.items():
+            tracer.add_span(phase, cursor, seconds, category="phase", track=lane + 1, depth=2)
+            cursor += seconds
+        for request in batch.requests:
+            tracer.add_span(
+                "queue_wait",
+                request.arrival_seconds,
+                batch.dispatch_seconds - request.arrival_seconds,
+                category="serving",
+                depth=2,
+                args={"request_id": request.request_id},
+            )
+            tracer.add_span(
+                "request",
+                request.arrival_seconds,
+                finish_seconds - request.arrival_seconds,
+                category="served",
+                depth=1,
+                args={"request_id": request.request_id},
+            )
 
 
 def poisson_arrivals(

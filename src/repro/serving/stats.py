@@ -1,0 +1,59 @@
+"""The one latency-statistics surface both serving reports share.
+
+The simulated :class:`~repro.serving.server.ServingReport` and the
+measured :class:`~repro.serving.workers.WallClockReport` describe the
+same quantity — answered-request latency — in different time domains,
+and the evaluation layer compares them field for field.  That comparison
+is only meaningful if both sides reduce their samples with *the same*
+rules, so the rules live once, here, on a mixin:
+
+* percentiles via :func:`repro.telemetry.metrics.pinned_percentile`
+  (NumPy linear interpolation; one sample answers every percentile with
+  itself; duplicates answer exactly; empty → ``NaN``);
+* ``mean_seconds`` is ``NaN`` with zero answered requests — a run that
+  answered nothing has *no* latency distribution, not a zero-latency
+  one.
+
+A report plugs in by implementing ``_latencies(include_cache_hits)``
+returning a float64 array of answered latencies in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..telemetry.metrics import pinned_percentile
+
+
+class LatencyReportMixin:
+    """Shared percentile/mean accessors over a ``_latencies`` hook."""
+
+    def _latencies(self, include_cache_hits: bool = True) -> np.ndarray:
+        raise NotImplementedError  # pragma: no cover - hook
+
+    def latency_percentile(self, percentile: float, include_cache_hits: bool = True) -> float:
+        """Latency percentile over answered requests (seconds).
+
+        With zero answered requests — e.g. an overload run where
+        admission control shed everything — this returns ``NaN`` rather
+        than raising from an empty-array percentile.
+        """
+        return pinned_percentile(self._latencies(include_cache_hits), percentile)
+
+    @property
+    def p50_seconds(self) -> float:
+        """Median answered latency."""
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99_seconds(self) -> float:
+        """Tail answered latency."""
+        return self.latency_percentile(99.0)
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean answered latency (``NaN`` with zero answered requests)."""
+        latencies = self._latencies()
+        if latencies.size == 0:
+            return float("nan")
+        return float(latencies.mean())

@@ -53,10 +53,14 @@ import numpy as np
 
 from ..kernels.backend import KernelBackend, resolve_backend
 from ..saberlda.config import PreprocessKind
+from ..telemetry.clock import WallClock
+from ..telemetry.metrics import MetricsRegistry, null_metrics
+from ..telemetry.tracer import Tracer, merge_worker_payloads, null_tracer
 from .foldin import FoldInResult, FrozenModelState, request_rng
 from .pool import PoolBatchExecution
 from .queue import ServingRequest
 from .scheduler import InferenceBatch
+from .stats import LatencyReportMixin
 
 #: Phase key wall-clock executions report under (there is no simulated
 #: phase breakdown on a real process — one measured number).
@@ -79,6 +83,7 @@ WIRE_MESSAGE_KINDS = frozenset(
         "boot_error",  # worker -> parent: (worker_id, traceback text)
         "ok",          # worker -> parent: (worker_id, batch_id, attempt, results, seconds)
         "error",       # worker -> parent: (worker_id, batch_id, attempt, traceback text)
+        "telemetry",   # worker -> parent: (worker_id, seq, spans wire, metrics wire)
     }
 )
 
@@ -105,6 +110,9 @@ class WorkerJobSpec:
     backend: str
     log_path: str
     mmap_mode: Optional[str] = "r"
+    #: Ship per-batch span/metric buffers back over the result queue
+    #: (one ``"telemetry"`` message immediately before each ``"ok"``).
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -135,6 +143,7 @@ class _InFlight:
     deadline: float
     attempts: int
     stall_seconds: float
+    trace_started: float = 0.0  # pool-tracer clock time of first submission
 
 
 def _worker_main(spec: WorkerJobSpec, task_queue, result_queue) -> None:
@@ -147,6 +156,12 @@ def _worker_main(spec: WorkerJobSpec, task_queue, result_queue) -> None:
     * worker -> parent: ``("ready", worker_id, info)`` once after boot,
       then ``("ok", worker_id, batch_id, attempt, results, seconds)`` or
       ``("error", worker_id, batch_id, attempt, traceback)`` per batch.
+    * with ``spec.trace``, a ``("telemetry", worker_id, seq, spans,
+      metrics)`` message precedes each ``"ok"`` on the same queue —
+      the queue is FIFO per sender, so the parent always holds a
+      batch's telemetry before it resolves the batch; ``seq`` counts
+      the worker's telemetry messages so the parent-side merge is
+      ordered even though workers interleave arbitrarily.
 
     ``stall`` is a fault-injection knob (seconds to sleep *before*
     executing) used by the fault-path tests and the slow-worker
@@ -179,6 +194,11 @@ def _worker_main(spec: WorkerJobSpec, task_queue, result_queue) -> None:
         log.close()
         return
 
+    tracer = Tracer(WallClock()) if spec.trace else null_tracer()
+    metrics = MetricsRegistry() if spec.trace else null_metrics()
+    telemetry_seq = 0
+    track = spec.worker_id + 1  # parent-side spans own track 0
+
     while True:
         message = task_queue.get()
         if message[0] == "stop":
@@ -189,11 +209,32 @@ def _worker_main(spec: WorkerJobSpec, task_queue, result_queue) -> None:
         try:
             if stall_seconds > 0:
                 time.sleep(stall_seconds)
-            results = [
-                _fold_in_payload(state, spec, request_id, word_ids)
-                for request_id, word_ids in payload
-            ]
+            with tracer.span("worker_batch", category="worker", track=track,
+                             batch_id=batch_id, docs=len(payload)):
+                results = []
+                for request_id, word_ids in payload:
+                    with tracer.span("fold_in", category="worker", track=track):
+                        results.append(
+                            _fold_in_payload(state, spec, request_id, word_ids)
+                        )
             seconds = time.monotonic() - started
+            metrics.counter("worker.batches").inc()
+            metrics.counter("worker.documents").inc(len(payload))
+            metrics.counter("worker.busy_seconds").inc(seconds)
+            if spec.trace:
+                # Telemetry first, then the answer: the queue is FIFO per
+                # sender, so the parent has a batch's spans in hand before
+                # it resolves (and possibly reports on) the batch.
+                result_queue.put(
+                    (
+                        "telemetry",
+                        spec.worker_id,
+                        telemetry_seq,
+                        tracer.drain_wire(),
+                        metrics.drain_wire(),
+                    )
+                )
+                telemetry_seq += 1
             result_queue.put(("ok", spec.worker_id, batch_id, attempt, results, seconds))
             log_line(
                 f"batch={batch_id} attempt={attempt} docs={len(payload)} "
@@ -257,6 +298,15 @@ class WorkerPool:
     inprocess_fallback: bool = True
     mmap_mode: Optional[str] = "r"
 
+    #: Disabled by default: pass ``Tracer(WallClock())`` /
+    #: ``MetricsRegistry()`` to observe the data plane.  Workers inherit
+    #: the choice through :attr:`WorkerJobSpec.trace` and ship their
+    #: buffers back over the ``"telemetry"`` wire kind; the parent
+    #: buffers them per worker and merges deterministically
+    #: (:meth:`drain_worker_telemetry`).
+    tracer: Tracer = field(default_factory=null_tracer)
+    metrics: MetricsRegistry = field(default_factory=null_metrics)
+
     # Conservation counters: admitted == answered + pending + failed.
     admitted: int = 0
     answered: int = 0
@@ -273,6 +323,8 @@ class WorkerPool:
     _next_batch_id: int = 0
     _started: bool = False
     _fallback_state: Optional[FrozenModelState] = None
+    # Buffered worker telemetry: worker_id -> [(seq, spans, metrics), ...].
+    _telemetry: Dict[int, List[Tuple[int, list, list]]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -321,6 +373,7 @@ class WorkerPool:
                 backend=self.backend.value,
                 log_path=os.path.join(self.log_dir, f"worker{worker_id:02d}.log"),
                 mmap_mode=self.mmap_mode,
+                trace=self.tracer.enabled,
             )
             task_queue = context.Queue()
             process = context.Process(
@@ -465,6 +518,7 @@ class WorkerPool:
         batch_id = self._next_batch_id
         self._next_batch_id += 1
         self.admitted += len(payload)
+        self.metrics.counter("pool.admitted").inc(len(payload))
         now = time.monotonic()
         flight = _InFlight(
             payload=payload,
@@ -474,6 +528,7 @@ class WorkerPool:
             deadline=now + self.batch_timeout_seconds,
             attempts=0,
             stall_seconds=stall_seconds,
+            trace_started=self.tracer.clock.now() if self.tracer.enabled else 0.0,
         )
         self._in_flight[batch_id] = flight
         target = worker_id if worker_id is not None else self._least_loaded()
@@ -544,6 +599,12 @@ class WorkerPool:
         kind = message[0]
         if kind in ("ready", "boot_error"):
             return None  # late boot messages carry no batch
+        if kind == "telemetry":
+            _kind, worker_id, seq, spans_wire, metrics_wire = message
+            self._telemetry.setdefault(worker_id, []).append(
+                (seq, spans_wire, metrics_wire)
+            )
+            return None
         _kind, worker_id, batch_id, attempt = message[:4]
         flight = self._in_flight.get(batch_id)
         self._outstanding[worker_id] = max(self._outstanding.get(worker_id, 1) - 1, 0)
@@ -553,14 +614,17 @@ class WorkerPool:
             results = [_to_fold_in(entry, self.num_sweeps) for entry in message[4]]
             del self._in_flight[batch_id]
             self.answered += len(flight.payload)
-            return BatchOutcome(
-                batch_id=batch_id,
-                request_ids=[request_id for request_id, _ in flight.payload],
-                results=results,
-                worker_id=worker_id,
-                attempts=flight.attempts,
-                latency_seconds=time.monotonic() - flight.first_submitted,
-                status="answered",
+            return self._record_outcome(
+                BatchOutcome(
+                    batch_id=batch_id,
+                    request_ids=[request_id for request_id, _ in flight.payload],
+                    results=results,
+                    worker_id=worker_id,
+                    attempts=flight.attempts,
+                    latency_seconds=time.monotonic() - flight.first_submitted,
+                    status="answered",
+                ),
+                flight,
             )
         # kind == "error": the worker survives (the fault was the batch's),
         # but the batch burns an attempt like any other failure.
@@ -590,20 +654,24 @@ class WorkerPool:
         target = self._least_loaded()
         if flight.attempts <= self.max_retries and target is not None:
             self.retries += 1
+            self.metrics.counter("pool.retries").inc()
             self._dispatch(batch_id, flight, target)
             return None
         if self.inprocess_fallback:
             return self._resolve_inprocess(batch_id)
         del self._in_flight[batch_id]
         self.failed += len(flight.payload)
-        return BatchOutcome(
-            batch_id=batch_id,
-            request_ids=[request_id for request_id, _ in flight.payload],
-            results=[],
-            worker_id=flight.worker_id,
-            attempts=flight.attempts,
-            latency_seconds=time.monotonic() - flight.first_submitted,
-            status="failed",
+        return self._record_outcome(
+            BatchOutcome(
+                batch_id=batch_id,
+                request_ids=[request_id for request_id, _ in flight.payload],
+                results=[],
+                worker_id=flight.worker_id,
+                attempts=flight.attempts,
+                latency_seconds=time.monotonic() - flight.first_submitted,
+                status="failed",
+            ),
+            flight,
         )
 
     def _resolve_inprocess(self, batch_id: int) -> BatchOutcome:
@@ -616,6 +684,7 @@ class WorkerPool:
         """
         flight = self._in_flight.pop(batch_id)
         self.fallback_batches += 1
+        self.metrics.counter("pool.fallback_batches").inc()
         results = []
         for request_id, word_ids in flight.payload:
             rng = request_rng(self.seed, request_id)
@@ -625,15 +694,77 @@ class WorkerPool:
                 )
             )
         self.answered += len(flight.payload)
-        return BatchOutcome(
-            batch_id=batch_id,
-            request_ids=[request_id for request_id, _ in flight.payload],
-            results=results,
-            worker_id=-1,
-            attempts=flight.attempts,
-            latency_seconds=time.monotonic() - flight.first_submitted,
-            status="answered",
+        return self._record_outcome(
+            BatchOutcome(
+                batch_id=batch_id,
+                request_ids=[request_id for request_id, _ in flight.payload],
+                results=results,
+                worker_id=-1,
+                attempts=flight.attempts,
+                latency_seconds=time.monotonic() - flight.first_submitted,
+                status="answered",
+            ),
+            flight,
         )
+
+    def _record_outcome(self, outcome: BatchOutcome, flight: _InFlight) -> BatchOutcome:
+        """Telemetry hook at every batch resolution (answered or failed).
+
+        The ``ipc_batch`` span and its per-request children reuse the
+        outcome's exact ``latency_seconds`` float — the same number the
+        wall-clock report aggregates — so the trace summarizer
+        reproduces the report's percentiles bit for bit.
+        """
+        counter = "pool.answered" if outcome.status == "answered" else "pool.failed"
+        self.metrics.counter(counter).inc(len(flight.payload))
+        if self.tracer.enabled:
+            self.tracer.add_span(
+                "ipc_batch",
+                flight.trace_started,
+                outcome.latency_seconds,
+                category="ipc",
+                depth=1,
+                args={
+                    "batch_id": outcome.batch_id,
+                    "worker": outcome.worker_id,
+                    "attempts": outcome.attempts,
+                    "docs": len(outcome.request_ids),
+                },
+            )
+            name = "request" if outcome.status == "answered" else "request_failed"
+            for request_id in outcome.request_ids:
+                self.tracer.add_span(
+                    name,
+                    flight.trace_started,
+                    outcome.latency_seconds,
+                    category="ipc",
+                    depth=2,
+                    args={"request_id": request_id},
+                )
+        return outcome
+
+    def drain_worker_telemetry(self) -> None:
+        """Merge every buffered worker span/metric payload into the pool's.
+
+        The merge is deterministic regardless of queue interleaving:
+        spans order by ``(worker_id, message seq, position)``
+        (:func:`repro.telemetry.tracer.merge_worker_payloads`) and
+        worker metrics are commutative deltas (counters, histograms).
+        A worker killed mid-run simply contributes the prefix of
+        messages that made it out.
+        """
+        if not self._telemetry:
+            return
+        spans_by_worker = {
+            worker_id: [(seq, spans) for seq, spans, _metrics in messages]
+            for worker_id, messages in self._telemetry.items()
+        }
+        self.tracer.absorb(merge_worker_payloads(spans_by_worker))
+        for worker_id in sorted(self._telemetry):
+            messages = sorted(self._telemetry[worker_id], key=lambda message: message[0])
+            for _seq, _spans, metrics_wire in messages:
+                self.metrics.merge_wire(metrics_wire)
+        self._telemetry.clear()
 
     def _kill_worker(self, worker_id: int) -> None:
         process = self._processes.get(worker_id)
@@ -704,13 +835,33 @@ class WallClockOutcome:
 
 
 @dataclass
-class WallClockReport:
-    """Measured (not simulated) serving metrics of one request stream."""
+class WallClockReport(LatencyReportMixin):
+    """Measured (not simulated) serving metrics of one request stream.
+
+    The report speaks the same stats surface as the simulated
+    :class:`~repro.serving.server.ServingReport` — identical percentile
+    and mean accessors through
+    :class:`~repro.serving.stats.LatencyReportMixin` (one pinned
+    percentile rule, ``NaN`` with zero answered requests) plus the
+    report fields the evaluation layer compares field for field
+    (``answered``, ``rejected``, ``rejection_rate``, ``sustained_qps``,
+    ``mean_batch_docs``, ``cache_hit_rate``).  A batch the fault path
+    terminally failed is this plane's "rejection": the request was
+    admitted but never answered.
+    """
 
     outcomes: List[WallClockOutcome]
     batches: List[BatchOutcome]
     wall_seconds: float
     pool_stats: Dict[str, object]
+
+    def _latencies(self, include_cache_hits: bool = True) -> np.ndarray:
+        values = [
+            outcome.latency_seconds
+            for outcome in self.outcomes
+            if outcome.status == "answered"
+        ]
+        return np.asarray(values, dtype=np.float64)
 
     @property
     def answered(self) -> int:
@@ -721,39 +872,55 @@ class WallClockReport:
         return sum(1 for outcome in self.outcomes if outcome.status == "failed")
 
     @property
+    def rejected(self) -> int:
+        """ServingReport-compatible alias: terminally failed requests."""
+        return self.failed
+
+    @property
+    def rejection_rate(self) -> float:
+        """Failed requests over the whole stream (0.0 on an empty run)."""
+        if not self.outcomes:
+            return 0.0
+        return self.failed / len(self.outcomes)
+
+    @property
     def sustained_qps(self) -> float:
         """Answered requests per measured wall-clock second."""
         if self.wall_seconds <= 0:
             return 0.0
         return self.answered / self.wall_seconds
 
-    def latency_percentile(self, percentile: float) -> float:
-        latencies = [
-            outcome.latency_seconds
-            for outcome in self.outcomes
-            if outcome.status == "answered"
-        ]
-        if not latencies:
-            return float("nan")
-        return float(np.percentile(np.asarray(latencies), percentile))
+    @property
+    def mean_batch_docs(self) -> float:
+        """Mean documents per dispatched micro-batch."""
+        if not self.batches:
+            return 0.0
+        return sum(len(batch.request_ids) for batch in self.batches) / len(self.batches)
 
     @property
-    def p50_seconds(self) -> float:
-        return self.latency_percentile(50.0)
-
-    @property
-    def p99_seconds(self) -> float:
-        return self.latency_percentile(99.0)
+    def cache_hit_rate(self) -> float:
+        """Always 0.0 — the wall-clock plane runs cacheless by design."""
+        return 0.0
 
     def summary(self) -> Dict[str, object]:
-        """Flat metrics dict for reports and benchmark JSON."""
+        """Flat metrics dict for reports and benchmark JSON.
+
+        Carries every key of ``ServingReport.summary()`` (so the two
+        planes diff field for field) plus the wall-clock-only extras
+        (``wall_seconds``, ``failed``, the ``pool_*`` counters).
+        """
         return {
             "answered": self.answered,
             "failed": self.failed,
+            "rejected": self.rejected,
+            "rejection_rate": self.rejection_rate,
             "wall_seconds": self.wall_seconds,
             "sustained_qps": self.sustained_qps,
             "p50_ms": self.p50_seconds * 1e3,
             "p99_ms": self.p99_seconds * 1e3,
+            "mean_ms": self.mean_seconds * 1e3,
+            "mean_batch_docs": self.mean_batch_docs,
+            "cache_hit_rate": self.cache_hit_rate,
             "num_batches": len(self.batches),
             **{f"pool_{key}": value for key, value in self.pool_stats.items()},
         }
@@ -775,6 +942,8 @@ def serve_wallclock(
     """
     if batch_docs < 1:
         raise ValueError("batch_docs must be >= 1")
+    tracing = pool.tracer.enabled
+    trace_started = pool.tracer.clock.now() if tracing else 0.0
     started = time.monotonic()
     batch_ids = [
         pool.submit(requests[start : start + batch_docs])
@@ -782,6 +951,18 @@ def serve_wallclock(
     ]
     batches = [pool.collect() for _ in batch_ids]
     wall_seconds = time.monotonic() - started
+    if tracing:
+        # The root span *is* the measured region (same duration float),
+        # so trace coverage of the run is exact by construction.
+        pool.tracer.add_span(
+            "serve_wallclock",
+            trace_started,
+            wall_seconds,
+            category="serving",
+            depth=0,
+            args={"requests": len(requests), "batch_docs": batch_docs},
+        )
+    pool.drain_worker_telemetry()
 
     outcomes: List[WallClockOutcome] = []
     for batch in batches:

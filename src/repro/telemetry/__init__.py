@@ -1,0 +1,67 @@
+"""Dual-clock structured tracing and metrics for the reproduction.
+
+The subsystem separates *what happened* (spans, counters) from *what
+time means* (an explicit :class:`Clock`): simulated roofline seconds
+(:class:`SimClock`, fed by the discrete-event loops) and measured wall
+seconds (:class:`WallClock`, routed through ``bench.timing``) share one
+span format, one registry, one pinned percentile rule and one pair of
+exporters.  Disabled tracers/registries are inert no-ops, so the
+instrumented hot paths run the same instruction stream as the
+uninstrumented tree — the identity tests pin digests and RNG end state
+with tracing on vs off.
+"""
+
+from .clock import DOMAIN_SIM, DOMAIN_WALL, Clock, SimClock, WallClock
+from .export import (
+    chrome_trace,
+    chrome_trace_events,
+    load_trace,
+    metrics_payload,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    null_metrics,
+    pinned_percentile,
+)
+from .summary import (
+    PhaseSummary,
+    format_phase_table,
+    run_seconds,
+    span_coverage,
+    summarize_spans,
+)
+from .tracer import Span, Tracer, merge_worker_payloads, null_tracer
+
+__all__ = [
+    "DOMAIN_SIM",
+    "DOMAIN_WALL",
+    "Clock",
+    "SimClock",
+    "WallClock",
+    "Span",
+    "Tracer",
+    "null_tracer",
+    "merge_worker_payloads",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "null_metrics",
+    "pinned_percentile",
+    "PhaseSummary",
+    "summarize_spans",
+    "span_coverage",
+    "run_seconds",
+    "format_phase_table",
+    "chrome_trace",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "load_trace",
+    "metrics_payload",
+    "write_metrics_json",
+]

@@ -1,0 +1,107 @@
+"""``python -m repro.telemetry`` — summarize a trace file on the console.
+
+Reads a Chrome trace-event JSON (as written by
+:func:`repro.telemetry.export.write_chrome_trace`) and prints a
+per-phase table: count, total seconds, p50/p99 and share of the run,
+using the same pinned percentile rule as the serving reports — so the
+``request`` row reproduces a report's p50/p99 from the trace alone.
+
+Exit status: 0 on success, 2 on a missing/invalid trace file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .export import load_trace
+from .summary import format_phase_table, run_seconds, summarize_spans
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Summarize a Chrome trace produced by repro.telemetry.",
+    )
+    parser.add_argument("trace", help="path to a trace.json file")
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        help="optional metrics.json to print alongside the phase table",
+    )
+    parser.add_argument(
+        "--domain",
+        choices=("sim", "wall"),
+        default=None,
+        help="restrict the summary to one clock domain",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as JSON instead of a table",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        spans = load_trace(args.trace)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: could not read trace {args.trace!r}: {error}", file=sys.stderr)
+        return 2
+    if args.domain is not None:
+        spans = [span for span in spans if span.domain == args.domain]
+    summaries = summarize_spans(spans)
+
+    metrics_flat = None
+    if args.metrics is not None:
+        try:
+            with open(args.metrics, "r", encoding="utf-8") as handle:
+                metrics_flat = json.load(handle).get("metrics", {})
+        except (OSError, ValueError) as error:
+            print(
+                f"error: could not read metrics {args.metrics!r}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.json:
+        payload = {
+            "trace": args.trace,
+            "num_spans": len(spans),
+            "phases": [
+                {
+                    "name": summary.name,
+                    "domain": summary.domain,
+                    "count": summary.count,
+                    "total_seconds": summary.total_seconds,
+                    "p50_seconds": summary.p50_seconds,
+                    "p99_seconds": summary.p99_seconds,
+                    "share_of_run": summary.share_of_run,
+                }
+                for summary in summaries
+            ],
+        }
+        if metrics_flat is not None:
+            payload["metrics"] = metrics_flat
+        print(json.dumps(payload, indent=1))
+        return 0
+
+    print(f"trace: {args.trace} ({len(spans)} spans)")
+    for domain in dict.fromkeys(span.domain for span in spans):
+        extent = run_seconds(spans, domain)
+        print(f"  {domain} run: {extent:.6f} s")
+    print()
+    print(format_phase_table(summaries))
+    if metrics_flat is not None:
+        print()
+        print("metrics:")
+        for name, value in metrics_flat.items():
+            if isinstance(value, dict):
+                print(f"  {name}: count={value.get('count')} counts={value.get('counts')}")
+            else:
+                print(f"  {name}: {value}")
+    return 0

@@ -1,0 +1,87 @@
+"""The two time domains a trace can live in, behind one ``Clock`` protocol.
+
+Every span records *seconds since some origin*; what those seconds mean
+is the clock's business:
+
+* :class:`SimClock` — deterministic simulated seconds.  It never reads
+  the machine clock: the discrete-event loops (``TopicServer.serve``,
+  the trainers' cumulative iteration times) *feed* it their event times
+  via :meth:`SimClock.advance_to`.  Two runs of the same workload
+  produce byte-identical simulated traces.
+* :class:`WallClock` — measured seconds since the clock was created,
+  routed through :class:`repro.bench.timing.Stopwatch`, the one
+  sanctioned wall-clock read (detlint DET003).  ``repro.telemetry`` is
+  deliberately *not* on the DET003 allowlist: if a raw ``time.*`` call
+  ever creeps in here, the linter fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+from ..bench.timing import Stopwatch, stopwatch
+
+#: Domain tag of simulated-seconds spans.
+DOMAIN_SIM = "sim"
+#: Domain tag of measured wall-clock spans.
+DOMAIN_WALL = "wall"
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """What a tracer needs from a time source: a domain and ``now()``."""
+
+    domain: str
+
+    def now(self) -> float:
+        """Seconds since the clock's origin."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class SimClock:
+    """Deterministic clock fed explicitly from simulated event times.
+
+    The owner of the simulation advances it (monotonically) at every
+    event; nothing here ever touches the machine clock, so a simulated
+    trace is bit-identical across runs.
+    """
+
+    current: float = 0.0
+
+    domain = DOMAIN_SIM
+
+    def now(self) -> float:
+        return self.current
+
+    def advance_to(self, seconds: float) -> None:
+        """Move the clock forward to ``seconds`` (never backwards)."""
+        if seconds < self.current:
+            raise ValueError(
+                f"SimClock cannot run backwards: at {self.current}, "
+                f"asked to advance to {seconds}"
+            )
+        self.current = float(seconds)
+
+
+class WallClock:
+    """Measured seconds since construction, via ``bench.timing.Stopwatch``.
+
+    The stopwatch is the origin: ``now()`` is its ``elapsed()``.  Passing
+    an existing watch aligns several clocks (e.g. a bench harness and the
+    tracer it feeds) on one origin.
+    """
+
+    domain = DOMAIN_WALL
+
+    def __init__(self, watch: Optional[Stopwatch] = None) -> None:
+        self._watch = watch if watch is not None else stopwatch()
+
+    @property
+    def watch(self) -> Stopwatch:
+        """The underlying stopwatch (shared origin for sibling clocks)."""
+        return self._watch
+
+    def now(self) -> float:
+        return self._watch.elapsed()

@@ -1,0 +1,123 @@
+"""Exporters: Chrome trace-event JSON (Perfetto-loadable) and flat metrics JSON.
+
+The trace format is the Chrome ``traceEvents`` JSON object form —
+complete (``"ph": "X"``) events with microsecond ``ts``/``dur`` —
+loadable directly in https://ui.perfetto.dev or ``chrome://tracing``.
+The two clock domains map to two *processes* (pid 0 = simulated
+seconds, pid 1 = wall-clock seconds) so their incommensurate time axes
+never interleave on one track; a span's ``track`` (lane, worker,
+device) is its thread id within the domain.
+
+:func:`load_trace` parses the events back into :class:`Span` records,
+which is what the ``python -m repro.telemetry`` summarizer runs on — the
+round trip is exact for everything the summary reads (name, category,
+times, domain, track).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional
+
+from .clock import DOMAIN_SIM, DOMAIN_WALL
+from .metrics import MetricsRegistry
+from .tracer import Span
+
+#: Chrome trace pid per clock domain (two processes, two time axes).
+DOMAIN_PIDS = {DOMAIN_SIM: 0, DOMAIN_WALL: 1}
+_PID_DOMAINS = {pid: domain for domain, pid in DOMAIN_PIDS.items()}
+
+_SECONDS_TO_US = 1e6
+
+
+def chrome_trace_events(spans: Iterable[Span]) -> List[dict]:
+    """Spans as Chrome complete events, plus process-name metadata."""
+    events: List[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": f"{domain} seconds"},
+        }
+        for domain, pid in DOMAIN_PIDS.items()
+    ]
+    for span in spans:
+        event = {
+            "name": span.name,
+            "cat": span.category or span.domain,
+            "ph": "X",
+            "ts": span.start_seconds * _SECONDS_TO_US,
+            "dur": span.duration_seconds * _SECONDS_TO_US,
+            "pid": DOMAIN_PIDS.get(span.domain, 1),
+            "tid": span.track,
+            "args": span.args_dict(),
+        }
+        events.append(event)
+    return events
+
+
+def chrome_trace(spans: Iterable[Span], metadata: Optional[Dict[str, object]] = None) -> dict:
+    """The full trace object: ``traceEvents`` plus optional run metadata."""
+    trace = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        trace["otherData"] = dict(metadata)
+    return trace
+
+
+def write_chrome_trace(
+    path: str, spans: Iterable[Span], metadata: Optional[Dict[str, object]] = None
+) -> str:
+    """Write the trace JSON and return the path."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(spans, metadata), handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def load_trace(path: str) -> List[Span]:
+    """Parse a Chrome trace file back into spans (complete events only)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        trace = json.load(handle)
+    events = trace["traceEvents"] if isinstance(trace, dict) else trace
+    spans: List[Span] = []
+    for seq, event in enumerate(events):
+        if event.get("ph") != "X":
+            continue
+        spans.append(
+            Span(
+                name=event["name"],
+                start_seconds=float(event["ts"]) / _SECONDS_TO_US,
+                duration_seconds=float(event.get("dur", 0.0)) / _SECONDS_TO_US,
+                domain=_PID_DOMAINS.get(int(event.get("pid", 1)), DOMAIN_WALL),
+                category=event.get("cat", ""),
+                track=int(event.get("tid", 0)),
+                seq=seq,
+                args=tuple((event.get("args") or {}).items()),
+            )
+        )
+    return spans
+
+
+def metrics_payload(registry: MetricsRegistry, metadata: Optional[Dict[str, object]] = None) -> dict:
+    """The flat metrics JSON object (registration order preserved)."""
+    payload = {"metrics": registry.as_dict()}
+    if metadata:
+        payload["metadata"] = dict(metadata)
+    return payload
+
+
+def write_metrics_json(
+    path: str, registry: MetricsRegistry, metadata: Optional[Dict[str, object]] = None
+) -> str:
+    """Write the flat metrics JSON and return the path."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(metrics_payload(registry, metadata), handle, indent=1)
+        handle.write("\n")
+    return path

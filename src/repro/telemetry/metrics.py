@@ -1,0 +1,253 @@
+"""Deterministic counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat, insertion-ordered namespace of
+metrics.  Nothing in here reads a clock: values come exclusively from
+the instrumented code (simulated seconds, counts, measured latencies it
+was *handed*), so the registry of a simulated run is bit-identical
+across executions.
+
+The bucket rule and the percentile rule are pinned here because two
+report surfaces (:class:`repro.serving.ServingReport` and the wall-clock
+report) and the trace summarizer must agree on them exactly:
+
+* :func:`pinned_percentile` — NumPy's default *linear interpolation*
+  between closest ranks.  A single sample is every percentile of its
+  own distribution; duplicated values return the duplicated value
+  exactly; an empty input returns ``NaN`` (no distribution, not a
+  zero).
+* :class:`Histogram` buckets are **right-inclusive**: with edges
+  ``(e0, e1, ..., en)``, bucket ``i`` counts values in ``(e[i-1], e[i]]``,
+  bucket 0 is ``(-inf, e0]`` and the overflow bucket ``(en, inf)``.  A
+  value landing exactly on an edge belongs to the bucket it bounds
+  *above* — pinned by test, because boundary drift between processes
+  would break cross-process histogram merges.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+
+def pinned_percentile(values: Sequence[float], percentile: float) -> float:
+    """The one percentile rule every stats surface shares.
+
+    Linear interpolation between closest ranks (NumPy's default): for
+    ``n`` sorted samples the percentile ``q`` sits at fractional rank
+    ``q/100 * (n - 1)`` and interpolates linearly between its
+    neighbours.  Consequences worth pinning: one sample answers every
+    percentile with itself; duplicates answer with the duplicated value
+    bit-exactly; an empty input has no distribution and returns ``NaN``.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        return float("nan")
+    return float(np.percentile(array, percentile))
+
+
+@dataclass
+class Counter:
+    """A monotonically accumulating value (floats allowed: seconds add up)."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins level (queue depth, live workers)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Fixed, right-inclusive buckets over ascending edges.
+
+    ``counts`` has ``len(edges) + 1`` entries; see the module docstring
+    for the pinned boundary rule.
+    """
+
+    name: str
+    edges: Tuple[float, ...]
+    counts: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise ValueError("a histogram needs at least one bucket edge")
+        if any(after <= before for before, after in zip(self.edges, self.edges[1:], strict=False)):
+            raise ValueError("histogram edges must be strictly ascending")
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) + 1)
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return sum(self.counts)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+        }
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        return None
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Insertion-ordered metric namespace; disabled instances are inert.
+
+    ``counter`` / ``gauge`` / ``histogram`` get-or-create by name (a
+    name keeps its first-registered type; mixing types is an error), so
+    call sites never need to pre-declare.  :meth:`as_dict` flattens to a
+    deterministic JSON-ready dict in registration order.
+    """
+
+    __slots__ = ("enabled", "_metrics")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: Dict[str, Metric] = {}
+
+    def counter(self, name: str) -> "Counter | _NullCounter":
+        if not self.enabled:
+            return _NULL_COUNTER
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Counter(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Counter):
+            raise TypeError(f"{name!r} is already a {type(metric).__name__}")
+        return metric
+
+    def gauge(self, name: str) -> "Gauge | _NullGauge":
+        if not self.enabled:
+            return _NULL_GAUGE
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Gauge(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Gauge):
+            raise TypeError(f"{name!r} is already a {type(metric).__name__}")
+        return metric
+
+    def histogram(self, name: str, edges: Sequence[float]) -> "Histogram | _NullHistogram":
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, tuple(float(edge) for edge in edges))
+            self._metrics[name] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(f"{name!r} is already a {type(metric).__name__}")
+        return metric
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> List[str]:
+        """Metric names in registration order."""
+        return list(self._metrics)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat JSON-ready view: scalars for counters/gauges, dicts for histograms."""
+        flat: Dict[str, object] = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Histogram):
+                flat[name] = metric.as_dict()
+            else:
+                flat[name] = metric.value
+        return flat
+
+    # ------------------------------------------------------------------ #
+    # IPC wire form (worker -> parent)
+    # ------------------------------------------------------------------ #
+    def drain_wire(self) -> List[tuple]:
+        """Flatten to tagged tuples and reset (workers ship this per batch).
+
+        Counters and histogram counts reset so successive messages carry
+        *deltas* (the parent sums them); gauges carry their level.
+        """
+        wire: List[tuple] = []
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Counter):
+                wire.append(("counter", name, metric.value))
+                metric.value = 0.0
+            elif isinstance(metric, Gauge):
+                wire.append(("gauge", name, metric.value))
+            else:
+                wire.append(("histogram", name, tuple(metric.edges), tuple(metric.counts)))
+                metric.counts = [0] * (len(metric.edges) + 1)
+        return wire
+
+    def merge_wire(self, wire: Sequence[tuple]) -> None:
+        """Fold one worker message in: counters add, gauges overwrite,
+        histograms add bucket-wise (same edges required)."""
+        if not self.enabled:
+            return
+        for entry in wire:
+            kind = entry[0]
+            if kind == "counter":
+                _kind, name, value = entry
+                self.counter(name).inc(value)
+            elif kind == "gauge":
+                _kind, name, value = entry
+                self.gauge(name).set(value)
+            elif kind == "histogram":
+                _kind, name, edges, counts = entry
+                histogram = self.histogram(name, edges)
+                if tuple(histogram.edges) != tuple(edges):
+                    raise ValueError(
+                        f"histogram {name!r} edges disagree across processes"
+                    )
+                for index, count in enumerate(counts):
+                    histogram.counts[index] += int(count)
+            else:
+                raise ValueError(f"unknown metrics wire entry kind {kind!r}")
+
+
+def null_metrics() -> MetricsRegistry:
+    """A disabled registry: every operation is a no-op."""
+    return MetricsRegistry(enabled=False)

@@ -1,0 +1,134 @@
+"""Per-phase trace summaries: count, total, p50/p99, share of the run.
+
+The summarizer groups spans by name (within one clock domain) in
+first-seen order and reduces each group with the *pinned* percentile
+rule (:func:`repro.telemetry.metrics.pinned_percentile`) — the same rule
+the serving reports use, so a summary over ``"request"`` spans
+reproduces a report's p50/p99 bit for bit from the trace alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .metrics import pinned_percentile
+from .tracer import Span
+
+
+@dataclass(frozen=True)
+class PhaseSummary:
+    """One span name's aggregate over a trace."""
+
+    name: str
+    domain: str
+    count: int
+    total_seconds: float
+    p50_seconds: float
+    p99_seconds: float
+    share_of_run: float
+
+    def row(self) -> List[object]:
+        """A report-table row (matches :func:`format_phase_table` headers)."""
+        return [
+            self.name,
+            self.domain,
+            self.count,
+            f"{self.total_seconds:.6f}",
+            f"{self.p50_seconds * 1e3:.3f}",
+            f"{self.p99_seconds * 1e3:.3f}",
+            f"{self.share_of_run:.1%}",
+        ]
+
+
+def run_seconds(spans: Iterable[Span], domain: Optional[str] = None) -> float:
+    """The run's extent in one domain: first span start to last span end."""
+    starts = []
+    ends = []
+    for span in spans:
+        if domain is not None and span.domain != domain:
+            continue
+        starts.append(span.start_seconds)
+        ends.append(span.end_seconds)
+    if not starts:
+        return 0.0
+    return max(ends) - min(starts)
+
+
+def summarize_spans(
+    spans: Iterable[Span],
+    total_seconds: Optional[float] = None,
+) -> List[PhaseSummary]:
+    """Aggregate spans into per-(domain, name) phase rows.
+
+    ``share_of_run`` divides each phase's total by ``total_seconds``
+    when given, else by that *domain's* own extent — nested spans can
+    therefore sum past 100%, which is correct: the share answers "what
+    fraction of the run was this phase live", not "how does the pie
+    split".
+    """
+    spans = list(spans)
+    groups: Dict[Tuple[str, str], List[Span]] = {}
+    for span in spans:
+        groups.setdefault((span.domain, span.name), []).append(span)
+    extents = {
+        domain: run_seconds(spans, domain)
+        for domain in dict.fromkeys(span.domain for span in spans)
+    }
+    summaries: List[PhaseSummary] = []
+    for (domain, name), members in groups.items():
+        durations = [span.duration_seconds for span in members]
+        denominator = total_seconds if total_seconds is not None else extents[domain]
+        total = sum(durations)
+        summaries.append(
+            PhaseSummary(
+                name=name,
+                domain=domain,
+                count=len(members),
+                total_seconds=total,
+                p50_seconds=pinned_percentile(durations, 50.0),
+                p99_seconds=pinned_percentile(durations, 99.0),
+                share_of_run=total / denominator if denominator > 0 else 0.0,
+            )
+        )
+    return summaries
+
+
+def span_coverage(spans: Iterable[Span], measured_seconds: float, domain: str = "wall") -> float:
+    """Fraction of ``measured_seconds`` covered by top-level spans.
+
+    Top-level (depth 0) spans of the given domain are merged into a
+    union of intervals first, so overlapping roots never double-count.
+    This is the acceptance metric for "the trace explains the run":
+    a full root span over a measured region scores ~1.0.
+    """
+    if measured_seconds <= 0:
+        return 0.0
+    intervals = sorted(
+        (span.start_seconds, span.end_seconds)
+        for span in spans
+        if span.domain == domain and span.depth == 0 and span.duration_seconds > 0
+    )
+    covered = 0.0
+    cursor: Optional[float] = None
+    reach = 0.0
+    for start, end in intervals:
+        if cursor is None or start > reach:
+            if cursor is not None:
+                covered += reach - cursor
+            cursor, reach = start, end
+        else:
+            reach = max(reach, end)
+    if cursor is not None:
+        covered += reach - cursor
+    return covered / measured_seconds
+
+
+def format_phase_table(summaries: Iterable[PhaseSummary]) -> str:
+    """Render phase rows with the shared benchmark table formatter."""
+    from ..bench.reporting import format_table
+
+    return format_table(
+        ["Phase", "Domain", "Count", "Total (s)", "p50 (ms)", "p99 (ms)", "% of run"],
+        [summary.row() for summary in summaries],
+    )

@@ -1,0 +1,291 @@
+"""Hierarchical spans over an explicit clock, with an IPC-safe wire form.
+
+A :class:`Tracer` collects :class:`Span` records — named intervals in
+one clock domain (simulated or wall seconds) — either as live context
+managers (``with tracer.span("estep"):``, timed on the tracer's clock)
+or as explicit intervals (:meth:`Tracer.add_span`, for event-driven
+simulations that know a span's start and duration exactly).
+
+Design constraints, in order:
+
+* **Zero overhead when disabled.**  A disabled tracer records nothing,
+  never reads its clock, and ``span()`` returns one shared no-op
+  context; hot paths additionally guard on :attr:`Tracer.enabled` so a
+  disabled run executes the same instruction stream as an
+  uninstrumented one (the identity tests pin digests and RNG end
+  state).
+* **Determinism.**  Spans are stored in record order with a
+  monotonically increasing ``seq``; nothing iterates a set or reads a
+  clock the caller did not supply.
+* **IPC safety.**  A span flattens to a plain tuple of primitives
+  (:meth:`Span.to_wire`) so worker processes can ship their buffers
+  over the multiprocessing result queue without pickling live objects,
+  and the parent merges them with a stable ``(worker, seq)`` order
+  (:func:`merge_worker_payloads`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .clock import DOMAIN_SIM, Clock
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval in one clock domain.
+
+    ``track`` is the lane/worker/device the span belongs to (the Chrome
+    trace thread id), ``depth`` its nesting level at record time, and
+    ``seq`` its position in the tracer's record order.  ``args`` is a
+    tuple of ``(key, value)`` pairs (not a dict) so the record stays
+    frozen and hashable.
+    """
+
+    name: str
+    start_seconds: float
+    duration_seconds: float
+    domain: str = DOMAIN_SIM
+    category: str = ""
+    track: int = 0
+    depth: int = 0
+    seq: int = 0
+    args: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def end_seconds(self) -> float:
+        """The span's end in its clock domain."""
+        return self.start_seconds + self.duration_seconds
+
+    def args_dict(self) -> Dict[str, object]:
+        """The span's arguments as a (insertion-ordered) dict."""
+        return dict(self.args)
+
+    def to_wire(self) -> tuple:
+        """Flatten to a tuple of primitives for the IPC result queue."""
+        return (
+            self.name,
+            float(self.start_seconds),
+            float(self.duration_seconds),
+            self.domain,
+            self.category,
+            int(self.track),
+            int(self.depth),
+            int(self.seq),
+            tuple(self.args),
+        )
+
+    @staticmethod
+    def from_wire(entry: Sequence) -> "Span":
+        """Rebuild a span from :meth:`to_wire` output."""
+        name, start, duration, domain, category, track, depth, seq, args = entry
+        return Span(
+            name=name,
+            start_seconds=float(start),
+            duration_seconds=float(duration),
+            domain=domain,
+            category=category,
+            track=int(track),
+            depth=int(depth),
+            seq=int(seq),
+            args=tuple((key, value) for key, value in args),
+        )
+
+
+class _NullSpan:
+    """The shared no-op context a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager timing one span on the tracer's clock."""
+
+    __slots__ = ("_tracer", "_name", "_category", "_track", "_args", "_start", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, track: int, args):
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._track = track
+        self._args = args
+
+    def __enter__(self) -> None:
+        self._start = self._tracer.clock.now()
+        self._depth = len(self._tracer._stack)
+        self._tracer._stack.append(self._name)
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        tracer = self._tracer
+        tracer._stack.pop()
+        tracer.add_span(
+            self._name,
+            self._start,
+            tracer.clock.now() - self._start,
+            category=self._category,
+            track=self._track,
+            depth=self._depth,
+            args=self._args,
+        )
+        return False
+
+
+class Tracer:
+    """Collects spans; disabled instances are inert no-ops.
+
+    One tracer has one clock (and hence one *default* domain); spans
+    merged from other processes or domains keep their own domain tag, so
+    a single trace file can hold both simulated and wall-clock tracks.
+    """
+
+    __slots__ = ("clock", "enabled", "spans", "_seq", "_stack")
+
+    def __init__(self, clock: Optional[Clock] = None, enabled: bool = True) -> None:
+        if enabled and clock is None:
+            raise ValueError("an enabled Tracer needs a clock")
+        self.clock = clock
+        self.enabled = enabled
+        self.spans: List[Span] = []
+        self._seq = 0
+        self._stack: List[str] = []
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth of live ``span()`` contexts."""
+        return len(self._stack)
+
+    def span(self, name: str, category: str = "", track: int = 0, **args):
+        """A context manager timing its body on the tracer's clock."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _LiveSpan(self, name, category, track, tuple(args.items()))
+
+    def add_span(
+        self,
+        name: str,
+        start_seconds: float,
+        duration_seconds: float,
+        *,
+        category: str = "",
+        track: int = 0,
+        depth: Optional[int] = None,
+        domain: Optional[str] = None,
+        args: object = None,
+    ) -> None:
+        """Record one explicit interval (event-driven simulations).
+
+        ``domain`` defaults to the tracer clock's domain; ``depth`` to
+        the current live-span nesting.  ``args`` may be a dict or a
+        tuple of pairs.
+        """
+        if not self.enabled:
+            return
+        if args is None:
+            pairs: Tuple[Tuple[str, object], ...] = ()
+        elif isinstance(args, dict):
+            pairs = tuple(args.items())
+        else:
+            pairs = tuple(args)
+        self.spans.append(
+            Span(
+                name=name,
+                start_seconds=float(start_seconds),
+                duration_seconds=float(duration_seconds),
+                domain=domain if domain is not None else self.clock.domain,
+                category=category,
+                track=track,
+                depth=depth if depth is not None else len(self._stack),
+                seq=self._seq,
+                args=pairs,
+            )
+        )
+        self._seq += 1
+
+    def absorb(self, spans: Iterable[Span]) -> None:
+        """Append foreign spans (e.g. a merged worker buffer) in order.
+
+        Each absorbed span gets a fresh ``seq`` so the combined record
+        order stays strictly increasing and deterministic.
+        """
+        if not self.enabled:
+            return
+        for span in spans:
+            self.spans.append(
+                Span(
+                    name=span.name,
+                    start_seconds=span.start_seconds,
+                    duration_seconds=span.duration_seconds,
+                    domain=span.domain,
+                    category=span.category,
+                    track=span.track,
+                    depth=span.depth,
+                    seq=self._seq,
+                    args=span.args,
+                )
+            )
+            self._seq += 1
+
+    def drain_wire(self) -> List[tuple]:
+        """Flatten and clear the buffer (workers ship this per batch)."""
+        wire = [span.to_wire() for span in self.spans]
+        self.spans.clear()
+        return wire
+
+
+def null_tracer() -> Tracer:
+    """A disabled tracer: every operation is a no-op."""
+    return Tracer(clock=None, enabled=False)
+
+
+def merge_worker_payloads(
+    payloads: Mapping[int, Sequence[Tuple[int, Sequence[tuple]]]],
+) -> List[Span]:
+    """Deterministically merge per-worker span buffers.
+
+    ``payloads`` maps ``worker_id -> [(seq, wire_spans), ...]`` as
+    drained off the result queue.  The merged order is total and stable:
+    ascending ``(worker_id, message seq, position in message)`` — it
+    never depends on arrival interleaving, and a worker killed mid-run
+    simply contributes the prefix of messages that made it out.
+
+    Merged spans are demoted one nesting level (``depth + 1``): in the
+    combined trace they sit *under* the parent's own top-level spans
+    (the IPC round-trips that carried them), so depth-0 accounting —
+    :func:`repro.telemetry.summary.span_coverage` — stays the parent's
+    view of the run.  Worker timestamps keep their process-local origin
+    (each worker's clock starts at its own boot); their own track keeps
+    them off the parent's time axis rows.
+    """
+    merged: List[Span] = []
+    for worker_id in sorted(payloads):
+        messages = sorted(payloads[worker_id], key=lambda message: message[0])
+        for _seq, wire_spans in messages:
+            for entry in wire_spans:
+                span = Span.from_wire(entry)
+                merged.append(
+                    Span(
+                        name=span.name,
+                        start_seconds=span.start_seconds,
+                        duration_seconds=span.duration_seconds,
+                        domain=span.domain,
+                        category=span.category,
+                        # A worker that did not tag its track gets its id,
+                        # so merged tracks never collide with the parent's.
+                        track=span.track if span.track != 0 else worker_id,
+                        depth=span.depth + 1,
+                        seq=span.seq,
+                        args=span.args,
+                    )
+                )
+    return merged

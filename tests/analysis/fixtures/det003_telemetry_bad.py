@@ -1,0 +1,22 @@
+"""DET003 fixture: a tracing clock reading the machine clock directly.
+
+Checked under the virtual path ``src/repro/telemetry/fixture.py`` —
+the telemetry package is deliberately *not* on the timing allowlist,
+and gets its own diagnostic pointing at ``telemetry.WallClock``.
+"""
+
+import time
+
+
+class RawWallClock:
+    domain = "wall"
+
+    def __init__(self):
+        self.origin = time.perf_counter()
+
+    def now(self):
+        return time.perf_counter() - self.origin
+
+
+def stamp_span(name):
+    return (name, time.monotonic())

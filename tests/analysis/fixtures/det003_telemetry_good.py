@@ -1,0 +1,23 @@
+"""DET003 fixture, fixed form: tracing time routed through bench.timing.
+
+The sanctioned shape: ``telemetry.WallClock`` wraps a
+``repro.bench.timing.Stopwatch``, so the one raw clock read lives in
+the allowlisted timing module and every span start/end flows through
+``clock.now()``.
+"""
+
+from repro.bench.timing import stopwatch
+
+
+class StopwatchWallClock:
+    domain = "wall"
+
+    def __init__(self, watch=None):
+        self._watch = watch if watch is not None else stopwatch()
+
+    def now(self):
+        return self._watch.elapsed()
+
+
+def stamp_span(name, clock):
+    return (name, clock.now())

@@ -1,0 +1,14 @@
+"""IPC002 fixture: a telemetry message whose kind is not declared.
+
+The worker ships span buffers over the result queue, but the module's
+``WIRE_MESSAGE_KINDS`` whitelist was never extended with the new
+``"telemetry"`` tag — the exact drift the rule exists to catch.
+"""
+
+import multiprocessing
+
+WIRE_MESSAGE_KINDS = frozenset({"batch", "ok", "stop"})
+
+
+def ship_telemetry(result_queue: multiprocessing.Queue, worker_id, seq, spans):
+    result_queue.put(("telemetry", worker_id, seq, spans))

@@ -1,0 +1,18 @@
+"""IPC002 fixture, fixed form: the telemetry wire kind is declared.
+
+Mirrors ``repro.serving.workers``: span/metric buffers travel as one
+more tagged tuple kind on the existing result queue, declared in the
+module-level whitelist alongside the batch protocol.
+"""
+
+import multiprocessing
+
+WIRE_MESSAGE_KINDS = frozenset({"batch", "ok", "stop", "telemetry"})
+
+
+def ship_telemetry(result_queue: multiprocessing.Queue, worker_id, seq, spans):
+    result_queue.put(("telemetry", worker_id, seq, spans))
+
+
+def ship_answer(result_queue: multiprocessing.Queue, worker_id, batch_id, results):
+    result_queue.put(("ok", worker_id, batch_id, results))

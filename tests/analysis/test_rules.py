@@ -75,6 +75,25 @@ class TestDET003:
     def test_timing_modules_are_allowlisted(self, lint_fixture, virtual_path):
         assert lint_fixture("det003_bad.py", virtual_path) == []
 
+    def test_telemetry_is_not_allowlisted(self, lint_fixture):
+        """repro.telemetry stays off the allowlist and gets its own message."""
+        findings = lint_fixture(
+            "det003_telemetry_bad.py", "src/repro/telemetry/fixture.py"
+        )
+        assert rule_ids(findings) == ["DET003"]
+        assert len(findings) == 3  # 2x perf_counter, monotonic
+        for finding in findings:
+            assert "inside repro.telemetry" in finding.message
+            assert "telemetry.WallClock" in finding.message
+
+    def test_telemetry_good_fixture_clean(self, lint_fixture):
+        assert (
+            lint_fixture(
+                "det003_telemetry_good.py", "src/repro/telemetry/fixture.py"
+            )
+            == []
+        )
+
 
 class TestIPC001:
     def test_bad_fixture_fires(self, lint_fixture):
@@ -116,6 +135,21 @@ class TestIPC002:
 
     def test_good_fixture_clean(self, lint_fixture):
         assert lint_fixture("ipc002_good.py") == []
+
+    def test_undeclared_telemetry_kind_fires(self, lint_fixture):
+        """A telemetry message needs its tag in the whitelist like any other."""
+        findings = lint_fixture("ipc002_telemetry_bad.py")
+        assert rule_ids(findings) == ["IPC002"]
+        assert "'telemetry' is not declared" in findings[0].message
+
+    def test_declared_telemetry_kind_clean(self, lint_fixture):
+        assert lint_fixture("ipc002_telemetry_good.py") == []
+
+    def test_shipped_worker_protocol_declares_telemetry(self):
+        """The real wire whitelist carries the tracing kind."""
+        from repro.serving.workers import WIRE_MESSAGE_KINDS
+
+        assert "telemetry" in WIRE_MESSAGE_KINDS
 
     def test_rule_ignores_modules_without_multiprocessing(self, engine):
         # A domain queue with a .put() API is not IPC.

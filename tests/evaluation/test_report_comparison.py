@@ -1,0 +1,133 @@
+"""Field-for-field diffing of the simulated vs measured serving planes."""
+
+import math
+
+import pytest
+
+from repro.evaluation import (
+    REPORT_FIELDS,
+    compare_pool_scaling,
+    report_field_comparison,
+)
+from repro.serving import RequestOutcome, ServingReport
+from repro.serving.workers import WallClockOutcome, WallClockReport
+
+
+def _simulated_report(latencies):
+    return ServingReport(
+        outcomes=[
+            RequestOutcome(
+                request_id=index,
+                arrival_seconds=0.0,
+                status="served",
+                finish_seconds=latency,
+            )
+            for index, latency in enumerate(latencies)
+        ],
+        batches=[],
+        makespan_seconds=max(latencies, default=0.0),
+        rejection_rate=0.0,
+        mean_batch_docs=2.0,
+        cache_hits=0,
+        cache_lookups=len(latencies),
+    )
+
+
+def _measured_report(latencies, wall_seconds=1.0):
+    return WallClockReport(
+        outcomes=[
+            WallClockOutcome(
+                request_id=index,
+                theta=None,
+                latency_seconds=latency,
+                worker_id=0,
+                status="answered",
+            )
+            for index, latency in enumerate(latencies)
+        ],
+        batches=[],
+        wall_seconds=wall_seconds,
+        pool_stats={},
+    )
+
+
+class TestReportFieldComparison:
+    def test_every_shared_field_has_a_row(self):
+        rows = report_field_comparison(
+            _simulated_report([0.004, 0.008]), _measured_report([0.004, 0.008])
+        )
+        assert [row["field"] for row in rows] == list(REPORT_FIELDS)
+
+    def test_identical_latency_multisets_agree_on_every_latency_field(self):
+        latencies = [0.001, 0.002, 0.004]
+        rows = {
+            row["field"]: row
+            for row in report_field_comparison(
+                _simulated_report(latencies), _measured_report(latencies)
+            )
+        }
+        for name in ("answered", "rejected", "p50_seconds", "p99_seconds",
+                     "mean_seconds", "cache_hit_rate"):
+            assert rows[name]["equal"], name
+        assert rows["p50_seconds"]["ratio"] == 1.0
+
+    def test_ratio_is_none_on_zero_or_nan_simulated_values(self):
+        rows = {
+            row["field"]: row
+            for row in report_field_comparison(
+                _simulated_report([]), _measured_report([0.004])
+            )
+        }
+        # Zero simulated answered -> no ratio, not a division by zero.
+        assert rows["answered"]["ratio"] is None
+        # NaN simulated percentile -> no ratio either.
+        assert math.isnan(rows["p50_seconds"]["simulated"])
+        assert rows["p50_seconds"]["ratio"] is None
+        assert not rows["p50_seconds"]["equal"]
+
+    def test_both_nan_counts_as_agreement(self):
+        """Two planes answering "no distribution" is agreement, not a diff."""
+        rows = {
+            row["field"]: row
+            for row in report_field_comparison(
+                _simulated_report([]), _measured_report([])
+            )
+        }
+        assert math.isnan(rows["p99_seconds"]["simulated"])
+        assert math.isnan(rows["p99_seconds"]["measured"])
+        assert rows["p99_seconds"]["equal"]
+        assert rows["p99_seconds"]["ratio"] is None
+
+
+class TestComparePoolScalingReports:
+    CURVES = ({1: 100.0, 2: 190.0}, {1: 100.0, 2: 200.0})
+
+    def test_reports_must_come_as_a_pair(self):
+        measured, projected = self.CURVES
+        with pytest.raises(ValueError, match="both .* or neither"):
+            compare_pool_scaling(
+                measured, projected, simulated_report=_simulated_report([0.01])
+            )
+        with pytest.raises(ValueError, match="both .* or neither"):
+            compare_pool_scaling(
+                measured, projected, measured_report=_measured_report([0.01])
+            )
+
+    def test_report_pair_attaches_the_field_diff(self):
+        measured, projected = self.CURVES
+        comparison = compare_pool_scaling(
+            measured,
+            projected,
+            simulated_report=_simulated_report([0.01, 0.02]),
+            measured_report=_measured_report([0.01, 0.02]),
+        )
+        summary = comparison.summary()
+        assert [row["field"] for row in summary["report_fields"]] == list(
+            REPORT_FIELDS
+        )
+
+    def test_no_reports_keeps_the_summary_unchanged(self):
+        measured, projected = self.CURVES
+        summary = compare_pool_scaling(measured, projected).summary()
+        assert "report_fields" not in summary
+        assert summary["knees_agree"] in (True, False)

@@ -12,8 +12,10 @@ from repro.saberlda import SaberLDAConfig, train_saberlda
 from repro.serving import (
     BatchScheduler,
     InferenceEngine,
+    RequestOutcome,
     RequestQueue,
     ResultCache,
+    ServingReport,
     TopicServer,
     engine_results_digest,
     layout_batch,
@@ -22,9 +24,41 @@ from repro.serving import (
     warm_sampler_bank,
 )
 from repro.serving.queue import ServingRequest
+from repro.telemetry import pinned_percentile
 
 NUM_TOPICS = 6
 SERVE_SEED = 31
+
+
+def _report_with_latencies(latencies, cache_hit_latencies=()):
+    """A minimal report whose latency multiset is exactly ``latencies``."""
+    outcomes = [
+        RequestOutcome(
+            request_id=index,
+            arrival_seconds=0.0,
+            status="served",
+            finish_seconds=latency,
+        )
+        for index, latency in enumerate(latencies)
+    ]
+    outcomes.extend(
+        RequestOutcome(
+            request_id=len(latencies) + index,
+            arrival_seconds=0.0,
+            status="cache_hit",
+            finish_seconds=latency,
+        )
+        for index, latency in enumerate(cache_hit_latencies)
+    )
+    return ServingReport(
+        outcomes=outcomes,
+        batches=[],
+        makespan_seconds=max([*latencies, *cache_hit_latencies], default=0.0),
+        rejection_rate=0.0,
+        mean_batch_docs=1.0,
+        cache_hits=len(cache_hit_latencies),
+        cache_lookups=len(outcomes),
+    )
 
 
 @pytest.fixture(scope="module")
@@ -141,6 +175,43 @@ class TestServeLoop:
         summary = report.summary()
         assert np.isnan(summary["p50_ms"]) and np.isnan(summary["p99_ms"])
         assert summary["rejection_rate"] == 1.0
+
+    def test_single_sample_answers_every_percentile(self):
+        """Pinned rule: one sample IS its whole latency distribution."""
+        report = _report_with_latencies([0.125])
+        for percentile in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert report.latency_percentile(percentile) == 0.125
+        assert report.p50_seconds == report.p99_seconds == 0.125
+        assert report.mean_seconds == 0.125
+
+    def test_duplicate_latencies_answer_exactly(self):
+        """Pinned rule: duplicated values come back bit-exactly, no drift."""
+        report = _report_with_latencies([0.004, 0.004, 0.004])
+        assert report.latency_percentile(50.0) == 0.004
+        assert report.latency_percentile(99.0) == 0.004
+
+    def test_percentiles_interpolate_linearly(self):
+        """Pinned rule: NumPy's default linear interpolation between ranks."""
+        report = _report_with_latencies([0.0, 0.010])
+        assert report.latency_percentile(50.0) == 0.005
+        report = _report_with_latencies([0.0, 0.001, 0.002, 0.003])
+        assert report.latency_percentile(25.0) == 0.00075
+
+    def test_shares_the_pinned_rule_with_telemetry(self):
+        """One rule, two surfaces: report == pinned_percentile, bit for bit."""
+        latencies = [0.0031, 0.0007, 0.0131, 0.0007, 0.0052]
+        report = _report_with_latencies(latencies)
+        for percentile in (50.0, 95.0, 99.0):
+            assert report.latency_percentile(percentile) == pinned_percentile(
+                latencies, percentile
+            )
+
+    def test_cache_hits_can_be_excluded_from_the_distribution(self):
+        report = _report_with_latencies([0.010], cache_hit_latencies=[0.0, 0.0])
+        # Hits count by default (latency 0), shifting the median down...
+        assert report.latency_percentile(50.0) == 0.0
+        # ...and drop out on request, leaving the served distribution.
+        assert report.latency_percentile(50.0, include_cache_hits=False) == 0.010
 
     def test_malformed_request_is_refused_without_killing_the_batch(self, model, documents):
         """Out-of-vocabulary ids are refused at admission; everyone else in

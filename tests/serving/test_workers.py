@@ -253,3 +253,55 @@ class TestValidation:
             with open(os.path.join(log_dir, name), encoding="utf-8") as handle:
                 merged += handle.read()
         assert "ready" in merged and "batch=" in merged
+
+
+class TestReportCompat:
+    """WallClockReport speaks ServingReport's stats surface (one rule)."""
+
+    def test_summary_carries_every_simulated_report_key(self, checkpoint, requests):
+        from repro.serving.server import ServingReport
+
+        simulated_keys = set(
+            ServingReport(
+                outcomes=[],
+                batches=[],
+                makespan_seconds=0.0,
+                rejection_rate=0.0,
+                mean_batch_docs=0.0,
+                cache_hits=0,
+                cache_lookups=0,
+            ).summary()
+        )
+        with _pool(checkpoint) as pool:
+            report = serve_wallclock(pool, requests, batch_docs=4)
+        assert simulated_keys <= set(report.summary())
+
+    def test_field_for_field_accessors(self, checkpoint, requests):
+        with _pool(checkpoint) as pool:
+            report = serve_wallclock(pool, requests, batch_docs=4)
+        latencies = sorted(
+            outcome.latency_seconds
+            for outcome in report.outcomes
+            if outcome.status == "answered"
+        )
+        assert report.latency_percentile(50.0) == np.percentile(latencies, 50.0)
+        assert report.p50_seconds == report.latency_percentile(50.0)
+        assert report.p99_seconds == report.latency_percentile(99.0)
+        assert report.mean_seconds == pytest.approx(float(np.mean(latencies)))
+        assert report.rejected == report.failed == 0
+        assert report.rejection_rate == 0.0
+        assert report.cache_hit_rate == 0.0  # no cache on the wall-clock plane
+        assert report.mean_batch_docs == pytest.approx(4.0)
+
+    def test_zero_answered_is_nan_not_zero(self):
+        from repro.serving.workers import WallClockReport
+
+        empty = WallClockReport(
+            outcomes=[], batches=[], wall_seconds=0.1, pool_stats={}
+        )
+        assert np.isnan(empty.latency_percentile(50.0))
+        assert np.isnan(empty.p50_seconds)
+        assert np.isnan(empty.p99_seconds)
+        assert np.isnan(empty.mean_seconds)
+        assert empty.rejection_rate == 0.0
+        assert empty.sustained_qps == 0.0

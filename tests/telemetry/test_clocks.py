@@ -1,0 +1,58 @@
+"""The two clock domains: deterministic sim time, sanctioned wall time."""
+
+import pytest
+
+from repro.bench.timing import stopwatch
+from repro.telemetry import (
+    DOMAIN_SIM,
+    DOMAIN_WALL,
+    Clock,
+    SimClock,
+    WallClock,
+)
+
+
+class TestSimClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = SimClock()
+        assert clock.now() == 0.0
+        clock.advance_to(1.5)
+        assert clock.now() == 1.5
+        clock.advance_to(1.5)  # standing still is allowed
+        assert clock.now() == 1.5
+
+    def test_never_runs_backwards(self):
+        clock = SimClock(current=2.0)
+        with pytest.raises(ValueError, match="cannot run backwards"):
+            clock.advance_to(1.0)
+        assert clock.now() == 2.0  # a rejected advance changes nothing
+
+    def test_domain_is_sim(self):
+        assert SimClock().domain == DOMAIN_SIM
+
+    def test_satisfies_the_clock_protocol(self):
+        assert isinstance(SimClock(), Clock)
+
+
+class TestWallClock:
+    def test_measures_forward_from_construction(self):
+        clock = WallClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first >= 0.0
+
+    def test_domain_is_wall(self):
+        assert WallClock().domain == DOMAIN_WALL
+
+    def test_shared_stopwatch_aligns_origins(self):
+        """Two clocks on one watch read the same time axis."""
+        watch = stopwatch()
+        left = WallClock(watch)
+        right = WallClock(watch)
+        assert left.watch is right.watch is watch
+        # The shared origin means readings interleave monotonically.
+        readings = [left.now(), right.now(), left.now()]
+        assert readings == sorted(readings)
+
+    def test_satisfies_the_clock_protocol(self):
+        assert isinstance(WallClock(), Clock)

@@ -1,0 +1,143 @@
+"""Chrome trace / metrics JSON exporters and the ``python -m repro.telemetry`` CLI."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    DOMAIN_SIM,
+    DOMAIN_WALL,
+    MetricsRegistry,
+    Span,
+    chrome_trace,
+    load_trace,
+    metrics_payload,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.telemetry.cli import main
+
+
+@pytest.fixture()
+def spans():
+    return [
+        Span("batch", 0.0, 0.002, domain=DOMAIN_SIM, category="serving",
+             track=1, depth=1, seq=0, args=(("batch_id", 0),)),
+        Span("request", 0.0, 0.004, domain=DOMAIN_SIM, category="served",
+             depth=1, seq=1),
+        Span("serve_wallclock", 0.0, 0.25, domain=DOMAIN_WALL,
+             category="serving", seq=2),
+    ]
+
+
+class TestChromeTrace:
+    def test_structure_is_the_trace_event_object_form(self, spans):
+        trace = chrome_trace(spans, metadata={"bench": "tiny"})
+        assert trace["displayTimeUnit"] == "ms"
+        assert trace["otherData"] == {"bench": "tiny"}
+        events = trace["traceEvents"]
+        # Two process-name metadata records, one per clock domain.
+        meta = [event for event in events if event["ph"] == "M"]
+        assert {event["args"]["name"] for event in meta} == {
+            "sim seconds",
+            "wall seconds",
+        }
+        complete = [event for event in events if event["ph"] == "X"]
+        assert len(complete) == len(spans)
+
+    def test_domains_map_to_pids_and_times_to_microseconds(self, spans):
+        events = [e for e in chrome_trace(spans)["traceEvents"] if e["ph"] == "X"]
+        by_name = {event["name"]: event for event in events}
+        assert by_name["batch"]["pid"] == 0  # sim
+        assert by_name["serve_wallclock"]["pid"] == 1  # wall
+        assert by_name["batch"]["tid"] == 1
+        assert by_name["batch"]["dur"] == pytest.approx(2_000.0)  # 2 ms in us
+        assert by_name["serve_wallclock"]["dur"] == pytest.approx(250_000.0)
+        assert by_name["batch"]["args"] == {"batch_id": 0}
+
+    def test_whole_file_is_valid_json(self, spans, tmp_path):
+        path = write_chrome_trace(str(tmp_path / "trace.json"), spans)
+        with open(path, "r", encoding="utf-8") as handle:
+            parsed = json.load(handle)
+        assert "traceEvents" in parsed
+
+    def test_load_round_trips_what_the_summary_reads(self, spans, tmp_path):
+        path = write_chrome_trace(str(tmp_path / "trace.json"), spans)
+        loaded = load_trace(path)
+        assert len(loaded) == len(spans)
+        for original, parsed in zip(spans, loaded, strict=True):
+            assert parsed.name == original.name
+            assert parsed.domain == original.domain
+            assert parsed.category == original.category
+            assert parsed.track == original.track
+            assert parsed.start_seconds == pytest.approx(
+                original.start_seconds, abs=1e-12
+            )
+            assert parsed.duration_seconds == pytest.approx(
+                original.duration_seconds, rel=1e-9
+            )
+            assert parsed.args_dict() == original.args_dict()
+
+
+class TestMetricsJson:
+    def test_payload_preserves_registration_order(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("serving.admitted").inc(12)
+        registry.histogram("serving.batch_docs", (2.0, 4.0)).observe(3)
+        payload = metrics_payload(registry, metadata={"seed": 13})
+        assert list(payload["metrics"]) == ["serving.admitted", "serving.batch_docs"]
+        assert payload["metadata"] == {"seed": 13}
+        path = write_metrics_json(str(tmp_path / "metrics.json"), registry)
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["metrics"]["serving.admitted"] == 12
+
+
+class TestCli:
+    @pytest.fixture()
+    def trace_path(self, spans, tmp_path):
+        return write_chrome_trace(str(tmp_path / "trace.json"), spans)
+
+    def test_table_output_and_exit_zero(self, trace_path, capsys):
+        assert main([trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "batch" in out and "serve_wallclock" in out
+        assert "sim run" in out and "wall run" in out
+        assert "% of run" in out
+
+    def test_json_output_reproduces_the_pinned_percentiles(
+        self, spans, trace_path, capsys
+    ):
+        assert main([trace_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_spans"] == len(spans)
+        request = next(p for p in payload["phases"] if p["name"] == "request")
+        assert request["count"] == 1
+        # One sample answers every percentile with itself (pinned rule).
+        assert request["p50_seconds"] == request["p99_seconds"]
+        assert request["p50_seconds"] == pytest.approx(0.004, rel=1e-9)
+
+    def test_domain_filter(self, trace_path, capsys):
+        assert main([trace_path, "--domain", "wall", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [p["name"] for p in payload["phases"]] == ["serve_wallclock"]
+
+    def test_metrics_sidecar_is_printed(self, trace_path, tmp_path, capsys):
+        registry = MetricsRegistry()
+        registry.counter("pool.answered").inc(3)
+        metrics = write_metrics_json(str(tmp_path / "metrics.json"), registry)
+        assert main([trace_path, "--metrics", metrics]) == 0
+        assert "pool.answered: 3.0" in capsys.readouterr().out
+
+    def test_missing_trace_is_exit_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.json")]) == 2
+        assert "could not read trace" in capsys.readouterr().err
+
+    def test_invalid_json_is_exit_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main([str(bad)]) == 2
+        assert "could not read trace" in capsys.readouterr().err
+
+    def test_missing_metrics_is_exit_two(self, trace_path, tmp_path, capsys):
+        assert main([trace_path, "--metrics", str(tmp_path / "nope.json")]) == 2
+        assert "could not read metrics" in capsys.readouterr().err

@@ -1,0 +1,177 @@
+"""Tracing must be a pure observer: enabling it changes no result bit.
+
+These tests run the same workload twice — tracer/metrics disabled, then
+enabled — and pin the outputs bit for bit: serving digests, trained
+model counts, log-likelihoods, and the trainer's RNG end state.  They
+are the teeth behind "zero overhead when disabled, zero interference
+when enabled".
+"""
+
+import numpy as np
+import pytest
+
+from repro.saberlda import SaberLDAConfig
+from repro.saberlda.trainer import SaberLDATrainer
+from repro.serving import (
+    BatchScheduler,
+    InferenceEngine,
+    RequestQueue,
+    ResultCache,
+    TopicServer,
+    engine_results_digest,
+    make_requests,
+    poisson_arrivals,
+)
+from repro.telemetry import (
+    DOMAIN_SIM,
+    MetricsRegistry,
+    SimClock,
+    Tracer,
+    null_metrics,
+    null_tracer,
+    summarize_spans,
+)
+
+NUM_TOPICS = 6
+SERVE_SEED = 31
+
+
+@pytest.fixture(scope="module")
+def model(make_corpus):
+    corpus = make_corpus(40, 100, 5, 30, 123)
+    config = SaberLDAConfig.paper_defaults(
+        NUM_TOPICS, num_iterations=3, num_chunks=4, seed=77, evaluate_every=3
+    )
+    trainer = SaberLDATrainer(config=config)
+    return trainer.fit(
+        corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size
+    ).model
+
+
+def _serve(model, documents, arrivals, tracer, metrics):
+    engine = InferenceEngine.from_model(model, num_sweeps=6, seed=SERVE_SEED)
+    server = TopicServer(
+        engine,
+        scheduler=BatchScheduler(max_batch_docs=4, max_wait_seconds=1e-5),
+        queue=RequestQueue(max_depth=32),
+        cache=ResultCache(capacity=100),
+        tracer=tracer,
+        metrics=metrics,
+    )
+    return server.serve(make_requests(documents, arrivals))
+
+
+class TestServingIdentity:
+    @pytest.fixture()
+    def workload(self, rng):
+        documents = [
+            rng.integers(0, 100, size=int(rng.integers(5, 25))).astype(np.int32)
+            for _ in range(30)
+        ]
+        # Repeat a few documents so the cache path runs under tracing too.
+        documents[10] = documents[0]
+        documents[20] = documents[1]
+        arrivals = poisson_arrivals(2_000.0, len(documents), rng)
+        return documents, arrivals
+
+    def test_digests_and_reports_match_bit_for_bit(self, model, workload):
+        documents, arrivals = workload
+        baseline = _serve(model, documents, arrivals, null_tracer(), null_metrics())
+        tracer = Tracer(SimClock())
+        traced = _serve(model, documents, arrivals, tracer, MetricsRegistry())
+        assert engine_results_digest(traced.outcomes) == engine_results_digest(
+            baseline.outcomes
+        )
+        assert traced.summary() == baseline.summary()
+        assert tracer.spans  # the traced run actually recorded something
+
+    def test_sim_trace_reproduces_report_percentiles_exactly(self, model, workload):
+        """`request` span durations ARE the report's latency multiset."""
+        documents, arrivals = workload
+        tracer = Tracer(SimClock())
+        metrics = MetricsRegistry()
+        report = _serve(model, documents, arrivals, tracer, metrics)
+        request_rows = {
+            (s.domain, s.name): s for s in summarize_spans(tracer.spans)
+        }
+        row = request_rows[(DOMAIN_SIM, "request")]
+        assert row.count == report.answered
+        assert row.p50_seconds == report.latency_percentile(50.0)
+        assert row.p99_seconds == report.latency_percentile(99.0)
+        # And the counters agree with the report's own bookkeeping.
+        flat = metrics.as_dict()
+        assert flat["serving.admitted"] == report.answered - report.cache_hits
+        assert flat["serving.cache_hits"] == report.cache_hits
+        assert flat["serving.documents"] + report.cache_hits == report.answered
+
+    def test_cache_hit_spans_are_zero_latency_points(self, model, workload):
+        documents, arrivals = workload
+        tracer = Tracer(SimClock())
+        report = _serve(model, documents, arrivals, tracer, MetricsRegistry())
+        assert report.cache_hits > 0
+        hits = [
+            span
+            for span in tracer.spans
+            if span.name == "request" and span.category == "cache_hit"
+        ]
+        assert len(hits) == report.cache_hits
+        assert all(span.duration_seconds == 0.0 for span in hits)
+
+
+class TestTrainerIdentity:
+    def _fit(self, corpus, tracer, metrics):
+        config = SaberLDAConfig.paper_defaults(
+            4, num_iterations=3, num_chunks=2, seed=5, evaluate_every=1
+        )
+        trainer = SaberLDATrainer(config=config, tracer=tracer, metrics=metrics)
+        result = trainer.fit(
+            corpus.unassigned_copy(), corpus.num_documents, corpus.vocabulary_size
+        )
+        return trainer, result
+
+    def test_model_and_rng_end_state_match_bit_for_bit(self, tiny_corpus):
+        base_trainer, base = self._fit(tiny_corpus, null_tracer(), null_metrics())
+        tracer = Tracer(SimClock())
+        traced_trainer, traced = self._fit(tiny_corpus, tracer, MetricsRegistry())
+        assert np.array_equal(
+            traced.model.word_topic_counts, base.model.word_topic_counts
+        )
+        assert [r.log_likelihood_per_token for r in traced.history] == [
+            r.log_likelihood_per_token for r in base.history
+        ]
+        assert traced.simulated_seconds == base.simulated_seconds
+        # The tracer never touched the training RNG stream.
+        assert (
+            traced_trainer._rng.bit_generator.state
+            == base_trainer._rng.bit_generator.state
+        )
+        assert tracer.spans
+
+    def test_iteration_spans_tile_the_simulated_timeline(self, tiny_corpus):
+        tracer = Tracer(SimClock())
+        _trainer, result = self._fit(tiny_corpus, tracer, MetricsRegistry())
+        iterations = [span for span in tracer.spans if span.name == "iteration"]
+        assert len(iterations) == len(result.history)
+        # Back-to-back: each iteration starts where the previous ended.
+        for before, after in zip(iterations, iterations[1:], strict=False):
+            assert after.start_seconds == pytest.approx(before.end_seconds)
+        assert iterations[-1].end_seconds == pytest.approx(result.simulated_seconds)
+        # Phase children sum to their iteration.
+        first_phases = [
+            span
+            for span in tracer.spans
+            if span.category == "phase"
+            and iterations[0].start_seconds <= span.start_seconds < iterations[0].end_seconds
+        ]
+        assert sum(s.duration_seconds for s in first_phases) == pytest.approx(
+            iterations[0].duration_seconds
+        )
+
+    def test_trainer_metrics_count_iterations(self, tiny_corpus):
+        metrics = MetricsRegistry()
+        _trainer, result = self._fit(tiny_corpus, Tracer(SimClock()), metrics)
+        flat = metrics.as_dict()
+        assert flat["train.iterations"] == len(result.history)
+        assert flat["train.simulated_seconds"] == pytest.approx(
+            result.simulated_seconds
+        )

@@ -1,0 +1,191 @@
+"""The pinned statistics rules and the deterministic metrics registry.
+
+The percentile and histogram-boundary rules are *pinned* here — these
+tests are the contract that every stats surface (serving reports, the
+trace summarizer, cross-process histogram merges) relies on.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry, null_metrics
+from repro.telemetry.metrics import (
+    _NULL_COUNTER,
+    _NULL_GAUGE,
+    _NULL_HISTOGRAM,
+    pinned_percentile,
+)
+
+
+class TestPinnedPercentile:
+    def test_empty_input_is_nan_not_zero(self):
+        assert math.isnan(pinned_percentile([], 50.0))
+        assert math.isnan(pinned_percentile([], 99.0))
+
+    def test_single_sample_answers_every_percentile(self):
+        for percentile in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert pinned_percentile([0.125], percentile) == 0.125
+
+    def test_duplicates_answer_exactly(self):
+        values = [0.3, 0.3, 0.3, 0.3]
+        assert pinned_percentile(values, 50.0) == 0.3
+        assert pinned_percentile(values, 99.0) == 0.3
+
+    def test_linear_interpolation_between_closest_ranks(self):
+        # Two samples: p50 sits exactly half way.
+        assert pinned_percentile([0.0, 10.0], 50.0) == 5.0
+        # p25 of [0,1,2,3]: fractional rank 0.75 -> 0.75.
+        assert pinned_percentile([0.0, 1.0, 2.0, 3.0], 25.0) == 0.75
+
+    def test_matches_numpy_default_bit_for_bit(self):
+        rng = np.random.default_rng(42)
+        values = rng.exponential(0.01, size=101)
+        for percentile in (50.0, 95.0, 99.0):
+            assert pinned_percentile(values, percentile) == float(
+                np.percentile(values, percentile)
+            )
+
+
+class TestCounterGauge:
+    def test_counter_accumulates_and_rejects_negatives(self):
+        counter = Counter("n")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1.0)
+
+    def test_gauge_is_last_write_wins(self):
+        gauge = Gauge("depth")
+        gauge.set(4)
+        gauge.set(2)
+        assert gauge.value == 2.0
+
+
+class TestHistogram:
+    def test_edges_must_exist_and_ascend(self):
+        with pytest.raises(ValueError, match="at least one bucket edge"):
+            Histogram("h", edges=())
+        with pytest.raises(ValueError, match="strictly ascending"):
+            Histogram("h", edges=(1.0, 1.0, 2.0))
+
+    def test_right_inclusive_boundary_rule_is_pinned(self):
+        """Bucket i covers (e[i-1], e[i]] — an edge value belongs below."""
+        histogram = Histogram("h", edges=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0):  # (-inf, 1]
+            histogram.observe(value)
+        for value in (1.5, 2.0):  # (1, 2]
+            histogram.observe(value)
+        histogram.observe(2.0001)  # (2, 4]
+        histogram.observe(4.0)  # (2, 4] — edge value lands below
+        histogram.observe(4.0001)  # (4, inf) overflow
+        assert histogram.counts == [2, 2, 2, 1]
+        assert histogram.count == 7
+
+    def test_as_dict_is_json_ready(self):
+        histogram = Histogram("h", edges=(1.0, 2.0))
+        histogram.observe(1.5)
+        assert histogram.as_dict() == {
+            "edges": [1.0, 2.0],
+            "counts": [0, 1, 0],
+            "count": 1,
+        }
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("n") is registry.counter("n")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h", (1.0,)) is registry.histogram("h", (1.0,))
+
+    def test_names_preserve_registration_order(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta")
+        registry.gauge("alpha")
+        registry.histogram("mid", (1.0,))
+        assert registry.names() == ["zeta", "alpha", "mid"]
+        assert list(registry.as_dict()) == ["zeta", "alpha", "mid"]
+        assert len(registry) == 3
+
+    def test_kind_mismatch_is_a_type_error(self):
+        registry = MetricsRegistry()
+        registry.counter("n")
+        with pytest.raises(TypeError, match="already a Counter"):
+            registry.gauge("n")
+        with pytest.raises(TypeError, match="already a Counter"):
+            registry.histogram("n", (1.0,))
+
+    def test_disabled_registry_hands_out_null_singletons(self):
+        registry = null_metrics()
+        assert registry.counter("n") is _NULL_COUNTER
+        assert registry.gauge("g") is _NULL_GAUGE
+        assert registry.histogram("h", (1.0,)) is _NULL_HISTOGRAM
+        registry.counter("n").inc()
+        registry.gauge("g").set(1.0)
+        registry.histogram("h", (1.0,)).observe(0.5)
+        assert len(registry) == 0 and registry.as_dict() == {}
+
+
+class TestWire:
+    def test_drain_resets_counters_and_histograms_to_deltas(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(3)
+        registry.gauge("g").set(7)
+        registry.histogram("h", (1.0,)).observe(0.5)
+        first = registry.drain_wire()
+        assert ("counter", "n", 3.0) in first
+        assert ("gauge", "g", 7.0) in first
+        assert ("histogram", "h", (1.0,), (1, 0)) in first
+        # Counters and histogram counts reset; the gauge keeps its level.
+        registry.counter("n").inc(1)
+        second = registry.drain_wire()
+        assert ("counter", "n", 1.0) in second
+        assert ("gauge", "g", 7.0) in second
+        assert ("histogram", "h", (1.0,), (0, 0)) in second
+
+    def test_merge_adds_counters_overwrites_gauges_adds_histograms(self):
+        parent = MetricsRegistry()
+        parent.counter("n").inc(1)
+        parent.histogram("h", (1.0,)).observe(0.5)
+        parent.merge_wire(
+            [
+                ("counter", "n", 2.0),
+                ("gauge", "g", 9.0),
+                ("histogram", "h", (1.0,), (1, 2)),
+            ]
+        )
+        flat = parent.as_dict()
+        assert flat["n"] == 3.0
+        assert flat["g"] == 9.0
+        assert flat["h"]["counts"] == [2, 2]
+
+    def test_merge_is_commutative_for_worker_deltas(self):
+        """Counter/histogram deltas sum the same under any interleaving."""
+        wires = [
+            [("counter", "n", 2.0), ("histogram", "h", (1.0,), (1, 0))],
+            [("counter", "n", 5.0), ("histogram", "h", (1.0,), (0, 3))],
+        ]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for wire in wires:
+            forward.merge_wire(wire)
+        for wire in reversed(wires):
+            backward.merge_wire(wire)
+        assert forward.as_dict() == backward.as_dict()
+
+    def test_merge_rejects_mismatched_histogram_edges(self):
+        parent = MetricsRegistry()
+        parent.histogram("h", (1.0, 2.0))
+        with pytest.raises(ValueError, match="edges disagree"):
+            parent.merge_wire([("histogram", "h", (1.0, 3.0), (0, 0, 0))])
+
+    def test_merge_rejects_unknown_kinds(self):
+        with pytest.raises(ValueError, match="unknown metrics wire entry"):
+            MetricsRegistry().merge_wire([("summary", "n", 1.0)])
+
+    def test_disabled_merge_is_a_no_op(self):
+        registry = null_metrics()
+        registry.merge_wire([("counter", "n", 2.0)])
+        assert registry.as_dict() == {}

@@ -1,0 +1,120 @@
+"""Per-phase summaries and the span-coverage acceptance metric."""
+
+from repro.telemetry import (
+    DOMAIN_SIM,
+    DOMAIN_WALL,
+    Span,
+    format_phase_table,
+    pinned_percentile,
+    run_seconds,
+    span_coverage,
+    summarize_spans,
+)
+
+
+def _span(name, start, duration, domain=DOMAIN_SIM, depth=0):
+    return Span(name, start, duration, domain=domain, depth=depth)
+
+
+class TestRunSeconds:
+    def test_extent_is_first_start_to_last_end(self):
+        spans = [_span("a", 1.0, 2.0), _span("b", 0.5, 1.0), _span("c", 2.0, 3.0)]
+        assert run_seconds(spans) == 4.5  # 0.5 .. 5.0
+
+    def test_domain_filter(self):
+        spans = [_span("a", 0.0, 1.0), _span("b", 10.0, 5.0, domain=DOMAIN_WALL)]
+        assert run_seconds(spans, DOMAIN_SIM) == 1.0
+        assert run_seconds(spans, DOMAIN_WALL) == 5.0
+
+    def test_empty_is_zero(self):
+        assert run_seconds([]) == 0.0
+        assert run_seconds([_span("a", 0.0, 1.0)], DOMAIN_WALL) == 0.0
+
+
+class TestSummarize:
+    def test_groups_by_domain_and_name_in_first_seen_order(self):
+        spans = [
+            _span("batch", 0.0, 1.0),
+            _span("request", 0.0, 2.0),
+            _span("batch", 1.0, 3.0),
+            _span("batch", 0.0, 9.0, domain=DOMAIN_WALL),
+        ]
+        summaries = summarize_spans(spans)
+        assert [(s.domain, s.name) for s in summaries] == [
+            (DOMAIN_SIM, "batch"),
+            (DOMAIN_SIM, "request"),
+            (DOMAIN_WALL, "batch"),
+        ]
+        batch = summaries[0]
+        assert batch.count == 2
+        assert batch.total_seconds == 4.0
+        assert batch.p50_seconds == pinned_percentile([1.0, 3.0], 50.0)
+        assert batch.p99_seconds == pinned_percentile([1.0, 3.0], 99.0)
+
+    def test_share_uses_each_domains_own_extent_by_default(self):
+        spans = [
+            _span("batch", 0.0, 2.0),  # sim extent 0..4
+            _span("batch", 1.0, 3.0),
+            _span("root", 0.0, 10.0, domain=DOMAIN_WALL),
+        ]
+        summaries = {(s.domain, s.name): s for s in summarize_spans(spans)}
+        assert summaries[(DOMAIN_SIM, "batch")].share_of_run == 5.0 / 4.0
+        assert summaries[(DOMAIN_WALL, "root")].share_of_run == 1.0
+
+    def test_explicit_total_overrides_the_denominator(self):
+        (summary,) = summarize_spans([_span("a", 0.0, 1.0)], total_seconds=4.0)
+        assert summary.share_of_run == 0.25
+
+    def test_zero_duration_groups_do_not_divide_by_zero(self):
+        (summary,) = summarize_spans([_span("hit", 2.0, 0.0)])
+        assert summary.share_of_run == 0.0
+        assert summary.total_seconds == 0.0
+
+    def test_single_span_percentiles_are_its_duration(self):
+        (summary,) = summarize_spans([_span("a", 0.0, 0.75)])
+        assert summary.p50_seconds == 0.75
+        assert summary.p99_seconds == 0.75
+
+    def test_empty_trace_summarizes_to_nothing(self):
+        assert summarize_spans([]) == []
+
+
+class TestSpanCoverage:
+    def test_full_root_span_covers_everything(self):
+        spans = [_span("root", 0.0, 2.0, domain=DOMAIN_WALL)]
+        assert span_coverage(spans, 2.0) == 1.0
+
+    def test_overlapping_roots_never_double_count(self):
+        spans = [
+            _span("a", 0.0, 2.0, domain=DOMAIN_WALL),
+            _span("b", 1.0, 2.0, domain=DOMAIN_WALL),  # overlaps a by 1s
+        ]
+        assert span_coverage(spans, 4.0) == 3.0 / 4.0
+
+    def test_gaps_reduce_coverage(self):
+        spans = [
+            _span("a", 0.0, 1.0, domain=DOMAIN_WALL),
+            _span("b", 3.0, 1.0, domain=DOMAIN_WALL),
+        ]
+        assert span_coverage(spans, 4.0) == 0.5
+
+    def test_only_top_level_spans_of_the_domain_count(self):
+        spans = [
+            _span("child", 0.0, 4.0, domain=DOMAIN_WALL, depth=1),
+            _span("sim-root", 0.0, 4.0, domain=DOMAIN_SIM),
+        ]
+        assert span_coverage(spans, 4.0, domain=DOMAIN_WALL) == 0.0
+
+    def test_nonpositive_measurement_is_zero(self):
+        assert span_coverage([], 0.0) == 0.0
+
+
+class TestPhaseTable:
+    def test_renders_headers_and_rows(self):
+        table = format_phase_table(summarize_spans([_span("estep", 0.0, 1.0)]))
+        assert "Phase" in table and "p99 (ms)" in table
+        assert "estep" in table and "100.0%" in table
+
+    def test_zero_duration_rows_render_without_crashing(self):
+        table = format_phase_table(summarize_spans([_span("hit", 0.0, 0.0)]))
+        assert "hit" in table and "0.0%" in table

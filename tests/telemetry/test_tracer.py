@@ -1,0 +1,200 @@
+"""Span recording: nesting, ordering, wire round trips, worker merges."""
+
+import pytest
+
+from repro.telemetry import (
+    DOMAIN_SIM,
+    DOMAIN_WALL,
+    SimClock,
+    Span,
+    Tracer,
+    WallClock,
+    merge_worker_payloads,
+    null_tracer,
+)
+from repro.telemetry.tracer import _NULL_SPAN
+
+
+class TestLiveSpans:
+    def test_nesting_depth_and_close_order_on_sim_clock(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("outer"):
+            clock.advance_to(1.0)
+            with tracer.span("inner"):
+                clock.advance_to(3.0)
+            clock.advance_to(4.0)
+        # Spans land in *close* order: inner finishes first.
+        assert [span.name for span in tracer.spans] == ["inner", "outer"]
+        inner, outer = tracer.spans
+        assert (inner.depth, outer.depth) == (1, 0)
+        assert (inner.seq, outer.seq) == (0, 1)
+        assert inner.start_seconds == 1.0 and inner.duration_seconds == 2.0
+        assert outer.start_seconds == 0.0 and outer.duration_seconds == 4.0
+        assert {span.domain for span in tracer.spans} == {DOMAIN_SIM}
+        assert tracer.depth == 0  # the stack unwound completely
+
+    def test_nesting_on_wall_clock(self):
+        tracer = Tracer(WallClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans
+        assert inner.domain == outer.domain == DOMAIN_WALL
+        assert inner.depth == 1 and outer.depth == 0
+        # The child lives inside the parent's interval.
+        assert outer.start_seconds <= inner.start_seconds
+        assert inner.end_seconds <= outer.end_seconds
+
+    def test_span_survives_an_exception(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                clock.advance_to(1.0)
+                raise RuntimeError("boom")
+        assert [span.name for span in tracer.spans] == ["doomed"]
+        assert tracer.depth == 0
+
+    def test_span_kwargs_become_args(self):
+        tracer = Tracer(SimClock())
+        with tracer.span("batch", category="serving", track=3, batch_id=7):
+            pass
+        (span,) = tracer.spans
+        assert span.category == "serving"
+        assert span.track == 3
+        assert span.args_dict() == {"batch_id": 7}
+
+
+class TestAddSpan:
+    def test_defaults_come_from_clock_and_stack(self):
+        tracer = Tracer(SimClock())
+        with tracer.span("outer"):
+            tracer.add_span("event", 0.5, 0.25)
+        event = tracer.spans[0]
+        assert event.domain == DOMAIN_SIM
+        assert event.depth == 1  # recorded inside one live span
+        assert event.start_seconds == 0.5 and event.duration_seconds == 0.25
+
+    def test_explicit_domain_and_depth_override(self):
+        tracer = Tracer(SimClock())
+        tracer.add_span(
+            "fit", 0.0, 2.0, domain=DOMAIN_WALL, depth=0, args={"iterations": 4}
+        )
+        (span,) = tracer.spans
+        assert span.domain == DOMAIN_WALL
+        assert span.depth == 0
+        assert span.args == (("iterations", 4),)
+
+    def test_args_accepts_pairs_too(self):
+        tracer = Tracer(SimClock())
+        tracer.add_span("x", 0.0, 1.0, args=(("a", 1), ("b", 2)))
+        assert tracer.spans[0].args_dict() == {"a": 1, "b": 2}
+
+    def test_seq_is_strictly_increasing(self):
+        tracer = Tracer(SimClock())
+        for index in range(5):
+            tracer.add_span(f"s{index}", float(index), 1.0)
+        assert [span.seq for span in tracer.spans] == [0, 1, 2, 3, 4]
+
+
+class TestDisabledTracer:
+    def test_enabled_tracer_requires_a_clock(self):
+        with pytest.raises(ValueError, match="needs a clock"):
+            Tracer(clock=None, enabled=True)
+
+    def test_null_tracer_records_nothing(self):
+        tracer = null_tracer()
+        assert not tracer.enabled
+        with tracer.span("ignored"):
+            tracer.add_span("also ignored", 0.0, 1.0)
+        tracer.absorb([Span("foreign", 0.0, 1.0)])
+        assert tracer.spans == []
+        assert tracer.drain_wire() == []
+
+    def test_span_returns_the_shared_null_context(self):
+        """Disabled span() allocates nothing — always the same object."""
+        tracer = null_tracer()
+        assert tracer.span("a") is tracer.span("b") is _NULL_SPAN
+
+
+class TestWire:
+    def test_round_trip_is_exact(self):
+        original = Span(
+            name="batch",
+            start_seconds=1.25,
+            duration_seconds=0.5,
+            domain=DOMAIN_WALL,
+            category="ipc",
+            track=2,
+            depth=1,
+            seq=9,
+            args=(("batch_id", 4), ("docs", 8)),
+        )
+        assert Span.from_wire(original.to_wire()) == original
+
+    def test_drain_clears_the_buffer(self):
+        tracer = Tracer(SimClock())
+        tracer.add_span("a", 0.0, 1.0)
+        wire = tracer.drain_wire()
+        assert len(wire) == 1 and tracer.spans == []
+        assert tracer.drain_wire() == []
+
+    def test_absorb_reassigns_seq(self):
+        tracer = Tracer(SimClock())
+        tracer.add_span("local", 0.0, 1.0)
+        tracer.absorb([Span("foreign", 5.0, 1.0, seq=99)])
+        assert [span.seq for span in tracer.spans] == [0, 1]
+        assert tracer.spans[1].name == "foreign"
+
+
+class TestMergeWorkerPayloads:
+    @staticmethod
+    def _wire(name, start, track=0):
+        return Span(name, start, 1.0, domain=DOMAIN_WALL, track=track).to_wire()
+
+    def test_order_is_worker_then_seq_then_position(self):
+        # Delivered out of order on purpose: the merge must not care.
+        payloads = {
+            1: [(1, [self._wire("w1m1", 3.0, track=2)]),
+                (0, [self._wire("w1m0a", 1.0, track=2), self._wire("w1m0b", 2.0, track=2)])],
+            0: [(0, [self._wire("w0m0", 0.5, track=1)])],
+        }
+        merged = merge_worker_payloads(payloads)
+        assert [span.name for span in merged] == ["w0m0", "w1m0a", "w1m0b", "w1m1"]
+
+    def test_track_zero_spans_get_the_worker_id(self):
+        merged = merge_worker_payloads(
+            {3: [(0, [self._wire("untagged", 0.0, track=0)])]}
+        )
+        assert merged[0].track == 3
+
+    def test_tagged_tracks_are_preserved(self):
+        merged = merge_worker_payloads(
+            {3: [(0, [self._wire("tagged", 0.0, track=7)])]}
+        )
+        assert merged[0].track == 7
+
+    def test_merged_spans_nest_under_the_parent(self):
+        """Worker-local depth 0 becomes depth 1 in the combined trace."""
+        merged = merge_worker_payloads(
+            {0: [(0, [self._wire("worker_batch", 0.0, track=1)])]}
+        )
+        assert merged[0].depth == 1
+
+    def test_killed_worker_contributes_its_prefix(self):
+        """A dead worker's buffered messages still merge; the rest are absent."""
+        full = {
+            0: [(0, [self._wire("w0m0", 0.0, track=1)]),
+                (1, [self._wire("w0m1", 1.0, track=1)])],
+            1: [(0, [self._wire("w1m0", 0.0, track=2)])],
+        }
+        truncated = {0: full[0][:1], 1: full[1]}
+        names = [span.name for span in merge_worker_payloads(truncated)]
+        assert names == ["w0m0", "w1m0"]
+        # The prefix merge is itself a prefix-per-worker of the full merge.
+        full_names = [span.name for span in merge_worker_payloads(full)]
+        assert [name for name in full_names if name != "w0m1"] == names
+
+    def test_empty_payloads_merge_to_nothing(self):
+        assert merge_worker_payloads({}) == []
