@@ -32,6 +32,19 @@ scheduler buys and where it saturates:
   two disagree about the knee (the simulator has no core count; the
   machine does).  Writes ``benchmarks/results/BENCH_serving_wallclock.json``.
 
+* **open-loop wall clock** (``--open-loop``) — the missing quadrant:
+  the *open-loop* Poisson stream of the load sweep driven against *real*
+  worker processes.  :class:`~repro.serving.TopicServer` runs with a
+  :class:`~repro.serving.WorkerPool` engine, so admission, queueing,
+  batching and the result cache are the production path while execution
+  is measured IPC.  Sweeps offered rate x worker count, pairs every
+  measured run with a simulated twin (same scheduler/queue/cache knobs
+  over a replicated :class:`~repro.serving.EnginePool`), asserts digest
+  bit-identity on a cacheless identity run, diffs the two reports field
+  for field via :func:`~repro.evaluation.compare_pool_scaling`, and
+  writes ``BENCH_serving_openloop.json`` plus ``trace_openloop.json`` /
+  ``metrics_openloop.json`` trace artifacts.
+
 Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q
@@ -39,7 +52,7 @@ Run with::
 or directly (``--tiny`` shrinks the sweep for CI smoke runs; the
 simulated modes write ``benchmarks/results/serving.{txt,json}``)::
 
-    PYTHONPATH=src python benchmarks/bench_serving.py [--tiny] [--wallclock]
+    PYTHONPATH=src python benchmarks/bench_serving.py [--tiny] [--wallclock] [--open-loop]
 """
 
 import argparse
@@ -854,6 +867,255 @@ def _run_wallclock(spec: dict) -> str:
     )
 
 
+OPENLOOP_RATE_FACTORS = (0.5, 2.0)  # under and over the measured knee
+OPENLOOP_BATCH_DOCS = 8
+
+
+def _openloop_server(executor, target_qps: float, max_depth, cache_capacity,
+                     tracer=None, metrics=None) -> TopicServer:
+    """One knob set for both planes: the twin runs must differ only in
+    which clock advances, never in scheduler/queue/cache policy."""
+    max_wait = OPENLOOP_BATCH_DOCS / target_qps if target_qps > 0 else 0.0
+    kwargs = {}
+    if tracer is not None:
+        kwargs["tracer"] = tracer
+    if metrics is not None:
+        kwargs["metrics"] = metrics
+    return TopicServer(
+        executor,
+        scheduler=BatchScheduler(
+            max_batch_docs=OPENLOOP_BATCH_DOCS, max_wait_seconds=max_wait
+        ),
+        queue=RequestQueue(max_depth=max_depth),
+        cache=ResultCache(capacity=cache_capacity),
+        **kwargs,
+    )
+
+
+def _openloop_rows(spec: dict):
+    """Measured open-loop serving (rate x workers) with a simulated twin.
+
+    The capacity probe is a closed-loop single-worker run (the measured
+    knee); each sweep point then offers ``factor x capacity x workers``
+    as a Poisson stream to a :class:`TopicServer` whose engine is the
+    real :class:`WorkerPool`, and to a simulated twin over a replicated
+    :class:`EnginePool` of the same width with identical knobs.  The
+    widest overload pair is kept for the field-for-field report diff,
+    and its measured run is traced (server-side wall tracer only — the
+    pool keeps its own) for the trace artifact.
+    """
+    num_topics = spec["topic_counts"][0]
+    model = _train_model(num_topics)
+    rng = np.random.default_rng(SEED + 31)
+    documents = _make_queries(spec["num_requests"], spec["mean_query_tokens"], rng)
+    worker_counts = tuple(
+        count for count in spec["pool_engine_counts"] if count <= 4
+    ) or (1,)
+
+    rows = []
+    measured_qps = {}
+    simulated_qps = {}
+    pair = {}
+    with tempfile.TemporaryDirectory() as tmpdir:
+        checkpoint = save_model_mmap(model, os.path.join(tmpdir, "ckpt"))
+        with WorkerPool(
+            checkpoint, num_workers=1, seed=SEED, num_sweeps=spec["num_sweeps"]
+        ) as probe:
+            capacity = (
+                serve_wallclock(
+                    probe, make_requests(documents, np.zeros(len(documents))),
+                    batch_docs=OPENLOOP_BATCH_DOCS,
+                ).sustained_qps
+            )
+
+        for num_workers in worker_counts:
+            sim_executor = _pool_executor(
+                model,
+                "single" if num_workers == 1 else "replicated",
+                num_workers,
+                spec,
+                documents,
+            )
+            for factor in OPENLOOP_RATE_FACTORS:
+                target_qps = factor * capacity * num_workers
+                arrivals = poisson_arrivals(
+                    target_qps,
+                    len(documents),
+                    np.random.default_rng(SEED + num_workers),
+                )
+                requests = make_requests(documents, arrivals)
+                trace_this = (
+                    num_workers == worker_counts[-1]
+                    and factor == OPENLOOP_RATE_FACTORS[-1]
+                )
+                tracer = Tracer(WallClock()) if trace_this else None
+                metrics = MetricsRegistry() if trace_this else None
+                with WorkerPool(
+                    checkpoint,
+                    num_workers=num_workers,
+                    seed=SEED,
+                    num_sweeps=spec["num_sweeps"],
+                ) as pool:
+                    measured = _openloop_server(
+                        pool, target_qps, QUEUE_DEPTH, 10_000, tracer, metrics
+                    ).serve(requests)
+                    stats = pool.stats()
+                assert stats["pending"] == 0, stats
+                assert measured.answered + measured.rejected == len(requests)
+                simulated = _openloop_server(
+                    sim_executor, target_qps, QUEUE_DEPTH, 10_000
+                ).serve(requests)
+                assert simulated.answered + simulated.rejected == len(requests)
+                rows.append(
+                    {
+                        "num_workers": num_workers,
+                        "rate_factor": factor,
+                        "target_qps": target_qps,
+                        "simulated_qps": simulated.sustained_qps,
+                        "simulated_p99_ms": simulated.p99_seconds * 1e3,
+                        **measured.summary(),
+                    }
+                )
+                if factor == OPENLOOP_RATE_FACTORS[-1]:
+                    measured_qps[num_workers] = measured.sustained_qps
+                    simulated_qps[num_workers] = simulated.sustained_qps
+                if trace_this:
+                    pair = {
+                        "measured": measured,
+                        "simulated": simulated,
+                        "tracer": tracer,
+                        "metrics": metrics,
+                    }
+
+        # Identity gate: cacheless (a cached repeat answers with the
+        # *original's* theta — correct, but a different bit pattern than
+        # recomputing under the repeat's request id) and unbounded, so
+        # both planes answer every request and must produce one digest.
+        identity_requests = make_requests(
+            documents,
+            poisson_arrivals(
+                capacity, len(documents), np.random.default_rng(SEED + 47)
+            ),
+        )
+        with WorkerPool(
+            checkpoint,
+            num_workers=worker_counts[-1],
+            seed=SEED,
+            num_sweeps=spec["num_sweeps"],
+        ) as pool:
+            measured_identity = _openloop_server(pool, capacity, None, 0).serve(
+                identity_requests
+            )
+        sim_engine = _pool_executor(model, "single", 1, spec, documents)
+        simulated_identity = _openloop_server(sim_engine, capacity, None, 0).serve(
+            identity_requests
+        )
+        measured_digest = pool_results_digest(measured_identity.outcomes)
+        simulated_digest = pool_results_digest(simulated_identity.outcomes)
+        assert measured_digest == simulated_digest, (
+            "measured open-loop run diverged from the simulated plane"
+        )
+
+    comparison = compare_pool_scaling(
+        measured_qps,
+        simulated_qps,
+        simulated_report=pair["simulated"],
+        measured_report=pair["measured"],
+    )
+    coverage = _assert_trace_reproduces_report(pair["tracer"], pair["measured"])
+    return rows, comparison, capacity, pair, coverage, measured_digest
+
+
+def _build_openloop_report(rows, comparison, capacity, cores) -> str:
+    table = format_table(
+        [
+            "Workers",
+            "Rate",
+            "Target QPS",
+            "QPS",
+            "Sim QPS",
+            "p50 (ms)",
+            "p99 (ms)",
+            "Rejected",
+            "Cache hits",
+        ],
+        [
+            [
+                row["num_workers"],
+                f"{row['rate_factor']:.1f}x",
+                f"{row['target_qps']:.0f}",
+                f"{row['sustained_qps']:.0f}",
+                f"{row['simulated_qps']:.0f}",
+                f"{row['p50_ms']:.2f}",
+                f"{row['p99_ms']:.2f}",
+                f"{row['rejection_rate']:.0%}",
+                f"{row['cache_hit_rate']:.0%}",
+            ]
+            for row in rows
+        ],
+    )
+    field_rows = comparison.report_fields or []
+    diff_table = format_table(
+        ["Field", "Simulated", "Measured", "Equal"],
+        [
+            [
+                row["field"],
+                f"{row['simulated']:.4g}",
+                f"{row['measured']:.4g}",
+                "yes" if row["equal"] else "no",
+            ]
+            for row in field_rows
+        ],
+    )
+    return (
+        f"Open-loop wall-clock serving ({cores} core(s), single-worker "
+        f"closed-loop capacity {capacity:.0f} QPS, batch {OPENLOOP_BATCH_DOCS} "
+        f"docs, queue depth {QUEUE_DEPTH}):\n"
+        f"{table}\n"
+        f"digest bit-identical to the simulated plane (cacheless run): yes\n\n"
+        f"Unified report contract — widest overload pair, field for field:\n"
+        f"{diff_table}\n"
+    )
+
+
+def _run_openloop(spec: dict) -> str:
+    rows, comparison, capacity, pair, coverage, digest = _openloop_rows(spec)
+    cores = _available_cores()
+    trace_path = write_chrome_trace(
+        os.path.join(results_dir(), "trace_openloop.json"),
+        list(pair["tracer"].spans),
+        metadata={"bench": "serving_openloop", "seed": SEED},
+    )
+    metrics_path = write_metrics_json(
+        os.path.join(results_dir(), "metrics_openloop.json"),
+        pair["metrics"],
+        metadata={"bench": "serving_openloop", "seed": SEED},
+    )
+    payload = {
+        "available_cores": cores,
+        "batch_docs": OPENLOOP_BATCH_DOCS,
+        "rate_factors": list(OPENLOOP_RATE_FACTORS),
+        "capacity_qps": capacity,
+        "rows": rows,
+        "scaling_comparison": comparison.summary(),
+        "identity_digest": digest,
+        "digest_identical_to_simulated_plane": True,
+        "telemetry": {
+            "trace_path": trace_path,
+            "metrics_path": metrics_path,
+            "span_coverage": coverage,
+            "span_coverage_floor": SPAN_COVERAGE_FLOOR,
+        },
+    }
+    path = emit_json_report("BENCH_serving_openloop", payload)
+    return (
+        _build_openloop_report(rows, comparison, capacity, cores)
+        + f"trace artifact: {trace_path}\n"
+        + f"metrics artifact: {metrics_path}\n"
+        + f"json report: {path}\n"
+    )
+
+
 def _run(spec: dict):
     rows = _load_sweep_rows(spec)
     digests = _checkpoint_equivalence(spec)
@@ -962,10 +1224,21 @@ if __name__ == "__main__":
         "checkpoint) instead of the simulated sweeps; writes "
         "benchmarks/results/BENCH_serving_wallclock.json",
     )
+    parser.add_argument(
+        "--open-loop",
+        action="store_true",
+        help="measured open-loop serving: the Poisson arrival stream "
+        "driven through TopicServer over real worker processes, paired "
+        "with a simulated twin; writes "
+        "benchmarks/results/BENCH_serving_openloop.json",
+    )
     args = parser.parse_args()
     spec = TINY if args.tiny else FULL
     if args.wallclock:
         print(_run_wallclock(spec))
+        raise SystemExit(0)
+    if args.open_loop:
+        print(_run_openloop(spec))
         raise SystemExit(0)
     sweep_rows, layout_digests, pool_rows, pool_digests, crossover_rows = _run(spec)
     wall_rows = _wall_clock_backends(spec)

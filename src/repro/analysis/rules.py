@@ -322,10 +322,15 @@ class UnorderedIterationRule(Rule):
 # DET003 — wall-clock reads
 # --------------------------------------------------------------------------- #
 
-#: Modules allowed to read the clock: the shared timing harness and the
-#: real-IPC data plane (deadlines, liveness, log timestamps — wall time
-#: is its *subject*, and none of it feeds model mathematics).
-_TIMING_ALLOWLIST = ("repro.bench.timing", "repro.serving.workers")
+#: Modules allowed to read the clock: the shared timing harness, the
+#: real-IPC data plane (deadlines, liveness, log timestamps) and the
+#: open-loop wall-clock serving driver (arrival pacing, answer timing) —
+#: wall time is their *subject*, and none of it feeds model mathematics.
+_TIMING_ALLOWLIST = (
+    "repro.bench.timing",
+    "repro.serving.workers",
+    "repro.serving.open_loop",
+)
 
 _WALL_CLOCK_CALLS = frozenset(
     {

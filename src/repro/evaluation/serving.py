@@ -322,6 +322,8 @@ REPORT_FIELDS = (
     "mean_seconds",
     "mean_batch_docs",
     "cache_hit_rate",
+    "cache_hits",
+    "cache_lookups",
 )
 
 
@@ -335,7 +337,9 @@ def report_field_comparison(
     Works on any pair exposing the shared report surface — a
     :class:`~repro.serving.server.ServingReport` against a
     :class:`~repro.serving.workers.WallClockReport` is the intended
-    pairing.  Latency fields are *expected* to disagree (simulated GPU
+    pairing, e.g. the same open-loop arrival stream served simulated
+    and then measured (:func:`~repro.serving.open_loop.serve_open_loop`).
+    Latency fields are *expected* to disagree (simulated GPU
     seconds vs measured wall seconds on this machine); the point of the
     row-by-row view is that the *structural* fields (answered, rejected,
     batch occupancy) must not.  ``ratio`` is measured over simulated,

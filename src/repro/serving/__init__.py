@@ -55,7 +55,12 @@ with ``mmap_mode="r"`` — one physical copy of the model shared through
 the page cache — and serve micro-batches over real IPC, with
 crash/timeout detection, bounded retry and graceful degradation to
 in-process execution.  :func:`serve_wallclock` measures sustained QPS
-and latency percentiles; results stay bit-identical to the single
+and latency percentiles closed-loop; a :class:`WorkerPool` handed to
+:class:`TopicServer` as its executor runs the full open-loop arrival
+path **measured** instead of simulated
+(:func:`~repro.serving.open_loop.serve_open_loop`), returning a
+:class:`WallClockReport` with the same field surface as
+:class:`ServingReport`.  Results stay bit-identical to the single
 in-process engine because requests are keyed by ``(seed, request_id)``.
 
 Typical usage::
@@ -89,9 +94,10 @@ from .pool import (
     PoolBatchExecution,
     pool_results_digest,
 )
+from .open_loop import serve_open_loop
 from .queue import RequestQueue, ServingRequest
 from .scheduler import BatchScheduler, InferenceBatch, layout_batch
-from .stats import LatencyReportMixin
+from .stats import LatencyReportMixin, pinned_makespan
 from .server import (
     RequestOutcome,
     ServingReport,
@@ -137,9 +143,11 @@ __all__ = [
     "fold_in_proximity",
     "layout_batch",
     "make_requests",
+    "pinned_makespan",
     "poisson_arrivals",
     "pool_results_digest",
     "request_rng",
+    "serve_open_loop",
     "serve_wallclock",
     "warm_sampler_bank",
 ]

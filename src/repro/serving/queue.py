@@ -58,6 +58,15 @@ class RequestQueue:
     rejected: int = 0
     _pending: Deque[ServingRequest] = field(default_factory=deque)
 
+    # Counting rule (shared by both serving planes): every rejection the
+    # serve loop reports — a full queue in :meth:`offer` *or* a malformed
+    # request refused at validation via :meth:`shed` — increments
+    # ``rejected``, so :meth:`rejection_rate` and the run report's
+    # ``rejection_rate`` agree on a cacheless run.  (Cache hits are
+    # answered without ever being offered: they enter the report's
+    # denominator but not the queue's, so on a cacheful run the report
+    # rate is the lower of the two — by design, not by drift.)
+
     def __post_init__(self) -> None:
         if self.max_depth is not None and self.max_depth < 1:
             raise ValueError("max_depth must be >= 1 (or None for unbounded)")
@@ -78,6 +87,16 @@ class RequestQueue:
         self._pending.append(request)
         self.admitted += 1
         return True
+
+    def shed(self) -> None:
+        """Count a rejection decided *before* the queue was consulted.
+
+        Admission validation refuses malformed requests without offering
+        them; counting those sheds here keeps this queue the single
+        source of truth for the admission counters (see the counting
+        rule above).
+        """
+        self.rejected += 1
 
     def oldest_arrival(self) -> Optional[float]:
         """Arrival time of the longest-waiting request, or ``None`` when empty."""

@@ -14,6 +14,14 @@ engines: replicated pools run one batch per idle lane, dispatched to the
 least-loaded engine; topic-sharded pools run each batch cooperatively
 across all engines).  Cache hits are answered at arrival without touching
 the queue, so repeated documents cost a lookup, not a batch slot.
+
+A third executor kind leaves the simulation entirely: with a
+:class:`~repro.serving.workers.WorkerPool` the *same* admission → queue →
+scheduler → cache path runs **measured**, against real OS worker
+processes on the wall clock (:func:`~repro.serving.open_loop.serve_open_loop`),
+and :meth:`TopicServer.serve` returns a
+:class:`~repro.serving.workers.WallClockReport` instead of a
+:class:`ServingReport` — same field surface, different time domain.
 """
 
 from __future__ import annotations
@@ -30,7 +38,8 @@ from .engine import BatchExecution, InferenceEngine
 from .pool import EnginePool, PoolBatchExecution
 from .queue import RequestQueue, ServingRequest
 from .scheduler import BatchScheduler
-from .stats import LatencyReportMixin
+from .stats import LatencyReportMixin, pinned_makespan
+from .workers import WallClockReport, WorkerPool
 
 #: What one dispatched batch came back as (single engine or pool).
 AnyExecution = Union[BatchExecution, PoolBatchExecution]
@@ -127,6 +136,8 @@ class ServingReport(LatencyReportMixin):
             "sustained_qps": self.sustained_qps,
             "mean_batch_docs": self.mean_batch_docs,
             "cache_hit_rate": self.cache_hit_rate,
+            "cache_hits": float(self.cache_hits),
+            "cache_lookups": float(self.cache_lookups),
             "num_batches": float(len(self.batches)),
         }
 
@@ -135,15 +146,19 @@ class ServingReport(LatencyReportMixin):
 class TopicServer:
     """Topic-inference server over a simulated clock.
 
-    ``engine`` is either one :class:`InferenceEngine` (single device,
-    one batch in flight) or an :class:`~repro.serving.pool.EnginePool`
-    (one shared queue, one batch in flight per lane).  Everything else —
-    admission, micro-batching, caching, reporting — is identical, and so
-    are the per-request results: pooling is a scheduling decision, never
-    a numeric one.
+    ``engine`` is one :class:`InferenceEngine` (single device, one batch
+    in flight), an :class:`~repro.serving.pool.EnginePool` (one shared
+    queue, one batch in flight per lane), or a started
+    :class:`~repro.serving.workers.WorkerPool` — in which case the run
+    is *measured*, not simulated: the same admission/batching/caching
+    path paced on the wall clock against real worker processes, with
+    :meth:`serve` returning a :class:`~repro.serving.workers.WallClockReport`.
+    Everything else — admission, micro-batching, caching, reporting — is
+    identical, and so are the per-request results: the executor is a
+    scheduling decision, never a numeric one.
     """
 
-    engine: Union[InferenceEngine, EnginePool]
+    engine: Union[InferenceEngine, EnginePool, WorkerPool]
     scheduler: BatchScheduler = field(default_factory=BatchScheduler)
     queue: RequestQueue = field(default_factory=RequestQueue)
     cache: ResultCache = field(default_factory=ResultCache)
@@ -152,23 +167,37 @@ class TopicServer:
     #: *simulated* clock (event times the serve loop already computes);
     #: nothing here reads the machine clock, so an instrumented run's
     #: trace — and its results — are bit-identical across executions.
+    #: (With a :class:`WorkerPool` executor the clock must instead be a
+    #: ``WallClock`` — the run's event times are measured.)
     tracer: Tracer = field(default_factory=null_tracer)
     metrics: MetricsRegistry = field(default_factory=null_metrics)
 
     @property
     def num_lanes(self) -> int:
         """Concurrent batch slots of the executor (1 for a single engine)."""
-        if isinstance(self.engine, EnginePool):
+        if isinstance(self.engine, (EnginePool, WorkerPool)):
             return self.engine.num_lanes
         return 1
 
-    def serve(self, requests: Sequence[ServingRequest]) -> ServingReport:
+    def serve(
+        self, requests: Sequence[ServingRequest]
+    ) -> Union[ServingReport, WallClockReport]:
         """Run the full arrival stream to completion and report.
 
         Requests must be offered in arrival order; the simulation
         advances the clock between arrivals, batch dispatches and batch
         completions, with each lane processing one batch at a time.
+
+        With a :class:`~repro.serving.workers.WorkerPool` executor the
+        stream instead runs open-loop on the *wall* clock
+        (:func:`~repro.serving.open_loop.serve_open_loop`) and the
+        result is a :class:`~repro.serving.workers.WallClockReport` —
+        the same report surface with measured seconds in it.
         """
+        if isinstance(self.engine, WorkerPool):
+            from .open_loop import serve_open_loop
+
+            return serve_open_loop(self, requests)
         pool = self.engine if isinstance(self.engine, EnginePool) else None
         num_lanes = self.num_lanes
         arrivals = sorted(requests, key=lambda request: request.arrival_seconds)
@@ -194,6 +223,7 @@ class TopicServer:
         last_answer = 0.0
 
         def admit(request: ServingRequest) -> None:
+            nonlocal last_answer
             # Validate at admission: a malformed request is refused on its
             # own, never dispatched where it would abort a whole batch (and
             # the simulation) from inside the engine.
@@ -201,6 +231,11 @@ class TopicServer:
             if len(word_ids) and (
                 word_ids.min() < 0 or word_ids.max() >= vocabulary_size
             ):
+                # shed(): validation rejections count in the queue's
+                # admission counters like overflow rejections, so
+                # queue.rejection_rate() and the report agree (the
+                # counting rule documented on RequestQueue).
+                self.queue.shed()
                 outcomes[request.request_id] = RequestOutcome(
                     request_id=request.request_id,
                     arrival_seconds=request.arrival_seconds,
@@ -218,6 +253,9 @@ class TopicServer:
                     finish_seconds=request.arrival_seconds,
                     theta=cached,
                 )
+                # A cache hit *is* an answer (at arrival time): it must be
+                # able to close the makespan when it is the run's last one.
+                last_answer = max(last_answer, request.arrival_seconds)
                 metrics.counter("serving.cache_hits").inc()
                 if tracing:
                     # Answered at arrival: a zero-duration request span, so
@@ -330,7 +368,11 @@ class TopicServer:
                 clock.advance_to(max(clock.now(), now, last_answer))
         ordered = [outcomes[request.request_id] for request in arrivals]
         first_arrival = arrivals[0].arrival_seconds if arrivals else 0.0
-        makespan = max(last_answer, now) - first_arrival if arrivals else 0.0
+        answered = sum(1 for outcome in ordered if outcome.status != "rejected")
+        # Pinned rule: first arrival to last answer.  `now` may sit past the
+        # last answer (e.g. a trailing arrival that was rejected) and must
+        # not stretch the span — that would silently deflate sustained_qps.
+        makespan = pinned_makespan(first_arrival, last_answer, answered)
         rejected = sum(1 for outcome in ordered if outcome.status == "rejected")
         run_batches = self.scheduler.batches_dispatched - batches_before
         run_documents = self.scheduler.documents_dispatched - documents_before

@@ -12,7 +12,11 @@ rules, so the rules live once, here, on a mixin:
   itself; duplicates answer exactly; empty → ``NaN``);
 * ``mean_seconds`` is ``NaN`` with zero answered requests — a run that
   answered nothing has *no* latency distribution, not a zero-latency
-  one.
+  one;
+* the throughput span (:func:`pinned_makespan`) runs from the first
+  arrival to the last **answer** — never to "now", never to a trailing
+  rejection — and is 0.0 when nothing was answered, so ``sustained_qps``
+  means the same thing on the simulated and the measured clock.
 
 A report plugs in by implementing ``_latencies(include_cache_hits)``
 returning a float64 array of answered latencies in seconds.
@@ -23,6 +27,26 @@ from __future__ import annotations
 import numpy as np
 
 from ..telemetry.metrics import pinned_percentile
+
+
+def pinned_makespan(
+    first_arrival_seconds: float,
+    last_answer_seconds: float,
+    answered: int,
+) -> float:
+    """The one throughput-span rule: first arrival to last answer.
+
+    The span ``sustained_qps`` divides by covers exactly the interval in
+    which answering happened.  Events *after* the last answer — a
+    trailing arrival that admission control rejects, the clock advancing
+    while nothing is left to do — must not stretch it (they would
+    silently deflate QPS), and a run that answered nothing has no span
+    at all, so it returns 0.0 (and the report's QPS reads 0.0 rather
+    than dividing by a meaningless interval).
+    """
+    if answered <= 0:
+        return 0.0
+    return max(last_answer_seconds - first_arrival_seconds, 0.0)
 
 
 class LatencyReportMixin:

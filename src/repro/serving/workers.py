@@ -297,6 +297,11 @@ class WorkerPool:
     max_retries: int = 1
     inprocess_fallback: bool = True
     mmap_mode: Optional[str] = "r"
+    #: Fault-injection default: every submitted batch carries this stall
+    #: unless :meth:`submit` overrides it.  Lets a driver that never
+    #: touches ``submit`` directly (e.g. the open-loop server) run the
+    #: slow-worker / blown-deadline fault paths.
+    default_stall_seconds: float = 0.0
 
     #: Disabled by default: pass ``Tracer(WallClock())`` /
     #: ``MetricsRegistry()`` to observe the data plane.  Workers inherit
@@ -319,6 +324,9 @@ class WorkerPool:
     _task_queues: Dict[int, object] = field(default_factory=dict)
     _result_queue: Optional[object] = None
     _in_flight: Dict[int, _InFlight] = field(default_factory=dict)
+    # Resolved out of order while collect_batch() waited on another batch:
+    # handed back, lowest batch id first, by the next collect()/collect_batch().
+    _resolved: Dict[int, BatchOutcome] = field(default_factory=dict)
     _outstanding: Dict[int, int] = field(default_factory=dict)
     _next_batch_id: int = 0
     _started: bool = False
@@ -474,6 +482,19 @@ class WorkerPool:
         """Concurrent dispatch lanes (EnginePool surface): live workers, min 1."""
         return max(len(self.live_workers), 1)
 
+    @property
+    def model(self):
+        """The frozen :class:`~repro.core.model.LDAModel` (engine surface).
+
+        The parent's fallback state opens the same mmap checkpoint the
+        workers do, so this is the model every lane serves — it is what
+        the :class:`~repro.serving.server.TopicServer` admission
+        validator reads ``vocabulary_size`` from.
+        """
+        if self._fallback_state is None:
+            raise RuntimeError("WorkerPool.model before start()")
+        return self._fallback_state.model
+
     def stats(self) -> Dict[str, object]:
         """Counters for reports, benchmarks and the conservation check."""
         return {
@@ -495,7 +516,7 @@ class WorkerPool:
     def submit(
         self,
         requests: Sequence[ServingRequest],
-        stall_seconds: float = 0.0,
+        stall_seconds: Optional[float] = None,
         worker_id: Optional[int] = None,
     ) -> int:
         """Queue one micro-batch on the least-loaded live worker.
@@ -505,10 +526,12 @@ class WorkerPool:
         :meth:`collect` through the in-process fallback.  ``worker_id``
         pins the batch to one worker (tests and benchmarks);
         ``stall_seconds`` is the fault-injection sleep forwarded to the
-        worker.
+        worker (``None``: the pool's ``default_stall_seconds``).
         """
         if not self._started:
             raise RuntimeError("WorkerPool.submit() before start()")
+        if stall_seconds is None:
+            stall_seconds = self.default_stall_seconds
         payload = [
             (int(request.request_id), np.asarray(request.word_ids, dtype=np.int32))
             for request in requests
@@ -556,11 +579,16 @@ class WorkerPool:
     def collect(self, timeout: Optional[float] = None) -> BatchOutcome:
         """Wait for the next answered (or terminally failed) batch.
 
-        Drives the whole fault path: dead-worker detection, per-batch
+        Outcomes buffered by :meth:`collect_batch` (resolved while a
+        *different* batch was being awaited) are handed back first,
+        lowest batch id first — no outcome is ever dropped.  Otherwise
+        drives the whole fault path: dead-worker detection, per-batch
         deadlines, bounded retry on surviving workers, and in-process
         fallback.  Raises ``queue_module.Empty`` only when ``timeout``
         elapses with every in-flight batch still healthy.
         """
+        if self._resolved:
+            return self._resolved.pop(min(self._resolved))
         if not self._in_flight:
             raise ValueError("collect() with no batch in flight")
         overall_deadline = None if timeout is None else time.monotonic() + timeout
@@ -568,6 +596,30 @@ class WorkerPool:
             outcome = self._collect_step()
             if outcome is not None:
                 return outcome
+            if overall_deadline is not None and time.monotonic() > overall_deadline:
+                raise queue_module.Empty
+
+    def collect_batch(self, batch_id: int, timeout: Optional[float] = None) -> BatchOutcome:
+        """Wait for one *specific* batch.
+
+        Other batches resolving in the meantime are buffered — not
+        discarded — and come back from their own :meth:`collect` /
+        :meth:`collect_batch` call.  Raises ``queue_module.Empty`` when
+        ``timeout`` elapses first, ``ValueError`` for a batch id that is
+        neither in flight nor buffered.
+        """
+        if batch_id in self._resolved:
+            return self._resolved.pop(batch_id)
+        if batch_id not in self._in_flight:
+            raise ValueError(f"batch {batch_id} is not in flight")
+        overall_deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            outcome = self._collect_step()
+            if outcome is not None:
+                if outcome.batch_id == batch_id:
+                    return outcome
+                self._resolved[outcome.batch_id] = outcome
+                continue
             if overall_deadline is not None and time.monotonic() > overall_deadline:
                 raise queue_module.Empty
 
@@ -796,9 +848,9 @@ class WorkerPool:
         live = self.live_workers
         worker_id = live[lane % len(live)] if live else None
         batch_id = self.submit(batch.requests, worker_id=worker_id)
-        outcome = self.collect()
-        while outcome.batch_id != batch_id:  # only with interleaved submits
-            outcome = self.collect()
+        # collect_batch: with interleaved submits, other batches resolving
+        # first are buffered for their own collect — never dropped.
+        outcome = self.collect_batch(batch_id)
         return PoolBatchExecution(
             batch=batch,
             results=outcome.results,
@@ -825,13 +877,22 @@ def _to_fold_in(entry, num_sweeps: int) -> FoldInResult:
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class WallClockOutcome:
-    """Per-request record of a wall-clock run (digest-compatible shape)."""
+    """Per-request record of a wall-clock run (digest-compatible shape).
+
+    ``status`` is ``"answered"`` (a worker or the fallback computed the
+    theta), ``"cache_hit"`` (answered from the
+    :class:`~repro.serving.cache.ResultCache` without a batch slot —
+    open-loop runs only), ``"rejected"`` (shed at admission: malformed
+    or queue overflow — open-loop runs only), or ``"failed"`` (admitted
+    but terminally lost to the fault path).  ``latency_seconds`` is NaN
+    for requests that were never answered.
+    """
 
     request_id: int
     theta: Optional[np.ndarray]
     latency_seconds: float
     worker_id: int
-    status: str
+    status: str  # "answered" | "cache_hit" | "rejected" | "failed"
 
 
 @dataclass
@@ -842,46 +903,67 @@ class WallClockReport(LatencyReportMixin):
     :class:`~repro.serving.server.ServingReport` — identical percentile
     and mean accessors through
     :class:`~repro.serving.stats.LatencyReportMixin` (one pinned
-    percentile rule, ``NaN`` with zero answered requests) plus the
-    report fields the evaluation layer compares field for field
-    (``answered``, ``rejected``, ``rejection_rate``, ``sustained_qps``,
-    ``mean_batch_docs``, ``cache_hit_rate``).  A batch the fault path
-    terminally failed is this plane's "rejection": the request was
-    admitted but never answered.
+    percentile rule, ``NaN`` with zero answered requests) plus every
+    report field the evaluation layer compares field for field
+    (:data:`repro.evaluation.serving.REPORT_FIELDS`: ``answered``,
+    ``rejected``, ``rejection_rate``, ``sustained_qps``, the latency
+    accessors, ``mean_batch_docs``, ``cache_hit_rate``, ``cache_hits``,
+    ``cache_lookups``).  Requests the data plane terminally failed count
+    into ``rejected`` alongside admission sheds: either way the stream
+    offered a request and never got an answer.
+
+    ``cache_hits`` / ``cache_lookups`` are real counters on open-loop
+    runs (:func:`~repro.serving.open_loop.serve_open_loop`, which runs
+    the server's ResultCache); the closed-loop
+    :func:`serve_wallclock` driver bypasses the cache, so there they
+    stay 0 and ``cache_hit_rate`` reads 0.0.
     """
 
     outcomes: List[WallClockOutcome]
     batches: List[BatchOutcome]
     wall_seconds: float
     pool_stats: Dict[str, object]
+    cache_hits: int = 0
+    cache_lookups: int = 0
 
     def _latencies(self, include_cache_hits: bool = True) -> np.ndarray:
         values = [
             outcome.latency_seconds
             for outcome in self.outcomes
             if outcome.status == "answered"
+            or (include_cache_hits and outcome.status == "cache_hit")
         ]
         return np.asarray(values, dtype=np.float64)
 
     @property
     def answered(self) -> int:
-        return sum(1 for outcome in self.outcomes if outcome.status == "answered")
+        """Requests answered (computed or served from cache)."""
+        return sum(
+            1
+            for outcome in self.outcomes
+            if outcome.status in ("answered", "cache_hit")
+        )
 
     @property
     def failed(self) -> int:
+        """Admitted requests terminally lost to the fault path."""
         return sum(1 for outcome in self.outcomes if outcome.status == "failed")
 
     @property
     def rejected(self) -> int:
-        """ServingReport-compatible alias: terminally failed requests."""
-        return self.failed
+        """Requests that never got an answer: admission sheds + failures."""
+        return sum(
+            1
+            for outcome in self.outcomes
+            if outcome.status in ("rejected", "failed")
+        )
 
     @property
     def rejection_rate(self) -> float:
-        """Failed requests over the whole stream (0.0 on an empty run)."""
+        """Unanswered requests over the whole stream (0.0 on an empty run)."""
         if not self.outcomes:
             return 0.0
-        return self.failed / len(self.outcomes)
+        return self.rejected / len(self.outcomes)
 
     @property
     def sustained_qps(self) -> float:
@@ -899,8 +981,10 @@ class WallClockReport(LatencyReportMixin):
 
     @property
     def cache_hit_rate(self) -> float:
-        """Always 0.0 — the wall-clock plane runs cacheless by design."""
-        return 0.0
+        """Cache hits over lookups during this run (0.0 before any lookup)."""
+        if self.cache_lookups == 0:
+            return 0.0
+        return self.cache_hits / self.cache_lookups
 
     def summary(self) -> Dict[str, object]:
         """Flat metrics dict for reports and benchmark JSON.
@@ -921,6 +1005,8 @@ class WallClockReport(LatencyReportMixin):
             "mean_ms": self.mean_seconds * 1e3,
             "mean_batch_docs": self.mean_batch_docs,
             "cache_hit_rate": self.cache_hit_rate,
+            "cache_hits": self.cache_hits,
+            "cache_lookups": self.cache_lookups,
             "num_batches": len(self.batches),
             **{f"pool_{key}": value for key, value in self.pool_stats.items()},
         }
@@ -935,10 +1021,13 @@ def serve_wallclock(
 
     Requests are packed into micro-batches of ``batch_docs`` in stream
     order; every batch is submitted up front (closed-loop saturation —
-    the measurement is the data plane's sustained capacity, the
-    open-loop arrival dynamics stay the simulator's job) and collected
-    as workers answer.  Per-request latency is its batch's
-    submit-to-answer wall time.
+    the measurement is the data plane's sustained capacity) and
+    collected as workers answer.  Per-request latency is its batch's
+    submit-to-answer wall time.  For measured *open-loop* arrival
+    dynamics — Poisson arrivals paced on the wall clock through
+    admission control, micro-batching and the result cache — put the
+    pool behind a :class:`~repro.serving.server.TopicServer` instead
+    (:func:`~repro.serving.open_loop.serve_open_loop`).
     """
     if batch_docs < 1:
         raise ValueError("batch_docs must be >= 1")

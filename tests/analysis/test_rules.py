@@ -70,7 +70,11 @@ class TestDET003:
 
     @pytest.mark.parametrize(
         "virtual_path",
-        ["src/repro/bench/timing.py", "src/repro/serving/workers.py"],
+        [
+            "src/repro/bench/timing.py",
+            "src/repro/serving/workers.py",
+            "src/repro/serving/open_loop.py",
+        ],
     )
     def test_timing_modules_are_allowlisted(self, lint_fixture, virtual_path):
         assert lint_fixture("det003_bad.py", virtual_path) == []

@@ -1,0 +1,238 @@
+"""Open-loop wall-clock serving: TopicServer over a real WorkerPool.
+
+The measured open-loop plane must keep every promise the simulated one
+makes: digest bit-identity at the same seed, real cache hits through the
+same ResultCache, one admission/rejection rule across surfaces, and a
+report whose field set diffs cleanly against the simulated run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LDAHyperParams, save_model_mmap
+from repro.core.model import LDAModel
+from repro.evaluation.serving import REPORT_FIELDS, report_field_comparison
+from repro.serving import (
+    BatchScheduler,
+    InferenceEngine,
+    RequestQueue,
+    ResultCache,
+    TopicServer,
+    WallClockReport,
+    WorkerPool,
+    make_requests,
+    poisson_arrivals,
+    pool_results_digest,
+)
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    WallClock,
+    pinned_percentile,
+    span_coverage,
+)
+
+NUM_TOPICS = 6
+VOCABULARY = 80
+SEED = 13
+NUM_SWEEPS = 3
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tmp_path_factory):
+    rng = np.random.default_rng(SEED)
+    counts = rng.integers(0, 30, size=(VOCABULARY, NUM_TOPICS)).astype(np.int64)
+    model = LDAModel(
+        word_topic_counts=counts,
+        params=LDAHyperParams(num_topics=NUM_TOPICS, alpha=0.1, beta=0.01),
+    )
+    directory = str(tmp_path_factory.mktemp("ckpt") / "model")
+    return save_model_mmap(model, directory)
+
+
+@pytest.fixture(scope="module")
+def documents():
+    rng = np.random.default_rng(SEED + 1)
+    return [
+        rng.integers(0, VOCABULARY, size=int(rng.integers(4, 14))).astype(np.int32)
+        for _ in range(20)
+    ]
+
+
+def _requests(documents, rate_qps=400.0, seed=SEED + 2):
+    arrivals = poisson_arrivals(rate_qps, len(documents), np.random.default_rng(seed))
+    return make_requests(documents, arrivals)
+
+
+def _server(pool, **overrides) -> TopicServer:
+    defaults = dict(
+        scheduler=BatchScheduler(max_batch_docs=4, max_wait_seconds=0.002),
+        queue=RequestQueue(max_depth=None),
+        cache=ResultCache(capacity=0),
+    )
+    defaults.update(overrides)
+    return TopicServer(pool, **defaults)
+
+
+class TestOpenLoopHappyPath:
+    def test_serve_dispatches_to_the_wallclock_plane(self, checkpoint, documents):
+        requests = _requests(documents)
+        with WorkerPool(checkpoint, num_workers=2, seed=SEED, num_sweeps=NUM_SWEEPS) as pool:
+            server = _server(pool)
+            report = server.serve(requests)
+            stats = pool.stats()
+        assert isinstance(report, WallClockReport)
+        assert report.answered == len(requests)
+        assert report.rejected == 0
+        assert report.wall_seconds > 0.0
+        assert report.sustained_qps > 0.0
+        assert report.p99_seconds >= report.p50_seconds > 0.0
+        assert stats["admitted"] == stats["answered"] + stats["failed"] + stats["pending"]
+        assert stats["pending"] == 0
+        # Outcomes come back in arrival order, one per offered request.
+        assert [outcome.request_id for outcome in report.outcomes] == [
+            request.request_id for request in requests
+        ]
+
+    def test_bit_identical_to_the_simulated_open_loop_run(self, checkpoint, documents):
+        """Same stream, same seed: measured and simulated runs agree on
+        every theta byte — wall-clock pacing is a scheduling decision,
+        never a numeric one."""
+        requests = _requests(documents)
+        with WorkerPool(checkpoint, num_workers=2, seed=SEED, num_sweeps=NUM_SWEEPS) as pool:
+            measured = _server(pool).serve(requests)
+        engine = InferenceEngine.from_mmap_checkpoint(
+            checkpoint, seed=SEED, num_sweeps=NUM_SWEEPS, mmap_mode=None
+        )
+        simulated = _server(engine).serve(requests)
+        assert measured.answered == simulated.answered == len(requests)
+        assert pool_results_digest(measured.outcomes) == pool_results_digest(
+            simulated.outcomes
+        )
+
+    def test_open_loop_latency_includes_queue_wait(self, checkpoint, documents):
+        """One lane and a tight arrival burst: later requests must carry
+        their queue wait (open-loop discipline), so latency grows along
+        the stream instead of staying one batch."""
+        requests = make_requests(documents[:8], np.zeros(8))
+        with WorkerPool(checkpoint, num_workers=1, seed=SEED, num_sweeps=NUM_SWEEPS) as pool:
+            server = _server(
+                pool, scheduler=BatchScheduler(max_batch_docs=2, max_wait_seconds=0.0)
+            )
+            report = server.serve(requests)
+        latencies = [outcome.latency_seconds for outcome in report.outcomes]
+        assert max(latencies) > min(latencies)
+        assert report.mean_batch_docs <= 2.0
+
+
+class TestOpenLoopCache:
+    def test_repeated_documents_hit_the_real_cache(self, checkpoint, documents):
+        # Repeats arrive well after the originals answered: guaranteed hits.
+        stream = documents[:6] + documents[:3]
+        arrivals = [0.01 * index for index in range(6)] + [0.8, 0.81, 0.82]
+        requests = make_requests(stream, arrivals)
+        with WorkerPool(checkpoint, num_workers=2, seed=SEED, num_sweeps=NUM_SWEEPS) as pool:
+            server = _server(pool, cache=ResultCache(capacity=32))
+            report = server.serve(requests)
+        assert report.cache_hits == 3
+        assert report.cache_lookups == 9
+        assert report.cache_hit_rate == 3 / 9
+        hit_outcomes = [o for o in report.outcomes if o.status == "cache_hit"]
+        assert len(hit_outcomes) == 3
+        for hit, original in zip(hit_outcomes, report.outcomes[:3], strict=True):
+            assert np.array_equal(hit.theta, original.theta)
+        # Hits are answers: they count into answered and the summary.
+        assert report.answered == len(requests)
+        assert report.summary()["cache_hits"] == 3
+
+    def test_closed_loop_report_still_reads_zero(self, checkpoint, documents):
+        from repro.serving import serve_wallclock
+
+        requests = make_requests(documents[:6], np.zeros(6))
+        with WorkerPool(checkpoint, num_workers=1, seed=SEED, num_sweeps=NUM_SWEEPS) as pool:
+            report = serve_wallclock(pool, requests, batch_docs=3)
+        assert report.cache_hits == 0
+        assert report.cache_lookups == 0
+        assert report.cache_hit_rate == 0.0
+
+
+class TestOpenLoopAdmission:
+    def test_validation_sheds_agree_across_surfaces(self, checkpoint, documents):
+        stream = [documents[0], np.array([10_000], dtype=np.int32), documents[1]]
+        requests = make_requests(stream, [0.0, 0.001, 0.002])
+        with WorkerPool(checkpoint, num_workers=1, seed=SEED, num_sweeps=NUM_SWEEPS) as pool:
+            server = _server(pool)
+            report = server.serve(requests)
+            queue_rate = server.queue.rejection_rate()
+        assert [outcome.status for outcome in report.outcomes] == [
+            "answered",
+            "rejected",
+            "answered",
+        ]
+        assert report.rejection_rate == queue_rate == pytest.approx(1 / 3)
+        # The malformed request never reached the pool.
+        assert report.pool_stats["admitted"] == 2
+
+    def test_queue_overflow_sheds_load(self, checkpoint, documents):
+        requests = make_requests(documents[:10], np.zeros(10))
+        with WorkerPool(checkpoint, num_workers=1, seed=SEED, num_sweeps=NUM_SWEEPS) as pool:
+            server = _server(
+                pool,
+                queue=RequestQueue(max_depth=2),
+                scheduler=BatchScheduler(max_batch_docs=2, max_wait_seconds=0.0),
+            )
+            report = server.serve(requests)
+        assert report.rejected > 0
+        assert report.answered + report.rejected == len(requests)
+        assert report.rejection_rate == pytest.approx(
+            report.rejected / len(requests)
+        )
+
+    def test_unstarted_pool_is_refused(self, checkpoint, documents):
+        pool = WorkerPool(checkpoint, num_workers=0, seed=SEED)
+        server = _server(pool)
+        with pytest.raises(RuntimeError, match="start"):
+            server.serve(_requests(documents[:2]))
+
+
+class TestOpenLoopTelemetry:
+    def test_trace_reproduces_the_report_percentiles(self, checkpoint, documents):
+        tracer = Tracer(WallClock())
+        metrics = MetricsRegistry()
+        requests = _requests(documents)
+        with WorkerPool(checkpoint, num_workers=2, seed=SEED, num_sweeps=NUM_SWEEPS) as pool:
+            server = _server(pool, tracer=tracer, metrics=metrics)
+            report = server.serve(requests)
+        durations = [
+            span.duration_seconds for span in tracer.spans if span.name == "request"
+        ]
+        assert len(durations) == report.answered
+        assert pinned_percentile(durations, 50.0) == report.p50_seconds
+        assert pinned_percentile(durations, 99.0) == report.p99_seconds
+        # The root span covers exactly the reported span: full coverage.
+        assert span_coverage(tracer.spans, report.wall_seconds) >= 0.99
+        assert metrics.counter("serving.admitted").value == len(requests)
+
+    def test_untraced_run_stays_silent(self, checkpoint, documents):
+        with WorkerPool(checkpoint, num_workers=1, seed=SEED, num_sweeps=NUM_SWEEPS) as pool:
+            server = _server(pool)
+            server.serve(_requests(documents[:4]))
+            assert server.tracer.spans == []
+
+
+class TestUnifiedReportContract:
+    def test_every_shared_field_diffs_cleanly(self, checkpoint, documents):
+        requests = _requests(documents)
+        with WorkerPool(checkpoint, num_workers=2, seed=SEED, num_sweeps=NUM_SWEEPS) as pool:
+            measured = _server(pool).serve(requests)
+        engine = InferenceEngine.from_mmap_checkpoint(
+            checkpoint, seed=SEED, num_sweeps=NUM_SWEEPS, mmap_mode=None
+        )
+        simulated = _server(engine).serve(requests)
+        rows = report_field_comparison(simulated, measured)
+        assert [row["field"] for row in rows] == list(REPORT_FIELDS)
+        by_field = {row["field"]: row for row in rows}
+        # Structural fields agree across planes; latency fields need not.
+        for name in ("answered", "rejected", "rejection_rate", "cache_hits",
+                     "cache_lookups", "cache_hit_rate"):
+            assert by_field[name]["equal"], by_field[name]

@@ -244,6 +244,100 @@ class TestServeLoop:
         assert burst.rejection_rate == first_rate  # and report 1 is immutable
 
 
+class TestMakespanRule:
+    """Regression: the throughput span runs first arrival → last *answer*.
+
+    The loop used to report ``max(last_answer, now) - first_arrival``,
+    so a trailing arrival that admission rejected after the last answer
+    stretched the span and silently deflated ``sustained_qps``.
+    """
+
+    def test_rejected_straggler_does_not_stretch_the_makespan(self, model, documents):
+        server = _server(model, cache=ResultCache(capacity=0))
+        stream = [documents[0], documents[1], np.array([10_000], dtype=np.int32)]
+        report = server.serve(make_requests(stream, [0.0, 0.001, 100.0]))
+        assert [outcome.status for outcome in report.outcomes] == [
+            "served",
+            "served",
+            "rejected",
+        ]
+        last_answer = max(
+            outcome.finish_seconds
+            for outcome in report.outcomes
+            if outcome.finish_seconds is not None
+        )
+        # Pre-fix: the clock had advanced to the rejected arrival at
+        # t=100 and the span swallowed those ~100 idle seconds.
+        assert report.makespan_seconds == last_answer
+        assert report.makespan_seconds < 50.0
+        assert report.sustained_qps == report.answered / report.makespan_seconds
+
+    def test_trailing_cache_hit_is_an_answer_and_closes_the_span(
+        self, model, documents
+    ):
+        server = _server(model)
+        stream = [documents[0], documents[0]]
+        report = server.serve(make_requests(stream, [0.0, 5.0]))
+        assert [outcome.status for outcome in report.outcomes] == [
+            "served",
+            "cache_hit",
+        ]
+        # The hit answers at its arrival (t=5): it is the run's last
+        # answer and must close the span there.
+        assert report.makespan_seconds == 5.0
+        assert report.sustained_qps == 2 / 5.0
+
+    def test_nothing_answered_means_no_span(self, model):
+        server = _server(model, cache=ResultCache(capacity=0))
+        bad = [np.array([10_000], dtype=np.int32) for _ in range(3)]
+        report = server.serve(make_requests(bad, [0.0, 1.0, 2.0]))
+        assert report.answered == 0
+        assert report.makespan_seconds == 0.0
+        assert report.sustained_qps == 0.0
+
+
+class TestRejectionAccounting:
+    """Regression: validation sheds count in the queue's counters too.
+
+    Rejections used to split across two disagreeing surfaces: queue
+    overflow incremented ``RequestQueue.rejected`` but validation
+    refusals bypassed the queue entirely, so ``queue.rejection_rate()``
+    and ``ServingReport.rejection_rate`` told different stories about
+    the same run.
+    """
+
+    def test_queue_and_report_rejection_rates_agree(self, model, documents):
+        server = _server(
+            model,
+            queue=RequestQueue(max_depth=2),
+            scheduler=BatchScheduler(max_batch_docs=2, max_wait_seconds=0.0),
+            cache=ResultCache(capacity=0),
+        )
+        # A burst at t=0 mixing both shed kinds: queue overflow past
+        # depth 2, and malformed word ids refused at validation.
+        stream = [
+            documents[0],
+            documents[1],
+            documents[2],
+            np.array([10_000], dtype=np.int32),
+            documents[3],
+            np.array([-1, 5], dtype=np.int32),
+        ]
+        report = server.serve(make_requests(stream, np.zeros(len(stream))))
+        assert server.queue.admitted == 2
+        assert server.queue.rejected == 4  # 2 overflow + 2 validation sheds
+        assert report.rejected == 4
+        # One rule, one number: 4/6 on both surfaces, bit for bit.
+        assert report.rejection_rate == server.queue.rejection_rate()
+
+    def test_validation_only_run_agrees_too(self, model, documents):
+        server = _server(model, cache=ResultCache(capacity=0))
+        stream = [documents[0], np.array([10_000], dtype=np.int32)]
+        report = server.serve(make_requests(stream, [0.0, 0.0]))
+        assert report.rejected == 1
+        assert report.rejection_rate == server.queue.rejection_rate() == 0.5
+
+
 class TestEngineCosting:
     def _batch(self, documents, first_id=0):
         requests = [

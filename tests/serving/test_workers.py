@@ -255,6 +255,49 @@ class TestValidation:
         assert "ready" in merged and "batch=" in merged
 
 
+class TestOutOfOrderCollect:
+    """Regression: interleaved submits must never drop a batch's outcome.
+
+    ``execute()`` used to spin ``collect()`` until the batch id matched,
+    silently discarding every other batch's answer — a second in-flight
+    submit simply lost its results.
+    """
+
+    def test_execute_buffers_other_batches_for_their_own_collect(
+        self, checkpoint, requests
+    ):
+        with _pool(checkpoint, num_workers=1) as pool:
+            # Two interleaved submits on one worker: the worker answers
+            # FIFO, so the async batch resolves *before* execute()'s own.
+            async_id = pool.submit(requests[:3])
+            batch = layout_batch(list(requests[3:6]), batch_id=0, dispatch_seconds=0.0)
+            execution = pool.execute(batch)
+            assert len(execution.results) == 3
+            # Pre-fix: the async batch's outcome was discarded inside
+            # execute() and this collect() raised "no batch in flight".
+            outcome = pool.collect()
+            assert outcome.batch_id == async_id
+            assert outcome.status == "answered"
+            assert len(outcome.results) == 3
+            _assert_conserved(pool)
+            assert pool.pending == 0
+
+    def test_collect_batch_waits_for_the_requested_batch(self, checkpoint, requests):
+        with _pool(checkpoint, num_workers=1) as pool:
+            first = pool.submit(requests[:2])
+            second = pool.submit(requests[2:4])
+            outcome = pool.collect_batch(second)
+            assert outcome.batch_id == second
+            buffered = pool.collect()
+            assert buffered.batch_id == first
+            _assert_conserved(pool)
+
+    def test_collect_batch_rejects_unknown_batch(self, checkpoint):
+        with _pool(checkpoint, num_workers=0) as pool:
+            with pytest.raises(ValueError, match="not in flight"):
+                pool.collect_batch(99)
+
+
 class TestReportCompat:
     """WallClockReport speaks ServingReport's stats surface (one rule)."""
 
@@ -290,7 +333,7 @@ class TestReportCompat:
         assert report.mean_seconds == pytest.approx(float(np.mean(latencies)))
         assert report.rejected == report.failed == 0
         assert report.rejection_rate == 0.0
-        assert report.cache_hit_rate == 0.0  # no cache on the wall-clock plane
+        assert report.cache_hit_rate == 0.0  # closed loop bypasses the cache
         assert report.mean_batch_docs == pytest.approx(4.0)
 
     def test_zero_answered_is_nan_not_zero(self):
