@@ -1,0 +1,511 @@
+"""Fault tolerance — replayable chaos against the self-healing WorkerPool.
+
+The serving data plane claims it degrades *gracefully* and recovers
+*measurably*; this benchmark injects a seeded
+:class:`~repro.serving.FaultPlan` into real worker processes and holds
+the pool to three gates, per fault scenario and worker count:
+
+* **conservation** — ``admitted == answered + failed + pending`` after
+  every run, faults or not;
+* **bit-identity** — the answered thetas' request-keyed digest is
+  identical to the fault-free run's: a crash, a straggler, a dropped
+  reply or a flaky checkpoint open may cost wall time, never a byte of
+  output (results are keyed by ``(seed, request_id)`` alone);
+* **recovery** — after a crash (or crash + flaky re-open) the
+  supervisor respawns the lane with seeded backoff, the run records a
+  measured ``recovery_seconds`` / MTTR, and a post-recovery stream
+  sustains >= :data:`RECOVERY_QPS_FLOOR` of the pre-fault QPS.
+
+Scenarios (each is one :class:`FaultPlan`, so each is replayable from
+``(seed, plan)``): ``baseline`` (no faults — the reference digest and
+pre-fault QPS), ``crash_respawn`` (worker killed before its second
+batch), ``straggler_hedge`` (stalled lane, hedged re-dispatch wins on
+the healthy lane), ``reply_drop`` (computed answer discarded — the
+hedge answers), ``flaky_boot`` (crash whose *first* respawn fails the
+checkpoint open, exercising backoff attempt 2), and ``burst`` (open
+loop through :class:`~repro.serving.TopicServer`: arrival gaps
+compressed by :func:`~repro.serving.poisson_arrivals_with_bursts`
+inside the plan's burst window).
+
+The **replay gate** runs ``crash_respawn`` and ``straggler_hedge``
+twice each and asserts the supervisor event logs
+(:meth:`~repro.serving.Supervisor.event_signature`, wall times
+excluded) and every deterministic report field compare equal — the
+tentpole's replayable-chaos contract, end to end against real
+processes.
+
+Writes ``benchmarks/results/BENCH_fault_tolerance.json`` plus a chaos
+trace (``trace_chaos.json`` / ``metrics_chaos.json``) from the
+crash-respawn run: fault injections, lane failures, respawns and hedges
+all appear as supervisor-category spans on the wall-clock timeline.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_fault_tolerance.py [--tiny]
+"""
+
+import argparse
+import os
+import tempfile
+
+import numpy as np
+
+from repro.bench import emit_json_report
+from repro.bench.reporting import results_dir
+from repro.bench.timing import stopwatch
+from repro.core import LDAHyperParams, save_model_mmap
+from repro.core.model import LDAModel
+from repro.serving import (
+    BackoffPolicy,
+    DegradationPolicy,
+    FaultEvent,
+    FaultPlan,
+    RequestQueue,
+    ResultCache,
+    ServingRequest,
+    TopicServer,
+    WorkerPool,
+    make_requests,
+    pool_results_digest,
+    poisson_arrivals_with_bursts,
+    serve_wallclock,
+)
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    WallClock,
+    null_metrics,
+    null_tracer,
+    write_chrome_trace,
+    write_metrics_json,
+)
+
+SEED = 73
+NUM_TOPICS = 8
+VOCABULARY = 200
+BATCH_TIMEOUT_SECONDS = 12.0
+#: Post-recovery stream must sustain this fraction of the pre-fault QPS.
+RECOVERY_QPS_FLOOR = 0.9
+#: Wall-clock budget for a respawned lane to finish its ready handshake.
+RECOVERY_WAIT_SECONDS = 30.0
+
+FULL = dict(
+    worker_counts=(2, 4),
+    num_requests=64,
+    num_sweeps=4,
+    mean_query_tokens=20,
+    batch_docs=4,
+)
+TINY = dict(
+    worker_counts=(2,),
+    num_requests=24,
+    num_sweeps=3,
+    mean_query_tokens=12,
+    batch_docs=4,
+)
+
+#: The scenarios swept per worker count.  ``baseline`` must come first:
+#: it provides the reference digest and the pre-fault QPS.
+SCENARIOS = (
+    "baseline",
+    "crash_respawn",
+    "straggler_hedge",
+    "reply_drop",
+    "flaky_boot",
+)
+#: Scenarios whose second run must replay the first bit for bit.
+REPLAYED = ("crash_respawn", "straggler_hedge")
+#: Report fields that must be identical across replayed runs: everything
+#: governed by the (seed, FaultPlan) schedule and the request keying.
+#: Wall-time fields (latencies, QPS, recovery_seconds) legitimately
+#: vary, and so does ``retries`` — it counts how many batches happened
+#: to sit on the dead lane at detection time, a dispatch-pacing race
+#: the plan does not control.
+REPLAY_FIELDS = (
+    "answered",
+    "failed",
+    "digest",
+    "respawns",
+    "hedged",
+    "quarantined",
+)
+
+
+def _fault_plan(scenario: str) -> FaultPlan:
+    """The seeded fault schedule of one scenario (empty for baseline)."""
+    events = {
+        "baseline": (),
+        "crash_respawn": (FaultEvent(kind="crash", worker_id=0, at_batch=1),),
+        "straggler_hedge": (
+            FaultEvent(kind="stall", worker_id=0, at_batch=0, seconds=4.0),
+        ),
+        "reply_drop": (FaultEvent(kind="drop_reply", worker_id=0, at_batch=1),),
+        "flaky_boot": (
+            FaultEvent(kind="crash", worker_id=0, at_batch=1),
+            FaultEvent(kind="checkpoint_flake", worker_id=0, incarnation=1, count=1),
+        ),
+    }[scenario]
+    return FaultPlan(seed=SEED, events=events, scenario=scenario)
+
+
+def _policy() -> DegradationPolicy:
+    """One ladder for every scenario: retry -> hedge -> respawn -> fallback."""
+    return DegradationPolicy(
+        max_retries=1,
+        hedge=True,
+        hedge_after_fraction=0.05,
+        respawn=True,
+        max_respawns_per_lane=3,
+        backoff=BackoffPolicy(base_seconds=0.01, factor=2.0, cap_seconds=0.5),
+    )
+
+
+def _make_model() -> LDAModel:
+    rng = np.random.default_rng(SEED)
+    counts = rng.integers(0, 50, size=(VOCABULARY, NUM_TOPICS)).astype(np.int64)
+    return LDAModel(
+        word_topic_counts=counts,
+        params=LDAHyperParams(num_topics=NUM_TOPICS, alpha=0.1, beta=0.01),
+    )
+
+
+def _make_requests(spec: dict, first_request_id: int = 0):
+    rng = np.random.default_rng(SEED + 1 + first_request_id)
+    return [
+        ServingRequest(
+            request_id=first_request_id + index,
+            word_ids=rng.integers(
+                0, VOCABULARY, size=spec["mean_query_tokens"]
+            ).astype(np.int32),
+            arrival_seconds=0.0,
+        )
+        for index in range(spec["num_requests"])
+    ]
+
+
+def _assert_conserved(stats: dict) -> None:
+    assert (
+        stats["admitted"] == stats["answered"] + stats["pending"] + stats["failed"]
+    ), stats
+
+
+def _await_recovery(pool: WorkerPool, spare_requests) -> dict:
+    """Pump the collect loop until the respawned lane's ready lands.
+
+    ``recovery_seconds`` is sampled when the replacement worker's ready
+    handshake is processed, which only happens inside the collect loop —
+    so keep tiny keep-alive batches flowing on the surviving lane.
+    """
+    watch = stopwatch()
+    stats = pool.stats()
+    position = 0
+    while stats["recovery_seconds"] == 0.0 and watch.elapsed() < RECOVERY_WAIT_SECONDS:
+        request = spare_requests[position % len(spare_requests)]
+        position += 1
+        pool.submit([request])
+        pool.collect()
+        stats = pool.stats()
+    assert stats["recovery_seconds"] > 0.0, (
+        f"lane did not recover within {RECOVERY_WAIT_SECONDS}s: {stats}"
+    )
+    return stats
+
+
+def _run_scenario(
+    scenario: str,
+    checkpoint: str,
+    num_workers: int,
+    spec: dict,
+    tracer=None,
+    metrics=None,
+) -> dict:
+    """One (scenario, worker count) cell: serve, gate, summarise."""
+    plan = _fault_plan(scenario)
+    requests = _make_requests(spec)
+    needs_recovery = any(event.kind == "crash" for event in plan.events)
+    pool = WorkerPool(
+        checkpoint,
+        num_workers=num_workers,
+        seed=SEED,
+        num_sweeps=spec["num_sweeps"],
+        batch_timeout_seconds=BATCH_TIMEOUT_SECONDS,
+        policy=_policy(),
+        fault_plan=plan,
+        tracer=tracer or null_tracer(),
+        metrics=metrics or null_metrics(),
+    )
+    with pool:
+        report = serve_wallclock(pool, requests, batch_docs=spec["batch_docs"])
+        pre_recovery_stats = pool.stats()
+        _assert_conserved(pre_recovery_stats)
+        row = {
+            "scenario": scenario,
+            "num_workers": num_workers,
+            "plan_digest": plan.digest(),
+            "answered": report.answered,
+            "failed": report.failed,
+            "digest": pool_results_digest(report.outcomes),
+            "sustained_qps": report.sustained_qps,
+            "p50_seconds": report.p50_seconds,
+            "p99_seconds": report.p99_seconds,
+            "retries": pre_recovery_stats["retries"],
+            "hedged": pre_recovery_stats["hedged"],
+            "hedge_wins": pre_recovery_stats["hedge_wins"],
+            "respawns": pre_recovery_stats["respawns"],
+            "quarantined": pre_recovery_stats["quarantined"],
+            "recovery_seconds": pre_recovery_stats["recovery_seconds"],
+            "mttr_seconds": pre_recovery_stats["mttr_seconds"],
+            "event_signature": pool._supervisor.event_signature()
+            if pool._supervisor
+            else (),
+        }
+        if needs_recovery:
+            spare = _make_requests(spec, first_request_id=10_000)
+            recovered = _await_recovery(pool, spare)
+            row["recovery_seconds"] = recovered["recovery_seconds"]
+            row["mttr_seconds"] = recovered["mttr_seconds"]
+            row["respawns"] = recovered["respawns"]
+            # Post-recovery throughput: fresh streams over the healed
+            # pool (all lanes live again).  Capacity is the best of
+            # three — a single sub-100ms stream is too noisy to compare
+            # against the pre-fault baseline at a 90% floor.
+            post_qps = []
+            for repeat in range(3):
+                post = _make_requests(
+                    spec, first_request_id=20_000 + 1_000 * repeat
+                )
+                post_report = serve_wallclock(
+                    pool, post, batch_docs=spec["batch_docs"]
+                )
+                post_qps.append(post_report.sustained_qps)
+            row["post_recovery_qps"] = max(post_qps)
+            row["event_signature"] = (
+                pool._supervisor.event_signature() if pool._supervisor else ()
+            )
+            _assert_conserved(pool.stats())
+        # The WallClockReport surfaces the supervision fields.
+        assert report.respawns == pre_recovery_stats["respawns"]
+        assert report.hedged == pre_recovery_stats["hedged"]
+        assert report.quarantined == pre_recovery_stats["quarantined"]
+    return row
+
+
+def _run_burst(checkpoint: str, num_workers: int, spec: dict, baseline_row: dict) -> dict:
+    """Open-loop burst overload through the full TopicServer path."""
+    plan = FaultPlan(
+        seed=SEED,
+        scenario="burst",
+        events=(
+            FaultEvent(kind="burst", at_seconds=0.3, seconds=0.6, rate_multiplier=4.0),
+        ),
+    )
+    # Offer ~60% of the measured closed-loop capacity so the burst window
+    # (4x) pushes past it while the shoulders stay comfortable.
+    rate_qps = max(10.0, 0.6 * baseline_row["sustained_qps"])
+    rng = np.random.default_rng(SEED + 5)
+    arrivals = poisson_arrivals_with_bursts(
+        rate_qps, spec["num_requests"], rng, plan=plan
+    )
+    quiet = poisson_arrivals_with_bursts(
+        rate_qps, spec["num_requests"], np.random.default_rng(SEED + 5)
+    )
+    documents = [
+        request.word_ids for request in _make_requests(spec)
+    ]
+    requests = make_requests(documents, arrivals)
+    with WorkerPool(
+        checkpoint,
+        num_workers=num_workers,
+        seed=SEED,
+        num_sweeps=spec["num_sweeps"],
+        batch_timeout_seconds=BATCH_TIMEOUT_SECONDS,
+        policy=_policy(),
+        tracer=Tracer(WallClock()),
+    ) as pool:
+        server = TopicServer(
+            engine=pool,
+            queue=RequestQueue(max_depth=None),  # absorb the burst, don't shed
+            cache=ResultCache(capacity=0),  # cacheless: digest identity holds
+            tracer=pool.tracer,
+        )
+        report = server.serve(requests)
+        stats = pool.stats()
+        _assert_conserved(stats)
+    answered_total = report.answered + report.rejected + report.failed
+    assert answered_total == spec["num_requests"], report.summary()
+    assert report.rejected == 0, "unbounded queue must not shed in this sweep"
+    assert pool_results_digest(report.outcomes) == baseline_row["digest"], (
+        "burst arrivals changed an answered theta"
+    )
+    return {
+        "scenario": "burst",
+        "num_workers": num_workers,
+        "plan_digest": plan.digest(),
+        "rate_qps": rate_qps,
+        "burst_multiplier": 4.0,
+        "makespan_compression": float(quiet[-1] / arrivals[-1]),
+        "answered": report.answered,
+        "failed": report.failed,
+        "rejected": report.rejected,
+        "digest": pool_results_digest(report.outcomes),
+        "sustained_qps": report.sustained_qps,
+        "p99_seconds": report.p99_seconds,
+        "hedged": stats["hedged"],
+        "respawns": stats["respawns"],
+    }
+
+
+def _gate_rows(rows: dict) -> None:
+    """The three hard gates, per worker count."""
+    for num_workers, by_scenario in sorted(rows.items()):
+        baseline = by_scenario["baseline"]
+        assert baseline["failed"] == 0 and baseline["respawns"] == 0
+        for scenario, row in sorted(by_scenario.items()):
+            assert row["failed"] == 0, (scenario, row)
+            assert row["digest"] == baseline["digest"], (
+                f"{scenario} ({num_workers} workers) changed an answered "
+                f"theta — fault handling must never touch results"
+            )
+        assert by_scenario["crash_respawn"]["respawns"] >= 1
+        assert by_scenario["crash_respawn"]["recovery_seconds"] > 0.0
+        assert by_scenario["straggler_hedge"]["hedge_wins"] >= 1
+        assert by_scenario["reply_drop"]["hedged"] >= 1
+        assert by_scenario["flaky_boot"]["respawns"] >= 2  # flake cost one attempt
+        for scenario in ("crash_respawn", "flaky_boot"):
+            row = by_scenario[scenario]
+            floor = RECOVERY_QPS_FLOOR * baseline["sustained_qps"]
+            assert row["post_recovery_qps"] >= floor, (
+                f"{scenario} ({num_workers} workers): post-recovery QPS "
+                f"{row['post_recovery_qps']:.1f} < {RECOVERY_QPS_FLOOR:.0%} of "
+                f"pre-fault {baseline['sustained_qps']:.1f}"
+            )
+
+
+def _plan_governed(signature):
+    """Strip timing-born events from a supervision event signature.
+
+    Hedge events (``hedged``, ``hedge_won``) record which lane was
+    least loaded the instant the hedge timer fired and whose answer
+    happened to land first — scheduling races, not part of the
+    ``(seed, FaultPlan)`` contract (their *counts* still are, and stay
+    in ``REPLAY_FIELDS``).  Every other event (failures, respawn
+    scheduling and starts, readiness, quarantine) is driven by the plan
+    and must replay exactly; ``seq`` is dropped alongside so the
+    numbering stays dense after the filter.
+    """
+    return tuple(
+        (lane, incarnation, kind, detail)
+        for _seq, lane, incarnation, kind, detail in signature
+        if kind not in ("hedged", "hedge_won")
+    )
+
+
+def _replay_gate(checkpoint: str, num_workers: int, spec: dict, first_rows: dict):
+    """Same ``(seed, FaultPlan)`` -> identical event log and report fields."""
+    comparisons = []
+    for scenario in REPLAYED:
+        replay = _run_scenario(scenario, checkpoint, num_workers, spec)
+        original = first_rows[scenario]
+        assert _plan_governed(replay["event_signature"]) == _plan_governed(
+            original["event_signature"]
+        ), f"{scenario}: supervisor event log did not replay"
+        for field in REPLAY_FIELDS:
+            assert replay[field] == original[field], (
+                f"{scenario}: {field} differs across replays "
+                f"({original[field]!r} vs {replay[field]!r})"
+            )
+        comparisons.append(
+            {
+                "scenario": scenario,
+                "num_workers": num_workers,
+                "events": len(replay["event_signature"]),
+                "fields_compared": list(REPLAY_FIELDS),
+                "identical": True,
+            }
+        )
+    return comparisons
+
+
+def run(spec: dict) -> str:
+    model = _make_model()
+    all_rows = []
+    replay_rows = []
+    trace_paths = {}
+    with tempfile.TemporaryDirectory() as tmpdir:
+        checkpoint = save_model_mmap(model, os.path.join(tmpdir, "ckpt"))
+        for num_workers in spec["worker_counts"]:
+            by_scenario = {}
+            for scenario in SCENARIOS:
+                tracer = metrics = None
+                if scenario == "crash_respawn":
+                    # The chaos trace artifact comes from this cell.
+                    tracer = Tracer(WallClock())
+                    metrics = MetricsRegistry()
+                row = _run_scenario(
+                    scenario, checkpoint, num_workers, spec, tracer, metrics
+                )
+                by_scenario[scenario] = row
+                if scenario == "crash_respawn":
+                    trace_paths = {
+                        "trace": write_chrome_trace(
+                            os.path.join(results_dir(), "trace_chaos.json"),
+                            tracer.spans,
+                            metadata={
+                                "bench": "fault_tolerance",
+                                "scenario": scenario,
+                                "num_workers": num_workers,
+                                "seed": SEED,
+                                "plan_digest": row["plan_digest"],
+                            },
+                        ),
+                        "metrics": write_metrics_json(
+                            os.path.join(results_dir(), "metrics_chaos.json"),
+                            metrics,
+                            metadata={
+                                "bench": "fault_tolerance",
+                                "scenario": scenario,
+                                "num_workers": num_workers,
+                            },
+                        ),
+                    }
+            by_scenario["burst"] = _run_burst(
+                checkpoint, num_workers, spec, by_scenario["baseline"]
+            )
+            _gate_rows({num_workers: by_scenario})
+            replay_rows.extend(
+                _replay_gate(checkpoint, num_workers, spec, by_scenario)
+            )
+            for row in by_scenario.values():
+                row.pop("event_signature", None)
+                all_rows.append(row)
+
+    path = emit_json_report(
+        "BENCH_fault_tolerance",
+        {
+            "seed": SEED,
+            "spec": {key: list(value) if isinstance(value, tuple) else value
+                     for key, value in spec.items()},
+            "recovery_qps_floor": RECOVERY_QPS_FLOOR,
+            "scenarios": all_rows,
+            "replay": replay_rows,
+            "chaos_trace": trace_paths,
+        },
+    )
+    lines = [
+        "fault tolerance sweep: all gates passed",
+        f"  cells: {len(all_rows)} (scenario x worker count)",
+        f"  replayed: {len(replay_rows)} chaos runs, event logs identical",
+        f"  json report: {path}",
+    ]
+    for key, value in sorted(trace_paths.items()):
+        lines.append(f"  {key}: {value}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true", help="CI smoke sweep (seconds, not minutes)"
+    )
+    args = parser.parse_args()
+    print(run(TINY if args.tiny else FULL))

@@ -324,6 +324,15 @@ REPORT_FIELDS = (
     "cache_hit_rate",
     "cache_hits",
     "cache_lookups",
+    # Supervision surface (PR 10): recovery work the measured plane did
+    # during the run.  The simulated plane reports structural zeros, so
+    # a fault-free measured run must agree exactly and a chaos run shows
+    # its respawns/hedges/quarantines and worst-case recovery time as
+    # first-class report rows.
+    "respawns",
+    "hedged",
+    "quarantined",
+    "recovery_seconds",
 )
 
 

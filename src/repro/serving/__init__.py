@@ -63,6 +63,20 @@ path **measured** instead of simulated
 :class:`ServingReport`.  Results stay bit-identical to the single
 in-process engine because requests are keyed by ``(seed, request_id)``.
 
+**Fault tolerance** (:mod:`~repro.serving.faults` /
+:mod:`~repro.serving.supervisor`) — worker death is an input, not an
+error.  A seeded :class:`FaultPlan` schedules replayable chaos (crash
+before batch *N*, straggler stall, dropped reply, transient
+checkpoint-open failure, arrival burst) at pinned hook points in the
+worker loop, and a per-lane :class:`Supervisor` — a pure, clock-free
+state machine — walks the :class:`DegradationPolicy` ladder
+``retry → hedge → respawn → fallback → shed``: hedged duplicates race
+on another lane (first answer wins, request-keyed so bit-identity is
+untouchable), dead lanes respawn under seeded exponential backoff, and
+a circuit breaker quarantines a flapping lane until a half-open probe
+succeeds.  The same ``(seed, FaultPlan)`` replays the same failures,
+respawns and quarantines; ``bench_fault_tolerance.py`` gates it.
+
 Typical usage::
 
     from repro.serving import InferenceEngine, TopicServer, make_requests
@@ -74,6 +88,14 @@ Typical usage::
 """
 
 from .cache import ResultCache, document_digest
+from .faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    TransientCheckpointError,
+    poisson_arrivals_with_bursts,
+)
 from .engine import (
     BatchExecution,
     InferenceEngine,
@@ -97,7 +119,14 @@ from .pool import (
 from .open_loop import serve_open_loop
 from .queue import RequestQueue, ServingRequest
 from .scheduler import BatchScheduler, InferenceBatch, layout_batch
-from .stats import LatencyReportMixin, pinned_makespan
+from .stats import LatencyReportMixin, dispatch_tally_increment, pinned_makespan
+from .supervisor import (
+    BackoffPolicy,
+    CircuitBreaker,
+    DegradationPolicy,
+    Supervisor,
+    SupervisorEvent,
+)
 from .server import (
     RequestOutcome,
     ServingReport,
@@ -115,10 +144,17 @@ from .workers import (
 )
 
 __all__ = [
+    "BackoffPolicy",
     "BatchExecution",
     "BatchOutcome",
     "BatchScheduler",
+    "CircuitBreaker",
+    "DegradationPolicy",
     "EnginePool",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "FoldInResult",
     "FrozenModelState",
     "InferenceBatch",
@@ -131,12 +167,16 @@ __all__ = [
     "ResultCache",
     "ServingReport",
     "ServingRequest",
+    "Supervisor",
+    "SupervisorEvent",
     "TopicServer",
+    "TransientCheckpointError",
     "WallClockOutcome",
     "WallClockReport",
     "WordSamplerBank",
     "WorkerJobSpec",
     "WorkerPool",
+    "dispatch_tally_increment",
     "document_digest",
     "engine_results_digest",
     "fold_in_document",
@@ -145,6 +185,7 @@ __all__ = [
     "make_requests",
     "pinned_makespan",
     "poisson_arrivals",
+    "poisson_arrivals_with_bursts",
     "pool_results_digest",
     "request_rng",
     "serve_open_loop",

@@ -1,0 +1,301 @@
+"""Deterministic fault injection for the multi-process serving data plane.
+
+Chaos testing is only evidence if a chaos run can be *replayed*: the
+same faults, at the same logical points, every time.  This module is the
+replay contract.  A :class:`FaultPlan` is a seed plus a tuple of
+:class:`FaultEvent`\\ s, each pinned to a **logical coordinate** — a
+worker lane, a respawn incarnation, a lane-local batch index — never to
+a wall-clock instant, so the decision "does a fault fire here?" is a
+pure function of the plan.  Two runs with the same ``(seed, plan)`` hit
+the same faults at the same hook points; the wall-clock *durations*
+differ between runs, the *event structure* does not (which is exactly
+what :meth:`repro.serving.supervisor.Supervisor.event_signature`
+asserts).
+
+The injection hook points are pinned in the worker loop
+(:func:`repro.serving.workers._worker_main`):
+
+* ``check_boot`` — before the worker opens the mmap checkpoint; a
+  ``checkpoint_flake`` event raises :class:`TransientCheckpointError`
+  for the targeted incarnations (the supervisor sees ``boot_error`` and
+  retries the respawn with backoff).
+* ``before_batch`` — before a batch's fold-in runs; the returned
+  :class:`FaultAction` can **crash** the process (``os._exit`` — a hard
+  kill, no cleanup), **stall** it for S seconds (a straggler), or
+  **drop the reply** (the batch computes, the ``"ok"`` message is never
+  sent — an IPC loss).
+
+``burst`` events live on the *driver* side: they do not target a worker
+but a window of the arrival stream
+(:func:`poisson_arrivals_with_bursts` thins the inter-arrival gaps by
+``rate_multiplier`` inside the window, from the same seeded generator —
+deterministic overload).
+
+This module is deliberately **clock-free** (no wall-clock reads — it is
+not on the DET003 allowlist and must lint clean) and **RNG-free** (the
+plan's ``seed`` keys the supervisor's jitter and the bench's arrival
+draws; the injector itself never draws).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Every fault kind a plan may schedule.  ``crash`` / ``stall`` /
+#: ``drop_reply`` / ``checkpoint_flake`` execute inside a worker at the
+#: pinned hook points; ``burst`` is interpreted by the arrival-stream
+#: builder (driver side).
+FAULT_KINDS = ("crash", "stall", "drop_reply", "checkpoint_flake", "burst")
+
+#: Worker-side kinds (must name a worker lane).
+_WORKER_KINDS = frozenset({"crash", "stall", "drop_reply", "checkpoint_flake"})
+
+
+class TransientCheckpointError(RuntimeError):
+    """A scheduled, transient failure to open the checkpoint at boot.
+
+    Raised by :meth:`FaultInjector.check_boot` for the incarnations a
+    ``checkpoint_flake`` event targets — the real-world analogue is a
+    checkpoint volume that is briefly unavailable while a worker
+    restarts.  The supervisor treats it like any boot failure: backoff,
+    then another respawn attempt.
+    """
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault, pinned to logical coordinates.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    worker_id:
+        Lane the fault targets (worker-side kinds); ``-1`` for driver
+        events (``burst``).
+    at_batch:
+        Lane-local batch index (0-based, counted per incarnation) the
+        fault fires *before* — "crash before batch N".
+    incarnation:
+        Which respawn generation the fault targets (0 = the lane's
+        original process).  A respawned worker does not re-run its
+        predecessor's faults unless the plan says so.
+    seconds:
+        ``stall``: how long the straggler sleeps.  ``burst``: window
+        length on the arrival stream's own clock.
+    count:
+        ``checkpoint_flake``: how many consecutive incarnations
+        (starting at ``incarnation``) fail to boot.
+    rate_multiplier:
+        ``burst``: arrival-rate multiplier inside the window.
+    at_seconds:
+        ``burst``: window start on the arrival stream's own clock.
+    """
+
+    kind: str
+    worker_id: int = -1
+    at_batch: int = 0
+    incarnation: int = 0
+    seconds: float = 0.0
+    count: int = 1
+    rate_multiplier: float = 1.0
+    at_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (know {FAULT_KINDS})")
+        if self.kind in _WORKER_KINDS and self.worker_id < 0:
+            raise ValueError(f"{self.kind} must target a worker lane (worker_id >= 0)")
+        if self.kind == "stall" and self.seconds <= 0:
+            raise ValueError("stall needs seconds > 0")
+        if self.kind == "checkpoint_flake" and self.count < 1:
+            raise ValueError("checkpoint_flake needs count >= 1")
+        if self.kind == "burst" and (self.seconds <= 0 or self.rate_multiplier <= 0):
+            raise ValueError("burst needs seconds > 0 and rate_multiplier > 0")
+        if self.at_batch < 0 or self.incarnation < 0:
+            raise ValueError("at_batch and incarnation must be >= 0")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "worker_id": self.worker_id,
+            "at_batch": self.at_batch,
+            "incarnation": self.incarnation,
+            "seconds": self.seconds,
+            "count": self.count,
+            "rate_multiplier": self.rate_multiplier,
+            "at_seconds": self.at_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus a schedule of faults: the whole replay key of a chaos run.
+
+    ``seed`` keys every random choice *around* the faults (backoff
+    jitter, arrival draws); ``events`` pins the faults themselves.  The
+    plan is picklable (it ships to workers inside
+    :class:`~repro.serving.workers.WorkerJobSpec`) and JSON-serialisable
+    (it lands verbatim in ``BENCH_fault_tolerance.json`` so a reported
+    chaos run can be rerun from the report alone).
+    """
+
+    seed: int
+    events: Tuple[FaultEvent, ...] = ()
+    scenario: str = ""
+
+    def __post_init__(self) -> None:
+        # Tolerate lists for ergonomic construction; store a tuple.
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+
+    def worker_events(self, worker_id: int, incarnation: int) -> Tuple[FaultEvent, ...]:
+        """The events one worker incarnation must enact, in batch order."""
+        chosen = [
+            event
+            for event in self.events
+            if event.kind in _WORKER_KINDS
+            and event.worker_id == worker_id
+            and self._targets_incarnation(event, incarnation)
+        ]
+        chosen.sort(key=lambda event: (event.at_batch, FAULT_KINDS.index(event.kind)))
+        return tuple(chosen)
+
+    @staticmethod
+    def _targets_incarnation(event: FaultEvent, incarnation: int) -> bool:
+        if event.kind == "checkpoint_flake":
+            # A flake with count=C fails the boots of incarnations
+            # [incarnation, incarnation + C).
+            return event.incarnation <= incarnation < event.incarnation + event.count
+        return event.incarnation == incarnation
+
+    def bursts(self) -> Tuple[FaultEvent, ...]:
+        """Driver-side burst windows, in window-start order."""
+        return tuple(
+            sorted(
+                (event for event in self.events if event.kind == "burst"),
+                key=lambda event: event.at_seconds,
+            )
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "scenario": self.scenario,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultPlan":
+        return cls(
+            seed=int(payload["seed"]),
+            scenario=str(payload.get("scenario", "")),
+            events=tuple(
+                FaultEvent(**event) for event in payload.get("events", [])
+            ),
+        )
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON form — the replay fingerprint."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """What :meth:`FaultInjector.before_batch` tells the worker loop to do."""
+
+    crash: bool = False
+    stall_seconds: float = 0.0
+    drop_reply: bool = False
+
+    @property
+    def is_fault(self) -> bool:
+        return self.crash or self.stall_seconds > 0 or self.drop_reply
+
+
+#: The common case: nothing scheduled here.
+NO_FAULT = FaultAction()
+
+
+@dataclass
+class FaultInjector:
+    """Worker-side enactor of a :class:`FaultPlan`.
+
+    Constructed inside the worker process from ``(plan, worker_id,
+    incarnation)``; every decision is a pure lookup against the plan,
+    keyed by the lane-local batch index the caller passes — no clocks,
+    no RNG, no state beyond the plan itself.  Picklable by construction
+    (it travels only as its constructor arguments).
+    """
+
+    plan: FaultPlan
+    worker_id: int
+    incarnation: int = 0
+    _events: Tuple[FaultEvent, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._events = self.plan.worker_events(self.worker_id, self.incarnation)
+
+    def check_boot(self) -> None:
+        """Hook: worker boot, before the checkpoint opens.  May raise."""
+        for event in self._events:
+            if event.kind == "checkpoint_flake":
+                raise TransientCheckpointError(
+                    f"scheduled checkpoint flake: worker {self.worker_id} "
+                    f"incarnation {self.incarnation} (plan {self.plan.scenario!r})"
+                )
+
+    def before_batch(self, batch_index: int) -> FaultAction:
+        """Hook: before the ``batch_index``-th batch of this incarnation runs."""
+        crash = False
+        stall = 0.0
+        drop = False
+        for event in self._events:
+            if event.at_batch != batch_index:
+                continue
+            if event.kind == "crash":
+                crash = True
+            elif event.kind == "stall":
+                stall += event.seconds
+            elif event.kind == "drop_reply":
+                drop = True
+        return FaultAction(crash=crash, stall_seconds=stall, drop_reply=drop) \
+            if (crash or stall or drop) else NO_FAULT
+
+
+def poisson_arrivals_with_bursts(
+    rate_qps: float,
+    num_requests: int,
+    rng: np.random.Generator,
+    plan: Optional[FaultPlan] = None,
+) -> np.ndarray:
+    """Open-loop Poisson arrivals with the plan's burst windows applied.
+
+    Outside every window this is exactly
+    :func:`repro.serving.server.poisson_arrivals` (exponential gaps at
+    ``rate_qps`` from the caller's seeded generator).  Inside a window
+    the gap is divided by the window's ``rate_multiplier`` — the same
+    draws, thinned — so the whole stream, bursts included, is a pure
+    function of ``(rng state, plan)``.
+    """
+    if rate_qps <= 0:
+        raise ValueError("rate_qps must be positive")
+    if num_requests < 0:
+        raise ValueError("num_requests must be >= 0")
+    windows: Sequence[FaultEvent] = plan.bursts() if plan is not None else ()
+    arrivals: List[float] = []
+    now = 0.0
+    for gap in rng.exponential(1.0 / rate_qps, size=num_requests):
+        multiplier = 1.0
+        for window in windows:
+            if window.at_seconds <= now < window.at_seconds + window.seconds:
+                multiplier = max(multiplier, window.rate_multiplier)
+        now += gap / multiplier
+        arrivals.append(now)
+    return np.asarray(arrivals, dtype=np.float64)

@@ -322,11 +322,16 @@ def serve_open_loop(
     pool.drain_worker_telemetry()
 
     ordered = [outcomes[request.request_id] for request in arrivals]
+    pool_stats = pool.stats()
     return WallClockReport(
         outcomes=ordered,
         batches=batch_records,
         wall_seconds=makespan,
-        pool_stats=pool.stats(),
+        pool_stats=pool_stats,
         cache_hits=server.cache.hits - cache_hits_before,
         cache_lookups=server.cache.hits + server.cache.misses - cache_lookups_before,
+        respawns=int(pool_stats.get("respawns", 0)),
+        hedged=int(pool_stats.get("hedged", 0)),
+        quarantined=int(pool_stats.get("quarantined", 0)),
+        recovery_seconds=float(pool_stats.get("recovery_seconds", 0.0)),
     )

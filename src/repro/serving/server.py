@@ -90,6 +90,16 @@ class ServingReport(LatencyReportMixin):
     mean_batch_docs: float
     cache_hits: int
     cache_lookups: int
+    #: Supervision surface (REPORT_FIELDS), shared field-for-field with
+    #: :class:`~repro.serving.workers.WallClockReport`.  The simulated
+    #: plane has no real processes to crash, so these stay at their
+    #: zero defaults — which is exactly the comparison's point: a
+    #: measured chaos run diffs its recovery work against a simulated
+    #: twin that by construction needed none.
+    respawns: int = 0
+    hedged: int = 0
+    quarantined: int = 0
+    recovery_seconds: float = 0.0
 
     def _latencies(self, include_cache_hits: bool = True) -> np.ndarray:
         values = [
@@ -138,6 +148,10 @@ class ServingReport(LatencyReportMixin):
             "cache_hit_rate": self.cache_hit_rate,
             "cache_hits": float(self.cache_hits),
             "cache_lookups": float(self.cache_lookups),
+            "respawns": float(self.respawns),
+            "hedged": float(self.hedged),
+            "quarantined": float(self.quarantined),
+            "recovery_seconds": float(self.recovery_seconds),
             "num_batches": float(len(self.batches)),
         }
 

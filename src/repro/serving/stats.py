@@ -49,6 +49,33 @@ def pinned_makespan(
     return max(last_answer_seconds - first_arrival_seconds, 0.0)
 
 
+def dispatch_tally_increment(prior_dispatches: int, hedge: bool) -> int:
+    """The one dispatch-counting rule: admitted work is tallied **once**.
+
+    ``dispatched`` and the per-lane dispatch tallies measure how much
+    *distinct* work entered the data plane, not how many IPC sends it
+    took to answer it.  A batch therefore increments them exactly once —
+    at its first primary dispatch — and every later send of the same
+    payload is free:
+
+    * a **retry** (``prior_dispatches > 0``) re-sends work the tally
+      already counted; counting it again would make a flaky lane inflate
+      apparent throughput exactly when real throughput drops;
+    * a **hedge** duplicate (``hedge=True``) races the primary for
+      latency; it can never be the first dispatch, and only one of the
+      two answers is kept, so it too re-sends counted work.
+
+    (Separate counters — ``retries``, ``hedged`` — measure the extra
+    sends; the invariant is ``IPC sends = dispatched + retries +
+    hedged``.)  This is the measured-plane sibling of the
+    :func:`pinned_makespan` rule above: both pin a denominator the
+    fault path must not be able to stretch.
+    """
+    if hedge or prior_dispatches > 0:
+        return 0
+    return 1
+
+
 class LatencyReportMixin:
     """Shared percentile/mean accessors over a ``_latencies`` hook."""
 

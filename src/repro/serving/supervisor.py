@@ -1,0 +1,437 @@
+"""Per-lane supervision: backoff, circuit breaking, and the degradation ladder.
+
+The :class:`Supervisor` is the control plane of the self-healing
+:class:`~repro.serving.workers.WorkerPool`.  It is a **pure state
+machine**: every method takes the current time as an argument (``now``,
+seconds on the pool's monotonic clock) and never reads a clock itself —
+this module is *not* on the detlint DET003 allowlist, on purpose.  Its
+only randomness is backoff jitter drawn from one generator seeded at
+construction.  Consequently a chaos run's *event structure* — which
+lanes failed, how many respawns, when the breaker tripped — is a pure
+function of ``(seed, FaultPlan, workload)``, and two runs of the same
+plan produce byte-identical :meth:`Supervisor.event_signature` logs even
+though their wall-clock timestamps differ.
+
+The degradation ladder (most-preferred first) the pool walks for a
+failed or straggling batch is spelled out by
+:meth:`DegradationPolicy.ladder`:
+
+``retry`` (re-dispatch to a healthy lane, bounded by ``max_retries``)
+→ ``hedge`` (duplicate a straggler to the least-loaded healthy lane,
+first answer wins) → ``respawn`` (fork a replacement process for a dead
+lane, seeded-exponential backoff, breaker-guarded) → ``fallback``
+(compute in-process on the parent's validated model copy) → ``shed``
+(fail the batch, conserved in the ``failed`` counter).
+
+Lane lifecycle::
+
+    UP ──failure──▶ RESPAWNING ──delay due──▶ (spawn) ──ready──▶ UP
+     │                   │ breaker open
+     │                   ▼
+     └──failure──▶ QUARANTINED ──cooldown──▶ RESPAWNING (half-open probe)
+                         │ respawn budget exhausted
+                         ▼
+                        DEAD
+
+The circuit breaker is the standard three-state machine: ``closed``
+(failures counted against a sliding window), ``open`` (lane
+quarantined; no respawns), ``half_open`` (cooldown expired; exactly one
+probe respawn allowed — its first successful batch closes the breaker,
+another failure reopens it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Lane states (see module docstring for the transition diagram).
+LANE_UP = "up"
+LANE_RESPAWNING = "respawning"
+LANE_QUARANTINED = "quarantined"
+LANE_DEAD = "dead"
+
+#: Breaker states.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Seeded exponential backoff with bounded multiplicative jitter.
+
+    ``raw_delay(n) = min(base * factor**n, cap)`` is deterministic and
+    non-decreasing in ``n``; ``delay`` stretches it by a jitter factor
+    in ``[1, 1 + jitter]`` drawn from the caller's seeded generator, so
+    replayed runs draw identical jitter.
+    """
+
+    base_seconds: float = 0.05
+    factor: float = 2.0
+    cap_seconds: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.base_seconds <= 0 or self.factor < 1.0 or self.cap_seconds <= 0:
+            raise ValueError("backoff needs base > 0, factor >= 1, cap > 0")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+
+    def raw_delay(self, attempt: int) -> float:
+        """Deterministic delay before respawn attempt ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        # factor**attempt overflows float for silly attempt counts; the
+        # cap makes the limit finite, so clamp through log space.
+        exponent = attempt * math.log(self.factor) if self.factor > 1.0 else 0.0
+        if self.base_seconds * math.exp(min(exponent, 700.0)) >= self.cap_seconds:
+            return self.cap_seconds
+        return min(self.base_seconds * self.factor**attempt, self.cap_seconds)
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Jittered delay: ``raw_delay * uniform(1, 1 + jitter)``."""
+        raw = self.raw_delay(attempt)
+        if self.jitter == 0:
+            return raw
+        return raw * (1.0 + self.jitter * float(rng.random()))
+
+
+@dataclass
+class CircuitBreaker:
+    """Sliding-window circuit breaker guarding one lane's respawns.
+
+    Opens iff ``failure_threshold`` failures land within any
+    ``window_seconds`` span; stays open for ``cooldown_seconds``; then
+    half-opens to admit exactly one probe.  The probe's first successful
+    batch closes the breaker, a failure while half-open reopens it.
+    """
+
+    failure_threshold: int = 3
+    window_seconds: float = 10.0
+    cooldown_seconds: float = 1.0
+    state: str = BREAKER_CLOSED
+    opened_at: float = 0.0
+    _failures: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.window_seconds <= 0 or self.cooldown_seconds < 0:
+            raise ValueError("window_seconds must be > 0 and cooldown >= 0")
+
+    def record_failure(self, now: float) -> bool:
+        """Count a failure at ``now``; returns True if the breaker (re)opens."""
+        if self.state == BREAKER_HALF_OPEN:
+            # The probe failed: straight back to open, fresh cooldown.
+            self.state = BREAKER_OPEN
+            self.opened_at = now
+            self._failures = [now]
+            return True
+        self._failures.append(now)
+        # Inclusive window: a failure exactly ``window_seconds`` old still
+        # counts — "threshold failures within one window-long span" keeps
+        # both endpoints of the span.
+        self._failures = [t for t in self._failures if now - t <= self.window_seconds]
+        if self.state == BREAKER_CLOSED and len(self._failures) >= self.failure_threshold:
+            self.state = BREAKER_OPEN
+            self.opened_at = now
+            return True
+        return False
+
+    def allow(self, now: float) -> bool:
+        """May a respawn proceed at ``now``?  Open→half-open after cooldown."""
+        if self.state == BREAKER_CLOSED:
+            return True
+        if self.state == BREAKER_OPEN and now >= self.opened_at + self.cooldown_seconds:
+            self.state = BREAKER_HALF_OPEN
+            return True
+        return self.state == BREAKER_HALF_OPEN
+
+    def record_success(self, now: float) -> bool:
+        """A batch succeeded on this lane; returns True if the probe closed it."""
+        if self.state == BREAKER_HALF_OPEN:
+            self.state = BREAKER_CLOSED
+            self._failures = []
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """The configurable ``retry → hedge → respawn → fallback → shed`` ladder.
+
+    The default mirrors the pool's pre-supervision behaviour exactly —
+    bounded retry then in-process fallback, no hedging, no respawn — so
+    existing callers see no change unless they opt in.
+    """
+
+    max_retries: int = 1
+    hedge: bool = False
+    hedge_after_fraction: float = 0.5
+    respawn: bool = False
+    max_respawns_per_lane: int = 3
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    breaker_failures: int = 3
+    breaker_window_seconds: float = 10.0
+    breaker_cooldown_seconds: float = 1.0
+    fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0 or self.max_respawns_per_lane < 0:
+            raise ValueError("retry and respawn budgets must be >= 0")
+        if not 0.0 < self.hedge_after_fraction <= 1.0:
+            raise ValueError("hedge_after_fraction must be in (0, 1]")
+
+    def ladder(self) -> Tuple[str, ...]:
+        """The enabled rungs, most-preferred first, ending in ``shed``."""
+        rungs = []
+        if self.max_retries > 0:
+            rungs.append("retry")
+        if self.hedge:
+            rungs.append("hedge")
+        if self.respawn:
+            rungs.append("respawn")
+        if self.fallback:
+            rungs.append("fallback")
+        rungs.append("shed")
+        return tuple(rungs)
+
+    def make_breaker(self) -> CircuitBreaker:
+        return CircuitBreaker(
+            failure_threshold=self.breaker_failures,
+            window_seconds=self.breaker_window_seconds,
+            cooldown_seconds=self.breaker_cooldown_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class SupervisorEvent:
+    """One supervision transition, logged in order.
+
+    ``wall_seconds`` is the only run-varying field; it is excluded from
+    :meth:`signature` so that replayed chaos runs compare equal.
+    """
+
+    seq: int
+    lane: int
+    incarnation: int
+    kind: str
+    detail: str = ""
+    wall_seconds: float = 0.0
+
+    def signature(self) -> Tuple[int, int, int, str, str]:
+        return (self.seq, self.lane, self.incarnation, self.kind, self.detail)
+
+
+@dataclass
+class LaneSupervisor:
+    """Mutable supervision state of one worker lane."""
+
+    lane: int
+    status: str = LANE_UP
+    incarnation: int = 0
+    respawn_attempts: int = 0
+    # Scheduled respawn time; None while no respawn is pending (including
+    # the window between ``record_respawn_started`` and ``record_ready``).
+    next_respawn_at: Optional[float] = None
+    died_at: Optional[float] = None
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
+
+
+class Supervisor:
+    """Deterministic control plane for a pool's worker lanes.
+
+    The pool reports observations (``record_failure``,
+    ``record_ready``, ``record_batch_success``, …) with an explicit
+    ``now``; the supervisor answers policy questions (``due_respawns``)
+    and keeps the audit log (:meth:`event_signature`) plus the derived
+    health aggregates (respawn counts, MTTR, ``recovery_seconds``).
+    """
+
+    def __init__(self, num_lanes: int, policy: DegradationPolicy, seed: int = 0):
+        if num_lanes < 0:
+            raise ValueError("num_lanes must be >= 0")
+        self.policy = policy
+        self._rng = np.random.default_rng(int(seed))
+        self.lanes: Dict[int, LaneSupervisor] = {
+            lane: LaneSupervisor(lane=lane, breaker=policy.make_breaker())
+            for lane in range(num_lanes)
+        }
+        self.events: List[SupervisorEvent] = []
+        self.respawns = 0
+        self.quarantined = 0
+        self.hedged = 0
+        self.hedge_wins = 0
+        self._recovery_samples: List[float] = []
+
+    # -- event log ----------------------------------------------------------
+
+    def _emit(self, lane: int, incarnation: int, kind: str, detail: str, now: float) -> None:
+        self.events.append(
+            SupervisorEvent(
+                seq=len(self.events),
+                lane=lane,
+                incarnation=incarnation,
+                kind=kind,
+                detail=detail,
+                wall_seconds=now,
+            )
+        )
+
+    def event_signature(self) -> Tuple[Tuple[int, int, int, str, str], ...]:
+        """The wall-clock-free event log; identical across replayed runs."""
+        return tuple(event.signature() for event in self.events)
+
+    # -- observations -------------------------------------------------------
+
+    def record_failure(self, lane: int, now: float, reason: str) -> str:
+        """A lane's process failed (crash, boot error, wedge).
+
+        Returns the verdict: ``"respawn"`` (a respawn is scheduled),
+        ``"quarantine"`` (breaker open, lane benched for the cooldown),
+        or ``"shed"`` (respawn disabled or budget exhausted — the lane
+        stays down).
+        """
+        state = self.lanes[lane]
+        if state.died_at is None:
+            state.died_at = now
+        self._emit(lane, state.incarnation, "failure", reason, now)
+        opened = state.breaker.record_failure(now)
+        if opened:
+            state.status = LANE_QUARANTINED
+            self.quarantined += 1
+            self._emit(lane, state.incarnation, "quarantine", reason, now)
+            if not self.policy.respawn:
+                state.status = LANE_DEAD
+                return "shed"
+            return "quarantine"
+        if not self.policy.respawn or state.respawn_attempts >= self.policy.max_respawns_per_lane:
+            state.status = LANE_DEAD
+            self._emit(lane, state.incarnation, "lane_dead", reason, now)
+            return "shed"
+        delay = self.policy.backoff.delay(state.respawn_attempts, self._rng)
+        state.status = LANE_RESPAWNING
+        state.next_respawn_at = now + delay
+        self._emit(
+            lane,
+            state.incarnation,
+            "respawn_scheduled",
+            f"attempt={state.respawn_attempts}",
+            now,
+        )
+        return "respawn"
+
+    def due_respawns(self, now: float) -> List[int]:
+        """Lanes whose respawn delay has elapsed and whose breaker allows it.
+
+        A quarantined lane whose breaker cooldown has expired half-opens
+        here and is returned as a probe candidate (if budget remains).
+        """
+        due: List[int] = []
+        for lane in sorted(self.lanes):
+            state = self.lanes[lane]
+            if state.status == LANE_QUARANTINED:
+                if state.respawn_attempts >= self.policy.max_respawns_per_lane:
+                    continue
+                if state.breaker.allow(now):
+                    # Half-open: schedule the probe respawn immediately.
+                    state.status = LANE_RESPAWNING
+                    state.next_respawn_at = now
+                    self._emit(lane, state.incarnation, "half_open_probe", "", now)
+                else:
+                    continue
+            if (
+                state.status == LANE_RESPAWNING
+                and state.next_respawn_at is not None
+                and now >= state.next_respawn_at
+            ):
+                due.append(lane)
+        return due
+
+    def record_respawn_started(self, lane: int, now: float) -> int:
+        """The pool is forking a replacement; returns the new incarnation."""
+        state = self.lanes[lane]
+        state.respawn_attempts += 1
+        state.incarnation += 1
+        state.next_respawn_at = None  # spawn in progress — not due again
+        self.respawns += 1
+        self._emit(lane, state.incarnation, "respawn_started", "", now)
+        return state.incarnation
+
+    def record_ready(self, lane: int, incarnation: int, now: float) -> None:
+        """A (re)spawned worker announced ready; lane is UP again."""
+        state = self.lanes[lane]
+        if incarnation != state.incarnation:
+            return  # stale announcement from a reaped incarnation
+        state.status = LANE_UP
+        if state.died_at is not None and incarnation > 0:
+            self._recovery_samples.append(max(0.0, now - state.died_at))
+        state.died_at = None
+        self._emit(lane, incarnation, "ready", "", now)
+
+    def record_boot_failure(self, lane: int, now: float, reason: str) -> str:
+        """A respawned worker failed to boot (e.g. checkpoint flake)."""
+        return self.record_failure(lane, now, f"boot:{reason}")
+
+    def record_batch_success(self, lane: int, now: float) -> None:
+        """A batch completed on the lane; closes a half-open breaker probe."""
+        state = self.lanes.get(lane)
+        if state is None:
+            return
+        if state.breaker.record_success(now):
+            state.respawn_attempts = 0
+            self._emit(lane, state.incarnation, "breaker_closed", "", now)
+
+    def record_hedge(self, lane: int, target: int, now: float, won: bool = False) -> None:
+        """A hedged duplicate dispatch (or its win) for bookkeeping."""
+        if won:
+            self.hedge_wins += 1
+            self._emit(target, self.lanes[target].incarnation if target in self.lanes else 0,
+                       "hedge_won", f"primary={lane}", now)
+        else:
+            self.hedged += 1
+            self._emit(lane, self.lanes[lane].incarnation if lane in self.lanes else 0,
+                       "hedged", f"target={target}", now)
+
+    # -- derived health -----------------------------------------------------
+
+    def lane_status(self, lane: int) -> str:
+        return self.lanes[lane].status
+
+    def respawn_pending(self) -> bool:
+        """True while some lane is scheduled — or still eligible — to return.
+
+        A quarantined lane with respawn budget left counts (its breaker
+        will half-open after the cooldown); one with the budget spent
+        does not — nothing will ever bring it back, so callers must not
+        wait on it.
+        """
+        for lane in sorted(self.lanes):
+            state = self.lanes[lane]
+            if state.status == LANE_RESPAWNING:
+                return True
+            if (
+                state.status == LANE_QUARANTINED
+                and state.respawn_attempts < self.policy.max_respawns_per_lane
+            ):
+                return True
+        return False
+
+    def breaker_states(self) -> Dict[int, str]:
+        return {lane: state.breaker.state for lane, state in sorted(self.lanes.items())}
+
+    def mttr_seconds(self) -> float:
+        """Mean time from lane death to its replacement's ready."""
+        if not self._recovery_samples:
+            return 0.0
+        return float(sum(self._recovery_samples) / len(self._recovery_samples))
+
+    def recovery_seconds(self) -> float:
+        """Worst-case (max) recovery across all completed respawns."""
+        if not self._recovery_samples:
+            return 0.0
+        return float(max(self._recovery_samples))

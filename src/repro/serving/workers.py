@@ -44,10 +44,13 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_module
+import signal
+import sys
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -56,11 +59,13 @@ from ..saberlda.config import PreprocessKind
 from ..telemetry.clock import WallClock
 from ..telemetry.metrics import MetricsRegistry, null_metrics
 from ..telemetry.tracer import Tracer, merge_worker_payloads, null_tracer
+from .faults import NO_FAULT, FaultInjector, FaultPlan
 from .foldin import FoldInResult, FrozenModelState, request_rng
 from .pool import PoolBatchExecution
 from .queue import ServingRequest
 from .scheduler import InferenceBatch
-from .stats import LatencyReportMixin
+from .stats import LatencyReportMixin, dispatch_tally_increment
+from .supervisor import DegradationPolicy, Supervisor
 
 #: Phase key wall-clock executions report under (there is no simulated
 #: phase breakdown on a real process — one measured number).
@@ -78,12 +83,15 @@ _POLL_SECONDS = 0.05
 WIRE_MESSAGE_KINDS = frozenset(
     {
         "batch",       # parent -> worker: (batch_id, attempt, payload, stall)
+        "cancel",      # parent -> worker: (batch_id, attempt) — hedge loser
         "stop",        # parent -> worker: shut down after current batch
-        "ready",       # worker -> parent: (worker_id, boot info dict)
-        "boot_error",  # worker -> parent: (worker_id, traceback text)
-        "ok",          # worker -> parent: (worker_id, batch_id, attempt, results, seconds)
-        "error",       # worker -> parent: (worker_id, batch_id, attempt, traceback text)
-        "telemetry",   # worker -> parent: (worker_id, seq, spans wire, metrics wire)
+        "ready",       # worker -> parent: (worker_id, incarnation, boot info dict)
+        "boot_error",  # worker -> parent: (worker_id, incarnation, traceback text)
+        "ok",          # worker -> parent: (worker_id, incarnation, batch_id, attempt, results, seconds)
+        "error",       # worker -> parent: (worker_id, incarnation, batch_id, attempt, traceback text)
+        "cancelled",   # worker -> parent: (worker_id, incarnation, batch_id, attempt)
+        "heartbeat",   # worker -> parent: (worker_id, incarnation, seq)
+        "telemetry",   # worker -> parent: (worker_id, incarnation, seq, spans wire, metrics wire)
     }
 )
 
@@ -113,6 +121,18 @@ class WorkerJobSpec:
     #: Ship per-batch span/metric buffers back over the result queue
     #: (one ``"telemetry"`` message immediately before each ``"ok"``).
     trace: bool = False
+    #: Which respawn generation of the lane this process is (0 = the
+    #: original).  Stamped on every message the worker sends so the
+    #: parent can discard stragglers from reaped incarnations.
+    incarnation: int = 0
+    #: Deterministic chaos schedule this worker enacts at the pinned
+    #: hook points (boot, before each lane-local batch).  ``None``: no
+    #: faults, zero overhead.
+    fault_plan: Optional[FaultPlan] = None
+    #: Idle-liveness beacon period: an idle worker emits a
+    #: ``"heartbeat"`` message each time the task queue stays empty this
+    #: long.  ``0`` disables heartbeats (the worker blocks forever).
+    heartbeat_seconds: float = 0.25
 
 
 @dataclass(frozen=True)
@@ -136,13 +156,30 @@ class BatchOutcome:
 
 @dataclass
 class _InFlight:
+    """Parent-side record of one batch between submit and resolve.
+
+    ``worker_id`` / ``primary_attempt`` identify the live primary
+    dispatch (``-1``: parked, waiting for a lane); ``hedge_worker_id`` /
+    ``hedge_attempt`` the live hedge duplicate, if any.  ``next_attempt``
+    mints a unique wire attempt id per (re)dispatch so a stale answer
+    from any superseded dispatch can never be mistaken for the live one.
+    ``dispatch_count`` counts *primary* dispatches only — it is the
+    retry budget and the ``attempts`` the outcome reports; hedges ride
+    for free (see ``dispatch_tally_increment`` in ``stats.py``).
+    """
+
     payload: List[RequestPayload]
     worker_id: int
     submitted: float
     first_submitted: float
     deadline: float
-    attempts: int
     stall_seconds: float
+    primary_attempt: int = -1
+    next_attempt: int = 1
+    dispatch_count: int = 0
+    hedge_worker_id: int = -1
+    hedge_attempt: int = -1
+    hedge_deadline: Optional[float] = None  # when to fire the hedge (None: never/fired)
     trace_started: float = 0.0  # pool-tracer clock time of first submission
 
 
@@ -165,14 +202,36 @@ def _worker_main(spec: WorkerJobSpec, task_queue, result_queue) -> None:
 
     ``stall`` is a fault-injection knob (seconds to sleep *before*
     executing) used by the fault-path tests and the slow-worker
-    benchmarks; real traffic sends 0.
+    benchmarks; real traffic sends 0.  ``spec.fault_plan`` faults compose
+    with it: a scheduled stall adds to the wire stall, a scheduled crash
+    hard-exits the process (``os._exit`` after flushing the shared
+    result queue's feeder, so the death is confined to this lane), a
+    scheduled reply drop computes the batch but never answers.
     """
+    # SIGTERM (the parent's escalation signal) must not kill this process
+    # between a feeder-thread write to the shared result queue and the
+    # release of the queue's write lock — the orphaned lock would wedge
+    # every other lane's messages forever.  Convert it to SystemExit in
+    # the main thread: the unwind runs multiprocessing's exit handlers,
+    # which join the feeder so in-flight sends complete and unlock.
+    signal.signal(signal.SIGTERM, lambda _signum, _frame: sys.exit(0))
     log = open(spec.log_path, "a", encoding="utf-8", buffering=1)
+    incarnation = spec.incarnation
 
     def log_line(message: str) -> None:
-        log.write(f"{time.strftime('%H:%M:%S')} worker{spec.worker_id:02d} {message}\n")
+        log.write(
+            f"{time.strftime('%H:%M:%S')} worker{spec.worker_id:02d}"
+            f".{incarnation} {message}\n"
+        )
 
+    injector = (
+        FaultInjector(spec.fault_plan, spec.worker_id, incarnation)
+        if spec.fault_plan is not None
+        else None
+    )
     try:
+        if injector is not None:
+            injector.check_boot()
         state = FrozenModelState.from_mmap_checkpoint(
             spec.checkpoint_dir,
             kind=PreprocessKind(spec.preprocess),
@@ -187,28 +246,81 @@ def _worker_main(spec: WorkerJobSpec, task_queue, result_queue) -> None:
             "phi_filename": getattr(state.phi, "filename", None),
             "mmap_mode": spec.mmap_mode,
         }
-        result_queue.put(("ready", spec.worker_id, info))
+        result_queue.put(("ready", spec.worker_id, incarnation, info))
         log_line(f"ready pid={info['pid']} phi_is_memmap={info['phi_is_memmap']}")
     except Exception:
-        result_queue.put(("boot_error", spec.worker_id, traceback.format_exc()))
+        result_queue.put(
+            ("boot_error", spec.worker_id, incarnation, traceback.format_exc())
+        )
         log.close()
         return
 
     tracer = Tracer(WallClock()) if spec.trace else null_tracer()
     metrics = MetricsRegistry() if spec.trace else null_metrics()
     telemetry_seq = 0
+    heartbeat_seq = 0
+    batch_index = 0  # lane-local batch counter — the fault plan's clock
     track = spec.worker_id + 1  # parent-side spans own track 0
+    backlog = deque()  # batches waiting behind the one executing
+    cancelled: Set[Tuple[int, int]] = set()  # (batch_id, attempt) to skip
+    stopping = False
 
-    while True:
-        message = task_queue.get()
+    while not stopping:
+        if not backlog:
+            try:
+                if spec.heartbeat_seconds > 0:
+                    backlog.append(task_queue.get(timeout=spec.heartbeat_seconds))
+                else:
+                    backlog.append(task_queue.get())
+            except queue_module.Empty:
+                # Idle liveness beacon: lets the parent distinguish "no
+                # work" from "wedged" without dispatching a probe batch.
+                result_queue.put(("heartbeat", spec.worker_id, incarnation, heartbeat_seq))
+                heartbeat_seq += 1
+                continue
+        # Absorb everything already queued before executing: a "cancel"
+        # for a batch still in the backlog must win over FIFO order.
+        while True:
+            try:
+                backlog.append(task_queue.get_nowait())
+            except queue_module.Empty:
+                break
+        message = backlog.popleft()
         if message[0] == "stop":
             log_line("stopping")
-            break
+            stopping = True
+            continue
+        if message[0] == "cancel":
+            _kind, batch_id, attempt = message
+            cancelled.add((batch_id, attempt))
+            continue
         _kind, batch_id, attempt, payload, stall_seconds = message
+        if (batch_id, attempt) in cancelled:
+            cancelled.discard((batch_id, attempt))
+            result_queue.put(("cancelled", spec.worker_id, incarnation, batch_id, attempt))
+            log_line(f"batch={batch_id} attempt={attempt} CANCELLED before start")
+            continue
+        action = injector.before_batch(batch_index) if injector is not None else NO_FAULT
+        batch_index += 1
+        if action.crash:
+            log_line(f"batch={batch_id} attempt={attempt} FAULT crash")
+            log.close()
+            # Flush this process's feeder thread before hard-exiting.
+            # ``result_queue`` is shared by every lane: dying while the
+            # feeder is mid-write leaves the queue's write lock acquired
+            # forever, silently wedging ALL workers' messages — a blast
+            # radius no single-lane fault may have.  The flush delivers
+            # messages already queued (previous answers, heartbeats);
+            # the current batch is still never answered, which is the
+            # fault being simulated.
+            result_queue.close()
+            result_queue.join_thread()
+            os._exit(17)  # hard death for this lane only
         started = time.monotonic()
         try:
-            if stall_seconds > 0:
-                time.sleep(stall_seconds)
+            total_stall = stall_seconds + action.stall_seconds
+            if total_stall > 0:
+                time.sleep(total_stall)
             with tracer.span("worker_batch", category="worker", track=track,
                              batch_id=batch_id, docs=len(payload)):
                 results = []
@@ -218,6 +330,15 @@ def _worker_main(spec: WorkerJobSpec, task_queue, result_queue) -> None:
                             _fold_in_payload(state, spec, request_id, word_ids)
                         )
             seconds = time.monotonic() - started
+            if action.drop_reply:
+                # The work happened; the answer vanishes on the wire.
+                # Telemetry vanishes with it (nothing about this batch
+                # reaches the parent — that is the fault).
+                if spec.trace:
+                    tracer.drain_wire()
+                    metrics.drain_wire()
+                log_line(f"batch={batch_id} attempt={attempt} FAULT drop_reply")
+                continue
             metrics.counter("worker.batches").inc()
             metrics.counter("worker.documents").inc(len(payload))
             metrics.counter("worker.busy_seconds").inc(seconds)
@@ -229,20 +350,30 @@ def _worker_main(spec: WorkerJobSpec, task_queue, result_queue) -> None:
                     (
                         "telemetry",
                         spec.worker_id,
+                        incarnation,
                         telemetry_seq,
                         tracer.drain_wire(),
                         metrics.drain_wire(),
                     )
                 )
                 telemetry_seq += 1
-            result_queue.put(("ok", spec.worker_id, batch_id, attempt, results, seconds))
+            result_queue.put(
+                ("ok", spec.worker_id, incarnation, batch_id, attempt, results, seconds)
+            )
             log_line(
                 f"batch={batch_id} attempt={attempt} docs={len(payload)} "
                 f"seconds={seconds:.4f}"
             )
         except Exception:
             result_queue.put(
-                ("error", spec.worker_id, batch_id, attempt, traceback.format_exc())
+                (
+                    "error",
+                    spec.worker_id,
+                    incarnation,
+                    batch_id,
+                    attempt,
+                    traceback.format_exc(),
+                )
             )
             log_line(f"batch={batch_id} attempt={attempt} ERROR")
     log.close()
@@ -297,6 +428,19 @@ class WorkerPool:
     max_retries: int = 1
     inprocess_fallback: bool = True
     mmap_mode: Optional[str] = "r"
+    #: The explicit degradation ladder (``retry → hedge → respawn →
+    #: fallback → shed``).  ``None``: built at :meth:`start` from the
+    #: legacy ``max_retries`` / ``inprocess_fallback`` knobs — bounded
+    #: retry then in-process fallback, no hedging, no respawn — so the
+    #: pre-supervision behaviour is the default.  When provided, it is
+    #: authoritative (``max_retries`` / ``inprocess_fallback`` are
+    #: overwritten from it).
+    policy: Optional[DegradationPolicy] = None
+    #: Deterministic chaos schedule shipped to every worker incarnation
+    #: (see :mod:`repro.serving.faults`).  ``None``: no faults.
+    fault_plan: Optional[FaultPlan] = None
+    #: Worker idle-liveness beacon period (0 disables heartbeats).
+    heartbeat_seconds: float = 0.25
     #: Fault-injection default: every submitted batch carries this stall
     #: unless :meth:`submit` overrides it.  Lets a driver that never
     #: touches ``submit`` directly (e.g. the open-loop server) run the
@@ -318,6 +462,11 @@ class WorkerPool:
     failed: int = 0
     retries: int = 0
     fallback_batches: int = 0
+    #: Micro-batches dispatched to a worker lane, each counted exactly
+    #: once at its *first* dispatch — retries and hedges re-send the
+    #: same work and never increment (``dispatch_tally_increment`` in
+    #: ``stats.py`` is the pinned rule).
+    dispatched: int = 0
 
     worker_info: Dict[int, dict] = field(default_factory=dict)
     _processes: Dict[int, multiprocessing.Process] = field(default_factory=dict)
@@ -330,9 +479,23 @@ class WorkerPool:
     _outstanding: Dict[int, int] = field(default_factory=dict)
     _next_batch_id: int = 0
     _started: bool = False
+    _closed: bool = False
     _fallback_state: Optional[FrozenModelState] = None
-    # Buffered worker telemetry: worker_id -> [(seq, spans, metrics), ...].
+    # Buffered worker telemetry, keyed worker_id * 1000 + incarnation so
+    # a respawned worker's restarted seq counter can never collide with
+    # its predecessor's in the deterministic merge.
     _telemetry: Dict[int, List[Tuple[int, list, list]]] = field(default_factory=dict)
+    # Supervision state: lane -> current incarnation / last beacon time /
+    # per-batch first-dispatch lane tally; (lane, incarnation) pairs whose
+    # failure was already recorded (a boot_error message racing the
+    # dead-process sweep must not count twice).
+    _supervisor: Optional[Supervisor] = None
+    _incarnations: Dict[int, int] = field(default_factory=dict)
+    _ready_inc: Dict[int, int] = field(default_factory=dict)
+    _last_seen: Dict[int, float] = field(default_factory=dict)
+    _lane_dispatches: Dict[int, int] = field(default_factory=dict)
+    _failed_incarnations: Set[Tuple[int, int]] = field(default_factory=set)
+    _mp_context: Optional[object] = None
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -350,6 +513,15 @@ class WorkerPool:
             raise RuntimeError("WorkerPool.start() called twice")
         self._started = True
         self.backend = resolve_backend(self.backend)
+        if self.policy is None:
+            # Legacy knobs are the policy: bounded retry, then fallback.
+            self.policy = DegradationPolicy(
+                max_retries=self.max_retries, fallback=self.inprocess_fallback
+            )
+        else:
+            # An explicit policy is authoritative for the whole ladder.
+            self.max_retries = self.policy.max_retries
+            self.inprocess_fallback = self.policy.fallback
         # Validate the checkpoint up front (raises on a bad path) and keep
         # the state around as the fallback engine.
         self._fallback_state = FrozenModelState.from_mmap_checkpoint(
@@ -361,45 +533,65 @@ class WorkerPool:
         )
         if self.num_workers < 0:
             raise ValueError("num_workers must be >= 0")
+        self._supervisor = Supervisor(
+            num_lanes=self.num_workers, policy=self.policy, seed=self.seed
+        )
         if self.num_workers == 0:
             return self
         if self.log_dir is None:
             self.log_dir = os.path.join(self.checkpoint_dir, "worker_logs")
         os.makedirs(self.log_dir, exist_ok=True)
-        context = multiprocessing.get_context(
+        self._mp_context = multiprocessing.get_context(
             self.start_method or _default_start_method()
         )
-        self._result_queue = context.Queue()
+        self._result_queue = self._mp_context.Queue()
         for worker_id in range(self.num_workers):
-            spec = WorkerJobSpec(
-                worker_id=worker_id,
-                checkpoint_dir=self.checkpoint_dir,
-                seed=self.seed,
-                num_sweeps=self.num_sweeps,
-                preprocess=self.preprocess.value,
-                sampler_capacity=self.sampler_capacity,
-                backend=self.backend.value,
-                log_path=os.path.join(self.log_dir, f"worker{worker_id:02d}.log"),
-                mmap_mode=self.mmap_mode,
-                trace=self.tracer.enabled,
-            )
-            task_queue = context.Queue()
-            process = context.Process(
-                target=_worker_main,
-                args=(spec, task_queue, self._result_queue),
-                daemon=True,
-                name=f"saberlda-worker-{worker_id}",
-            )
-            process.start()
-            self._processes[worker_id] = process
-            self._task_queues[worker_id] = task_queue
-            self._outstanding[worker_id] = 0
+            self._spawn_worker(worker_id, incarnation=0)
         self._await_ready()
         return self
+
+    def _spawn_worker(self, worker_id: int, incarnation: int) -> None:
+        """Fork one worker process for ``(lane, incarnation)``.
+
+        Shared by :meth:`start` (incarnation 0) and the supervisor's
+        respawn path.  The lane's log file persists across incarnations
+        (each line is stamped ``workerNN.I``), and the fault plan rides
+        along so a respawned worker enacts the events scheduled for its
+        own generation.
+        """
+        spec = WorkerJobSpec(
+            worker_id=worker_id,
+            checkpoint_dir=self.checkpoint_dir,
+            seed=self.seed,
+            num_sweeps=self.num_sweeps,
+            preprocess=self.preprocess.value,
+            sampler_capacity=self.sampler_capacity,
+            backend=self.backend.value,
+            log_path=os.path.join(self.log_dir, f"worker{worker_id:02d}.log"),
+            mmap_mode=self.mmap_mode,
+            trace=self.tracer.enabled,
+            incarnation=incarnation,
+            fault_plan=self.fault_plan,
+            heartbeat_seconds=self.heartbeat_seconds,
+        )
+        task_queue = self._mp_context.Queue()
+        process = self._mp_context.Process(
+            target=_worker_main,
+            args=(spec, task_queue, self._result_queue),
+            daemon=True,
+            name=f"saberlda-worker-{worker_id}",
+        )
+        process.start()
+        self._processes[worker_id] = process
+        self._task_queues[worker_id] = task_queue
+        self._outstanding[worker_id] = 0
+        self._incarnations[worker_id] = incarnation
+        self._last_seen[worker_id] = time.monotonic()
 
     def _await_ready(self) -> None:
         deadline = time.monotonic() + self.ready_timeout_seconds
         awaiting = set(self._processes)
+        became_ready: List[Tuple[int, int]] = []
         while awaiting and time.monotonic() < deadline:
             try:
                 message = self._result_queue.get(timeout=_POLL_SECONDS)
@@ -407,24 +599,44 @@ class WorkerPool:
                 for worker_id in sorted(awaiting):
                     if not self._processes[worker_id].is_alive():
                         awaiting.discard(worker_id)
-                        self._drop_worker(worker_id)
+                        self._lane_failed(worker_id, "boot_crash")
                 continue
             if message[0] == "ready":
-                _kind, worker_id, info = message
+                _kind, worker_id, incarnation, info = message
                 self.worker_info[worker_id] = info
+                self._ready_inc[worker_id] = incarnation
+                self._last_seen[worker_id] = time.monotonic()
                 awaiting.discard(worker_id)
+                became_ready.append((worker_id, incarnation))
             elif message[0] == "boot_error":
-                _kind, worker_id, trace = message
+                _kind, worker_id, incarnation, trace = message
                 self.worker_info[worker_id] = {"boot_error": trace}
                 awaiting.discard(worker_id)
-                self._drop_worker(worker_id)
+                self._lane_failed(worker_id, "boot_error")
         # sorted(): `awaiting` is a set — drop wedged workers in id order
         # so the surviving pool (and its logs) never depend on hash order.
         for worker_id in sorted(awaiting):  # never announced: wedged boot
-            self._drop_worker(worker_id)
+            self._lane_failed(worker_id, "boot_wedge")
+        # Record readiness in lane order, not message-arrival order, so
+        # the supervisor event log is identical across replayed runs.
+        now = time.monotonic()
+        for worker_id, incarnation in sorted(became_ready):
+            self._supervisor.record_ready(worker_id, incarnation, now)
 
     def close(self) -> None:
-        """Stop every worker (politely, then forcefully) and release IPC."""
+        """Stop every worker (politely, then forcefully) and release IPC.
+
+        Idempotent and total: safe to call twice, and guaranteed to run
+        on every exception path through the ``with`` statement.  The
+        escalation is stop → join → terminate → join → kill → join, so
+        a worker wedged in compute (which never reads the stop message)
+        is still reaped, never leaked as a zombie; the result queue is
+        drained before release so its feeder thread can't block teardown
+        on a pipe full of unread answers.
+        """
+        if self._closed:
+            return
+        self._closed = True
         for worker_id, task_queue in list(self._task_queues.items()):
             process = self._processes.get(worker_id)
             if process is not None and process.is_alive():
@@ -437,6 +649,19 @@ class WorkerPool:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=5.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+        # Drain stragglers (late answers, heartbeats, telemetry) so the
+        # queue's feeder thread has nothing left in flight.
+        if self._result_queue is not None:
+            while True:
+                try:
+                    self._result_queue.get_nowait()
+                except queue_module.Empty:
+                    break
+                except (EOFError, OSError):  # queue already torn down
+                    break
         for task_queue in self._task_queues.values():
             task_queue.close()
             task_queue.cancel_join_thread()
@@ -497,6 +722,7 @@ class WorkerPool:
 
     def stats(self) -> Dict[str, object]:
         """Counters for reports, benchmarks and the conservation check."""
+        supervisor = self._supervisor
         return {
             "strategy": "process_pool",
             "num_workers": self.num_workers,
@@ -508,6 +734,18 @@ class WorkerPool:
             "pending": self.pending,
             "retries": self.retries,
             "fallback_batches": self.fallback_batches,
+            "dispatched": self.dispatched,
+            "lane_dispatches": {
+                lane: count for lane, count in sorted(self._lane_dispatches.items())
+            },
+            "respawns": supervisor.respawns if supervisor else 0,
+            "hedged": supervisor.hedged if supervisor else 0,
+            "hedge_wins": supervisor.hedge_wins if supervisor else 0,
+            "quarantined": supervisor.quarantined if supervisor else 0,
+            "recovery_seconds": supervisor.recovery_seconds() if supervisor else 0.0,
+            "mttr_seconds": supervisor.mttr_seconds() if supervisor else 0.0,
+            "breaker_states": supervisor.breaker_states() if supervisor else {},
+            "ladder": list(self.policy.ladder()) if self.policy is not None else [],
         }
 
     # ------------------------------------------------------------------ #
@@ -549,7 +787,6 @@ class WorkerPool:
             submitted=now,
             first_submitted=now,
             deadline=now + self.batch_timeout_seconds,
-            attempts=0,
             stall_seconds=stall_seconds,
             trace_started=self.tracer.clock.now() if self.tracer.enabled else 0.0,
         )
@@ -560,20 +797,53 @@ class WorkerPool:
         self._dispatch(batch_id, flight, target)
         return batch_id
 
-    def _least_loaded(self) -> Optional[int]:
-        live = self.live_workers
+    def _least_loaded(self, exclude: int = -1) -> Optional[int]:
+        live = [
+            worker_id for worker_id in self.live_workers if worker_id != exclude
+        ]
         if not live:
             return None
-        return min(live, key=lambda worker_id: (self._outstanding[worker_id], worker_id))
+        return min(live, key=lambda worker_id: (self._outstanding.get(worker_id, 0), worker_id))
 
-    def _dispatch(self, batch_id: int, flight: _InFlight, worker_id: int) -> None:
-        flight.worker_id = worker_id
-        flight.attempts += 1
-        flight.submitted = time.monotonic()
-        flight.deadline = flight.submitted + self.batch_timeout_seconds
+    def _dispatch(
+        self, batch_id: int, flight: _InFlight, worker_id: int, hedge: bool = False
+    ) -> None:
+        """Send the batch to one lane (primary dispatch or hedge duplicate).
+
+        Dispatch accounting follows the pinned rule
+        (:func:`~repro.serving.stats.dispatch_tally_increment`): only a
+        batch's *first* primary dispatch increments ``dispatched`` and
+        the lane tally — a retry or hedge re-sends admitted work.
+        """
+        attempt_id = flight.next_attempt
+        flight.next_attempt += 1
+        increment = dispatch_tally_increment(flight.dispatch_count, hedge)
+        if increment:
+            self.dispatched += increment
+            self._lane_dispatches[worker_id] = (
+                self._lane_dispatches.get(worker_id, 0) + increment
+            )
+        if hedge:
+            flight.hedge_worker_id = worker_id
+            flight.hedge_attempt = attempt_id
+        else:
+            flight.worker_id = worker_id
+            flight.primary_attempt = attempt_id
+            flight.dispatch_count += 1
+            flight.submitted = time.monotonic()
+            flight.deadline = flight.submitted + self.batch_timeout_seconds
+            if (
+                self.policy is not None
+                and self.policy.hedge
+                and flight.hedge_worker_id < 0
+            ):
+                flight.hedge_deadline = (
+                    flight.submitted
+                    + self.policy.hedge_after_fraction * self.batch_timeout_seconds
+                )
         self._outstanding[worker_id] = self._outstanding.get(worker_id, 0) + 1
         self._task_queues[worker_id].put(
-            ("batch", batch_id, flight.attempts, flight.payload, flight.stall_seconds)
+            ("batch", batch_id, attempt_id, flight.payload, flight.stall_seconds)
         )
 
     def collect(self, timeout: Optional[float] = None) -> BatchOutcome:
@@ -624,16 +894,29 @@ class WorkerPool:
                 raise queue_module.Empty
 
     def _collect_step(self) -> Optional[BatchOutcome]:
-        """One poll: drain a result message or sweep for failures."""
-        # Degraded pool (or batches parked with no live worker): answer the
-        # oldest unassigned batch in-process, immediately.
-        unassigned = [
+        """One poll: respawn due lanes, place parked work, drain a message,
+        sweep for failures."""
+        self._service_respawns()
+        # Batches parked with no live lane: dispatch them the moment a
+        # lane exists; answer in-process only when no lane exists *and*
+        # none is coming back (degraded floor) — a pending respawn means
+        # the parked work waits for the replacement worker.
+        unassigned = sorted(
             batch_id
             for batch_id, flight in self._in_flight.items()
             if flight.worker_id < 0 or flight.worker_id not in self._task_queues
-        ]
-        if unassigned and (self.degraded or self._result_queue is None):
-            return self._resolve_inprocess(min(unassigned))
+        )
+        if unassigned:
+            target = self._least_loaded()
+            if target is not None:
+                for batch_id in unassigned:
+                    flight = self._in_flight[batch_id]
+                    if flight.dispatch_count > 0:
+                        self.retries += 1
+                        self.metrics.counter("pool.retries").inc()
+                    self._dispatch(batch_id, flight, self._least_loaded())
+            elif (self._result_queue is None) or not self._respawn_pending():
+                return self._resolve_inprocess(unassigned[0])
 
         message = None
         if self._result_queue is not None:
@@ -647,23 +930,111 @@ class WorkerPool:
                 return outcome
         return self._sweep_failures()
 
+    def _respawn_pending(self) -> bool:
+        """True while some lane is scheduled (or eligible) to come back."""
+        return (
+            self.policy is not None
+            and self.policy.respawn
+            and self._supervisor is not None
+            and self._supervisor.respawn_pending()
+        )
+
+    def _service_respawns(self) -> None:
+        """Fork replacements for every lane whose backoff delay elapsed."""
+        if not self._respawn_pending() or self._mp_context is None:
+            return
+        now = time.monotonic()
+        for worker_id in self._supervisor.due_respawns(now):
+            incarnation = self._supervisor.record_respawn_started(worker_id, now)
+            self._spawn_worker(worker_id, incarnation)
+            self.metrics.counter("pool.respawns").inc()
+            if self.tracer.enabled:
+                self.tracer.add_span(
+                    "respawn",
+                    self.tracer.clock.now(),
+                    0.0,
+                    category="supervisor",
+                    depth=1,
+                    args={"lane": worker_id, "incarnation": incarnation},
+                )
+
     def _handle_message(self, message) -> Optional[BatchOutcome]:
         kind = message[0]
-        if kind in ("ready", "boot_error"):
-            return None  # late boot messages carry no batch
+        now = time.monotonic()
+        if kind == "ready":
+            # A respawned lane came up mid-run.
+            _kind, worker_id, incarnation, info = message
+            if incarnation != self._incarnations.get(worker_id, 0):
+                return None  # announcement from a reaped incarnation
+            self.worker_info[worker_id] = info
+            self._ready_inc[worker_id] = incarnation
+            self._last_seen[worker_id] = now
+            if self._supervisor is not None:
+                self._supervisor.record_ready(worker_id, incarnation, now)
+            if incarnation > 0 and self.tracer.enabled:
+                self.tracer.add_span(
+                    "lane_recovered",
+                    self.tracer.clock.now(),
+                    0.0,
+                    category="supervisor",
+                    depth=1,
+                    args={"lane": worker_id, "incarnation": incarnation},
+                )
+            return None
+        if kind == "boot_error":
+            _kind, worker_id, incarnation, trace = message
+            if incarnation != self._incarnations.get(worker_id, 0):
+                return None
+            self.worker_info[worker_id] = {"boot_error": trace}
+            self._lane_failed(worker_id, "boot_error")
+            return None
+        if kind == "heartbeat":
+            _kind, worker_id, incarnation, _seq = message
+            if incarnation == self._incarnations.get(worker_id, 0):
+                self._last_seen[worker_id] = now
+            return None
         if kind == "telemetry":
-            _kind, worker_id, seq, spans_wire, metrics_wire = message
-            self._telemetry.setdefault(worker_id, []).append(
+            _kind, worker_id, incarnation, seq, spans_wire, metrics_wire = message
+            self._telemetry.setdefault(worker_id * 1000 + incarnation, []).append(
                 (seq, spans_wire, metrics_wire)
             )
             return None
-        _kind, worker_id, batch_id, attempt = message[:4]
-        flight = self._in_flight.get(batch_id)
+        # Batch resolutions: ("ok"|"error"|"cancelled", wid, inc, batch_id,
+        # attempt, ...).  A message from a reaped incarnation is dropped
+        # wholesale — its lane's outstanding count was reset at the reap.
+        _kind, worker_id, incarnation, batch_id, attempt = message[:5]
+        if incarnation != self._incarnations.get(worker_id, 0):
+            return None
         self._outstanding[worker_id] = max(self._outstanding.get(worker_id, 1) - 1, 0)
-        if flight is None or attempt != flight.attempts or worker_id != flight.worker_id:
-            return None  # stale: the batch was reassigned or already resolved
+        self._last_seen[worker_id] = now
+        flight = self._in_flight.get(batch_id)
+        if flight is None:
+            return None  # already resolved (e.g. the hedge raced and won)
+        is_primary = attempt == flight.primary_attempt and worker_id == flight.worker_id
+        is_hedge = (
+            attempt == flight.hedge_attempt and worker_id == flight.hedge_worker_id
+        )
+        if not (is_primary or is_hedge):
+            return None  # stale: the batch was reassigned since
+        if kind == "cancelled":
+            if is_hedge:
+                flight.hedge_worker_id = -1
+                flight.hedge_attempt = -1
+            return None
         if kind == "ok":
-            results = [_to_fold_in(entry, self.num_sweeps) for entry in message[4]]
+            # First answer wins; cancel the loser if a duplicate is live.
+            loser = flight.hedge_worker_id if is_primary else flight.worker_id
+            loser_attempt = flight.hedge_attempt if is_primary else flight.primary_attempt
+            if loser >= 0 and loser in self._task_queues:
+                self._task_queues[loser].put(("cancel", batch_id, loser_attempt))
+            if self._supervisor is not None:
+                self._supervisor.record_batch_success(worker_id, now)
+                if is_hedge:
+                    self._supervisor.record_hedge(
+                        flight.worker_id, worker_id, now, won=True
+                    )
+                    self.metrics.counter("pool.hedge_wins").inc()
+            results = [_to_fold_in(entry, self.num_sweeps) for entry in message[5]]
             del self._in_flight[batch_id]
             self.answered += len(flight.payload)
             return self._record_outcome(
@@ -672,43 +1043,185 @@ class WorkerPool:
                     request_ids=[request_id for request_id, _ in flight.payload],
                     results=results,
                     worker_id=worker_id,
-                    attempts=flight.attempts,
+                    attempts=flight.dispatch_count,
                     latency_seconds=time.monotonic() - flight.first_submitted,
                     status="answered",
                 ),
                 flight,
             )
         # kind == "error": the worker survives (the fault was the batch's),
-        # but the batch burns an attempt like any other failure.
+        # but that dispatch is spent.
+        if is_hedge:
+            flight.hedge_worker_id = -1
+            flight.hedge_attempt = -1
+            return None  # the primary is still running
+        if flight.hedge_worker_id >= 0:
+            self._promote_hedge(flight)
+            return None
         return self._retry_or_fallback(batch_id, flight)
 
+    def _promote_hedge(self, flight: _InFlight) -> None:
+        """The primary dispatch died; its live hedge becomes the primary."""
+        flight.worker_id = flight.hedge_worker_id
+        flight.primary_attempt = flight.hedge_attempt
+        flight.hedge_worker_id = -1
+        flight.hedge_attempt = -1
+        flight.submitted = time.monotonic()
+        flight.deadline = flight.submitted + self.batch_timeout_seconds
+        flight.hedge_deadline = None
+
     def _sweep_failures(self) -> Optional[BatchOutcome]:
-        """Detect dead workers and blown deadlines; resolve one batch."""
+        """Detect failed lanes and stragglers; resolve (at most) one batch.
+
+        Three failure signals, checked in order: a dead worker process
+        (crash), an idle lane that stopped heartbeating (wedge), and an
+        in-flight batch past its deadline (straggler past hope).  Before
+        any of that, hedging fires: a batch past its hedge deadline is
+        duplicated onto the least-loaded healthy lane — first answer
+        wins.  Extra resolutions (several batches orphaned by one lane
+        death) are buffered in ``_resolved`` for the next collect.
+        """
         now = time.monotonic()
+        self._fire_hedges(now)
+
+        failed: Dict[int, str] = {}
+        for worker_id in sorted(self._processes):
+            if not self._processes[worker_id].is_alive():
+                failed[worker_id] = "crash"
+        if (
+            self.policy is not None
+            and self.policy.respawn
+            and self.heartbeat_seconds > 0
+        ):
+            threshold = max(4.0 * self.heartbeat_seconds, 1.0)
+            for worker_id in sorted(self._processes):
+                if worker_id in failed:
+                    continue
+                # Only a *ready, idle* lane owes beacons: a booting lane
+                # is busy opening the checkpoint and a lane with work is
+                # busy computing — silence is only damning when idle.
+                if self._ready_inc.get(worker_id) != self._incarnations.get(worker_id, 0):
+                    continue
+                if self._outstanding.get(worker_id, 0) > 0:
+                    continue
+                if now - self._last_seen.get(worker_id, now) > threshold:
+                    failed[worker_id] = "heartbeat"
         for batch_id, flight in sorted(self._in_flight.items()):
             worker_id = flight.worker_id
             if worker_id < 0 or worker_id not in self._processes:
                 continue
-            process = self._processes.get(worker_id)
-            worker_dead = process is None or not process.is_alive()
-            if worker_dead or now > flight.deadline:
-                if not worker_dead:
-                    # Wedged past its deadline: evict so a late answer can
-                    # never race the retry (stale attempts are dropped too,
-                    # but a killed worker cannot even try).
-                    self._kill_worker(worker_id)
+            if worker_id not in failed and now > flight.deadline:
+                # Wedged past its deadline: evict so a late answer can
+                # never race the retry (stale attempts are dropped too,
+                # but a killed worker cannot even try).
+                failed[worker_id] = "deadline"
+
+        if not failed:
+            return None
+        for worker_id, reason in sorted(failed.items()):
+            self._lane_failed(worker_id, reason)
+
+        # Re-route every flight the failed lanes were carrying.
+        outcomes: List[BatchOutcome] = []
+        for batch_id in sorted(self._in_flight):
+            flight = self._in_flight.get(batch_id)
+            if flight is None:
+                continue
+            if flight.hedge_worker_id in failed:
+                flight.hedge_worker_id = -1
+                flight.hedge_attempt = -1
+            if flight.worker_id in failed:
+                if flight.hedge_worker_id >= 0:
+                    self._promote_hedge(flight)
                 else:
-                    self._drop_worker(worker_id)
-                return self._retry_or_fallback(batch_id, flight)
-        return None
+                    outcome = self._retry_or_fallback(batch_id, flight)
+                    if outcome is not None:
+                        outcomes.append(outcome)
+        for outcome in outcomes[1:]:
+            self._resolved[outcome.batch_id] = outcome
+        return outcomes[0] if outcomes else None
+
+    def _fire_hedges(self, now: float) -> None:
+        """Duplicate straggler batches onto the least-loaded healthy lane."""
+        if self.policy is None or not self.policy.hedge:
+            return
+        for batch_id, flight in sorted(self._in_flight.items()):
+            if flight.hedge_deadline is None or now < flight.hedge_deadline:
+                continue
+            flight.hedge_deadline = None  # one hedge per dispatch
+            if flight.hedge_worker_id >= 0 or flight.worker_id < 0:
+                continue
+            target = self._least_loaded(exclude=flight.worker_id)
+            if target is None:
+                continue
+            self._dispatch(batch_id, flight, target, hedge=True)
+            self.metrics.counter("pool.hedged").inc()
+            if self._supervisor is not None:
+                self._supervisor.record_hedge(flight.worker_id, target, now)
+            if self.tracer.enabled:
+                self.tracer.add_span(
+                    "hedge",
+                    self.tracer.clock.now(),
+                    0.0,
+                    category="supervisor",
+                    depth=1,
+                    args={
+                        "batch_id": batch_id,
+                        "primary": flight.worker_id,
+                        "target": target,
+                    },
+                )
+
+    def _lane_failed(self, worker_id: int, reason: str) -> None:
+        """Reap a failed lane and let the supervisor rule on its future.
+
+        Exactly once per (lane, incarnation): the dead-process sweep and
+        a racing ``boot_error`` message both funnel here, and the second
+        caller is a no-op.
+        """
+        incarnation = self._incarnations.get(worker_id, 0)
+        if (worker_id, incarnation) in self._failed_incarnations:
+            return
+        self._failed_incarnations.add((worker_id, incarnation))
+        self._kill_worker(worker_id)
+        self.metrics.counter(f"pool.faults.{reason}").inc()
+        if self.tracer.enabled:
+            self.tracer.add_span(
+                "lane_failed",
+                self.tracer.clock.now(),
+                0.0,
+                category="supervisor",
+                depth=1,
+                args={
+                    "lane": worker_id,
+                    "incarnation": incarnation,
+                    "reason": reason,
+                },
+            )
+        if self._supervisor is not None:
+            verdict = self._supervisor.record_failure(
+                worker_id, time.monotonic(), reason
+            )
+            if verdict == "quarantine":
+                self.metrics.counter("pool.quarantined").inc()
 
     def _retry_or_fallback(self, batch_id: int, flight: _InFlight) -> Optional[BatchOutcome]:
+        """Walk the rest of the ladder for a batch whose dispatch failed."""
         target = self._least_loaded()
-        if flight.attempts <= self.max_retries and target is not None:
-            self.retries += 1
-            self.metrics.counter("pool.retries").inc()
-            self._dispatch(batch_id, flight, target)
-            return None
+        if flight.dispatch_count <= self.max_retries:
+            if target is not None:
+                self.retries += 1
+                self.metrics.counter("pool.retries").inc()
+                self._dispatch(batch_id, flight, target)
+                return None
+            if self._respawn_pending():
+                # Park: the replacement lane will pick this batch up
+                # (and _collect_step re-dispatches it) — degrading to
+                # the parent process would serialize the recovery window.
+                flight.worker_id = -1
+                flight.primary_attempt = -1
+                flight.hedge_deadline = None
+                return None
         if self.inprocess_fallback:
             return self._resolve_inprocess(batch_id)
         del self._in_flight[batch_id]
@@ -719,7 +1232,7 @@ class WorkerPool:
                 request_ids=[request_id for request_id, _ in flight.payload],
                 results=[],
                 worker_id=flight.worker_id,
-                attempts=flight.attempts,
+                attempts=flight.dispatch_count,
                 latency_seconds=time.monotonic() - flight.first_submitted,
                 status="failed",
             ),
@@ -752,7 +1265,7 @@ class WorkerPool:
                 request_ids=[request_id for request_id, _ in flight.payload],
                 results=results,
                 worker_id=-1,
-                attempts=flight.attempts,
+                attempts=flight.dispatch_count,
                 latency_seconds=time.monotonic() - flight.first_submitted,
                 status="answered",
             ),
@@ -821,8 +1334,20 @@ class WorkerPool:
     def _kill_worker(self, worker_id: int) -> None:
         process = self._processes.get(worker_id)
         if process is not None and process.is_alive():
-            process.terminate()
-            process.join(timeout=5.0)
+            # Join-first grace: a lane that failed by its own report
+            # (boot_error) is already exiting, and a signal racing its
+            # feeder thread between writing to the shared result queue
+            # and releasing the queue's write lock orphans that lock —
+            # wedging every other lane's messages forever.  Workers also
+            # trap SIGTERM into a graceful exit (see ``_worker_main``)
+            # so the escalation below flushes instead of corrupting.
+            process.join(timeout=0.25)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
         self._drop_worker(worker_id)
 
     def _drop_worker(self, worker_id: int) -> None:
@@ -925,6 +1450,13 @@ class WallClockReport(LatencyReportMixin):
     pool_stats: Dict[str, object]
     cache_hits: int = 0
     cache_lookups: int = 0
+    #: Supervision surface (REPORT_FIELDS): worker respawns during the
+    #: run, hedged duplicate dispatches, breaker quarantines, and the
+    #: worst-case lane death→ready recovery time (0.0: no lane died).
+    respawns: int = 0
+    hedged: int = 0
+    quarantined: int = 0
+    recovery_seconds: float = 0.0
 
     def _latencies(self, include_cache_hits: bool = True) -> np.ndarray:
         values = [
@@ -1007,6 +1539,10 @@ class WallClockReport(LatencyReportMixin):
             "cache_hit_rate": self.cache_hit_rate,
             "cache_hits": self.cache_hits,
             "cache_lookups": self.cache_lookups,
+            "respawns": self.respawns,
+            "hedged": self.hedged,
+            "quarantined": self.quarantined,
+            "recovery_seconds": self.recovery_seconds,
             "num_batches": len(self.batches),
             **{f"pool_{key}": value for key, value in self.pool_stats.items()},
         }
@@ -1071,9 +1607,14 @@ def serve_wallclock(
                 )
             )
     outcomes.sort(key=lambda outcome: outcome.request_id)
+    stats = pool.stats()
     return WallClockReport(
         outcomes=outcomes,
         batches=batches,
         wall_seconds=wall_seconds,
-        pool_stats=pool.stats(),
+        pool_stats=stats,
+        respawns=int(stats.get("respawns", 0)),
+        hedged=int(stats.get("hedged", 0)),
+        quarantined=int(stats.get("quarantined", 0)),
+        recovery_seconds=float(stats.get("recovery_seconds", 0.0)),
     )

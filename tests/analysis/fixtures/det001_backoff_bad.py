@@ -1,0 +1,14 @@
+"""DET001 fixture: respawn backoff whose jitter comes from ambient RNG.
+
+The hazard the supervisor must never reintroduce: an unseeded generator
+inside the backoff path makes respawn timing — and therefore the whole
+supervision event log — unreplayable.
+"""
+
+import numpy as np
+
+
+def jittered_delay(base_seconds: float, attempt: int, jitter: float) -> float:
+    rng = np.random.default_rng()  # unseeded: every run respawns differently
+    raw = base_seconds * (2.0**attempt)
+    return raw * (1.0 + jitter * rng.random())

@@ -1,0 +1,20 @@
+"""DET001 fixture, fixed form: backoff jitter from a caller-owned seeded RNG.
+
+The shipped idiom: :class:`repro.serving.supervisor.BackoffPolicy` takes
+the generator as an argument and the :class:`Supervisor` owns one seeded
+at construction, so ``(seed, FaultPlan)`` replays the exact respawn
+schedule.
+"""
+
+import numpy as np
+
+
+def jittered_delay(
+    base_seconds: float, attempt: int, jitter: float, rng: np.random.Generator
+) -> float:
+    raw = base_seconds * (2.0**attempt)
+    return raw * (1.0 + jitter * rng.random())
+
+
+def supervisor_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)

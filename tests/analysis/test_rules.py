@@ -36,6 +36,20 @@ class TestDET001:
         )
         assert findings == []
 
+    def test_unseeded_backoff_jitter_is_rejected(self, lint_fixture):
+        """Respawn jitter from ambient RNG would break chaos replay."""
+        findings = lint_fixture(
+            "det001_backoff_bad.py", "src/repro/serving/supervisor.py"
+        )
+        assert rule_ids(findings) == ["DET001"]
+        assert "default_rng() without a seed" in findings[0].message
+
+    def test_seeded_backoff_jitter_is_clean(self, lint_fixture):
+        assert (
+            lint_fixture("det001_backoff_good.py", "src/repro/serving/supervisor.py")
+            == []
+        )
+
 
 class TestDET002:
     def test_bad_fixture_fires(self, lint_fixture):
@@ -98,6 +112,20 @@ class TestDET003:
             == []
         )
 
+    @pytest.mark.parametrize(
+        "virtual_path",
+        [
+            "src/repro/serving/supervisor.py",
+            "src/repro/serving/faults.py",
+        ],
+    )
+    def test_fault_tolerance_modules_stay_clock_free(self, lint_fixture, virtual_path):
+        """The supervisor and fault planner are NOT allowlisted: both are
+        pure state machines fed an explicit ``now`` by the pool, and a
+        wall-clock read sneaking in would silently break chaos replay."""
+        findings = lint_fixture("det003_bad.py", virtual_path)
+        assert rule_ids(findings) == ["DET003"]
+
 
 class TestIPC001:
     def test_bad_fixture_fires(self, lint_fixture):
@@ -154,6 +182,13 @@ class TestIPC002:
         from repro.serving.workers import WIRE_MESSAGE_KINDS
 
         assert "telemetry" in WIRE_MESSAGE_KINDS
+
+    def test_shipped_worker_protocol_declares_supervision_kinds(self):
+        """Every fault-tolerance message shape is declared up front."""
+        from repro.serving.workers import WIRE_MESSAGE_KINDS
+
+        for kind in ("cancel", "cancelled", "heartbeat", "boot_error"):
+            assert kind in WIRE_MESSAGE_KINDS
 
     def test_rule_ignores_modules_without_multiprocessing(self, engine):
         # A domain queue with a .put() API is not IPC.

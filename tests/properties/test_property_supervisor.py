@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) for the supervision control plane.
+
+The supervisor is deliberately pure — every observation carries an
+explicit ``now`` and every random choice comes from a construction
+seed — which makes it a perfect hypothesis target: drive it with
+arbitrary failure/recovery traces and check the laws the pool's fault
+tolerance rests on.
+
+* backoff delays are non-decreasing in the attempt number up to the cap,
+  for any policy and any jitter draw;
+* the circuit breaker opens **iff** ``failure_threshold`` failures land
+  inside one sliding window;
+* an arbitrary quarantine/respawn/ready history never breaks lane-state
+  sanity (status is always a known state, incarnations never decrease,
+  respawn counts match started respawns);
+* replaying the same ``(seed, trace)`` yields the identical event log —
+  the replayable-chaos contract at the unit level.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import BackoffPolicy, CircuitBreaker, DegradationPolicy, Supervisor
+from repro.serving.supervisor import (
+    BREAKER_OPEN,
+    LANE_DEAD,
+    LANE_QUARANTINED,
+    LANE_RESPAWNING,
+    LANE_UP,
+)
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+
+backoff_policies = st.builds(
+    BackoffPolicy,
+    base_seconds=st.floats(min_value=1e-3, max_value=1.0),
+    factor=st.floats(min_value=1.0, max_value=4.0),
+    cap_seconds=st.floats(min_value=1.0, max_value=30.0),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+)
+
+#: Strictly increasing failure timestamps.
+failure_times = st.lists(
+    st.floats(min_value=1e-3, max_value=5.0), min_size=1, max_size=30
+).map(lambda gaps: list(np.cumsum(gaps)))
+
+#: A failure/recovery trace against one supervised lane: each step is a
+#: time gap plus what the pool observed ("fail" or "recover").
+lane_traces = st.lists(
+    st.tuples(
+        st.floats(min_value=1e-3, max_value=3.0),
+        st.sampled_from(["fail", "recover"]),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+# --------------------------------------------------------------------- #
+# Backoff
+# --------------------------------------------------------------------- #
+
+
+class TestBackoffLaws:
+    @given(policy=backoff_policies, attempts=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=100, deadline=None)
+    def test_raw_delay_non_decreasing_and_capped(self, policy, attempts):
+        delays = [policy.raw_delay(n) for n in range(attempts)]
+        assert all(b >= a for a, b in zip(delays, delays[1:]))
+        assert all(0.0 < d <= policy.cap_seconds for d in delays)
+
+    @given(
+        policy=backoff_policies,
+        attempt=st.integers(min_value=0, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_jitter_bounded_and_replayable(self, policy, attempt, seed):
+        value = policy.delay(attempt, np.random.default_rng(seed))
+        raw = policy.raw_delay(attempt)
+        assert raw <= value <= raw * (1.0 + policy.jitter) + 1e-12
+        assert value == policy.delay(attempt, np.random.default_rng(seed))
+
+
+# --------------------------------------------------------------------- #
+# Circuit breaker
+# --------------------------------------------------------------------- #
+
+
+class TestBreakerLaw:
+    @given(
+        times=failure_times,
+        threshold=st.integers(min_value=1, max_value=6),
+        window=st.floats(min_value=0.5, max_value=20.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_opens_iff_threshold_failures_within_one_window(
+        self, times, threshold, window
+    ):
+        breaker = CircuitBreaker(failure_threshold=threshold, window_seconds=window)
+        opened_at = None
+        for now in times:
+            if breaker.record_failure(now) and opened_at is None:
+                opened_at = now
+        # Reference model: earliest time where >= threshold failures fit
+        # in one closing window.
+        expected = None
+        for index, now in enumerate(times):
+            recent = [t for t in times[: index + 1] if now - t <= window]
+            if len(recent) >= threshold:
+                expected = now
+                break
+        if expected is None:
+            assert opened_at is None
+            assert breaker.state != BREAKER_OPEN
+        else:
+            assert opened_at == expected
+
+
+# --------------------------------------------------------------------- #
+# Supervisor traces
+# --------------------------------------------------------------------- #
+
+
+def _drive(seed, trace, policy):
+    """Replay a trace against a fresh supervisor; returns it plus tallies."""
+    supervisor = Supervisor(num_lanes=1, policy=policy, seed=seed)
+    now = 0.0
+    started = 0
+    for gap, action in trace:
+        now += gap
+        state = supervisor.lanes[0]
+        if action == "fail":
+            if state.status in (LANE_UP, LANE_RESPAWNING):
+                supervisor.record_failure(0, now, "crash")
+        else:
+            for lane in supervisor.due_respawns(now):
+                incarnation = supervisor.record_respawn_started(lane, now)
+                started += 1
+                supervisor.record_ready(lane, incarnation, now)
+                supervisor.record_batch_success(lane, now)
+    return supervisor, started
+
+
+class TestSupervisorTraceLaws:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        trace=lane_traces,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_state_sanity_under_arbitrary_traces(self, seed, trace):
+        policy = DegradationPolicy(
+            respawn=True,
+            max_respawns_per_lane=3,
+            backoff=BackoffPolicy(base_seconds=1e-3, cap_seconds=0.01),
+        )
+        supervisor, started = _drive(seed, trace, policy)
+        state = supervisor.lanes[0]
+        assert state.status in (LANE_UP, LANE_RESPAWNING, LANE_QUARANTINED, LANE_DEAD)
+        # Conservation of incarnations: exactly one per started respawn.
+        assert state.incarnation == started == supervisor.respawns
+        # A lane that came back up holds no stale respawn schedule.
+        if state.status == LANE_UP:
+            assert state.next_respawn_at is None
+        # MTTR aggregates only ever come from completed recoveries.
+        assert len(supervisor._recovery_samples) <= supervisor.respawns
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        trace=lane_traces,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_replay_yields_identical_event_log(self, seed, trace):
+        policy = DegradationPolicy(respawn=True, max_respawns_per_lane=4)
+        first, _ = _drive(seed, trace, policy)
+        second, _ = _drive(seed, trace, policy)
+        assert first.event_signature() == second.event_signature()
+        # And the derived report fields agree too.
+        assert first.respawns == second.respawns
+        assert first.quarantined == second.quarantined

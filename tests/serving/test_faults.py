@@ -1,0 +1,160 @@
+"""FaultPlan/FaultInjector: the replayable-chaos contract, without processes.
+
+Everything here is pure (no workers, no clocks): scheduling decisions
+must be a function of ``(plan, worker_id, incarnation, batch_index)``
+alone, the JSON round trip must be exact (a chaos run is rerunnable from
+its report), and burst arrival streams must be bit-identical for the
+same seeded generator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    TransientCheckpointError,
+    poisson_arrivals_with_bursts,
+)
+from repro.serving.faults import NO_FAULT
+
+
+class TestFaultEventValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(kind="meteor", worker_id=0)
+
+    def test_worker_kinds_need_a_lane(self):
+        with pytest.raises(ValueError, match="worker lane"):
+            FaultEvent(kind="crash")
+
+    def test_stall_needs_positive_seconds(self):
+        with pytest.raises(ValueError, match="seconds > 0"):
+            FaultEvent(kind="stall", worker_id=0, seconds=0.0)
+
+    def test_burst_needs_window_and_multiplier(self):
+        with pytest.raises(ValueError, match="burst"):
+            FaultEvent(kind="burst", seconds=1.0, rate_multiplier=0.0)
+
+    def test_flake_needs_count(self):
+        with pytest.raises(ValueError, match="count >= 1"):
+            FaultEvent(kind="checkpoint_flake", worker_id=0, count=0)
+
+
+class TestFaultPlan:
+    def test_worker_events_filter_by_lane_and_incarnation(self):
+        plan = FaultPlan(
+            seed=7,
+            events=(
+                FaultEvent(kind="crash", worker_id=0, at_batch=2),
+                FaultEvent(kind="stall", worker_id=1, at_batch=0, seconds=1.0),
+                FaultEvent(kind="crash", worker_id=0, at_batch=5, incarnation=1),
+            ),
+        )
+        assert [e.at_batch for e in plan.worker_events(0, 0)] == [2]
+        assert [e.at_batch for e in plan.worker_events(0, 1)] == [5]
+        assert [e.kind for e in plan.worker_events(1, 0)] == ["stall"]
+        assert plan.worker_events(2, 0) == ()
+
+    def test_checkpoint_flake_covers_a_range_of_incarnations(self):
+        plan = FaultPlan(
+            seed=0,
+            events=(
+                FaultEvent(
+                    kind="checkpoint_flake", worker_id=0, incarnation=1, count=2
+                ),
+            ),
+        )
+        assert plan.worker_events(0, 0) == ()
+        assert len(plan.worker_events(0, 1)) == 1
+        assert len(plan.worker_events(0, 2)) == 1
+        assert plan.worker_events(0, 3) == ()
+
+    def test_round_trip_and_digest_stability(self):
+        plan = FaultPlan(
+            seed=11,
+            scenario="crash_respawn",
+            events=(
+                FaultEvent(kind="crash", worker_id=0, at_batch=1),
+                FaultEvent(kind="burst", at_seconds=0.5, seconds=1.0, rate_multiplier=4.0),
+            ),
+        )
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone == plan
+        assert clone.digest() == plan.digest()
+        # A different schedule is a different fingerprint.
+        other = FaultPlan(seed=11, scenario="crash_respawn", events=plan.events[:1])
+        assert other.digest() != plan.digest()
+
+    def test_events_tuple_coercion(self):
+        plan = FaultPlan(seed=1, events=[FaultEvent(kind="crash", worker_id=0)])
+        assert isinstance(plan.events, tuple)
+
+
+class TestFaultInjector:
+    def test_before_batch_is_a_pure_lookup(self):
+        plan = FaultPlan(
+            seed=3,
+            events=(
+                FaultEvent(kind="stall", worker_id=0, at_batch=1, seconds=0.5),
+                FaultEvent(kind="drop_reply", worker_id=0, at_batch=1),
+                FaultEvent(kind="crash", worker_id=0, at_batch=3),
+            ),
+        )
+        injector = FaultInjector(plan, worker_id=0, incarnation=0)
+        assert injector.before_batch(0) is NO_FAULT
+        action = injector.before_batch(1)
+        assert action.stall_seconds == 0.5 and action.drop_reply and not action.crash
+        assert injector.before_batch(3).crash
+        # Same coordinates, same answer — replay for free.
+        assert injector.before_batch(1) == action
+
+    def test_check_boot_raises_only_for_targeted_incarnations(self):
+        plan = FaultPlan(
+            seed=3,
+            events=(
+                FaultEvent(kind="checkpoint_flake", worker_id=0, incarnation=1),
+            ),
+        )
+        FaultInjector(plan, worker_id=0, incarnation=0).check_boot()  # fine
+        with pytest.raises(TransientCheckpointError):
+            FaultInjector(plan, worker_id=0, incarnation=1).check_boot()
+        FaultInjector(plan, worker_id=0, incarnation=2).check_boot()  # recovered
+
+
+class TestBurstArrivals:
+    def test_matches_plain_poisson_without_bursts(self):
+        from repro.serving import poisson_arrivals
+
+        base = poisson_arrivals(rate_qps=50.0, num_requests=64, rng=np.random.default_rng(5))
+        with_plan = poisson_arrivals_with_bursts(
+            rate_qps=50.0, num_requests=64, rng=np.random.default_rng(5), plan=None
+        )
+        np.testing.assert_allclose(with_plan, base)
+
+    def test_burst_compresses_gaps_inside_the_window_only(self):
+        plan = FaultPlan(
+            seed=0,
+            events=(
+                FaultEvent(kind="burst", at_seconds=0.0, seconds=1e9, rate_multiplier=10.0),
+            ),
+        )
+        quiet = poisson_arrivals_with_bursts(10.0, 128, np.random.default_rng(9))
+        stormy = poisson_arrivals_with_bursts(10.0, 128, np.random.default_rng(9), plan)
+        np.testing.assert_allclose(stormy, quiet / 10.0)
+
+    def test_deterministic_replay(self):
+        plan = FaultPlan(
+            seed=0,
+            events=(
+                FaultEvent(kind="burst", at_seconds=0.2, seconds=0.5, rate_multiplier=8.0),
+            ),
+        )
+        first = poisson_arrivals_with_bursts(40.0, 256, np.random.default_rng(1), plan)
+        second = poisson_arrivals_with_bursts(40.0, 256, np.random.default_rng(1), plan)
+        np.testing.assert_array_equal(first, second)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            poisson_arrivals_with_bursts(0.0, 4, np.random.default_rng(0))

@@ -1,0 +1,187 @@
+"""Supervisor state machine: backoff, breaker, ladder, event replay.
+
+All pure — the supervisor never reads a clock, so every test passes
+explicit ``now`` values and the whole lifecycle is deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving import BackoffPolicy, CircuitBreaker, DegradationPolicy, Supervisor
+from repro.serving.supervisor import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    LANE_DEAD,
+    LANE_QUARANTINED,
+    LANE_RESPAWNING,
+    LANE_UP,
+)
+
+
+def _policy(**overrides):
+    options = dict(
+        respawn=True,
+        max_respawns_per_lane=3,
+        backoff=BackoffPolicy(base_seconds=0.1, factor=2.0, cap_seconds=1.0, jitter=0.0),
+        breaker_failures=3,
+        breaker_window_seconds=10.0,
+        breaker_cooldown_seconds=2.0,
+    )
+    options.update(overrides)
+    return DegradationPolicy(**options)
+
+
+class TestBackoffPolicy:
+    def test_raw_delay_doubles_to_the_cap(self):
+        policy = BackoffPolicy(base_seconds=0.1, factor=2.0, cap_seconds=1.0, jitter=0.0)
+        assert [policy.raw_delay(n) for n in range(6)] == [
+            pytest.approx(v) for v in (0.1, 0.2, 0.4, 0.8, 1.0, 1.0)
+        ]
+
+    def test_huge_attempt_counts_saturate_not_overflow(self):
+        policy = BackoffPolicy(base_seconds=0.05, factor=2.0, cap_seconds=3.0)
+        assert policy.raw_delay(10_000) == 3.0
+
+    def test_jitter_stretches_within_the_band_and_replays(self):
+        policy = BackoffPolicy(base_seconds=0.2, factor=2.0, cap_seconds=5.0, jitter=0.25)
+        first = [policy.delay(n, np.random.default_rng(4)) for n in range(4)]
+        second = [policy.delay(n, np.random.default_rng(4)) for n in range(4)]
+        assert first == second  # seeded jitter replays exactly
+        for attempt, value in enumerate(first):
+            raw = policy.raw_delay(attempt)
+            assert raw <= value <= raw * 1.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_seconds=0.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=-0.1)
+
+
+class TestCircuitBreaker:
+    def test_opens_on_threshold_within_window(self):
+        breaker = CircuitBreaker(failure_threshold=3, window_seconds=5.0)
+        assert not breaker.record_failure(0.0)
+        assert not breaker.record_failure(1.0)
+        assert breaker.record_failure(2.0)
+        assert breaker.state == BREAKER_OPEN
+
+    def test_stays_closed_when_failures_straddle_the_window(self):
+        breaker = CircuitBreaker(failure_threshold=3, window_seconds=5.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        # The first failure has aged out by now.
+        assert not breaker.record_failure(6.5)
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_probe_then_close(self):
+        breaker = CircuitBreaker(
+            failure_threshold=2, window_seconds=5.0, cooldown_seconds=1.0
+        )
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.5)
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow(1.0)  # still cooling down
+        assert breaker.allow(1.6)  # cooldown elapsed: half-open probe
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.record_success(1.7)
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker = CircuitBreaker(
+            failure_threshold=2, window_seconds=5.0, cooldown_seconds=1.0
+        )
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.5)
+        assert breaker.allow(1.6)
+        assert breaker.record_failure(1.7)  # probe failed
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow(2.0)
+        assert breaker.allow(2.8)
+
+
+class TestDegradationPolicy:
+    def test_default_ladder_matches_the_legacy_pool(self):
+        assert DegradationPolicy().ladder() == ("retry", "fallback", "shed")
+
+    def test_full_ladder_order(self):
+        policy = _policy(hedge=True)
+        assert policy.ladder() == ("retry", "hedge", "respawn", "fallback", "shed")
+
+    def test_shed_only_floor(self):
+        policy = DegradationPolicy(max_retries=0, fallback=False)
+        assert policy.ladder() == ("shed",)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DegradationPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            DegradationPolicy(hedge_after_fraction=0.0)
+
+
+class TestSupervisorLifecycle:
+    def test_failure_schedules_backoff_respawn(self):
+        supervisor = Supervisor(num_lanes=2, policy=_policy(), seed=0)
+        assert supervisor.record_failure(0, 1.0, "crash") == "respawn"
+        assert supervisor.lane_status(0) == LANE_RESPAWNING
+        assert supervisor.due_respawns(1.05) == []  # backoff not elapsed
+        assert supervisor.due_respawns(1.2) == [0]
+        incarnation = supervisor.record_respawn_started(0, 1.2)
+        assert incarnation == 1
+        supervisor.record_ready(0, incarnation, 1.5)
+        assert supervisor.lane_status(0) == LANE_UP
+        assert supervisor.respawns == 1
+        assert supervisor.recovery_seconds() == pytest.approx(0.5)
+        assert supervisor.mttr_seconds() == pytest.approx(0.5)
+
+    def test_stale_ready_is_ignored(self):
+        supervisor = Supervisor(num_lanes=1, policy=_policy(), seed=0)
+        supervisor.record_failure(0, 0.0, "crash")
+        supervisor.record_respawn_started(0, 0.2)
+        supervisor.record_ready(0, 0, 0.3)  # incarnation 0 is long gone
+        assert supervisor.lane_status(0) == LANE_RESPAWNING
+
+    def test_flapping_lane_quarantines_then_probes(self):
+        supervisor = Supervisor(num_lanes=1, policy=_policy(), seed=0)
+        # Three rapid failures: breaker (F=3, window 10s) trips on the third.
+        assert supervisor.record_failure(0, 0.0, "crash") == "respawn"
+        supervisor.record_respawn_started(0, 0.2)
+        assert supervisor.record_failure(0, 0.4, "crash") == "respawn"
+        supervisor.record_respawn_started(0, 0.8)
+        assert supervisor.record_failure(0, 1.0, "crash") == "quarantine"
+        assert supervisor.lane_status(0) == LANE_QUARANTINED
+        assert supervisor.quarantined == 1
+        assert supervisor.due_respawns(1.5) == []  # cooling down (2s)
+        assert supervisor.due_respawns(3.1) == [0]  # half-open probe
+        incarnation = supervisor.record_respawn_started(0, 3.1)
+        supervisor.record_ready(0, incarnation, 3.3)
+        supervisor.record_batch_success(0, 3.4)  # probe batch closes breaker
+        assert supervisor.breaker_states()[0] == BREAKER_CLOSED
+        assert supervisor.lanes[0].respawn_attempts == 0  # budget refreshed
+
+    def test_respawn_budget_exhaustion_sheds(self):
+        policy = _policy(max_respawns_per_lane=1, breaker_failures=10)
+        supervisor = Supervisor(num_lanes=1, policy=policy, seed=0)
+        assert supervisor.record_failure(0, 0.0, "crash") == "respawn"
+        supervisor.record_respawn_started(0, 0.2)
+        assert supervisor.record_failure(0, 0.4, "crash") == "shed"
+        assert supervisor.lane_status(0) == LANE_DEAD
+        assert not supervisor.respawn_pending()
+
+    def test_respawn_disabled_is_shed_immediately(self):
+        supervisor = Supervisor(num_lanes=1, policy=DegradationPolicy(), seed=0)
+        assert supervisor.record_failure(0, 0.0, "crash") == "shed"
+        assert supervisor.lane_status(0) == LANE_DEAD
+
+    def test_event_signature_excludes_wall_time(self):
+        def run(offset):
+            supervisor = Supervisor(num_lanes=2, policy=_policy(), seed=9)
+            supervisor.record_failure(1, offset + 0.1, "crash")
+            supervisor.record_respawn_started(1, offset + 0.3)
+            supervisor.record_ready(1, 1, offset + 0.4)
+            supervisor.record_batch_success(1, offset + 0.5)
+            return supervisor.event_signature()
+
+        # Same logical history at different wall times: identical log.
+        assert run(0.0) == run(1234.5)

@@ -12,18 +12,25 @@ only hold if the machinery is genuinely multi-process:
   request-keyed digest (bit-identity with the in-process engine).
 """
 
+import multiprocessing
 import os
 import time
 
 import numpy as np
 import pytest
 
+from repro.bench.timing import stopwatch
 from repro.core import LDAHyperParams, save_model_mmap
 from repro.core.model import LDAModel
 from repro.serving import (
+    BackoffPolicy,
+    DegradationPolicy,
+    FaultEvent,
+    FaultPlan,
     InferenceEngine,
     ServingRequest,
     WorkerPool,
+    dispatch_tally_increment,
     layout_batch,
     pool_results_digest,
     serve_wallclock,
@@ -296,6 +303,192 @@ class TestOutOfOrderCollect:
         with _pool(checkpoint, num_workers=0) as pool:
             with pytest.raises(ValueError, match="not in flight"):
                 pool.collect_batch(99)
+
+
+def _reap_window(seconds: float = 6.0):
+    """Poll until no ``saberlda-worker-*`` children remain (or time out)."""
+    watch = stopwatch()
+    while watch.elapsed() < seconds:
+        alive = [
+            process
+            for process in multiprocessing.active_children()
+            if process.name.startswith("saberlda-worker-")
+        ]
+        if not alive:
+            return []
+        time.sleep(0.05)
+    return alive
+
+
+class TestLifecycle:
+    """Context-manager hygiene: no zombies, idempotent close."""
+
+    def test_exception_mid_execute_leaves_zero_children(self, checkpoint, requests):
+        # Regression: an exception while a batch is in flight must still
+        # run close() on the way out and reap every worker process.
+        with pytest.raises(RuntimeError, match="boom"):
+            with _pool(checkpoint) as pool:
+                pool.submit(requests[:4], stall_seconds=5.0)
+                raise RuntimeError("boom")
+        assert _reap_window() == []
+
+    def test_close_is_idempotent(self, checkpoint, requests):
+        pool = _pool(checkpoint).start()
+        pool.submit(requests[:3])
+        pool.collect()
+        pool.close()
+        pool.close()  # second close: no-op, no error
+        assert _reap_window() == []
+        with pool:  # __exit__ after manual close is equally harmless
+            pass
+
+
+class TestDispatchCounting:
+    """The pinned counting rule: retries and hedges never double-count."""
+
+    def test_tally_increment_rule(self):
+        assert dispatch_tally_increment(0, hedge=False) == 1  # first primary
+        assert dispatch_tally_increment(1, hedge=False) == 0  # retry
+        assert dispatch_tally_increment(2, hedge=False) == 0
+        assert dispatch_tally_increment(0, hedge=True) == 0  # hedge duplicate
+        assert dispatch_tally_increment(1, hedge=True) == 0
+
+    def test_retried_batch_counts_once(self, checkpoint, requests):
+        # Kill worker 0 mid-batch: the batch re-sends to worker 1, but
+        # ``dispatched`` and the lane tallies still see exactly one
+        # dispatch per admitted batch (IPC sends = dispatched + retries).
+        with _pool(checkpoint, batch_timeout_seconds=20.0) as pool:
+            pool.submit(requests[:6], stall_seconds=8.0, worker_id=0)
+            time.sleep(0.3)
+            pool._processes[0].kill()
+            pool.submit(requests[6:], worker_id=1)
+            pool.collect()
+            pool.collect()
+            stats = pool.stats()
+            assert stats["retries"] == 1
+            assert stats["dispatched"] == 2
+            assert sum(stats["lane_dispatches"].values()) == 2
+            assert stats["lane_dispatches"] == {0: 1, 1: 1}
+            _assert_conserved(pool)
+
+
+class TestSupervisedPool:
+    """The full ladder against real processes, driven by a FaultPlan."""
+
+    # Near-zero backoff so the respawn comes due within these tiny runs.
+    FAST_BACKOFF = BackoffPolicy(base_seconds=1e-3, factor=2.0, cap_seconds=0.1)
+
+    def test_crash_respawn_preserves_digest(
+        self, checkpoint, requests, reference_digest
+    ):
+        plan = FaultPlan(
+            seed=SEED,
+            scenario="crash_respawn",
+            events=(FaultEvent(kind="crash", worker_id=0, at_batch=0),),
+        )
+        policy = DegradationPolicy(
+            respawn=True, max_retries=1, backoff=self.FAST_BACKOFF
+        )
+        with _pool(
+            checkpoint,
+            policy=policy,
+            fault_plan=plan,
+            batch_timeout_seconds=15.0,
+        ) as pool:
+            report = serve_wallclock(pool, requests, batch_docs=4)
+            stats = pool.stats()
+            _assert_conserved(pool)
+        assert report.failed == 0
+        assert pool_results_digest(report.outcomes) == reference_digest
+        assert stats["retries"] >= 1  # the crashed batch re-ran elsewhere
+        assert stats["respawns"] >= 1  # and the lane was respawned
+        assert stats["dispatched"] == 3  # 12 requests / 4 per batch, no double count
+        assert report.respawns == stats["respawns"]
+
+    def test_respawned_lane_returns_to_service(self, checkpoint, requests):
+        plan = FaultPlan(
+            seed=SEED,
+            events=(FaultEvent(kind="crash", worker_id=0, at_batch=0),),
+        )
+        policy = DegradationPolicy(
+            respawn=True, max_retries=1, backoff=self.FAST_BACKOFF
+        )
+        with _pool(
+            checkpoint,
+            policy=policy,
+            fault_plan=plan,
+            batch_timeout_seconds=15.0,
+        ) as pool:
+            pool.submit(requests[:4], worker_id=0)
+            assert pool.collect().status == "answered"
+            # Keep the collect loop pumping until the supervisor brings
+            # lane 0 back (spawn + mmap open + ready handshake): recovery
+            # is sampled only when the replacement's ready message lands.
+            watch = stopwatch()
+            stats = pool.stats()
+            while stats["recovery_seconds"] == 0.0 and watch.elapsed() < 20.0:
+                pool.submit(requests[4:6], worker_id=1)
+                pool.collect()
+                time.sleep(0.05)
+                stats = pool.stats()
+            assert 0 in pool.live_workers
+            assert stats["respawns"] == 1
+            assert stats["recovery_seconds"] > 0.0
+            assert stats["mttr_seconds"] > 0.0
+            # The revived incarnation serves batches again.
+            pool.submit(requests[6:9], worker_id=0)
+            outcome = pool.collect()
+            assert outcome.status == "answered" and outcome.worker_id == 0
+            _assert_conserved(pool)
+
+    def test_straggler_hedge_answers_from_the_other_lane(
+        self, checkpoint, requests, reference_digest
+    ):
+        plan = FaultPlan(
+            seed=SEED,
+            scenario="straggler_hedge",
+            events=(FaultEvent(kind="stall", worker_id=0, at_batch=0, seconds=8.0),),
+        )
+        policy = DegradationPolicy(hedge=True, hedge_after_fraction=0.1)
+        with _pool(
+            checkpoint,
+            policy=policy,
+            fault_plan=plan,
+            batch_timeout_seconds=20.0,
+        ) as pool:
+            watch = stopwatch()
+            pool.submit(requests[:6], worker_id=0)
+            outcome = pool.collect()
+            elapsed = watch.elapsed()
+            stats = pool.stats()
+            _assert_conserved(pool)
+        assert outcome.status == "answered"
+        assert outcome.worker_id == 1  # hedge won while the primary stalled
+        assert elapsed < 8.0  # answered well before the straggler finished
+        assert stats["hedged"] == 1 and stats["hedge_wins"] == 1
+        assert stats["retries"] == 0
+        assert stats["dispatched"] == 1  # hedge duplicate not double-counted
+        flat = [
+            type("Outcome", (), {"request_id": rid, "theta": result.theta})()
+            for rid, result in zip(outcome.request_ids, outcome.results, strict=True)
+        ]
+        engine = InferenceEngine.from_mmap_checkpoint(
+            checkpoint, seed=SEED, num_sweeps=NUM_SWEEPS, mmap_mode=None
+        )
+        expected = [
+            type(
+                "Outcome",
+                (),
+                {
+                    "request_id": request.request_id,
+                    "theta": engine.infer_request(
+                        request.word_ids, request.request_id
+                    ).theta,
+                },
+            )()
+            for request in requests[:6]
+        ]
+        assert pool_results_digest(flat) == pool_results_digest(expected)
 
 
 class TestReportCompat:
